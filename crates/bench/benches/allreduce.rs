@@ -1,0 +1,37 @@
+//! Criterion: wall-clock time of the actual collectives on an in-process
+//! cluster (complements the virtual-time figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
+use sparcml_net::{run_cluster, CostModel};
+use sparcml_stream::random_sparse;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_wall");
+    let n = 1 << 18;
+    let k = 1 << 10;
+    let p = 8;
+    for algo in [
+        Algorithm::SsarRecDbl,
+        Algorithm::SsarSplitAllgather,
+        Algorithm::DsarSplitAllgather,
+        Algorithm::DenseRabenseifner,
+    ] {
+        group.bench_with_input(BenchmarkId::new(algo.name(), p), &algo, |b, &algo| {
+            b.iter(|| {
+                run_cluster(p, CostModel::zero(), |ep| {
+                    let input = random_sparse::<f32>(n, k, ep.rank() as u64);
+                    allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap().nnz()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce
+}
+criterion_main!(benches);

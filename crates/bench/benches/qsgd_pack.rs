@@ -1,0 +1,31 @@
+//! Criterion: QSGD quantize/dequantize throughput (§6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparcml_quant::{dequantize, quantize, QsgdConfig};
+use sparcml_stream::XorShift64;
+
+fn bench_qsgd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsgd");
+    let mut rng = XorShift64::new(7);
+    let dim = 1 << 20;
+    let values: Vec<f32> = (0..dim).map(|_| rng.next_gaussian() as f32).collect();
+    for bits in [2u8, 4, 8] {
+        let cfg = QsgdConfig::with_bits(bits);
+        group.bench_with_input(BenchmarkId::new("quantize", bits), &values, |b, v| {
+            let mut r = XorShift64::new(9);
+            b.iter(|| quantize(v, &cfg, &mut r).wire_bytes());
+        });
+        let q = quantize(&values, &cfg, &mut XorShift64::new(9));
+        group.bench_with_input(BenchmarkId::new("dequantize", bits), &q, |b, q| {
+            b.iter(|| dequantize(q).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_qsgd
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: sparse stream summation kernels (§5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparcml_stream::{random_sparse, DensityPolicy, SparseStream};
+
+fn bench_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_sum");
+    let dim = 1 << 20;
+    for nnz in [1 << 8, 1 << 12, 1 << 16] {
+        group.bench_with_input(BenchmarkId::new("sparse+sparse", nnz), &nnz, |b, &nnz| {
+            let x = random_sparse::<f32>(dim, nnz, 1);
+            let y = random_sparse::<f32>(dim, nnz, 2);
+            b.iter(|| {
+                let mut acc = x.clone();
+                acc.add_assign_with(&y, &DensityPolicy::never_densify()).unwrap();
+                acc.nnz()
+            });
+        });
+    }
+    group.bench_function("dense+sparse", |b| {
+        let mut x = random_sparse::<f32>(dim, 1 << 12, 3);
+        x.densify();
+        let y = random_sparse::<f32>(dim, 1 << 12, 4);
+        b.iter(|| {
+            let mut acc = x.clone();
+            acc.add_assign(&y).unwrap();
+            acc.is_dense()
+        });
+    });
+    group.bench_function("dense+dense", |b| {
+        let x = SparseStream::from_dense(vec![1.0f32; dim]);
+        let y = SparseStream::from_dense(vec![2.0f32; dim]);
+        b.iter(|| {
+            let mut acc = x.clone();
+            acc.add_assign(&y).unwrap();
+            acc.dim()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sum
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion: bucket-wise Top-k selection with error feedback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparcml_opt::{topk_bucketwise, ErrorFeedback, TopKConfig};
+use sparcml_stream::XorShift64;
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let mut rng = XorShift64::new(5);
+    for dim in [1 << 16, 1 << 20] {
+        let values: Vec<f32> = (0..dim).map(|_| rng.next_gaussian() as f32).collect();
+        for k in [1usize, 4, 16] {
+            let cfg = TopKConfig { k_per_bucket: k, bucket_size: 512 };
+            group.bench_with_input(
+                BenchmarkId::new(format!("select_k{k}"), dim),
+                &values,
+                |b, v| b.iter(|| topk_bucketwise(v, &cfg).stored_len()),
+            );
+        }
+        let cfg = TopKConfig { k_per_bucket: 4, bucket_size: 512 };
+        group.bench_with_input(BenchmarkId::new("error_feedback", dim), &values, |b, v| {
+            let mut ef = ErrorFeedback::new(v.len(), cfg);
+            b.iter(|| ef.compress(v).stored_len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topk
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 1: density of the reduced Top-k gradient versus node count and
+//! per-node density.
+//!
+//! The paper plots, for ResNet20/CIFAR-10 at epoch 5, how dense the
+//! *summed* gradient becomes when P nodes each contribute the top d% of
+//! their local gradient. We reproduce the measurement with an MLP trained
+//! briefly on a synthetic CIFAR-like task: each "node" computes a gradient
+//! on its own mini-batch, applies bucket-wise Top-k at the target density,
+//! and we measure `|∪ supports| / N`. The expected shape: the reduced
+//! density grows roughly as `1 − (1 − d)^P`, saturating towards fully
+//! dense at high node counts — the motivation for DSAR.
+
+use sparcml_bench::{header, print_row, BenchArgs};
+use sparcml_opt::data::generate_dense_images_noisy;
+use sparcml_opt::nn::Mlp;
+use sparcml_opt::topk_bucketwise;
+use sparcml_opt::TopKConfig;
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Figure 1",
+        "Density (%) of the reduced Top-k gradient vs node count P and per-node density d.\n\
+         Model: MLP on synthetic CIFAR-like data, gradients taken after a short warmup\n\
+         (the paper uses ResNet20/CIFAR-10 at epoch 5; shape is density-structure driven).",
+    );
+
+    let dim = args.dim(3072);
+    let classes = 10;
+    let ds = generate_dense_images_noisy(dim, classes, 512, 0.7, 42);
+    let mut model = Mlp::new(&[dim, 128, classes], 7);
+
+    // Short warmup so gradients have realistic (non-random-init) structure.
+    for step in 0..10 {
+        let lo = (step * 32) % (ds.samples.len() - 32);
+        let xs: Vec<&[f32]> = (lo..lo + 32).map(|i| ds.samples[i].as_slice()).collect();
+        let ys: Vec<u32> = (lo..lo + 32).map(|i| ds.labels[i]).collect();
+        let bg = model.batch_gradient(&xs, &ys);
+        let mut p = model.params();
+        for (pi, gi) in p.iter_mut().zip(&bg.grad) {
+            *pi -= 0.05 * gi / 32.0;
+        }
+        model.set_params(&p);
+    }
+    let n = model.param_count();
+
+    // Per-node gradients: distinct mini-batches.
+    let max_p = 256usize;
+    let node_grad = |node: usize| -> Vec<f32> {
+        let lo = (node * 17) % (ds.samples.len() - 16);
+        let xs: Vec<&[f32]> = (lo..lo + 16).map(|i| ds.samples[i].as_slice()).collect();
+        let ys: Vec<u32> = (lo..lo + 16).map(|i| ds.labels[i]).collect();
+        model.batch_gradient(&xs, &ys).grad
+    };
+    let grads: Vec<Vec<f32>> = (0..max_p).map(node_grad).collect();
+
+    let densities = [0.001f64, 0.005, 0.01, 0.05, 0.10, 0.25];
+    let node_counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let widths = vec![8usize; densities.len() + 1];
+
+    let mut head = vec!["P \\ d".to_string()];
+    head.extend(densities.iter().map(|d| format!("{:.1}%", d * 100.0)));
+    print_row(&head, &widths);
+
+    for &p in &node_counts {
+        let mut row = vec![format!("{p}")];
+        for &d in &densities {
+            let k = ((512.0 * d) as usize).max(1);
+            let cfg = TopKConfig { k_per_bucket: k, bucket_size: 512 };
+            let mut support = vec![false; n];
+            for g in grads.iter().take(p) {
+                let s = topk_bucketwise(g, &cfg);
+                for (i, _) in s.iter_nonzero() {
+                    support[i as usize] = true;
+                }
+            }
+            let union = support.iter().filter(|&&b| b).count();
+            row.push(format!("{:.2}%", union as f64 / n as f64 * 100.0));
+        }
+        print_row(&row, &widths);
+    }
+    println!();
+    println!(
+        "analytic (uniform) expectation 1-(1-d)^P for comparison, d = 1.0%: {}",
+        node_counts
+            .iter()
+            .map(|&p| format!("P={p}: {:.2}%", (1.0 - 0.99f64.powi(p as i32)) * 100.0))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+}

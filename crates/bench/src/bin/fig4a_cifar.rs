@@ -1,0 +1,89 @@
+//! Figure 4a: training accuracy of sparsified (and quantized) SGD vs
+//! full dense SGD on the CIFAR-10-class task.
+//!
+//! Paper setup: ResNet-110 on CIFAR-10, Top-k with k = 8 and 16 out of
+//! every bucket of 512 (~1.6%/3% density), 4-bit stochastic quantization,
+//! 8 nodes. Expected shape: all three curves overlap; the k=8 variant may
+//! even edge out the 32-bit baseline slightly (the paper reports +1%).
+//! Our stand-in: an MLP on a synthetic 10-class image task (see
+//! DESIGN.md), same k/bucket ratios and quantization.
+
+use sparcml_bench::{header, print_row, BenchArgs};
+use sparcml_opt::data::generate_dense_images_noisy;
+use sparcml_opt::{
+    train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
+};
+use sparcml_net::CostModel;
+use sparcml_quant::QsgdConfig;
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Figure 4a",
+        "Training accuracy per epoch: dense 32-bit SGD vs Top-k (8/512 and 16/512)\n\
+         with 4-bit QSGD, 8 nodes. (MLP stand-in for ResNet-110/CIFAR-10.)",
+    );
+    let dim = args.dim(3072).min(256);
+    let ds = generate_dense_images_noisy(dim, 10, 1200, 1.4, 11);
+    let epochs = 12;
+    let p = 8;
+    let base = NnTrainConfig {
+        epochs,
+        lr: LrSchedule::Const(0.05),
+        batch_per_node: 8,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, NnTrainConfig)> = vec![
+        ("dense 32-bit", base.clone()),
+        (
+            "topk 16/512 + Q4",
+            NnTrainConfig {
+                compression: Compression::TopKQuant(
+                    TopKConfig { k_per_bucket: 16, bucket_size: 512 },
+                    QsgdConfig::with_bits(4),
+                ),
+                ..base.clone()
+            },
+        ),
+        (
+            "topk 8/512 + Q4",
+            NnTrainConfig {
+                compression: Compression::TopKQuant(
+                    TopKConfig { k_per_bucket: 8, bucket_size: 512 },
+                    QsgdConfig::with_bits(4),
+                ),
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (name, cfg) in &variants {
+        let (_, stats) =
+            train_mlp_distributed(&ds, &[dim, 64, 10], p, CostModel::aries(), cfg);
+        results.push((name.to_string(), stats));
+    }
+
+    let widths = vec![8usize, 18, 18, 18];
+    let mut head = vec!["epoch".to_string()];
+    head.extend(results.iter().map(|(n, _)| n.clone()));
+    print_row(&head, &widths);
+    for e in 0..epochs {
+        let mut row = vec![format!("{e}")];
+        for (_, stats) in &results {
+            row.push(format!("{:.1}%", stats[e].accuracy * 100.0));
+        }
+        print_row(&row, &widths);
+    }
+    println!();
+    let dense_final = results[0].1.last().unwrap().accuracy;
+    for (name, stats) in &results[1..] {
+        let fin = stats.last().unwrap().accuracy;
+        println!(
+            "{name}: final accuracy {:.1}% vs dense {:.1}% (delta {:+.1} pts; paper: within ~1%)",
+            fin * 100.0,
+            dense_final * 100.0,
+            (fin - dense_final) * 100.0
+        );
+    }
+}

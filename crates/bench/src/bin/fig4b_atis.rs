@@ -1,0 +1,84 @@
+//! Figure 4b: training accuracy of the LSTM on the ATIS-like task,
+//! Top-k (2 of 512, ~0.4% density) vs full dense SGD.
+//!
+//! Expected shape: the sparse curve tracks the dense one within ~1%
+//! throughout training — SparCML's headline "no accuracy loss at 0.4%
+//! density" result for language models. The LSTM's embedding gradients
+//! are naturally sparse, which is why such aggressive Top-k works.
+
+use sparcml_bench::{fmt_bytes, header, print_row, BenchArgs};
+use sparcml_net::CostModel;
+use sparcml_opt::data::generate_sequences;
+use sparcml_opt::{
+    train_lstm_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Figure 4b",
+        "LSTM training accuracy per epoch on the ATIS-like task: dense vs Top-k 2/512.",
+    );
+    let vocab = args.dim(10_000).min(2000).max(300);
+    let classes = 16;
+    let ds = generate_sequences(vocab, classes, 768, 10, 21);
+    let epochs = 20;
+    let p = 4;
+    let base = NnTrainConfig {
+        epochs,
+        lr: LrSchedule::Const(0.5),
+        batch_per_node: 8,
+        ..Default::default()
+    };
+    let sparse = NnTrainConfig {
+        compression: Compression::TopK(TopKConfig { k_per_bucket: 2, bucket_size: 512 }),
+        ..base.clone()
+    };
+    // Our stand-in model is ~500x smaller than the paper's 20M-param ATIS
+    // LSTM, so 0.4% density delays updates proportionally more; a single
+    // LR retune compensates (the paper likewise retunes the initial LR for
+    // its strong-scaled ASR run).
+    let sparse_tuned = NnTrainConfig {
+        lr: LrSchedule::Const(2.0),
+        compression: Compression::TopK(TopKConfig { k_per_bucket: 2, bucket_size: 512 }),
+        ..base.clone()
+    };
+
+    let (_, dense_stats) =
+        train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &base);
+    let (_, sparse_stats) =
+        train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &sparse);
+    let (_, tuned_stats) =
+        train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &sparse_tuned);
+
+    let widths = vec![8usize, 16, 16, 20];
+    print_row(
+        &["epoch", "dense", "topk 2/512", "topk 2/512 (lr x4)"].map(String::from).to_vec(),
+        &widths,
+    );
+    for e in 0..epochs {
+        print_row(
+            &[
+                format!("{e}"),
+                format!("{:.1}%", dense_stats[e].accuracy * 100.0),
+                format!("{:.1}%", sparse_stats[e].accuracy * 100.0),
+                format!("{:.1}%", tuned_stats[e].accuracy * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!(
+        "final: dense {:.1}% vs topk {:.1}% vs topk-tuned {:.1}% (paper: within 1%)",
+        dense_stats.last().unwrap().accuracy * 100.0,
+        sparse_stats.last().unwrap().accuracy * 100.0,
+        tuned_stats.last().unwrap().accuracy * 100.0
+    );
+    println!(
+        "bytes/epoch: dense {} vs topk {} ({}x reduction; the paper's ATIS model\n\
+         shrinks 80 MB of gradients to <0.5 MB per step)",
+        fmt_bytes(dense_stats[0].bytes_sent),
+        fmt_bytes(sparse_stats[0].bytes_sent),
+        dense_stats[0].bytes_sent / sparse_stats[0].bytes_sent.max(1)
+    );
+}

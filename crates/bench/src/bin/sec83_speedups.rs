@@ -1,0 +1,82 @@
+//! §8.3 end-to-end training speedups on academic tasks.
+//!
+//! Paper (8 nodes, Piz Daint): ATIS 5.99x, CIFAR-10/ResNet-110 1.12x,
+//! Hansards 1.5x — "the variance in these speedup numbers is explained by
+//! the varying ratios of communication and computation of the models".
+//! We reproduce the mechanism: per-model layer profiles with their
+//! compute:communication ratios, dense baseline vs Top-k exchange.
+
+use sparcml_bench::{fmt_time, header, print_row, BenchArgs};
+use sparcml_core::Algorithm;
+use sparcml_net::CostModel;
+use sparcml_trainsim::{
+    step_time, AnalyticEstimator, Exchange, GpuSpec, ModelSpec, SyncStrategy,
+};
+
+fn main() {
+    let _args = BenchArgs::parse();
+    header(
+        "§8.3 speedups",
+        "End-to-end step-time speedup of Top-k SparCML vs dense baseline, 8 nodes,\n\
+         P100 GPUs, Aries network. Paper: ATIS 5.99x, CIFAR-10 1.12x, Hansards 1.5x.",
+    );
+    // Top-k supports of real models overlap strongly across nodes; 0.2
+    // interpolates most of the way from the uniform worst case (Fig. 1).
+    let est = AnalyticEstimator::with_support_overlap(CostModel::aries(), 0.2);
+    let gpu = GpuSpec::p100();
+    let p = 8;
+
+    // (model, per-node batch, k/512, paper speedup)
+    let cases: Vec<(ModelSpec, usize, usize, f64)> = vec![
+        (ModelSpec::atis_lstm(), 70, 2, 5.99),
+        (ModelSpec::resnet110_cifar(), 32, 8, 1.12),
+        (ModelSpec::hansards_lstm(), 32, 4, 1.5),
+    ];
+
+    let widths = vec![14usize, 13, 13, 13, 11, 10];
+    print_row(
+        &["model", "dense step", "sparse step", "comm share", "speedup", "paper"]
+            .map(String::from)
+            .to_vec(),
+        &widths,
+    );
+    for (model, batch, k, paper) in cases {
+        let dense = step_time(
+            &model,
+            p,
+            batch,
+            &gpu,
+            &SyncStrategy::PerLayer(Exchange::dense()),
+            &est,
+        );
+        let sparse = step_time(
+            &model,
+            p,
+            batch,
+            &gpu,
+            &SyncStrategy::PerLayer(Exchange::TopK {
+                k_per_bucket: k,
+                algorithm: Algorithm::SsarRecDbl,
+                quant: None,
+            }),
+            &est,
+        );
+        print_row(
+            &[
+                model.name.clone(),
+                fmt_time(dense.total),
+                fmt_time(sparse.total),
+                format!("{:.0}%", dense.exposed_comm / dense.total * 100.0),
+                format!("{:.2}x", dense.total / sparse.total),
+                format!("{paper:.2}x"),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!(
+        "shape check: the LSTM (comm-dominated) shows a large speedup, the CIFAR CNN\n\
+         (compute-dominated) a small one, Hansards in between — matching the paper's\n\
+         explanation of the variance."
+    );
+}

@@ -1,0 +1,115 @@
+//! Table 1: the dataset inventory.
+//!
+//! Generates the synthetic stand-ins at (scaled) paper dimensions and
+//! prints their statistics next to the paper's numbers.
+
+use sparcml_bench::{header, print_row, BenchArgs};
+use sparcml_opt::data::{
+    generate_dense_images, generate_sequences, generate_sparse, SparseGenConfig,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Table 1",
+        "Real-world application datasets (paper) and our synthetic stand-ins (generated).",
+    );
+    let widths = vec![14usize, 10, 14, 16, 22];
+    print_row(
+        &["dataset", "classes", "samples", "dimension", "generated (stats)"]
+            .map(String::from)
+            .to_vec(),
+        &widths,
+    );
+
+    // URL: 2 classes, 2 396 130 samples, 3 231 961 features.
+    let url_samples = args.dim(2_396_130).min(4000);
+    let url = generate_sparse(&SparseGenConfig {
+        samples: url_samples,
+        ..SparseGenConfig::url_like(url_samples)
+    });
+    print_row(
+        &[
+            "URL".into(),
+            "2".into(),
+            "2 396 130".into(),
+            "3 231 961".into(),
+            format!("{} x {} (avg nnz {:.0})", url.samples.len(), url.dim, url.avg_nnz()),
+        ],
+        &widths,
+    );
+
+    // Webspam: 2 classes, 350 000 samples, 16 609 143 features.
+    let web_samples = args.dim(350_000).min(1500);
+    let web = generate_sparse(&SparseGenConfig {
+        samples: web_samples,
+        nnz_per_sample: 800, // scaled from 3730 to keep generation quick
+        ..SparseGenConfig::webspam_like(web_samples)
+    });
+    print_row(
+        &[
+            "Webspam".into(),
+            "2".into(),
+            "350 000".into(),
+            "16 609 143".into(),
+            format!("{} x {} (avg nnz {:.0})", web.samples.len(), web.dim, web.avg_nnz()),
+        ],
+        &widths,
+    );
+
+    // CIFAR-10: 10 classes, 60 000 samples, 32x32x3.
+    let cifar = generate_dense_images(3072, 10, args.dim(60_000).min(2000), 5);
+    print_row(
+        &[
+            "CIFAR-10".into(),
+            "10".into(),
+            "60 000".into(),
+            "32x32x3".into(),
+            format!("{} x {} dense", cifar.samples.len(), cifar.dim),
+        ],
+        &widths,
+    );
+
+    // ImageNet-1K: 1000 classes, 1.3M samples, 224x224x3.
+    let imagenet = generate_dense_images(4096, 100, args.dim(1_300_000).min(2000), 6);
+    print_row(
+        &[
+            "ImageNet-1K".into(),
+            "1000".into(),
+            "1.3M".into(),
+            "224x224x3".into(),
+            format!("{} x {} dense ({} cls, scaled)", imagenet.samples.len(), imagenet.dim, imagenet.classes),
+        ],
+        &widths,
+    );
+
+    // ATIS: 128 classes, 4 978 sentences / 56 590 words.
+    let atis = generate_sequences(1000, 64, args.dim(4978).min(1200), 11, 7);
+    let words: usize = atis.sequences.iter().map(|s| s.len()).sum();
+    print_row(
+        &[
+            "ATIS".into(),
+            "128".into(),
+            "4 978 s/56 590 w".into(),
+            "-".into(),
+            format!("{} s/{} w, vocab {}", atis.sequences.len(), words, atis.vocab),
+        ],
+        &widths,
+    );
+
+    // Hansards: 948K sentence pairs / 15 657K words.
+    let hansards = generate_sequences(4000, 32, args.dim(948_000).min(1200), 17, 8);
+    let words: usize = hansards.sequences.iter().map(|s| s.len()).sum();
+    print_row(
+        &[
+            "Hansards".into(),
+            "-".into(),
+            "948K s/15 657K w".into(),
+            "-".into(),
+            format!("{} s/{} w, vocab {}", hansards.sequences.len(), words, hansards.vocab),
+        ],
+        &widths,
+    );
+    println!();
+    println!("(sample counts scaled by --scale {}; feature dimensions preserved)", args.scale);
+}

@@ -1,0 +1,124 @@
+//! Sparse and dense allreduce algorithms (§5.3 of the paper).
+//!
+//! Every algorithm computes the element-wise sum of the `P` input vectors
+//! and leaves a copy of the result at every rank. The variants differ in
+//! their communication schedules and in how they exploit sparsity:
+//!
+//! | algorithm | schedule | intended regime |
+//! |---|---|---|
+//! | [`Algorithm::SsarRecDbl`] | recursive doubling on sparse streams | small data, latency-bound (§5.3.1) |
+//! | [`Algorithm::SsarSplitAllgather`] | dimension split + sparse allgather | large sparse data (§5.3.2) |
+//! | [`Algorithm::DsarSplitAllgather`] | dimension split + dense (optionally quantized) allgather | dense final result (§5.3.3, §6) |
+//! | [`Algorithm::DenseRecDbl`] | recursive doubling on dense vectors | baseline |
+//! | [`Algorithm::DenseRabenseifner`] | recursive halving + doubling | large dense data baseline [44] |
+//! | [`Algorithm::DenseRing`] | ring reduce-scatter + allgather | bandwidth-bound dense baseline |
+//! | [`Algorithm::SparseRing`] | ring schedule on sparse partitions | the "sparse counterpart" of Fig. 3 |
+
+mod dense;
+mod dsar_split_ag;
+mod sparse_ring;
+mod ssar_rec_dbl;
+mod ssar_split_ag;
+
+pub use dense::{dense_rabenseifner, dense_recursive_double, dense_ring};
+pub(crate) use ssar_split_ag::split_reduce_partition as split_reduce_partition_public;
+pub use dsar_split_ag::dsar_split_allgather;
+pub use sparse_ring::sparse_ring;
+pub use ssar_rec_dbl::ssar_recursive_double;
+pub use ssar_split_ag::ssar_split_allgather;
+
+use sparcml_net::Endpoint;
+use sparcml_quant::QsgdConfig;
+use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
+
+use crate::error::CollError;
+
+/// Which allreduce schedule to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Sparse recursive doubling (`SSAR_Recursive_double`).
+    SsarRecDbl,
+    /// Sparse split + sparse allgather (`SSAR_Split_allgather`).
+    SsarSplitAllgather,
+    /// Sparse split + dense allgather (`DSAR_Split_allgather`).
+    DsarSplitAllgather,
+    /// Dense recursive doubling baseline.
+    DenseRecDbl,
+    /// Dense Rabenseifner baseline (reduce-scatter + allgather).
+    DenseRabenseifner,
+    /// Dense ring baseline.
+    DenseRing,
+    /// Sparse ring (ring schedule on sparse partitions).
+    SparseRing,
+}
+
+impl Algorithm {
+    /// All concrete algorithms, for sweeps.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::SsarRecDbl,
+        Algorithm::SsarSplitAllgather,
+        Algorithm::DsarSplitAllgather,
+        Algorithm::DenseRecDbl,
+        Algorithm::DenseRabenseifner,
+        Algorithm::DenseRing,
+        Algorithm::SparseRing,
+    ];
+
+    /// Short human-readable name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SsarRecDbl => "SSAR_Recursive_double",
+            Algorithm::SsarSplitAllgather => "SSAR_Split_allgather",
+            Algorithm::DsarSplitAllgather => "DSAR_Split_allgather",
+            Algorithm::DenseRecDbl => "Dense_Recursive_double",
+            Algorithm::DenseRabenseifner => "Dense_Rabenseifner",
+            Algorithm::DenseRing => "Dense_Ring",
+            Algorithm::SparseRing => "Sparse_Ring",
+        }
+    }
+}
+
+/// Options shared by all allreduce variants.
+#[derive(Debug, Clone)]
+pub struct AllreduceConfig {
+    /// Sparse→dense switching policy (δ scaling, §5.1).
+    pub policy: DensityPolicy,
+    /// When set, `DSAR_Split_allgather` quantizes the dense partition
+    /// results before the allgather stage (§6).
+    pub quant: Option<QsgdConfig>,
+    /// Seed for stochastic quantization; each rank derives `seed + rank`.
+    pub quant_seed: u64,
+    /// Whether the split phase uses blocking sends (charging the paper's
+    /// full `(P−1)α` to the sender) or non-blocking isends.
+    pub blocking_split_sends: bool,
+}
+
+impl Default for AllreduceConfig {
+    fn default() -> Self {
+        AllreduceConfig {
+            policy: DensityPolicy::default(),
+            quant: None,
+            quant_seed: 0x005b_ac31,
+            blocking_split_sends: true,
+        }
+    }
+}
+
+/// Runs the selected allreduce `algo` over `input`, returning the global
+/// element-wise sum (present at every rank on return).
+pub fn allreduce<V: Scalar>(
+    ep: &mut Endpoint,
+    input: &SparseStream<V>,
+    algo: Algorithm,
+    cfg: &AllreduceConfig,
+) -> Result<SparseStream<V>, CollError> {
+    match algo {
+        Algorithm::SsarRecDbl => ssar_recursive_double(ep, input, cfg),
+        Algorithm::SsarSplitAllgather => ssar_split_allgather(ep, input, cfg),
+        Algorithm::DsarSplitAllgather => dsar_split_allgather(ep, input, cfg),
+        Algorithm::DenseRecDbl => dense_recursive_double(ep, input, cfg),
+        Algorithm::DenseRabenseifner => dense_rabenseifner(ep, input, cfg),
+        Algorithm::DenseRing => dense_ring(ep, input, cfg),
+        Algorithm::SparseRing => sparse_ring(ep, input, cfg),
+    }
+}

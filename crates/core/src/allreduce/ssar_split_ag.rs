@@ -1,0 +1,166 @@
+//! `SSAR_Split_allgather` — split + sparse allgather allreduce (§5.3.2).
+//!
+//! Phase 1 (*split*): the index space `[0, N)` is partitioned uniformly
+//! across ranks; every rank splits its sparse vector and sends each
+//! subrange directly to its owner. Each owner reduces the `P` received
+//! sub-vectors, producing the final result for its partition.
+//!
+//! Phase 2 (*sparse allgather*): partition results are gathered to all
+//! ranks with a concatenating sparse allgather (partitions are disjoint
+//! index ranges, so the "sum" is concatenation, §5.1).
+//!
+//! Latency is `L2(P) = (P−1)α + log2(P)α`; bandwidth lies between
+//! `2·(P−1)/P·k·βs` and `P·k·βs`.
+
+use sparcml_net::Endpoint;
+use sparcml_stream::{partition_range, Scalar, SparseStream};
+
+use crate::allreduce::AllreduceConfig;
+use crate::error::CollError;
+use crate::op::{add_charged, allgather_bytes, recv_stream, send_stream, subtag, tag};
+
+/// Runs the split phase: scatter sub-ranges to their owners and reduce the
+/// local partition. Returns this rank's fully reduced partition (support
+/// restricted to its range, logical dimension preserved).
+pub(crate) fn split_reduce_partition<V: Scalar>(
+    ep: &mut Endpoint,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    op_id: u64,
+) -> Result<SparseStream<V>, CollError> {
+    let p = ep.size();
+    let rank = ep.rank();
+    let dim = input.dim();
+    // Scatter: walk destinations round-robin starting after our own rank so
+    // senders do not all hammer rank 0 first.
+    for step in 1..p {
+        let dst = (rank + step) % p;
+        let range = partition_range(dim, p, dst);
+        let part = input.restrict(range.lo, range.hi);
+        send_stream(ep, dst, tag(op_id, subtag::SPLIT), &part, cfg.blocking_split_sends)?;
+    }
+    let my_range = partition_range(dim, p, rank);
+    let mut acc = input.restrict(my_range.lo, my_range.hi);
+    // Gather and reduce the P−1 remote contributions in rank order for
+    // deterministic floating-point results.
+    for src in 0..p {
+        if src == rank {
+            continue;
+        }
+        let part = recv_stream::<V>(ep, src, tag(op_id, subtag::SPLIT))?;
+        add_charged(ep, &mut acc, &part, &cfg.policy)?;
+    }
+    Ok(acc)
+}
+
+/// Sparse split + sparse allgather allreduce. Works for any `P ≥ 1`.
+pub fn ssar_split_allgather<V: Scalar>(
+    ep: &mut Endpoint,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+) -> Result<SparseStream<V>, CollError> {
+    let p = ep.size();
+    if p == 1 {
+        return Ok(input.clone());
+    }
+    let op_id = ep.next_op_id();
+    let mut mine = split_reduce_partition(ep, input, cfg, op_id)?;
+    // The partition result must be sparse for the concatenating allgather;
+    // if fill-in forced it dense (the caller should have chosen DSAR), we
+    // convert back, paying the scan.
+    if mine.is_dense() {
+        ep.compute(mine.dim());
+        mine.sparsify();
+    }
+    let blocks = allgather_bytes(ep, op_id, mine.encode())?;
+    let parts: Vec<SparseStream<V>> = blocks
+        .iter()
+        .map(|b| SparseStream::decode(b))
+        .collect::<Result<_, _>>()?;
+    // Partitions arrive indexed by rank == increasing index ranges.
+    let result = SparseStream::concat_disjoint(&parts)?;
+    ep.compute(result.stored_len());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_sum;
+    use sparcml_net::{max_virtual_time, run_cluster, CostModel};
+    use sparcml_stream::random_sparse;
+
+    fn check(p: usize, dim: usize, nnz: usize) {
+        let ins: Vec<SparseStream<f32>> =
+            (0..p).map(|r| random_sparse(dim, nnz, 7 + r as u64)).collect();
+        let expect = reference_sum(&ins);
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            ssar_split_allgather(ep, &ins[ep.rank()], &AllreduceConfig::default()).unwrap()
+        });
+        for out in outs {
+            let got = out.to_dense_vec();
+            for (g, e) in got.iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4, "{g} vs {e} (P={p})");
+            }
+        }
+    }
+
+    #[test]
+    fn correct_power_of_two() {
+        check(8, 4096, 64);
+    }
+
+    #[test]
+    fn correct_non_power_of_two() {
+        check(5, 1000, 40);
+        check(6, 2048, 32);
+    }
+
+    #[test]
+    fn correct_overlapping_supports() {
+        // All ranks share the same support: K = k.
+        let p = 8;
+        let dim = 1 << 14;
+        let base = random_sparse::<f32>(dim, 100, 42);
+        let expect = reference_sum(&vec![base.clone(); p]);
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            ssar_split_allgather(ep, &base, &AllreduceConfig::default()).unwrap()
+        });
+        for out in outs {
+            assert_eq!(out.nnz(), 100);
+            let got = out.to_dense_vec();
+            for (g, e) in got.iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matches_l2() {
+        // Empty inputs isolate latency: (P−1)α for the split (blocking
+        // sends) + log2(P)α for the allgather.
+        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let p = 8;
+        let t = max_virtual_time(p, cost, |ep| {
+            let input = SparseStream::<f32>::zeros(1 << 16);
+            ssar_split_allgather(ep, &input, &AllreduceConfig::default()).unwrap();
+        });
+        let l2 = (p - 1) as f64 + (p as f64).log2();
+        assert!((t - l2).abs() < 1e-9, "t = {t}, L2 = {l2}");
+    }
+
+    #[test]
+    fn nonblocking_split_reduces_latency() {
+        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.1 };
+        let p = 8;
+        let blocking = AllreduceConfig { blocking_split_sends: true, ..Default::default() };
+        let nonblocking = AllreduceConfig { blocking_split_sends: false, ..Default::default() };
+        let t_b = max_virtual_time(p, cost, |ep| {
+            ssar_split_allgather(ep, &SparseStream::<f32>::zeros(1 << 16), &blocking).unwrap();
+        });
+        let t_nb = max_virtual_time(p, cost, |ep| {
+            ssar_split_allgather(ep, &SparseStream::<f32>::zeros(1 << 16), &nonblocking).unwrap();
+        });
+        assert!(t_nb < t_b, "nonblocking {t_nb} should beat blocking {t_b}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type unifying transport and data-representation failures.
+
+use std::fmt;
+
+use sparcml_net::CommError;
+use sparcml_stream::StreamError;
+
+/// Errors surfaced by collective operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollError {
+    /// Transport-level failure.
+    Comm(CommError),
+    /// Stream validation / decoding failure.
+    Stream(StreamError),
+    /// The operation was invoked with inconsistent arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for CollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollError::Comm(e) => write!(f, "communication error: {e}"),
+            CollError::Stream(e) => write!(f, "stream error: {e}"),
+            CollError::Invalid(msg) => write!(f, "invalid collective call: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CollError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollError::Comm(e) => Some(e),
+            CollError::Stream(e) => Some(e),
+            CollError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CommError> for CollError {
+    fn from(e: CommError) -> Self {
+        CollError::Comm(e)
+    }
+}
+
+impl From<StreamError> for CollError {
+    fn from(e: StreamError) -> Self {
+        CollError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CollError = CommError::Disconnected { peer: 2 }.into();
+        assert!(e.to_string().contains("communication"));
+        let e: CollError = StreamError::Corrupt("x").into();
+        assert!(e.to_string().contains("stream"));
+        let e = CollError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

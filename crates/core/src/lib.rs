@@ -1,0 +1,62 @@
+//! # sparcml-core
+//!
+//! The SparCML sparse collective communication library — the primary
+//! contribution of "SparCML: High-Performance Sparse Communication for
+//! Machine Learning" (Renggli et al., SC 2019).
+//!
+//! Provides sparse and dense allreduce/allgather collectives over the
+//! virtual-time transport of `sparcml-net`, operating on the adaptive
+//! sparse streams of `sparcml-stream`:
+//!
+//! * [`allreduce`] with the paper's three sparse schedules
+//!   (`SSAR_Recursive_double`, `SSAR_Split_allgather`,
+//!   `DSAR_Split_allgather`) and three dense baselines;
+//! * optional QSGD low-precision allgather inside DSAR (§6);
+//! * non-blocking variants ([`iallreduce`], §7);
+//! * the adaptive selector ([`select_algorithm`]);
+//! * the analytic cost bounds of §5.3 ([`bounds`]) and the stochastic
+//!   density analysis of Appendix B ([`theory`]).
+//!
+//! ```
+//! use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
+//! use sparcml_net::{run_cluster, CostModel};
+//! use sparcml_stream::SparseStream;
+//!
+//! // 4 ranks, each contributing one sparse gradient; the result is the
+//! // element-wise sum, available at every rank.
+//! let results = run_cluster(4, CostModel::aries(), |ep| {
+//!     let grad = SparseStream::from_pairs(
+//!         1_000_000,
+//!         &[(ep.rank() as u32 * 10, 1.0f32), (999_999, 0.5)],
+//!     )
+//!     .unwrap();
+//!     allreduce(ep, &grad, Algorithm::SsarRecDbl, &AllreduceConfig::default()).unwrap()
+//! });
+//! assert_eq!(results[0].get(999_999), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod allgather;
+mod allreduce;
+pub mod bounds;
+mod error;
+mod nonblocking;
+mod op;
+pub mod reference;
+mod rooted;
+mod selector;
+pub mod theory;
+
+pub use allgather::{dense_allgather, sparse_allgather, sparse_allgather_sum};
+pub use allreduce::{
+    allreduce, dense_rabenseifner, dense_recursive_double, dense_ring, dsar_split_allgather,
+    sparse_ring, ssar_recursive_double, ssar_split_allgather, Algorithm, AllreduceConfig,
+};
+pub use error::CollError;
+pub use nonblocking::{iallreduce, Request};
+pub use rooted::{
+    allreduce_via_reduce_bcast, my_partition, sparse_broadcast, sparse_reduce,
+    sparse_reduce_scatter,
+};
+pub use selector::{estimate_time, estimate_time_with_union, select_algorithm};

@@ -1,0 +1,156 @@
+//! Non-blocking collective operations (§7, "Non-Blocking Operations").
+//!
+//! "We allow a thread to trigger a collective operation, such as
+//! allreduce, in a nonblocking way. This enables the thread to proceed
+//! with local computations while the operation is performed in the
+//! background." Modelled here with a helper thread per request (the
+//! progress-thread design of the cited MPI non-blocking collectives work):
+//! the caller hands over its [`Endpoint`], keeps accounting local compute
+//! against a fork-point clock, and at [`Request::wait`] the clocks merge as
+//! `max(communication, computation)` — ideal overlap.
+
+use std::thread::JoinHandle;
+
+use sparcml_net::Endpoint;
+use sparcml_stream::{Scalar, SparseStream};
+
+use crate::allreduce::{allreduce, Algorithm, AllreduceConfig};
+use crate::error::CollError;
+
+/// Handle to an in-flight non-blocking collective.
+pub struct Request<T> {
+    handle: JoinHandle<(Endpoint, Result<T, CollError>)>,
+    fork_clock: f64,
+    gamma: f64,
+    overlapped_seconds: f64,
+}
+
+impl<T: Send + 'static> Request<T> {
+    /// Launches `op` on a helper thread owning the endpoint.
+    pub fn spawn<F>(ep: Endpoint, op: F) -> Self
+    where
+        F: FnOnce(&mut Endpoint) -> Result<T, CollError> + Send + 'static,
+    {
+        let fork_clock = ep.clock();
+        let gamma = ep.cost().gamma;
+        let handle = std::thread::spawn(move || {
+            let mut ep = ep;
+            let out = op(&mut ep);
+            (ep, out)
+        });
+        Request { handle, fork_clock, gamma, overlapped_seconds: 0.0 }
+    }
+
+    /// Accounts local computation of `elements` element-ops performed
+    /// *while the collective is in flight* (overlapped).
+    pub fn compute(&mut self, elements: usize) {
+        self.overlapped_seconds += self.gamma * elements as f64;
+    }
+
+    /// Accounts `seconds` of overlapped local wall work.
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        self.overlapped_seconds += seconds;
+    }
+
+    /// Blocks until the collective finishes; returns the endpoint (with its
+    /// clock advanced to `max(comm_done, fork + overlapped_compute)`) and
+    /// the collective's result.
+    pub fn wait(self) -> Result<(Endpoint, T), CollError> {
+        let (mut ep, result) = self
+            .handle
+            .join()
+            .map_err(|_| CollError::Invalid("non-blocking collective panicked".into()))?;
+        ep.advance_clock_to(self.fork_clock + self.overlapped_seconds);
+        result.map(|t| (ep, t))
+    }
+}
+
+/// Non-blocking allreduce: takes the endpoint by value, returns a
+/// [`Request`] resolving to the reduced stream.
+pub fn iallreduce<V: Scalar>(
+    ep: Endpoint,
+    input: SparseStream<V>,
+    algo: Algorithm,
+    cfg: AllreduceConfig,
+) -> Request<SparseStream<V>> {
+    Request::spawn(ep, move |ep| allreduce(ep, &input, algo, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_sum;
+    use sparcml_net::{run_cluster, CostModel};
+    use sparcml_stream::random_sparse;
+
+    #[test]
+    fn nonblocking_matches_blocking_result() {
+        let p = 8;
+        let ins: Vec<SparseStream<f32>> =
+            (0..p).map(|r| random_sparse(2048, 64, 500 + r as u64)).collect();
+        let expect = reference_sum(&ins);
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            // Steal the endpoint by swapping in a dummy is not possible;
+            // instead run the blocking collective on a clone of the input
+            // to compare, then drive the non-blocking API through a fresh
+            // cluster below. Here: blocking reference.
+            allreduce(ep, &ins[ep.rank()], Algorithm::SsarRecDbl, &AllreduceConfig::default())
+                .unwrap()
+        });
+        for out in &outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_merges_clocks_as_max() {
+        // gamma = 1 s/element; communication is free. 100 elements of
+        // overlapped compute must dominate the final clock.
+        let cost = CostModel { alpha: 0.0, beta: 0.0, gamma: 1.0, isend_alpha_fraction: 0.0 };
+        let clocks = run_cluster(2, cost, |ep| {
+            // Read rank-dependent state *before* detaching: `detach`
+            // replaces the endpoint with a rank-0 placeholder.
+            let input = random_sparse::<f32>(256, 8, ep.rank() as u64);
+            let mut req = iallreduce(
+                ep.detach(),
+                input,
+                Algorithm::SsarRecDbl,
+                AllreduceConfig::default(),
+            );
+            req.compute(100); // overlapped work
+            let (ep_back, _result) = req.wait().unwrap();
+            *ep = ep_back;
+            ep.clock()
+        });
+        for c in clocks {
+            assert!((c - 100.0).abs() < 1.0, "clock {c}");
+        }
+    }
+
+    #[test]
+    fn nonblocking_result_agrees_with_reference() {
+        let p = 4;
+        let ins: Vec<SparseStream<f32>> =
+            (0..p).map(|r| random_sparse(1024, 32, 300 + r as u64)).collect();
+        let expect = reference_sum(&ins);
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            let input = ins[ep.rank()].clone();
+            let req = iallreduce(
+                ep.detach(),
+                input,
+                Algorithm::SsarSplitAllgather,
+                AllreduceConfig::default(),
+            );
+            let (ep_back, result) = req.wait().unwrap();
+            *ep = ep_back;
+            result
+        });
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Shared plumbing for collective implementations: stream transfer over
+//! endpoints, tag derivation, and the power-of-two fold of §A.
+
+use bytes::Bytes;
+use sparcml_net::Endpoint;
+use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
+
+use crate::error::CollError;
+
+/// Sub-operation identifiers composed into message tags.
+pub(crate) mod subtag {
+    pub const FOLD: u64 = 1;
+    pub const UNFOLD: u64 = 2;
+    pub const SPLIT: u64 = 3;
+    pub const RING: u64 = 4;
+    /// Base for per-round tags; round `t` uses `ROUND + t`.
+    pub const ROUND: u64 = 16;
+}
+
+/// Composes a unique message tag from a collective op id and a sub-op.
+#[inline]
+pub(crate) fn tag(op_id: u64, sub: u64) -> u64 {
+    (op_id << 16) | sub
+}
+
+/// Sends a stream, blocking (full α charge) or non-blocking.
+pub(crate) fn send_stream<V: Scalar>(
+    ep: &mut Endpoint,
+    dst: usize,
+    t: u64,
+    stream: &SparseStream<V>,
+    blocking: bool,
+) -> Result<(), CollError> {
+    let payload = stream.encode();
+    if blocking {
+        ep.send(dst, t, payload)?;
+    } else {
+        ep.isend(dst, t, payload)?;
+    }
+    Ok(())
+}
+
+/// Receives and decodes a stream from `src`.
+pub(crate) fn recv_stream<V: Scalar>(
+    ep: &mut Endpoint,
+    src: usize,
+    t: u64,
+) -> Result<SparseStream<V>, CollError> {
+    let payload = ep.recv(src, t)?;
+    Ok(SparseStream::decode(&payload)?)
+}
+
+/// Simultaneous stream exchange with `peer` (send, then receive).
+pub(crate) fn exchange_stream<V: Scalar>(
+    ep: &mut Endpoint,
+    peer: usize,
+    t: u64,
+    stream: &SparseStream<V>,
+) -> Result<SparseStream<V>, CollError> {
+    send_stream(ep, peer, t, stream, true)?;
+    recv_stream(ep, peer, t)
+}
+
+/// Adds `other` into `acc`, charging the endpoint for the reduction work.
+pub(crate) fn add_charged<V: Scalar>(
+    ep: &mut Endpoint,
+    acc: &mut SparseStream<V>,
+    other: &SparseStream<V>,
+    policy: &DensityPolicy,
+) -> Result<(), CollError> {
+    let stats = acc.add_assign_with(other, policy)?;
+    ep.compute(stats.elements_processed);
+    Ok(())
+}
+
+/// Largest power of two `≤ p`.
+#[inline]
+pub(crate) fn pow2_below(p: usize) -> usize {
+    assert!(p > 0);
+    1usize << (usize::BITS - 1 - p.leading_zeros())
+}
+
+/// Outcome of the §A pre-step that reduces participation to a power of two.
+pub(crate) enum FoldRole<V: Scalar> {
+    /// This rank participates in the power-of-two core with the folded
+    /// input.
+    Active(SparseStream<V>),
+    /// This rank parked its data with its fold partner and waits for the
+    /// result.
+    Parked,
+}
+
+/// Pre-step: ranks `>= p2` send their input to `rank - p2`; receivers fold
+/// it into their own. Returns each rank's role.
+pub(crate) fn fold_to_pow2<V: Scalar>(
+    ep: &mut Endpoint,
+    op_id: u64,
+    input: &SparseStream<V>,
+    policy: &DensityPolicy,
+) -> Result<FoldRole<V>, CollError> {
+    let p = ep.size();
+    let p2 = pow2_below(p);
+    let rank = ep.rank();
+    if rank >= p2 {
+        let partner = rank - p2;
+        send_stream(ep, partner, tag(op_id, subtag::FOLD), input, true)?;
+        return Ok(FoldRole::Parked);
+    }
+    let mut acc = input.clone();
+    if rank + p2 < p {
+        let extra = recv_stream::<V>(ep, rank + p2, tag(op_id, subtag::FOLD))?;
+        add_charged(ep, &mut acc, &extra, policy)?;
+    }
+    Ok(FoldRole::Active(acc))
+}
+
+/// Post-step: active ranks with a parked partner forward the final result;
+/// parked ranks receive it.
+pub(crate) fn unfold_result<V: Scalar>(
+    ep: &mut Endpoint,
+    op_id: u64,
+    role_result: Option<SparseStream<V>>,
+) -> Result<SparseStream<V>, CollError> {
+    let p = ep.size();
+    let p2 = pow2_below(p);
+    let rank = ep.rank();
+    match role_result {
+        Some(result) => {
+            if rank + p2 < p {
+                send_stream(ep, rank + p2, tag(op_id, subtag::UNFOLD), &result, true)?;
+            }
+            Ok(result)
+        }
+        None => recv_stream(ep, rank - p2, tag(op_id, subtag::UNFOLD)),
+    }
+}
+
+/// Generic recursive-doubling / ring byte-block allgather. Returns all `P`
+/// blocks indexed by rank. Uses recursive doubling when `P` is a power of
+/// two (latency `log2(P)·α`), a ring otherwise (`(P−1)` rounds).
+pub(crate) fn allgather_bytes(
+    ep: &mut Endpoint,
+    op_id: u64,
+    mine: Bytes,
+) -> Result<Vec<Bytes>, CollError> {
+    let p = ep.size();
+    let rank = ep.rank();
+    let mut blocks: Vec<Option<Bytes>> = vec![None; p];
+    blocks[rank] = Some(mine);
+    if p == 1 {
+        return Ok(blocks.into_iter().map(|b| b.expect("own block")).collect());
+    }
+    if p.is_power_of_two() {
+        // Recursive doubling: after round t every rank holds the blocks of
+        // the 2^(t+1)-rank group obtained by flipping its low t+1 bits.
+        let rounds = p.trailing_zeros() as usize;
+        for t in 0..rounds {
+            let peer = rank ^ (1 << t);
+            let group = 1usize << t;
+            let base = (rank >> t) << t; // start of my current group
+            let payload = encode_block_group(&blocks, base, group);
+            ep.send(peer, tag(op_id, subtag::ROUND + t as u64), payload)?;
+            let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + t as u64))?;
+            decode_block_group(&incoming, &mut blocks)?;
+        }
+    } else {
+        // Ring: forward the block received in the previous round.
+        let next = (rank + 1) % p;
+        let prev = (rank + p - 1) % p;
+        let mut carry_rank = rank;
+        for t in 0..p - 1 {
+            let payload = encode_block_group(&blocks, carry_rank, 1);
+            ep.send(next, tag(op_id, subtag::ROUND + t as u64), payload)?;
+            let incoming = ep.recv(prev, tag(op_id, subtag::ROUND + t as u64))?;
+            decode_block_group(&incoming, &mut blocks)?;
+            carry_rank = (carry_rank + p - 1) % p;
+        }
+    }
+    blocks
+        .into_iter()
+        .enumerate()
+        .map(|(r, b)| b.ok_or_else(|| CollError::Invalid(format!("missing block from rank {r}"))))
+        .collect()
+}
+
+/// Encodes `count` consecutive blocks starting at `base` as
+/// `[u32 base][u32 count]([u64 len][bytes])*`.
+fn encode_block_group(blocks: &[Option<Bytes>], base: usize, count: usize) -> Bytes {
+    use bytes::BufMut;
+    let mut size = 8;
+    for r in base..base + count {
+        size += 8 + blocks[r].as_ref().map_or(0, |b| b.len());
+    }
+    let mut buf = bytes::BytesMut::with_capacity(size);
+    buf.put_u32_le(base as u32);
+    buf.put_u32_le(count as u32);
+    for r in base..base + count {
+        let b = blocks[r].as_ref().expect("group block present");
+        buf.put_u64_le(b.len() as u64);
+        buf.put_slice(b);
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`encode_block_group`], installing blocks into `blocks`.
+fn decode_block_group(payload: &[u8], blocks: &mut [Option<Bytes>]) -> Result<(), CollError> {
+    use bytes::Buf;
+    let mut buf = payload;
+    if buf.remaining() < 8 {
+        return Err(CollError::Invalid("block group header truncated".into()));
+    }
+    let base = buf.get_u32_le() as usize;
+    let count = buf.get_u32_le() as usize;
+    for r in base..base + count {
+        if buf.remaining() < 8 {
+            return Err(CollError::Invalid("block group body truncated".into()));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < len {
+            return Err(CollError::Invalid("block payload truncated".into()));
+        }
+        if r >= blocks.len() {
+            return Err(CollError::Invalid("block rank out of range".into()));
+        }
+        blocks[r] = Some(Bytes::copy_from_slice(&buf[..len]));
+        buf.advance(len);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcml_net::{run_cluster, CostModel};
+
+    #[test]
+    fn pow2_below_values() {
+        assert_eq!(pow2_below(1), 1);
+        assert_eq!(pow2_below(2), 2);
+        assert_eq!(pow2_below(3), 2);
+        assert_eq!(pow2_below(12), 8);
+        assert_eq!(pow2_below(16), 16);
+    }
+
+    #[test]
+    fn allgather_bytes_power_of_two() {
+        let out = run_cluster(8, CostModel::zero(), |ep| {
+            let op = ep.next_op_id();
+            let mine = Bytes::from(vec![ep.rank() as u8; ep.rank() + 1]);
+            allgather_bytes(ep, op, mine).unwrap()
+        });
+        for blocks in &out {
+            for (r, b) in blocks.iter().enumerate() {
+                assert_eq!(b.len(), r + 1);
+                assert!(b.iter().all(|&x| x as usize == r));
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_ring_fallback() {
+        let out = run_cluster(6, CostModel::zero(), |ep| {
+            let op = ep.next_op_id();
+            let mine = Bytes::from(vec![ep.rank() as u8; 3]);
+            allgather_bytes(ep, op, mine).unwrap()
+        });
+        for blocks in &out {
+            for (r, b) in blocks.iter().enumerate() {
+                assert!(b.iter().all(|&x| x as usize == r));
+            }
+        }
+    }
+
+    #[test]
+    fn fold_unfold_round_trip() {
+        // P = 6: ranks 4,5 park with ranks 0,1.
+        let out = run_cluster(6, CostModel::zero(), |ep| {
+            let op = ep.next_op_id();
+            let input =
+                SparseStream::from_pairs(64, &[(ep.rank() as u32, 1.0f32)]).unwrap();
+            let policy = DensityPolicy::default();
+            let role = fold_to_pow2(ep, op, &input, &policy).unwrap();
+            let result = match role {
+                FoldRole::Active(acc) => unfold_result(ep, op, Some(acc)).unwrap(),
+                FoldRole::Parked => unfold_result::<f32>(ep, op, None).unwrap(),
+            };
+            result
+        });
+        // Rank 0 folded rank 4's entry, rank 1 folded rank 5's.
+        assert_eq!(out[0].nnz(), 2);
+        assert_eq!(out[1].nnz(), 2);
+        assert_eq!(out[2].nnz(), 1);
+        // Parked ranks receive their partner's fold result.
+        assert_eq!(out[4], out[0]);
+        assert_eq!(out[5], out[1]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Sequential reference reductions used to validate every collective.
+
+use sparcml_stream::{Scalar, SparseStream};
+
+/// Element-wise sum of all inputs, computed sequentially in rank order.
+/// All inputs must share the same dimension.
+pub fn reference_sum<V: Scalar>(inputs: &[SparseStream<V>]) -> Vec<V> {
+    let dim = inputs.first().map_or(0, |s| s.dim());
+    let mut out = vec![V::zero(); dim];
+    for input in inputs {
+        assert_eq!(input.dim(), dim, "reference_sum requires equal dims");
+        for (idx, val) in input.iter_nonzero() {
+            let slot = &mut out[idx as usize];
+            *slot = slot.add(val);
+        }
+    }
+    out
+}
+
+/// The exact number of non-zero coordinates of the reduced result
+/// (`K = |∪ H_i|`, ignoring value cancellation like the paper does).
+pub fn union_support_size<V: Scalar>(inputs: &[SparseStream<V>]) -> usize {
+    let dim = inputs.first().map_or(0, |s| s.dim());
+    let mut seen = vec![false; dim];
+    let mut count = 0usize;
+    for input in inputs {
+        for (idx, _) in input.iter_nonzero() {
+            let slot = &mut seen[idx as usize];
+            if !*slot {
+                *slot = true;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_union_small_case() {
+        let a = SparseStream::from_pairs(8, &[(0, 1.0f32), (3, 2.0)]).unwrap();
+        let b = SparseStream::from_pairs(8, &[(3, -2.0f32), (7, 5.0)]).unwrap();
+        let sum = reference_sum(&[a.clone(), b.clone()]);
+        assert_eq!(sum, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0]);
+        // Union counts index 3 although values cancel.
+        assert_eq!(union_support_size(&[a, b]), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let inputs: Vec<SparseStream<f32>> = Vec::new();
+        assert!(reference_sum(&inputs).is_empty());
+        assert_eq!(union_support_size(&inputs), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Adaptive algorithm selection.
+//!
+//! "In practice, allreduce implementations switch between different
+//! implementations depending on the message size and the number of
+//! processes" (§5.3, citing Thakur & Gropp). SparCML adds the sparsity
+//! dimension: the right choice depends on `P`, `N`, `k`, and the expected
+//! reduced size `K`. The selector estimates `E[K]` under the uniform model
+//! (Appendix B), decides between the static (SSAR) and dynamic (DSAR)
+//! regimes against the δ threshold, and then picks the cheapest schedule
+//! by its analytic expected cost.
+
+use sparcml_net::CostModel;
+use sparcml_stream::{delta_raw, Scalar};
+
+use crate::allreduce::Algorithm;
+use crate::bounds::{self, Workload};
+use crate::theory::expected_union_size;
+
+/// Expected-cost estimate of one algorithm on one workload: the analytic
+/// communication envelope interpolated by the expected fill-in, plus the
+/// per-node local reduction work (γ) — which is what separates recursive
+/// doubling (serialized merges of growing streams) from the split family
+/// (reduction work distributed across ranks); the paper folds this
+/// trade-off into its practical δ discussion (§5.1).
+fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
+    // Interpolation weight: how far E[K] sits between full overlap (K = k)
+    // and no overlap (K = P·k).
+    let k = w.k as f64;
+    let (p, n) = (w.p as f64, w.n as f64);
+    let log2p = p.log2().ceil().max(0.0);
+    let span = (p - 1.0) * k;
+    let t = if span > 0.0 { ((ek - k) / span).clamp(0.0, 1.0) } else { 0.0 };
+    let lerp = |e: bounds::Envelope| e.lower + t * (e.upper - e.lower);
+    let lerp2 = |lo: f64, hi: f64| lo + t * (hi - lo);
+    match algo {
+        Algorithm::SsarRecDbl => {
+            // Merge work per node: log2(P) merges whose total size grows
+            // from log2(P)·k (full overlap) to ≈ 2·(P−1)·k (disjoint).
+            let compute = c.gamma * lerp2(2.0 * log2p * k, 2.0 * (p - 1.0) * k);
+            lerp(bounds::ssar_rec_dbl(w, c)) + compute
+        }
+        Algorithm::SsarSplitAllgather => {
+            // Reduction work is distributed: ≈ k incoming pairs per node
+            // plus assembling the E[K]-sized gathered result.
+            let compute = c.gamma * (2.0 * k + ek);
+            lerp(bounds::ssar_split_ag(w, c)) + compute
+        }
+        Algorithm::DsarSplitAllgather => {
+            // Scatter ≈ k pairs, then one dense assembly pass over N.
+            let compute = c.gamma * (k + n);
+            lerp(bounds::dsar_split_ag(w, c)) + compute
+        }
+        Algorithm::DenseRecDbl => {
+            bounds::dense_rec_dbl(w, c).lower + c.gamma * log2p * n
+        }
+        Algorithm::DenseRabenseifner => {
+            bounds::dense_rabenseifner(w, c).lower + c.gamma * n
+        }
+        Algorithm::DenseRing => bounds::dense_ring(w, c).lower + c.gamma * n,
+        Algorithm::SparseRing => {
+            // Ring on sparse partitions: 2(P−1) messages of ≈ E[K]/P pairs.
+            2.0 * (p - 1.0) * (c.alpha + ek / p * c.beta * w.pair_bytes())
+                + c.gamma * 2.0 * ek
+        }
+    }
+}
+
+/// Picks an allreduce algorithm for a `P`-rank reduction of `N`-dim
+/// vectors with `k` non-zeros per rank.
+///
+/// Decision structure (mirroring §5.3):
+/// 1. estimate `E[K]`;
+/// 2. if `E[K] ≥ δ`, the instance is *dynamic* (DSAR) — compare DSAR
+///    against the dense baselines only;
+/// 3. otherwise the instance is *static* — compare the sparse schedules.
+pub fn select_algorithm<V: Scalar>(p: usize, n: usize, k: usize, cost: &CostModel) -> Algorithm {
+    let w = Workload { p, n, k, value_bytes: V::BYTES };
+    let ek = expected_union_size(n, p, k.min(n));
+    let delta = delta_raw::<V>(n) as f64;
+    let candidates: &[Algorithm] = if ek >= delta {
+        &[
+            Algorithm::DsarSplitAllgather,
+            Algorithm::DenseRabenseifner,
+            Algorithm::DenseRing,
+            Algorithm::DenseRecDbl,
+        ]
+    } else {
+        &[
+            Algorithm::SsarRecDbl,
+            Algorithm::SsarSplitAllgather,
+            Algorithm::SparseRing,
+        ]
+    };
+    *candidates
+        .iter()
+        .min_by(|a, b| {
+            expected_cost(**a, &w, cost, ek)
+                .partial_cmp(&expected_cost(**b, &w, cost, ek))
+                .expect("costs are finite")
+        })
+        .expect("candidate list non-empty")
+}
+
+/// Estimated completion time of `algo` (exposed for reporting/EXPERIMENTS)
+/// under the uniform-support fill-in model of Appendix B.
+pub fn estimate_time<V: Scalar>(
+    algo: Algorithm,
+    p: usize,
+    n: usize,
+    k: usize,
+    cost: &CostModel,
+) -> f64 {
+    let w = Workload { p, n, k, value_bytes: V::BYTES };
+    let ek = expected_union_size(n, p, k.min(n));
+    expected_cost(algo, &w, cost, ek)
+}
+
+/// [`estimate_time`] with an explicit expected union size `ek` (callers
+/// that know their supports are correlated — real Top-k gradients overlap
+/// far more than the uniform model, cf. Fig. 1 — can pass a smaller `ek`).
+pub fn estimate_time_with_union<V: Scalar>(
+    algo: Algorithm,
+    p: usize,
+    n: usize,
+    k: usize,
+    ek: f64,
+    cost: &CostModel,
+) -> f64 {
+    let w = Workload { p, n, k, value_bytes: V::BYTES };
+    expected_cost(algo, &w, cost, ek.clamp(k as f64, (p * k).min(n) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_k_prefers_recursive_doubling() {
+        // Latency-dominated: few non-zeros, many ranks.
+        let algo = select_algorithm::<f32>(64, 1 << 24, 64, &CostModel::aries());
+        assert_eq!(algo, Algorithm::SsarRecDbl);
+    }
+
+    #[test]
+    fn moderate_sparsity_prefers_split_allgather() {
+        // Large k but E[K] still < δ: bandwidth matters, stay sparse.
+        let algo = select_algorithm::<f32>(8, 1 << 24, 1 << 17, &CostModel::aries());
+        assert_eq!(algo, Algorithm::SsarSplitAllgather);
+    }
+
+    #[test]
+    fn dense_fill_in_prefers_dsar_or_dense() {
+        // k = N/4 at P = 64: E[K] ≈ N — dynamic instance.
+        let algo = select_algorithm::<f32>(64, 1 << 16, 1 << 14, &CostModel::aries());
+        assert!(
+            matches!(
+                algo,
+                Algorithm::DsarSplitAllgather
+                    | Algorithm::DenseRabenseifner
+                    | Algorithm::DenseRing
+            ),
+            "got {algo:?}"
+        );
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        for algo in Algorithm::ALL {
+            let t = estimate_time::<f32>(algo, 16, 1 << 20, 1 << 10, &CostModel::gige());
+            assert!(t.is_finite() && t > 0.0, "{algo:?}: {t}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The α–β(–γ) network cost model (§5.2 "Analytical Model").
+//!
+//! "The cost of sending a message of size L is T(L) = α + βL, where both α,
+//! the latency of a message transmission, and β, the transfer time per
+//! word, are constant." We add γ, the per-element local reduction cost,
+//! because the paper notes that sparse summation compute matters for the
+//! practical choice of δ (§5.1) and assumes "equally distributed optimal
+//! computation among the nodes" for its lower bounds (§5.3.3).
+
+/// Cost model parameters, in seconds (per message / per byte / per element).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Latency per message transmission (the paper's α).
+    pub alpha: f64,
+    /// Transfer time per *byte* (the paper's β is per word; we account in
+    /// bytes so that sparse pairs and dense words are priced by their true
+    /// encoded sizes, subsuming the paper's βs/βd distinction).
+    pub beta: f64,
+    /// Local reduction time per element operation (γ).
+    pub gamma: f64,
+    /// Fraction of α charged to the sender for a *non-blocking* send; the
+    /// paper mitigates the (P−1)α split-phase latency "by using
+    /// non-blocking send and receive calls" (§5.3.2).
+    pub isend_alpha_fraction: f64,
+}
+
+impl CostModel {
+    /// Cray Aries / Dragonfly class network (Piz Daint): ~1.5 µs latency,
+    /// ~10 GB/s effective point-to-point bandwidth.
+    pub fn aries() -> Self {
+        CostModel { alpha: 1.5e-6, beta: 1.0e-10, gamma: 1.0e-9, isend_alpha_fraction: 0.1 }
+    }
+
+    /// InfiniBand FDR class network (Greina IB): ~2.5 µs, ~6 GB/s.
+    pub fn infiniband() -> Self {
+        CostModel { alpha: 2.5e-6, beta: 1.7e-10, gamma: 1.0e-9, isend_alpha_fraction: 0.1 }
+    }
+
+    /// Gigabit Ethernet (Greina GigE / "standard cloud deployment"):
+    /// ~50 µs latency, ~117 MB/s effective bandwidth.
+    pub fn gige() -> Self {
+        CostModel { alpha: 5.0e-5, beta: 8.5e-9, gamma: 1.0e-9, isend_alpha_fraction: 0.1 }
+    }
+
+    /// Free network: correctness tests that should not depend on timing.
+    pub fn zero() -> Self {
+        CostModel { alpha: 0.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 }
+    }
+
+    /// Time to move one message of `bytes` bytes: `α + β·bytes`.
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Local reduction time for `elements` element operations.
+    #[inline]
+    pub fn compute_time(&self, elements: usize) -> f64 {
+        self.gamma * elements as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::aries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let m = CostModel { alpha: 1.0, beta: 2.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        assert_eq!(m.transfer_time(0), 1.0);
+        assert_eq!(m.transfer_time(10), 21.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let a = CostModel::aries();
+        let ib = CostModel::infiniband();
+        let ge = CostModel::gige();
+        let l = 1 << 20;
+        assert!(a.transfer_time(l) < ib.transfer_time(l));
+        assert!(ib.transfer_time(l) < ge.transfer_time(l));
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let z = CostModel::zero();
+        assert_eq!(z.transfer_time(1 << 30), 0.0);
+        assert_eq!(z.compute_time(1 << 30), 0.0);
+    }
+}

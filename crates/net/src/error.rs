@@ -1,0 +1,49 @@
+//! Transport error types.
+
+use std::fmt;
+
+/// Errors surfaced by the message-passing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Destination or source rank is out of range.
+    InvalidRank {
+        /// Offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// The peer's endpoint was dropped (rank thread exited or panicked).
+    Disconnected {
+        /// Rank of the lost peer.
+        peer: usize,
+    },
+    /// A payload failed validation at a higher layer.
+    Protocol(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ranks() {
+        let e = CommError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = CommError::Disconnected { peer: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,36 @@
+//! # sparcml-net
+//!
+//! Virtual-time message-passing substrate for the SparCML reproduction.
+//!
+//! The paper runs on MPI over Cray Aries / InfiniBand / Gigabit Ethernet.
+//! This crate replaces that stack with an in-process cluster: one thread
+//! per rank, real point-to-point byte messages over channels, and a
+//! per-rank *virtual clock* advanced by the α–β(–γ) cost model of §5.2.
+//! Collectives built on top execute their genuine communication schedules
+//! while completion times remain deterministic and network-parameterized.
+//!
+//! ```
+//! use sparcml_net::{run_cluster, CostModel};
+//! use bytes::Bytes;
+//!
+//! let results = run_cluster(4, CostModel::aries(), |ep| {
+//!     let peer = ep.rank() ^ 1;
+//!     let got = ep.exchange(peer, 0, Bytes::from(vec![ep.rank() as u8])).unwrap();
+//!     got[0] as usize
+//! });
+//! assert_eq!(results, vec![1, 0, 3, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod cost;
+mod endpoint;
+mod error;
+mod stats;
+
+pub use cluster::{max_virtual_time, run_cluster};
+pub use cost::CostModel;
+pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
+pub use error::CommError;
+pub use stats::CommStats;

@@ -1,0 +1,44 @@
+//! Per-endpoint communication statistics.
+
+/// Traffic and work counters accumulated by an endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages injected (send + isend).
+    pub msgs_sent: u64,
+    /// Payload bytes injected.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Element operations charged via `compute`.
+    pub compute_elements: u64,
+}
+
+impl CommStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+        self.compute_elements += other.compute_elements;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CommStats { msgs_sent: 1, bytes_sent: 10, msgs_recv: 2, bytes_recv: 20, compute_elements: 5 };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.bytes_sent, 20);
+        assert_eq!(a.msgs_recv, 4);
+        assert_eq!(a.bytes_recv, 40);
+        assert_eq!(a.compute_elements, 10);
+    }
+}

@@ -1,0 +1,199 @@
+//! Block-Momentum SGD (BMUF) — Chen & Huo [11], the full-precision
+//! baseline of the ASR experiment (Fig. 6): "a carefully-tuned instance of
+//! block-momentum SGD (BMUF) [which] communicates updates less frequently
+//! between nodes with respect to standard minibatch SGD".
+//!
+//! Each worker runs `block_steps` of local SGD; the block's aggregate
+//! model change is then filtered through a block-level momentum:
+//!
+//! ```text
+//! Δ_t = mean_i(x_i) − x_global           (block model update)
+//! v_t = η·v_{t−1} + ζ·Δ_t                (block momentum η, block lr ζ)
+//! x_global ← x_global + v_t
+//! restart point = x_global (+ η·v_t for Nesterov-style CBM)
+//! ```
+
+use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
+use sparcml_net::Endpoint;
+use sparcml_stream::SparseStream;
+
+use crate::nn::FlatModel;
+
+/// BMUF hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BmufConfig {
+    /// Local SGD steps between synchronizations.
+    pub block_steps: usize,
+    /// Block momentum η (paper-typical: 1 − 1/P).
+    pub block_momentum: f32,
+    /// Block learning rate ζ.
+    pub block_lr: f32,
+    /// Nesterov-style classic block momentum (CBM) restart.
+    pub nesterov: bool,
+}
+
+impl BmufConfig {
+    /// The standard setting for `p` workers: η = 1 − 1/P, ζ = 1.
+    pub fn standard(p: usize) -> Self {
+        BmufConfig {
+            block_steps: 8,
+            block_momentum: 1.0 - 1.0 / p as f32,
+            block_lr: 1.0,
+            nesterov: true,
+        }
+    }
+}
+
+/// Per-worker BMUF state driving periodic synchronization.
+pub struct BmufState {
+    cfg: BmufConfig,
+    /// Global model at the last synchronization.
+    x_global: Vec<f32>,
+    /// Block momentum buffer.
+    v: Vec<f32>,
+    steps_since_sync: usize,
+}
+
+impl BmufState {
+    /// Initializes from the (replicated) initial model.
+    pub fn new<M: FlatModel>(model: &M, cfg: BmufConfig) -> Self {
+        let x_global = model.params();
+        let v = vec![0.0f32; x_global.len()];
+        BmufState { cfg, x_global, v, steps_since_sync: 0 }
+    }
+
+    /// Called after every local SGD step; when a block completes, performs
+    /// the model-average allreduce and the block-momentum filter, and
+    /// resets `model` to the new restart point. Returns `true` if a
+    /// synchronization happened.
+    pub fn post_step<M: FlatModel>(
+        &mut self,
+        ep: &mut Endpoint,
+        model: &mut M,
+    ) -> Result<bool, sparcml_core::CollError> {
+        self.steps_since_sync += 1;
+        if self.steps_since_sync < self.cfg.block_steps {
+            return Ok(false);
+        }
+        self.steps_since_sync = 0;
+        let p = ep.size() as f32;
+        // Average the workers' models (dense allreduce of parameters).
+        let local = SparseStream::from_dense(model.params());
+        let summed = allreduce(ep, &local, Algorithm::DenseRabenseifner, &AllreduceConfig::default())?;
+        let avg = summed.into_dense_vec();
+        // Block update + momentum filter (identical on every rank).
+        let mut restart = Vec::with_capacity(avg.len());
+        for j in 0..avg.len() {
+            let delta = avg[j] / p - self.x_global[j];
+            self.v[j] = self.cfg.block_momentum * self.v[j] + self.cfg.block_lr * delta;
+            self.x_global[j] += self.v[j];
+            let r = if self.cfg.nesterov {
+                self.x_global[j] + self.cfg.block_momentum * self.v[j]
+            } else {
+                self.x_global[j]
+            };
+            restart.push(r);
+        }
+        ep.compute(3 * avg.len());
+        model.set_params(&restart);
+        Ok(true)
+    }
+
+    /// The current global (synchronized) model.
+    pub fn global_model(&self) -> &[f32] {
+        &self.x_global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate_dense_images;
+    use crate::nn::Mlp;
+    use sparcml_net::{run_cluster, CostModel};
+
+    /// Local-SGD + BMUF training of a small MLP; returns final mean loss.
+    fn run_bmuf(p: usize, cfg: BmufConfig, steps: usize) -> (f64, Vec<f32>) {
+        let ds = generate_dense_images(16, 4, 128, 5);
+        let results = run_cluster(p, CostModel::zero(), |ep| {
+            let mut model = Mlp::new(&[16, 16, 4], 9);
+            let mut bmuf = BmufState::new(&model, cfg);
+            let range = sparcml_stream::partition_range(ds.samples.len(), p, ep.rank());
+            let (lo, hi) = (range.lo as usize, range.hi as usize);
+            let mut loss = 0.0;
+            for s in 0..steps {
+                let b0 = lo + (s * 8) % (hi - lo - 8);
+                let xs: Vec<&[f32]> =
+                    (b0..b0 + 8).map(|i| ds.samples[i].as_slice()).collect();
+                let ys: Vec<u32> = (b0..b0 + 8).map(|i| ds.labels[i]).collect();
+                let bg = model.batch_gradient(&xs, &ys);
+                let mut params = model.params();
+                for (pi, gi) in params.iter_mut().zip(&bg.grad) {
+                    *pi -= 0.05 * gi / 8.0;
+                }
+                model.set_params(&params);
+                bmuf.post_step(ep, &mut model).unwrap();
+                loss = bg.loss / 8.0;
+            }
+            (loss, model.params())
+        });
+        let mean_loss = results.iter().map(|(l, _)| l).sum::<f64>() / p as f64;
+        (mean_loss, results.into_iter().next().unwrap().1)
+    }
+
+    #[test]
+    fn bmuf_reduces_loss() {
+        let cfg = BmufConfig::standard(4);
+        let (initial, _) = run_bmuf(4, cfg, 2);
+        let (fin, _) = run_bmuf(4, cfg, 60);
+        assert!(fin < initial, "loss should fall: {initial} -> {fin}");
+    }
+
+    #[test]
+    fn zero_momentum_block1_equals_model_averaging() {
+        // η = 0, ζ = 1, block = 1: x_global becomes exactly the average of
+        // worker models after each step.
+        let cfg = BmufConfig {
+            block_steps: 1,
+            block_momentum: 0.0,
+            block_lr: 1.0,
+            nesterov: false,
+        };
+        let results = run_cluster(2, CostModel::zero(), |ep| {
+            let mut model = Mlp::new(&[4, 3], 1);
+            // Make the replicas diverge deterministically by rank.
+            let mut params = model.params();
+            for v in params.iter_mut() {
+                *v += (ep.rank() as f32 + 1.0) * 0.5;
+            }
+            model.set_params(&params);
+            let pre = model.params();
+            let mut bmuf = BmufState::new(&Mlp::new(&[4, 3], 1), cfg);
+            bmuf.post_step(ep, &mut model).unwrap();
+            (pre, model.params())
+        });
+        let (pre0, post0) = &results[0];
+        let (pre1, post1) = &results[1];
+        assert_eq!(post0, post1, "ranks must agree after sync");
+        for ((a, b), got) in pre0.iter().zip(pre1.iter()).zip(post0.iter()) {
+            assert!((got - (a + b) / 2.0).abs() < 1e-6, "{got} vs avg of {a},{b}");
+        }
+    }
+
+    #[test]
+    fn workers_agree_after_sync_with_momentum() {
+        let cfg = BmufConfig::standard(2);
+        let results = run_cluster(2, CostModel::zero(), |ep| {
+            let mut model = Mlp::new(&[6, 4], 3);
+            let mut params = model.params();
+            params[0] += ep.rank() as f32;
+            model.set_params(&params);
+            let mut bmuf = BmufState::new(&Mlp::new(&[6, 4], 3), cfg);
+            for _ in 0..cfg.block_steps {
+                bmuf.post_step(ep, &mut model).unwrap();
+            }
+            model.params()
+        });
+        assert_eq!(results[0], results[1]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Loss functions for linear models: logistic regression and linear SVM
+//! (the two MPI-OPT workloads of Table 2), plus shared metrics.
+
+use crate::data::SparseSample;
+
+/// Loss selection for linear binary classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearLoss {
+    /// Logistic loss `log(1 + exp(−y·s))` (LR rows of Table 2).
+    Logistic,
+    /// Hinge loss `max(0, 1 − y·s)` (SVM rows of Table 2).
+    Hinge,
+}
+
+/// Maps a 0/1 label to ±1.
+#[inline]
+pub fn signed_label(label: u32) -> f32 {
+    if label == 1 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Sparse dot product `w · x`.
+pub fn dot_sparse(w: &[f32], x: &[(u32, f32)]) -> f32 {
+    x.iter().map(|&(i, v)| w[i as usize] * v).sum()
+}
+
+impl LinearLoss {
+    /// Loss value for margin score `s` and ±1 label `y`.
+    pub fn loss(&self, s: f32, y: f32) -> f32 {
+        match self {
+            LinearLoss::Logistic => {
+                // Numerically stable log(1 + exp(-ys)).
+                let m = -y * s;
+                if m > 30.0 {
+                    m
+                } else {
+                    m.exp().ln_1p()
+                }
+            }
+            LinearLoss::Hinge => (1.0 - y * s).max(0.0),
+        }
+    }
+
+    /// dLoss/ds for margin score `s` and ±1 label `y`.
+    pub fn dloss(&self, s: f32, y: f32) -> f32 {
+        match self {
+            LinearLoss::Logistic => {
+                let m = -y * s;
+                // -y * sigmoid(-ys)
+                let sig = if m > 30.0 { 1.0 } else { m.exp() / (1.0 + m.exp()) };
+                -y * sig
+            }
+            LinearLoss::Hinge => {
+                if y * s < 1.0 {
+                    -y
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Average loss of `w` over `samples`.
+pub fn mean_loss(w: &[f32], samples: &[SparseSample], loss: LinearLoss) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = samples
+        .iter()
+        .map(|s| loss.loss(dot_sparse(w, &s.features), signed_label(s.label)) as f64)
+        .sum();
+    total / samples.len() as f64
+}
+
+/// Classification accuracy of `w` over `samples` (threshold at 0).
+pub fn accuracy(w: &[f32], samples: &[SparseSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| (dot_sparse(w, &s.features) >= 0.0) == (s.label == 1))
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_loss_and_gradient_are_consistent() {
+        // Finite-difference check of dloss.
+        let loss = LinearLoss::Logistic;
+        for &(s, y) in &[(0.5f32, 1.0f32), (-1.2, 1.0), (2.0, -1.0), (0.0, -1.0)] {
+            let eps = 1e-3;
+            let num = (loss.loss(s + eps, y) - loss.loss(s - eps, y)) / (2.0 * eps);
+            let ana = loss.dloss(s, y);
+            assert!((num - ana).abs() < 1e-3, "s={s} y={y}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn hinge_gradient_cases() {
+        let loss = LinearLoss::Hinge;
+        assert_eq!(loss.dloss(0.5, 1.0), -1.0); // inside margin
+        assert_eq!(loss.dloss(2.0, 1.0), 0.0); // outside margin
+        assert_eq!(loss.dloss(-2.0, -1.0), 0.0);
+        assert_eq!(loss.loss(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn logistic_is_stable_at_extremes() {
+        let loss = LinearLoss::Logistic;
+        assert!(loss.loss(1000.0, -1.0).is_finite());
+        assert!(loss.dloss(-1000.0, 1.0).is_finite());
+        assert!(loss.loss(1000.0, 1.0) >= 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_side() {
+        let w = vec![1.0f32, -1.0];
+        let samples = vec![
+            SparseSample { features: vec![(0, 1.0)], label: 1 }, // s=1 → correct
+            SparseSample { features: vec![(1, 1.0)], label: 1 }, // s=-1 → wrong
+            SparseSample { features: vec![(1, 2.0)], label: 0 }, // s=-2 → correct
+        ];
+        assert!((accuracy(&w, &samples) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

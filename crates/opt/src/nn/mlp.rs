@@ -1,0 +1,383 @@
+//! Multi-layer perceptron with hand-written backpropagation.
+//!
+//! Stands in for the paper's convolutional models (ResNet-110, wide
+//! ResNets): the Fig. 4a/5 experiments compare *convergence of dense SGD
+//! vs Top-k (+QSGD) SGD*, a property of the compression/error-feedback
+//! dynamics rather than of convolutions, so a dense network trained on
+//! class-conditional data exercises the same code paths end-to-end (see
+//! DESIGN.md substitution table).
+
+use sparcml_stream::XorShift64;
+
+/// One fully connected layer: `y = W·x + b`, `W` row-major `out × in`.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    /// Weights, row-major `out × in`.
+    pub w: Vec<f32>,
+    /// Biases, length `out`.
+    pub b: Vec<f32>,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl DenseLayer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut XorShift64) -> Self {
+        // He initialization for ReLU networks.
+        let scale = (2.0 / in_dim as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| (rng.next_gaussian() * scale) as f32)
+            .collect();
+        DenseLayer { w, b: vec![0.0; out_dim], in_dim, out_dim }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// An MLP classifier: ReLU hidden layers, softmax cross-entropy output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Layers in forward order.
+    pub layers: Vec<DenseLayer>,
+}
+
+/// Result of a batch gradient evaluation.
+#[derive(Debug, Clone)]
+pub struct BatchGrad {
+    /// Summed (not averaged) cross-entropy loss.
+    pub loss: f64,
+    /// Top-1 correct predictions in the batch.
+    pub correct: usize,
+    /// Top-5 correct predictions in the batch.
+    pub correct_top5: usize,
+    /// Flattened gradient (summed over the batch), layout matching
+    /// [`Mlp::params`].
+    pub grad: Vec<f32>,
+}
+
+impl Mlp {
+    /// Builds an MLP with layer widths `dims` (input, hidden…, classes).
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        let mut rng = XorShift64::new(seed);
+        let layers = dims.windows(2).map(|w| DenseLayer::new(w[0], w[1], &mut rng)).collect();
+        Mlp { layers }
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Flattens all parameters (per layer: weights then biases).
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    pub fn set_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count());
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wlen = l.w.len();
+            l.w.copy_from_slice(&flat[off..off + wlen]);
+            off += wlen;
+            let blen = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Applies `param[i] += scale · delta[i]` for the non-zeros of a flat
+    /// sparse update.
+    pub fn apply_sparse_update(&mut self, delta: &sparcml_stream::SparseStream<f32>, scale: f32) {
+        assert_eq!(delta.dim(), self.param_count());
+        // Layer offset walk.
+        let mut offsets = Vec::with_capacity(self.layers.len() + 1);
+        let mut acc = 0usize;
+        for l in &self.layers {
+            offsets.push(acc);
+            acc += l.param_count();
+        }
+        offsets.push(acc);
+        for (i, v) in delta.iter_nonzero() {
+            let i = i as usize;
+            // Find the owning layer (few layers: linear scan is fine).
+            let li = offsets.partition_point(|&o| o <= i) - 1;
+            let local = i - offsets[li];
+            let l = &mut self.layers[li];
+            if local < l.w.len() {
+                l.w[local] += scale * v;
+            } else {
+                l.b[local - l.w.len()] += scale * v;
+            }
+        }
+    }
+
+    /// Forward pass returning logits.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li + 1 < self.layers.len() {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Computes loss, accuracy and the summed gradient over a batch.
+    pub fn batch_gradient(&self, xs: &[&[f32]], labels: &[u32]) -> BatchGrad {
+        assert_eq!(xs.len(), labels.len());
+        let nl = self.layers.len();
+        let mut grad = vec![0.0f32; self.param_count()];
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut correct_top5 = 0usize;
+
+        // Per-layer gradient offsets into the flat buffer.
+        let mut offsets = Vec::with_capacity(nl);
+        let mut acc = 0usize;
+        for l in &self.layers {
+            offsets.push(acc);
+            acc += l.param_count();
+        }
+
+        let mut activations: Vec<Vec<f32>> = Vec::with_capacity(nl + 1);
+        for (x, &label) in xs.iter().zip(labels) {
+            // Forward, caching post-activation values per layer.
+            activations.clear();
+            activations.push(x.to_vec());
+            for (li, layer) in self.layers.iter().enumerate() {
+                let mut out = Vec::new();
+                layer.forward(activations.last().expect("input cached"), &mut out);
+                if li + 1 < nl {
+                    for v in out.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                activations.push(out);
+            }
+            let logits = activations.last().expect("logits");
+            let (l, probs) = softmax_ce(logits, label);
+            loss += l;
+            let pred = argmax(logits);
+            if pred == label as usize {
+                correct += 1;
+            }
+            if in_top_k(logits, label, 5) {
+                correct_top5 += 1;
+            }
+
+            // Backward: dLoss/dlogits = probs − onehot.
+            let mut delta: Vec<f32> = probs;
+            delta[label as usize] -= 1.0;
+            for li in (0..nl).rev() {
+                let layer = &self.layers[li];
+                let input = &activations[li];
+                let goff = offsets[li];
+                // dW, db.
+                for o in 0..layer.out_dim {
+                    let d = delta[o];
+                    if d != 0.0 {
+                        let wrow = goff + o * layer.in_dim;
+                        for (gi, xi) in grad[wrow..wrow + layer.in_dim].iter_mut().zip(input) {
+                            *gi += d * xi;
+                        }
+                    }
+                    grad[goff + layer.w.len() + o] += d;
+                }
+                if li > 0 {
+                    // dInput, masked by ReLU activity of the previous layer.
+                    let mut dx = vec![0.0f32; layer.in_dim];
+                    for o in 0..layer.out_dim {
+                        let d = delta[o];
+                        if d != 0.0 {
+                            let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                            for (dxi, wi) in dx.iter_mut().zip(row) {
+                                *dxi += d * wi;
+                            }
+                        }
+                    }
+                    for (dxi, &a) in dx.iter_mut().zip(input.iter()) {
+                        if a <= 0.0 {
+                            *dxi = 0.0;
+                        }
+                    }
+                    delta = dx;
+                }
+            }
+        }
+        BatchGrad { loss, correct, correct_top5, grad }
+    }
+}
+
+/// Stable softmax cross-entropy: returns `(loss, probabilities)`.
+pub fn softmax_ce(logits: &[f32], label: u32) -> (f64, Vec<f32>) {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+    let p = probs[label as usize].max(1e-12);
+    (-(p as f64).ln(), probs)
+}
+
+/// Index of the largest logit.
+pub fn argmax(v: &[f32]) -> usize {
+    v.iter().enumerate().fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &x)| {
+        if x > bv {
+            (i, x)
+        } else {
+            (bi, bv)
+        }
+    }).0
+}
+
+/// Whether `label` is among the `k` largest logits.
+pub fn in_top_k(logits: &[f32], label: u32, k: usize) -> bool {
+    let target = logits[label as usize];
+    let larger = logits.iter().filter(|&&v| v > target).count();
+    larger < k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_round_trip() {
+        let mut m = Mlp::new(&[4, 8, 3], 1);
+        let p = m.params();
+        assert_eq!(p.len(), 4 * 8 + 8 + 8 * 3 + 3);
+        let mut p2 = p.clone();
+        p2[0] = 42.0;
+        m.set_params(&p2);
+        assert_eq!(m.layers[0].w[0], 42.0);
+        assert_eq!(m.params(), p2);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let m = Mlp::new(&[5, 7, 4], 3);
+        let mut rng = XorShift64::new(9);
+        let xs: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..5).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        let labels = vec![0u32, 2, 3];
+        let bg = m.batch_gradient(&refs, &labels);
+
+        let loss_at = |params: &[f32]| -> f64 {
+            let mut mm = m.clone();
+            mm.set_params(params);
+            let mut total = 0.0;
+            for (x, &l) in refs.iter().zip(&labels) {
+                let logits = mm.forward(x);
+                total += softmax_ce(&logits, l).0;
+            }
+            total
+        };
+        let base = m.params();
+        let mut rng = XorShift64::new(77);
+        let mut checked = 0;
+        for _ in 0..25 {
+            let i = rng.next_below(base.len() as u64) as usize;
+            let eps = 1e-2f32;
+            let mut pp = base.clone();
+            pp[i] += eps;
+            let mut pm = base.clone();
+            pm[i] -= eps;
+            let num = (loss_at(&pp) - loss_at(&pm)) / (2.0 * eps as f64);
+            let ana = bg.grad[i] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "param {i}: fd {num} vs {ana}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 25);
+    }
+
+    #[test]
+    fn apply_sparse_update_hits_right_slots() {
+        let mut m = Mlp::new(&[2, 3, 2], 5);
+        let n = m.param_count(); // 2*3+3 + 3*2+2 = 17
+        let before = m.params();
+        // Update first weight of layer 0, bias 1 of layer 0, last bias.
+        let delta = sparcml_stream::SparseStream::from_pairs(
+            n,
+            &[(0, 1.0f32), (7, 2.0), (n as u32 - 1, 3.0)],
+        )
+        .unwrap();
+        m.apply_sparse_update(&delta, 0.5);
+        let after = m.params();
+        assert_eq!(after[0], before[0] + 0.5);
+        assert_eq!(after[7], before[7] + 1.0);
+        assert_eq!(after[n - 1], before[n - 1] + 1.5);
+        // All other entries untouched.
+        let changed =
+            before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 3);
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let mut m = Mlp::new(&[6, 16, 3], 11);
+        let mut rng = XorShift64::new(2);
+        let xs: Vec<Vec<f32>> = (0..30)
+            .map(|i| {
+                let c = i % 3;
+                (0..6)
+                    .map(|j| if j == c * 2 { 2.0 } else { rng.next_gaussian() as f32 * 0.2 })
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<u32> = (0..30).map(|i| (i % 3) as u32).collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        let initial = m.batch_gradient(&refs, &labels).loss;
+        for _ in 0..150 {
+            let bg = m.batch_gradient(&refs, &labels);
+            let mut p = m.params();
+            for (pi, gi) in p.iter_mut().zip(&bg.grad) {
+                *pi -= 0.05 * gi / refs.len() as f32;
+            }
+            m.set_params(&p);
+        }
+        let final_loss = m.batch_gradient(&refs, &labels).loss;
+        assert!(final_loss < initial * 0.5, "{initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn top_k_membership() {
+        let logits = vec![0.1f32, 5.0, 3.0, 4.0, 2.0, 1.0];
+        assert!(in_top_k(&logits, 1, 1));
+        assert!(!in_top_k(&logits, 0, 5));
+        assert!(in_top_k(&logits, 5, 5));
+        assert_eq!(argmax(&logits), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal neural-network library (the CNTK stand-in): MLP and LSTM with
+//! hand-written, gradient-check-tested backpropagation.
+
+pub mod lstm;
+pub mod mlp;
+
+pub use lstm::{LstmBatchGrad, LstmClassifier};
+pub use mlp::{argmax, in_top_k, softmax_ce, BatchGrad, DenseLayer, Mlp};
+
+use sparcml_stream::SparseStream;
+
+/// A model whose parameters can be flattened into one vector — the
+/// interface the distributed trainers and BMUF operate on ("tensor
+/// fusion": the paper merges gradients of adjoining layers, §9).
+pub trait FlatModel: Clone + Send {
+    /// Total number of parameters.
+    fn param_count(&self) -> usize;
+    /// Flat parameter vector.
+    fn params(&self) -> Vec<f32>;
+    /// Overwrites parameters from a flat vector.
+    fn set_params(&mut self, flat: &[f32]);
+    /// Applies `params += scale · delta` for the non-zeros of `delta`.
+    fn apply_sparse_update(&mut self, delta: &SparseStream<f32>, scale: f32);
+}
+
+impl FlatModel for Mlp {
+    fn param_count(&self) -> usize {
+        Mlp::param_count(self)
+    }
+    fn params(&self) -> Vec<f32> {
+        Mlp::params(self)
+    }
+    fn set_params(&mut self, flat: &[f32]) {
+        Mlp::set_params(self, flat)
+    }
+    fn apply_sparse_update(&mut self, delta: &SparseStream<f32>, scale: f32) {
+        Mlp::apply_sparse_update(self, delta, scale)
+    }
+}
+
+impl FlatModel for LstmClassifier {
+    fn param_count(&self) -> usize {
+        LstmClassifier::param_count(self)
+    }
+    fn params(&self) -> Vec<f32> {
+        LstmClassifier::params(self)
+    }
+    fn set_params(&mut self, flat: &[f32]) {
+        LstmClassifier::set_params(self, flat)
+    }
+    fn apply_sparse_update(&mut self, delta: &SparseStream<f32>, scale: f32) {
+        LstmClassifier::apply_sparse_update(self, delta, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_model_contract_mlp() {
+        let mut m = Mlp::new(&[3, 4, 2], 1);
+        let p = FlatModel::params(&m);
+        assert_eq!(p.len(), FlatModel::param_count(&m));
+        FlatModel::set_params(&mut m, &p);
+        assert_eq!(FlatModel::params(&m), p);
+    }
+
+    #[test]
+    fn flat_model_contract_lstm() {
+        let mut m = LstmClassifier::new(10, 3, 4, 2, 1);
+        let p = FlatModel::params(&m);
+        assert_eq!(p.len(), FlatModel::param_count(&m));
+        FlatModel::set_params(&mut m, &p);
+        assert_eq!(FlatModel::params(&m), p);
+    }
+}

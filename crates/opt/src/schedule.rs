@@ -1,0 +1,81 @@
+//! Learning-rate schedules ("parametrized learning rate adaptation
+//! strategies", §7 MPI-OPT).
+
+/// A learning-rate schedule evaluated per optimization step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Const(f32),
+    /// `base / (1 + decay·step)`.
+    InvDecay {
+        /// Initial rate.
+        base: f32,
+        /// Decay factor per step.
+        decay: f32,
+    },
+    /// `base / sqrt(1 + step)` — the diminishing schedule required by
+    /// Theorem 4.1.
+    InvSqrt {
+        /// Initial rate.
+        base: f32,
+    },
+    /// Step decay: `base · factor^(step / every)` (the ImageNet-style
+    /// "divide by 10 at 30 and 60 epochs" schedule).
+    StepDecay {
+        /// Initial rate.
+        base: f32,
+        /// Multiplicative factor applied at each boundary.
+        factor: f32,
+        /// Steps between boundaries.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Const(base) => base,
+            LrSchedule::InvDecay { base, decay } => base / (1.0 + decay * step as f32),
+            LrSchedule::InvSqrt { base } => base / ((1 + step) as f32).sqrt(),
+            LrSchedule::StepDecay { base, factor, every } => {
+                base * factor.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_is_flat() {
+        let s = LrSchedule::Const(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn inv_sqrt_diminishes() {
+        let s = LrSchedule::InvSqrt { base: 1.0 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(3) - 0.5).abs() < 1e-6);
+        assert!(s.at(100) < s.at(10));
+    }
+
+    #[test]
+    fn step_decay_boundaries() {
+        let s = LrSchedule::StepDecay { base: 1.0, factor: 0.1, every: 30 };
+        assert_eq!(s.at(29), 1.0);
+        assert!((s.at(30) - 0.1).abs() < 1e-7);
+        assert!((s.at(60) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inv_decay_diminishes() {
+        let s = LrSchedule::InvDecay { base: 1.0, decay: 1.0 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(1) - 0.5).abs() < 1e-7);
+    }
+}

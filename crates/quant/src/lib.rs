@@ -1,0 +1,28 @@
+//! # sparcml-quant
+//!
+//! QSGD stochastic quantization for SparCML (§6 of the paper).
+//!
+//! SparCML applies low-precision (2/4/8-bit) stochastic quantization to the
+//! dense stage of its dynamic sparse allreduce, shrinking the bandwidth
+//! cost of the final allgather by a constant factor while preserving SGD
+//! convergence (Theorem 4.1).
+//!
+//! ```
+//! use sparcml_quant::{quantize, dequantize, QsgdConfig};
+//! use sparcml_stream::XorShift64;
+//!
+//! let values: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let q = quantize(&values, &QsgdConfig::paper_default(), &mut XorShift64::new(7));
+//! assert!(q.wire_bytes() < values.len() * 4 / 2);  // >2x smaller than f32
+//! let approx = dequantize(&q);
+//! assert_eq!(approx.len(), values.len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod pack;
+mod qsgd;
+mod wire;
+
+pub use pack::{pack_codes, packed_len, unpack_codes};
+pub use qsgd::{dequantize, quantize, quantized_wire_bytes, NormKind, QsgdConfig, QuantizedVec};

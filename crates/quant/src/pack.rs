@@ -1,0 +1,82 @@
+//! Fixed-width bit packing for quantized codes.
+//!
+//! QSGD codes are `bits`-wide unsigned integers (sign bit + magnitude
+//! level, §6: "each bucket corresponds to B low-precision data items, e.g.,
+//! 4-bit integers, packed to reduce space").
+
+/// Packs `codes` (each `< 2^bits`) into a little-endian byte vector.
+/// `bits` must be 2, 4 or 8 so codes never straddle byte boundaries.
+pub fn pack_codes(codes: &[u8], bits: u8) -> Vec<u8> {
+    assert!(matches!(bits, 2 | 4 | 8), "supported widths: 2/4/8 bits");
+    let per_byte = 8 / bits as usize;
+    let mut out = vec![0u8; codes.len().div_ceil(per_byte)];
+    for (i, &code) in codes.iter().enumerate() {
+        debug_assert!(u32::from(code) < (1u32 << bits), "code {code} exceeds {bits} bits");
+        let byte = i / per_byte;
+        let shift = (i % per_byte) as u8 * bits;
+        out[byte] |= code << shift;
+    }
+    out
+}
+
+/// Unpacks `count` codes of width `bits` from `bytes`.
+pub fn unpack_codes(bytes: &[u8], bits: u8, count: usize) -> Vec<u8> {
+    assert!(matches!(bits, 2 | 4 | 8));
+    let per_byte = 8 / bits as usize;
+    assert!(
+        bytes.len() >= count.div_ceil(per_byte),
+        "packed buffer too short: {} bytes for {count} codes of {bits} bits",
+        bytes.len()
+    );
+    let mask = if bits == 8 { 0xFF } else { (1u8 << bits) - 1 };
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let byte = bytes[i / per_byte];
+        let shift = (i % per_byte) as u8 * bits;
+        out.push((byte >> shift) & mask);
+    }
+    out
+}
+
+/// Number of bytes needed to pack `count` codes of width `bits`.
+pub fn packed_len(count: usize, bits: u8) -> usize {
+    let per_byte = 8 / bits as usize;
+    count.div_ceil(per_byte)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        for bits in [2u8, 4, 8] {
+            let max = ((1u16 << bits) - 1) as u8;
+            let codes: Vec<u8> = (0..37).map(|i| (i * 7 % (max as usize + 1)) as u8).collect();
+            let packed = pack_codes(&codes, bits);
+            assert_eq!(packed.len(), packed_len(codes.len(), bits));
+            let back = unpack_codes(&packed, bits, codes.len());
+            assert_eq!(back, codes);
+        }
+    }
+
+    #[test]
+    fn packing_is_compact() {
+        let codes = vec![1u8; 100];
+        assert_eq!(pack_codes(&codes, 2).len(), 25);
+        assert_eq!(pack_codes(&codes, 4).len(), 50);
+        assert_eq!(pack_codes(&codes, 8).len(), 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pack_codes(&[], 4).is_empty());
+        assert!(unpack_codes(&[], 4, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "supported widths")]
+    fn odd_width_rejected() {
+        pack_codes(&[0], 3);
+    }
+}

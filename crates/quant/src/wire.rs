@@ -1,0 +1,107 @@
+//! Wire encoding for quantized vectors (the payload of the quantized dense
+//! allgather stage in `DSAR_Split_allgather`, §6).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [0]      magic 0xQ5 (0xA5)
+//! [1]      bits
+//! [2..6]   bucket_size (u32)
+//! [6..14]  dim (u64)
+//! scales   nbuckets × f32   (nbuckets = ceil(dim / bucket_size))
+//! packed   ceil(dim·bits/8) bytes
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sparcml_stream::StreamError;
+
+use crate::pack::packed_len;
+use crate::qsgd::QuantizedVec;
+
+const MAGIC: u8 = 0xA5;
+
+impl QuantizedVec {
+    /// Serializes into a contiguous buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(14 + self.scales.len() * 4 + self.packed.len());
+        buf.put_u8(MAGIC);
+        buf.put_u8(self.bits);
+        buf.put_u32_le(self.bucket_size as u32);
+        buf.put_u64_le(self.dim as u64);
+        for s in &self.scales {
+            buf.put_f32_le(*s);
+        }
+        buf.put_slice(&self.packed);
+        buf.freeze()
+    }
+
+    /// Decodes a buffer produced by [`QuantizedVec::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, StreamError> {
+        let mut buf = bytes;
+        if buf.remaining() < 14 {
+            return Err(StreamError::Corrupt("quantized header truncated"));
+        }
+        if buf.get_u8() != MAGIC {
+            return Err(StreamError::Corrupt("bad quantized magic"));
+        }
+        let bits = buf.get_u8();
+        if !matches!(bits, 2 | 4 | 8) {
+            return Err(StreamError::Corrupt("unsupported code width"));
+        }
+        let bucket_size = buf.get_u32_le() as usize;
+        if bucket_size == 0 {
+            return Err(StreamError::Corrupt("zero bucket size"));
+        }
+        let dim = buf.get_u64_le() as usize;
+        let nbuckets = dim.div_ceil(bucket_size);
+        let body = packed_len(dim, bits);
+        if buf.remaining() != nbuckets * 4 + body {
+            return Err(StreamError::Corrupt("quantized payload length mismatch"));
+        }
+        let mut scales = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            scales.push(buf.get_f32_le());
+        }
+        let packed = buf[..body].to_vec();
+        Ok(QuantizedVec { dim, bits, bucket_size, scales, packed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qsgd::{quantize, QsgdConfig};
+    use sparcml_stream::XorShift64;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cfg = QsgdConfig { bits: 4, bucket_size: 32, norm: crate::qsgd::NormKind::MaxAbs };
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).sin()).collect();
+        let q = quantize(&values, &cfg, &mut XorShift64::new(5));
+        let bytes = q.encode();
+        let back = QuantizedVec::decode(&bytes).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let cfg = QsgdConfig::paper_default();
+        let q = quantize(&vec![1.0f32; 64], &cfg, &mut XorShift64::new(5));
+        let bytes = q.encode();
+        for cut in [0usize, 5, 13, bytes.len() - 1] {
+            assert!(QuantizedVec::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_width() {
+        let cfg = QsgdConfig::paper_default();
+        let q = quantize(&vec![1.0f32; 8], &cfg, &mut XorShift64::new(5));
+        let mut bytes = q.encode().to_vec();
+        bytes[0] = 0;
+        assert!(QuantizedVec::decode(&bytes).is_err());
+        let mut bytes = q.encode().to_vec();
+        bytes[1] = 3;
+        assert!(QuantizedVec::decode(&bytes).is_err());
+    }
+}

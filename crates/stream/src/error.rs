@@ -1,0 +1,82 @@
+//! Error types for sparse stream construction and decoding.
+
+use std::fmt;
+
+/// Errors raised by stream construction, arithmetic, and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An index is `>= dim`.
+    IndexOutOfBounds {
+        /// Offending index.
+        idx: u32,
+        /// Stream dimension.
+        dim: usize,
+    },
+    /// Sparse entries are not strictly increasing by index.
+    UnsortedIndices {
+        /// Position of the first out-of-order entry.
+        position: usize,
+    },
+    /// Two streams with different logical dimensions were combined.
+    DimMismatch {
+        /// Left operand dimension.
+        left: usize,
+        /// Right operand dimension.
+        right: usize,
+    },
+    /// A dense payload length does not match the declared dimension.
+    LengthMismatch {
+        /// Declared dimension.
+        expected: usize,
+        /// Payload length found.
+        actual: usize,
+    },
+    /// The wire encoding is truncated or self-inconsistent.
+    Corrupt(&'static str),
+    /// The wire encoding was produced for a different value width.
+    ValueWidthMismatch {
+        /// Width this decoder expects (bytes).
+        expected: usize,
+        /// Width found in the header (bytes).
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::IndexOutOfBounds { idx, dim } => {
+                write!(f, "index {idx} out of bounds for dimension {dim}")
+            }
+            StreamError::UnsortedIndices { position } => {
+                write!(f, "sparse indices not strictly increasing at entry {position}")
+            }
+            StreamError::DimMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            StreamError::LengthMismatch { expected, actual } => {
+                write!(f, "dense payload length {actual} does not match dimension {expected}")
+            }
+            StreamError::Corrupt(what) => write!(f, "corrupt stream encoding: {what}"),
+            StreamError::ValueWidthMismatch { expected, actual } => {
+                write!(f, "value width mismatch: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StreamError::IndexOutOfBounds { idx: 9, dim: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        let e = StreamError::DimMismatch { left: 1, right: 2 };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # sparcml-stream
+//!
+//! Sparse stream data representation from the SparCML paper (§5.1).
+//!
+//! A [`SparseStream`] stores a logical vector in `R^N` either as sorted
+//! index–value pairs or as a dense array, and switches automatically during
+//! summation once fill-in crosses the sparsity-efficiency threshold δ.
+//! This crate also provides the wire encoding used by the collectives, the
+//! dimension partitioning of the split algorithms, and deterministic
+//! synthetic workload generators.
+//!
+//! ```
+//! use sparcml_stream::{SparseStream, DensityPolicy};
+//!
+//! let mut a = SparseStream::from_pairs(1_000, &[(3, 1.0f32), (500, 2.0)]).unwrap();
+//! let b = SparseStream::from_pairs(1_000, &[(3, 1.0f32), (900, -1.0)]).unwrap();
+//! a.add_assign_with(&b, &DensityPolicy::default()).unwrap();
+//! assert_eq!(a.get(3), 2.0);
+//! assert_eq!(a.nnz(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod gen;
+mod partition;
+mod scalar;
+mod stream;
+mod sum;
+mod threshold;
+mod wire;
+
+pub use error::StreamError;
+pub use gen::{clustered_sparse, random_sparse, uniform_indices, XorShift64};
+pub use partition::{owner_of, partition_range, PartRange};
+pub use scalar::Scalar;
+pub use stream::{Entry, Repr, SparseStream};
+pub use sum::{reduce_streams, SumStats};
+pub use threshold::{delta_raw, DensityPolicy, INDEX_BYTES};

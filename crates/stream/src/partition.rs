@@ -1,0 +1,103 @@
+//! Dimension partitioning for the split phase of `SSAR_Split_allgather`.
+//!
+//! The split phase "uniformly split[s] the space dimension N into P
+//! partitions and assign[s] to each node the indices contained in the
+//! corresponding partition" (§5.3.2). When `N` is not divisible by `P` the
+//! paper's relaxation (§A) makes every node responsible for `⌊N/P⌋` items
+//! except the last, which takes the remainder.
+
+/// Half-open index range `[lo, hi)` owned by one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartRange {
+    /// First owned index.
+    pub lo: u32,
+    /// One past the last owned index.
+    pub hi: u32,
+}
+
+impl PartRange {
+    /// Number of indices in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// `true` when the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+
+    /// `true` if `idx` falls inside the range.
+    #[inline]
+    pub fn contains(&self, idx: u32) -> bool {
+        idx >= self.lo && idx < self.hi
+    }
+}
+
+/// The range of indices owned by `rank` out of `parts` when partitioning a
+/// `dim`-dimensional space (§A relaxation for non-divisible `dim`).
+pub fn partition_range(dim: usize, parts: usize, rank: usize) -> PartRange {
+    assert!(parts > 0, "need at least one partition");
+    assert!(rank < parts, "rank {rank} out of range for {parts} partitions");
+    let base = dim / parts;
+    let lo = rank * base;
+    let hi = if rank + 1 == parts { dim } else { lo + base };
+    PartRange { lo: lo as u32, hi: hi as u32 }
+}
+
+/// The rank that owns index `idx` under [`partition_range`].
+pub fn owner_of(dim: usize, parts: usize, idx: u32) -> usize {
+    assert!(parts > 0);
+    let base = dim / parts;
+    if base == 0 {
+        return parts - 1;
+    }
+    ((idx as usize) / base).min(parts - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition() {
+        let dim = 100;
+        for rank in 0..4 {
+            let r = partition_range(dim, 4, rank);
+            assert_eq!(r.len(), 25);
+        }
+        assert_eq!(partition_range(dim, 4, 0).lo, 0);
+        assert_eq!(partition_range(dim, 4, 3).hi, 100);
+    }
+
+    #[test]
+    fn uneven_partition_gives_remainder_to_last() {
+        let dim = 10;
+        let lens: Vec<usize> = (0..3).map(|r| partition_range(dim, 3, r).len()).collect();
+        assert_eq!(lens, vec![3, 3, 4]);
+        // Coverage is exact and disjoint.
+        let total: usize = lens.iter().sum();
+        assert_eq!(total, dim);
+    }
+
+    #[test]
+    fn owner_matches_partition() {
+        let (dim, parts) = (17, 4);
+        for idx in 0..dim as u32 {
+            let owner = owner_of(dim, parts, idx);
+            assert!(partition_range(dim, parts, owner).contains(idx), "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn more_parts_than_dim() {
+        // dim=2, parts=4: base=0, first three ranks empty, last owns all.
+        let lens: Vec<usize> = (0..4).map(|r| partition_range(2, 4, r).len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 2);
+        for idx in 0..2u32 {
+            let owner = owner_of(2, 4, idx);
+            assert!(partition_range(2, 4, owner).contains(idx));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Scalar value types storable in a sparse stream.
+//!
+//! The paper works with single- and double-precision floating point values
+//! (§5.1, "Vector Representations"); the [`Scalar`] trait abstracts over the
+//! two so every collective and summation kernel is generic over precision.
+
+/// A value type that can be stored in a [`crate::SparseStream`].
+///
+/// Implementors must behave like an additive commutative monoid under
+/// [`Scalar::add`] with [`Scalar::zero`] as the neutral element — the paper
+/// requires a neutral element for every supported reduction (§5.2).
+pub trait Scalar:
+    Copy + PartialOrd + Default + Send + Sync + std::fmt::Debug + std::fmt::Display + 'static
+{
+    /// Number of bytes of the on-wire encoding (`isize` in the paper's
+    /// volume model, §5.1 "Switching to a Dense Format").
+    const BYTES: usize;
+
+    /// The neutral element of the reduction (0 for sum).
+    fn zero() -> Self;
+
+    /// Component-wise sum, the default reduction of the paper.
+    fn add(self, other: Self) -> Self;
+
+    /// Magnitude, used by Top-k selection.
+    fn abs(self) -> Self;
+
+    /// Appends the little-endian encoding of `self` to `buf`.
+    fn write_le(self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from exactly [`Scalar::BYTES`] little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+
+    /// Lossless (f32) or identity (f64) widening, for analysis code.
+    fn to_f64(self) -> f64;
+
+    /// Narrowing conversion used by quantization and synthetic generators.
+    fn from_f64(v: f64) -> Self;
+
+    /// `true` if the value equals the neutral element.
+    #[inline]
+    fn is_zero(self) -> bool {
+        self.to_f64() == 0.0
+    }
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn write_le(self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes[..4].try_into().expect("need 4 bytes for f32"))
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn write_le(self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes[..8].try_into().expect("need 8 bytes for f64"))
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(buf.len(), f32::BYTES);
+        assert_eq!(f32::read_le(&buf), 1.5);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut buf = Vec::new();
+        (-2.25f64).write_le(&mut buf);
+        assert_eq!(buf.len(), f64::BYTES);
+        assert_eq!(f64::read_le(&buf), -2.25);
+    }
+
+    #[test]
+    fn zero_is_neutral() {
+        assert_eq!(f32::zero().add(3.0), 3.0);
+        assert!(f64::zero().is_zero());
+        assert!(!1.0f32.is_zero());
+    }
+
+    #[test]
+    fn abs_magnitude() {
+        assert_eq!((-3.0f32).abs(), 3.0);
+        assert_eq!(4.0f64.abs(), 4.0);
+    }
+}

@@ -1,0 +1,555 @@
+//! The sparse stream: SparCML's adaptive sparse/dense vector representation.
+//!
+//! A stream logically represents a vector in `R^N`. It is stored either as a
+//! sorted sequence of `(index, value)` pairs (sparse) or as a contiguous
+//! array of `N` values (dense). The representation switches automatically
+//! during summation once the fill-in crosses the threshold δ (§5.1 of the
+//! paper, "Switching to a Dense Format").
+
+use crate::error::StreamError;
+use crate::scalar::Scalar;
+use crate::threshold::DensityPolicy;
+
+/// A single non-zero entry of a sparse stream.
+///
+/// Indices are `u32` because the paper fixes the index datatype to an
+/// unsigned int ("Since our problems usually have dimension N > 65K, we fix
+/// the datatype for storing an index to an unsigned int", §8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry<V> {
+    /// Coordinate in `[0, dim)`.
+    pub idx: u32,
+    /// Value at that coordinate.
+    pub val: V,
+}
+
+impl<V> Entry<V> {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(idx: u32, val: V) -> Self {
+        Entry { idx, val }
+    }
+}
+
+/// Physical representation of a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Repr<V> {
+    /// Sorted (strictly increasing index) list of non-zero entries.
+    Sparse(Vec<Entry<V>>),
+    /// Contiguous array of `dim` values.
+    Dense(Vec<V>),
+}
+
+/// An adaptive sparse/dense vector of logical dimension `dim`.
+///
+/// Invariants:
+/// * sparse entries are sorted strictly increasing by index;
+/// * every index is `< dim`;
+/// * a dense payload has exactly `dim` values.
+///
+/// Explicit zero values are allowed in the sparse form (they can arise from
+/// cancellation during summation); [`SparseStream::prune_zeros`] removes
+/// them when desired. The paper likewise "ignores cancellation of indices
+/// during the summation" for its analysis (§5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseStream<V: Scalar> {
+    dim: usize,
+    repr: Repr<V>,
+}
+
+impl<V: Scalar> SparseStream<V> {
+    /// Creates an empty (all-zero) sparse stream of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        SparseStream { dim, repr: Repr::Sparse(Vec::new()) }
+    }
+
+    /// Creates a sparse stream from already-sorted entries.
+    ///
+    /// Returns an error if indices are not strictly increasing or out of
+    /// bounds.
+    pub fn from_sorted(dim: usize, entries: Vec<Entry<V>>) -> Result<Self, StreamError> {
+        let mut prev: Option<u32> = None;
+        for (position, e) in entries.iter().enumerate() {
+            if e.idx as usize >= dim {
+                return Err(StreamError::IndexOutOfBounds { idx: e.idx, dim });
+            }
+            if let Some(p) = prev {
+                if e.idx <= p {
+                    return Err(StreamError::UnsortedIndices { position });
+                }
+            }
+            prev = Some(e.idx);
+        }
+        Ok(SparseStream { dim, repr: Repr::Sparse(entries) })
+    }
+
+    /// Creates a sparse stream from arbitrary `(index, value)` pairs,
+    /// sorting them and summing duplicates.
+    pub fn from_pairs(dim: usize, pairs: &[(u32, V)]) -> Result<Self, StreamError> {
+        for &(idx, _) in pairs {
+            if idx as usize >= dim {
+                return Err(StreamError::IndexOutOfBounds { idx, dim });
+            }
+        }
+        let mut sorted: Vec<(u32, V)> = pairs.to_vec();
+        sorted.sort_unstable_by_key(|&(i, _)| i);
+        let mut entries: Vec<Entry<V>> = Vec::with_capacity(sorted.len());
+        for (idx, val) in sorted {
+            match entries.last_mut() {
+                Some(last) if last.idx == idx => last.val = last.val.add(val),
+                _ => entries.push(Entry::new(idx, val)),
+            }
+        }
+        Ok(SparseStream { dim, repr: Repr::Sparse(entries) })
+    }
+
+    /// Creates a dense stream from a full payload of length `dim`.
+    pub fn from_dense(values: Vec<V>) -> Self {
+        SparseStream { dim: values.len(), repr: Repr::Dense(values) }
+    }
+
+    /// Builds the sparse form of a dense slice, keeping only non-zeros.
+    pub fn sparse_from_slice(values: &[V]) -> Self {
+        let entries: Vec<Entry<V>> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(i, &v)| Entry::new(i as u32, v))
+            .collect();
+        SparseStream { dim: values.len(), repr: Repr::Sparse(entries) }
+    }
+
+    /// Logical dimension `N`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` if the stream currently uses the dense representation.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// `true` if the stream currently uses the sparse representation.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        !self.is_dense()
+    }
+
+    /// Access to the physical representation.
+    #[inline]
+    pub fn repr(&self) -> &Repr<V> {
+        &self.repr
+    }
+
+    /// Mutable access to the representation; callers must preserve the
+    /// sortedness/bounds invariants.
+    #[inline]
+    pub(crate) fn repr_mut(&mut self) -> &mut Repr<V> {
+        &mut self.repr
+    }
+
+    /// Number of stored entries: pair count when sparse, the count of
+    /// non-zero values when dense.
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(entries) => entries.len(),
+            Repr::Dense(values) => values.iter().filter(|v| !v.is_zero()).count(),
+        }
+    }
+
+    /// Stored entry count without scanning: pair count when sparse, `dim`
+    /// when dense. This is what determines communication volume.
+    #[inline]
+    pub fn stored_len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(entries) => entries.len(),
+            Repr::Dense(_) => self.dim,
+        }
+    }
+
+    /// Density `nnz / dim` (the paper's `d`).
+    pub fn density(&self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.dim as f64
+        }
+    }
+
+    /// Bytes this stream occupies on the wire under the paper's volume model:
+    /// `nnz * (c + isize)` when sparse, `N * isize` when dense (§5.1).
+    pub fn wire_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(entries) => entries.len() * (4 + V::BYTES),
+            Repr::Dense(_) => self.dim * V::BYTES,
+        }
+    }
+
+    /// Value at coordinate `idx` (zero when absent).
+    pub fn get(&self, idx: u32) -> V {
+        debug_assert!((idx as usize) < self.dim);
+        match &self.repr {
+            Repr::Sparse(entries) => entries
+                .binary_search_by_key(&idx, |e| e.idx)
+                .map(|pos| entries[pos].val)
+                .unwrap_or_else(|_| V::zero()),
+            Repr::Dense(values) => values[idx as usize],
+        }
+    }
+
+    /// Iterates over non-zero coordinates in increasing index order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, V)> + '_ {
+        let (sparse, dense): (Option<&[Entry<V>]>, Option<&[V]>) = match &self.repr {
+            Repr::Sparse(entries) => (Some(entries.as_slice()), None),
+            Repr::Dense(values) => (None, Some(values.as_slice())),
+        };
+        sparse
+            .into_iter()
+            .flatten()
+            .filter(|e| !e.val.is_zero())
+            .map(|e| (e.idx, e.val))
+            .chain(
+                dense
+                    .into_iter()
+                    .flatten()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_zero())
+                    .map(|(i, &v)| (i as u32, v)),
+            )
+    }
+
+    /// Materializes the full dense vector (allocates; the stream itself is
+    /// unchanged).
+    pub fn to_dense_vec(&self) -> Vec<V> {
+        match &self.repr {
+            Repr::Sparse(entries) => {
+                let mut out = vec![V::zero(); self.dim];
+                for e in entries {
+                    out[e.idx as usize] = e.val;
+                }
+                out
+            }
+            Repr::Dense(values) => values.clone(),
+        }
+    }
+
+    /// Switches to the dense representation in place.
+    pub fn densify(&mut self) {
+        if self.is_dense() {
+            return;
+        }
+        let dense = self.to_dense_vec();
+        self.repr = Repr::Dense(dense);
+    }
+
+    /// Switches to the sparse representation in place (drops zeros).
+    pub fn sparsify(&mut self) {
+        if self.is_sparse() {
+            self.prune_zeros();
+            return;
+        }
+        let Repr::Dense(values) = &self.repr else { unreachable!() };
+        let entries: Vec<Entry<V>> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(i, &v)| Entry::new(i as u32, v))
+            .collect();
+        self.repr = Repr::Sparse(entries);
+    }
+
+    /// Converts to whichever representation the policy prefers for the
+    /// current fill level.
+    pub fn normalize(&mut self, policy: &DensityPolicy) {
+        let delta = policy.delta::<V>(self.dim);
+        match &self.repr {
+            Repr::Sparse(entries) => {
+                if entries.len() > delta {
+                    self.densify();
+                }
+            }
+            Repr::Dense(_) => {
+                if self.nnz() <= delta / 2 {
+                    self.sparsify();
+                }
+            }
+        }
+    }
+
+    /// Removes explicit zeros from the sparse representation (no-op when
+    /// dense).
+    pub fn prune_zeros(&mut self) {
+        if let Repr::Sparse(entries) = &mut self.repr {
+            entries.retain(|e| !e.val.is_zero());
+        }
+    }
+
+    /// Multiplies every value by `factor`.
+    pub fn scale(&mut self, factor: V) {
+        match &mut self.repr {
+            Repr::Sparse(entries) => {
+                for e in entries {
+                    e.val = V::from_f64(e.val.to_f64() * factor.to_f64());
+                }
+            }
+            Repr::Dense(values) => {
+                for v in values {
+                    *v = V::from_f64(v.to_f64() * factor.to_f64());
+                }
+            }
+        }
+    }
+
+    /// Euclidean norm of the logical vector.
+    pub fn l2_norm(&self) -> f64 {
+        let sq: f64 = match &self.repr {
+            Repr::Sparse(entries) => entries.iter().map(|e| e.val.to_f64().powi(2)).sum(),
+            Repr::Dense(values) => values.iter().map(|v| v.to_f64().powi(2)).sum(),
+        };
+        sq.sqrt()
+    }
+
+    /// Restricts the stream to coordinates in `[lo, hi)` producing a stream
+    /// of the *same* logical dimension but supported only inside the range.
+    /// This is the split operation of `SSAR_Split_allgather` (§5.3.2).
+    pub fn restrict(&self, lo: u32, hi: u32) -> SparseStream<V> {
+        debug_assert!(lo <= hi && (hi as usize) <= self.dim);
+        match &self.repr {
+            Repr::Sparse(entries) => {
+                let start = entries.partition_point(|e| e.idx < lo);
+                let end = entries.partition_point(|e| e.idx < hi);
+                SparseStream {
+                    dim: self.dim,
+                    repr: Repr::Sparse(entries[start..end].to_vec()),
+                }
+            }
+            Repr::Dense(values) => {
+                let entries: Vec<Entry<V>> = (lo..hi)
+                    .filter(|&i| !values[i as usize].is_zero())
+                    .map(|i| Entry::new(i, values[i as usize]))
+                    .collect();
+                SparseStream { dim: self.dim, repr: Repr::Sparse(entries) }
+            }
+        }
+    }
+
+    /// Concatenates streams whose supports live in disjoint, increasing
+    /// index ranges — "we can implement the sum as simple concatenation"
+    /// (§5.1, disjoint case). All inputs must share the same dimension and
+    /// be sparse; supports must be ordered (checked).
+    pub fn concat_disjoint(parts: &[SparseStream<V>]) -> Result<SparseStream<V>, StreamError> {
+        let Some(first) = parts.first() else {
+            return Ok(SparseStream::zeros(0));
+        };
+        let dim = first.dim;
+        let total: usize = parts.iter().map(|p| p.stored_len()).sum();
+        let mut entries: Vec<Entry<V>> = Vec::with_capacity(total);
+        for (pos, part) in parts.iter().enumerate() {
+            if part.dim != dim {
+                return Err(StreamError::DimMismatch { left: dim, right: part.dim });
+            }
+            let Repr::Sparse(part_entries) = &part.repr else {
+                return Err(StreamError::Corrupt("concat_disjoint requires sparse parts"));
+            };
+            if let (Some(last), Some(first_new)) = (entries.last(), part_entries.first()) {
+                if first_new.idx <= last.idx {
+                    return Err(StreamError::UnsortedIndices { position: pos });
+                }
+            }
+            entries.extend_from_slice(part_entries);
+        }
+        Ok(SparseStream { dim, repr: Repr::Sparse(entries) })
+    }
+
+    /// Consumes the stream returning its entries when sparse.
+    pub fn into_entries(self) -> Option<Vec<Entry<V>>> {
+        match self.repr {
+            Repr::Sparse(entries) => Some(entries),
+            Repr::Dense(_) => None,
+        }
+    }
+
+    /// Consumes the stream returning the dense payload (materializing it if
+    /// needed).
+    pub fn into_dense_vec(self) -> Vec<V> {
+        match self.repr {
+            Repr::Sparse(_) => self.to_dense_vec(),
+            Repr::Dense(values) => values,
+        }
+    }
+
+    /// Checks the sortedness/bounds invariants; used by tests and debug
+    /// assertions throughout the workspace.
+    pub fn check_invariants(&self) -> Result<(), StreamError> {
+        match &self.repr {
+            Repr::Sparse(entries) => {
+                let mut prev: Option<u32> = None;
+                for (position, e) in entries.iter().enumerate() {
+                    if e.idx as usize >= self.dim {
+                        return Err(StreamError::IndexOutOfBounds { idx: e.idx, dim: self.dim });
+                    }
+                    if let Some(p) = prev {
+                        if e.idx <= p {
+                            return Err(StreamError::UnsortedIndices { position });
+                        }
+                    }
+                    prev = Some(e.idx);
+                }
+                Ok(())
+            }
+            Repr::Dense(values) => {
+                if values.len() != self.dim {
+                    Err(StreamError::LengthMismatch { expected: self.dim, actual: values.len() })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dim: usize, pairs: &[(u32, f32)]) -> SparseStream<f32> {
+        SparseStream::from_pairs(dim, pairs).unwrap()
+    }
+
+    #[test]
+    fn zeros_is_empty_sparse() {
+        let v = SparseStream::<f32>::zeros(10);
+        assert!(v.is_sparse());
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.dim(), 10);
+        assert_eq!(v.get(3), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_validates() {
+        let ok = SparseStream::from_sorted(5, vec![Entry::new(1, 1.0f32), Entry::new(3, 2.0)]);
+        assert!(ok.is_ok());
+        let unsorted = SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(1, 2.0)]);
+        assert!(matches!(unsorted, Err(StreamError::UnsortedIndices { .. })));
+        let dup = SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(3, 2.0)]);
+        assert!(matches!(dup, Err(StreamError::UnsortedIndices { .. })));
+        let oob = SparseStream::from_sorted(5, vec![Entry::new(5, 1.0f32)]);
+        assert!(matches!(oob, Err(StreamError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = s(10, &[(7, 1.0), (2, 2.0), (7, 3.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(7), 4.0);
+        assert_eq!(v.get(2), 2.0);
+        v.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn densify_sparsify_round_trip() {
+        let mut v = s(8, &[(1, 1.0), (6, -2.0)]);
+        let dense = v.to_dense_vec();
+        assert_eq!(dense, vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0, -2.0, 0.0]);
+        v.densify();
+        assert!(v.is_dense());
+        assert_eq!(v.get(6), -2.0);
+        v.sparsify();
+        assert!(v.is_sparse());
+        assert_eq!(v.nnz(), 2);
+        v.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wire_bytes_follows_volume_model() {
+        let v = s(100, &[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(v.wire_bytes(), 3 * (4 + 4));
+        let mut d = v.clone();
+        d.densify();
+        assert_eq!(d.wire_bytes(), 100 * 4);
+    }
+
+    #[test]
+    fn restrict_selects_range() {
+        let v = s(100, &[(5, 1.0), (20, 2.0), (21, 3.0), (90, 4.0)]);
+        let r = v.restrict(20, 90);
+        assert_eq!(r.dim(), 100);
+        assert_eq!(r.nnz(), 2);
+        assert_eq!(r.get(20), 2.0);
+        assert_eq!(r.get(21), 3.0);
+        assert_eq!(r.get(90), 0.0);
+    }
+
+    #[test]
+    fn restrict_on_dense() {
+        let mut v = s(10, &[(2, 1.0), (8, 2.0)]);
+        v.densify();
+        let r = v.restrict(0, 5);
+        assert!(r.is_sparse());
+        assert_eq!(r.nnz(), 1);
+        assert_eq!(r.get(2), 1.0);
+    }
+
+    #[test]
+    fn concat_disjoint_joins_partitions() {
+        let a = s(100, &[(1, 1.0), (5, 2.0)]);
+        let b = s(100, &[(50, 3.0)]);
+        let c = s(100, &[(80, 4.0), (99, 5.0)]);
+        let joined = SparseStream::concat_disjoint(&[a, b, c]).unwrap();
+        assert_eq!(joined.nnz(), 5);
+        assert_eq!(joined.get(99), 5.0);
+        joined.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concat_disjoint_rejects_overlap() {
+        let a = s(100, &[(1, 1.0), (50, 2.0)]);
+        let b = s(100, &[(50, 3.0)]);
+        assert!(SparseStream::concat_disjoint(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let mut v = s(10, &[(0, 3.0), (1, 4.0)]);
+        assert!((v.l2_norm() - 5.0).abs() < 1e-9);
+        v.scale(2.0);
+        assert_eq!(v.get(0), 6.0);
+        assert_eq!(v.get(1), 8.0);
+    }
+
+    #[test]
+    fn prune_zeros_drops_cancellations() {
+        let mut v =
+            SparseStream::from_sorted(5, vec![Entry::new(0, 0.0f32), Entry::new(2, 1.0)]).unwrap();
+        assert_eq!(v.stored_len(), 2);
+        v.prune_zeros();
+        assert_eq!(v.stored_len(), 1);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros_in_both_reprs() {
+        let mut v =
+            SparseStream::from_sorted(5, vec![Entry::new(0, 0.0f32), Entry::new(2, 1.0)]).unwrap();
+        let got: Vec<_> = v.iter_nonzero().collect();
+        assert_eq!(got, vec![(2, 1.0)]);
+        v.densify();
+        let got: Vec<_> = v.iter_nonzero().collect();
+        assert_eq!(got, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn normalize_switches_by_policy() {
+        let policy = DensityPolicy::default();
+        // f32: delta = dim/2 = 4, so 5 entries forces dense.
+        let mut v = s(8, &[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]);
+        v.normalize(&policy);
+        assert!(v.is_dense());
+        // A nearly-empty dense vector flips back to sparse.
+        let mut d = SparseStream::from_dense(vec![0.0f32; 64]);
+        d.normalize(&policy);
+        assert!(d.is_sparse());
+    }
+}

@@ -1,0 +1,268 @@
+//! Efficient summation of sparse streams (§5.1, "Efficient Summation").
+//!
+//! The key operation of every sparse collective is summing two streams that
+//! may each be sparse or dense:
+//!
+//! * **sparse + sparse** — if the fill-in upper bound `|H1| + |H2|` exceeds
+//!   δ the result is produced dense (the paper deliberately uses this cheap
+//!   upper bound instead of computing `|H1 ∪ H2|`); otherwise a linear
+//!   merge of the two sorted entry lists;
+//! * **sparse + dense** — scatter the sparse entries into the dense buffer;
+//! * **dense + dense** — element-wise (auto-vectorized) addition in place,
+//!   allocating no new stream.
+
+use crate::error::StreamError;
+use crate::scalar::Scalar;
+use crate::stream::{Entry, Repr, SparseStream};
+use crate::threshold::DensityPolicy;
+
+/// Outcome statistics of a summation, used by the collectives to charge
+/// virtual compute time and by tests to verify representation switching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumStats {
+    /// Number of element operations performed (merge length or dim).
+    pub elements_processed: usize,
+    /// Whether the result is stored densely.
+    pub result_dense: bool,
+    /// Whether this summation triggered a sparse→dense switch.
+    pub switched_to_dense: bool,
+}
+
+impl<V: Scalar> SparseStream<V> {
+    /// Adds `other` into `self` under the default density policy.
+    pub fn add_assign(&mut self, other: &SparseStream<V>) -> Result<SumStats, StreamError> {
+        self.add_assign_with(other, &DensityPolicy::default())
+    }
+
+    /// Adds `other` into `self`, switching to a dense representation when
+    /// the policy's δ would be exceeded.
+    pub fn add_assign_with(
+        &mut self,
+        other: &SparseStream<V>,
+        policy: &DensityPolicy,
+    ) -> Result<SumStats, StreamError> {
+        if self.dim() != other.dim() {
+            return Err(StreamError::DimMismatch { left: self.dim(), right: other.dim() });
+        }
+        let dim = self.dim();
+        let delta = policy.delta::<V>(dim);
+
+        // Work on the representations directly; `self.repr` is replaced at
+        // the end of each branch.
+        match (self.is_dense(), other.is_dense()) {
+            (false, false) => {
+                let (a_len, b_len) = (self.stored_len(), other.stored_len());
+                if a_len + b_len > delta {
+                    // Fill-in upper bound exceeded: produce dense result.
+                    self.densify();
+                    let stats = scatter_into_dense(self, other)?;
+                    Ok(SumStats { switched_to_dense: true, ..stats })
+                } else {
+                    let merged = {
+                        let Repr::Sparse(a) = self.repr() else { unreachable!() };
+                        let Repr::Sparse(b) = other.repr() else { unreachable!() };
+                        merge_sorted(a, b)
+                    };
+                    let processed = merged.len();
+                    *self = SparseStream::from_sorted(dim, merged)
+                        .expect("merge of sorted inputs is sorted");
+                    Ok(SumStats {
+                        elements_processed: processed,
+                        result_dense: false,
+                        switched_to_dense: false,
+                    })
+                }
+            }
+            (true, false) => scatter_into_dense(self, other),
+            (false, true) => {
+                // Commute: dense side becomes the accumulator.
+                let mut result = other.clone();
+                let mut stats = scatter_into_dense(&mut result, self)?;
+                *self = result;
+                stats.switched_to_dense = true;
+                Ok(stats)
+            }
+            (true, true) => {
+                let Repr::Dense(b) = other.repr() else { unreachable!() };
+                let b = b.clone();
+                let Repr::Dense(a) = self.repr_mut() else { unreachable!() };
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x = x.add(*y);
+                }
+                Ok(SumStats {
+                    elements_processed: dim,
+                    result_dense: true,
+                    switched_to_dense: false,
+                })
+            }
+        }
+    }
+
+}
+
+/// Adds the sparse entries of `sparse` into the dense accumulator `dense`.
+fn scatter_into_dense<V: Scalar>(
+    dense: &mut SparseStream<V>,
+    sparse: &SparseStream<V>,
+) -> Result<SumStats, StreamError> {
+    debug_assert!(dense.is_dense());
+    let Repr::Sparse(entries) = sparse.repr() else {
+        return Err(StreamError::Corrupt("scatter_into_dense expects a sparse addend"));
+    };
+    let entries = entries.clone();
+    let Repr::Dense(values) = dense.repr_mut() else { unreachable!() };
+    for e in &entries {
+        let slot = &mut values[e.idx as usize];
+        *slot = slot.add(e.val);
+    }
+    Ok(SumStats {
+        elements_processed: entries.len(),
+        result_dense: true,
+        switched_to_dense: false,
+    })
+}
+
+/// Linear merge of two sorted entry lists, summing values on equal indices.
+fn merge_sorted<V: Scalar>(a: &[Entry<V>], b: &[Entry<V>]) -> Vec<Entry<V>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ea, eb) = (a[i], b[j]);
+        match ea.idx.cmp(&eb.idx) {
+            std::cmp::Ordering::Less => {
+                out.push(ea);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(eb);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(Entry::new(ea.idx, ea.val.add(eb.val)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Reduces a sequence of streams into one, in order, under `policy`.
+/// Returns the result together with the total elements processed (for
+/// virtual compute-time accounting).
+pub fn reduce_streams<V: Scalar>(
+    mut parts: Vec<SparseStream<V>>,
+    policy: &DensityPolicy,
+) -> Result<(SparseStream<V>, usize), StreamError> {
+    let Some(mut acc) = parts.drain(..1).next() else {
+        return Err(StreamError::Corrupt("reduce_streams needs at least one input"));
+    };
+    let mut processed = 0usize;
+    for part in parts {
+        let stats = acc.add_assign_with(&part, policy)?;
+        processed += stats.elements_processed;
+    }
+    Ok((acc, processed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dim: usize, pairs: &[(u32, f32)]) -> SparseStream<f32> {
+        SparseStream::from_pairs(dim, pairs).unwrap()
+    }
+
+    #[test]
+    fn sparse_plus_sparse_merges() {
+        let mut a = s(100, &[(1, 1.0), (5, 2.0)]);
+        let b = s(100, &[(5, 3.0), (9, 4.0)]);
+        let stats = a.add_assign(&b).unwrap();
+        assert!(!stats.result_dense);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(5), 5.0);
+        assert_eq!(a.get(9), 4.0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sparse_plus_sparse_switches_to_dense_past_delta() {
+        // dim=8 → delta=4 for f32; 3+3 = 6 > 4 forces a dense result.
+        let mut a = s(8, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = s(8, &[(5, 1.0), (6, 1.0), (7, 1.0)]);
+        let stats = a.add_assign(&b).unwrap();
+        assert!(stats.result_dense);
+        assert!(stats.switched_to_dense);
+        assert!(a.is_dense());
+        assert_eq!(a.get(0), 1.0);
+        assert_eq!(a.get(7), 1.0);
+    }
+
+    #[test]
+    fn never_densify_policy_keeps_sparse() {
+        let mut a = s(8, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = s(8, &[(5, 1.0), (6, 1.0), (7, 1.0)]);
+        let stats = a.add_assign_with(&b, &DensityPolicy::never_densify()).unwrap();
+        assert!(!stats.result_dense);
+        assert!(a.is_sparse());
+        assert_eq!(a.nnz(), 6);
+    }
+
+    #[test]
+    fn dense_plus_sparse_scatters() {
+        let mut a = SparseStream::from_dense(vec![1.0f32; 4]);
+        let b = s(4, &[(2, 5.0)]);
+        let stats = a.add_assign(&b).unwrap();
+        assert!(stats.result_dense);
+        assert_eq!(a.get(2), 6.0);
+        assert_eq!(a.get(0), 1.0);
+    }
+
+    #[test]
+    fn sparse_plus_dense_commutes_to_dense() {
+        let mut a = s(4, &[(2, 5.0)]);
+        let b = SparseStream::from_dense(vec![1.0f32; 4]);
+        let stats = a.add_assign(&b).unwrap();
+        assert!(stats.result_dense);
+        assert!(a.is_dense());
+        assert_eq!(a.get(2), 6.0);
+        assert_eq!(a.get(3), 1.0);
+    }
+
+    #[test]
+    fn dense_plus_dense_in_place() {
+        let mut a = SparseStream::from_dense(vec![1.0f32, 2.0]);
+        let b = SparseStream::from_dense(vec![10.0f32, 20.0]);
+        let stats = a.add_assign(&b).unwrap();
+        assert_eq!(stats.elements_processed, 2);
+        assert_eq!(a.get(0), 11.0);
+        assert_eq!(a.get(1), 22.0);
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let mut a = s(4, &[(0, 1.0)]);
+        let b = s(5, &[(0, 1.0)]);
+        assert!(matches!(a.add_assign(&b), Err(StreamError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn reduce_streams_matches_sequential_dense_sum() {
+        let parts = vec![
+            s(16, &[(0, 1.0), (3, 1.0)]),
+            s(16, &[(3, 2.0), (8, 1.0)]),
+            s(16, &[(15, 7.0)]),
+        ];
+        let mut expect = vec![0.0f32; 16];
+        for p in &parts {
+            for (i, v) in p.iter_nonzero() {
+                expect[i as usize] += v;
+            }
+        }
+        let (got, processed) = reduce_streams(parts, &DensityPolicy::default()).unwrap();
+        assert!(processed > 0);
+        assert_eq!(got.to_dense_vec(), expect);
+    }
+}

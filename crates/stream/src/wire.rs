@@ -1,0 +1,168 @@
+//! Wire encoding of sparse streams.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [0]        magic 0xSC (0xC5)
+//! [1]        value width in bytes (4 = f32, 8 = f64)
+//! [2]        representation tag: 0 = sparse, 1 = dense
+//! [3..11]    dim  (u64)
+//! [11..19]   nnz  (u64, sparse only; dense payload length is dim)
+//! payload    sparse: nnz × (u32 idx, value)   dense: dim × value
+//! ```
+//!
+//! The representation tag is the paper's "extra value at the beginning of
+//! each vector that indicates whether the vector is dense or sparse" (§5.1).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::StreamError;
+use crate::scalar::Scalar;
+use crate::stream::{Entry, Repr, SparseStream};
+
+const MAGIC: u8 = 0xC5;
+const TAG_SPARSE: u8 = 0;
+const TAG_DENSE: u8 = 1;
+
+impl<V: Scalar> SparseStream<V> {
+    /// Serializes the stream into a contiguous byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(MAGIC);
+        buf.put_u8(V::BYTES as u8);
+        match self.repr() {
+            Repr::Sparse(entries) => {
+                buf.put_u8(TAG_SPARSE);
+                buf.put_u64_le(self.dim() as u64);
+                buf.put_u64_le(entries.len() as u64);
+                let mut scratch = Vec::with_capacity(V::BYTES);
+                for e in entries {
+                    buf.put_u32_le(e.idx);
+                    scratch.clear();
+                    e.val.write_le(&mut scratch);
+                    buf.put_slice(&scratch);
+                }
+            }
+            Repr::Dense(values) => {
+                buf.put_u8(TAG_DENSE);
+                buf.put_u64_le(self.dim() as u64);
+                let mut scratch = Vec::with_capacity(V::BYTES);
+                for v in values {
+                    scratch.clear();
+                    v.write_le(&mut scratch);
+                    buf.put_slice(&scratch);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Exact byte length [`SparseStream::encode`] will produce.
+    pub fn encoded_len(&self) -> usize {
+        match self.repr() {
+            Repr::Sparse(entries) => 3 + 8 + 8 + entries.len() * (4 + V::BYTES),
+            Repr::Dense(_) => 3 + 8 + self.dim() * V::BYTES,
+        }
+    }
+
+    /// Decodes a stream previously produced by [`SparseStream::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, StreamError> {
+        let mut buf = bytes;
+        if buf.remaining() < 3 {
+            return Err(StreamError::Corrupt("header truncated"));
+        }
+        if buf.get_u8() != MAGIC {
+            return Err(StreamError::Corrupt("bad magic"));
+        }
+        let width = buf.get_u8() as usize;
+        if width != V::BYTES {
+            return Err(StreamError::ValueWidthMismatch { expected: V::BYTES, actual: width });
+        }
+        let tag = buf.get_u8();
+        if buf.remaining() < 8 {
+            return Err(StreamError::Corrupt("dim truncated"));
+        }
+        let dim = buf.get_u64_le() as usize;
+        match tag {
+            TAG_SPARSE => {
+                if buf.remaining() < 8 {
+                    return Err(StreamError::Corrupt("nnz truncated"));
+                }
+                let nnz = buf.get_u64_le() as usize;
+                if buf.remaining() != nnz * (4 + V::BYTES) {
+                    return Err(StreamError::Corrupt("sparse payload length mismatch"));
+                }
+                let mut entries = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    let idx = buf.get_u32_le();
+                    let val = V::read_le(&buf[..V::BYTES]);
+                    buf.advance(V::BYTES);
+                    entries.push(Entry::new(idx, val));
+                }
+                SparseStream::from_sorted(dim, entries)
+            }
+            TAG_DENSE => {
+                if buf.remaining() != dim * V::BYTES {
+                    return Err(StreamError::Corrupt("dense payload length mismatch"));
+                }
+                let mut values = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    values.push(V::read_le(&buf[..V::BYTES]));
+                    buf.advance(V::BYTES);
+                }
+                Ok(SparseStream::from_dense(values))
+            }
+            _ => Err(StreamError::Corrupt("unknown representation tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_round_trip_f32() {
+        let v = SparseStream::from_pairs(1000, &[(3, 1.5f32), (999, -2.0)]).unwrap();
+        let bytes = v.encode();
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back = SparseStream::<f32>::decode(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn dense_round_trip_f64() {
+        let v = SparseStream::from_dense(vec![1.0f64, -2.0, 0.0, 3.5]);
+        let bytes = v.encode();
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back = SparseStream::<f64>::decode(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_width() {
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32)]).unwrap();
+        let bytes = v.encode();
+        let err = SparseStream::<f64>::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StreamError::ValueWidthMismatch { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32), (5, 2.0)]).unwrap();
+        let bytes = v.encode();
+        for cut in [0usize, 1, 2, 5, bytes.len() - 1] {
+            assert!(SparseStream::<f32>::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut garbage = bytes.to_vec();
+        garbage[0] = 0x00;
+        assert!(SparseStream::<f32>::decode(&garbage).is_err());
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let v = SparseStream::<f32>::zeros(42);
+        let back = SparseStream::<f32>::decode(&v.encode()).unwrap();
+        assert_eq!(back, v);
+    }
+}

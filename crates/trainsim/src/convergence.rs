@@ -1,0 +1,109 @@
+//! Parametric convergence curves for error-vs-time plots (Fig. 6a).
+//!
+//! The ASR experiment plots cross-entropy loss against wall time for
+//! systems that differ only in *throughput* (samples/second): the paper
+//! reports that sparse training reaches "similar accuracy to the
+//! full-precision baseline in a fraction of the time". We model the loss
+//! as a shifted power law of samples seen — the standard empirical
+//! shape for large-model training — and map it through each system's
+//! simulated throughput. The *curve* is shared (the paper found per-sample
+//! convergence comparable); only the time axis differs.
+
+/// Loss as a function of samples processed: `l_min + a·(s + s0)^(−p)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LossCurve {
+    /// Asymptotic loss floor.
+    pub l_min: f64,
+    /// Initial excess loss scale.
+    pub a: f64,
+    /// Power-law exponent.
+    pub p: f64,
+    /// Shift (samples) controlling the early plateau.
+    pub s0: f64,
+}
+
+impl LossCurve {
+    /// A cross-entropy-like curve calibrated to fall from ≈2.2 to ≈0.4
+    /// over `total_samples` (six passes over the ASR corpus in the paper).
+    pub fn asr_like(total_samples: f64) -> Self {
+        // l(0) = l_min + a·s0^{-p} ≈ 2.2; l(total) ≈ 0.4.
+        let l_min = 0.35;
+        let p = 0.35;
+        let s0 = total_samples / 2000.0;
+        let a = (2.2 - l_min) * s0.powf(p);
+        LossCurve { l_min, a, p, s0 }
+    }
+
+    /// Loss after `samples` processed.
+    pub fn at(&self, samples: f64) -> f64 {
+        self.l_min + self.a * (samples + self.s0).powf(-self.p)
+    }
+
+    /// Series of `(time_seconds, loss)` points for a system processing
+    /// `samples_per_sec`, over `duration_s`, sampled at `points` times.
+    pub fn vs_time(&self, samples_per_sec: f64, duration_s: f64, points: usize) -> Vec<(f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let t = duration_s * (i as f64 + 1.0) / points as f64;
+                (t, self.at(t * samples_per_sec))
+            })
+            .collect()
+    }
+
+    /// Time (seconds) for a system at `samples_per_sec` to reach `target`
+    /// loss, or `None` if unreachable.
+    pub fn time_to_loss(&self, samples_per_sec: f64, target: f64) -> Option<f64> {
+        if target <= self.l_min {
+            return None;
+        }
+        // Invert: samples = (a / (target − l_min))^{1/p} − s0.
+        let s = (self.a / (target - self.l_min)).powf(1.0 / self.p) - self.s0;
+        Some(s.max(0.0) / samples_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let c = LossCurve::asr_like(1e8);
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let l = c.at(1e6 * i as f64);
+            assert!(l < prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn endpoints_are_calibrated() {
+        let c = LossCurve::asr_like(1e8);
+        assert!((c.at(0.0) - 2.2).abs() < 0.05, "start {}", c.at(0.0));
+        assert!(c.at(1e8) < 0.55, "end {}", c.at(1e8));
+        assert!(c.at(1e8) > c.l_min);
+    }
+
+    #[test]
+    fn faster_system_reaches_target_sooner() {
+        let c = LossCurve::asr_like(1e8);
+        let slow = c.time_to_loss(1e3, 0.8).unwrap();
+        let fast = c.time_to_loss(1e4, 0.8).unwrap();
+        assert!((slow / fast - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let c = LossCurve::asr_like(1e8);
+        assert!(c.time_to_loss(1e3, c.l_min).is_none());
+    }
+
+    #[test]
+    fn vs_time_has_requested_points() {
+        let c = LossCurve::asr_like(1e8);
+        let pts = c.vs_time(1e4, 1000.0, 16);
+        assert_eq!(pts.len(), 16);
+        assert!(pts.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

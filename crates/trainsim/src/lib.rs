@@ -1,0 +1,35 @@
+//! # sparcml-trainsim
+//!
+//! Layer-wise DNN training-time model for the SparCML large-workload
+//! experiments (§8.3, §8.4, Fig. 6): per-layer parameter/compute specs for
+//! the paper's models, collective-time estimation (analytic bounds or
+//! actual execution on the virtual-time cluster), a step-time simulator
+//! with non-blocking layer-wise overlap, the BMUF synchronization
+//! baseline, and parametric convergence curves for error-vs-time plots.
+//!
+//! ```
+//! use sparcml_trainsim::{
+//!     AnalyticEstimator, Exchange, GpuSpec, ModelSpec, SyncStrategy, step_time,
+//! };
+//! use sparcml_net::CostModel;
+//!
+//! let est = AnalyticEstimator::new(CostModel::aries());
+//! let m = ModelSpec::atis_lstm();
+//! let dense = step_time(&m, 8, 16, &GpuSpec::p100(),
+//!     &SyncStrategy::PerLayer(Exchange::dense()), &est);
+//! let sparse = step_time(&m, 8, 16, &GpuSpec::p100(),
+//!     &SyncStrategy::PerLayer(Exchange::topk(2)), &est);
+//! assert!(sparse.total < dense.total);
+//! ```
+
+#![warn(missing_docs)]
+
+mod comm;
+mod convergence;
+mod model;
+mod step;
+
+pub use comm::{AnalyticEstimator, CommEstimator, Exchange, MeasuredEstimator};
+pub use convergence::LossCurve;
+pub use model::{LayerSpec, ModelSpec};
+pub use step::{step_time, throughput, GpuSpec, StepTime, SyncStrategy};

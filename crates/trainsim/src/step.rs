@@ -1,0 +1,226 @@
+//! Step-time simulation with layer-wise communication overlap.
+//!
+//! Models one synchronous data-parallel training step the way CNTK +
+//! SparCML executes it: forward pass, then backward pass layer by layer
+//! (reverse order); as soon as a layer's gradient is ready its allreduce
+//! is issued non-blocking ("communication is done layer-wise using
+//! non-blocking calls", §8.3) and the network processes exchanges
+//! serially. The step completes when both compute and the last exchange
+//! have finished.
+
+use crate::comm::{CommEstimator, Exchange};
+use crate::model::ModelSpec;
+
+/// Compute-node throughput description.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSpec {
+    /// Sustained flops per second (fp32).
+    pub flops_per_sec: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA P100-class sustained throughput (§8: Piz Daint nodes).
+    pub fn p100() -> Self {
+        GpuSpec { flops_per_sec: 3.0e12 }
+    }
+
+    /// NVIDIA V100-class (ASR cluster).
+    pub fn v100() -> Self {
+        GpuSpec { flops_per_sec: 6.0e12 }
+    }
+
+    /// NVIDIA K80-class (cloud deployment).
+    pub fn k80() -> Self {
+        GpuSpec { flops_per_sec: 1.2e12 }
+    }
+}
+
+/// How gradients synchronize across nodes.
+#[derive(Debug, Clone)]
+pub enum SyncStrategy {
+    /// Per-layer allreduce, overlapped with backward compute.
+    PerLayer(Exchange),
+    /// BMUF: a full-model dense allreduce every `block_steps` steps
+    /// (no overlap; the paper's ASR baseline).
+    Bmuf {
+        /// Steps between synchronizations.
+        block_steps: usize,
+    },
+}
+
+/// Breakdown of one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTime {
+    /// Pure compute time (forward + backward).
+    pub compute: f64,
+    /// Communication time that could not be hidden behind compute.
+    pub exposed_comm: f64,
+    /// Total step time (`compute + exposed_comm`).
+    pub total: f64,
+}
+
+/// Simulates the per-step time of `model` on `p` nodes with per-node batch
+/// `batch`, using `est` for collective costs.
+pub fn step_time(
+    model: &ModelSpec,
+    p: usize,
+    batch: usize,
+    gpu: &GpuSpec,
+    strategy: &SyncStrategy,
+    est: &dyn CommEstimator,
+) -> StepTime {
+    let fwd: f64 =
+        model.layers.iter().map(|l| l.flops_fwd).sum::<f64>() * batch as f64 / gpu.flops_per_sec;
+    let bwd_total: f64 =
+        model.layers.iter().map(|l| l.flops_bwd).sum::<f64>() * batch as f64 / gpu.flops_per_sec;
+    let compute = fwd + bwd_total;
+
+    match strategy {
+        SyncStrategy::PerLayer(exchange) => {
+            // Backward visits layers in reverse; gradient of layer i is
+            // ready when its backward slice completes. The NIC serializes
+            // exchanges in readiness order.
+            let mut t = fwd;
+            let mut nic_free = fwd;
+            let mut last_comm_end = fwd;
+            for l in model.layers.iter().rev() {
+                t += l.flops_bwd * batch as f64 / gpu.flops_per_sec;
+                let ready = t;
+                let start = ready.max(nic_free);
+                let dur = est.layer_time(l.params, p, exchange);
+                nic_free = start + dur;
+                last_comm_end = nic_free;
+            }
+            let total = compute.max(last_comm_end);
+            StepTime { compute, exposed_comm: total - compute, total }
+        }
+        SyncStrategy::Bmuf { block_steps } => {
+            // One dense full-model allreduce amortized over the block; it
+            // happens at a barrier, so nothing is hidden.
+            let sync = est.layer_time(model.total_params(), p, &Exchange::dense());
+            let amortized = sync / (*block_steps as f64).max(1.0);
+            StepTime { compute, exposed_comm: amortized, total: compute + amortized }
+        }
+    }
+}
+
+/// Samples per second of the whole cluster.
+pub fn throughput(
+    model: &ModelSpec,
+    p: usize,
+    batch: usize,
+    gpu: &GpuSpec,
+    strategy: &SyncStrategy,
+    est: &dyn CommEstimator,
+) -> f64 {
+    let st = step_time(model, p, batch, gpu, strategy, est);
+    (p * batch) as f64 / st.total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::AnalyticEstimator;
+    use sparcml_core::Algorithm;
+    use sparcml_net::CostModel;
+
+    fn est() -> AnalyticEstimator {
+        AnalyticEstimator::new(CostModel::aries())
+    }
+
+    #[test]
+    fn compute_scales_with_batch() {
+        let m = ModelSpec::resnet50();
+        let a = step_time(&m, 8, 4, &GpuSpec::p100(), &SyncStrategy::PerLayer(Exchange::dense()), &est());
+        let b = step_time(&m, 8, 8, &GpuSpec::p100(), &SyncStrategy::PerLayer(Exchange::dense()), &est());
+        assert!(b.compute > 1.9 * a.compute);
+    }
+
+    #[test]
+    fn topk_reduces_exposed_comm() {
+        let m = ModelSpec::atis_lstm();
+        let dense = step_time(
+            &m,
+            8,
+            16,
+            &GpuSpec::p100(),
+            &SyncStrategy::PerLayer(Exchange::dense()),
+            &est(),
+        );
+        let topk = step_time(
+            &m,
+            8,
+            16,
+            &GpuSpec::p100(),
+            &SyncStrategy::PerLayer(Exchange::topk(2)),
+            &est(),
+        );
+        assert!(
+            topk.exposed_comm < dense.exposed_comm / 4.0,
+            "topk {} vs dense {}",
+            topk.exposed_comm,
+            dense.exposed_comm
+        );
+        assert!(topk.total < dense.total);
+    }
+
+    #[test]
+    fn overlap_hides_comm_of_early_layers() {
+        // A model whose first layer is all the compute and last layer is
+        // all the params: its exchange must overlap with the remaining
+        // backward compute.
+        let m = ModelSpec {
+            name: "toy".into(),
+            layers: vec![
+                crate::model::LayerSpec::new("tail", 1_000, 1e12), // heavy compute
+                crate::model::LayerSpec::new("head", 4_000_000, 1e3), // heavy params
+            ],
+        };
+        let st = step_time(
+            &m,
+            8,
+            1,
+            &GpuSpec::p100(),
+            &SyncStrategy::PerLayer(Exchange::dense()),
+            &est(),
+        );
+        // "head" is last → its gradient is ready first (backward reverse
+        // order) and overlaps the long "tail" backward.
+        assert!(st.exposed_comm < st.compute * 0.1, "{st:?}");
+    }
+
+    #[test]
+    fn bmuf_amortizes_sync() {
+        let m = ModelSpec::asr_lstm();
+        let b1 = step_time(
+            &m,
+            4,
+            4,
+            &GpuSpec::v100(),
+            &SyncStrategy::Bmuf { block_steps: 1 },
+            &est(),
+        );
+        let b8 = step_time(
+            &m,
+            4,
+            4,
+            &GpuSpec::v100(),
+            &SyncStrategy::Bmuf { block_steps: 8 },
+            &est(),
+        );
+        assert!(b8.exposed_comm < b1.exposed_comm / 4.0);
+    }
+
+    #[test]
+    fn throughput_grows_with_nodes_for_sparse() {
+        let m = ModelSpec::asr_lstm();
+        let strat = SyncStrategy::PerLayer(Exchange::TopK {
+            k_per_bucket: 4,
+            algorithm: Algorithm::SsarRecDbl,
+            quant: None,
+        });
+        let t32 = throughput(&m, 8, 4, &GpuSpec::v100(), &strat, &est());
+        let t128 = throughput(&m, 32, 4, &GpuSpec::v100(), &strat, &est());
+        assert!(t128 > 2.0 * t32, "t32 {t32} vs t128 {t128}");
+    }
+}

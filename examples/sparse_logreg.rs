@@ -1,0 +1,58 @@
+//! Large-scale sparse logistic regression with MPI-OPT (§8.2 scenario).
+//!
+//! Run with `cargo run --release --example sparse_logreg`.
+//!
+//! Trains a logistic-regression classifier on a synthetic URL-like
+//! dataset (3.2M-dimensional trigram features, scaled down by default)
+//! across 8 ranks, exploiting the *natural* sparsity of the gradients —
+//! no sparsification, communication is lossless — and reports the
+//! epoch-time split between the dense baseline and SparCML.
+
+use sparcml::core::Algorithm;
+use sparcml::net::CostModel;
+use sparcml::opt::data::{generate_sparse, SparseGenConfig};
+use sparcml::opt::sgd::{train_distributed, SgdConfig};
+use sparcml::opt::LrSchedule;
+
+fn main() {
+    let mut gen = SparseGenConfig::url_like(4096);
+    gen.dim = 200_000; // scaled from 3 231 961; raise to taste
+    let dataset = generate_sparse(&gen);
+    println!(
+        "dataset: {} samples x {} features, avg nnz/sample {:.0}",
+        dataset.samples.len(),
+        dataset.dim,
+        dataset.avg_nnz()
+    );
+
+    let p = 8;
+    let cost = CostModel::aries();
+    let mk = |algo| SgdConfig {
+        lr: LrSchedule::Const(1.0),
+        batch_per_node: 128,
+        epochs: 5,
+        algorithm: Some(algo),
+        ..Default::default()
+    };
+
+    for (name, algo) in [
+        ("dense MPI baseline", Algorithm::DenseRabenseifner),
+        ("SSAR_Recursive_double", Algorithm::SsarRecDbl),
+        ("SSAR_Split_allgather", Algorithm::SsarSplitAllgather),
+    ] {
+        let result = train_distributed(&dataset, p, cost, &mk(algo));
+        let last = result.epochs.last().unwrap();
+        let avg_t: f64 =
+            result.epochs.iter().map(|e| e.total_time).sum::<f64>() / result.epochs.len() as f64;
+        let avg_c: f64 =
+            result.epochs.iter().map(|e| e.comm_time).sum::<f64>() / result.epochs.len() as f64;
+        println!(
+            "{name:<24} epoch {:.2} ms (comm {:.2} ms)   loss {:.4}  acc {:.1}%",
+            avg_t * 1e3,
+            avg_c * 1e3,
+            last.loss,
+            last.accuracy * 100.0
+        );
+    }
+    println!("\n(convergence is identical across rows: sparse collectives are lossless)");
+}

@@ -1,0 +1,58 @@
+//! Quantized Top-k SGD (Algorithm 1 of the paper) on a neural network.
+//!
+//! Run with `cargo run --release --example topk_dnn`.
+//!
+//! Trains an MLP replica on every rank; gradients are compressed with
+//! bucket-wise Top-k + error feedback and reduced with a sparse
+//! collective; a 4-bit QSGD variant shows the combined scheme. The
+//! point to observe: compressed runs track the dense accuracy while
+//! sending orders of magnitude fewer bytes.
+
+use sparcml::net::CostModel;
+use sparcml::opt::data::generate_dense_images_noisy;
+use sparcml::opt::{
+    train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
+};
+use sparcml::quant::QsgdConfig;
+
+fn main() {
+    let dim = 256;
+    let classes = 10;
+    let dataset = generate_dense_images_noisy(dim, classes, 1024, 0.7, 9);
+    let p = 4;
+    let base = NnTrainConfig {
+        lr: LrSchedule::Const(0.2),
+        epochs: 6,
+        batch_per_node: 16,
+        ..Default::default()
+    };
+
+    let variants: Vec<(&str, Compression)> = vec![
+        ("dense 32-bit", Compression::Dense),
+        (
+            "topk 8/512 + error feedback",
+            Compression::TopK(TopKConfig { k_per_bucket: 8, bucket_size: 512 }),
+        ),
+        (
+            "topk 8/512 + 4-bit QSGD",
+            Compression::TopKQuant(
+                TopKConfig { k_per_bucket: 8, bucket_size: 512 },
+                QsgdConfig::with_bits(4),
+            ),
+        ),
+    ];
+
+    for (name, compression) in variants {
+        let cfg = NnTrainConfig { compression, ..base.clone() };
+        let (_, stats) =
+            train_mlp_distributed(&dataset, &[dim, 128, classes], p, CostModel::aries(), &cfg);
+        let last = stats.last().unwrap();
+        println!(
+            "{name:<30} final acc {:.1}%  loss {:.3}  bytes/epoch {:>10}  comm {:.2} ms",
+            last.accuracy * 100.0,
+            last.loss,
+            last.bytes_sent,
+            last.comm_time * 1e3,
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the SparCML workspace public API.
+pub use sparcml_core as core;
+pub use sparcml_net as net;
+pub use sparcml_opt as opt;
+pub use sparcml_quant as quant;
+pub use sparcml_stream as stream;
+pub use sparcml_trainsim as trainsim;

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: every collective against the sequential
+//! reference, across representations, precisions, rank counts and
+//! configurations.
+
+use sparcml::core::reference::reference_sum;
+use sparcml::core::{
+    allreduce, iallreduce, select_algorithm, sparse_allgather, Algorithm, AllreduceConfig,
+};
+use sparcml::net::{max_virtual_time, run_cluster, CostModel};
+use sparcml::quant::QsgdConfig;
+use sparcml::stream::{random_sparse, Scalar, SparseStream};
+
+fn check_algo<V: Scalar>(algo: Algorithm, p: usize, dim: usize, nnz: usize, tol: f64) {
+    let ins: Vec<SparseStream<V>> =
+        (0..p).map(|r| random_sparse(dim, nnz, 9000 + r as u64)).collect();
+    let expect = reference_sum(&ins);
+    let outs = run_cluster(p, CostModel::zero(), |ep| {
+        allreduce(ep, &ins[ep.rank()], algo, &AllreduceConfig::default()).unwrap()
+    });
+    for (rank, out) in outs.iter().enumerate() {
+        assert_eq!(out.dim(), dim);
+        let got = out.to_dense_vec();
+        for (i, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+            assert!(
+                (g.to_f64() - e.to_f64()).abs() < tol,
+                "{algo:?} rank {rank} coord {i}: {g:?} vs {e:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_with_reference_f32() {
+    for algo in Algorithm::ALL {
+        check_algo::<f32>(algo, 8, 4096, 128, 1e-3);
+    }
+}
+
+#[test]
+fn all_algorithms_agree_with_reference_f64() {
+    for algo in Algorithm::ALL {
+        check_algo::<f64>(algo, 4, 2048, 64, 1e-9);
+    }
+}
+
+#[test]
+fn all_algorithms_handle_non_power_of_two_ranks() {
+    for algo in Algorithm::ALL {
+        for p in [3usize, 5, 6, 7] {
+            check_algo::<f32>(algo, p, 1024, 32, 1e-3);
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_handle_two_and_one_ranks() {
+    for algo in Algorithm::ALL {
+        check_algo::<f32>(algo, 1, 256, 16, 1e-4);
+        check_algo::<f32>(algo, 2, 256, 16, 1e-4);
+    }
+}
+
+#[test]
+fn empty_inputs_reduce_to_zero() {
+    for algo in Algorithm::ALL {
+        let outs = run_cluster(4, CostModel::zero(), |ep| {
+            let input = SparseStream::<f32>::zeros(512);
+            allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap()
+        });
+        for out in outs {
+            assert_eq!(out.nnz(), 0, "{algo:?}");
+        }
+    }
+}
+
+#[test]
+fn repeated_collectives_in_one_session_do_not_cross_match() {
+    // Three different allreduces back-to-back on the same endpoints; tags
+    // must isolate them.
+    let p = 4;
+    let dims = [512usize, 1024, 256];
+    let outs = run_cluster(p, CostModel::zero(), |ep| {
+        let mut results = Vec::new();
+        for (i, &dim) in dims.iter().enumerate() {
+            let input = random_sparse::<f32>(dim, 16, (i * 100 + ep.rank()) as u64);
+            let algo = match i {
+                0 => Algorithm::SsarRecDbl,
+                1 => Algorithm::SsarSplitAllgather,
+                _ => Algorithm::SparseRing,
+            };
+            results.push(allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap());
+        }
+        results
+    });
+    for (i, &dim) in dims.iter().enumerate() {
+        let ins: Vec<SparseStream<f32>> =
+            (0..p).map(|r| random_sparse(dim, 16, (i * 100 + r) as u64)).collect();
+        let expect = reference_sum(&ins);
+        for rank_out in &outs {
+            let got = rank_out[i].to_dense_vec();
+            for (g, e) in got.iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_dsar_is_within_qsgd_error_bound() {
+    let p = 8;
+    let dim = 8192;
+    let ins: Vec<SparseStream<f32>> =
+        (0..p).map(|r| random_sparse(dim, 512, 400 + r as u64)).collect();
+    let expect = reference_sum(&ins);
+    let cfg = AllreduceConfig {
+        quant: Some(QsgdConfig { bits: 8, bucket_size: 512, ..QsgdConfig::paper_default() }),
+        ..Default::default()
+    };
+    let outs = run_cluster(p, CostModel::zero(), |ep| {
+        allreduce(ep, &ins[ep.rank()], Algorithm::DsarSplitAllgather, &cfg).unwrap()
+    });
+    let max_abs = expect.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    for out in outs {
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() <= max_abs / 127.0 + 1e-3, "{g} vs {e}");
+        }
+    }
+}
+
+#[test]
+fn mixed_blocking_and_nonblocking_collectives() {
+    let p = 4;
+    let dim = 2048;
+    let ins: Vec<SparseStream<f32>> =
+        (0..p).map(|r| random_sparse(dim, 64, 777 + r as u64)).collect();
+    let expect = reference_sum(&ins);
+    let double_expect: Vec<f32> = expect.iter().map(|v| v * 2.0).collect();
+    let outs = run_cluster(p, CostModel::zero(), |ep| {
+        // Blocking first…
+        let first =
+            allreduce(ep, &ins[ep.rank()], Algorithm::SsarRecDbl, &AllreduceConfig::default())
+                .unwrap();
+        // …then a non-blocking one over the *result*.
+        let req = iallreduce(
+            ep.detach(),
+            first,
+            Algorithm::SsarSplitAllgather,
+            AllreduceConfig::default(),
+        );
+        let (ep_back, second) = req.wait().unwrap();
+        *ep = ep_back;
+        second
+    });
+    // Second reduction sums the (identical) first results: P × first.
+    for out in outs {
+        for (g, e) in out.to_dense_vec().iter().zip(double_expect.iter()) {
+            let scaled = e * (p as f32 / 2.0);
+            assert!((g - scaled).abs() < 1e-2, "{g} vs {scaled}");
+        }
+    }
+}
+
+#[test]
+fn selector_choice_is_never_far_from_best() {
+    // For a few workloads, the adaptive choice must be within 2x of the
+    // best measured algorithm (it is allowed to be approximate).
+    let cost = CostModel::aries();
+    for &(p, n, k) in &[(8usize, 1 << 16, 1 << 6), (8, 1 << 16, 1 << 12), (16, 1 << 14, 1 << 11)] {
+        let chosen = select_algorithm::<f32>(p, n, k, &cost);
+        let measure = |algo: Algorithm| {
+            max_virtual_time(p, cost, move |ep| {
+                let input = random_sparse::<f32>(n, k, 5 + ep.rank() as u64);
+                allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap();
+            })
+        };
+        let t_chosen = measure(chosen);
+        let t_best = Algorithm::ALL.iter().map(|a| measure(*a)).fold(f64::INFINITY, f64::min);
+        assert!(
+            t_chosen <= t_best * 2.0 + 1e-9,
+            "P={p} N={n} k={k}: chose {chosen:?} at {t_chosen}, best {t_best}"
+        );
+    }
+}
+
+#[test]
+fn allgather_integration_round_trip() {
+    let p = 6;
+    let outs = run_cluster(p, CostModel::aries(), |ep| {
+        let mine = random_sparse::<f32>(4096, 32, 31 + ep.rank() as u64);
+        sparse_allgather(ep, &mine).unwrap()
+    });
+    for ranks in &outs {
+        assert_eq!(ranks.len(), p);
+        for (r, s) in ranks.iter().enumerate() {
+            assert_eq!(s, &random_sparse::<f32>(4096, 32, 31 + r as u64));
+        }
+    }
+}
+
+#[test]
+fn dense_result_is_identical_across_algorithms_for_integer_values() {
+    // With integer-valued inputs every summation order gives the same
+    // bits, so all algorithms must agree exactly.
+    let p = 8;
+    let dim = 2048;
+    let mk = |rank: usize| {
+        let pairs: Vec<(u32, f32)> =
+            (0..64).map(|i| (((rank * 31 + i * 7) % dim) as u32, 1.0f32)).collect();
+        SparseStream::from_pairs(dim, &pairs).unwrap()
+    };
+    let mut reference: Option<Vec<f32>> = None;
+    for algo in Algorithm::ALL {
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            allreduce(ep, &mk(ep.rank()), algo, &AllreduceConfig::default()).unwrap()
+        });
+        let dense = outs[0].to_dense_vec();
+        match &reference {
+            None => reference = Some(dense),
+            Some(r) => assert_eq!(&dense, r, "{algo:?} disagrees"),
+        }
+    }
+}

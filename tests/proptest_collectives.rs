@@ -1,0 +1,98 @@
+//! Property-based tests of the collectives: for arbitrary sparsity
+//! patterns and rank counts, every algorithm must produce the reference
+//! sum at every rank, and virtual times must respect basic monotonicity.
+
+use proptest::prelude::*;
+use sparcml::core::reference::reference_sum;
+use sparcml::core::{allreduce, Algorithm, AllreduceConfig};
+use sparcml::net::{max_virtual_time, run_cluster, CostModel};
+use sparcml::stream::SparseStream;
+
+/// Strategy: P per-rank pair lists over a shared dimension.
+fn cluster_inputs() -> impl Strategy<Value = (usize, Vec<Vec<(u32, f32)>>)> {
+    (2usize..7, 32usize..256).prop_flat_map(|(p, dim)| {
+        let one = proptest::collection::vec((0..dim as u32, -10.0f32..10.0), 0..dim / 2);
+        (Just(dim), proptest::collection::vec(one, p))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_algorithm_matches_reference((dim, per_rank) in cluster_inputs()) {
+        let p = per_rank.len();
+        let ins: Vec<SparseStream<f32>> = per_rank
+            .iter()
+            .map(|pairs| SparseStream::from_pairs(dim, pairs).unwrap())
+            .collect();
+        let expect = reference_sum(&ins);
+        for algo in Algorithm::ALL {
+            let outs = run_cluster(p, CostModel::zero(), |ep| {
+                allreduce(ep, &ins[ep.rank()], algo, &AllreduceConfig::default()).unwrap()
+            });
+            for (rank, out) in outs.iter().enumerate() {
+                let got = out.to_dense_vec();
+                for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                    prop_assert!(
+                        (g - e).abs() <= 1e-2 * (1.0 + e.abs()),
+                        "{algo:?} rank {rank} coord {i}: {g} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_agree_bitwise((dim, per_rank) in cluster_inputs()) {
+        // Whatever fp ordering an algorithm uses, all ranks must hold the
+        // *same* result bits.
+        let p = per_rank.len();
+        let ins: Vec<SparseStream<f32>> = per_rank
+            .iter()
+            .map(|pairs| SparseStream::from_pairs(dim, pairs).unwrap())
+            .collect();
+        for algo in [Algorithm::SsarRecDbl, Algorithm::SsarSplitAllgather, Algorithm::SparseRing] {
+            let outs = run_cluster(p, CostModel::zero(), |ep| {
+                allreduce(ep, &ins[ep.rank()], algo, &AllreduceConfig::default())
+                    .unwrap()
+                    .to_dense_vec()
+            });
+            for other in &outs[1..] {
+                prop_assert_eq!(other, &outs[0], "{:?}", algo);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn virtual_time_monotone_in_message_size(k_small in 8usize..64, scale in 2usize..8) {
+        // More data on the same network must not be faster (rec-dbl).
+        let n = 1 << 14;
+        let k_large = k_small * scale;
+        let time_for = |k: usize| {
+            max_virtual_time(4, CostModel::gige(), move |ep| {
+                let input = sparcml::stream::random_sparse::<f32>(n, k, ep.rank() as u64);
+                allreduce(ep, &input, Algorithm::SsarRecDbl, &AllreduceConfig::default())
+                    .unwrap();
+            })
+        };
+        prop_assert!(time_for(k_large) >= time_for(k_small));
+    }
+
+    #[test]
+    fn slower_network_is_never_faster(k in 16usize..256) {
+        let n = 1 << 14;
+        let time_on = |cost: CostModel| {
+            max_virtual_time(4, cost, move |ep| {
+                let input = sparcml::stream::random_sparse::<f32>(n, k, ep.rank() as u64);
+                allreduce(ep, &input, Algorithm::SsarSplitAllgather, &AllreduceConfig::default())
+                    .unwrap();
+            })
+        };
+        prop_assert!(time_on(CostModel::gige()) >= time_on(CostModel::aries()));
+    }
+}

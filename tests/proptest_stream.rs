@@ -1,0 +1,177 @@
+//! Property-based tests of the sparse stream core invariants.
+
+use proptest::prelude::*;
+use sparcml::quant::{dequantize, quantize, NormKind, QsgdConfig};
+use sparcml::stream::{DensityPolicy, SparseStream, XorShift64};
+
+/// Strategy: a dimension plus a set of in-range (index, value) pairs.
+fn stream_inputs() -> impl Strategy<Value = (usize, Vec<(u32, f32)>)> {
+    (16usize..512).prop_flat_map(|dim| {
+        let pairs = proptest::collection::vec(
+            (0..dim as u32, -100.0f32..100.0),
+            0..(dim / 2).max(1),
+        );
+        (Just(dim), pairs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_pairs_preserves_logical_vector((dim, pairs) in stream_inputs()) {
+        let s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        s.check_invariants().unwrap();
+        let mut expect = vec![0.0f32; dim];
+        for &(i, v) in &pairs {
+            expect[i as usize] += v;
+        }
+        let got = s.to_dense_vec();
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()));
+        }
+    }
+
+    #[test]
+    fn sum_matches_dense_reference(
+        (dim, a) in stream_inputs(),
+        b_seed in 0u64..1000,
+        densify_a in any::<bool>(),
+        densify_b in any::<bool>(),
+    ) {
+        let mut sa = SparseStream::from_pairs(dim, &a).unwrap();
+        let mut sb = sparcml::stream::random_sparse::<f32>(dim, (dim / 4).max(1), b_seed);
+        if densify_a { sa.densify(); }
+        if densify_b { sb.densify(); }
+        let mut expect = sa.to_dense_vec();
+        for (i, v) in sb.iter_nonzero() {
+            expect[i as usize] += v;
+        }
+        sa.add_assign(&sb).unwrap();
+        let got = sa.to_dense_vec();
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn sum_switches_repr_only_past_delta((dim, a) in stream_inputs(), b_seed in 0u64..1000) {
+        let mut sa = SparseStream::from_pairs(dim, &a).unwrap();
+        let sb = sparcml::stream::random_sparse::<f32>(dim, (dim / 8).max(1), b_seed);
+        let policy = DensityPolicy::default();
+        let pre_len = sa.stored_len() + sb.stored_len();
+        let stats = sa.add_assign_with(&sb, &policy).unwrap();
+        let delta = policy.delta::<f32>(dim);
+        if stats.switched_to_dense {
+            prop_assert!(pre_len > delta);
+        } else if sa.is_sparse() {
+            prop_assert!(pre_len <= delta);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip((dim, pairs) in stream_inputs(), dense in any::<bool>()) {
+        let mut s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        if dense { s.densify(); }
+        let bytes = s.encode();
+        prop_assert_eq!(bytes.len(), s.encoded_len());
+        let back = SparseStream::<f32>::decode(&bytes).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn restrict_partition_concat_is_identity((dim, pairs) in stream_inputs(), parts in 1usize..8) {
+        let s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        let restricted: Vec<SparseStream<f32>> = (0..parts)
+            .map(|r| {
+                let pr = sparcml::stream::partition_range(dim, parts, r);
+                s.restrict(pr.lo, pr.hi)
+            })
+            .collect();
+        let joined = SparseStream::concat_disjoint(&restricted).unwrap();
+        prop_assert_eq!(joined.to_dense_vec(), s.to_dense_vec());
+    }
+
+    #[test]
+    fn wire_bytes_decide_repr_efficiency((dim, pairs) in stream_inputs()) {
+        let s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        let mut d = s.clone();
+        d.densify();
+        // The δ rule: sparse is smaller iff stored_len <= δ.
+        let delta = sparcml::stream::delta_raw::<f32>(dim);
+        if s.stored_len() <= delta {
+            prop_assert!(s.wire_bytes() <= d.wire_bytes());
+        } else {
+            prop_assert!(s.wire_bytes() >= d.wire_bytes());
+        }
+    }
+
+    #[test]
+    fn scale_is_linear((dim, pairs) in stream_inputs(), factor in -4.0f32..4.0) {
+        let mut s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        let before = s.to_dense_vec();
+        s.scale(factor);
+        for (a, b) in s.to_dense_vec().iter().zip(&before) {
+            prop_assert!((a - b * factor).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn qsgd_error_bounded_and_sign_preserving(
+        values in proptest::collection::vec(-50.0f32..50.0, 1..300),
+        bits in prop_oneof![Just(2u8), Just(4u8), Just(8u8)],
+        seed in 0u64..500,
+    ) {
+        let cfg = QsgdConfig { bits, bucket_size: 64, norm: NormKind::MaxAbs };
+        let q = quantize(&values, &cfg, &mut XorShift64::new(seed));
+        let back = dequantize(&q);
+        let s = ((1u16 << (bits - 1)) - 1) as f32;
+        for (i, (a, b)) in values.iter().zip(&back).enumerate() {
+            let bucket = i / cfg.bucket_size;
+            let bound = q.scales[bucket] / s + 1e-5;
+            prop_assert!((a - b).abs() <= bound, "i={i}: |{a}-{b}| > {bound}");
+            if *b != 0.0 {
+                prop_assert_eq!(a.signum(), b.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn f64_streams_round_trip((dim, pairs) in stream_inputs()) {
+        let pairs64: Vec<(u32, f64)> = pairs.iter().map(|&(i, v)| (i, v as f64)).collect();
+        let s = SparseStream::from_pairs(dim, &pairs64).unwrap();
+        let back = SparseStream::<f64>::decode(&s.encode()).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topk_error_feedback_mass_conservation(
+        grads in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 32),
+            1..10,
+        ),
+        k in 1usize..4,
+    ) {
+        use sparcml::opt::{ErrorFeedback, TopKConfig};
+        let dim = 32;
+        let cfg = TopKConfig { k_per_bucket: k, bucket_size: 8 };
+        let mut ef = ErrorFeedback::new(dim, cfg);
+        let mut total = vec![0.0f32; dim];
+        let mut sent = vec![0.0f32; dim];
+        for g in &grads {
+            for (t, gi) in total.iter_mut().zip(g) {
+                *t += *gi;
+            }
+            let s = ef.compress(g);
+            for (i, v) in s.iter_nonzero() {
+                sent[i as usize] += v;
+            }
+            for i in 0..dim {
+                let rec = sent[i] + ef.residual()[i];
+                prop_assert!((rec - total[i]).abs() < 1e-3, "coord {i}: {rec} vs {}", total[i]);
+            }
+        }
+    }
+}
