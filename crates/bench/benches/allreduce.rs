@@ -2,8 +2,8 @@
 //! cluster (complements the virtual-time figures).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml_net::{run_cluster, CostModel};
+use sparcml_core::{run_communicators, Algorithm};
+use sparcml_net::CostModel;
 use sparcml_stream::random_sparse;
 
 fn bench_allreduce(c: &mut Criterion) {
@@ -19,9 +19,14 @@ fn bench_allreduce(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new(algo.name(), p), &algo, |b, &algo| {
             b.iter(|| {
-                run_cluster(p, CostModel::zero(), |ep| {
-                    let input = random_sparse::<f32>(n, k, ep.rank() as u64);
-                    allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap().nnz()
+                run_communicators(p, CostModel::zero(), |comm| {
+                    let input = random_sparse::<f32>(n, k, comm.rank() as u64);
+                    comm.allreduce(&input)
+                        .algorithm(algo)
+                        .launch()
+                        .and_then(|handle| handle.wait())
+                        .unwrap()
+                        .nnz()
                 })
             });
         });

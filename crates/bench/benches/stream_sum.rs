@@ -12,7 +12,8 @@ fn bench_sum(c: &mut Criterion) {
             let y = random_sparse::<f32>(dim, nnz, 2);
             b.iter(|| {
                 let mut acc = x.clone();
-                acc.add_assign_with(&y, &DensityPolicy::never_densify()).unwrap();
+                acc.add_assign_with(&y, &DensityPolicy::never_densify())
+                    .unwrap();
                 acc.nnz()
             });
         });

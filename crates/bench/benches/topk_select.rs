@@ -10,14 +10,20 @@ fn bench_topk(c: &mut Criterion) {
     for dim in [1 << 16, 1 << 20] {
         let values: Vec<f32> = (0..dim).map(|_| rng.next_gaussian() as f32).collect();
         for k in [1usize, 4, 16] {
-            let cfg = TopKConfig { k_per_bucket: k, bucket_size: 512 };
+            let cfg = TopKConfig {
+                k_per_bucket: k,
+                bucket_size: 512,
+            };
             group.bench_with_input(
                 BenchmarkId::new(format!("select_k{k}"), dim),
                 &values,
                 |b, v| b.iter(|| topk_bucketwise(v, &cfg).stored_len()),
             );
         }
-        let cfg = TopKConfig { k_per_bucket: 4, bucket_size: 512 };
+        let cfg = TopKConfig {
+            k_per_bucket: 4,
+            bucket_size: 512,
+        };
         group.bench_with_input(BenchmarkId::new("error_feedback", dim), &values, |b, v| {
             let mut ef = ErrorFeedback::new(v.len(), cfg);
             b.iter(|| ef.compress(v).stored_len());

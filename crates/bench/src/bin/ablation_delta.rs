@@ -9,8 +9,8 @@
 //! switch actually buys.
 
 use sparcml_bench::{fmt_time, header, print_row, BenchArgs};
-use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml_net::{max_virtual_time, CostModel};
+use sparcml_core::{max_communicator_time, Algorithm};
+use sparcml_net::CostModel;
 use sparcml_stream::{random_sparse, DensityPolicy};
 
 fn main() {
@@ -32,14 +32,23 @@ fn main() {
         ("never densify", DensityPolicy::never_densify()),
     ];
     let widths = vec![22usize, 14, 14];
-    print_row(&["policy factor", "aries", "gige"].map(String::from).to_vec(), &widths);
+    print_row(
+        ["policy factor", "aries", "gige"]
+            .map(String::from)
+            .as_ref(),
+        &widths,
+    );
     for (name, policy) in factors {
         let mut row = vec![name.to_string()];
         for cost in [CostModel::aries(), CostModel::gige()] {
-            let cfg = AllreduceConfig { policy, ..Default::default() };
-            let t = max_virtual_time(p, cost, |ep| {
-                let input = random_sparse::<f32>(n, k, 2024 + ep.rank() as u64);
-                allreduce(ep, &input, Algorithm::SsarRecDbl, &cfg).unwrap();
+            let t = max_communicator_time(p, cost, |comm| {
+                let input = random_sparse::<f32>(n, k, 2024 + comm.rank() as u64);
+                comm.allreduce(&input)
+                    .algorithm(Algorithm::SsarRecDbl)
+                    .policy(policy)
+                    .launch()
+                    .and_then(|handle| handle.wait())
+                    .unwrap();
             });
             row.push(fmt_time(t));
         }

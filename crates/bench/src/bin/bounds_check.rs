@@ -4,16 +4,20 @@
 
 use sparcml_bench::{fmt_time, header, print_row, BenchArgs};
 use sparcml_core::bounds::{self, Workload};
-use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml_net::{max_virtual_time, CostModel};
+use sparcml_core::{max_communicator_time, Algorithm};
+use sparcml_net::CostModel;
 use sparcml_stream::{random_sparse, SparseStream};
 
 /// Measures with fully-overlapping supports (K = k): every rank holds the
 /// same indices.
 fn time_full_overlap(algo: Algorithm, p: usize, n: usize, k: usize, cost: CostModel) -> f64 {
     let shared = random_sparse::<f32>(n, k, 777);
-    max_virtual_time(p, cost, move |ep| {
-        allreduce(ep, &shared, algo, &AllreduceConfig::default()).unwrap();
+    max_communicator_time(p, cost, move |comm| {
+        comm.allreduce(&shared)
+            .algorithm(algo)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
     })
 }
 
@@ -22,23 +26,32 @@ fn time_full_overlap(algo: Algorithm, p: usize, n: usize, k: usize, cost: CostMo
 /// this balance: "every node has exactly k items").
 fn time_disjoint(algo: Algorithm, p: usize, n: usize, k: usize, cost: CostModel) -> f64 {
     let stride = (n / (p * k)).max(1);
-    max_virtual_time(p, cost, move |ep| {
-        let r = ep.rank();
-        let pairs: Vec<(u32, f32)> =
-            (0..k).map(|i| (((i * p + r) * stride) as u32, 1.0)).collect();
+    max_communicator_time(p, cost, move |comm| {
+        let r = comm.rank();
+        let pairs: Vec<(u32, f32)> = (0..k)
+            .map(|i| (((i * p + r) * stride) as u32, 1.0))
+            .collect();
         let input = SparseStream::from_pairs(n, &pairs).unwrap();
-        allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap();
+        comm.allreduce(&input)
+            .algorithm(algo)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
     })
 }
 
 /// Measures with disjoint supports all *concentrated in one partition* —
 /// a pathological imbalance outside the paper's analysis assumptions.
 fn time_concentrated(algo: Algorithm, p: usize, n: usize, k: usize, cost: CostModel) -> f64 {
-    max_virtual_time(p, cost, move |ep| {
-        let lo = (ep.rank() * k) as u32;
+    max_communicator_time(p, cost, move |comm| {
+        let lo = (comm.rank() * k) as u32;
         let pairs: Vec<(u32, f32)> = (lo..lo + k as u32).map(|i| (i, 1.0)).collect();
         let input = SparseStream::from_pairs(n, &pairs).unwrap();
-        allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap();
+        comm.allreduce(&input)
+            .algorithm(algo)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
     })
 }
 
@@ -52,17 +65,28 @@ fn main() {
     );
     let mut cost = CostModel::aries();
     cost.gamma = 0.0; // the paper's bounds ignore reduction compute
-    let configs = [(8usize, 1 << 18, 1 << 10), (16, 1 << 18, 1 << 12), (4, 1 << 16, 1 << 8)];
+    let configs = [
+        (8usize, 1 << 18, 1 << 10),
+        (16, 1 << 18, 1 << 12),
+        (4, 1 << 16, 1 << 8),
+    ];
     let algos = [Algorithm::SsarRecDbl, Algorithm::SsarSplitAllgather];
 
     let widths = vec![22usize, 12, 11, 11, 11, 8];
     print_row(
-        &["algorithm", "P/N/k", "lower", "measured", "upper", "ok?"].map(String::from).to_vec(),
+        ["algorithm", "P/N/k", "lower", "measured", "upper", "ok?"]
+            .map(String::from)
+            .as_ref(),
         &widths,
     );
     let mut all_ok = true;
     for &(p, n, k) in &configs {
-        let w = Workload { p, n, k, value_bytes: 4 };
+        let w = Workload {
+            p,
+            n,
+            k,
+            value_bytes: 4,
+        };
         for algo in algos {
             let env = match algo {
                 Algorithm::SsarRecDbl => bounds::ssar_rec_dbl(&w, &cost),
@@ -99,7 +123,12 @@ fn main() {
     );
     {
         let (p, n, k) = (8usize, 1 << 18, 1 << 10);
-        let w = Workload { p, n, k, value_bytes: 4 };
+        let w = Workload {
+            p,
+            n,
+            k,
+            value_bytes: 4,
+        };
         let env = bounds::ssar_split_ag(&w, &cost);
         let t = time_concentrated(Algorithm::SsarSplitAllgather, p, n, k, cost);
         println!(
@@ -113,7 +142,12 @@ fn main() {
     let (p, n) = (8usize, 1 << 18);
     let k = n / 8;
     let t = time_disjoint(Algorithm::DsarSplitAllgather, p, n, k, cost);
-    let w = Workload { p, n, k, value_bytes: 4 };
+    let w = Workload {
+        p,
+        n,
+        k,
+        value_bytes: 4,
+    };
     let floor = bounds::lemma_5_2(&w, &cost, n / 2);
     println!(
         "Lemma 5.2: DSAR measured {} >= floor {} : {}",

@@ -66,7 +66,10 @@ fn main() {
         let mut row = vec![format!("{p}")];
         for &d in &densities {
             let k = ((512.0 * d) as usize).max(1);
-            let cfg = TopKConfig { k_per_bucket: k, bucket_size: 512 };
+            let cfg = TopKConfig {
+                k_per_bucket: k,
+                bucket_size: 512,
+            };
             let mut support = vec![false; n];
             for g in grads.iter().take(p) {
                 let s = topk_bucketwise(g, &cfg);

@@ -13,14 +13,18 @@
 //! flattens out; DSAR improvement is bounded by a constant at high fill.
 
 use sparcml_bench::{fmt_time, header, print_row, BenchArgs};
-use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml_net::{max_virtual_time, CostModel};
+use sparcml_core::{max_communicator_time, Algorithm};
+use sparcml_net::CostModel;
 use sparcml_stream::random_sparse;
 
 fn reduction_time(algo: Algorithm, p: usize, n: usize, k: usize, cost: CostModel) -> f64 {
-    max_virtual_time(p, cost, move |ep| {
-        let input = random_sparse::<f32>(n, k, 1000 + ep.rank() as u64);
-        allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap();
+    max_communicator_time(p, cost, move |comm| {
+        let input = random_sparse::<f32>(n, k, 1000 + comm.rank() as u64);
+        comm.allreduce(&input)
+            .algorithm(algo)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
     })
 }
 

@@ -9,11 +9,9 @@
 //! DESIGN.md), same k/bucket ratios and quantization.
 
 use sparcml_bench::{header, print_row, BenchArgs};
-use sparcml_opt::data::generate_dense_images_noisy;
-use sparcml_opt::{
-    train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
-};
 use sparcml_net::CostModel;
+use sparcml_opt::data::generate_dense_images_noisy;
+use sparcml_opt::{train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig};
 use sparcml_quant::QsgdConfig;
 
 fn main() {
@@ -39,7 +37,10 @@ fn main() {
             "topk 16/512 + Q4",
             NnTrainConfig {
                 compression: Compression::TopKQuant(
-                    TopKConfig { k_per_bucket: 16, bucket_size: 512 },
+                    TopKConfig {
+                        k_per_bucket: 16,
+                        bucket_size: 512,
+                    },
                     QsgdConfig::with_bits(4),
                 ),
                 ..base.clone()
@@ -49,7 +50,10 @@ fn main() {
             "topk 8/512 + Q4",
             NnTrainConfig {
                 compression: Compression::TopKQuant(
-                    TopKConfig { k_per_bucket: 8, bucket_size: 512 },
+                    TopKConfig {
+                        k_per_bucket: 8,
+                        bucket_size: 512,
+                    },
                     QsgdConfig::with_bits(4),
                 ),
                 ..base.clone()
@@ -59,8 +63,7 @@ fn main() {
 
     let mut results = Vec::new();
     for (name, cfg) in &variants {
-        let (_, stats) =
-            train_mlp_distributed(&ds, &[dim, 64, 10], p, CostModel::aries(), cfg);
+        let (_, stats) = train_mlp_distributed(&ds, &[dim, 64, 10], p, CostModel::aries(), cfg);
         results.push((name.to_string(), stats));
     }
 

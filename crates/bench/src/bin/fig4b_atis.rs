@@ -9,9 +9,7 @@
 use sparcml_bench::{fmt_bytes, header, print_row, BenchArgs};
 use sparcml_net::CostModel;
 use sparcml_opt::data::generate_sequences;
-use sparcml_opt::{
-    train_lstm_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
-};
+use sparcml_opt::{train_lstm_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,7 +17,7 @@ fn main() {
         "Figure 4b",
         "LSTM training accuracy per epoch on the ATIS-like task: dense vs Top-k 2/512.",
     );
-    let vocab = args.dim(10_000).min(2000).max(300);
+    let vocab = args.dim(10_000).clamp(300, 2000);
     let classes = 16;
     let ds = generate_sequences(vocab, classes, 768, 10, 21);
     let epochs = 20;
@@ -31,7 +29,10 @@ fn main() {
         ..Default::default()
     };
     let sparse = NnTrainConfig {
-        compression: Compression::TopK(TopKConfig { k_per_bucket: 2, bucket_size: 512 }),
+        compression: Compression::TopK(TopKConfig {
+            k_per_bucket: 2,
+            bucket_size: 512,
+        }),
         ..base.clone()
     };
     // Our stand-in model is ~500x smaller than the paper's 20M-param ATIS
@@ -40,20 +41,23 @@ fn main() {
     // its strong-scaled ASR run).
     let sparse_tuned = NnTrainConfig {
         lr: LrSchedule::Const(2.0),
-        compression: Compression::TopK(TopKConfig { k_per_bucket: 2, bucket_size: 512 }),
+        compression: Compression::TopK(TopKConfig {
+            k_per_bucket: 2,
+            bucket_size: 512,
+        }),
         ..base.clone()
     };
 
-    let (_, dense_stats) =
-        train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &base);
-    let (_, sparse_stats) =
-        train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &sparse);
+    let (_, dense_stats) = train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &base);
+    let (_, sparse_stats) = train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &sparse);
     let (_, tuned_stats) =
         train_lstm_distributed(&ds, 16, 32, p, CostModel::aries(), &sparse_tuned);
 
     let widths = vec![8usize, 16, 16, 20];
     print_row(
-        &["epoch", "dense", "topk 2/512", "topk 2/512 (lr x4)"].map(String::from).to_vec(),
+        ["epoch", "dense", "topk 2/512", "topk 2/512 (lr x4)"]
+            .map(String::from)
+            .as_ref(),
         &widths,
     );
     for e in 0..epochs {

@@ -10,9 +10,7 @@ use sparcml_bench::{header, print_row, BenchArgs};
 use sparcml_net::CostModel;
 use sparcml_opt::data::generate_dense_images_noisy;
 use sparcml_opt::nn::{in_top_k, Mlp};
-use sparcml_opt::{
-    train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
-};
+use sparcml_opt::{train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig};
 use sparcml_quant::QsgdConfig;
 
 fn top5_error(model: &Mlp, xs: &[Vec<f32>], ys: &[u32]) -> f64 {
@@ -57,13 +55,20 @@ fn main() {
     let dims = [dim, 512, classes];
     let base = NnTrainConfig {
         epochs,
-        lr: LrSchedule::StepDecay { base: 0.3, factor: 0.1, every: 7 * (1600 / (8 * 8)) },
+        lr: LrSchedule::StepDecay {
+            base: 0.3,
+            factor: 0.1,
+            every: 7 * (1600 / (8 * 8)),
+        },
         batch_per_node: 8,
         ..Default::default()
     };
     let sparse = NnTrainConfig {
         compression: Compression::TopKQuant(
-            TopKConfig { k_per_bucket: 1, bucket_size: 512 },
+            TopKConfig {
+                k_per_bucket: 1,
+                bucket_size: 512,
+            },
             QsgdConfig::with_bits(4),
         ),
         ..base.clone()
@@ -76,7 +81,10 @@ fn main() {
 
     let widths = vec![8usize, 16, 16];
     println!("top-5 TRAIN error per epoch:");
-    print_row(&["epoch", "baseline", "topk+Q4"].map(String::from).to_vec(), &widths);
+    print_row(
+        ["epoch", "baseline", "topk+Q4"].map(String::from).as_ref(),
+        &widths,
+    );
     for e in 0..epochs {
         print_row(
             &[
@@ -90,7 +98,8 @@ fn main() {
     println!();
     let dense_val = top5_error(&dense_model, &valid.samples, &valid.labels);
     let sparse_val = top5_error(&sparse_model, &valid.samples, &valid.labels);
-    println!("top-5 VALIDATION error: baseline {:.1}% vs topk+Q4 {:.1}% (delta {:+.1} pts;\n\
+    println!(
+        "top-5 VALIDATION error: baseline {:.1}% vs topk+Q4 {:.1}% (delta {:+.1} pts;\n\
               paper: <0.5% top-5 gap on 4xResNet-18)",
         dense_val * 100.0,
         sparse_val * 100.0,

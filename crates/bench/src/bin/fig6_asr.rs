@@ -58,7 +58,9 @@ fn main() {
 
     let widths = vec![12usize, 14, 16, 16];
     print_row(
-        &["system", "samples/s", "6-pass time", "speedup vs BMUF"].map(String::from).to_vec(),
+        ["system", "samples/s", "6-pass time", "speedup vs BMUF"]
+            .map(String::from)
+            .as_ref(),
         &widths,
     );
     print_row(
@@ -87,9 +89,15 @@ fn main() {
     println!("loss-vs-time series (CE loss at fractions of the BMUF wall-clock):");
     let widths = vec![12usize, 10, 12, 12, 12];
     print_row(
-        &["t/bmuf_total", "BMUF-16", "SparCML-32", "SparCML-64", "SparCML-128"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "t/bmuf_total",
+            "BMUF-16",
+            "SparCML-32",
+            "SparCML-64",
+            "SparCML-128",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     for frac in [0.05f64, 0.1, 0.2, 0.4, 0.7, 1.0] {
@@ -102,9 +110,17 @@ fn main() {
         print_row(&row, &widths);
     }
 
-    header("Figure 6b", "Scalability: SparCML throughput vs GPU count (ideal = linear).");
+    header(
+        "Figure 6b",
+        "Scalability: SparCML throughput vs GPU count (ideal = linear).",
+    );
     let widths = vec![8usize, 14, 14, 10];
-    print_row(&["GPUs", "samples/s", "vs 32 GPUs", "ideal"].map(String::from).to_vec(), &widths);
+    print_row(
+        ["GPUs", "samples/s", "vs 32 GPUs", "ideal"]
+            .map(String::from)
+            .as_ref(),
+        &widths,
+    );
     for (g, tp) in gpus.iter().zip(&tps) {
         print_row(
             &[

@@ -36,14 +36,20 @@ fn main() {
 
     let widths = vec![18usize, 16, 16, 12];
     print_row(
-        &["exchange", "epoch(total)", "epoch(comm)", "final loss"].map(String::from).to_vec(),
+        ["exchange", "epoch(total)", "epoch(comm)", "final loss"]
+            .map(String::from)
+            .as_ref(),
         &widths,
     );
-    let avg = |s: &[sparcml_opt::scd::ScdEpochStats], f: fn(&sparcml_opt::scd::ScdEpochStats) -> f64| {
+    let avg = |s: &[sparcml_opt::scd::ScdEpochStats],
+               f: fn(&sparcml_opt::scd::ScdEpochStats) -> f64| {
         s.iter().map(f).sum::<f64>() / s.len() as f64
     };
     let (dt, dc) = (avg(&dense, |e| e.total_time), avg(&dense, |e| e.comm_time));
-    let (st, sc) = (avg(&sparse, |e| e.total_time), avg(&sparse, |e| e.comm_time));
+    let (st, sc) = (
+        avg(&sparse, |e| e.total_time),
+        avg(&sparse, |e| e.comm_time),
+    );
     print_row(
         &[
             "dense allgather".into(),

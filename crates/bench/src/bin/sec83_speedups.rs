@@ -9,9 +9,7 @@
 use sparcml_bench::{fmt_time, header, print_row, BenchArgs};
 use sparcml_core::Algorithm;
 use sparcml_net::CostModel;
-use sparcml_trainsim::{
-    step_time, AnalyticEstimator, Exchange, GpuSpec, ModelSpec, SyncStrategy,
-};
+use sparcml_trainsim::{step_time, AnalyticEstimator, Exchange, GpuSpec, ModelSpec, SyncStrategy};
 
 fn main() {
     let _args = BenchArgs::parse();
@@ -35,9 +33,16 @@ fn main() {
 
     let widths = vec![14usize, 13, 13, 13, 11, 10];
     print_row(
-        &["model", "dense step", "sparse step", "comm share", "speedup", "paper"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "model",
+            "dense step",
+            "sparse step",
+            "comm share",
+            "speedup",
+            "paper",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     for (model, batch, k, paper) in cases {

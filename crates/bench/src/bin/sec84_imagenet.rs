@@ -13,9 +13,7 @@ use sparcml_bench::{fmt_time, header, print_row, BenchArgs};
 use sparcml_core::theory::expected_union_size;
 use sparcml_core::Algorithm;
 use sparcml_net::CostModel;
-use sparcml_trainsim::{
-    step_time, AnalyticEstimator, Exchange, GpuSpec, ModelSpec, SyncStrategy,
-};
+use sparcml_trainsim::{step_time, AnalyticEstimator, Exchange, GpuSpec, ModelSpec, SyncStrategy};
 
 fn main() {
     let _args = BenchArgs::parse();
@@ -38,9 +36,16 @@ fn main() {
 
     let widths = vec![14usize, 13, 13, 12, 10, 12];
     print_row(
-        &["model", "dense step", "sparse step", "speedup", "paper", "fc params"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "model",
+            "dense step",
+            "sparse step",
+            "speedup",
+            "paper",
+            "fc params",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     for (model, batch, k, paper) in &cases {
@@ -81,7 +86,9 @@ fn main() {
     println!("fill-in analysis (why ResNet-50 cannot win — §8.4 item (1)):");
     let widths = vec![14usize, 12, 14, 16];
     print_row(
-        &["model", "k/512", "E[K]/N @ P=64", "dense after agg?"].map(String::from).to_vec(),
+        ["model", "k/512", "E[K]/N @ P=64", "dense after agg?"]
+            .map(String::from)
+            .as_ref(),
         &widths,
     );
     for (model, _, k, _) in &cases {
@@ -94,7 +101,12 @@ fn main() {
                 model.name.clone(),
                 format!("{k}"),
                 format!("{:.1}%", frac * 100.0),
-                (if frac > 0.25 { "yes (DSAR regime)" } else { "no" }).to_string(),
+                (if frac > 0.25 {
+                    "yes (DSAR regime)"
+                } else {
+                    "no"
+                })
+                .to_string(),
             ],
             &widths,
         );

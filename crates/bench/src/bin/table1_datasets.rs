@@ -16,9 +16,15 @@ fn main() {
     );
     let widths = vec![14usize, 10, 14, 16, 22];
     print_row(
-        &["dataset", "classes", "samples", "dimension", "generated (stats)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "dataset",
+            "classes",
+            "samples",
+            "dimension",
+            "generated (stats)",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
 
@@ -34,7 +40,12 @@ fn main() {
             "2".into(),
             "2 396 130".into(),
             "3 231 961".into(),
-            format!("{} x {} (avg nnz {:.0})", url.samples.len(), url.dim, url.avg_nnz()),
+            format!(
+                "{} x {} (avg nnz {:.0})",
+                url.samples.len(),
+                url.dim,
+                url.avg_nnz()
+            ),
         ],
         &widths,
     );
@@ -52,7 +63,12 @@ fn main() {
             "2".into(),
             "350 000".into(),
             "16 609 143".into(),
-            format!("{} x {} (avg nnz {:.0})", web.samples.len(), web.dim, web.avg_nnz()),
+            format!(
+                "{} x {} (avg nnz {:.0})",
+                web.samples.len(),
+                web.dim,
+                web.avg_nnz()
+            ),
         ],
         &widths,
     );
@@ -78,7 +94,12 @@ fn main() {
             "1000".into(),
             "1.3M".into(),
             "224x224x3".into(),
-            format!("{} x {} dense ({} cls, scaled)", imagenet.samples.len(), imagenet.dim, imagenet.classes),
+            format!(
+                "{} x {} dense ({} cls, scaled)",
+                imagenet.samples.len(),
+                imagenet.dim,
+                imagenet.classes
+            ),
         ],
         &widths,
     );
@@ -92,7 +113,12 @@ fn main() {
             "128".into(),
             "4 978 s/56 590 w".into(),
             "-".into(),
-            format!("{} s/{} w, vocab {}", atis.sequences.len(), words, atis.vocab),
+            format!(
+                "{} s/{} w, vocab {}",
+                atis.sequences.len(),
+                words,
+                atis.vocab
+            ),
         ],
         &widths,
     );
@@ -106,10 +132,18 @@ fn main() {
             "-".into(),
             "948K s/15 657K w".into(),
             "-".into(),
-            format!("{} s/{} w, vocab {}", hansards.sequences.len(), words, hansards.vocab),
+            format!(
+                "{} s/{} w, vocab {}",
+                hansards.sequences.len(),
+                words,
+                hansards.vocab
+            ),
         ],
         &widths,
     );
     println!();
-    println!("(sample counts scaled by --scale {}; feature dimensions preserved)", args.scale);
+    println!(
+        "(sample counts scaled by --scale {}; feature dimensions preserved)",
+        args.scale
+    );
 }

@@ -60,23 +60,112 @@ fn main() {
     );
 
     let rows = vec![
-        Row { system: "Piz Daint", cost: CostModel::aries(), dataset: "Webspam", model: "LR", loss: LinearLoss::Logistic, nodes: 32, algorithm: Algorithm::SsarRecDbl },
-        Row { system: "Piz Daint", cost: CostModel::aries(), dataset: "Webspam", model: "SVM", loss: LinearLoss::Hinge, nodes: 32, algorithm: Algorithm::SsarRecDbl },
-        Row { system: "Piz Daint", cost: CostModel::aries(), dataset: "URL", model: "LR", loss: LinearLoss::Logistic, nodes: 32, algorithm: Algorithm::SsarRecDbl },
-        Row { system: "Piz Daint", cost: CostModel::aries(), dataset: "URL", model: "SVM", loss: LinearLoss::Hinge, nodes: 32, algorithm: Algorithm::SsarRecDbl },
-        Row { system: "Piz Daint", cost: CostModel::aries(), dataset: "Webspam", model: "LR", loss: LinearLoss::Logistic, nodes: 8, algorithm: Algorithm::SsarSplitAllgather },
-        Row { system: "Piz Daint", cost: CostModel::aries(), dataset: "URL", model: "LR", loss: LinearLoss::Logistic, nodes: 8, algorithm: Algorithm::SsarSplitAllgather },
-        Row { system: "Greina (IB)", cost: CostModel::infiniband(), dataset: "Webspam", model: "LR", loss: LinearLoss::Logistic, nodes: 8, algorithm: Algorithm::SsarSplitAllgather },
-        Row { system: "Greina (IB)", cost: CostModel::infiniband(), dataset: "URL", model: "LR", loss: LinearLoss::Logistic, nodes: 8, algorithm: Algorithm::SsarSplitAllgather },
-        Row { system: "Greina (GigE)", cost: CostModel::gige(), dataset: "Webspam", model: "LR", loss: LinearLoss::Logistic, nodes: 8, algorithm: Algorithm::SsarSplitAllgather },
-        Row { system: "Greina (GigE)", cost: CostModel::gige(), dataset: "URL", model: "LR", loss: LinearLoss::Logistic, nodes: 8, algorithm: Algorithm::SsarSplitAllgather },
+        Row {
+            system: "Piz Daint",
+            cost: CostModel::aries(),
+            dataset: "Webspam",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 32,
+            algorithm: Algorithm::SsarRecDbl,
+        },
+        Row {
+            system: "Piz Daint",
+            cost: CostModel::aries(),
+            dataset: "Webspam",
+            model: "SVM",
+            loss: LinearLoss::Hinge,
+            nodes: 32,
+            algorithm: Algorithm::SsarRecDbl,
+        },
+        Row {
+            system: "Piz Daint",
+            cost: CostModel::aries(),
+            dataset: "URL",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 32,
+            algorithm: Algorithm::SsarRecDbl,
+        },
+        Row {
+            system: "Piz Daint",
+            cost: CostModel::aries(),
+            dataset: "URL",
+            model: "SVM",
+            loss: LinearLoss::Hinge,
+            nodes: 32,
+            algorithm: Algorithm::SsarRecDbl,
+        },
+        Row {
+            system: "Piz Daint",
+            cost: CostModel::aries(),
+            dataset: "Webspam",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 8,
+            algorithm: Algorithm::SsarSplitAllgather,
+        },
+        Row {
+            system: "Piz Daint",
+            cost: CostModel::aries(),
+            dataset: "URL",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 8,
+            algorithm: Algorithm::SsarSplitAllgather,
+        },
+        Row {
+            system: "Greina (IB)",
+            cost: CostModel::infiniband(),
+            dataset: "Webspam",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 8,
+            algorithm: Algorithm::SsarSplitAllgather,
+        },
+        Row {
+            system: "Greina (IB)",
+            cost: CostModel::infiniband(),
+            dataset: "URL",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 8,
+            algorithm: Algorithm::SsarSplitAllgather,
+        },
+        Row {
+            system: "Greina (GigE)",
+            cost: CostModel::gige(),
+            dataset: "Webspam",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 8,
+            algorithm: Algorithm::SsarSplitAllgather,
+        },
+        Row {
+            system: "Greina (GigE)",
+            cost: CostModel::gige(),
+            dataset: "URL",
+            model: "LR",
+            loss: LinearLoss::Logistic,
+            nodes: 8,
+            algorithm: Algorithm::SsarSplitAllgather,
+        },
     ];
 
     let widths = vec![13usize, 9, 6, 7, 18, 22, 18, 14];
     print_row(
-        &["system", "dataset", "model", "nodes", "baseline(comm)", "algorithm", "sparcml(comm)", "speedup(comm)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "system",
+            "dataset",
+            "model",
+            "nodes",
+            "baseline(comm)",
+            "algorithm",
+            "sparcml(comm)",
+            "speedup(comm)",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
 
@@ -91,10 +180,13 @@ fn main() {
             lr: LrSchedule::Const(0.3),
             batch_per_node: batch,
             epochs: 1,
-            algorithm: Some(Algorithm::DenseRabenseifner),
+            algorithm: Algorithm::DenseRabenseifner,
             ..Default::default()
         };
-        let sparse_cfg = SgdConfig { algorithm: Some(row.algorithm), ..base_cfg.clone() };
+        let sparse_cfg = SgdConfig {
+            algorithm: row.algorithm,
+            ..base_cfg.clone()
+        };
         let dense = train_distributed(&ds, row.nodes, row.cost, &base_cfg);
         let sparse = train_distributed(&ds, row.nodes, row.cost, &sparse_cfg);
         let (dt, dc) = (dense.epochs[0].total_time, dense.epochs[0].comm_time);

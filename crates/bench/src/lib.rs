@@ -41,7 +41,11 @@ impl BenchArgs {
         }
         let scale_explicit = scale.is_some();
         let scale = scale.unwrap_or(if full { 1.0 } else { 0.05 });
-        BenchArgs { scale, scale_explicit, full }
+        BenchArgs {
+            scale,
+            scale_explicit,
+            full,
+        }
     }
 
     /// The scale to use when a binary prefers a different default.
@@ -123,7 +127,11 @@ mod tests {
 
     #[test]
     fn dim_scaling_clamps() {
-        let a = BenchArgs { scale: 0.01, scale_explicit: true, full: false };
+        let a = BenchArgs {
+            scale: 0.01,
+            scale_explicit: true,
+            full: false,
+        };
         assert_eq!(a.dim(100), 64); // clamped at 64
         assert_eq!(a.dim(1_000_000), 10_000);
     }

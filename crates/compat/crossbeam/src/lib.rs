@@ -1,0 +1,95 @@
+//! Offline drop-in subset of the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io; the workspace only
+//! uses `crossbeam::channel::{unbounded, Sender, Receiver}`, which this
+//! crate provides on top of `std::sync::mpsc` with matching semantics
+//! (unbounded, multi-producer, disconnection errors on a dropped side).
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels (the subset used here).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Clonable across threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// The channel is disconnected: every receiver was dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is disconnected: every sender was dropped and the
+    /// buffer is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a bounded-wait receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the deadline.
+        Timeout,
+        /// Every sender was dropped and the buffer is drained.
+        Disconnected,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; fails once all senders are dropped
+        /// and the buffer is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+
+        /// Blocks for the next value up to `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41).unwrap());
+        std::thread::spawn(move || tx.send(1).unwrap());
+        let sum = rx.recv().unwrap() + rx.recv().unwrap();
+        assert_eq!(sum, 42);
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+}

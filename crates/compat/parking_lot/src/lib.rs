@@ -1,0 +1,43 @@
+//! Offline drop-in subset of the `parking_lot` crate.
+//!
+//! Provides the infallible-`lock()` [`Mutex`] API this workspace uses,
+//! backed by `std::sync::Mutex` (poisoning is transparently cleared, like
+//! parking_lot which has no poisoning).
+
+#![warn(missing_docs)]
+
+use std::sync::{MutexGuard, PoisonError};
+
+/// A mutex whose `lock()` never returns an error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

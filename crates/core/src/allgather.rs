@@ -6,7 +6,7 @@
 //! "the values calculated by each node lie in different slices of the
 //! entire model vector") the gather *is* the reduction.
 
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{Scalar, SparseStream};
 
 use crate::error::CollError;
@@ -15,8 +15,8 @@ use crate::op::allgather_bytes;
 /// Gathers every rank's sparse stream to every rank (streams returned in
 /// rank order). Latency `log2(P)·α` for power-of-two `P` (recursive
 /// doubling), `(P−1)·α` otherwise (ring).
-pub fn sparse_allgather<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn sparse_allgather<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
 ) -> Result<Vec<SparseStream<V>>, CollError> {
     let op_id = ep.next_op_id();
@@ -30,8 +30,8 @@ pub fn sparse_allgather<V: Scalar>(
 /// Gathers and sums sparse streams whose supports are disjoint: the result
 /// is the element-wise sum, assembled by merge (correct — though no longer
 /// a pure concatenation — even if supports do overlap).
-pub fn sparse_allgather_sum<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn sparse_allgather_sum<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
 ) -> Result<SparseStream<V>, CollError> {
     let parts = sparse_allgather(ep, input)?;
@@ -53,8 +53,8 @@ pub fn sparse_allgather_sum<V: Scalar>(
 /// Dense allgather: every rank contributes a dense block (e.g. its slice
 /// of the model); all blocks are returned in rank order. This is the dense
 /// baseline the SCD experiment compares against (§8.2).
-pub fn dense_allgather<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn dense_allgather<T: Transport, V: Scalar>(
+    ep: &mut T,
     block: &[V],
 ) -> Result<Vec<Vec<V>>, CollError> {
     let op_id = ep.next_op_id();
@@ -62,7 +62,11 @@ pub fn dense_allgather<V: Scalar>(
     let blocks = allgather_bytes(ep, op_id, mine)?;
     blocks
         .iter()
-        .map(|b| SparseStream::<V>::decode(b).map(|s| s.into_dense_vec()).map_err(CollError::from))
+        .map(|b| {
+            SparseStream::<V>::decode(b)
+                .map(|s| s.into_dense_vec())
+                .map_err(CollError::from)
+        })
         .collect()
 }
 
@@ -136,7 +140,12 @@ mod tests {
 
     #[test]
     fn sparse_allgather_latency_log2p() {
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let t = max_virtual_time(8, cost, |ep| {
             let input = SparseStream::<f32>::zeros(64);
             sparse_allgather(ep, &input).unwrap();

@@ -2,7 +2,7 @@
 //! ring. These are "the MPI allreduce implementation on the fully dense
 //! vectors" that every experiment in §8 compares against.
 
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
@@ -31,8 +31,8 @@ fn decode_block<V: Scalar>(bytes: &[u8], expect_len: usize) -> Result<Vec<V>, Co
 
 /// Dense recursive-doubling allreduce: `log2(P)` rounds, each exchanging
 /// the full vector. `T = log2(P)·(α + N·βd)` plus reduction time.
-pub fn dense_recursive_double<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn dense_recursive_double<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -58,7 +58,7 @@ pub fn dense_recursive_double<V: Scalar>(
             }
             unfold_result(ep, op_id, Some(acc))?
         }
-        FoldRole::Parked => unfold_result::<V>(ep, op_id, None)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None)?,
     };
     Ok(result)
 }
@@ -66,8 +66,8 @@ pub fn dense_recursive_double<V: Scalar>(
 /// Rabenseifner's allreduce [44]: recursive-halving reduce-scatter followed
 /// by recursive-doubling allgather. `T = 2·log2(P)·α + 2·(P−1)/P·N·βd`,
 /// bandwidth-optimal for large dense vectors (§5.3.2).
-pub fn dense_rabenseifner<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn dense_rabenseifner<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -127,8 +127,11 @@ pub fn dense_rabenseifner<V: Scalar>(
                 let payload = encode_block(&vals[lo..hi]);
                 ep.send(peer, tag(op_id, subtag::ROUND + 32 + t as u64), payload)?;
                 let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + 32 + t as u64))?;
-                let (their_lo, their_hi) =
-                    if lo == combined_lo { (hi, combined_hi) } else { (combined_lo, lo) };
+                let (their_lo, their_hi) = if lo == combined_lo {
+                    (hi, combined_hi)
+                } else {
+                    (combined_lo, lo)
+                };
                 let theirs: Vec<V> = decode_block(&incoming, their_hi - their_lo)?;
                 vals[their_lo..their_hi].copy_from_slice(&theirs);
                 lo = combined_lo;
@@ -137,7 +140,7 @@ pub fn dense_rabenseifner<V: Scalar>(
             debug_assert_eq!((lo, hi), (0, dim));
             unfold_result(ep, op_id, Some(SparseStream::from_dense(vals)))?
         }
-        FoldRole::Parked => unfold_result::<V>(ep, op_id, None)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None)?,
     };
     Ok(result)
 }
@@ -147,8 +150,8 @@ pub fn dense_rabenseifner<V: Scalar>(
 /// latency-heavy at scale — "on a fast network and relatively small number
 /// of nodes, the ring-based algorithm is faster th[a]n all other
 /// algorithms, but does not give any speedup at high number of nodes" (§8.1).
-pub fn dense_ring<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn dense_ring<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -176,7 +179,11 @@ pub fn dense_ring<V: Scalar>(
         let recv_idx = (rank + p - step - 1) % p;
         let sr = range(send_idx);
         let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize]);
-        ep.send(next, tag(op_id, subtag::RING + ((step as u64) << 8)), payload)?;
+        ep.send(
+            next,
+            tag(op_id, subtag::RING + ((step as u64) << 8)),
+            payload,
+        )?;
         let incoming = ep.recv(prev, tag(op_id, subtag::RING + ((step as u64) << 8)))?;
         let rr = range(recv_idx);
         let theirs: Vec<V> = decode_block(&incoming, rr.len())?;
@@ -191,7 +198,11 @@ pub fn dense_ring<V: Scalar>(
         let recv_idx = (rank + p - step) % p;
         let sr = range(send_idx);
         let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize]);
-        ep.send(next, tag(op_id, subtag::RING + 1 + ((step as u64) << 8)), payload)?;
+        ep.send(
+            next,
+            tag(op_id, subtag::RING + 1 + ((step as u64) << 8)),
+            payload,
+        )?;
         let incoming = ep.recv(prev, tag(op_id, subtag::RING + 1 + ((step as u64) << 8)))?;
         let rr = range(recv_idx);
         let theirs: Vec<V> = decode_block(&incoming, rr.len())?;
@@ -204,12 +215,19 @@ pub fn dense_ring<V: Scalar>(
 mod tests {
     use super::*;
     use crate::reference::reference_sum;
-    use sparcml_net::{max_virtual_time, run_cluster, CostModel};
+    use sparcml_net::{max_virtual_time, run_cluster, CostModel, Endpoint};
     use sparcml_stream::random_sparse;
 
-    fn check(algo: fn(&mut Endpoint, &SparseStream<f32>, &AllreduceConfig) -> Result<SparseStream<f32>, CollError>, p: usize, dim: usize) {
-        let ins: Vec<SparseStream<f32>> =
-            (0..p).map(|r| random_sparse(dim, dim / 8, 900 + r as u64)).collect();
+    type DenseAlgo = fn(
+        &mut Endpoint,
+        &SparseStream<f32>,
+        &AllreduceConfig,
+    ) -> Result<SparseStream<f32>, CollError>;
+
+    fn check(algo: DenseAlgo, p: usize, dim: usize) {
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, dim / 8, 900 + r as u64))
+            .collect();
         let expect = reference_sum(&ins);
         let outs = run_cluster(p, CostModel::zero(), |ep| {
             algo(ep, &ins[ep.rank()], &AllreduceConfig::default()).unwrap()
@@ -261,7 +279,12 @@ mod tests {
 
     #[test]
     fn rabenseifner_latency_is_2log2p_alpha() {
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let p = 8;
         let t = max_virtual_time(p, cost, |ep| {
             let input = SparseStream::from_dense(vec![0.0f32; 64]);
@@ -272,7 +295,12 @@ mod tests {
 
     #[test]
     fn rabenseifner_bandwidth_beats_rec_dbl_for_large_n() {
-        let cost = CostModel { alpha: 0.0, beta: 1e-6, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 1e-6,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let p = 8;
         let dim = 1 << 14;
         let input = SparseStream::from_dense(vec![1.0f32; dim]);
@@ -288,7 +316,12 @@ mod tests {
 
     #[test]
     fn ring_latency_grows_linearly() {
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let input = SparseStream::from_dense(vec![0.0f32; 64]);
         let t8 = max_virtual_time(8, cost, |ep| {
             dense_ring(ep, &input, &AllreduceConfig::default()).unwrap();

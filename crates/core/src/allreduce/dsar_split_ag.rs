@@ -13,7 +13,7 @@
 //! the second part of the DSAR Split allgather algorithm").
 
 use bytes::Bytes;
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_quant::{dequantize, quantize, QuantizedVec};
 use sparcml_stream::{partition_range, Scalar, SparseStream, XorShift64};
 
@@ -23,8 +23,8 @@ use crate::op::{allgather_bytes, recv_stream, send_stream, subtag, tag};
 
 /// Sparse split + dense (optionally quantized) allgather allreduce.
 /// Always returns a dense stream. Works for any `P ≥ 1`.
-pub fn dsar_split_allgather<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn dsar_split_allgather<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -43,12 +43,18 @@ pub fn dsar_split_allgather<V: Scalar>(
         let dst = (rank + step) % p;
         let range = partition_range(dim, p, dst);
         let part = input.restrict(range.lo, range.hi);
-        send_stream(ep, dst, tag(op_id, subtag::SPLIT), &part, cfg.blocking_split_sends)?;
+        send_stream(
+            ep,
+            dst,
+            tag(op_id, subtag::SPLIT),
+            &part,
+            cfg.blocking_split_sends,
+        )?;
     }
     let my_range = partition_range(dim, p, rank);
     let block_len = my_range.len();
     let mut block = vec![V::zero(); block_len];
-    let scatter = |ep: &mut Endpoint, part: &SparseStream<V>, block: &mut [V]| {
+    let scatter = |ep: &mut T, part: &SparseStream<V>, block: &mut [V]| {
         let mut n = 0usize;
         for (idx, val) in part.iter_nonzero() {
             let slot = &mut block[(idx - my_range.lo) as usize];
@@ -63,7 +69,7 @@ pub fn dsar_split_allgather<V: Scalar>(
         if src == rank {
             continue;
         }
-        let part = recv_stream::<V>(ep, src, tag(op_id, subtag::SPLIT))?;
+        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT))?;
         scatter(ep, &part, &mut block);
     }
 
@@ -130,8 +136,9 @@ mod tests {
     use sparcml_stream::random_sparse;
 
     fn check(p: usize, dim: usize, nnz: usize) {
-        let ins: Vec<SparseStream<f32>> =
-            (0..p).map(|r| random_sparse(dim, nnz, 31 + r as u64)).collect();
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, nnz, 31 + r as u64))
+            .collect();
         let expect = reference_sum(&ins);
         let outs = run_cluster(p, CostModel::zero(), |ep| {
             dsar_split_allgather(ep, &ins[ep.rank()], &AllreduceConfig::default()).unwrap()
@@ -159,11 +166,16 @@ mod tests {
     fn quantized_variant_is_close() {
         let p = 4;
         let dim = 4096;
-        let ins: Vec<SparseStream<f32>> =
-            (0..p).map(|r| random_sparse(dim, 400, 77 + r as u64)).collect();
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, 400, 77 + r as u64))
+            .collect();
         let expect = reference_sum(&ins);
         let cfg = AllreduceConfig {
-            quant: Some(QsgdConfig { bits: 8, bucket_size: 256, ..QsgdConfig::paper_default() }),
+            quant: Some(QsgdConfig {
+                bits: 8,
+                bucket_size: 256,
+                ..QsgdConfig::paper_default()
+            }),
             ..Default::default()
         };
         let outs = run_cluster(p, CostModel::zero(), |ep| {
@@ -206,7 +218,10 @@ mod tests {
         let ins: Vec<SparseStream<f32>> =
             (0..p).map(|r| random_sparse(dim, 4096, r as u64)).collect();
         let bytes_for = |quant: Option<QsgdConfig>| {
-            let cfg = AllreduceConfig { quant, ..Default::default() };
+            let cfg = AllreduceConfig {
+                quant,
+                ..Default::default()
+            };
             let stats = run_cluster(p, CostModel::zero(), |ep| {
                 dsar_split_allgather(ep, &ins[ep.rank()], &cfg).unwrap();
                 ep.stats().bytes_sent
@@ -228,8 +243,9 @@ mod tests {
         let per = dim / p;
         let cost = CostModel::aries();
         let mk = |rank: usize| {
-            let pairs: Vec<(u32, f32)> =
-                ((rank * per) as u32..((rank + 1) * per) as u32).map(|i| (i, 1.0)).collect();
+            let pairs: Vec<(u32, f32)> = ((rank * per) as u32..((rank + 1) * per) as u32)
+                .map(|i| (i, 1.0))
+                .collect();
             SparseStream::from_pairs(dim, &pairs).unwrap()
         };
         let t_dsar = max_virtual_time(p, cost, |ep| {

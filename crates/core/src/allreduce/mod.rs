@@ -6,6 +6,7 @@
 //!
 //! | algorithm | schedule | intended regime |
 //! |---|---|---|
+//! | [`Algorithm::Auto`] | adaptive (§5.3 selector) | the default: picks one of the below per call |
 //! | [`Algorithm::SsarRecDbl`] | recursive doubling on sparse streams | small data, latency-bound (§5.3.1) |
 //! | [`Algorithm::SsarSplitAllgather`] | dimension split + sparse allgather | large sparse data (§5.3.2) |
 //! | [`Algorithm::DsarSplitAllgather`] | dimension split + dense (optionally quantized) allgather | dense final result (§5.3.3, §6) |
@@ -21,21 +22,30 @@ mod ssar_rec_dbl;
 mod ssar_split_ag;
 
 pub use dense::{dense_rabenseifner, dense_recursive_double, dense_ring};
-pub(crate) use ssar_split_ag::split_reduce_partition as split_reduce_partition_public;
 pub use dsar_split_ag::dsar_split_allgather;
 pub use sparse_ring::sparse_ring;
 pub use ssar_rec_dbl::ssar_recursive_double;
+// The split phase of SSAR_Split_allgather doubles as the crate's
+// reduce-scatter building block (see `rooted::sparse_reduce_scatter`).
+pub(crate) use ssar_split_ag::split_reduce_partition;
 pub use ssar_split_ag::ssar_split_allgather;
 
-use sparcml_net::Endpoint;
+use bytes::Bytes;
+use sparcml_net::Transport;
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
 
 use crate::error::CollError;
+use crate::op::allgather_bytes;
 
 /// Which allreduce schedule to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
+    /// Adaptive selection (the §5.3 selector): the communicator estimates
+    /// the expected fill-in for the observed workload and picks the
+    /// cheapest concrete schedule under its transport's cost model. This
+    /// is the default of the [`crate::Communicator`] builder API.
+    Auto,
     /// Sparse recursive doubling (`SSAR_Recursive_double`).
     SsarRecDbl,
     /// Sparse split + sparse allgather (`SSAR_Split_allgather`).
@@ -53,7 +63,8 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All concrete algorithms, for sweeps.
+    /// All concrete algorithms, for sweeps ([`Algorithm::Auto`] resolves
+    /// to one of these).
     pub const ALL: [Algorithm; 7] = [
         Algorithm::SsarRecDbl,
         Algorithm::SsarSplitAllgather,
@@ -67,6 +78,7 @@ impl Algorithm {
     /// Short human-readable name matching the paper's figure legends.
     pub fn name(&self) -> &'static str {
         match self {
+            Algorithm::Auto => "Auto",
             Algorithm::SsarRecDbl => "SSAR_Recursive_double",
             Algorithm::SsarSplitAllgather => "SSAR_Split_allgather",
             Algorithm::DsarSplitAllgather => "DSAR_Split_allgather",
@@ -75,6 +87,12 @@ impl Algorithm {
             Algorithm::DenseRing => "Dense_Ring",
             Algorithm::SparseRing => "Sparse_Ring",
         }
+    }
+
+    /// Whether this is the adaptive placeholder rather than a concrete
+    /// schedule.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, Algorithm::Auto)
     }
 }
 
@@ -104,15 +122,52 @@ impl Default for AllreduceConfig {
     }
 }
 
-/// Runs the selected allreduce `algo` over `input`, returning the global
-/// element-wise sum (present at every rank on return).
-pub fn allreduce<V: Scalar>(
-    ep: &mut Endpoint,
+/// Resolves [`Algorithm::Auto`] for this call: ranks agree on the maximum
+/// per-rank non-zero count with one tiny (8-byte) allgather — local Top-k
+/// streams can have slightly different sizes under error feedback, and a
+/// per-rank choice could diverge and deadlock the schedule — then run the
+/// workload through the §5.3 selector.
+fn resolve_auto<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+) -> Result<Algorithm, CollError> {
+    let p = ep.size();
+    let n = input.dim();
+    let mut k = input.stored_len().max(1) as u64;
+    if p > 1 {
+        let op_id = ep.next_op_id();
+        let blocks = allgather_bytes(ep, op_id, Bytes::from(k.to_le_bytes().to_vec()))?;
+        for block in blocks {
+            let bytes: [u8; 8] = block
+                .as_ref()
+                .try_into()
+                .map_err(|_| CollError::Invalid("malformed k-agreement block".into()))?;
+            k = k.max(u64::from_le_bytes(bytes));
+        }
+    }
+    Ok(crate::selector::select_algorithm::<V>(
+        p,
+        n,
+        k as usize,
+        ep.cost(),
+    ))
+}
+
+/// Internal dispatcher shared by the [`crate::Communicator`] builders and
+/// the deprecated free-function shims.
+pub(crate) fn dispatch<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     algo: Algorithm,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    let algo = if algo.is_auto() {
+        resolve_auto::<T, V>(ep, input)?
+    } else {
+        algo
+    };
     match algo {
+        Algorithm::Auto => unreachable!("Auto resolves to a concrete algorithm"),
         Algorithm::SsarRecDbl => ssar_recursive_double(ep, input, cfg),
         Algorithm::SsarSplitAllgather => ssar_split_allgather(ep, input, cfg),
         Algorithm::DsarSplitAllgather => dsar_split_allgather(ep, input, cfg),
@@ -121,4 +176,19 @@ pub fn allreduce<V: Scalar>(
         Algorithm::DenseRing => dense_ring(ep, input, cfg),
         Algorithm::SparseRing => sparse_ring(ep, input, cfg),
     }
+}
+
+/// Runs the selected allreduce `algo` over `input`, returning the global
+/// element-wise sum (present at every rank on return).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the Communicator session API: `comm.allreduce(&input).algorithm(algo).launch()?.wait()`"
+)]
+pub fn allreduce<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    algo: Algorithm,
+    cfg: &AllreduceConfig,
+) -> Result<SparseStream<V>, CollError> {
+    dispatch(ep, input, algo, cfg)
 }

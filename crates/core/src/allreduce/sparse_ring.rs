@@ -6,7 +6,7 @@
 //! but every partition travels in sparse stream format, so step cost
 //! scales with partition fill rather than `N/P`.
 
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
@@ -14,8 +14,8 @@ use crate::error::CollError;
 use crate::op::{add_charged, recv_stream, send_stream, subtag, tag};
 
 /// Sparse ring allreduce. Works for any `P ≥ 1`.
-pub fn sparse_ring<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn sparse_ring<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -44,7 +44,7 @@ pub fn sparse_ring<V: Scalar>(
         let recv_idx = (rank + p - step - 1) % p;
         let t = tag(op_id, subtag::RING + ((step as u64) << 8));
         send_stream(ep, next, t, &parts[send_idx], true)?;
-        let incoming = recv_stream::<V>(ep, prev, t)?;
+        let incoming = recv_stream::<_, V>(ep, prev, t)?;
         let acc = &mut parts[recv_idx];
         add_charged(ep, acc, &incoming, &cfg.policy)?;
     }
@@ -60,7 +60,7 @@ pub fn sparse_ring<V: Scalar>(
         let recv_idx = (rank + p - step) % p;
         let t = tag(op_id, subtag::RING + 1 + ((step as u64) << 8));
         send_stream(ep, next, t, &parts[send_idx], true)?;
-        parts[recv_idx] = recv_stream::<V>(ep, prev, t)?;
+        parts[recv_idx] = recv_stream::<_, V>(ep, prev, t)?;
     }
     let result = SparseStream::concat_disjoint(&parts)?;
     ep.compute(result.stored_len());
@@ -76,8 +76,9 @@ mod tests {
     use sparcml_stream::random_sparse;
 
     fn check(p: usize, dim: usize, nnz: usize) {
-        let ins: Vec<SparseStream<f32>> =
-            (0..p).map(|r| random_sparse(dim, nnz, 55 + r as u64)).collect();
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, nnz, 55 + r as u64))
+            .collect();
         let expect = reference_sum(&ins);
         let outs = run_cluster(p, CostModel::zero(), |ep| {
             sparse_ring(ep, &ins[ep.rank()], &AllreduceConfig::default()).unwrap()
@@ -100,7 +101,12 @@ mod tests {
 
     #[test]
     fn sparse_ring_cheaper_than_dense_ring_at_low_density() {
-        let cost = CostModel { alpha: 0.0, beta: 1e-6, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 1e-6,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let p = 8;
         let dim = 1 << 14;
         let ins: Vec<SparseStream<f32>> =

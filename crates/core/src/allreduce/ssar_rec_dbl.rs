@@ -10,7 +10,7 @@
 //! varies between `log2(P)·k·βs` (fully overlapping supports) and
 //! `(P−1)·k·βs` (disjoint supports).
 
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
@@ -21,8 +21,8 @@ use crate::op::{
 
 /// Sparse recursive-doubling allreduce. Handles any `P ≥ 1` via the §A
 /// fold-to-power-of-two pre/post steps.
-pub fn ssar_recursive_double<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn ssar_recursive_double<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -44,7 +44,7 @@ pub fn ssar_recursive_double<V: Scalar>(
             }
             unfold_result(ep, op_id, Some(acc))?
         }
-        FoldRole::Parked => unfold_result::<V>(ep, op_id, None)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None)?,
     };
     Ok(result)
 }
@@ -57,7 +57,9 @@ mod tests {
     use sparcml_stream::random_sparse;
 
     fn inputs(p: usize, dim: usize, nnz: usize) -> Vec<SparseStream<f32>> {
-        (0..p).map(|r| random_sparse(dim, nnz, 100 + r as u64)).collect()
+        (0..p)
+            .map(|r| random_sparse(dim, nnz, 100 + r as u64))
+            .collect()
     }
 
     fn check(p: usize, dim: usize, nnz: usize) {
@@ -110,7 +112,12 @@ mod tests {
     #[test]
     fn latency_matches_log2p_alpha() {
         // Zero-byte inputs isolate the latency term: log2(P)·α.
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let p = 8;
         let t = sparcml_net::max_virtual_time(p, cost, |ep| {
             let input = SparseStream::<f32>::zeros(1024);

@@ -12,7 +12,7 @@
 //! Latency is `L2(P) = (P−1)α + log2(P)α`; bandwidth lies between
 //! `2·(P−1)/P·k·βs` and `P·k·βs`.
 
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
@@ -22,8 +22,8 @@ use crate::op::{add_charged, allgather_bytes, recv_stream, send_stream, subtag, 
 /// Runs the split phase: scatter sub-ranges to their owners and reduce the
 /// local partition. Returns this rank's fully reduced partition (support
 /// restricted to its range, logical dimension preserved).
-pub(crate) fn split_reduce_partition<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn split_reduce_partition<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
     op_id: u64,
@@ -37,7 +37,13 @@ pub(crate) fn split_reduce_partition<V: Scalar>(
         let dst = (rank + step) % p;
         let range = partition_range(dim, p, dst);
         let part = input.restrict(range.lo, range.hi);
-        send_stream(ep, dst, tag(op_id, subtag::SPLIT), &part, cfg.blocking_split_sends)?;
+        send_stream(
+            ep,
+            dst,
+            tag(op_id, subtag::SPLIT),
+            &part,
+            cfg.blocking_split_sends,
+        )?;
     }
     let my_range = partition_range(dim, p, rank);
     let mut acc = input.restrict(my_range.lo, my_range.hi);
@@ -47,15 +53,15 @@ pub(crate) fn split_reduce_partition<V: Scalar>(
         if src == rank {
             continue;
         }
-        let part = recv_stream::<V>(ep, src, tag(op_id, subtag::SPLIT))?;
+        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT))?;
         add_charged(ep, &mut acc, &part, &cfg.policy)?;
     }
     Ok(acc)
 }
 
 /// Sparse split + sparse allgather allreduce. Works for any `P ≥ 1`.
-pub fn ssar_split_allgather<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn ssar_split_allgather<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -91,8 +97,9 @@ mod tests {
     use sparcml_stream::random_sparse;
 
     fn check(p: usize, dim: usize, nnz: usize) {
-        let ins: Vec<SparseStream<f32>> =
-            (0..p).map(|r| random_sparse(dim, nnz, 7 + r as u64)).collect();
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, nnz, 7 + r as u64))
+            .collect();
         let expect = reference_sum(&ins);
         let outs = run_cluster(p, CostModel::zero(), |ep| {
             ssar_split_allgather(ep, &ins[ep.rank()], &AllreduceConfig::default()).unwrap()
@@ -139,7 +146,12 @@ mod tests {
     fn latency_matches_l2() {
         // Empty inputs isolate latency: (P−1)α for the split (blocking
         // sends) + log2(P)α for the allgather.
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let p = 8;
         let t = max_virtual_time(p, cost, |ep| {
             let input = SparseStream::<f32>::zeros(1 << 16);
@@ -151,10 +163,21 @@ mod tests {
 
     #[test]
     fn nonblocking_split_reduces_latency() {
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.1 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.1,
+        };
         let p = 8;
-        let blocking = AllreduceConfig { blocking_split_sends: true, ..Default::default() };
-        let nonblocking = AllreduceConfig { blocking_split_sends: false, ..Default::default() };
+        let blocking = AllreduceConfig {
+            blocking_split_sends: true,
+            ..Default::default()
+        };
+        let nonblocking = AllreduceConfig {
+            blocking_split_sends: false,
+            ..Default::default()
+        };
         let t_b = max_virtual_time(p, cost, |ep| {
             ssar_split_allgather(ep, &SparseStream::<f32>::zeros(1 << 16), &blocking).unwrap();
         });

@@ -144,18 +144,30 @@ mod tests {
     use super::*;
 
     fn w() -> Workload {
-        Workload { p: 16, n: 1 << 20, k: 1 << 10, value_bytes: 4 }
+        Workload {
+            p: 16,
+            n: 1 << 20,
+            k: 1 << 10,
+            value_bytes: 4,
+        }
     }
 
     fn c() -> CostModel {
-        CostModel { alpha: 1e-6, beta: 1e-9, gamma: 0.0, isend_alpha_fraction: 0.1 }
+        CostModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.1,
+        }
     }
 
     #[test]
     fn envelopes_are_ordered() {
-        for env in
-            [ssar_rec_dbl(&w(), &c()), ssar_split_ag(&w(), &c()), dsar_split_ag(&w(), &c())]
-        {
+        for env in [
+            ssar_rec_dbl(&w(), &c()),
+            ssar_split_ag(&w(), &c()),
+            dsar_split_ag(&w(), &c()),
+        ] {
             assert!(env.lower <= env.upper, "{env:?}");
             assert!(env.lower > 0.0);
         }
@@ -183,7 +195,10 @@ mod tests {
         let speedup = dense / sparse_floor;
         // κ = 1/2 → max speedup 4× over the bandwidth-optimal dense, but
         // at least some speedup must exist.
-        assert!(speedup <= max_sparse_speedup(w().n / 2, w().n) + 1e-9, "speedup {speedup}");
+        assert!(
+            speedup <= max_sparse_speedup(w().n / 2, w().n) + 1e-9,
+            "speedup {speedup}"
+        );
         assert!(speedup > 1.0);
     }
 

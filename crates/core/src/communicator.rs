@@ -1,0 +1,887 @@
+//! Communicator sessions: the unified entry point to every SparCML
+//! collective.
+//!
+//! A [`Communicator`] owns one [`Transport`] session (rank, peers, clock)
+//! and exposes each collective as a method returning a fluent builder.
+//! One builder chain replaces the seed's parallel blocking /
+//! non-blocking / rooted free functions:
+//!
+//! ```
+//! use sparcml_core::{run_communicators, Algorithm};
+//! use sparcml_net::CostModel;
+//! use sparcml_stream::SparseStream;
+//!
+//! let results = run_communicators(4, CostModel::aries(), |comm| {
+//!     let grad = SparseStream::from_pairs(
+//!         1_000_000,
+//!         &[(comm.rank() as u32 * 10, 1.0f32), (999_999, 0.5)],
+//!     )
+//!     .unwrap();
+//!     // Algorithm::Auto (the §5.3 selector) is the default path.
+//!     comm.allreduce(&grad).launch().and_then(|h| h.wait()).unwrap()
+//! });
+//! assert_eq!(results[0].get(999_999), 2.0);
+//! ```
+//!
+//! Every `launch()` returns a [`CollectiveHandle`]. Blocking launches
+//! resolve eagerly and `wait()` just hands the value over; after
+//! `.nonblocking()` the transport moves to a helper thread, `compute()`
+//! accounts overlapped work, and `wait()` reinstalls the transport into
+//! the communicator before returning the result (ideal-overlap clock
+//! merge, §7).
+
+use sparcml_net::{
+    run_cluster, run_thread_cluster, CommStats, CostModel, Endpoint, ThreadTransport, Transport,
+};
+use sparcml_quant::QsgdConfig;
+use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
+
+use crate::allgather::{dense_allgather, sparse_allgather, sparse_allgather_sum};
+use crate::allreduce::{dispatch, Algorithm, AllreduceConfig};
+use crate::error::CollError;
+use crate::nonblocking::Request;
+use crate::rooted::{
+    allreduce_via_reduce_bcast, sparse_broadcast, sparse_reduce, sparse_reduce_scatter,
+};
+
+/// A collective-communication session over one pluggable transport.
+///
+/// `Communicator<Endpoint>` (the default) runs on the deterministic
+/// virtual-time cluster; `Communicator<ThreadTransport>` runs the same
+/// collectives on real concurrent threads. Any future backend only needs
+/// to implement [`Transport`].
+pub struct Communicator<T: Transport = Endpoint> {
+    transport: T,
+    /// Set when a non-blocking helper thread panicked and took the
+    /// transport with it: the session then holds only the inert
+    /// placeholder from `detach()`, and silently running collectives on
+    /// it would return local-only results. Every later `launch()` fails
+    /// loudly instead.
+    transport_lost: bool,
+}
+
+impl<T: Transport + Send + 'static> Communicator<T> {
+    /// Wraps a transport session in a communicator.
+    pub fn new(transport: T) -> Self {
+        Communicator {
+            transport,
+            transport_lost: false,
+        }
+    }
+
+    fn ensure_attached(&self) -> Result<(), CollError> {
+        if self.transport_lost {
+            return Err(CollError::Invalid(
+                "communicator lost its transport: a non-blocking collective panicked;                  rebuild the session with Communicator::new"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Shared blocking-launch path: runs `op` on the owned transport and
+    /// wraps the result in an already-resolved handle.
+    fn launch_blocking<R, F>(&mut self, op: F) -> Result<CollectiveHandle<'_, T, R>, CollError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> Result<R, CollError>,
+    {
+        self.ensure_attached()?;
+        let out = op(&mut self.transport)?;
+        Ok(CollectiveHandle::ready(self, out))
+    }
+
+    /// Shared non-blocking-launch path: detaches the transport onto a
+    /// helper thread; the handle reinstalls it on `wait()` (or drop).
+    fn launch_spawned<R, F>(&mut self, op: F) -> Result<CollectiveHandle<'_, T, R>, CollError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> Result<R, CollError> + Send + 'static,
+    {
+        self.ensure_attached()?;
+        let req = Request::spawn(self.transport.detach(), op);
+        Ok(CollectiveHandle::in_flight(self, req))
+    }
+
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.transport.rank()
+    }
+
+    /// Communicator size `P`.
+    pub fn size(&self) -> usize {
+        self.transport.size()
+    }
+
+    /// Current session time in seconds (virtual or wall, per transport).
+    pub fn clock(&self) -> f64 {
+        self.transport.clock()
+    }
+
+    /// The transport's network cost model (planning hint for
+    /// [`Algorithm::Auto`]).
+    pub fn cost(&self) -> &CostModel {
+        self.transport.cost()
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn stats(&self) -> &CommStats {
+        self.transport.stats()
+    }
+
+    /// Charges local reduction work of `elements` element operations.
+    pub fn compute(&mut self, elements: usize) {
+        self.transport.compute(elements);
+    }
+
+    /// Adds `seconds` of non-overlappable local work.
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        self.transport.charge_seconds(seconds);
+    }
+
+    /// Resets the clock and statistics (between experiment trials).
+    pub fn reset_clock(&mut self) {
+        self.transport.reset_clock();
+    }
+
+    /// Borrows the underlying transport (e.g. for raw point-to-point
+    /// messaging alongside collectives).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutably borrows the underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Consumes the communicator, returning the transport session.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// Global element-wise sum of every rank's `input`, delivered to every
+    /// rank. Defaults to [`Algorithm::Auto`]; see [`Allreduce`] for the
+    /// available knobs.
+    pub fn allreduce<'a, V: Scalar>(
+        &'a mut self,
+        input: &'a SparseStream<V>,
+    ) -> Allreduce<'a, T, V> {
+        Allreduce {
+            comm: self,
+            input,
+            algorithm: Algorithm::Auto,
+            cfg: AllreduceConfig::default(),
+            via_reduce_broadcast: false,
+            nonblocking: false,
+        }
+    }
+
+    /// Rooted reduction: the sum lands at `root`; other ranks receive an
+    /// empty stream of the same dimension.
+    pub fn reduce<'a, V: Scalar>(
+        &'a mut self,
+        input: &'a SparseStream<V>,
+        root: usize,
+    ) -> Reduce<'a, T, V> {
+        Reduce {
+            comm: self,
+            input,
+            root,
+            cfg: AllreduceConfig::default(),
+            nonblocking: false,
+        }
+    }
+
+    /// Broadcast of `root`'s stream to every rank. Non-root ranks pass
+    /// their (ignored) `input` only to convey the dimension.
+    pub fn broadcast<'a, V: Scalar>(
+        &'a mut self,
+        input: &'a SparseStream<V>,
+        root: usize,
+    ) -> Broadcast<'a, T, V> {
+        Broadcast {
+            comm: self,
+            input,
+            root,
+            nonblocking: false,
+        }
+    }
+
+    /// Reduce-scatter: each rank receives the fully reduced sub-vector for
+    /// its dimension partition.
+    pub fn reduce_scatter<'a, V: Scalar>(
+        &'a mut self,
+        input: &'a SparseStream<V>,
+    ) -> ReduceScatter<'a, T, V> {
+        ReduceScatter {
+            comm: self,
+            input,
+            cfg: AllreduceConfig::default(),
+            nonblocking: false,
+        }
+    }
+
+    /// Gathers every rank's sparse stream to every rank (streams returned
+    /// in rank order).
+    pub fn allgather<'a, V: Scalar>(
+        &'a mut self,
+        input: &'a SparseStream<V>,
+    ) -> Allgather<'a, T, V> {
+        Allgather {
+            comm: self,
+            input,
+            nonblocking: false,
+        }
+    }
+
+    /// Gathers and sums sparse streams (pure concatenation when supports
+    /// are disjoint, merge otherwise).
+    pub fn allgather_sum<'a, V: Scalar>(
+        &'a mut self,
+        input: &'a SparseStream<V>,
+    ) -> AllgatherSum<'a, T, V> {
+        AllgatherSum {
+            comm: self,
+            input,
+            nonblocking: false,
+        }
+    }
+
+    /// Dense allgather of raw value blocks, returned in rank order — the
+    /// dense baseline of the SCD experiment (§8.2).
+    pub fn allgather_dense<'a, V: Scalar>(
+        &'a mut self,
+        block: &'a [V],
+    ) -> DenseAllgather<'a, T, V> {
+        DenseAllgather {
+            comm: self,
+            block,
+            nonblocking: false,
+        }
+    }
+}
+
+impl<T: Transport + std::fmt::Debug> std::fmt::Debug for Communicator<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("transport", &self.transport)
+            .finish()
+    }
+}
+
+enum HandleState<T, R> {
+    /// Blocking launch: the result is already here.
+    Ready(Option<R>),
+    /// Non-blocking launch: the transport is on a helper thread.
+    InFlight(Option<Request<T, R>>),
+}
+
+/// The single completion handle unifying blocking and non-blocking
+/// collectives: blocking launches are already resolved and `wait()` just
+/// returns the value; non-blocking launches are joined, their transport is
+/// reinstalled into the communicator, and overlapped work accounted via
+/// [`CollectiveHandle::compute`] merges into the clock as
+/// `max(communication, computation)`.
+///
+/// Dropping an in-flight handle without waiting joins it (discarding the
+/// result) so the communicator always gets its transport back.
+#[must_use = "a collective handle must be waited on"]
+pub struct CollectiveHandle<'a, T: Transport + Send + 'static, R: Send + 'static> {
+    comm: &'a mut Communicator<T>,
+    state: HandleState<T, R>,
+}
+
+impl<T: Transport + Send + 'static, R: Send + 'static> CollectiveHandle<'_, T, R> {
+    fn ready(comm: &mut Communicator<T>, value: R) -> CollectiveHandle<'_, T, R> {
+        CollectiveHandle {
+            comm,
+            state: HandleState::Ready(Some(value)),
+        }
+    }
+
+    fn in_flight(comm: &mut Communicator<T>, req: Request<T, R>) -> CollectiveHandle<'_, T, R> {
+        CollectiveHandle {
+            comm,
+            state: HandleState::InFlight(Some(req)),
+        }
+    }
+
+    /// Whether the collective is still running on a helper thread.
+    pub fn is_nonblocking(&self) -> bool {
+        matches!(self.state, HandleState::InFlight(_))
+    }
+
+    /// Accounts local computation of `elements` element-ops: overlapped
+    /// with the collective when non-blocking, serial when blocking.
+    pub fn compute(&mut self, elements: usize) {
+        match &mut self.state {
+            HandleState::Ready(_) => self.comm.compute(elements),
+            HandleState::InFlight(Some(req)) => req.compute(elements),
+            HandleState::InFlight(None) => {}
+        }
+    }
+
+    /// Accounts `seconds` of local wall work (overlapped when
+    /// non-blocking).
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        match &mut self.state {
+            HandleState::Ready(_) => self.comm.charge_seconds(seconds),
+            HandleState::InFlight(Some(req)) => req.charge_seconds(seconds),
+            HandleState::InFlight(None) => {}
+        }
+    }
+
+    /// Completes the collective and returns its result. For non-blocking
+    /// launches this joins the helper thread and reinstalls the transport
+    /// into the communicator (even if the collective failed).
+    pub fn wait(mut self) -> Result<R, CollError> {
+        match &mut self.state {
+            HandleState::Ready(slot) => Ok(slot.take().expect("blocking handle waited on twice")),
+            HandleState::InFlight(slot) => {
+                let req = slot.take().expect("in-flight handle waited on twice");
+                match req.finish() {
+                    Ok((transport, result)) => {
+                        self.comm.transport = transport;
+                        result
+                    }
+                    Err(e) => {
+                        // The helper thread panicked and the transport is
+                        // gone: poison the session so later collectives
+                        // fail loudly instead of running on the placeholder.
+                        self.comm.transport_lost = true;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport + Send + 'static, R: Send + 'static> Drop for CollectiveHandle<'_, T, R> {
+    fn drop(&mut self) {
+        if let HandleState::InFlight(slot) = &mut self.state {
+            if let Some(req) = slot.take() {
+                match req.finish() {
+                    Ok((transport, _discarded)) => self.comm.transport = transport,
+                    Err(_) => self.comm.transport_lost = true,
+                }
+            }
+        }
+    }
+}
+
+/// Fluent builder for allreduce. Created by [`Communicator::allreduce`];
+/// defaults: [`Algorithm::Auto`], no quantization, default δ policy,
+/// blocking.
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct Allreduce<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    input: &'a SparseStream<V>,
+    algorithm: Algorithm,
+    cfg: AllreduceConfig,
+    via_reduce_broadcast: bool,
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> Allreduce<'a, T, V> {
+    /// Selects the collective schedule ([`Algorithm::Auto`] = adaptive).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Replaces the full option set at once.
+    pub fn config(mut self, cfg: AllreduceConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Quantizes the dense stage with QSGD (§6; effective for
+    /// [`Algorithm::DsarSplitAllgather`]).
+    pub fn quantized(mut self, quant: QsgdConfig) -> Self {
+        self.cfg.quant = Some(quant);
+        self
+    }
+
+    /// Seed for stochastic quantization (each rank derives `seed + rank`).
+    pub fn quant_seed(mut self, seed: u64) -> Self {
+        self.cfg.quant_seed = seed;
+        self
+    }
+
+    /// Sparse→dense switching policy (δ scaling, §5.1).
+    pub fn policy(mut self, policy: DensityPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Whether the split phase uses blocking sends (full `(P−1)α`) or
+    /// non-blocking isends (§5.3.2 latency mitigation).
+    pub fn blocking_split_sends(mut self, blocking: bool) -> Self {
+        self.cfg.blocking_split_sends = blocking;
+        self
+    }
+
+    /// Routes through the rooted composition `reduce + broadcast` instead
+    /// of a one-shot schedule (the classic trade-off point of §5.3; the
+    /// `algorithm` setting is ignored on this route).
+    pub fn via_reduce_broadcast(mut self) -> Self {
+        self.via_reduce_broadcast = true;
+        self
+    }
+
+    /// Runs the collective on a helper thread; the returned handle
+    /// overlaps local compute and reinstalls the transport on `wait()`.
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, SparseStream<V>>, CollError> {
+        let Allreduce {
+            comm,
+            input,
+            algorithm,
+            cfg,
+            via_reduce_broadcast,
+            nonblocking,
+        } = self;
+        let run = move |tp: &mut T, input: &SparseStream<V>| {
+            if via_reduce_broadcast {
+                allreduce_via_reduce_bcast(tp, input, &cfg)
+            } else {
+                dispatch(tp, input, algorithm, &cfg)
+            }
+        };
+        if nonblocking {
+            let input = input.clone();
+            comm.launch_spawned(move |tp| run(tp, &input))
+        } else {
+            comm.launch_blocking(|tp| run(tp, input))
+        }
+    }
+}
+
+/// Fluent builder for the rooted reduce. Created by
+/// [`Communicator::reduce`].
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct Reduce<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    input: &'a SparseStream<V>,
+    root: usize,
+    cfg: AllreduceConfig,
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> Reduce<'a, T, V> {
+    /// Sparse→dense switching policy (δ scaling, §5.1).
+    pub fn policy(mut self, policy: DensityPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Runs the collective on a helper thread (see
+    /// [`Allreduce::nonblocking`]).
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, SparseStream<V>>, CollError> {
+        let Reduce {
+            comm,
+            input,
+            root,
+            cfg,
+            nonblocking,
+        } = self;
+        if nonblocking {
+            let input = input.clone();
+            comm.launch_spawned(move |tp| sparse_reduce(tp, &input, root, &cfg))
+        } else {
+            comm.launch_blocking(|tp| sparse_reduce(tp, input, root, &cfg))
+        }
+    }
+}
+
+/// Fluent builder for broadcast. Created by [`Communicator::broadcast`].
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct Broadcast<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    input: &'a SparseStream<V>,
+    root: usize,
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> Broadcast<'a, T, V> {
+    /// Runs the collective on a helper thread (see
+    /// [`Allreduce::nonblocking`]).
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, SparseStream<V>>, CollError> {
+        let Broadcast {
+            comm,
+            input,
+            root,
+            nonblocking,
+        } = self;
+        if nonblocking {
+            let input = input.clone();
+            comm.launch_spawned(move |tp| sparse_broadcast(tp, &input, root))
+        } else {
+            comm.launch_blocking(|tp| sparse_broadcast(tp, input, root))
+        }
+    }
+}
+
+/// Fluent builder for reduce-scatter. Created by
+/// [`Communicator::reduce_scatter`].
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct ReduceScatter<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    input: &'a SparseStream<V>,
+    cfg: AllreduceConfig,
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> ReduceScatter<'a, T, V> {
+    /// Sparse→dense switching policy (δ scaling, §5.1).
+    pub fn policy(mut self, policy: DensityPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Runs the collective on a helper thread (see
+    /// [`Allreduce::nonblocking`]).
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, SparseStream<V>>, CollError> {
+        let ReduceScatter {
+            comm,
+            input,
+            cfg,
+            nonblocking,
+        } = self;
+        if nonblocking {
+            let input = input.clone();
+            comm.launch_spawned(move |tp| sparse_reduce_scatter(tp, &input, &cfg))
+        } else {
+            comm.launch_blocking(|tp| sparse_reduce_scatter(tp, input, &cfg))
+        }
+    }
+}
+
+/// Fluent builder for sparse allgather. Created by
+/// [`Communicator::allgather`].
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct Allgather<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    input: &'a SparseStream<V>,
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> Allgather<'a, T, V> {
+    /// Runs the collective on a helper thread (see
+    /// [`Allreduce::nonblocking`]).
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, Vec<SparseStream<V>>>, CollError> {
+        let Allgather {
+            comm,
+            input,
+            nonblocking,
+        } = self;
+        if nonblocking {
+            let input = input.clone();
+            comm.launch_spawned(move |tp| sparse_allgather(tp, &input))
+        } else {
+            comm.launch_blocking(|tp| sparse_allgather(tp, input))
+        }
+    }
+}
+
+/// Fluent builder for the summing sparse allgather. Created by
+/// [`Communicator::allgather_sum`].
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct AllgatherSum<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    input: &'a SparseStream<V>,
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> AllgatherSum<'a, T, V> {
+    /// Runs the collective on a helper thread (see
+    /// [`Allreduce::nonblocking`]).
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, SparseStream<V>>, CollError> {
+        let AllgatherSum {
+            comm,
+            input,
+            nonblocking,
+        } = self;
+        if nonblocking {
+            let input = input.clone();
+            comm.launch_spawned(move |tp| sparse_allgather_sum(tp, &input))
+        } else {
+            comm.launch_blocking(|tp| sparse_allgather_sum(tp, input))
+        }
+    }
+}
+
+/// Fluent builder for the dense block allgather. Created by
+/// [`Communicator::allgather_dense`].
+#[must_use = "collective builders do nothing until `launch()`"]
+pub struct DenseAllgather<'a, T: Transport + Send + 'static, V: Scalar> {
+    comm: &'a mut Communicator<T>,
+    block: &'a [V],
+    nonblocking: bool,
+}
+
+impl<'a, T: Transport + Send + 'static, V: Scalar> DenseAllgather<'a, T, V> {
+    /// Runs the collective on a helper thread (see
+    /// [`Allreduce::nonblocking`]).
+    pub fn nonblocking(mut self) -> Self {
+        self.nonblocking = true;
+        self
+    }
+
+    /// Launches the collective.
+    pub fn launch(self) -> Result<CollectiveHandle<'a, T, Vec<Vec<V>>>, CollError> {
+        let DenseAllgather {
+            comm,
+            block,
+            nonblocking,
+        } = self;
+        if nonblocking {
+            let block = block.to_vec();
+            let req = Request::spawn(comm.transport.detach(), move |tp| {
+                dense_allgather(tp, &block)
+            });
+            Ok(CollectiveHandle::in_flight(comm, req))
+        } else {
+            let out = dense_allgather(&mut comm.transport, block)?;
+            Ok(CollectiveHandle::ready(comm, out))
+        }
+    }
+}
+
+/// Runs `f` once per rank over a `size`-rank virtual-time cluster, each
+/// rank wrapped in a `Communicator<Endpoint>`; returns per-rank results
+/// indexed by rank. The communicator-level counterpart of
+/// [`sparcml_net::run_cluster`].
+pub fn run_communicators<R, F>(size: usize, cost: CostModel, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator<Endpoint>) -> R + Sync,
+{
+    run_cluster(size, cost, |ep| {
+        let mut comm = Communicator::new(Transport::detach(ep));
+        let out = f(&mut comm);
+        *ep = comm.into_transport();
+        out
+    })
+}
+
+/// Runs `f` once per rank over `size` real OS threads, each rank wrapped
+/// in a `Communicator<ThreadTransport>` — the same programs as
+/// [`run_communicators`] on the real in-process backend.
+pub fn run_thread_communicators<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator<ThreadTransport>) -> R + Sync,
+{
+    run_thread_cluster(size, |tp| {
+        let mut comm = Communicator::new(tp.detach());
+        let out = f(&mut comm);
+        *tp = comm.into_transport();
+        out
+    })
+}
+
+/// Runs a collective program on every rank of a virtual-time cluster and
+/// returns the *virtual completion time*: the maximum final clock across
+/// ranks. The communicator-level counterpart of
+/// [`sparcml_net::max_virtual_time`].
+pub fn max_communicator_time<F>(size: usize, cost: CostModel, f: F) -> f64
+where
+    F: Fn(&mut Communicator<Endpoint>) + Sync,
+{
+    run_communicators(size, cost, |comm| {
+        f(comm);
+        comm.clock()
+    })
+    .into_iter()
+    .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_sum;
+    use sparcml_stream::random_sparse;
+
+    #[test]
+    fn builder_default_is_auto_and_matches_reference() {
+        let p = 4;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(4096, 64, 60 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let outs = run_communicators(p, CostModel::aries(), |comm| {
+            comm.allreduce(&ins[comm.rank()])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn same_program_runs_on_both_transports() {
+        let p = 4;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(2048, 32, 70 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let virtual_outs = run_communicators(p, CostModel::zero(), |comm| {
+            comm.allreduce(&ins[comm.rank()])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        let thread_outs = run_thread_communicators(p, |comm| {
+            comm.allreduce(&ins[comm.rank()])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        for outs in [virtual_outs, thread_outs] {
+            for out in outs {
+                for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                    assert!((g - e).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_collectives_through_builders() {
+        let p = 5;
+        let dim = 1024;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, 32, 80 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let outs = run_communicators(p, CostModel::zero(), |comm| {
+            let reduced = comm
+                .reduce(&ins[comm.rank()], 2)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            comm.broadcast(&reduced, 2)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_in_flight_handle_returns_the_transport() {
+        let p = 2;
+        let clocks = run_communicators(p, CostModel::zero(), |comm| {
+            let input = random_sparse::<f32>(256, 8, comm.rank() as u64);
+            let handle = comm.allreduce(&input).nonblocking().launch().unwrap();
+            drop(handle); // joins + reinstalls, result discarded
+                          // The communicator must still be usable for a second round.
+            comm.allreduce(&input)
+                .algorithm(Algorithm::SsarRecDbl)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            comm.size()
+        });
+        assert_eq!(clocks, vec![2, 2]);
+    }
+
+    #[test]
+    fn via_reduce_broadcast_route_matches_reference() {
+        let p = 8;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(2048, 64, 90 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let outs = run_communicators(p, CostModel::zero(), |comm| {
+            comm.allreduce(&ins[comm.rank()])
+                .via_reduce_broadcast()
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_nonblocking_collective_poisons_the_session() {
+        let outs = run_communicators(1, CostModel::zero(), |comm| {
+            let handle = comm
+                .launch_spawned::<SparseStream<f32>, _>(|_tp| panic!("helper thread dies"))
+                .unwrap();
+            let err = handle.wait().unwrap_err();
+            // The transport is gone with the helper thread: later
+            // collectives must fail loudly, not run on the placeholder.
+            let zero = SparseStream::<f32>::zeros(8);
+            let poisoned = comm.allreduce(&zero).launch().is_err();
+            (err.to_string(), poisoned)
+        });
+        let (msg, poisoned) = &outs[0];
+        assert!(msg.contains("panicked"), "unexpected error: {msg}");
+        assert!(poisoned, "session must be poisoned after a lost transport");
+    }
+
+    #[test]
+    fn max_communicator_time_reports_slowest_rank() {
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+            isend_alpha_fraction: 0.0,
+        };
+        let t = max_communicator_time(4, cost, |comm| {
+            comm.compute(comm.rank());
+        });
+        assert_eq!(t, 3.0);
+    }
+}

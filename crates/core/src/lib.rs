@@ -4,42 +4,57 @@
 //! contribution of "SparCML: High-Performance Sparse Communication for
 //! Machine Learning" (Renggli et al., SC 2019).
 //!
-//! Provides sparse and dense allreduce/allgather collectives over the
-//! virtual-time transport of `sparcml-net`, operating on the adaptive
-//! sparse streams of `sparcml-stream`:
+//! The entry point is the [`Communicator`]: a per-rank session over a
+//! pluggable [`sparcml_net::Transport`] whose collectives are fluent
+//! builders, with the §5.3 adaptive selector ([`Algorithm::Auto`]) as the
+//! default schedule:
 //!
-//! * [`allreduce`] with the paper's three sparse schedules
+//! * [`Communicator::allreduce`] with the paper's three sparse schedules
 //!   (`SSAR_Recursive_double`, `SSAR_Split_allgather`,
-//!   `DSAR_Split_allgather`) and three dense baselines;
-//! * optional QSGD low-precision allgather inside DSAR (§6);
-//! * non-blocking variants ([`iallreduce`], §7);
-//! * the adaptive selector ([`select_algorithm`]);
+//!   `DSAR_Split_allgather`), three dense baselines and a sparse ring;
+//! * optional QSGD low-precision allgather inside DSAR (§6) via
+//!   `.quantized(..)`;
+//! * non-blocking launches with ideal-overlap clock merging (§7) via
+//!   `.nonblocking()`;
+//! * rooted and gather collectives ([`Communicator::reduce`],
+//!   [`Communicator::broadcast`], [`Communicator::reduce_scatter`],
+//!   [`Communicator::allgather`], …) behind the same
+//!   [`CollectiveHandle`];
 //! * the analytic cost bounds of §5.3 ([`bounds`]) and the stochastic
 //!   density analysis of Appendix B ([`theory`]).
 //!
 //! ```
-//! use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-//! use sparcml_net::{run_cluster, CostModel};
+//! use sparcml_core::{run_communicators, Algorithm};
+//! use sparcml_net::CostModel;
 //! use sparcml_stream::SparseStream;
 //!
 //! // 4 ranks, each contributing one sparse gradient; the result is the
-//! // element-wise sum, available at every rank.
-//! let results = run_cluster(4, CostModel::aries(), |ep| {
+//! // element-wise sum, available at every rank. `Algorithm::Auto` (the
+//! // default) lets the §5.3 selector pick the schedule per call.
+//! let results = run_communicators(4, CostModel::aries(), |comm| {
 //!     let grad = SparseStream::from_pairs(
 //!         1_000_000,
-//!         &[(ep.rank() as u32 * 10, 1.0f32), (999_999, 0.5)],
+//!         &[(comm.rank() as u32 * 10, 1.0f32), (999_999, 0.5)],
 //!     )
 //!     .unwrap();
-//!     allreduce(ep, &grad, Algorithm::SsarRecDbl, &AllreduceConfig::default()).unwrap()
+//!     comm.allreduce(&grad)
+//!         .algorithm(Algorithm::Auto) // the default, spelled out
+//!         .launch()
+//!         .and_then(|handle| handle.wait())
+//!         .unwrap()
 //! });
 //! assert_eq!(results[0].get(999_999), 2.0);
 //! ```
+//!
+//! The seed's free functions ([`allreduce`], [`iallreduce`]) remain as
+//! thin deprecated shims for one release.
 
 #![warn(missing_docs)]
 
 mod allgather;
 mod allreduce;
 pub mod bounds;
+mod communicator;
 mod error;
 mod nonblocking;
 mod op;
@@ -49,14 +64,25 @@ mod selector;
 pub mod theory;
 
 pub use allgather::{dense_allgather, sparse_allgather, sparse_allgather_sum};
+#[allow(deprecated)]
+pub use allreduce::allreduce;
 pub use allreduce::{
-    allreduce, dense_rabenseifner, dense_recursive_double, dense_ring, dsar_split_allgather,
-    sparse_ring, ssar_recursive_double, ssar_split_allgather, Algorithm, AllreduceConfig,
+    dense_rabenseifner, dense_recursive_double, dense_ring, dsar_split_allgather, sparse_ring,
+    ssar_recursive_double, ssar_split_allgather, Algorithm, AllreduceConfig,
+};
+pub use communicator::{
+    max_communicator_time, run_communicators, run_thread_communicators, Allgather, AllgatherSum,
+    Allreduce, Broadcast, CollectiveHandle, Communicator, DenseAllgather, Reduce, ReduceScatter,
 };
 pub use error::CollError;
-pub use nonblocking::{iallreduce, Request};
+#[allow(deprecated)]
+pub use nonblocking::iallreduce;
+pub use nonblocking::Request;
 pub use rooted::{
     allreduce_via_reduce_bcast, my_partition, sparse_broadcast, sparse_reduce,
     sparse_reduce_scatter,
 };
 pub use selector::{estimate_time, estimate_time_with_union, select_algorithm};
+// Re-exported so downstream code can name transports without depending on
+// sparcml-net directly.
+pub use sparcml_net::{Endpoint, ThreadTransport, Transport};

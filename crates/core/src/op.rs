@@ -2,7 +2,7 @@
 //! endpoints, tag derivation, and the power-of-two fold of §A.
 
 use bytes::Bytes;
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
 
 use crate::error::CollError;
@@ -24,8 +24,8 @@ pub(crate) fn tag(op_id: u64, sub: u64) -> u64 {
 }
 
 /// Sends a stream, blocking (full α charge) or non-blocking.
-pub(crate) fn send_stream<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn send_stream<T: Transport, V: Scalar>(
+    ep: &mut T,
     dst: usize,
     t: u64,
     stream: &SparseStream<V>,
@@ -41,8 +41,8 @@ pub(crate) fn send_stream<V: Scalar>(
 }
 
 /// Receives and decodes a stream from `src`.
-pub(crate) fn recv_stream<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn recv_stream<T: Transport, V: Scalar>(
+    ep: &mut T,
     src: usize,
     t: u64,
 ) -> Result<SparseStream<V>, CollError> {
@@ -51,8 +51,8 @@ pub(crate) fn recv_stream<V: Scalar>(
 }
 
 /// Simultaneous stream exchange with `peer` (send, then receive).
-pub(crate) fn exchange_stream<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn exchange_stream<T: Transport, V: Scalar>(
+    ep: &mut T,
     peer: usize,
     t: u64,
     stream: &SparseStream<V>,
@@ -62,8 +62,8 @@ pub(crate) fn exchange_stream<V: Scalar>(
 }
 
 /// Adds `other` into `acc`, charging the endpoint for the reduction work.
-pub(crate) fn add_charged<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn add_charged<T: Transport, V: Scalar>(
+    ep: &mut T,
     acc: &mut SparseStream<V>,
     other: &SparseStream<V>,
     policy: &DensityPolicy,
@@ -92,8 +92,8 @@ pub(crate) enum FoldRole<V: Scalar> {
 
 /// Pre-step: ranks `>= p2` send their input to `rank - p2`; receivers fold
 /// it into their own. Returns each rank's role.
-pub(crate) fn fold_to_pow2<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn fold_to_pow2<T: Transport, V: Scalar>(
+    ep: &mut T,
     op_id: u64,
     input: &SparseStream<V>,
     policy: &DensityPolicy,
@@ -108,7 +108,7 @@ pub(crate) fn fold_to_pow2<V: Scalar>(
     }
     let mut acc = input.clone();
     if rank + p2 < p {
-        let extra = recv_stream::<V>(ep, rank + p2, tag(op_id, subtag::FOLD))?;
+        let extra = recv_stream::<_, V>(ep, rank + p2, tag(op_id, subtag::FOLD))?;
         add_charged(ep, &mut acc, &extra, policy)?;
     }
     Ok(FoldRole::Active(acc))
@@ -116,8 +116,8 @@ pub(crate) fn fold_to_pow2<V: Scalar>(
 
 /// Post-step: active ranks with a parked partner forward the final result;
 /// parked ranks receive it.
-pub(crate) fn unfold_result<V: Scalar>(
-    ep: &mut Endpoint,
+pub(crate) fn unfold_result<T: Transport, V: Scalar>(
+    ep: &mut T,
     op_id: u64,
     role_result: Option<SparseStream<V>>,
 ) -> Result<SparseStream<V>, CollError> {
@@ -138,8 +138,8 @@ pub(crate) fn unfold_result<V: Scalar>(
 /// Generic recursive-doubling / ring byte-block allgather. Returns all `P`
 /// blocks indexed by rank. Uses recursive doubling when `P` is a power of
 /// two (latency `log2(P)·α`), a ring otherwise (`(P−1)` rounds).
-pub(crate) fn allgather_bytes(
-    ep: &mut Endpoint,
+pub(crate) fn allgather_bytes<T: Transport>(
+    ep: &mut T,
     op_id: u64,
     mine: Bytes,
 ) -> Result<Vec<Bytes>, CollError> {
@@ -187,15 +187,16 @@ pub(crate) fn allgather_bytes(
 /// `[u32 base][u32 count]([u64 len][bytes])*`.
 fn encode_block_group(blocks: &[Option<Bytes>], base: usize, count: usize) -> Bytes {
     use bytes::BufMut;
+    let group = &blocks[base..base + count];
     let mut size = 8;
-    for r in base..base + count {
-        size += 8 + blocks[r].as_ref().map_or(0, |b| b.len());
+    for b in group {
+        size += 8 + b.as_ref().map_or(0, |b| b.len());
     }
     let mut buf = bytes::BytesMut::with_capacity(size);
     buf.put_u32_le(base as u32);
     buf.put_u32_le(count as u32);
-    for r in base..base + count {
-        let b = blocks[r].as_ref().expect("group block present");
+    for b in group {
+        let b = b.as_ref().expect("group block present");
         buf.put_u64_le(b.len() as u64);
         buf.put_slice(b);
     }
@@ -276,15 +277,14 @@ mod tests {
         // P = 6: ranks 4,5 park with ranks 0,1.
         let out = run_cluster(6, CostModel::zero(), |ep| {
             let op = ep.next_op_id();
-            let input =
-                SparseStream::from_pairs(64, &[(ep.rank() as u32, 1.0f32)]).unwrap();
+            let input = SparseStream::from_pairs(64, &[(ep.rank() as u32, 1.0f32)]).unwrap();
             let policy = DensityPolicy::default();
             let role = fold_to_pow2(ep, op, &input, &policy).unwrap();
-            let result = match role {
+
+            match role {
                 FoldRole::Active(acc) => unfold_result(ep, op, Some(acc)).unwrap(),
-                FoldRole::Parked => unfold_result::<f32>(ep, op, None).unwrap(),
-            };
-            result
+                FoldRole::Parked => unfold_result::<_, f32>(ep, op, None).unwrap(),
+            }
         });
         // Rank 0 folded rank 4's entry, rank 1 folded rank 5's.
         assert_eq!(out[0].nnz(), 2);

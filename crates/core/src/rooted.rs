@@ -7,7 +7,7 @@
 //! broadcast` is also a useful latency/bandwidth trade-off point that the
 //! integration tests compare against the one-shot allreduce.
 
-use sparcml_net::Endpoint;
+use sparcml_net::Transport;
 use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
@@ -16,15 +16,17 @@ use crate::op::{add_charged, pow2_below, recv_stream, send_stream, subtag, tag};
 
 /// Binomial-tree sparse reduce: the element-wise sum of all inputs lands
 /// at `root`; other ranks receive an empty stream of the same dimension.
-pub fn sparse_reduce<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn sparse_reduce<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     root: usize,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if root >= p {
-        return Err(CollError::Invalid(format!("root {root} out of range for {p} ranks")));
+        return Err(CollError::Invalid(format!(
+            "root {root} out of range for {p} ranks"
+        )));
     }
     if p == 1 {
         return Ok(input.clone());
@@ -44,7 +46,7 @@ pub fn sparse_reduce<V: Scalar>(
         }
         if vrank + step < p {
             let src = ((vrank + step) + root) % p;
-            let theirs = recv_stream::<V>(ep, src, tag(op_id, subtag::ROUND + step as u64))?;
+            let theirs = recv_stream::<_, V>(ep, src, tag(op_id, subtag::ROUND + step as u64))?;
             add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
         }
         step <<= 1;
@@ -58,14 +60,16 @@ pub fn sparse_reduce<V: Scalar>(
 
 /// Binomial-tree broadcast of a sparse stream from `root`. Non-root ranks
 /// pass their (ignored) `input` only to convey the dimension.
-pub fn sparse_broadcast<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn sparse_broadcast<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     root: usize,
 ) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if root >= p {
-        return Err(CollError::Invalid(format!("root {root} out of range for {p} ranks")));
+        return Err(CollError::Invalid(format!(
+            "root {root} out of range for {p} ranks"
+        )));
     }
     if p == 1 {
         return Ok(input.clone());
@@ -79,19 +83,29 @@ pub fn sparse_broadcast<V: Scalar>(
         let parent_v = vrank & (vrank - 1); // clear lowest set bit
         let parent = (parent_v + root) % p;
         let sub = vrank & vrank.wrapping_neg(); // lowest set bit = my level
-        recv_stream::<V>(ep, parent, tag(op_id, subtag::ROUND + sub as u64))?
+        recv_stream::<_, V>(ep, parent, tag(op_id, subtag::ROUND + sub as u64))?
     };
     // Forward to children (farthest first, so distant subtrees start
     // while we serialize the remaining sends — this keeps the total depth
     // at log2(P) rounds).
-    let my_low = if vrank == 0 { pow2_below(p).max(1) << 1 } else { vrank & vrank.wrapping_neg() };
+    let my_low = if vrank == 0 {
+        pow2_below(p).max(1) << 1
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
     let mut step = pow2_below(p);
     while step >= 1 {
         if step < my_low {
             let child_v = vrank + step;
             if child_v < p {
                 let child = (child_v + root) % p;
-                send_stream(ep, child, tag(op_id, subtag::ROUND + step as u64), &value, true)?;
+                send_stream(
+                    ep,
+                    child,
+                    tag(op_id, subtag::ROUND + step as u64),
+                    &value,
+                    true,
+                )?;
             }
         }
         step >>= 1;
@@ -108,8 +122,8 @@ pub fn sparse_broadcast<V: Scalar>(
 /// `partition_range(dim, P, i)`, logical dimension preserved). This is
 /// exactly the split phase of `SSAR_Split_allgather` exposed as a
 /// first-class collective.
-pub fn sparse_reduce_scatter<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn sparse_reduce_scatter<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -118,13 +132,13 @@ pub fn sparse_reduce_scatter<V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    crate::allreduce::split_reduce_partition_public(ep, input, cfg, op_id)
+    crate::allreduce::split_reduce_partition(ep, input, cfg, op_id)
 }
 
 /// Allreduce composed as reduce + broadcast, for comparison with the
 /// one-shot schedules (a classic trade-off the paper mentions in §5.3).
-pub fn allreduce_via_reduce_bcast<V: Scalar>(
-    ep: &mut Endpoint,
+pub fn allreduce_via_reduce_bcast<T: Transport, V: Scalar>(
+    ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
@@ -133,7 +147,7 @@ pub fn allreduce_via_reduce_bcast<V: Scalar>(
 }
 
 /// Convenience: the partition owned by this rank for a given dimension.
-pub fn my_partition(ep: &Endpoint, dim: usize) -> (u32, u32) {
+pub fn my_partition<T: Transport>(ep: &T, dim: usize) -> (u32, u32) {
     let r = partition_range(dim, ep.size(), ep.rank());
     (r.lo, r.hi)
 }
@@ -146,7 +160,9 @@ mod tests {
     use sparcml_stream::random_sparse;
 
     fn inputs(p: usize, dim: usize, nnz: usize) -> Vec<SparseStream<f32>> {
-        (0..p).map(|r| random_sparse(dim, nnz, 4400 + r as u64)).collect()
+        (0..p)
+            .map(|r| random_sparse(dim, nnz, 4400 + r as u64))
+            .collect()
     }
 
     #[test]
@@ -156,8 +172,7 @@ mod tests {
                 let ins = inputs(p, 1024, 32);
                 let expect = reference_sum(&ins);
                 let outs = run_cluster(p, CostModel::zero(), |ep| {
-                    sparse_reduce(ep, &ins[ep.rank()], root, &AllreduceConfig::default())
-                        .unwrap()
+                    sparse_reduce(ep, &ins[ep.rank()], root, &AllreduceConfig::default()).unwrap()
                 });
                 for (g, e) in outs[root].to_dense_vec().iter().zip(&expect) {
                     assert!((g - e).abs() < 1e-4, "P={p} root={root}");
@@ -205,7 +220,11 @@ mod tests {
             let range = partition_range(dim, p, rank);
             let got = mine.to_dense_vec();
             for i in 0..dim {
-                let e = if range.contains(i as u32) { expect[i] } else { 0.0 };
+                let e = if range.contains(i as u32) {
+                    expect[i]
+                } else {
+                    0.0
+                };
                 assert!((got[i] - e).abs() < 1e-4, "rank {rank} coord {i}");
             }
         }
@@ -228,7 +247,12 @@ mod tests {
 
     #[test]
     fn reduce_bcast_latency_is_2log2p() {
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let p = 8;
         let t = max_virtual_time(p, cost, |ep| {
             let input = SparseStream::<f32>::zeros(256);

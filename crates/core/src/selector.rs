@@ -29,10 +29,17 @@ fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
     let (p, n) = (w.p as f64, w.n as f64);
     let log2p = p.log2().ceil().max(0.0);
     let span = (p - 1.0) * k;
-    let t = if span > 0.0 { ((ek - k) / span).clamp(0.0, 1.0) } else { 0.0 };
+    let t = if span > 0.0 {
+        ((ek - k) / span).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let lerp = |e: bounds::Envelope| e.lower + t * (e.upper - e.lower);
     let lerp2 = |lo: f64, hi: f64| lo + t * (hi - lo);
     match algo {
+        // Auto is a placeholder resolved before costing; pricing it at
+        // infinity keeps it out of any candidate sweep by construction.
+        Algorithm::Auto => f64::INFINITY,
         Algorithm::SsarRecDbl => {
             // Merge work per node: log2(P) merges whose total size grows
             // from log2(P)·k (full overlap) to ≈ 2·(P−1)·k (disjoint).
@@ -50,17 +57,12 @@ fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
             let compute = c.gamma * (k + n);
             lerp(bounds::dsar_split_ag(w, c)) + compute
         }
-        Algorithm::DenseRecDbl => {
-            bounds::dense_rec_dbl(w, c).lower + c.gamma * log2p * n
-        }
-        Algorithm::DenseRabenseifner => {
-            bounds::dense_rabenseifner(w, c).lower + c.gamma * n
-        }
+        Algorithm::DenseRecDbl => bounds::dense_rec_dbl(w, c).lower + c.gamma * log2p * n,
+        Algorithm::DenseRabenseifner => bounds::dense_rabenseifner(w, c).lower + c.gamma * n,
         Algorithm::DenseRing => bounds::dense_ring(w, c).lower + c.gamma * n,
         Algorithm::SparseRing => {
             // Ring on sparse partitions: 2(P−1) messages of ≈ E[K]/P pairs.
-            2.0 * (p - 1.0) * (c.alpha + ek / p * c.beta * w.pair_bytes())
-                + c.gamma * 2.0 * ek
+            2.0 * (p - 1.0) * (c.alpha + ek / p * c.beta * w.pair_bytes()) + c.gamma * 2.0 * ek
         }
     }
 }
@@ -74,7 +76,12 @@ fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
 ///    against the dense baselines only;
 /// 3. otherwise the instance is *static* — compare the sparse schedules.
 pub fn select_algorithm<V: Scalar>(p: usize, n: usize, k: usize, cost: &CostModel) -> Algorithm {
-    let w = Workload { p, n, k, value_bytes: V::BYTES };
+    let w = Workload {
+        p,
+        n,
+        k,
+        value_bytes: V::BYTES,
+    };
     let ek = expected_union_size(n, p, k.min(n));
     let delta = delta_raw::<V>(n) as f64;
     let candidates: &[Algorithm] = if ek >= delta {
@@ -101,8 +108,47 @@ pub fn select_algorithm<V: Scalar>(p: usize, n: usize, k: usize, cost: &CostMode
         .expect("candidate list non-empty")
 }
 
+impl Algorithm {
+    /// Resolves [`Algorithm::Auto`] to the selector's concrete choice for
+    /// a `P`-rank reduction of `N`-dim vectors with `k` non-zeros per
+    /// rank; concrete algorithms pass through unchanged. This is exactly
+    /// the mapping the communicator applies on the `Auto` path (after the
+    /// ranks agree on `k`), exposed for inspection and testing.
+    pub fn resolve_for<V: Scalar>(
+        self,
+        p: usize,
+        n: usize,
+        k: usize,
+        cost: &CostModel,
+    ) -> Algorithm {
+        match self {
+            Algorithm::Auto => select_algorithm::<V>(p, n, k, cost),
+            concrete => concrete,
+        }
+    }
+}
+
+/// Virtual-time cost of the Auto path's per-call k-agreement: one
+/// 8-byte-payload allgather (recursive doubling at power-of-two `P`,
+/// ring otherwise). Latency-bound workloads pay this on top of the
+/// resolved schedule — pin a concrete [`Algorithm`] to avoid it.
+fn auto_agreement_cost(p: usize, c: &CostModel) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let rounds = if p.is_power_of_two() {
+        (p as f64).log2()
+    } else {
+        (p - 1) as f64
+    };
+    // 8 bytes of k plus the block-group framing per round.
+    rounds * (c.alpha + 24.0 * c.beta)
+}
+
 /// Estimated completion time of `algo` (exposed for reporting/EXPERIMENTS)
 /// under the uniform-support fill-in model of Appendix B.
+/// [`Algorithm::Auto`] is priced as its resolved concrete choice *plus*
+/// the k-agreement round the communicator runs before dispatching.
 pub fn estimate_time<V: Scalar>(
     algo: Algorithm,
     p: usize,
@@ -110,9 +156,20 @@ pub fn estimate_time<V: Scalar>(
     k: usize,
     cost: &CostModel,
 ) -> f64 {
-    let w = Workload { p, n, k, value_bytes: V::BYTES };
+    let agreement = if algo.is_auto() {
+        auto_agreement_cost(p, cost)
+    } else {
+        0.0
+    };
+    let algo = algo.resolve_for::<V>(p, n, k, cost);
+    let w = Workload {
+        p,
+        n,
+        k,
+        value_bytes: V::BYTES,
+    };
     let ek = expected_union_size(n, p, k.min(n));
-    expected_cost(algo, &w, cost, ek)
+    agreement + expected_cost(algo, &w, cost, ek)
 }
 
 /// [`estimate_time`] with an explicit expected union size `ek` (callers
@@ -126,8 +183,19 @@ pub fn estimate_time_with_union<V: Scalar>(
     ek: f64,
     cost: &CostModel,
 ) -> f64 {
-    let w = Workload { p, n, k, value_bytes: V::BYTES };
-    expected_cost(algo, &w, cost, ek.clamp(k as f64, (p * k).min(n) as f64))
+    let agreement = if algo.is_auto() {
+        auto_agreement_cost(p, cost)
+    } else {
+        0.0
+    };
+    let algo = algo.resolve_for::<V>(p, n, k, cost);
+    let w = Workload {
+        p,
+        n,
+        k,
+        value_bytes: V::BYTES,
+    };
+    agreement + expected_cost(algo, &w, cost, ek.clamp(k as f64, (p * k).min(n) as f64))
 }
 
 #[cfg(test)]
@@ -155,12 +223,24 @@ mod tests {
         assert!(
             matches!(
                 algo,
-                Algorithm::DsarSplitAllgather
-                    | Algorithm::DenseRabenseifner
-                    | Algorithm::DenseRing
+                Algorithm::DsarSplitAllgather | Algorithm::DenseRabenseifner | Algorithm::DenseRing
             ),
             "got {algo:?}"
         );
+    }
+
+    #[test]
+    fn auto_estimate_includes_agreement_overhead() {
+        // Pricing the default path: Auto = resolved schedule + the
+        // k-agreement allgather, so it must strictly exceed the pinned
+        // estimate whenever P > 1.
+        let cost = CostModel::gige();
+        let (p, n, k) = (8usize, 1 << 20, 1 << 6);
+        let resolved = Algorithm::Auto.resolve_for::<f32>(p, n, k, &cost);
+        let t_auto = estimate_time::<f32>(Algorithm::Auto, p, n, k, &cost);
+        let t_pinned = estimate_time::<f32>(resolved, p, n, k, &cost);
+        assert!(t_auto > t_pinned, "auto {t_auto} vs pinned {t_pinned}");
+        assert!((t_auto - t_pinned - 3.0 * cost.alpha).abs() < 1e-3 * cost.alpha + 1e-6);
     }
 
     #[test]

@@ -43,11 +43,10 @@ where
             .into_iter()
             .enumerate()
             .map(|(rank, mut ep)| {
-                scope
-                    .spawn(move || {
-                        let out = f(&mut ep);
-                        (rank, out)
-                    })
+                scope.spawn(move || {
+                    let out = f(&mut ep);
+                    (rank, out)
+                })
             })
             .collect();
         let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
@@ -61,7 +60,10 @@ where
         if let Some(rank) = panicked {
             panic!("rank {rank} panicked inside run_cluster");
         }
-        results.into_iter().map(|r| r.expect("all ranks returned")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all ranks returned"))
+            .collect()
     })
 }
 
@@ -102,7 +104,8 @@ mod tests {
         let out = run_cluster(size, CostModel::zero(), |ep| {
             let next = (ep.rank() + 1) % size;
             let prev = (ep.rank() + size - 1) % size;
-            ep.send(next, 0, Bytes::from(vec![ep.rank() as u8])).unwrap();
+            ep.send(next, 0, Bytes::from(vec![ep.rank() as u8]))
+                .unwrap();
             let got = ep.recv(prev, 0).unwrap();
             got[0] as usize
         });
@@ -113,7 +116,12 @@ mod tests {
 
     #[test]
     fn max_virtual_time_takes_slowest_rank() {
-        let cost = CostModel { alpha: 1.0, beta: 0.0, gamma: 1.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 1.0,
+            isend_alpha_fraction: 0.0,
+        };
         let t = max_virtual_time(4, cost, |ep| {
             // Rank r does r element ops: slowest is 3.
             ep.compute(ep.rank());

@@ -28,23 +28,43 @@ impl CostModel {
     /// Cray Aries / Dragonfly class network (Piz Daint): ~1.5 µs latency,
     /// ~10 GB/s effective point-to-point bandwidth.
     pub fn aries() -> Self {
-        CostModel { alpha: 1.5e-6, beta: 1.0e-10, gamma: 1.0e-9, isend_alpha_fraction: 0.1 }
+        CostModel {
+            alpha: 1.5e-6,
+            beta: 1.0e-10,
+            gamma: 1.0e-9,
+            isend_alpha_fraction: 0.1,
+        }
     }
 
     /// InfiniBand FDR class network (Greina IB): ~2.5 µs, ~6 GB/s.
     pub fn infiniband() -> Self {
-        CostModel { alpha: 2.5e-6, beta: 1.7e-10, gamma: 1.0e-9, isend_alpha_fraction: 0.1 }
+        CostModel {
+            alpha: 2.5e-6,
+            beta: 1.7e-10,
+            gamma: 1.0e-9,
+            isend_alpha_fraction: 0.1,
+        }
     }
 
     /// Gigabit Ethernet (Greina GigE / "standard cloud deployment"):
     /// ~50 µs latency, ~117 MB/s effective bandwidth.
     pub fn gige() -> Self {
-        CostModel { alpha: 5.0e-5, beta: 8.5e-9, gamma: 1.0e-9, isend_alpha_fraction: 0.1 }
+        CostModel {
+            alpha: 5.0e-5,
+            beta: 8.5e-9,
+            gamma: 1.0e-9,
+            isend_alpha_fraction: 0.1,
+        }
     }
 
     /// Free network: correctness tests that should not depend on timing.
     pub fn zero() -> Self {
-        CostModel { alpha: 0.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 }
+        CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        }
     }
 
     /// Time to move one message of `bytes` bytes: `α + β·bytes`.
@@ -72,7 +92,12 @@ mod tests {
 
     #[test]
     fn transfer_time_is_affine() {
-        let m = CostModel { alpha: 1.0, beta: 2.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 2.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         assert_eq!(m.transfer_time(0), 1.0);
         assert_eq!(m.transfer_time(10), 21.0);
     }

@@ -23,6 +23,7 @@ use crossbeam::channel::{Receiver, Sender};
 use crate::cost::CostModel;
 use crate::error::CommError;
 use crate::stats::CommStats;
+use crate::transport::Transport;
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -149,17 +150,33 @@ impl Endpoint {
         self.op_counter
     }
 
-    fn push_msg(&mut self, dst: usize, tag: u64, payload: Bytes, alpha_charge: f64) -> Result<(), CommError> {
+    fn push_msg(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: Bytes,
+        alpha_charge: f64,
+    ) -> Result<(), CommError> {
         if dst >= self.size {
-            return Err(CommError::InvalidRank { rank: dst, size: self.size });
+            return Err(CommError::InvalidRank {
+                rank: dst,
+                size: self.size,
+            });
         }
         let len = payload.len();
         let arrival = self.clock + self.cost.transfer_time(len);
         self.clock += alpha_charge;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += len as u64;
-        let msg = WireMsg { src: self.rank, tag, payload, arrival };
-        self.senders[dst].send(msg).map_err(|_| CommError::Disconnected { peer: dst })
+        let msg = WireMsg {
+            src: self.rank,
+            tag,
+            payload,
+            arrival,
+        };
+        self.senders[dst]
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { peer: dst })
     }
 
     /// Blocking send: charges the full injection latency α to the sender.
@@ -179,7 +196,10 @@ impl Endpoint {
     /// Advances the virtual clock to the message arrival time.
     pub fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
         if src >= self.size {
-            return Err(CommError::InvalidRank { rank: src, size: self.size });
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
         }
         // Serve from the out-of-order buffer first.
         if let Some(queue) = self.pending.get_mut(&(src, tag)) {
@@ -195,7 +215,10 @@ impl Endpoint {
             if msg.src == src && msg.tag == tag {
                 return Ok(self.accept(msg));
             }
-            self.pending.entry((msg.src, msg.tag)).or_default().push_back(msg);
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg);
         }
     }
 
@@ -212,17 +235,27 @@ impl Endpoint {
             }
         }
         if let Some(key) = buffered {
-            let msg = self.pending.get_mut(&key).and_then(|q| q.pop_front()).expect("non-empty");
+            let msg = self
+                .pending
+                .get_mut(&key)
+                .and_then(|q| q.pop_front())
+                .expect("non-empty");
             let src = msg.src;
             return Ok((src, self.accept(msg)));
         }
         loop {
-            let msg = self.inbox.recv().map_err(|_| CommError::Disconnected { peer: self.rank })?;
+            let msg = self
+                .inbox
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: self.rank })?;
             if msg.tag == tag {
                 let src = msg.src;
                 return Ok((src, self.accept(msg)));
             }
-            self.pending.entry((msg.src, msg.tag)).or_default().push_back(msg);
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg);
         }
     }
 
@@ -251,6 +284,75 @@ impl Endpoint {
     }
 }
 
+/// [`Transport`] implementation: the virtual-time transport is the
+/// reference implementor — every method delegates to the inherent
+/// `Endpoint` API above.
+impl Transport for Endpoint {
+    fn rank(&self) -> usize {
+        Endpoint::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Endpoint::size(self)
+    }
+
+    fn cost(&self) -> &CostModel {
+        Endpoint::cost(self)
+    }
+
+    fn clock(&self) -> f64 {
+        Endpoint::clock(self)
+    }
+
+    fn advance_clock_to(&mut self, t: f64) {
+        Endpoint::advance_clock_to(self, t)
+    }
+
+    fn charge_seconds(&mut self, seconds: f64) {
+        Endpoint::charge_seconds(self, seconds)
+    }
+
+    fn compute(&mut self, elements: usize) {
+        Endpoint::compute(self, elements)
+    }
+
+    fn next_op_id(&mut self) -> u64 {
+        Endpoint::next_op_id(self)
+    }
+
+    fn stats(&self) -> &CommStats {
+        Endpoint::stats(self)
+    }
+
+    fn reset_clock(&mut self) {
+        Endpoint::reset_clock(self)
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        Endpoint::send(self, dst, tag, payload)
+    }
+
+    fn isend(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        Endpoint::isend(self, dst, tag, payload)
+    }
+
+    fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
+        Endpoint::recv(self, src, tag)
+    }
+
+    fn recv_any(&mut self, tag: u64) -> Result<(usize, Bytes), CommError> {
+        Endpoint::recv_any(self, tag)
+    }
+
+    fn exchange(&mut self, peer: usize, tag: u64, payload: Bytes) -> Result<Bytes, CommError> {
+        Endpoint::exchange(self, peer, tag, payload)
+    }
+
+    fn detach(&mut self) -> Endpoint {
+        Endpoint::detach(self)
+    }
+}
+
 /// Creates a disconnected single-rank endpoint with a free cost model.
 /// Useful as a placeholder during non-blocking hand-off and in unit tests.
 pub fn standalone_endpoint() -> Endpoint {
@@ -265,7 +367,12 @@ mod tests {
 
     #[test]
     fn pairwise_exchange_costs_alpha_plus_beta_l() {
-        let cost = CostModel { alpha: 1.0, beta: 0.5, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let clocks = run_cluster(2, cost, |ep| {
             let payload = Bytes::from(vec![0u8; 10]);
             let _ = ep.exchange(1 - ep.rank(), 7, payload).unwrap();
@@ -278,7 +385,12 @@ mod tests {
 
     #[test]
     fn serial_sends_accumulate_alpha() {
-        let cost = CostModel { alpha: 2.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 2.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.0,
+        };
         let clocks = run_cluster(4, cost, |ep| {
             if ep.rank() == 0 {
                 for dst in 1..4 {
@@ -298,7 +410,12 @@ mod tests {
 
     #[test]
     fn isend_charges_reduced_alpha() {
-        let cost = CostModel { alpha: 2.0, beta: 0.0, gamma: 0.0, isend_alpha_fraction: 0.25 };
+        let cost = CostModel {
+            alpha: 2.0,
+            beta: 0.0,
+            gamma: 0.0,
+            isend_alpha_fraction: 0.25,
+        };
         let clocks = run_cluster(2, cost, |ep| {
             if ep.rank() == 0 {
                 ep.isend(1, 1, Bytes::new()).unwrap();
@@ -351,7 +468,12 @@ mod tests {
 
     #[test]
     fn compute_charges_gamma() {
-        let cost = CostModel { alpha: 0.0, beta: 0.0, gamma: 0.5, isend_alpha_fraction: 0.0 };
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.5,
+            isend_alpha_fraction: 0.0,
+        };
         let clocks = run_cluster(1, cost, |ep| {
             ep.compute(10);
             ep.clock()

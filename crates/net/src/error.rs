@@ -25,7 +25,10 @@ impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
             CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),

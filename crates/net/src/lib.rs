@@ -1,16 +1,23 @@
 //! # sparcml-net
 //!
-//! Virtual-time message-passing substrate for the SparCML reproduction.
+//! Pluggable message-passing transports for the SparCML reproduction.
 //!
 //! The paper runs on MPI over Cray Aries / InfiniBand / Gigabit Ethernet.
-//! This crate replaces that stack with an in-process cluster: one thread
-//! per rank, real point-to-point byte messages over channels, and a
-//! per-rank *virtual clock* advanced by the α–β(–γ) cost model of §5.2.
-//! Collectives built on top execute their genuine communication schedules
-//! while completion times remain deterministic and network-parameterized.
+//! This crate abstracts that stack behind the [`Transport`] trait — the
+//! thin communication layer every collective is written against — with
+//! two in-process implementors:
+//!
+//! * [`Endpoint`]: one thread per rank, real point-to-point byte messages
+//!   over channels, and a per-rank *virtual clock* advanced by the
+//!   α–β(–γ) cost model of §5.2. Collectives execute their genuine
+//!   communication schedules while completion times remain deterministic
+//!   and network-parameterized.
+//! * [`ThreadTransport`]: the same wire protocol on real concurrent OS
+//!   threads with wall-clock time — proving the transport seam for future
+//!   multi-backend scale-out.
 //!
 //! ```
-//! use sparcml_net::{run_cluster, CostModel};
+//! use sparcml_net::{run_cluster, CostModel, Transport};
 //! use bytes::Bytes;
 //!
 //! let results = run_cluster(4, CostModel::aries(), |ep| {
@@ -28,9 +35,13 @@ mod cost;
 mod endpoint;
 mod error;
 mod stats;
+mod thread_transport;
+mod transport;
 
 pub use cluster::{max_virtual_time, run_cluster};
 pub use cost::CostModel;
 pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
 pub use error::CommError;
 pub use stats::CommStats;
+pub use thread_transport::{run_thread_cluster, standalone_thread_transport, ThreadTransport};
+pub use transport::Transport;

@@ -32,7 +32,13 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = CommStats { msgs_sent: 1, bytes_sent: 10, msgs_recv: 2, bytes_recv: 20, compute_elements: 5 };
+        let mut a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+            compute_elements: 5,
+        };
         let b = a.clone();
         a.merge(&b);
         assert_eq!(a.msgs_sent, 2);

@@ -1,0 +1,402 @@
+//! A real in-process transport: channel-backed message passing between OS
+//! threads with *wall-clock* time.
+//!
+//! [`ThreadTransport`] is the second [`Transport`] implementor and proves
+//! the seam: the same collectives, selector and training loops that run on
+//! the virtual-time [`crate::Endpoint`] execute unchanged on real
+//! concurrent threads. Differences from `Endpoint`:
+//!
+//! * `clock()` reports elapsed wall time since the transport was created
+//!   (plus any explicitly charged seconds), not model time;
+//! * `compute()` records statistics only — on a real transport the caller
+//!   performs the reduction work for real, so charging model time on top
+//!   would double-count it;
+//! * `isend` equals `send` (channel injection never blocks);
+//! * the [`CostModel`] is retained purely as a *planning hint* for the
+//!   adaptive algorithm selector (`Algorithm::Auto`), defaulting to the
+//!   Aries-class model.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::cost::CostModel;
+use crate::error::CommError;
+use crate::stats::CommStats;
+use crate::transport::Transport;
+
+/// A message in flight between rank threads.
+#[derive(Debug, Clone)]
+struct ThreadMsg {
+    src: usize,
+    tag: u64,
+    payload: Bytes,
+}
+
+/// One rank's session in a real threaded communicator.
+pub struct ThreadTransport {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<ThreadMsg>>,
+    inbox: Receiver<ThreadMsg>,
+    /// Out-of-order buffer for messages received before they were asked for.
+    pending: HashMap<(usize, u64), VecDeque<ThreadMsg>>,
+    epoch: Instant,
+    /// Seconds added on top of elapsed wall time (charged work, clock floors).
+    clock_offset: f64,
+    /// Receive watchdog: every rank keeps a sender clone to every other
+    /// rank, so a peer dying mid-collective can never disconnect our
+    /// inbox — without a deadline a lost peer would hang `recv()` (and
+    /// any CI run) forever instead of failing.
+    recv_deadline: Duration,
+    cost_hint: CostModel,
+    op_counter: u64,
+    stats: CommStats,
+}
+
+impl std::fmt::Debug for ThreadTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadTransport")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl ThreadTransport {
+    /// Wires a fully connected `size`-rank communicator and returns one
+    /// transport per rank (move each onto its own thread). Planning hint
+    /// defaults to the Aries-class cost model.
+    pub fn connect(size: usize) -> Vec<ThreadTransport> {
+        ThreadTransport::connect_with_hint(size, CostModel::aries())
+    }
+
+    /// [`ThreadTransport::connect`] with an explicit selector planning hint.
+    pub fn connect_with_hint(size: usize, cost_hint: CostModel) -> Vec<ThreadTransport> {
+        assert!(size > 0, "communicator needs at least one rank");
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<ThreadMsg>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| ThreadTransport {
+                rank,
+                size,
+                senders: txs.clone(),
+                inbox,
+                pending: HashMap::new(),
+                epoch: Instant::now(),
+                clock_offset: 0.0,
+                recv_deadline: Duration::from_secs(30),
+                cost_hint,
+                op_counter: 0,
+                stats: CommStats::default(),
+            })
+            .collect()
+    }
+
+    /// Overrides the receive watchdog (default 30 s): how long `recv`
+    /// waits for a matching message before concluding a peer is lost.
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.recv_deadline = deadline;
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn next_inbox_msg(&self, waiting_on: usize) -> Result<ThreadMsg, CommError> {
+        match self.inbox.recv_timeout(self.recv_deadline) {
+            Ok(msg) => Ok(msg),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Protocol(format!(
+                "rank {} waited {:?} on rank {} with no message — peer lost?",
+                self.rank, self.recv_deadline, waiting_on
+            ))),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(CommError::Disconnected { peer: waiting_on })
+            }
+        }
+    }
+
+    fn push_msg(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        if dst >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: dst,
+                size: self.size,
+            });
+        }
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        let msg = ThreadMsg {
+            src: self.rank,
+            tag,
+            payload,
+        };
+        self.senders[dst]
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { peer: dst })
+    }
+
+    fn accept(&mut self, msg: ThreadMsg) -> Bytes {
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += msg.payload.len() as u64;
+        msg.payload
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost_hint
+    }
+
+    fn clock(&self) -> f64 {
+        self.elapsed() + self.clock_offset
+    }
+
+    fn advance_clock_to(&mut self, t: f64) {
+        let now = self.clock();
+        if t > now {
+            self.clock_offset += t - now;
+        }
+    }
+
+    fn charge_seconds(&mut self, seconds: f64) {
+        self.clock_offset += seconds;
+    }
+
+    fn compute(&mut self, elements: usize) {
+        // Work happens for real on this transport; only count it.
+        self.stats.compute_elements += elements as u64;
+    }
+
+    fn next_op_id(&mut self) -> u64 {
+        self.op_counter += 1;
+        self.op_counter
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    fn reset_clock(&mut self) {
+        self.epoch = Instant::now();
+        self.clock_offset = 0.0;
+        self.stats = CommStats::default();
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        self.push_msg(dst, tag, payload)
+    }
+
+    fn isend(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        self.push_msg(dst, tag, payload)
+    }
+
+    fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
+        if src >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
+        if let Some(queue) = self.pending.get_mut(&(src, tag)) {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(self.accept(msg));
+            }
+        }
+        loop {
+            let msg = self.next_inbox_msg(src)?;
+            if msg.src == src && msg.tag == tag {
+                return Ok(self.accept(msg));
+            }
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg);
+        }
+    }
+
+    fn recv_any(&mut self, tag: u64) -> Result<(usize, Bytes), CommError> {
+        // Buffered messages first, in rank order for determinism.
+        let mut buffered: Option<(usize, u64)> = None;
+        for (&(src, t), queue) in self.pending.iter() {
+            if t == tag && !queue.is_empty() {
+                match buffered {
+                    Some((best, _)) if best <= src => {}
+                    _ => buffered = Some((src, t)),
+                }
+            }
+        }
+        if let Some(key) = buffered {
+            let msg = self
+                .pending
+                .get_mut(&key)
+                .and_then(|q| q.pop_front())
+                .expect("non-empty");
+            let src = msg.src;
+            return Ok((src, self.accept(msg)));
+        }
+        loop {
+            let msg = self.next_inbox_msg(self.rank)?;
+            if msg.tag == tag {
+                let src = msg.src;
+                return Ok((src, self.accept(msg)));
+            }
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg);
+        }
+    }
+
+    fn detach(&mut self) -> ThreadTransport {
+        std::mem::replace(self, standalone_thread_transport())
+    }
+}
+
+/// Creates a disconnected single-rank thread transport — the placeholder
+/// counterpart of [`crate::standalone_endpoint`].
+pub fn standalone_thread_transport() -> ThreadTransport {
+    ThreadTransport::connect_with_hint(1, CostModel::zero())
+        .pop()
+        .expect("single-rank communicator")
+}
+
+/// Runs `f` once per rank on `size` real concurrent threads and returns
+/// the per-rank results, indexed by rank — the [`ThreadTransport`]
+/// counterpart of [`crate::run_cluster`].
+pub fn run_thread_cluster<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadTransport) -> R + Sync,
+{
+    let transports = ThreadTransport::connect(size);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = transports
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut tp)| {
+                scope.spawn(move || {
+                    let out = f(&mut tp);
+                    (rank, out)
+                })
+            })
+            .collect();
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        let mut panicked: Option<usize> = None;
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok((rank, out)) => results[rank] = Some(out),
+                Err(_) => panicked = panicked.or(Some(i)),
+            }
+        }
+        if let Some(rank) = panicked {
+            panic!("rank {rank} panicked inside run_thread_cluster");
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("all ranks returned"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_between_real_threads() {
+        let results = run_thread_cluster(4, |tp| {
+            let peer = tp.rank() ^ 1;
+            let got = tp
+                .exchange(peer, 7, Bytes::from(vec![tp.rank() as u8]))
+                .unwrap();
+            got[0] as usize
+        });
+        assert_eq!(results, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn out_of_order_matching_by_tag() {
+        let results = run_thread_cluster(2, |tp| {
+            if tp.rank() == 0 {
+                tp.send(1, 10, Bytes::from_static(b"ten")).unwrap();
+                tp.send(1, 20, Bytes::from_static(b"twenty")).unwrap();
+                Vec::new()
+            } else {
+                let a = tp.recv(0, 20).unwrap();
+                let b = tp.recv(0, 10).unwrap();
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1][0].as_ref(), b"twenty");
+        assert_eq!(results[1][1].as_ref(), b"ten");
+    }
+
+    #[test]
+    fn stats_and_clock_behave() {
+        let stats = run_thread_cluster(2, |tp| {
+            let peer = 1 - tp.rank();
+            tp.send(peer, 1, Bytes::from(vec![0u8; 16])).unwrap();
+            let _ = tp.recv(peer, 1).unwrap();
+            tp.charge_seconds(1.0);
+            assert!(tp.clock() >= 1.0, "charged seconds must show in the clock");
+            tp.compute(10);
+            tp.stats().clone()
+        });
+        for s in stats {
+            assert_eq!(s.msgs_sent, 1);
+            assert_eq!(s.bytes_sent, 16);
+            assert_eq!(s.compute_elements, 10);
+        }
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let results = run_thread_cluster(2, |tp| {
+            matches!(
+                tp.send(9, 0, Bytes::new()),
+                Err(CommError::InvalidRank { rank: 9, size: 2 })
+            )
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn recv_watchdog_reports_lost_peer() {
+        // Peers hold sender clones to each other, so a dead rank can
+        // never disconnect our inbox; the watchdog must turn that
+        // would-be deadlock into an error.
+        let mut tps = ThreadTransport::connect(2);
+        let mut t0 = tps.remove(0);
+        t0.set_recv_deadline(Duration::from_millis(50));
+        let err = t0.recv(1, 7).unwrap_err();
+        assert!(matches!(err, CommError::Protocol(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn detach_leaves_placeholder() {
+        let results = run_thread_cluster(2, |tp| {
+            let real = tp.detach();
+            let placeholder = (tp.rank(), tp.size());
+            *tp = real;
+            (placeholder, tp.rank())
+        });
+        assert_eq!(results[1], ((0, 1), 1));
+    }
+}

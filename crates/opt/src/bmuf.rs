@@ -13,8 +13,7 @@
 //! restart point = x_global (+ η·v_t for Nesterov-style CBM)
 //! ```
 
-use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml_net::Endpoint;
+use sparcml_core::{Algorithm, Communicator, Transport};
 use sparcml_stream::SparseStream;
 
 use crate::nn::FlatModel;
@@ -59,16 +58,21 @@ impl BmufState {
     pub fn new<M: FlatModel>(model: &M, cfg: BmufConfig) -> Self {
         let x_global = model.params();
         let v = vec![0.0f32; x_global.len()];
-        BmufState { cfg, x_global, v, steps_since_sync: 0 }
+        BmufState {
+            cfg,
+            x_global,
+            v,
+            steps_since_sync: 0,
+        }
     }
 
     /// Called after every local SGD step; when a block completes, performs
     /// the model-average allreduce and the block-momentum filter, and
     /// resets `model` to the new restart point. Returns `true` if a
     /// synchronization happened.
-    pub fn post_step<M: FlatModel>(
+    pub fn post_step<T: Transport + Send + 'static, M: FlatModel>(
         &mut self,
-        ep: &mut Endpoint,
+        comm: &mut Communicator<T>,
         model: &mut M,
     ) -> Result<bool, sparcml_core::CollError> {
         self.steps_since_sync += 1;
@@ -76,25 +80,32 @@ impl BmufState {
             return Ok(false);
         }
         self.steps_since_sync = 0;
-        let p = ep.size() as f32;
+        let p = comm.size() as f32;
         // Average the workers' models (dense allreduce of parameters).
         let local = SparseStream::from_dense(model.params());
-        let summed = allreduce(ep, &local, Algorithm::DenseRabenseifner, &AllreduceConfig::default())?;
+        let summed = comm
+            .allreduce(&local)
+            .algorithm(Algorithm::DenseRabenseifner)
+            .launch()?
+            .wait()?;
         let avg = summed.into_dense_vec();
         // Block update + momentum filter (identical on every rank).
         let mut restart = Vec::with_capacity(avg.len());
-        for j in 0..avg.len() {
-            let delta = avg[j] / p - self.x_global[j];
-            self.v[j] = self.cfg.block_momentum * self.v[j] + self.cfg.block_lr * delta;
-            self.x_global[j] += self.v[j];
+        for (aj, (xj, vj)) in avg
+            .iter()
+            .zip(self.x_global.iter_mut().zip(self.v.iter_mut()))
+        {
+            let delta = aj / p - *xj;
+            *vj = self.cfg.block_momentum * *vj + self.cfg.block_lr * delta;
+            *xj += *vj;
             let r = if self.cfg.nesterov {
-                self.x_global[j] + self.cfg.block_momentum * self.v[j]
+                *xj + self.cfg.block_momentum * *vj
             } else {
-                self.x_global[j]
+                *xj
             };
             restart.push(r);
         }
-        ep.compute(3 * avg.len());
+        comm.compute(3 * avg.len());
         model.set_params(&restart);
         Ok(true)
     }
@@ -110,21 +121,21 @@ mod tests {
     use super::*;
     use crate::data::generate_dense_images;
     use crate::nn::Mlp;
-    use sparcml_net::{run_cluster, CostModel};
+    use sparcml_core::run_communicators;
+    use sparcml_net::CostModel;
 
     /// Local-SGD + BMUF training of a small MLP; returns final mean loss.
     fn run_bmuf(p: usize, cfg: BmufConfig, steps: usize) -> (f64, Vec<f32>) {
         let ds = generate_dense_images(16, 4, 128, 5);
-        let results = run_cluster(p, CostModel::zero(), |ep| {
+        let results = run_communicators(p, CostModel::zero(), |comm| {
             let mut model = Mlp::new(&[16, 16, 4], 9);
             let mut bmuf = BmufState::new(&model, cfg);
-            let range = sparcml_stream::partition_range(ds.samples.len(), p, ep.rank());
+            let range = sparcml_stream::partition_range(ds.samples.len(), p, comm.rank());
             let (lo, hi) = (range.lo as usize, range.hi as usize);
             let mut loss = 0.0;
             for s in 0..steps {
                 let b0 = lo + (s * 8) % (hi - lo - 8);
-                let xs: Vec<&[f32]> =
-                    (b0..b0 + 8).map(|i| ds.samples[i].as_slice()).collect();
+                let xs: Vec<&[f32]> = (b0..b0 + 8).map(|i| ds.samples[i].as_slice()).collect();
                 let ys: Vec<u32> = (b0..b0 + 8).map(|i| ds.labels[i]).collect();
                 let bg = model.batch_gradient(&xs, &ys);
                 let mut params = model.params();
@@ -132,7 +143,7 @@ mod tests {
                     *pi -= 0.05 * gi / 8.0;
                 }
                 model.set_params(&params);
-                bmuf.post_step(ep, &mut model).unwrap();
+                bmuf.post_step(comm, &mut model).unwrap();
                 loss = bg.loss / 8.0;
             }
             (loss, model.params())
@@ -159,38 +170,41 @@ mod tests {
             block_lr: 1.0,
             nesterov: false,
         };
-        let results = run_cluster(2, CostModel::zero(), |ep| {
+        let results = run_communicators(2, CostModel::zero(), |comm| {
             let mut model = Mlp::new(&[4, 3], 1);
             // Make the replicas diverge deterministically by rank.
             let mut params = model.params();
             for v in params.iter_mut() {
-                *v += (ep.rank() as f32 + 1.0) * 0.5;
+                *v += (comm.rank() as f32 + 1.0) * 0.5;
             }
             model.set_params(&params);
             let pre = model.params();
             let mut bmuf = BmufState::new(&Mlp::new(&[4, 3], 1), cfg);
-            bmuf.post_step(ep, &mut model).unwrap();
+            bmuf.post_step(comm, &mut model).unwrap();
             (pre, model.params())
         });
         let (pre0, post0) = &results[0];
         let (pre1, post1) = &results[1];
         assert_eq!(post0, post1, "ranks must agree after sync");
         for ((a, b), got) in pre0.iter().zip(pre1.iter()).zip(post0.iter()) {
-            assert!((got - (a + b) / 2.0).abs() < 1e-6, "{got} vs avg of {a},{b}");
+            assert!(
+                (got - (a + b) / 2.0).abs() < 1e-6,
+                "{got} vs avg of {a},{b}"
+            );
         }
     }
 
     #[test]
     fn workers_agree_after_sync_with_momentum() {
         let cfg = BmufConfig::standard(2);
-        let results = run_cluster(2, CostModel::zero(), |ep| {
+        let results = run_communicators(2, CostModel::zero(), |comm| {
             let mut model = Mlp::new(&[6, 4], 3);
             let mut params = model.params();
-            params[0] += ep.rank() as f32;
+            params[0] += comm.rank() as f32;
             model.set_params(&params);
             let mut bmuf = BmufState::new(&Mlp::new(&[6, 4], 3), cfg);
             for _ in 0..cfg.block_steps {
-                bmuf.post_step(ep, &mut model).unwrap();
+                bmuf.post_step(comm, &mut model).unwrap();
             }
             model.params()
         });

@@ -146,7 +146,7 @@ fn power_law_index(dim: usize, exponent: f64, rng: &mut XorShift64) -> u32 {
 /// features (hash-selected), 0 elsewhere.
 fn hidden_weight(idx: u32) -> f64 {
     let h = idx.wrapping_mul(0x9E37_79B9);
-    if h % 5 != 0 {
+    if !h.is_multiple_of(5) {
         return 0.0;
     }
     if (h >> 8) & 1 == 0 {
@@ -184,9 +184,16 @@ pub fn generate_sparse(cfg: &SparseGenConfig) -> SparseDataset {
         if rng.next_f64() < cfg.noise {
             label ^= 1;
         }
-        samples.push(SparseSample { features: feats, label });
+        samples.push(SparseSample {
+            features: feats,
+            label,
+        });
     }
-    SparseDataset { dim: cfg.dim, classes: 2, samples }
+    SparseDataset {
+        dim: cfg.dim,
+        classes: 2,
+        samples,
+    }
 }
 
 /// Generates a dense image-like dataset: class-conditional Gaussians with
@@ -215,20 +222,30 @@ pub fn generate_dense_images_noisy(
     // ≈ √(2·dim) · 0.6, so tasks are separable but noisy).
     let means: Vec<Vec<f32>> = (0..classes)
         .map(|c| {
-            let mut crng = XorShift64::new(seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            (0..dim).map(|_| crng.next_gaussian() as f32 * 0.6).collect()
+            let mut crng =
+                XorShift64::new(seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (0..dim)
+                .map(|_| crng.next_gaussian() as f32 * 0.6)
+                .collect()
         })
         .collect();
     let mut data = Vec::with_capacity(samples);
     let mut labels = Vec::with_capacity(samples);
     for i in 0..samples {
         let c = i % classes; // balanced classes
-        let x: Vec<f32> =
-            means[c].iter().map(|m| m + rng.next_gaussian() as f32 * noise).collect();
+        let x: Vec<f32> = means[c]
+            .iter()
+            .map(|m| m + rng.next_gaussian() as f32 * noise)
+            .collect();
         data.push(x);
         labels.push(c as u32);
     }
-    DenseDataset { dim, classes, samples: data, labels }
+    DenseDataset {
+        dim,
+        classes,
+        samples: data,
+        labels,
+    }
 }
 
 /// Generates an ATIS-like sequence classification dataset: each class has
@@ -241,7 +258,10 @@ pub fn generate_sequences(
     seq_len: usize,
     seed: u64,
 ) -> SequenceDataset {
-    assert!(vocab > classes * 4, "vocabulary too small for trigger tokens");
+    assert!(
+        vocab > classes * 4,
+        "vocabulary too small for trigger tokens"
+    );
     let mut rng = XorShift64::new(seed);
     let mut sequences = Vec::with_capacity(samples);
     let mut labels = Vec::with_capacity(samples);
@@ -263,7 +283,12 @@ pub fn generate_sequences(
         sequences.push(seq);
         labels.push(c);
     }
-    SequenceDataset { vocab, classes, sequences, labels }
+    SequenceDataset {
+        vocab,
+        classes,
+        sequences,
+        labels,
+    }
 }
 
 #[cfg(test)]
@@ -283,9 +308,16 @@ mod tests {
         let ds = generate_sparse(&cfg);
         assert_eq!(ds.samples.len(), 200);
         assert_eq!(ds.dim, 100_000);
-        assert!(ds.avg_nnz() > 30.0 && ds.avg_nnz() <= 50.0, "avg {}", ds.avg_nnz());
+        assert!(
+            ds.avg_nnz() > 30.0 && ds.avg_nnz() <= 50.0,
+            "avg {}",
+            ds.avg_nnz()
+        );
         for s in &ds.samples {
-            assert!(s.features.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique");
+            assert!(
+                s.features.windows(2).all(|w| w[0].0 < w[1].0),
+                "sorted unique"
+            );
             assert!(s.features.iter().all(|&(i, _)| (i as usize) < ds.dim));
             assert!(s.label < 2);
         }
@@ -346,9 +378,8 @@ mod tests {
         assert!(ds.labels.iter().all(|&l| l < 10));
         // Class means separated: same-class distance < cross-class distance
         // on average.
-        let d = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let d =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let same = d(&ds.samples[0], &ds.samples[10]); // both class 0
         let cross = d(&ds.samples[0], &ds.samples[5]); // class 0 vs 5
         assert!(same < cross, "same {same} cross {cross}");

@@ -50,7 +50,11 @@ impl LinearLoss {
             LinearLoss::Logistic => {
                 let m = -y * s;
                 // -y * sigmoid(-ys)
-                let sig = if m > 30.0 { 1.0 } else { m.exp() / (1.0 + m.exp()) };
+                let sig = if m > 30.0 {
+                    1.0
+                } else {
+                    m.exp() / (1.0 + m.exp())
+                };
                 -y * sig
             }
             LinearLoss::Hinge => {
@@ -125,9 +129,18 @@ mod tests {
     fn accuracy_counts_correct_side() {
         let w = vec![1.0f32, -1.0];
         let samples = vec![
-            SparseSample { features: vec![(0, 1.0)], label: 1 }, // s=1 → correct
-            SparseSample { features: vec![(1, 1.0)], label: 1 }, // s=-1 → wrong
-            SparseSample { features: vec![(1, 2.0)], label: 0 }, // s=-2 → correct
+            SparseSample {
+                features: vec![(0, 1.0)],
+                label: 1,
+            }, // s=1 → correct
+            SparseSample {
+                features: vec![(1, 1.0)],
+                label: 1,
+            }, // s=-1 → wrong
+            SparseSample {
+                features: vec![(1, 2.0)],
+                label: 0,
+            }, // s=-2 → correct
         ];
         assert!((accuracy(&w, &samples) - 2.0 / 3.0).abs() < 1e-9);
     }

@@ -69,10 +69,15 @@ impl LstmClassifier {
     pub fn new(vocab: usize, embed: usize, hidden: usize, classes: usize, seed: u64) -> Self {
         let mut rng = XorShift64::new(seed);
         let mut randn = |n: usize, scale: f64| -> Vec<f32> {
-            (0..n).map(|_| (rng.next_gaussian() * scale) as f32).collect()
+            (0..n)
+                .map(|_| (rng.next_gaussian() * scale) as f32)
+                .collect()
         };
         let e = randn(vocab * embed, 0.1);
-        let w = randn(4 * hidden * (embed + hidden), (1.0 / (embed + hidden) as f64).sqrt());
+        let w = randn(
+            4 * hidden * (embed + hidden),
+            (1.0 / (embed + hidden) as f64).sqrt(),
+        );
         let mut b = vec![0.0f32; 4 * hidden];
         // Forget-gate bias 1.0: standard trick for gradient flow.
         for fb in b[hidden..2 * hidden].iter_mut() {
@@ -80,7 +85,17 @@ impl LstmClassifier {
         }
         let v = randn(classes * hidden, (1.0 / hidden as f64).sqrt());
         let vb = vec![0.0f32; classes];
-        LstmClassifier { vocab, embed, hidden, classes, e, w, b, v, vb }
+        LstmClassifier {
+            vocab,
+            embed,
+            hidden,
+            classes,
+            e,
+            w,
+            b,
+            v,
+            vb,
+        }
     }
 
     /// Total parameter count.
@@ -103,7 +118,13 @@ impl LstmClassifier {
     pub fn set_params(&mut self, flat: &[f32]) {
         assert_eq!(flat.len(), self.param_count());
         let mut off = 0usize;
-        for field in [&mut self.e, &mut self.w, &mut self.b, &mut self.v, &mut self.vb] {
+        for field in [
+            &mut self.e,
+            &mut self.w,
+            &mut self.b,
+            &mut self.v,
+            &mut self.vb,
+        ] {
             let len = field.len();
             field.copy_from_slice(&flat[off..off + len]);
             off += len;
@@ -158,8 +179,7 @@ impl LstmClassifier {
         let f: Vec<f32> = z[hd..2 * hd].iter().map(|&x| sigmoid(x)).collect();
         let g: Vec<f32> = z[2 * hd..3 * hd].iter().map(|&x| x.tanh()).collect();
         let o: Vec<f32> = z[3 * hd..4 * hd].iter().map(|&x| sigmoid(x)).collect();
-        let c_new: Vec<f32> =
-            (0..hd).map(|j| f[j] * c[j] + i[j] * g[j]).collect();
+        let c_new: Vec<f32> = (0..hd).map(|j| f[j] * c[j] + i[j] * g[j]).collect();
         let tanh_c: Vec<f32> = c_new.iter().map(|&x| x.tanh()).collect();
         StepCache {
             token,
@@ -292,7 +312,11 @@ impl LstmClassifier {
             // Use final h of *next* sample: recompute per sample (h/c reset
             // above), nothing to carry.
         }
-        LstmBatchGrad { loss, correct, grad }
+        LstmBatchGrad {
+            loss,
+            correct,
+            grad,
+        }
     }
 }
 

@@ -29,7 +29,12 @@ impl DenseLayer {
         let w = (0..in_dim * out_dim)
             .map(|_| (rng.next_gaussian() * scale) as f32)
             .collect();
-        DenseLayer { w, b: vec![0.0; out_dim], in_dim, out_dim }
+        DenseLayer {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+        }
     }
 
     fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
@@ -76,7 +81,10 @@ impl Mlp {
     pub fn new(dims: &[usize], seed: u64) -> Self {
         assert!(dims.len() >= 2, "need at least input and output widths");
         let mut rng = XorShift64::new(seed);
-        let layers = dims.windows(2).map(|w| DenseLayer::new(w[0], w[1], &mut rng)).collect();
+        let layers = dims
+            .windows(2)
+            .map(|w| DenseLayer::new(w[0], w[1], &mut rng))
+            .collect();
         Mlp { layers }
     }
 
@@ -215,10 +223,8 @@ impl Mlp {
                 if li > 0 {
                     // dInput, masked by ReLU activity of the previous layer.
                     let mut dx = vec![0.0f32; layer.in_dim];
-                    for o in 0..layer.out_dim {
-                        let d = delta[o];
+                    for (&d, row) in delta.iter().zip(layer.w.chunks_exact(layer.in_dim)) {
                         if d != 0.0 {
-                            let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
                             for (dxi, wi) in dx.iter_mut().zip(row) {
                                 *dxi += d * wi;
                             }
@@ -233,7 +239,12 @@ impl Mlp {
                 }
             }
         }
-        BatchGrad { loss, correct, correct_top5, grad }
+        BatchGrad {
+            loss,
+            correct,
+            correct_top5,
+            grad,
+        }
     }
 }
 
@@ -249,13 +260,16 @@ pub fn softmax_ce(logits: &[f32], label: u32) -> (f64, Vec<f32>) {
 
 /// Index of the largest logit.
 pub fn argmax(v: &[f32]) -> usize {
-    v.iter().enumerate().fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &x)| {
-        if x > bv {
-            (i, x)
-        } else {
-            (bi, bv)
-        }
-    }).0
+    v.iter()
+        .enumerate()
+        .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &x)| {
+            if x > bv {
+                (i, x)
+            } else {
+                (bi, bv)
+            }
+        })
+        .0
 }
 
 /// Whether `label` is among the `k` largest logits.
@@ -340,8 +354,7 @@ mod tests {
         assert_eq!(after[7], before[7] + 1.0);
         assert_eq!(after[n - 1], before[n - 1] + 1.5);
         // All other entries untouched.
-        let changed =
-            before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
         assert_eq!(changed, 3);
     }
 
@@ -353,7 +366,13 @@ mod tests {
             .map(|i| {
                 let c = i % 3;
                 (0..6)
-                    .map(|j| if j == c * 2 { 2.0 } else { rng.next_gaussian() as f32 * 0.2 })
+                    .map(|j| {
+                        if j == c * 2 {
+                            2.0
+                        } else {
+                            rng.next_gaussian() as f32 * 0.2
+                        }
+                    })
                     .collect()
             })
             .collect();

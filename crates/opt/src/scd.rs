@@ -10,8 +10,8 @@
 //! takes coordinate gradient steps on its local shard, and the per-block
 //! updates are exchanged with an allgather.
 
-use sparcml_core::{dense_allgather, sparse_allgather_sum, CollError};
-use sparcml_net::{run_cluster, CostModel, Endpoint};
+use sparcml_core::{run_communicators, CollError, Communicator, Transport};
+use sparcml_net::CostModel;
 use sparcml_stream::{partition_range, SparseStream, XorShift64};
 
 use crate::data::{SparseDataset, SparseSample};
@@ -107,14 +107,14 @@ fn build_block_index(shard: &[SparseSample], lo: u32, hi: u32, dim: usize) -> Ve
 }
 
 /// The per-rank SCD program.
-pub fn scd_rank_program(
-    ep: &mut Endpoint,
+pub fn scd_rank_program<T: Transport + Send + 'static>(
+    comm: &mut Communicator<T>,
     dim: usize,
     shard: &[SparseSample],
     cfg: &ScdConfig,
 ) -> Result<(Vec<f32>, Vec<ScdEpochStats>), CollError> {
-    let p = ep.size();
-    let rank = ep.rank();
+    let p = comm.size();
+    let rank = comm.rank();
     let block = partition_range(dim, p, rank);
     let mut w = vec![0.0f32; dim];
     let mut margins: Vec<f32> = vec![0.0; shard.len()];
@@ -123,8 +123,8 @@ pub fn scd_rank_program(
     let mut stats = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
-        let t_start = ep.clock();
-        let bytes_start = ep.stats().bytes_sent;
+        let t_start = comm.clock();
+        let bytes_start = comm.stats().bytes_sent;
         let mut comm_time = 0.0f64;
         for _ in 0..cfg.iters_per_epoch {
             // Select coordinates in the owned block and compute updates.
@@ -138,13 +138,13 @@ pub fn scd_rank_program(
                     }
                 }
             }
-            ep.compute(updates.len() * (shard.len() / block.len().max(1)).max(1));
+            comm.compute(updates.len() * (shard.len() / block.len().max(1)).max(1));
             let delta = SparseStream::from_pairs(dim, &updates)?;
 
             // Exchange block updates.
-            let t0 = ep.clock();
+            let t0 = comm.clock();
             let global_delta: SparseStream<f32> = match cfg.exchange {
-                ScdExchange::SparseAllgather => sparse_allgather_sum(ep, &delta)?,
+                ScdExchange::SparseAllgather => comm.allgather_sum(&delta).launch()?.wait()?,
                 ScdExchange::DenseAllgather => {
                     // Dense baseline: apply own delta to the owned model
                     // block, then gather full blocks.
@@ -152,7 +152,7 @@ pub fn scd_rank_program(
                     for (j, dv) in delta.iter_nonzero() {
                         my_block[(j - block.lo) as usize] += dv;
                     }
-                    let blocks = dense_allgather(ep, &my_block)?;
+                    let blocks = comm.allgather_dense(&my_block).launch()?.wait()?;
                     // Reconstruct the global delta = new_w − w.
                     let mut pairs: Vec<(u32, f32)> = Vec::new();
                     for (r, b) in blocks.iter().enumerate() {
@@ -168,7 +168,7 @@ pub fn scd_rank_program(
                     SparseStream::from_pairs(dim, &pairs)?
                 }
             };
-            comm_time += ep.clock() - t0;
+            comm_time += comm.clock() - t0;
 
             // Apply the global delta and refresh margins.
             let mut touched = 0usize;
@@ -188,14 +188,14 @@ pub fn scd_rank_program(
                     margin_ops += 1;
                 }
             }
-            ep.compute(touched + margin_ops / 8);
+            comm.compute(touched + margin_ops / 8);
         }
         stats.push(ScdEpochStats {
             epoch,
             loss: mean_loss(&w, shard, cfg.loss),
-            total_time: ep.clock() - t_start,
+            total_time: comm.clock() - t_start,
             comm_time,
-            bytes_sent: ep.stats().bytes_sent - bytes_start,
+            bytes_sent: comm.stats().bytes_sent - bytes_start,
         });
     }
     Ok((w, stats))
@@ -208,9 +208,9 @@ pub fn train_scd(
     cost: CostModel,
     cfg: &ScdConfig,
 ) -> (Vec<f32>, Vec<ScdEpochStats>) {
-    let results = run_cluster(p, cost, |ep| {
-        let shard = dataset.shard(p, ep.rank());
-        scd_rank_program(ep, dataset.dim, shard, cfg).expect("scd failed")
+    let results = run_communicators(p, cost, |comm| {
+        let shard = dataset.shard(p, comm.rank());
+        scd_rank_program(comm, dataset.dim, shard, cfg).expect("scd failed")
     });
     // Epoch times: max across ranks; loss: mean; weights from rank 0.
     let nepochs = results[0].1.len();
@@ -219,9 +219,19 @@ pub fn train_scd(
         epochs.push(ScdEpochStats {
             epoch: e,
             loss: results.iter().map(|(_, s)| s[e].loss).sum::<f64>() / p as f64,
-            total_time: results.iter().map(|(_, s)| s[e].total_time).fold(0.0, f64::max),
-            comm_time: results.iter().map(|(_, s)| s[e].comm_time).fold(0.0, f64::max),
-            bytes_sent: results.iter().map(|(_, s)| s[e].bytes_sent).max().unwrap_or(0),
+            total_time: results
+                .iter()
+                .map(|(_, s)| s[e].total_time)
+                .fold(0.0, f64::max),
+            comm_time: results
+                .iter()
+                .map(|(_, s)| s[e].comm_time)
+                .fold(0.0, f64::max),
+            bytes_sent: results
+                .iter()
+                .map(|(_, s)| s[e].bytes_sent)
+                .max()
+                .unwrap_or(0),
         });
     }
     (results.into_iter().next().expect("p >= 1").0, epochs)
@@ -246,7 +256,11 @@ mod tests {
     #[test]
     fn scd_reduces_loss() {
         let ds = dataset();
-        let cfg = ScdConfig { epochs: 3, iters_per_epoch: 30, ..Default::default() };
+        let cfg = ScdConfig {
+            epochs: 3,
+            iters_per_epoch: 30,
+            ..Default::default()
+        };
         let (_, stats) = train_scd(&ds, 4, CostModel::zero(), &cfg);
         let first = stats.first().unwrap().loss;
         let last = stats.last().unwrap().loss;
@@ -257,10 +271,16 @@ mod tests {
     fn sparse_exchange_cheaper_than_dense() {
         let ds = dataset();
         let cost = CostModel::gige();
-        let sparse_cfg =
-            ScdConfig { epochs: 1, exchange: ScdExchange::SparseAllgather, ..Default::default() };
-        let dense_cfg =
-            ScdConfig { epochs: 1, exchange: ScdExchange::DenseAllgather, ..Default::default() };
+        let sparse_cfg = ScdConfig {
+            epochs: 1,
+            exchange: ScdExchange::SparseAllgather,
+            ..Default::default()
+        };
+        let dense_cfg = ScdConfig {
+            epochs: 1,
+            exchange: ScdExchange::DenseAllgather,
+            ..Default::default()
+        };
         let (_, s) = train_scd(&ds, 4, cost, &sparse_cfg);
         let (_, d) = train_scd(&ds, 4, cost, &dense_cfg);
         assert!(
@@ -275,7 +295,11 @@ mod tests {
     #[test]
     fn both_exchanges_converge_similarly() {
         let ds = dataset();
-        let mk = |exchange| ScdConfig { epochs: 2, exchange, ..Default::default() };
+        let mk = |exchange| ScdConfig {
+            epochs: 2,
+            exchange,
+            ..Default::default()
+        };
         let (_, s) = train_scd(&ds, 2, CostModel::zero(), &mk(ScdExchange::SparseAllgather));
         let (_, d) = train_scd(&ds, 2, CostModel::zero(), &mk(ScdExchange::DenseAllgather));
         // Same algorithm, same coordinate draws → very close losses.

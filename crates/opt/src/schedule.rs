@@ -38,9 +38,11 @@ impl LrSchedule {
             LrSchedule::Const(base) => base,
             LrSchedule::InvDecay { base, decay } => base / (1.0 + decay * step as f32),
             LrSchedule::InvSqrt { base } => base / ((1 + step) as f32).sqrt(),
-            LrSchedule::StepDecay { base, factor, every } => {
-                base * factor.powi((step / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay {
+                base,
+                factor,
+                every,
+            } => base * factor.powi((step / every.max(1)) as i32),
         }
     }
 }
@@ -66,7 +68,11 @@ mod tests {
 
     #[test]
     fn step_decay_boundaries() {
-        let s = LrSchedule::StepDecay { base: 1.0, factor: 0.1, every: 30 };
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            factor: 0.1,
+            every: 30,
+        };
         assert_eq!(s.at(29), 1.0);
         assert!((s.at(30) - 0.1).abs() < 1e-7);
         assert!((s.at(60) - 0.01).abs() < 1e-8);
@@ -74,7 +80,10 @@ mod tests {
 
     #[test]
     fn inv_decay_diminishes() {
-        let s = LrSchedule::InvDecay { base: 1.0, decay: 1.0 };
+        let s = LrSchedule::InvDecay {
+            base: 1.0,
+            decay: 1.0,
+        };
         assert_eq!(s.at(0), 1.0);
         assert!((s.at(1) - 0.5).abs() < 1e-7);
     }

@@ -7,8 +7,8 @@
 //! model touches only the features present in the batch, so it is
 //! *naturally* a sparse stream, and communication is lossless.
 
-use sparcml_core::{allreduce, select_algorithm, Algorithm, AllreduceConfig};
-use sparcml_net::{run_cluster, CostModel, Endpoint};
+use sparcml_core::{run_communicators, Algorithm, AllreduceConfig, Communicator, Transport};
+use sparcml_net::CostModel;
 use sparcml_stream::{SparseStream, XorShift64};
 
 use crate::data::{SparseDataset, SparseSample};
@@ -26,8 +26,9 @@ pub struct SgdConfig {
     pub batch_per_node: usize,
     /// Number of passes over the global dataset.
     pub epochs: usize,
-    /// Allreduce schedule; `None` = adaptive selection per step.
-    pub algorithm: Option<Algorithm>,
+    /// Allreduce schedule; [`Algorithm::Auto`] (the default) lets the
+    /// communicator's adaptive selector pick per step.
+    pub algorithm: Algorithm,
     /// Collective options (δ policy, quantization, …).
     pub allreduce: AllreduceConfig,
     /// L2 regularization coefficient.
@@ -43,7 +44,7 @@ impl Default for SgdConfig {
             lr: LrSchedule::Const(0.5),
             batch_per_node: 64,
             epochs: 3,
-            algorithm: Some(Algorithm::SsarRecDbl),
+            algorithm: Algorithm::Auto,
             allreduce: AllreduceConfig::default(),
             l2: 0.0,
             seed: 1,
@@ -80,14 +81,15 @@ pub struct TrainResult {
 
 /// Computes the sparse mini-batch gradient of a linear model: for each
 /// sample, `dloss(w·x, y) · x`, summed over the batch, plus L2 on touched
-/// coordinates. Returns a sparse stream over the feature space.
+/// coordinates. Returns a sparse stream over the feature space together
+/// with the number of feature operations performed (chargeable via
+/// [`Communicator::compute`]).
 pub fn sparse_batch_gradient(
     w: &[f32],
     batch: &[&SparseSample],
     loss: LinearLoss,
     l2: f32,
-    ep: Option<&mut Endpoint>,
-) -> SparseStream<f32> {
+) -> (SparseStream<f32>, usize) {
     let mut pairs: Vec<(u32, f32)> = Vec::new();
     let mut feature_ops = 0usize;
     for s in batch {
@@ -105,31 +107,28 @@ pub fn sparse_batch_gradient(
             pairs.push((i, g));
         }
     }
-    if let Some(ep) = ep {
-        ep.compute(feature_ops);
-    }
-    SparseStream::from_pairs(w.len(), &pairs).expect("in-range features")
+    let grad = SparseStream::from_pairs(w.len(), &pairs).expect("in-range features");
+    (grad, feature_ops)
 }
 
 /// The per-rank program: runs `cfg.epochs` passes of synchronous
 /// data-parallel SGD over `shard`, reducing gradients with the configured
 /// collective. Returns the final weights and per-epoch stats.
-pub fn sgd_rank_program(
-    ep: &mut Endpoint,
+pub fn sgd_rank_program<T: Transport + Send + 'static>(
+    comm: &mut Communicator<T>,
     dim: usize,
     shard: &[SparseSample],
     cfg: &SgdConfig,
-    cost: &CostModel,
 ) -> (Vec<f32>, Vec<EpochStats>) {
-    let p = ep.size();
+    let p = comm.size();
     let mut w = vec![0.0f32; dim];
-    let mut rng = XorShift64::new(cfg.seed + ep.rank() as u64);
+    let mut rng = XorShift64::new(cfg.seed + comm.rank() as u64);
     let mut order: Vec<usize> = (0..shard.len()).collect();
     let mut stats = Vec::with_capacity(cfg.epochs);
     let mut step = 0usize;
     for epoch in 0..cfg.epochs {
-        let t_epoch_start = ep.clock();
-        let bytes_start = ep.stats().bytes_sent;
+        let t_epoch_start = comm.clock();
+        let bytes_start = comm.stats().bytes_sent;
         let mut comm_time = 0.0f64;
         // Per-epoch reshuffle (deterministic per rank+epoch).
         for i in (1..order.len()).rev() {
@@ -141,13 +140,17 @@ pub fn sgd_rank_program(
             let lo = b * cfg.batch_per_node;
             let hi = (lo + cfg.batch_per_node).min(shard.len());
             let batch: Vec<&SparseSample> = order[lo..hi].iter().map(|&i| &shard[i]).collect();
-            let grad = sparse_batch_gradient(&w, &batch, cfg.loss, cfg.l2, Some(ep));
-            let algo = cfg.algorithm.unwrap_or_else(|| {
-                select_algorithm::<f32>(p, dim, grad.stored_len().max(1), cost)
-            });
-            let t0 = ep.clock();
-            let total = allreduce(ep, &grad, algo, &cfg.allreduce).expect("allreduce failed");
-            comm_time += ep.clock() - t0;
+            let (grad, feature_ops) = sparse_batch_gradient(&w, &batch, cfg.loss, cfg.l2);
+            comm.compute(feature_ops);
+            let t0 = comm.clock();
+            let total = comm
+                .allreduce(&grad)
+                .algorithm(cfg.algorithm)
+                .config(cfg.allreduce.clone())
+                .launch()
+                .and_then(|handle| handle.wait())
+                .expect("allreduce failed");
+            comm_time += comm.clock() - t0;
             // Apply: w ← w − η · mean gradient.
             let scale = cfg.lr.at(step) / (p as f64 * batch.len().max(1) as f64) as f32;
             let mut applied = 0usize;
@@ -155,16 +158,16 @@ pub fn sgd_rank_program(
                 w[i as usize] -= scale * g;
                 applied += 1;
             }
-            ep.compute(applied);
+            comm.compute(applied);
             step += 1;
         }
         stats.push(EpochStats {
             epoch,
             loss: mean_loss(&w, shard, cfg.loss),
             accuracy: accuracy(&w, shard),
-            total_time: ep.clock() - t_epoch_start,
+            total_time: comm.clock() - t_epoch_start,
             comm_time,
-            bytes_sent: ep.stats().bytes_sent - bytes_start,
+            bytes_sent: comm.stats().bytes_sent - bytes_start,
         });
     }
     (w, stats)
@@ -178,9 +181,9 @@ pub fn train_distributed(
     cost: CostModel,
     cfg: &SgdConfig,
 ) -> TrainResult {
-    let results = run_cluster(p, cost, |ep| {
-        let shard = dataset.shard(p, ep.rank());
-        sgd_rank_program(ep, dataset.dim, shard, cfg, &cost)
+    let results = run_communicators(p, cost, |comm| {
+        let shard = dataset.shard(p, comm.rank());
+        sgd_rank_program(comm, dataset.dim, shard, cfg)
     });
     merge_rank_results(results)
 }
@@ -192,12 +195,21 @@ pub fn merge_rank_results(results: Vec<(Vec<f32>, Vec<EpochStats>)>) -> TrainRes
     let nepochs = results[0].1.len();
     let mut epochs = Vec::with_capacity(nepochs);
     for e in 0..nepochs {
-        let total_time =
-            results.iter().map(|(_, s)| s[e].total_time).fold(0.0f64, f64::max);
-        let comm_time = results.iter().map(|(_, s)| s[e].comm_time).fold(0.0f64, f64::max);
+        let total_time = results
+            .iter()
+            .map(|(_, s)| s[e].total_time)
+            .fold(0.0f64, f64::max);
+        let comm_time = results
+            .iter()
+            .map(|(_, s)| s[e].comm_time)
+            .fold(0.0f64, f64::max);
         let loss = results.iter().map(|(_, s)| s[e].loss).sum::<f64>() / p as f64;
         let acc = results.iter().map(|(_, s)| s[e].accuracy).sum::<f64>() / p as f64;
-        let bytes = results.iter().map(|(_, s)| s[e].bytes_sent).max().unwrap_or(0);
+        let bytes = results
+            .iter()
+            .map(|(_, s)| s[e].bytes_sent)
+            .max()
+            .unwrap_or(0);
         epochs.push(EpochStats {
             epoch: e,
             loss,
@@ -207,7 +219,10 @@ pub fn merge_rank_results(results: Vec<(Vec<f32>, Vec<EpochStats>)>) -> TrainRes
             bytes_sent: bytes,
         });
     }
-    TrainResult { weights: results.into_iter().next().expect("p >= 1").0, epochs }
+    TrainResult {
+        weights: results.into_iter().next().expect("p >= 1").0,
+        epochs,
+    }
 }
 
 #[cfg(test)]
@@ -229,11 +244,19 @@ mod tests {
     #[test]
     fn sgd_converges_on_separable_data() {
         let ds = small_dataset();
-        let cfg = SgdConfig { epochs: 6, ..Default::default() };
+        let cfg = SgdConfig {
+            epochs: 6,
+            ..Default::default()
+        };
         let result = train_distributed(&ds, 4, CostModel::zero(), &cfg);
         let last = result.epochs.last().unwrap();
         let first = &result.epochs[0];
-        assert!(last.loss < first.loss, "loss should fall: {} -> {}", first.loss, last.loss);
+        assert!(
+            last.loss < first.loss,
+            "loss should fall: {} -> {}",
+            first.loss,
+            last.loss
+        );
         assert!(last.accuracy > 0.8, "accuracy {}", last.accuracy);
     }
 
@@ -244,7 +267,7 @@ mod tests {
         let ds = small_dataset();
         let mk = |algo| SgdConfig {
             epochs: 2,
-            algorithm: Some(algo),
+            algorithm: algo,
             ..Default::default()
         };
         let sparse = train_distributed(&ds, 4, CostModel::zero(), &mk(Algorithm::SsarRecDbl));
@@ -273,7 +296,7 @@ mod tests {
             &SgdConfig {
                 epochs: 1,
                 batch_per_node: 16,
-                algorithm: Some(Algorithm::SsarRecDbl),
+                algorithm: Algorithm::Auto,
                 ..Default::default()
             },
         );
@@ -284,7 +307,7 @@ mod tests {
             &SgdConfig {
                 epochs: 1,
                 batch_per_node: 16,
-                algorithm: Some(Algorithm::DenseRabenseifner),
+                algorithm: Algorithm::DenseRabenseifner,
                 ..Default::default()
             },
         );
@@ -300,7 +323,11 @@ mod tests {
     #[test]
     fn adaptive_selection_runs() {
         let ds = small_dataset();
-        let cfg = SgdConfig { epochs: 1, algorithm: None, ..Default::default() };
+        let cfg = SgdConfig {
+            epochs: 1,
+            algorithm: Algorithm::Auto,
+            ..Default::default()
+        };
         let result = train_distributed(&ds, 4, CostModel::aries(), &cfg);
         assert_eq!(result.epochs.len(), 1);
         assert!(result.epochs[0].loss.is_finite());
@@ -315,15 +342,14 @@ mod tests {
             *v = rng.next_gaussian() as f32 * 0.01;
         }
         let batch: Vec<&SparseSample> = ds.samples[..8].iter().collect();
-        let grad = sparse_batch_gradient(&w, &batch, LinearLoss::Logistic, 0.0, None);
+        let (grad, _ops) = sparse_batch_gradient(&w, &batch, LinearLoss::Logistic, 0.0);
         // Check ∂L/∂w_j for a few touched coordinates against finite diff
         // of total batch loss.
         let batch_loss = |w: &[f32]| -> f64 {
             batch
                 .iter()
                 .map(|s| {
-                    LinearLoss::Logistic
-                        .loss(dot_sparse(w, &s.features), signed_label(s.label))
+                    LinearLoss::Logistic.loss(dot_sparse(w, &s.features), signed_label(s.label))
                         as f64
                 })
                 .sum()

@@ -21,17 +21,26 @@ pub struct TopKConfig {
 impl TopKConfig {
     /// The paper's CIFAR-10 setting: k = 8 of every 512 (~1.6% density).
     pub fn cifar_k8() -> Self {
-        TopKConfig { k_per_bucket: 8, bucket_size: 512 }
+        TopKConfig {
+            k_per_bucket: 8,
+            bucket_size: 512,
+        }
     }
 
     /// The paper's ATIS setting: k = 2 of every 512 (~0.4% density).
     pub fn atis_k2() -> Self {
-        TopKConfig { k_per_bucket: 2, bucket_size: 512 }
+        TopKConfig {
+            k_per_bucket: 2,
+            bucket_size: 512,
+        }
     }
 
     /// The paper's ASR / wide-ResNet setting: k = 4 (ASR) or 1 (WRN) of 512.
     pub fn with_k(k: usize) -> Self {
-        TopKConfig { k_per_bucket: k, bucket_size: 512 }
+        TopKConfig {
+            k_per_bucket: k,
+            bucket_size: 512,
+        }
     }
 
     /// Fraction of coordinates transmitted.
@@ -51,7 +60,12 @@ pub fn topk_bucketwise(values: &[f32], cfg: &TopKConfig) -> SparseStream<f32> {
     for (b, bucket) in values.chunks(cfg.bucket_size).enumerate() {
         let base = (b * cfg.bucket_size) as u32;
         scratch.clear();
-        scratch.extend(bucket.iter().enumerate().map(|(i, &v)| (base + i as u32, v)));
+        scratch.extend(
+            bucket
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (base + i as u32, v)),
+        );
         let k = cfg.k_per_bucket.min(scratch.len());
         // Partial selection by |value| descending.
         scratch.select_nth_unstable_by(k - 1, |a, b| {
@@ -74,7 +88,10 @@ pub struct ErrorFeedback {
 impl ErrorFeedback {
     /// Creates a zero-residual compressor for `dim` coordinates.
     pub fn new(dim: usize, cfg: TopKConfig) -> Self {
-        ErrorFeedback { residual: vec![0.0; dim], cfg }
+        ErrorFeedback {
+            residual: vec![0.0; dim],
+            cfg,
+        }
     }
 
     /// The current residual (for inspection/tests).
@@ -112,8 +129,13 @@ mod tests {
 
     #[test]
     fn topk_picks_largest_magnitudes_per_bucket() {
-        let cfg = TopKConfig { k_per_bucket: 2, bucket_size: 4 };
-        let values = vec![0.1f32, -5.0, 2.0, 0.0, /* bucket 2 */ 1.0, 1.5, -0.2, 0.3];
+        let cfg = TopKConfig {
+            k_per_bucket: 2,
+            bucket_size: 4,
+        };
+        let values = vec![
+            0.1f32, -5.0, 2.0, 0.0, /* bucket 2 */ 1.0, 1.5, -0.2, 0.3,
+        ];
         let s = topk_bucketwise(&values, &cfg);
         assert_eq!(s.stored_len(), 4);
         assert_eq!(s.get(1), -5.0);
@@ -126,7 +148,10 @@ mod tests {
 
     #[test]
     fn topk_handles_short_tail_bucket() {
-        let cfg = TopKConfig { k_per_bucket: 3, bucket_size: 4 };
+        let cfg = TopKConfig {
+            k_per_bucket: 3,
+            bucket_size: 4,
+        };
         let values = vec![1.0f32, 2.0, 3.0, 4.0, 5.0]; // tail bucket has 1 entry
         let s = topk_bucketwise(&values, &cfg);
         assert_eq!(s.stored_len(), 4); // 3 + 1
@@ -136,7 +161,10 @@ mod tests {
     #[test]
     fn error_feedback_conserves_mass() {
         // Invariant: sent + residual == sum of all gradients so far.
-        let cfg = TopKConfig { k_per_bucket: 1, bucket_size: 4 };
+        let cfg = TopKConfig {
+            k_per_bucket: 1,
+            bucket_size: 4,
+        };
         let dim = 8;
         let mut ef = ErrorFeedback::new(dim, cfg);
         let mut total = vec![0.0f32; dim];
@@ -167,7 +195,10 @@ mod tests {
         // With a constant gradient, error feedback guarantees every
         // coordinate is transmitted eventually (the residual grows until
         // selected).
-        let cfg = TopKConfig { k_per_bucket: 1, bucket_size: 8 };
+        let cfg = TopKConfig {
+            k_per_bucket: 1,
+            bucket_size: 8,
+        };
         let dim = 8;
         let mut ef = ErrorFeedback::new(dim, cfg);
         let g: Vec<f32> = (0..dim).map(|i| 0.1 + i as f32 * 0.01).collect();

@@ -8,8 +8,8 @@
 //! SparCML collective, and applies the identical global update — so
 //! replicas stay bit-identical across ranks.
 
-use sparcml_core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml_net::{run_cluster, CostModel, Endpoint};
+use sparcml_core::{run_communicators, Algorithm, AllreduceConfig, Communicator, Transport};
+use sparcml_net::CostModel;
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{SparseStream, XorShift64};
 
@@ -110,38 +110,45 @@ pub struct EvalOut {
 /// The generic per-rank training loop. `eval` computes the local batch
 /// gradient for sample indices of this rank's shard.
 #[allow(clippy::too_many_arguments)]
-pub fn train_rank<M, F>(
-    ep: &mut Endpoint,
+pub fn train_rank<T, M, F>(
+    comm: &mut Communicator<T>,
     model: &mut M,
     shard_len: usize,
     cfg: &NnTrainConfig,
     mut eval: F,
 ) -> Vec<NnEpochStats>
 where
+    T: Transport + Send + 'static,
     M: FlatModel,
     F: FnMut(&M, &[usize]) -> EvalOut,
 {
-    let p = ep.size();
+    let p = comm.size();
     let dim = model.param_count();
-    let algo = cfg.algorithm.unwrap_or_else(|| cfg.compression.default_algorithm());
+    let algo = cfg
+        .algorithm
+        .unwrap_or_else(|| cfg.compression.default_algorithm());
     let ar_cfg = match &cfg.compression {
-        Compression::TopKQuant(_, q) => AllreduceConfig { quant: Some(*q), ..Default::default() },
+        Compression::TopKQuant(_, q) => AllreduceConfig {
+            quant: Some(*q),
+            ..Default::default()
+        },
         _ => AllreduceConfig::default(),
     };
     let mut ef = match &cfg.compression {
         Compression::TopK(t) | Compression::TopKQuant(t, _) => Some(ErrorFeedback::new(dim, *t)),
         Compression::Dense => None,
     };
-    let mut rng = XorShift64::new(cfg.seed ^ (ep.rank() as u64).wrapping_mul(0x9E37));
+    let mut rng = XorShift64::new(cfg.seed ^ (comm.rank() as u64).wrapping_mul(0x9E37));
     let mut order: Vec<usize> = (0..shard_len).collect();
     let mut stats = Vec::with_capacity(cfg.epochs);
     let mut step = 0usize;
 
     for epoch in 0..cfg.epochs {
-        let t_start = ep.clock();
-        let bytes_start = ep.stats().bytes_sent;
+        let t_start = comm.clock();
+        let bytes_start = comm.stats().bytes_sent;
         let mut comm_time = 0.0f64;
-        let (mut ep_loss, mut ep_correct, mut ep_top5, mut ep_samples) = (0.0f64, 0usize, 0usize, 0usize);
+        let (mut ep_loss, mut ep_correct, mut ep_top5, mut ep_samples) =
+            (0.0f64, 0usize, 0usize, 0usize);
         for i in (1..order.len()).rev() {
             let j = rng.next_below((i + 1) as u64) as usize;
             order.swap(i, j);
@@ -152,9 +159,11 @@ where
             let hi = (lo + cfg.batch_per_node).min(shard_len);
             let batch = &order[lo..hi];
             let out = eval(model, batch);
-            ep.charge_seconds(
-                cfg.flops_per_param_per_sample * dim as f64 * batch.len() as f64
-                    * ep.cost().gamma,
+            comm.charge_seconds(
+                cfg.flops_per_param_per_sample
+                    * dim as f64
+                    * batch.len() as f64
+                    * comm.cost().gamma,
             );
             ep_loss += out.loss;
             ep_correct += out.correct;
@@ -165,21 +174,27 @@ where
             let to_send: SparseStream<f32> = match (&cfg.compression, ef.as_mut()) {
                 (Compression::Dense, _) => SparseStream::from_dense(out.grad),
                 (_, Some(ef)) => {
-                    ep.compute(dim); // selection pass
+                    comm.compute(dim); // selection pass
                     ef.compress(&out.grad)
                 }
                 _ => unreachable!("error feedback initialized for sparse modes"),
             };
 
             // Reduce.
-            let t0 = ep.clock();
-            let total = allreduce(ep, &to_send, algo, &ar_cfg).expect("allreduce failed");
-            comm_time += ep.clock() - t0;
+            let t0 = comm.clock();
+            let total = comm
+                .allreduce(&to_send)
+                .algorithm(algo)
+                .config(ar_cfg.clone())
+                .launch()
+                .and_then(|handle| handle.wait())
+                .expect("allreduce failed");
+            comm_time += comm.clock() - t0;
 
             // Apply the identical global update on every replica.
             let scale = -(cfg.lr.at(step)) / (p * cfg.batch_per_node) as f32;
             model.apply_sparse_update(&total, scale);
-            ep.compute(total.stored_len());
+            comm.compute(total.stored_len());
             step += 1;
         }
         stats.push(NnEpochStats {
@@ -187,9 +202,9 @@ where
             loss: ep_loss / ep_samples.max(1) as f64,
             accuracy: ep_correct as f64 / ep_samples.max(1) as f64,
             top5_accuracy: ep_top5 as f64 / ep_samples.max(1) as f64,
-            total_time: ep.clock() - t_start,
+            total_time: comm.clock() - t_start,
             comm_time,
-            bytes_sent: ep.stats().bytes_sent - bytes_start,
+            bytes_sent: comm.stats().bytes_sent - bytes_start,
         });
     }
     stats
@@ -220,11 +235,14 @@ pub fn train_mlp_distributed(
     cost: CostModel,
     cfg: &NnTrainConfig,
 ) -> (Mlp, Vec<NnEpochStats>) {
-    let results = run_cluster(p, cost, |ep| {
+    let results = run_communicators(p, cost, |comm| {
         let mut model = Mlp::new(dims, cfg.seed);
-        let (lo, hi) = dataset.shard_range(p, ep.rank());
-        let stats = train_rank(ep, &mut model, hi - lo, cfg, |m, batch| {
-            let xs: Vec<&[f32]> = batch.iter().map(|&i| dataset.samples[lo + i].as_slice()).collect();
+        let (lo, hi) = dataset.shard_range(p, comm.rank());
+        let stats = train_rank(comm, &mut model, hi - lo, cfg, |m, batch| {
+            let xs: Vec<&[f32]> = batch
+                .iter()
+                .map(|&i| dataset.samples[lo + i].as_slice())
+                .collect();
             let ys: Vec<u32> = batch.iter().map(|&i| dataset.labels[lo + i]).collect();
             let bg = m.batch_gradient(&xs, &ys);
             EvalOut {
@@ -252,17 +270,24 @@ pub fn train_lstm_distributed(
     cost: CostModel,
     cfg: &NnTrainConfig,
 ) -> (LstmClassifier, Vec<NnEpochStats>) {
-    let results = run_cluster(p, cost, |ep| {
+    let results = run_communicators(p, cost, |comm| {
         let mut model =
             LstmClassifier::new(dataset.vocab, embed, hidden, dataset.classes, cfg.seed);
-        let range = sparcml_stream::partition_range(dataset.sequences.len(), p, ep.rank());
+        let range = sparcml_stream::partition_range(dataset.sequences.len(), p, comm.rank());
         let (lo, hi) = (range.lo as usize, range.hi as usize);
-        let stats = train_rank(ep, &mut model, hi - lo, cfg, |m, batch| {
-            let xs: Vec<&[u32]> =
-                batch.iter().map(|&i| dataset.sequences[lo + i].as_slice()).collect();
+        let stats = train_rank(comm, &mut model, hi - lo, cfg, |m, batch| {
+            let xs: Vec<&[u32]> = batch
+                .iter()
+                .map(|&i| dataset.sequences[lo + i].as_slice())
+                .collect();
             let ys: Vec<u32> = batch.iter().map(|&i| dataset.labels[lo + i]).collect();
             let bg = m.batch_gradient(&xs, &ys);
-            EvalOut { loss: bg.loss, correct: bg.correct, correct_top5: bg.correct, grad: bg.grad }
+            EvalOut {
+                loss: bg.loss,
+                correct: bg.correct,
+                correct_top5: bg.correct,
+                grad: bg.grad,
+            }
         });
         (model, stats)
     });
@@ -285,10 +310,17 @@ mod tests {
     #[test]
     fn dense_training_converges() {
         let ds = image_data();
-        let cfg =
-            NnTrainConfig { epochs: 8, lr: LrSchedule::Const(0.2), ..Default::default() };
+        let cfg = NnTrainConfig {
+            epochs: 8,
+            lr: LrSchedule::Const(0.2),
+            ..Default::default()
+        };
         let (_, stats) = train_mlp_distributed(&ds, &[32, 32, 5], 2, CostModel::zero(), &cfg);
-        assert!(stats.last().unwrap().accuracy > 0.7, "acc {}", stats.last().unwrap().accuracy);
+        assert!(
+            stats.last().unwrap().accuracy > 0.7,
+            "acc {}",
+            stats.last().unwrap().accuracy
+        );
         assert!(stats.last().unwrap().loss < stats[0].loss);
     }
 
@@ -297,12 +329,18 @@ mod tests {
         // The headline claim of Fig. 4a: Top-k + EF recovers dense-level
         // training accuracy.
         let ds = image_data();
-        let dense_cfg =
-            NnTrainConfig { epochs: 8, lr: LrSchedule::Const(0.2), ..Default::default() };
+        let dense_cfg = NnTrainConfig {
+            epochs: 8,
+            lr: LrSchedule::Const(0.2),
+            ..Default::default()
+        };
         let topk_cfg = NnTrainConfig {
             epochs: 8,
             lr: LrSchedule::Const(0.2),
-            compression: Compression::TopK(TopKConfig { k_per_bucket: 16, bucket_size: 512 }),
+            compression: Compression::TopK(TopKConfig {
+                k_per_bucket: 16,
+                bucket_size: 512,
+            }),
             ..Default::default()
         };
         let (_, dense) = train_mlp_distributed(&ds, &[32, 32, 5], 2, CostModel::zero(), &dense_cfg);
@@ -318,13 +356,19 @@ mod tests {
         let cfg = NnTrainConfig {
             epochs: 3,
             compression: Compression::TopKQuant(
-                TopKConfig { k_per_bucket: 16, bucket_size: 512 },
+                TopKConfig {
+                    k_per_bucket: 16,
+                    bucket_size: 512,
+                },
                 QsgdConfig::with_bits(4),
             ),
             ..Default::default()
         };
         let (_, stats) = train_mlp_distributed(&ds, &[32, 32, 5], 2, CostModel::zero(), &cfg);
-        assert!(stats.last().unwrap().loss < stats[0].loss, "loss should fall");
+        assert!(
+            stats.last().unwrap().loss < stats[0].loss,
+            "loss should fall"
+        );
     }
 
     #[test]
@@ -332,15 +376,20 @@ mod tests {
         let ds = image_data();
         let cfg = NnTrainConfig {
             epochs: 1,
-            compression: Compression::TopK(TopKConfig { k_per_bucket: 8, bucket_size: 64 }),
+            compression: Compression::TopK(TopKConfig {
+                k_per_bucket: 8,
+                bucket_size: 64,
+            }),
             ..Default::default()
         };
-        let results = run_cluster(4, CostModel::zero(), |ep| {
+        let results = run_communicators(4, CostModel::zero(), |comm| {
             let mut model = Mlp::new(&[32, 16, 5], cfg.seed);
-            let (lo, hi) = ds.shard_range(4, ep.rank());
-            train_rank(ep, &mut model, hi - lo, &cfg, |m, batch| {
-                let xs: Vec<&[f32]> =
-                    batch.iter().map(|&i| ds.samples[lo + i].as_slice()).collect();
+            let (lo, hi) = ds.shard_range(4, comm.rank());
+            train_rank(comm, &mut model, hi - lo, &cfg, |m, batch| {
+                let xs: Vec<&[f32]> = batch
+                    .iter()
+                    .map(|&i| ds.samples[lo + i].as_slice())
+                    .collect();
                 let ys: Vec<u32> = batch.iter().map(|&i| ds.labels[lo + i]).collect();
                 let bg = m.batch_gradient(&xs, &ys);
                 EvalOut {
@@ -364,7 +413,10 @@ mod tests {
             epochs: 12,
             lr: LrSchedule::Const(1.0),
             batch_per_node: 8,
-            compression: Compression::TopK(TopKConfig { k_per_bucket: 64, bucket_size: 512 }),
+            compression: Compression::TopK(TopKConfig {
+                k_per_bucket: 64,
+                bucket_size: 512,
+            }),
             ..Default::default()
         };
         let (_, stats) = train_lstm_distributed(&ds, 8, 16, 2, CostModel::zero(), &cfg);
@@ -378,7 +430,11 @@ mod tests {
     #[test]
     fn topk_sends_fewer_bytes_than_dense() {
         let ds = image_data();
-        let mk = |compression| NnTrainConfig { epochs: 1, compression, ..Default::default() };
+        let mk = |compression| NnTrainConfig {
+            epochs: 1,
+            compression,
+            ..Default::default()
+        };
         let (_, dense) = train_mlp_distributed(
             &ds,
             &[32, 64, 5],
@@ -391,7 +447,10 @@ mod tests {
             &[32, 64, 5],
             2,
             CostModel::aries(),
-            &mk(Compression::TopK(TopKConfig { k_per_bucket: 8, bucket_size: 512 })),
+            &mk(Compression::TopK(TopKConfig {
+                k_per_bucket: 8,
+                bucket_size: 512,
+            })),
         );
         assert!(
             topk[0].bytes_sent * 4 < dense[0].bytes_sent,

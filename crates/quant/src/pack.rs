@@ -11,7 +11,10 @@ pub fn pack_codes(codes: &[u8], bits: u8) -> Vec<u8> {
     let per_byte = 8 / bits as usize;
     let mut out = vec![0u8; codes.len().div_ceil(per_byte)];
     for (i, &code) in codes.iter().enumerate() {
-        debug_assert!(u32::from(code) < (1u32 << bits), "code {code} exceeds {bits} bits");
+        debug_assert!(
+            u32::from(code) < (1u32 << bits),
+            "code {code} exceeds {bits} bits"
+        );
         let byte = i / per_byte;
         let shift = (i % per_byte) as u8 * bits;
         out[byte] |= code << shift;
@@ -52,7 +55,9 @@ mod tests {
     fn round_trip_all_widths() {
         for bits in [2u8, 4, 8] {
             let max = ((1u16 << bits) - 1) as u8;
-            let codes: Vec<u8> = (0..37).map(|i| (i * 7 % (max as usize + 1)) as u8).collect();
+            let codes: Vec<u8> = (0..37)
+                .map(|i| (i * 7 % (max as usize + 1)) as u8)
+                .collect();
             let packed = pack_codes(&codes, bits);
             assert_eq!(packed.len(), packed_len(codes.len(), bits));
             let back = unpack_codes(&packed, bits, codes.len());

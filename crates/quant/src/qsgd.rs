@@ -36,12 +36,19 @@ pub struct QsgdConfig {
 impl QsgdConfig {
     /// Paper-default configuration: 4-bit codes, buckets of 1024, max-abs.
     pub fn paper_default() -> Self {
-        QsgdConfig { bits: 4, bucket_size: 1024, norm: NormKind::MaxAbs }
+        QsgdConfig {
+            bits: 4,
+            bucket_size: 1024,
+            norm: NormKind::MaxAbs,
+        }
     }
 
     /// Config with a given bit width, paper-default otherwise.
     pub fn with_bits(bits: u8) -> Self {
-        QsgdConfig { bits, ..Self::paper_default() }
+        QsgdConfig {
+            bits,
+            ..Self::paper_default()
+        }
     }
 
     /// Number of magnitude levels `s` (codes are sign + level in `[0, s]`).
@@ -77,7 +84,10 @@ impl QuantizedVec {
 /// Quantizes a dense slice under `cfg`, using `rng` for the stochastic
 /// rounding.
 pub fn quantize(values: &[f32], cfg: &QsgdConfig, rng: &mut XorShift64) -> QuantizedVec {
-    assert!(cfg.bits >= 2 && matches!(cfg.bits, 2 | 4 | 8), "bits must be 2, 4 or 8");
+    assert!(
+        cfg.bits >= 2 && matches!(cfg.bits, 2 | 4 | 8),
+        "bits must be 2, 4 or 8"
+    );
     assert!(cfg.bucket_size > 0);
     let s = cfg.levels() as f32;
     let nbuckets = values.len().div_ceil(cfg.bucket_size);
@@ -85,7 +95,11 @@ pub fn quantize(values: &[f32], cfg: &QsgdConfig, rng: &mut XorShift64) -> Quant
     let mut codes: Vec<u8> = Vec::with_capacity(values.len());
     for bucket in values.chunks(cfg.bucket_size) {
         let scale = match cfg.norm {
-            NormKind::L2 => bucket.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt() as f32,
+            NormKind::L2 => bucket
+                .iter()
+                .map(|v| (*v as f64).powi(2))
+                .sum::<f64>()
+                .sqrt() as f32,
             NormKind::MaxAbs => bucket.iter().fold(0.0f32, |m, v| m.max(v.abs())),
         };
         scales.push(scale);
@@ -100,7 +114,11 @@ pub fn quantize(values: &[f32], cfg: &QsgdConfig, rng: &mut XorShift64) -> Quant
             let pos = (v.abs() / scale * s).min(s);
             let lo = pos.floor();
             let frac = pos - lo;
-            let level = if (rng.next_f64() as f32) < frac { lo as u8 + 1 } else { lo as u8 };
+            let level = if (rng.next_f64() as f32) < frac {
+                lo as u8 + 1
+            } else {
+                lo as u8
+            };
             let level = level.min(s as u8);
             codes.push((sign << (cfg.bits - 1)) | level);
         }
@@ -126,7 +144,11 @@ pub fn dequantize(q: &QuantizedVec) -> Vec<f32> {
         let scale = q.scales[bucket];
         let level = (code & level_mask) as f32;
         let magnitude = scale * level / s;
-        out.push(if code & sign_bit != 0 { -magnitude } else { magnitude });
+        out.push(if code & sign_bit != 0 {
+            -magnitude
+        } else {
+            magnitude
+        });
     }
     out
 }
@@ -149,7 +171,11 @@ mod tests {
     fn round_trip_exact_for_representable_values() {
         // With MaxAbs scale and values at exact level positions the
         // round-trip is lossless regardless of the stochastic rounding.
-        let cfg = QsgdConfig { bits: 4, bucket_size: 8, norm: NormKind::MaxAbs };
+        let cfg = QsgdConfig {
+            bits: 4,
+            bucket_size: 8,
+            norm: NormKind::MaxAbs,
+        };
         let s = cfg.levels() as f32; // 7
         let values: Vec<f32> = (0..8).map(|i| i as f32 * 7.0 / s).collect();
         let q = quantize(&values, &cfg, &mut rng());
@@ -161,7 +187,11 @@ mod tests {
 
     #[test]
     fn quantization_is_unbiased() {
-        let cfg = QsgdConfig { bits: 4, bucket_size: 64, norm: NormKind::MaxAbs };
+        let cfg = QsgdConfig {
+            bits: 4,
+            bucket_size: 64,
+            norm: NormKind::MaxAbs,
+        };
         let values: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.137).sin()).collect();
         let trials = 3000;
         let mut sums = vec![0.0f64; values.len()];
@@ -181,8 +211,14 @@ mod tests {
 
     #[test]
     fn error_is_bounded_by_scale_over_levels() {
-        let cfg = QsgdConfig { bits: 8, bucket_size: 128, norm: NormKind::MaxAbs };
-        let values: Vec<f32> = (0..512).map(|i| ((i * i) as f32 * 0.01).cos() * 3.0).collect();
+        let cfg = QsgdConfig {
+            bits: 8,
+            bucket_size: 128,
+            norm: NormKind::MaxAbs,
+        };
+        let values: Vec<f32> = (0..512)
+            .map(|i| ((i * i) as f32 * 0.01).cos() * 3.0)
+            .collect();
         let q = quantize(&values, &cfg, &mut rng());
         let back = dequantize(&q);
         let s = cfg.levels() as f32;
@@ -195,7 +231,11 @@ mod tests {
 
     #[test]
     fn zero_bucket_stays_zero() {
-        let cfg = QsgdConfig { bits: 2, bucket_size: 4, norm: NormKind::L2 };
+        let cfg = QsgdConfig {
+            bits: 2,
+            bucket_size: 4,
+            norm: NormKind::L2,
+        };
         let values = vec![0.0f32; 10];
         let q = quantize(&values, &cfg, &mut rng());
         assert!(dequantize(&q).iter().all(|&v| v == 0.0));
@@ -208,12 +248,19 @@ mod tests {
         let cfg8 = QsgdConfig::with_bits(8);
         assert!(quantized_wire_bytes(dim, &cfg2) < quantized_wire_bytes(dim, &cfg8));
         // 4-bit on 4096 entries with buckets of 1024: 4 scales + 2048 bytes.
-        assert_eq!(quantized_wire_bytes(dim, &QsgdConfig::with_bits(4)), 4 * 4 + 2048);
+        assert_eq!(
+            quantized_wire_bytes(dim, &QsgdConfig::with_bits(4)),
+            4 * 4 + 2048
+        );
     }
 
     #[test]
     fn wire_bytes_match_struct() {
-        let cfg = QsgdConfig { bits: 4, bucket_size: 16, norm: NormKind::MaxAbs };
+        let cfg = QsgdConfig {
+            bits: 4,
+            bucket_size: 16,
+            norm: NormKind::MaxAbs,
+        };
         let values: Vec<f32> = (0..100).map(|i| i as f32).collect();
         let q = quantize(&values, &cfg, &mut rng());
         assert_eq!(q.wire_bytes(), quantized_wire_bytes(100, &cfg));
@@ -221,7 +268,11 @@ mod tests {
 
     #[test]
     fn signs_are_preserved() {
-        let cfg = QsgdConfig { bits: 8, bucket_size: 8, norm: NormKind::MaxAbs };
+        let cfg = QsgdConfig {
+            bits: 8,
+            bucket_size: 8,
+            norm: NormKind::MaxAbs,
+        };
         let values = vec![-1.0f32, 1.0, -0.5, 0.5, -2.0, 2.0, 0.0, -3.0];
         let q = quantize(&values, &cfg, &mut rng());
         let back = dequantize(&q);

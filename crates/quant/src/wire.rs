@@ -63,7 +63,13 @@ impl QuantizedVec {
             scales.push(buf.get_f32_le());
         }
         let packed = buf[..body].to_vec();
-        Ok(QuantizedVec { dim, bits, bucket_size, scales, packed })
+        Ok(QuantizedVec {
+            dim,
+            bits,
+            bucket_size,
+            scales,
+            packed,
+        })
     }
 }
 
@@ -75,7 +81,11 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let cfg = QsgdConfig { bits: 4, bucket_size: 32, norm: crate::qsgd::NormKind::MaxAbs };
+        let cfg = QsgdConfig {
+            bits: 4,
+            bucket_size: 32,
+            norm: crate::qsgd::NormKind::MaxAbs,
+        };
         let values: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).sin()).collect();
         let q = quantize(&values, &cfg, &mut XorShift64::new(5));
         let bytes = q.encode();
@@ -96,7 +106,7 @@ mod tests {
     #[test]
     fn decode_rejects_bad_magic_and_width() {
         let cfg = QsgdConfig::paper_default();
-        let q = quantize(&vec![1.0f32; 8], &cfg, &mut XorShift64::new(5));
+        let q = quantize(&[1.0f32; 8], &cfg, &mut XorShift64::new(5));
         let mut bytes = q.encode().to_vec();
         bytes[0] = 0;
         assert!(QuantizedVec::decode(&bytes).is_err());

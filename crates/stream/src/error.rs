@@ -49,17 +49,26 @@ impl fmt::Display for StreamError {
                 write!(f, "index {idx} out of bounds for dimension {dim}")
             }
             StreamError::UnsortedIndices { position } => {
-                write!(f, "sparse indices not strictly increasing at entry {position}")
+                write!(
+                    f,
+                    "sparse indices not strictly increasing at entry {position}"
+                )
             }
             StreamError::DimMismatch { left, right } => {
                 write!(f, "dimension mismatch: {left} vs {right}")
             }
             StreamError::LengthMismatch { expected, actual } => {
-                write!(f, "dense payload length {actual} does not match dimension {expected}")
+                write!(
+                    f,
+                    "dense payload length {actual} does not match dimension {expected}"
+                )
             }
             StreamError::Corrupt(what) => write!(f, "corrupt stream encoding: {what}"),
             StreamError::ValueWidthMismatch { expected, actual } => {
-                write!(f, "value width mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "value width mismatch: expected {expected} bytes, got {actual}"
+                )
             }
         }
     }

@@ -20,7 +20,9 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Creates a generator from a non-zero seed (zero is mapped away).
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+        XorShift64 {
+            state: seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -138,8 +140,10 @@ pub fn clustered_sparse<V: Scalar>(
             idx.insert(pos, cand);
         }
     }
-    let entries: Vec<Entry<V>> =
-        idx.into_iter().map(|i| Entry::new(i, V::from_f64(rng.next_gaussian() + 0.1))).collect();
+    let entries: Vec<Entry<V>> = idx
+        .into_iter()
+        .map(|i| Entry::new(i, V::from_f64(rng.next_gaussian() + 0.1)))
+        .collect();
     SparseStream::from_sorted(dim, entries).expect("sorted by construction")
 }
 

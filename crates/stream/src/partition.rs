@@ -39,11 +39,17 @@ impl PartRange {
 /// `dim`-dimensional space (§A relaxation for non-divisible `dim`).
 pub fn partition_range(dim: usize, parts: usize, rank: usize) -> PartRange {
     assert!(parts > 0, "need at least one partition");
-    assert!(rank < parts, "rank {rank} out of range for {parts} partitions");
+    assert!(
+        rank < parts,
+        "rank {rank} out of range for {parts} partitions"
+    );
     let base = dim / parts;
     let lo = rank * base;
     let hi = if rank + 1 == parts { dim } else { lo + base };
-    PartRange { lo: lo as u32, hi: hi as u32 }
+    PartRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
 }
 
 /// The rank that owns index `idx` under [`partition_range`].
@@ -86,7 +92,10 @@ mod tests {
         let (dim, parts) = (17, 4);
         for idx in 0..dim as u32 {
             let owner = owner_of(dim, parts, idx);
-            assert!(partition_range(dim, parts, owner).contains(idx), "idx {idx}");
+            assert!(
+                partition_range(dim, parts, owner).contains(idx),
+                "idx {idx}"
+            );
         }
     }
 

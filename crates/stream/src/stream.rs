@@ -60,7 +60,10 @@ pub struct SparseStream<V: Scalar> {
 impl<V: Scalar> SparseStream<V> {
     /// Creates an empty (all-zero) sparse stream of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        SparseStream { dim, repr: Repr::Sparse(Vec::new()) }
+        SparseStream {
+            dim,
+            repr: Repr::Sparse(Vec::new()),
+        }
     }
 
     /// Creates a sparse stream from already-sorted entries.
@@ -80,7 +83,10 @@ impl<V: Scalar> SparseStream<V> {
             }
             prev = Some(e.idx);
         }
-        Ok(SparseStream { dim, repr: Repr::Sparse(entries) })
+        Ok(SparseStream {
+            dim,
+            repr: Repr::Sparse(entries),
+        })
     }
 
     /// Creates a sparse stream from arbitrary `(index, value)` pairs,
@@ -100,12 +106,18 @@ impl<V: Scalar> SparseStream<V> {
                 _ => entries.push(Entry::new(idx, val)),
             }
         }
-        Ok(SparseStream { dim, repr: Repr::Sparse(entries) })
+        Ok(SparseStream {
+            dim,
+            repr: Repr::Sparse(entries),
+        })
     }
 
     /// Creates a dense stream from a full payload of length `dim`.
     pub fn from_dense(values: Vec<V>) -> Self {
-        SparseStream { dim: values.len(), repr: Repr::Dense(values) }
+        SparseStream {
+            dim: values.len(),
+            repr: Repr::Dense(values),
+        }
     }
 
     /// Builds the sparse form of a dense slice, keeping only non-zeros.
@@ -116,7 +128,10 @@ impl<V: Scalar> SparseStream<V> {
             .filter(|(_, v)| !v.is_zero())
             .map(|(i, &v)| Entry::new(i as u32, v))
             .collect();
-        SparseStream { dim: values.len(), repr: Repr::Sparse(entries) }
+        SparseStream {
+            dim: values.len(),
+            repr: Repr::Sparse(entries),
+        }
     }
 
     /// Logical dimension `N`.
@@ -250,7 +265,9 @@ impl<V: Scalar> SparseStream<V> {
             self.prune_zeros();
             return;
         }
-        let Repr::Dense(values) = &self.repr else { unreachable!() };
+        let Repr::Dense(values) = &self.repr else {
+            unreachable!()
+        };
         let entries: Vec<Entry<V>> = values
             .iter()
             .enumerate()
@@ -330,7 +347,10 @@ impl<V: Scalar> SparseStream<V> {
                     .filter(|&i| !values[i as usize].is_zero())
                     .map(|i| Entry::new(i, values[i as usize]))
                     .collect();
-                SparseStream { dim: self.dim, repr: Repr::Sparse(entries) }
+                SparseStream {
+                    dim: self.dim,
+                    repr: Repr::Sparse(entries),
+                }
             }
         }
     }
@@ -348,10 +368,15 @@ impl<V: Scalar> SparseStream<V> {
         let mut entries: Vec<Entry<V>> = Vec::with_capacity(total);
         for (pos, part) in parts.iter().enumerate() {
             if part.dim != dim {
-                return Err(StreamError::DimMismatch { left: dim, right: part.dim });
+                return Err(StreamError::DimMismatch {
+                    left: dim,
+                    right: part.dim,
+                });
             }
             let Repr::Sparse(part_entries) = &part.repr else {
-                return Err(StreamError::Corrupt("concat_disjoint requires sparse parts"));
+                return Err(StreamError::Corrupt(
+                    "concat_disjoint requires sparse parts",
+                ));
             };
             if let (Some(last), Some(first_new)) = (entries.last(), part_entries.first()) {
                 if first_new.idx <= last.idx {
@@ -360,7 +385,10 @@ impl<V: Scalar> SparseStream<V> {
             }
             entries.extend_from_slice(part_entries);
         }
-        Ok(SparseStream { dim, repr: Repr::Sparse(entries) })
+        Ok(SparseStream {
+            dim,
+            repr: Repr::Sparse(entries),
+        })
     }
 
     /// Consumes the stream returning its entries when sparse.
@@ -388,7 +416,10 @@ impl<V: Scalar> SparseStream<V> {
                 let mut prev: Option<u32> = None;
                 for (position, e) in entries.iter().enumerate() {
                     if e.idx as usize >= self.dim {
-                        return Err(StreamError::IndexOutOfBounds { idx: e.idx, dim: self.dim });
+                        return Err(StreamError::IndexOutOfBounds {
+                            idx: e.idx,
+                            dim: self.dim,
+                        });
                     }
                     if let Some(p) = prev {
                         if e.idx <= p {
@@ -401,7 +432,10 @@ impl<V: Scalar> SparseStream<V> {
             }
             Repr::Dense(values) => {
                 if values.len() != self.dim {
-                    Err(StreamError::LengthMismatch { expected: self.dim, actual: values.len() })
+                    Err(StreamError::LengthMismatch {
+                        expected: self.dim,
+                        actual: values.len(),
+                    })
                 } else {
                     Ok(())
                 }
@@ -431,7 +465,8 @@ mod tests {
     fn from_sorted_validates() {
         let ok = SparseStream::from_sorted(5, vec![Entry::new(1, 1.0f32), Entry::new(3, 2.0)]);
         assert!(ok.is_ok());
-        let unsorted = SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(1, 2.0)]);
+        let unsorted =
+            SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(1, 2.0)]);
         assert!(matches!(unsorted, Err(StreamError::UnsortedIndices { .. })));
         let dup = SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(3, 2.0)]);
         assert!(matches!(dup, Err(StreamError::UnsortedIndices { .. })));

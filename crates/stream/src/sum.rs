@@ -42,7 +42,10 @@ impl<V: Scalar> SparseStream<V> {
         policy: &DensityPolicy,
     ) -> Result<SumStats, StreamError> {
         if self.dim() != other.dim() {
-            return Err(StreamError::DimMismatch { left: self.dim(), right: other.dim() });
+            return Err(StreamError::DimMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         let dim = self.dim();
         let delta = policy.delta::<V>(dim);
@@ -56,11 +59,18 @@ impl<V: Scalar> SparseStream<V> {
                     // Fill-in upper bound exceeded: produce dense result.
                     self.densify();
                     let stats = scatter_into_dense(self, other)?;
-                    Ok(SumStats { switched_to_dense: true, ..stats })
+                    Ok(SumStats {
+                        switched_to_dense: true,
+                        ..stats
+                    })
                 } else {
                     let merged = {
-                        let Repr::Sparse(a) = self.repr() else { unreachable!() };
-                        let Repr::Sparse(b) = other.repr() else { unreachable!() };
+                        let Repr::Sparse(a) = self.repr() else {
+                            unreachable!()
+                        };
+                        let Repr::Sparse(b) = other.repr() else {
+                            unreachable!()
+                        };
                         merge_sorted(a, b)
                     };
                     let processed = merged.len();
@@ -83,9 +93,13 @@ impl<V: Scalar> SparseStream<V> {
                 Ok(stats)
             }
             (true, true) => {
-                let Repr::Dense(b) = other.repr() else { unreachable!() };
+                let Repr::Dense(b) = other.repr() else {
+                    unreachable!()
+                };
                 let b = b.clone();
-                let Repr::Dense(a) = self.repr_mut() else { unreachable!() };
+                let Repr::Dense(a) = self.repr_mut() else {
+                    unreachable!()
+                };
                 for (x, y) in a.iter_mut().zip(b.iter()) {
                     *x = x.add(*y);
                 }
@@ -97,7 +111,6 @@ impl<V: Scalar> SparseStream<V> {
             }
         }
     }
-
 }
 
 /// Adds the sparse entries of `sparse` into the dense accumulator `dense`.
@@ -107,10 +120,14 @@ fn scatter_into_dense<V: Scalar>(
 ) -> Result<SumStats, StreamError> {
     debug_assert!(dense.is_dense());
     let Repr::Sparse(entries) = sparse.repr() else {
-        return Err(StreamError::Corrupt("scatter_into_dense expects a sparse addend"));
+        return Err(StreamError::Corrupt(
+            "scatter_into_dense expects a sparse addend",
+        ));
     };
     let entries = entries.clone();
-    let Repr::Dense(values) = dense.repr_mut() else { unreachable!() };
+    let Repr::Dense(values) = dense.repr_mut() else {
+        unreachable!()
+    };
     for e in &entries {
         let slot = &mut values[e.idx as usize];
         *slot = slot.add(e.val);
@@ -157,7 +174,9 @@ pub fn reduce_streams<V: Scalar>(
     policy: &DensityPolicy,
 ) -> Result<(SparseStream<V>, usize), StreamError> {
     let Some(mut acc) = parts.drain(..1).next() else {
-        return Err(StreamError::Corrupt("reduce_streams needs at least one input"));
+        return Err(StreamError::Corrupt(
+            "reduce_streams needs at least one input",
+        ));
     };
     let mut processed = 0usize;
     for part in parts {
@@ -204,7 +223,9 @@ mod tests {
     fn never_densify_policy_keeps_sparse() {
         let mut a = s(8, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
         let b = s(8, &[(5, 1.0), (6, 1.0), (7, 1.0)]);
-        let stats = a.add_assign_with(&b, &DensityPolicy::never_densify()).unwrap();
+        let stats = a
+            .add_assign_with(&b, &DensityPolicy::never_densify())
+            .unwrap();
         assert!(!stats.result_dense);
         assert!(a.is_sparse());
         assert_eq!(a.nnz(), 6);
@@ -245,7 +266,10 @@ mod tests {
     fn dim_mismatch_rejected() {
         let mut a = s(4, &[(0, 1.0)]);
         let b = s(5, &[(0, 1.0)]);
-        assert!(matches!(a.add_assign(&b), Err(StreamError::DimMismatch { .. })));
+        assert!(matches!(
+            a.add_assign(&b),
+            Err(StreamError::DimMismatch { .. })
+        ));
     }
 
     #[test]

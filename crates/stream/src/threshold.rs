@@ -40,7 +40,9 @@ impl DensityPolicy {
     /// A policy that never switches to dense (for static-sparse runs where
     /// the caller knows `K < δ`).
     pub fn never_densify() -> Self {
-        DensityPolicy { factor: f64::INFINITY }
+        DensityPolicy {
+            factor: f64::INFINITY,
+        }
     }
 
     /// The threshold δ in *entries* for a vector of dimension `dim` holding

@@ -76,7 +76,10 @@ impl<V: Scalar> SparseStream<V> {
         }
         let width = buf.get_u8() as usize;
         if width != V::BYTES {
-            return Err(StreamError::ValueWidthMismatch { expected: V::BYTES, actual: width });
+            return Err(StreamError::ValueWidthMismatch {
+                expected: V::BYTES,
+                actual: width,
+            });
         }
         let tag = buf.get_u8();
         if buf.remaining() < 8 {
@@ -152,7 +155,10 @@ mod tests {
         let v = SparseStream::from_pairs(10, &[(1, 1.0f32), (5, 2.0)]).unwrap();
         let bytes = v.encode();
         for cut in [0usize, 1, 2, 5, bytes.len() - 1] {
-            assert!(SparseStream::<f32>::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                SparseStream::<f32>::decode(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
         let mut garbage = bytes.to_vec();
         garbage[0] = 0x00;

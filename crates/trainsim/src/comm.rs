@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use sparcml_core::{allreduce, estimate_time, Algorithm, AllreduceConfig};
-use sparcml_net::{max_virtual_time, CostModel};
+use sparcml_core::{estimate_time, max_communicator_time, Algorithm, AllreduceConfig};
+use sparcml_net::CostModel;
 use sparcml_quant::{quantized_wire_bytes, QsgdConfig};
 use sparcml_stream::random_sparse;
 
@@ -34,7 +34,11 @@ pub enum Exchange {
 impl Exchange {
     /// Paper-default Top-k exchange: k of every 512, recursive doubling.
     pub fn topk(k_per_bucket: usize) -> Exchange {
-        Exchange::TopK { k_per_bucket, algorithm: Algorithm::SsarRecDbl, quant: None }
+        Exchange::TopK {
+            k_per_bucket,
+            algorithm: Algorithm::SsarRecDbl,
+            quant: None,
+        }
     }
 
     /// Full-precision baseline (Rabenseifner, as MPI picks for large dense
@@ -67,13 +71,19 @@ pub struct AnalyticEstimator {
 impl AnalyticEstimator {
     /// Estimator with worst-case (independent) supports.
     pub fn new(cost: CostModel) -> Self {
-        AnalyticEstimator { cost, support_overlap: 1.0 }
+        AnalyticEstimator {
+            cost,
+            support_overlap: 1.0,
+        }
     }
 
     /// Estimator with correlated Top-k supports (`factor` < 1 shrinks
     /// fill-in towards the fully-overlapping extreme).
     pub fn with_support_overlap(cost: CostModel, factor: f64) -> Self {
-        AnalyticEstimator { cost, support_overlap: factor.clamp(0.0, 1.0) }
+        AnalyticEstimator {
+            cost,
+            support_overlap: factor.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -81,7 +91,11 @@ impl CommEstimator for AnalyticEstimator {
     fn layer_time(&self, params: usize, p: usize, exchange: &Exchange) -> f64 {
         match exchange {
             Exchange::Dense(algo) => estimate_time::<f32>(*algo, p, params, params, &self.cost),
-            Exchange::TopK { k_per_bucket, algorithm, quant } => {
+            Exchange::TopK {
+                k_per_bucket,
+                algorithm,
+                quant,
+            } => {
                 let k = (params * k_per_bucket / 512).clamp(1, params);
                 // Correlated-support union: interpolate between full
                 // overlap (K = k) and the uniform-independent E[K].
@@ -95,9 +109,8 @@ impl CommEstimator for AnalyticEstimator {
                     // DSAR by (dense bytes) / (quantized bytes).
                     let dense_bytes = params * 4;
                     let q_bytes = quantized_wire_bytes(params, q);
-                    let dense_stage = (p as f64 - 1.0) / p as f64
-                        * dense_bytes as f64
-                        * self.cost.beta;
+                    let dense_stage =
+                        (p as f64 - 1.0) / p as f64 * dense_bytes as f64 * self.cost.beta;
                     let saved = dense_stage * (1.0 - q_bytes as f64 / dense_bytes as f64);
                     t = (t - saved).max(0.0);
                 }
@@ -117,7 +130,10 @@ pub struct MeasuredEstimator {
 impl MeasuredEstimator {
     /// Creates an estimator for the given network.
     pub fn new(cost: CostModel) -> Self {
-        MeasuredEstimator { cost, cache: Mutex::new(HashMap::new()) }
+        MeasuredEstimator {
+            cost,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     fn measure(&self, params: usize, p: usize, exchange: &Exchange) -> f64 {
@@ -125,19 +141,34 @@ impl MeasuredEstimator {
         match exchange {
             Exchange::Dense(algo) => {
                 let algo = *algo;
-                max_virtual_time(p, cost, move |ep| {
+                max_communicator_time(p, cost, move |comm| {
                     let input = sparcml_stream::SparseStream::from_dense(vec![1.0f32; params]);
-                    allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap();
+                    comm.allreduce(&input)
+                        .algorithm(algo)
+                        .launch()
+                        .and_then(|handle| handle.wait())
+                        .unwrap();
                 })
             }
-            Exchange::TopK { k_per_bucket, algorithm, quant } => {
+            Exchange::TopK {
+                k_per_bucket,
+                algorithm,
+                quant,
+            } => {
                 let k = (params * k_per_bucket / 512).max(1).min(params);
                 let algo = *algorithm;
-                let cfg = AllreduceConfig { quant: *quant, ..Default::default() };
-                max_virtual_time(p, cost, move |ep| {
-                    let input =
-                        random_sparse::<f32>(params, k, 0xFEED + ep.rank() as u64);
-                    allreduce(ep, &input, algo, &cfg).unwrap();
+                let cfg = AllreduceConfig {
+                    quant: *quant,
+                    ..Default::default()
+                };
+                max_communicator_time(p, cost, move |comm| {
+                    let input = random_sparse::<f32>(params, k, 0xFEED + comm.rank() as u64);
+                    comm.allreduce(&input)
+                        .algorithm(algo)
+                        .config(cfg.clone())
+                        .launch()
+                        .and_then(|handle| handle.wait())
+                        .unwrap();
                 })
             }
         }
@@ -167,7 +198,11 @@ mod tests {
         let topk = est.layer_time(
             1 << 22,
             16,
-            &Exchange::TopK { k_per_bucket: 4, algorithm: Algorithm::SsarRecDbl, quant: None },
+            &Exchange::TopK {
+                k_per_bucket: 4,
+                algorithm: Algorithm::SsarRecDbl,
+                quant: None,
+            },
         );
         assert!(topk < dense, "topk {topk} vs dense {dense}");
     }

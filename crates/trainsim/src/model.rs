@@ -68,7 +68,10 @@ impl ModelSpec {
                 _ => layers.push(l.clone()),
             }
         }
-        ModelSpec { name: format!("{}(fused)", self.name), layers }
+        ModelSpec {
+            name: format!("{}(fused)", self.name),
+            layers,
+        }
     }
 
     /// ResNet-110 for CIFAR-10 (≈1.7M parameters over 54 blocks).
@@ -85,7 +88,10 @@ impl ModelSpec {
             }
         }
         layers.push(LayerSpec::new("fc", 64 * 10 + 10, 1.3e3));
-        ModelSpec { name: "ResNet-110".into(), layers }
+        ModelSpec {
+            name: "ResNet-110".into(),
+            layers,
+        }
     }
 
     /// ResNet-50 for ImageNet (≈25.5M parameters; FC = 2.05M).
@@ -103,14 +109,21 @@ impl ModelSpec {
             }
         }
         layers.push(LayerSpec::new("fc", 2048 * 1000 + 1000, 4.1e6));
-        ModelSpec { name: "ResNet-50".into(), layers }
+        ModelSpec {
+            name: "ResNet-50".into(),
+            layers,
+        }
     }
 
     /// 4× wide ResNet-18: conv channels ×4 (params ×16), FC 2048→1000.
     pub fn wide_resnet18_4x() -> ModelSpec {
         let mut layers = vec![LayerSpec::new("conv1", 9_408 * 16, 1.18e8 * 16.0)];
-        let stages: [(usize, usize, usize); 4] =
-            [(2, 64 * 4, 56), (2, 128 * 4, 28), (2, 256 * 4, 14), (2, 512 * 4, 7)];
+        let stages: [(usize, usize, usize); 4] = [
+            (2, 64 * 4, 56),
+            (2, 128 * 4, 28),
+            (2, 256 * 4, 14),
+            (2, 512 * 4, 7),
+        ];
         for (si, (blocks, ch, hw)) in stages.iter().enumerate() {
             for b in 0..*blocks {
                 let params = 2 * 9 * ch * ch;
@@ -119,14 +132,21 @@ impl ModelSpec {
             }
         }
         layers.push(LayerSpec::new("fc", 2048 * 1000 + 1000, 4.1e6));
-        ModelSpec { name: "4xResNet-18".into(), layers }
+        ModelSpec {
+            name: "4xResNet-18".into(),
+            layers,
+        }
     }
 
     /// 4× wide ResNet-34 (deeper wide variant of §8.4).
     pub fn wide_resnet34_4x() -> ModelSpec {
         let mut layers = vec![LayerSpec::new("conv1", 9_408 * 16, 1.18e8 * 16.0)];
-        let stages: [(usize, usize, usize); 4] =
-            [(3, 64 * 4, 56), (4, 128 * 4, 28), (6, 256 * 4, 14), (3, 512 * 4, 7)];
+        let stages: [(usize, usize, usize); 4] = [
+            (3, 64 * 4, 56),
+            (4, 128 * 4, 28),
+            (6, 256 * 4, 14),
+            (3, 512 * 4, 7),
+        ];
         for (si, (blocks, ch, hw)) in stages.iter().enumerate() {
             for b in 0..*blocks {
                 let params = 2 * 9 * ch * ch;
@@ -135,7 +155,10 @@ impl ModelSpec {
             }
         }
         layers.push(LayerSpec::new("fc", 2048 * 1000 + 1000, 4.1e6));
-        ModelSpec { name: "4xResNet-34".into(), layers }
+        ModelSpec {
+            name: "4xResNet-34".into(),
+            layers,
+        }
     }
 
     /// ATIS encoder–decoder LSTM: ≈20M parameters, ≈80 MB in fp32 (§8.3).

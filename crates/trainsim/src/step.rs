@@ -21,17 +21,23 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// NVIDIA P100-class sustained throughput (§8: Piz Daint nodes).
     pub fn p100() -> Self {
-        GpuSpec { flops_per_sec: 3.0e12 }
+        GpuSpec {
+            flops_per_sec: 3.0e12,
+        }
     }
 
     /// NVIDIA V100-class (ASR cluster).
     pub fn v100() -> Self {
-        GpuSpec { flops_per_sec: 6.0e12 }
+        GpuSpec {
+            flops_per_sec: 6.0e12,
+        }
     }
 
     /// NVIDIA K80-class (cloud deployment).
     pub fn k80() -> Self {
-        GpuSpec { flops_per_sec: 1.2e12 }
+        GpuSpec {
+            flops_per_sec: 1.2e12,
+        }
     }
 }
 
@@ -92,14 +98,22 @@ pub fn step_time(
                 last_comm_end = nic_free;
             }
             let total = compute.max(last_comm_end);
-            StepTime { compute, exposed_comm: total - compute, total }
+            StepTime {
+                compute,
+                exposed_comm: total - compute,
+                total,
+            }
         }
         SyncStrategy::Bmuf { block_steps } => {
             // One dense full-model allreduce amortized over the block; it
             // happens at a barrier, so nothing is hidden.
             let sync = est.layer_time(model.total_params(), p, &Exchange::dense());
             let amortized = sync / (*block_steps as f64).max(1.0);
-            StepTime { compute, exposed_comm: amortized, total: compute + amortized }
+            StepTime {
+                compute,
+                exposed_comm: amortized,
+                total: compute + amortized,
+            }
         }
     }
 }
@@ -131,8 +145,22 @@ mod tests {
     #[test]
     fn compute_scales_with_batch() {
         let m = ModelSpec::resnet50();
-        let a = step_time(&m, 8, 4, &GpuSpec::p100(), &SyncStrategy::PerLayer(Exchange::dense()), &est());
-        let b = step_time(&m, 8, 8, &GpuSpec::p100(), &SyncStrategy::PerLayer(Exchange::dense()), &est());
+        let a = step_time(
+            &m,
+            8,
+            4,
+            &GpuSpec::p100(),
+            &SyncStrategy::PerLayer(Exchange::dense()),
+            &est(),
+        );
+        let b = step_time(
+            &m,
+            8,
+            8,
+            &GpuSpec::p100(),
+            &SyncStrategy::PerLayer(Exchange::dense()),
+            &est(),
+        );
         assert!(b.compute > 1.9 * a.compute);
     }
 

@@ -3,13 +3,13 @@
 //!
 //! Run with `cargo run --release --example nonblocking_pipeline`.
 //!
-//! Each rank launches an `iallreduce` for one "layer" gradient, computes
-//! the next layer's gradient while the exchange is in flight, then waits.
-//! The virtual clocks show the overlap: total time ≈ max(compute, comm)
-//! instead of compute + comm.
+//! Each rank launches its "layer" allreduce with `.nonblocking()`,
+//! accounts the next layer's gradient computation on the handle while the
+//! exchange is in flight, then waits. The virtual clocks show the
+//! overlap: total time ≈ max(compute, comm) instead of compute + comm.
 
-use sparcml::core::{iallreduce, Algorithm, AllreduceConfig};
-use sparcml::net::{run_cluster, CostModel};
+use sparcml::core::{max_communicator_time, Algorithm};
+use sparcml::net::CostModel;
 use sparcml::stream::random_sparse;
 
 fn main() {
@@ -19,36 +19,41 @@ fn main() {
     let compute_elements = 25_000_000usize; // simulated backward pass work
 
     // Blocking version: compute, then exchange.
-    let t_blocking = sparcml::net::max_virtual_time(p, CostModel::gige(), |ep| {
-        let grad = random_sparse::<f32>(dim, nnz, ep.rank() as u64);
-        ep.compute(compute_elements);
-        let _ = sparcml::core::allreduce(
-            ep,
-            &grad,
-            Algorithm::SsarRecDbl,
-            &AllreduceConfig::default(),
-        )
-        .unwrap();
+    let t_blocking = max_communicator_time(p, CostModel::gige(), |comm| {
+        let grad = random_sparse::<f32>(dim, nnz, comm.rank() as u64);
+        comm.compute(compute_elements);
+        let _ = comm
+            .allreduce(&grad)
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap();
     });
 
-    // Non-blocking version: exchange overlaps the compute.
-    let t_overlap = run_cluster(p, CostModel::gige(), |ep| {
-        let grad = random_sparse::<f32>(dim, nnz, ep.rank() as u64);
-        let mut req = iallreduce(
-            ep.detach(),
-            grad,
-            Algorithm::SsarRecDbl,
-            AllreduceConfig::default(),
-        );
-        req.compute(compute_elements); // overlapped local work
-        let (ep_back, _sum) = req.wait().unwrap();
-        *ep = ep_back;
-        ep.clock()
-    })
-    .into_iter()
-    .fold(0.0f64, f64::max);
+    // Non-blocking version: exchange overlaps the compute. The handle
+    // reinstalls the transport into the communicator on wait().
+    let t_overlap = max_communicator_time(p, CostModel::gige(), |comm| {
+        let grad = random_sparse::<f32>(dim, nnz, comm.rank() as u64);
+        let mut handle = comm
+            .allreduce(&grad)
+            .algorithm(Algorithm::SsarRecDbl)
+            .nonblocking()
+            .launch()
+            .unwrap();
+        handle.compute(compute_elements); // overlapped local work
+        let _sum = handle.wait().unwrap();
+    });
 
-    println!("blocking   (compute then allreduce): {:.2} ms", t_blocking * 1e3);
-    println!("nonblocking (allreduce || compute):  {:.2} ms", t_overlap * 1e3);
-    println!("overlap saves {:.0}%", (1.0 - t_overlap / t_blocking) * 100.0);
+    println!(
+        "blocking   (compute then allreduce): {:.2} ms",
+        t_blocking * 1e3
+    );
+    println!(
+        "nonblocking (allreduce || compute):  {:.2} ms",
+        t_overlap * 1e3
+    );
+    println!(
+        "overlap saves {:.0}%",
+        (1.0 - t_overlap / t_blocking) * 100.0
+    );
 }

@@ -1,14 +1,14 @@
-//! Quickstart: sparse allreduce across an in-process cluster.
+//! Quickstart: sparse allreduce through a `Communicator` session.
 //!
 //! Run with `cargo run --release --example quickstart`.
 //!
 //! Eight ranks each contribute a sparse gradient over a 10M-dimensional
-//! space; SparCML reduces them with sparse recursive doubling, and we
-//! compare the virtual completion time against the dense baseline on the
-//! same (simulated) Aries-class network.
+//! space. The default `Algorithm::Auto` lets the §5.3 selector pick the
+//! schedule; we then pin the dense baseline on the same (simulated)
+//! Aries-class network for comparison.
 
-use sparcml::core::{allreduce, Algorithm, AllreduceConfig};
-use sparcml::net::{run_cluster, CostModel};
+use sparcml::core::{max_communicator_time, run_communicators, Algorithm};
+use sparcml::net::CostModel;
 use sparcml::stream::{random_sparse, SparseStream};
 
 fn main() {
@@ -16,23 +16,34 @@ fn main() {
     let dim = 10_000_000;
     let nnz = 20_000; // 0.2% density per rank
 
-    // Run the sparse allreduce: every rank gets the global sum.
-    let results = run_cluster(p, CostModel::aries(), |ep| {
-        let grad: SparseStream<f32> = random_sparse(dim, nnz, 42 + ep.rank() as u64);
-        let sum = allreduce(ep, &grad, Algorithm::SsarRecDbl, &AllreduceConfig::default())
+    // Run the sparse allreduce: every rank gets the global sum. The
+    // builder defaults to Algorithm::Auto — the adaptive selector.
+    let results = run_communicators(p, CostModel::aries(), |comm| {
+        let grad: SparseStream<f32> = random_sparse(dim, nnz, 42 + comm.rank() as u64);
+        let sum = comm
+            .allreduce(&grad)
+            .launch()
+            .and_then(|handle| handle.wait())
             .expect("allreduce");
-        (sum.nnz(), ep.clock(), ep.stats().bytes_sent)
+        (sum.nnz(), comm.clock(), comm.stats().bytes_sent)
     });
     let (k_reduced, t_sparse, bytes) = results[0];
     println!("reduced support: {k_reduced} of {dim} coordinates");
-    println!("sparse allreduce: {:.3} ms virtual, {} KiB sent per rank", t_sparse * 1e3, bytes / 1024);
+    println!(
+        "adaptive allreduce: {:.3} ms virtual, {} KiB sent per rank",
+        t_sparse * 1e3,
+        bytes / 1024
+    );
 
-    // Dense baseline for comparison.
-    let t_dense = sparcml::net::max_virtual_time(p, CostModel::aries(), |ep| {
-        let grad: SparseStream<f32> = random_sparse(dim, nnz, 42 + ep.rank() as u64);
-        allreduce(ep, &grad, Algorithm::DenseRabenseifner, &AllreduceConfig::default())
+    // Dense baseline for comparison: pin the algorithm explicitly.
+    let t_dense = max_communicator_time(p, CostModel::aries(), |comm| {
+        let grad: SparseStream<f32> = random_sparse(dim, nnz, 42 + comm.rank() as u64);
+        comm.allreduce(&grad)
+            .algorithm(Algorithm::DenseRabenseifner)
+            .launch()
+            .and_then(|handle| handle.wait())
             .expect("allreduce");
     });
-    println!("dense allreduce:  {:.3} ms virtual", t_dense * 1e3);
+    println!("dense allreduce:    {:.3} ms virtual", t_dense * 1e3);
     println!("speedup from sparsity: {:.1}x", t_dense / t_sparse);
 }

@@ -31,7 +31,7 @@ fn main() {
         lr: LrSchedule::Const(1.0),
         batch_per_node: 128,
         epochs: 5,
-        algorithm: Some(algo),
+        algorithm: algo,
         ..Default::default()
     };
 
@@ -39,6 +39,7 @@ fn main() {
         ("dense MPI baseline", Algorithm::DenseRabenseifner),
         ("SSAR_Recursive_double", Algorithm::SsarRecDbl),
         ("SSAR_Split_allgather", Algorithm::SsarSplitAllgather),
+        ("Auto (adaptive §5.3)", Algorithm::Auto),
     ] {
         let result = train_distributed(&dataset, p, cost, &mk(algo));
         let last = result.epochs.last().unwrap();

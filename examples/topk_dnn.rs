@@ -10,9 +10,7 @@
 
 use sparcml::net::CostModel;
 use sparcml::opt::data::generate_dense_images_noisy;
-use sparcml::opt::{
-    train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig,
-};
+use sparcml::opt::{train_mlp_distributed, Compression, LrSchedule, NnTrainConfig, TopKConfig};
 use sparcml::quant::QsgdConfig;
 
 fn main() {
@@ -31,19 +29,28 @@ fn main() {
         ("dense 32-bit", Compression::Dense),
         (
             "topk 8/512 + error feedback",
-            Compression::TopK(TopKConfig { k_per_bucket: 8, bucket_size: 512 }),
+            Compression::TopK(TopKConfig {
+                k_per_bucket: 8,
+                bucket_size: 512,
+            }),
         ),
         (
             "topk 8/512 + 4-bit QSGD",
             Compression::TopKQuant(
-                TopKConfig { k_per_bucket: 8, bucket_size: 512 },
+                TopKConfig {
+                    k_per_bucket: 8,
+                    bucket_size: 512,
+                },
                 QsgdConfig::with_bits(4),
             ),
         ),
     ];
 
     for (name, compression) in variants {
-        let cfg = NnTrainConfig { compression, ..base.clone() };
+        let cfg = NnTrainConfig {
+            compression,
+            ..base.clone()
+        };
         let (_, stats) =
             train_mlp_distributed(&dataset, &[dim, 128, classes], p, CostModel::aries(), &cfg);
         let last = stats.last().unwrap();

@@ -1,7 +1,20 @@
 //! Facade crate re-exporting the SparCML workspace public API.
+//!
+//! The documented entry point is the [`Communicator`] session: one object
+//! per rank whose collectives are fluent builders, running over any
+//! [`Transport`] backend ([`Endpoint`] virtual-time, [`ThreadTransport`]
+//! real threads), with `Algorithm::Auto` — the paper's §5.3 adaptive
+//! selector — as the default schedule. See the README for a quickstart
+//! and the migration table from the 0.1 free-function API.
+
 pub use sparcml_core as core;
 pub use sparcml_net as net;
 pub use sparcml_opt as opt;
 pub use sparcml_quant as quant;
 pub use sparcml_stream as stream;
 pub use sparcml_trainsim as trainsim;
+
+pub use sparcml_core::{
+    max_communicator_time, run_communicators, run_thread_communicators, Algorithm,
+    CollectiveHandle, Communicator, Endpoint, ThreadTransport, Transport,
+};

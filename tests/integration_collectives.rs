@@ -1,30 +1,54 @@
 //! Cross-crate integration tests: every collective against the sequential
-//! reference, across representations, precisions, rank counts and
-//! configurations.
+//! reference, across representations, precisions, rank counts,
+//! configurations — and across *transports*: the same collective programs
+//! run on the virtual-time `Endpoint` and on the real-thread
+//! `ThreadTransport`.
 
 use sparcml::core::reference::reference_sum;
 use sparcml::core::{
-    allreduce, iallreduce, select_algorithm, sparse_allgather, Algorithm, AllreduceConfig,
+    max_communicator_time, run_communicators, run_thread_communicators, select_algorithm,
+    Algorithm, AllreduceConfig, Communicator, Transport,
 };
-use sparcml::net::{max_virtual_time, run_cluster, CostModel};
+use sparcml::net::CostModel;
 use sparcml::quant::QsgdConfig;
 use sparcml::stream::{random_sparse, Scalar, SparseStream};
 
-fn check_algo<V: Scalar>(algo: Algorithm, p: usize, dim: usize, nnz: usize, tol: f64) {
-    let ins: Vec<SparseStream<V>> =
-        (0..p).map(|r| random_sparse(dim, nnz, 9000 + r as u64)).collect();
+/// Runs one allreduce program on every rank of both backends and checks
+/// each against the reference sum — the transport-parity harness.
+fn check_algo_on_both_transports<V: Scalar>(
+    algo: Algorithm,
+    p: usize,
+    dim: usize,
+    nnz: usize,
+    tol: f64,
+) {
+    fn program<T: Transport + Send + 'static, V: Scalar>(
+        comm: &mut Communicator<T>,
+        ins: &[SparseStream<V>],
+        algo: Algorithm,
+    ) -> SparseStream<V> {
+        comm.allreduce(&ins[comm.rank()])
+            .algorithm(algo)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap()
+    }
+    let ins: Vec<SparseStream<V>> = (0..p)
+        .map(|r| random_sparse(dim, nnz, 9000 + r as u64))
+        .collect();
     let expect = reference_sum(&ins);
-    let outs = run_cluster(p, CostModel::zero(), |ep| {
-        allreduce(ep, &ins[ep.rank()], algo, &AllreduceConfig::default()).unwrap()
-    });
-    for (rank, out) in outs.iter().enumerate() {
-        assert_eq!(out.dim(), dim);
-        let got = out.to_dense_vec();
-        for (i, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
-            assert!(
-                (g.to_f64() - e.to_f64()).abs() < tol,
-                "{algo:?} rank {rank} coord {i}: {g:?} vs {e:?}"
-            );
+    let virtual_outs = run_communicators(p, CostModel::zero(), |comm| program(comm, &ins, algo));
+    let thread_outs = run_thread_communicators(p, |comm| program(comm, &ins, algo));
+    for (backend, outs) in [("Endpoint", virtual_outs), ("ThreadTransport", thread_outs)] {
+        for (rank, out) in outs.iter().enumerate() {
+            assert_eq!(out.dim(), dim);
+            let got = out.to_dense_vec();
+            for (i, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+                assert!(
+                    (g.to_f64() - e.to_f64()).abs() < tol,
+                    "{algo:?} on {backend} rank {rank} coord {i}: {g:?} vs {e:?}"
+                );
+            }
         }
     }
 }
@@ -32,40 +56,42 @@ fn check_algo<V: Scalar>(algo: Algorithm, p: usize, dim: usize, nnz: usize, tol:
 #[test]
 fn all_algorithms_agree_with_reference_f32() {
     for algo in Algorithm::ALL {
-        check_algo::<f32>(algo, 8, 4096, 128, 1e-3);
+        check_algo_on_both_transports::<f32>(algo, 8, 4096, 128, 1e-3);
     }
 }
 
 #[test]
 fn all_algorithms_agree_with_reference_f64() {
     for algo in Algorithm::ALL {
-        check_algo::<f64>(algo, 4, 2048, 64, 1e-9);
+        check_algo_on_both_transports::<f64>(algo, 4, 2048, 64, 1e-9);
     }
 }
 
 #[test]
-fn all_algorithms_handle_non_power_of_two_ranks() {
-    for algo in Algorithm::ALL {
-        for p in [3usize, 5, 6, 7] {
-            check_algo::<f32>(algo, p, 1024, 32, 1e-3);
-        }
-    }
+fn auto_agrees_with_reference_on_both_transports() {
+    // The default path: Algorithm::Auto resolves through the selector.
+    check_algo_on_both_transports::<f32>(Algorithm::Auto, 8, 4096, 128, 1e-3);
+    check_algo_on_both_transports::<f32>(Algorithm::Auto, 5, 1024, 512, 1e-3);
 }
 
 #[test]
 fn all_algorithms_handle_two_and_one_ranks() {
     for algo in Algorithm::ALL {
-        check_algo::<f32>(algo, 1, 256, 16, 1e-4);
-        check_algo::<f32>(algo, 2, 256, 16, 1e-4);
+        check_algo_on_both_transports::<f32>(algo, 1, 256, 16, 1e-4);
+        check_algo_on_both_transports::<f32>(algo, 2, 256, 16, 1e-4);
     }
 }
 
 #[test]
 fn empty_inputs_reduce_to_zero() {
     for algo in Algorithm::ALL {
-        let outs = run_cluster(4, CostModel::zero(), |ep| {
+        let outs = run_communicators(4, CostModel::zero(), |comm| {
             let input = SparseStream::<f32>::zeros(512);
-            allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap()
+            comm.allreduce(&input)
+                .algorithm(algo)
+                .launch()
+                .and_then(|handle| handle.wait())
+                .unwrap()
         });
         for out in outs {
             assert_eq!(out.nnz(), 0, "{algo:?}");
@@ -75,26 +101,33 @@ fn empty_inputs_reduce_to_zero() {
 
 #[test]
 fn repeated_collectives_in_one_session_do_not_cross_match() {
-    // Three different allreduces back-to-back on the same endpoints; tags
-    // must isolate them.
+    // Three different allreduces back-to-back on the same communicator;
+    // tags must isolate them.
     let p = 4;
     let dims = [512usize, 1024, 256];
-    let outs = run_cluster(p, CostModel::zero(), |ep| {
+    let outs = run_communicators(p, CostModel::zero(), |comm| {
         let mut results = Vec::new();
         for (i, &dim) in dims.iter().enumerate() {
-            let input = random_sparse::<f32>(dim, 16, (i * 100 + ep.rank()) as u64);
+            let input = random_sparse::<f32>(dim, 16, (i * 100 + comm.rank()) as u64);
             let algo = match i {
                 0 => Algorithm::SsarRecDbl,
                 1 => Algorithm::SsarSplitAllgather,
                 _ => Algorithm::SparseRing,
             };
-            results.push(allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap());
+            results.push(
+                comm.allreduce(&input)
+                    .algorithm(algo)
+                    .launch()
+                    .and_then(|handle| handle.wait())
+                    .unwrap(),
+            );
         }
         results
     });
     for (i, &dim) in dims.iter().enumerate() {
-        let ins: Vec<SparseStream<f32>> =
-            (0..p).map(|r| random_sparse(dim, 16, (i * 100 + r) as u64)).collect();
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(dim, 16, (i * 100 + r) as u64))
+            .collect();
         let expect = reference_sum(&ins);
         for rank_out in &outs {
             let got = rank_out[i].to_dense_vec();
@@ -109,15 +142,22 @@ fn repeated_collectives_in_one_session_do_not_cross_match() {
 fn quantized_dsar_is_within_qsgd_error_bound() {
     let p = 8;
     let dim = 8192;
-    let ins: Vec<SparseStream<f32>> =
-        (0..p).map(|r| random_sparse(dim, 512, 400 + r as u64)).collect();
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 512, 400 + r as u64))
+        .collect();
     let expect = reference_sum(&ins);
-    let cfg = AllreduceConfig {
-        quant: Some(QsgdConfig { bits: 8, bucket_size: 512, ..QsgdConfig::paper_default() }),
-        ..Default::default()
+    let quant = QsgdConfig {
+        bits: 8,
+        bucket_size: 512,
+        ..QsgdConfig::paper_default()
     };
-    let outs = run_cluster(p, CostModel::zero(), |ep| {
-        allreduce(ep, &ins[ep.rank()], Algorithm::DsarSplitAllgather, &cfg).unwrap()
+    let outs = run_communicators(p, CostModel::zero(), |comm| {
+        comm.allreduce(&ins[comm.rank()])
+            .algorithm(Algorithm::DsarSplitAllgather)
+            .quantized(quant)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap()
     });
     let max_abs = expect.iter().fold(0.0f32, |m, v| m.max(v.abs()));
     for out in outs {
@@ -131,32 +171,104 @@ fn quantized_dsar_is_within_qsgd_error_bound() {
 fn mixed_blocking_and_nonblocking_collectives() {
     let p = 4;
     let dim = 2048;
-    let ins: Vec<SparseStream<f32>> =
-        (0..p).map(|r| random_sparse(dim, 64, 777 + r as u64)).collect();
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 64, 777 + r as u64))
+        .collect();
     let expect = reference_sum(&ins);
-    let double_expect: Vec<f32> = expect.iter().map(|v| v * 2.0).collect();
-    let outs = run_cluster(p, CostModel::zero(), |ep| {
+    let outs = run_communicators(p, CostModel::zero(), |comm| {
         // Blocking first…
-        let first =
-            allreduce(ep, &ins[ep.rank()], Algorithm::SsarRecDbl, &AllreduceConfig::default())
-                .unwrap();
-        // …then a non-blocking one over the *result*.
-        let req = iallreduce(
-            ep.detach(),
-            first,
-            Algorithm::SsarSplitAllgather,
-            AllreduceConfig::default(),
-        );
-        let (ep_back, second) = req.wait().unwrap();
-        *ep = ep_back;
-        second
+        let first = comm
+            .allreduce(&ins[comm.rank()])
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap();
+        // …then a non-blocking one over the *result*; the handle returns
+        // the transport to the communicator on wait.
+        comm.allreduce(&first)
+            .algorithm(Algorithm::SsarSplitAllgather)
+            .nonblocking()
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap()
     });
     // Second reduction sums the (identical) first results: P × first.
     for out in outs {
-        for (g, e) in out.to_dense_vec().iter().zip(double_expect.iter()) {
-            let scaled = e * (p as f32 / 2.0);
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            let scaled = e * p as f32;
             assert!((g - scaled).abs() < 1e-2, "{g} vs {scaled}");
         }
+    }
+}
+
+#[test]
+fn deprecated_free_function_shims_still_work() {
+    // The 0.1 surface is kept for one release; it must agree with the
+    // builder path bit-for-bit.
+    let p = 4;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(1024, 32, 31 + r as u64))
+        .collect();
+    let via_builder = run_communicators(p, CostModel::zero(), |comm| {
+        comm.allreduce(&ins[comm.rank()])
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap()
+    });
+    let via_shim = sparcml::net::run_cluster(p, CostModel::zero(), |ep| {
+        #[allow(deprecated)]
+        sparcml::core::allreduce(
+            ep,
+            &ins[Transport::rank(ep)],
+            Algorithm::SsarRecDbl,
+            &AllreduceConfig::default(),
+        )
+        .unwrap()
+    });
+    assert_eq!(via_builder, via_shim);
+}
+
+#[test]
+fn auto_round_trips_through_select_algorithm() {
+    // Algorithm::Auto must dispatch exactly what select_algorithm picks
+    // for the agreed workload (all ranks share k here, so the agreement
+    // step is the identity).
+    let cost = CostModel::aries();
+    for &(p, n, k) in &[
+        (8usize, 1 << 16, 1 << 6),
+        (8, 1 << 16, 1 << 12),
+        (4, 1 << 14, 1 << 11),
+    ] {
+        let resolved = Algorithm::Auto.resolve_for::<f32>(p, n, k, &cost);
+        let expected = select_algorithm::<f32>(p, n, k, &cost);
+        assert_eq!(resolved, expected, "P={p} N={n} k={k}");
+        assert!(
+            !resolved.is_auto(),
+            "Auto must resolve to a concrete schedule"
+        );
+
+        // And the dispatched result matches the pinned choice exactly —
+        // same schedule, same floating-point summation order.
+        let ins: Vec<SparseStream<f32>> =
+            (0..p).map(|r| random_sparse(n, k, 5 + r as u64)).collect();
+        let auto_outs = run_communicators(p, cost, |comm| {
+            comm.allreduce(&ins[comm.rank()])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        let pinned_outs = run_communicators(p, cost, |comm| {
+            comm.allreduce(&ins[comm.rank()])
+                .algorithm(expected)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        assert_eq!(
+            auto_outs, pinned_outs,
+            "P={p} N={n} k={k} chose {expected:?}"
+        );
     }
 }
 
@@ -165,16 +277,27 @@ fn selector_choice_is_never_far_from_best() {
     // For a few workloads, the adaptive choice must be within 2x of the
     // best measured algorithm (it is allowed to be approximate).
     let cost = CostModel::aries();
-    for &(p, n, k) in &[(8usize, 1 << 16, 1 << 6), (8, 1 << 16, 1 << 12), (16, 1 << 14, 1 << 11)] {
+    for &(p, n, k) in &[
+        (8usize, 1 << 16, 1 << 6),
+        (8, 1 << 16, 1 << 12),
+        (16, 1 << 14, 1 << 11),
+    ] {
         let chosen = select_algorithm::<f32>(p, n, k, &cost);
         let measure = |algo: Algorithm| {
-            max_virtual_time(p, cost, move |ep| {
-                let input = random_sparse::<f32>(n, k, 5 + ep.rank() as u64);
-                allreduce(ep, &input, algo, &AllreduceConfig::default()).unwrap();
+            max_communicator_time(p, cost, move |comm| {
+                let input = random_sparse::<f32>(n, k, 5 + comm.rank() as u64);
+                comm.allreduce(&input)
+                    .algorithm(algo)
+                    .launch()
+                    .and_then(|handle| handle.wait())
+                    .unwrap();
             })
         };
         let t_chosen = measure(chosen);
-        let t_best = Algorithm::ALL.iter().map(|a| measure(*a)).fold(f64::INFINITY, f64::min);
+        let t_best = Algorithm::ALL
+            .iter()
+            .map(|a| measure(*a))
+            .fold(f64::INFINITY, f64::min);
         assert!(
             t_chosen <= t_best * 2.0 + 1e-9,
             "P={p} N={n} k={k}: chose {chosen:?} at {t_chosen}, best {t_best}"
@@ -185,14 +308,50 @@ fn selector_choice_is_never_far_from_best() {
 #[test]
 fn allgather_integration_round_trip() {
     let p = 6;
-    let outs = run_cluster(p, CostModel::aries(), |ep| {
-        let mine = random_sparse::<f32>(4096, 32, 31 + ep.rank() as u64);
-        sparse_allgather(ep, &mine).unwrap()
+    let outs = run_communicators(p, CostModel::aries(), |comm| {
+        let mine = random_sparse::<f32>(4096, 32, 31 + comm.rank() as u64);
+        comm.allgather(&mine)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap()
     });
     for ranks in &outs {
         assert_eq!(ranks.len(), p);
         for (r, s) in ranks.iter().enumerate() {
             assert_eq!(s, &random_sparse::<f32>(4096, 32, 31 + r as u64));
+        }
+    }
+}
+
+#[test]
+fn rooted_collectives_compose_on_both_transports() {
+    let p = 6;
+    let dim = 2048;
+    fn program<T: Transport + Send + 'static>(
+        comm: &mut Communicator<T>,
+        ins: &[SparseStream<f32>],
+    ) -> SparseStream<f32> {
+        let reduced = comm
+            .reduce(&ins[comm.rank()], 1)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        comm.broadcast(&reduced, 1)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap()
+    }
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 48, 61 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    let virtual_outs = run_communicators(p, CostModel::zero(), |comm| program(comm, &ins));
+    let thread_outs = run_thread_communicators(p, |comm| program(comm, &ins));
+    for outs in [virtual_outs, thread_outs] {
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
         }
     }
 }
@@ -204,14 +363,19 @@ fn dense_result_is_identical_across_algorithms_for_integer_values() {
     let p = 8;
     let dim = 2048;
     let mk = |rank: usize| {
-        let pairs: Vec<(u32, f32)> =
-            (0..64).map(|i| (((rank * 31 + i * 7) % dim) as u32, 1.0f32)).collect();
+        let pairs: Vec<(u32, f32)> = (0..64)
+            .map(|i| (((rank * 31 + i * 7) % dim) as u32, 1.0f32))
+            .collect();
         SparseStream::from_pairs(dim, &pairs).unwrap()
     };
     let mut reference: Option<Vec<f32>> = None;
     for algo in Algorithm::ALL {
-        let outs = run_cluster(p, CostModel::zero(), |ep| {
-            allreduce(ep, &mk(ep.rank()), algo, &AllreduceConfig::default()).unwrap()
+        let outs = run_communicators(p, CostModel::zero(), |comm| {
+            comm.allreduce(&mk(comm.rank()))
+                .algorithm(algo)
+                .launch()
+                .and_then(|handle| handle.wait())
+                .unwrap()
         });
         let dense = outs[0].to_dense_vec();
         match &reference {

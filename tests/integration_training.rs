@@ -39,7 +39,7 @@ fn linear_sgd_same_result_for_every_lossless_algorithm() {
         let cfg = SgdConfig {
             epochs: 2,
             batch_per_node: 32,
-            algorithm: Some(algo),
+            algorithm: algo,
             ..Default::default()
         };
         finals.push(train_distributed(&ds, 4, CostModel::zero(), &cfg).weights);
@@ -55,7 +55,11 @@ fn linear_sgd_same_result_for_every_lossless_algorithm() {
 fn linear_sgd_scales_across_node_counts() {
     let ds = url_like_small();
     for p in [1usize, 2, 5, 8] {
-        let cfg = SgdConfig { epochs: 2, batch_per_node: 16, ..Default::default() };
+        let cfg = SgdConfig {
+            epochs: 2,
+            batch_per_node: 16,
+            ..Default::default()
+        };
         let result = train_distributed(&ds, p, CostModel::aries(), &cfg);
         assert!(
             result.epochs.last().unwrap().accuracy > 0.75,
@@ -79,13 +83,19 @@ fn nn_quantized_topk_reaches_dense_level_accuracy() {
     let (_, dense) = train_mlp_distributed(&ds, &[64, 48, 8], 4, CostModel::zero(), &base);
     let quant_cfg = NnTrainConfig {
         compression: Compression::TopKQuant(
-            TopKConfig { k_per_bucket: 16, bucket_size: 512 },
+            TopKConfig {
+                k_per_bucket: 16,
+                bucket_size: 512,
+            },
             QsgdConfig::with_bits(4),
         ),
         ..base
     };
     let (_, quant) = train_mlp_distributed(&ds, &[64, 48, 8], 4, CostModel::zero(), &quant_cfg);
-    let (da, qa) = (dense.last().unwrap().accuracy, quant.last().unwrap().accuracy);
+    let (da, qa) = (
+        dense.last().unwrap().accuracy,
+        quant.last().unwrap().accuracy,
+    );
     assert!(qa > da - 0.1, "quantized {qa} vs dense {da}");
 }
 
@@ -96,7 +106,10 @@ fn lstm_topk_training_learns_sequences() {
         epochs: 10,
         lr: LrSchedule::Const(1.0),
         batch_per_node: 8,
-        compression: Compression::TopK(TopKConfig { k_per_bucket: 64, bucket_size: 512 }),
+        compression: Compression::TopK(TopKConfig {
+            k_per_bucket: 64,
+            bucket_size: 512,
+        }),
         ..Default::default()
     };
     let (_, stats) = train_lstm_distributed(&ds, 8, 16, 2, CostModel::zero(), &cfg);
@@ -118,7 +131,10 @@ fn scd_sparse_allgather_converges_and_saves_bytes() {
         ..Default::default()
     };
     let (_, sparse_stats) = train_scd(&ds, 4, CostModel::gige(), &cfg);
-    let dense_cfg = ScdConfig { exchange: ScdExchange::DenseAllgather, ..cfg };
+    let dense_cfg = ScdConfig {
+        exchange: ScdExchange::DenseAllgather,
+        ..cfg
+    };
     let (_, dense_stats) = train_scd(&ds, 4, CostModel::gige(), &dense_cfg);
     assert!(sparse_stats.last().unwrap().loss < 0.7);
     assert!(sparse_stats[0].bytes_sent < dense_stats[0].bytes_sent / 4);
@@ -133,7 +149,7 @@ fn gige_amplifies_sparse_speedup_over_aries() {
         let mk = |algo| SgdConfig {
             epochs: 1,
             batch_per_node: 16,
-            algorithm: Some(algo),
+            algorithm: algo,
             ..Default::default()
         };
         let dense = train_distributed(&ds, 4, cost, &mk(Algorithm::DenseRabenseifner));
@@ -151,7 +167,11 @@ fn gige_amplifies_sparse_speedup_over_aries() {
 #[test]
 fn training_time_includes_comm_and_compute() {
     let ds = url_like_small();
-    let cfg = SgdConfig { epochs: 1, batch_per_node: 32, ..Default::default() };
+    let cfg = SgdConfig {
+        epochs: 1,
+        batch_per_node: 32,
+        ..Default::default()
+    };
     let result = train_distributed(&ds, 4, CostModel::gige(), &cfg);
     let e = &result.epochs[0];
     assert!(e.comm_time > 0.0);

@@ -1,23 +1,34 @@
 //! Property-based tests of the sparse stream core invariants.
+//!
+//! Runs on the deterministic in-repo case generator (seeded `XorShift64`)
+//! instead of the `proptest` crate — the build environment has no
+//! registry access; failures reproduce by construction.
 
-use proptest::prelude::*;
 use sparcml::quant::{dequantize, quantize, NormKind, QsgdConfig};
 use sparcml::stream::{DensityPolicy, SparseStream, XorShift64};
 
-/// Strategy: a dimension plus a set of in-range (index, value) pairs.
-fn stream_inputs() -> impl Strategy<Value = (usize, Vec<(u32, f32)>)> {
-    (16usize..512).prop_flat_map(|dim| {
-        let pairs = proptest::collection::vec(
-            (0..dim as u32, -100.0f32..100.0),
-            0..(dim / 2).max(1),
-        );
-        (Just(dim), pairs)
-    })
+/// One randomized stream input: a dimension in 16..512 plus up to dim/2
+/// in-range (index, value) pairs.
+fn stream_inputs(rng: &mut XorShift64) -> (usize, Vec<(u32, f32)>) {
+    let dim = 16 + rng.next_below(496) as usize;
+    let nnz = rng.next_below(((dim / 2).max(1)) as u64) as usize;
+    let pairs = (0..nnz)
+        .map(|_| {
+            let idx = rng.next_below(dim as u64) as u32;
+            let val = (rng.next_gaussian() * 30.0) as f32;
+            (idx, val)
+        })
+        .collect();
+    (dim, pairs)
 }
 
-proptest! {
-    #[test]
-    fn from_pairs_preserves_logical_vector((dim, pairs) in stream_inputs()) {
+const CASES: usize = 48;
+
+#[test]
+fn from_pairs_preserves_logical_vector() {
+    let mut rng = XorShift64::new(1);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
         let s = SparseStream::from_pairs(dim, &pairs).unwrap();
         s.check_invariants().unwrap();
         let mut expect = vec![0.0f32; dim];
@@ -26,21 +37,25 @@ proptest! {
         }
         let got = s.to_dense_vec();
         for (g, e) in got.iter().zip(&expect) {
-            prop_assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()));
+            assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()));
         }
     }
+}
 
-    #[test]
-    fn sum_matches_dense_reference(
-        (dim, a) in stream_inputs(),
-        b_seed in 0u64..1000,
-        densify_a in any::<bool>(),
-        densify_b in any::<bool>(),
-    ) {
+#[test]
+fn sum_matches_dense_reference() {
+    let mut rng = XorShift64::new(2);
+    for case in 0..CASES {
+        let (dim, a) = stream_inputs(&mut rng);
+        let b_seed = rng.next_below(1000);
         let mut sa = SparseStream::from_pairs(dim, &a).unwrap();
         let mut sb = sparcml::stream::random_sparse::<f32>(dim, (dim / 4).max(1), b_seed);
-        if densify_a { sa.densify(); }
-        if densify_b { sb.densify(); }
+        if case % 2 == 0 {
+            sa.densify();
+        }
+        if case % 3 == 0 {
+            sb.densify();
+        }
         let mut expect = sa.to_dense_vec();
         for (i, v) in sb.iter_nonzero() {
             expect[i as usize] += v;
@@ -48,12 +63,17 @@ proptest! {
         sa.add_assign(&sb).unwrap();
         let got = sa.to_dense_vec();
         for (g, e) in got.iter().zip(&expect) {
-            prop_assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()), "{g} vs {e}");
+            assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()), "{g} vs {e}");
         }
     }
+}
 
-    #[test]
-    fn sum_switches_repr_only_past_delta((dim, a) in stream_inputs(), b_seed in 0u64..1000) {
+#[test]
+fn sum_switches_repr_only_past_delta() {
+    let mut rng = XorShift64::new(3);
+    for _ in 0..CASES {
+        let (dim, a) = stream_inputs(&mut rng);
+        let b_seed = rng.next_below(1000);
         let mut sa = SparseStream::from_pairs(dim, &a).unwrap();
         let sb = sparcml::stream::random_sparse::<f32>(dim, (dim / 8).max(1), b_seed);
         let policy = DensityPolicy::default();
@@ -61,24 +81,35 @@ proptest! {
         let stats = sa.add_assign_with(&sb, &policy).unwrap();
         let delta = policy.delta::<f32>(dim);
         if stats.switched_to_dense {
-            prop_assert!(pre_len > delta);
+            assert!(pre_len > delta);
         } else if sa.is_sparse() {
-            prop_assert!(pre_len <= delta);
+            assert!(pre_len <= delta);
         }
     }
+}
 
-    #[test]
-    fn encode_decode_round_trip((dim, pairs) in stream_inputs(), dense in any::<bool>()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = XorShift64::new(4);
+    for case in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
         let mut s = SparseStream::from_pairs(dim, &pairs).unwrap();
-        if dense { s.densify(); }
+        if case % 2 == 0 {
+            s.densify();
+        }
         let bytes = s.encode();
-        prop_assert_eq!(bytes.len(), s.encoded_len());
+        assert_eq!(bytes.len(), s.encoded_len());
         let back = SparseStream::<f32>::decode(&bytes).unwrap();
-        prop_assert_eq!(back, s);
+        assert_eq!(back, s);
     }
+}
 
-    #[test]
-    fn restrict_partition_concat_is_identity((dim, pairs) in stream_inputs(), parts in 1usize..8) {
+#[test]
+fn restrict_partition_concat_is_identity() {
+    let mut rng = XorShift64::new(5);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
+        let parts = 1 + rng.next_below(7) as usize;
         let s = SparseStream::from_pairs(dim, &pairs).unwrap();
         let restricted: Vec<SparseStream<f32>> = (0..parts)
             .map(|r| {
@@ -87,90 +118,117 @@ proptest! {
             })
             .collect();
         let joined = SparseStream::concat_disjoint(&restricted).unwrap();
-        prop_assert_eq!(joined.to_dense_vec(), s.to_dense_vec());
+        assert_eq!(joined.to_dense_vec(), s.to_dense_vec());
     }
+}
 
-    #[test]
-    fn wire_bytes_decide_repr_efficiency((dim, pairs) in stream_inputs()) {
+#[test]
+fn wire_bytes_decide_repr_efficiency() {
+    let mut rng = XorShift64::new(6);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
         let s = SparseStream::from_pairs(dim, &pairs).unwrap();
         let mut d = s.clone();
         d.densify();
         // The δ rule: sparse is smaller iff stored_len <= δ.
         let delta = sparcml::stream::delta_raw::<f32>(dim);
         if s.stored_len() <= delta {
-            prop_assert!(s.wire_bytes() <= d.wire_bytes());
+            assert!(s.wire_bytes() <= d.wire_bytes());
         } else {
-            prop_assert!(s.wire_bytes() >= d.wire_bytes());
+            assert!(s.wire_bytes() >= d.wire_bytes());
         }
     }
+}
 
-    #[test]
-    fn scale_is_linear((dim, pairs) in stream_inputs(), factor in -4.0f32..4.0) {
+#[test]
+fn scale_is_linear() {
+    let mut rng = XorShift64::new(7);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
+        let factor = (rng.next_gaussian() * 2.0) as f32;
         let mut s = SparseStream::from_pairs(dim, &pairs).unwrap();
         let before = s.to_dense_vec();
         s.scale(factor);
         for (a, b) in s.to_dense_vec().iter().zip(&before) {
-            prop_assert!((a - b * factor).abs() < 1e-3 * (1.0 + b.abs()));
+            assert!((a - b * factor).abs() < 1e-3 * (1.0 + b.abs()));
         }
     }
+}
 
-    #[test]
-    fn qsgd_error_bounded_and_sign_preserving(
-        values in proptest::collection::vec(-50.0f32..50.0, 1..300),
-        bits in prop_oneof![Just(2u8), Just(4u8), Just(8u8)],
-        seed in 0u64..500,
-    ) {
-        let cfg = QsgdConfig { bits, bucket_size: 64, norm: NormKind::MaxAbs };
+#[test]
+fn qsgd_error_bounded_and_sign_preserving() {
+    let mut rng = XorShift64::new(8);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(299) as usize;
+        let values: Vec<f32> = (0..len)
+            .map(|_| (rng.next_gaussian() * 15.0) as f32)
+            .collect();
+        let bits = [2u8, 4, 8][rng.next_below(3) as usize];
+        let seed = rng.next_below(500);
+        let cfg = QsgdConfig {
+            bits,
+            bucket_size: 64,
+            norm: NormKind::MaxAbs,
+        };
         let q = quantize(&values, &cfg, &mut XorShift64::new(seed));
         let back = dequantize(&q);
         let s = ((1u16 << (bits - 1)) - 1) as f32;
         for (i, (a, b)) in values.iter().zip(&back).enumerate() {
             let bucket = i / cfg.bucket_size;
             let bound = q.scales[bucket] / s + 1e-5;
-            prop_assert!((a - b).abs() <= bound, "i={i}: |{a}-{b}| > {bound}");
+            assert!((a - b).abs() <= bound, "i={i}: |{a}-{b}| > {bound}");
             if *b != 0.0 {
-                prop_assert_eq!(a.signum(), b.signum());
+                assert_eq!(a.signum(), b.signum());
             }
         }
     }
+}
 
-    #[test]
-    fn f64_streams_round_trip((dim, pairs) in stream_inputs()) {
+#[test]
+fn f64_streams_round_trip() {
+    let mut rng = XorShift64::new(9);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
         let pairs64: Vec<(u32, f64)> = pairs.iter().map(|&(i, v)| (i, v as f64)).collect();
         let s = SparseStream::from_pairs(dim, &pairs64).unwrap();
         let back = SparseStream::<f64>::decode(&s.encode()).unwrap();
-        prop_assert_eq!(back, s);
+        assert_eq!(back, s);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn topk_error_feedback_mass_conservation(
-        grads in proptest::collection::vec(
-            proptest::collection::vec(-10.0f32..10.0, 32),
-            1..10,
-        ),
-        k in 1usize..4,
-    ) {
-        use sparcml::opt::{ErrorFeedback, TopKConfig};
+#[test]
+fn topk_error_feedback_mass_conservation() {
+    use sparcml::opt::{ErrorFeedback, TopKConfig};
+    let mut rng = XorShift64::new(10);
+    for _ in 0..32 {
         let dim = 32;
-        let cfg = TopKConfig { k_per_bucket: k, bucket_size: 8 };
+        let rounds = 1 + rng.next_below(9) as usize;
+        let k = 1 + rng.next_below(3) as usize;
+        let cfg = TopKConfig {
+            k_per_bucket: k,
+            bucket_size: 8,
+        };
         let mut ef = ErrorFeedback::new(dim, cfg);
         let mut total = vec![0.0f32; dim];
         let mut sent = vec![0.0f32; dim];
-        for g in &grads {
-            for (t, gi) in total.iter_mut().zip(g) {
+        for _ in 0..rounds {
+            let g: Vec<f32> = (0..dim)
+                .map(|_| (rng.next_gaussian() * 3.0) as f32)
+                .collect();
+            for (t, gi) in total.iter_mut().zip(&g) {
                 *t += *gi;
             }
-            let s = ef.compress(g);
+            let s = ef.compress(&g);
             for (i, v) in s.iter_nonzero() {
                 sent[i as usize] += v;
             }
             for i in 0..dim {
                 let rec = sent[i] + ef.residual()[i];
-                prop_assert!((rec - total[i]).abs() < 1e-3, "coord {i}: {rec} vs {}", total[i]);
+                assert!(
+                    (rec - total[i]).abs() < 1e-3,
+                    "coord {i}: {rec} vs {}",
+                    total[i]
+                );
             }
         }
     }
