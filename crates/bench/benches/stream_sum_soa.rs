@@ -1,0 +1,87 @@
+//! Criterion: structure-of-arrays summation kernels — the slab merge,
+//! scatter and restrict paths the collectives are built on, plus an
+//! array-of-structs merge baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparcml_stream::{random_sparse, DensityPolicy};
+
+/// AoS merge baseline: interleaved pair lists merged entry by entry, the
+/// shape of the pre-SoA summation kernel.
+fn merge_aos(a: &[(u32, f32)], b: &[(u32, f32)]) -> Vec<(u32, f32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn bench_sum_soa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_sum_soa");
+    let dim = 1 << 22;
+    for nnz in [1usize << 10, 100_000, 1 << 18] {
+        let x = random_sparse::<f32>(dim, nnz, 1);
+        let y = random_sparse::<f32>(dim, nnz, 2);
+        let xa: Vec<(u32, f32)> = x.sparse_view().unwrap().iter().collect();
+        let ya: Vec<(u32, f32)> = y.sparse_view().unwrap().iter().collect();
+
+        group.bench_with_input(BenchmarkId::new("merge_aos_baseline", nnz), &nnz, |b, _| {
+            b.iter(|| merge_aos(&xa, &ya).len())
+        });
+        group.bench_with_input(BenchmarkId::new("merge_soa", nnz), &nnz, |b, _| {
+            b.iter(|| {
+                let mut acc = x.clone();
+                acc.add_assign_with(&y, &DensityPolicy::never_densify())
+                    .unwrap();
+                acc.stored_len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("restrict_view", nnz), &nnz, |b, _| {
+            b.iter(|| {
+                // 16-way split via borrowed views (the split-phase kernel).
+                let view = x.sparse_view().unwrap();
+                let mut total = 0usize;
+                for part in 0..16u32 {
+                    let lo = part * (dim as u32 / 16);
+                    let hi = lo + dim as u32 / 16;
+                    total += view.range(lo, hi).len();
+                }
+                total
+            })
+        });
+    }
+    group.bench_function("scatter_into_dense/100000", |b| {
+        let mut x = random_sparse::<f32>(dim, 100_000, 3);
+        x.densify();
+        let y = random_sparse::<f32>(dim, 100_000, 4);
+        b.iter(|| {
+            let mut acc = x.clone();
+            acc.add_assign(&y).unwrap();
+            acc.is_dense()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sum_soa
+}
+criterion_main!(benches);

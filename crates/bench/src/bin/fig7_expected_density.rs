@@ -1,7 +1,7 @@
 //! Figure 7 (Appendix B): expected size of the reduced result under a
 //! uniform non-zero index distribution, N = 512.
 //!
-//! Prints the multiplicative density growth E[K]/k for a grid of node
+//! Prints the multiplicative density growth E\[K\]/k for a grid of node
 //! counts P and per-node non-zero counts k — both the closed form
 //! `N·(1−(1−k/N)^P)` and a Monte-Carlo estimate from actual sampled
 //! supports, which must agree.

@@ -6,7 +6,7 @@
 //! (2) it overlaps well already; the 4x wide ResNet-18/34 gain ≈2x/1.85x,
 //! "due almost entirely to the reduced aggregation time on the last
 //! fully-connected layer". We reproduce both effects: the fill-in is
-//! measured with E[K], and the FC-dominated speedup emerges from the
+//! measured with E\[K\], and the FC-dominated speedup emerges from the
 //! layer-wise overlap model.
 
 use sparcml_bench::{fmt_time, header, print_row, BenchArgs};

@@ -13,9 +13,13 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable, contiguous byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+///
+/// Backed by an `Arc<Vec<u8>>` so that a uniquely owned, unsliced buffer
+/// can hand its allocation back out via `Vec::<u8>::from(bytes)` — the
+/// reclaim path buffer pools rely on, matching upstream `bytes`.
+#[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     lo: usize,
     hi: usize,
 }
@@ -70,7 +74,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let hi = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            data: Arc::new(v),
             lo: 0,
             hi,
         }
@@ -80,6 +84,34 @@ impl From<Vec<u8>> for Bytes {
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
         Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    /// Takes the bytes out as a `Vec<u8>`, reclaiming the allocation
+    /// without copying when this handle is the sole, unsliced owner
+    /// (upstream `bytes` has the same best-effort reclaim semantics).
+    fn from(b: Bytes) -> Vec<u8> {
+        let full = b.lo == 0 && b.hi == b.data.len();
+        match Arc::try_unwrap(b.data) {
+            Ok(v) if full => v,
+            Ok(v) => v[b.lo..b.hi].to_vec(),
+            Err(shared) => shared[b.lo..b.hi].to_vec(),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
@@ -279,5 +311,33 @@ mod tests {
         assert_eq!(b.slice(1..3).as_ref(), &[2, 3]);
         assert_eq!(b.len(), 4);
         assert_eq!(Bytes::from_static(b"ab").to_vec(), vec![b'a', b'b']);
+    }
+
+    #[test]
+    fn into_vec_reclaims_unique_allocation() {
+        let v = vec![7u8; 1024];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back: Vec<u8> = b.into();
+        assert_eq!(back.len(), 1024);
+        // Sole unsliced owner: the original allocation is handed back.
+        assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn into_vec_copies_when_shared_or_sliced() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let clone = b.clone();
+        let copied: Vec<u8> = b.into();
+        assert_eq!(copied, vec![1, 2, 3, 4]);
+        let sliced: Vec<u8> = clone.slice(1..3).into();
+        assert_eq!(sliced, vec![2, 3]);
+    }
+
+    #[test]
+    fn sliced_equality_compares_contents() {
+        let a = Bytes::from(vec![9u8, 1, 2, 9]).slice(1..3);
+        let b = Bytes::from(vec![1u8, 2]);
+        assert_eq!(a, b);
     }
 }

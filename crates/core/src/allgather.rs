@@ -10,7 +10,7 @@ use sparcml_net::Transport;
 use sparcml_stream::{Scalar, SparseStream};
 
 use crate::error::CollError;
-use crate::op::allgather_bytes;
+use crate::op::{allgather_bytes, BufferPool};
 
 /// Gathers every rank's sparse stream to every rank (streams returned in
 /// rank order). Latency `log2(P)·α` for power-of-two `P` (recursive
@@ -20,7 +20,10 @@ pub fn sparse_allgather<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
 ) -> Result<Vec<SparseStream<V>>, CollError> {
     let op_id = ep.next_op_id();
-    let blocks = allgather_bytes(ep, op_id, input.encode())?;
+    let mut pool = BufferPool::new();
+    let mut buf = pool.acquire();
+    input.encode_into(&mut buf);
+    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), &mut pool)?;
     blocks
         .iter()
         .map(|b| SparseStream::decode(b).map_err(CollError::from))
@@ -58,8 +61,10 @@ pub fn dense_allgather<T: Transport, V: Scalar>(
     block: &[V],
 ) -> Result<Vec<Vec<V>>, CollError> {
     let op_id = ep.next_op_id();
-    let mine = SparseStream::from_dense(block.to_vec()).encode();
-    let blocks = allgather_bytes(ep, op_id, mine)?;
+    let mut pool = BufferPool::new();
+    let mut buf = pool.acquire();
+    SparseStream::encode_dense_slice_into(block, &mut buf);
+    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), &mut pool)?;
     blocks
         .iter()
         .map(|b| {

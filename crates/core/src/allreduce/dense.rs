@@ -8,12 +8,16 @@ use sparcml_stream::{partition_range, Scalar, SparseStream};
 use crate::allreduce::AllreduceConfig;
 use crate::error::CollError;
 use crate::op::{
-    add_charged, exchange_stream, fold_to_pow2, pow2_below, subtag, tag, unfold_result, FoldRole,
+    add_charged, exchange_stream, fold_to_pow2, pow2_below, subtag, tag, unfold_result, BufferPool,
+    FoldRole,
 };
 
-/// Encodes a dense value block as a stream container (dim = block length).
-fn encode_block<V: Scalar>(values: &[V]) -> bytes::Bytes {
-    SparseStream::from_dense(values.to_vec()).encode()
+/// Encodes a dense value block as a stream container (dim = block length)
+/// into a pooled buffer — one bulk slab write, no intermediate stream.
+fn encode_block<V: Scalar>(values: &[V], pool: &mut BufferPool) -> bytes::Bytes {
+    let mut buf = pool.acquire();
+    SparseStream::encode_dense_slice_into(values, &mut buf);
+    bytes::Bytes::from(buf)
 }
 
 /// Decodes a dense value block, checking its length.
@@ -46,24 +50,31 @@ pub fn dense_recursive_double<T: Transport, V: Scalar>(
         return Ok(dense_input);
     }
     let op_id = ep.next_op_id();
-    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy)?;
+    let mut pool = BufferPool::new();
+    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy, &mut pool)?;
     let result = match role {
         FoldRole::Active(mut acc) => {
             let p2 = pow2_below(p);
             let rank = ep.rank();
             for t in 0..p2.trailing_zeros() as usize {
                 let peer = rank ^ (1 << t);
-                let theirs = exchange_stream(ep, peer, tag(op_id, subtag::ROUND + t as u64), &acc)?;
+                let theirs = exchange_stream(
+                    ep,
+                    peer,
+                    tag(op_id, subtag::ROUND + t as u64),
+                    &acc,
+                    &mut pool,
+                )?;
                 add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
             }
-            unfold_result(ep, op_id, Some(acc))?
+            unfold_result(ep, op_id, Some(acc), &mut pool)?
         }
-        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, &mut pool)?,
     };
     Ok(result)
 }
 
-/// Rabenseifner's allreduce [44]: recursive-halving reduce-scatter followed
+/// Rabenseifner's allreduce \[44\]: recursive-halving reduce-scatter followed
 /// by recursive-doubling allgather. `T = 2·log2(P)·α + 2·(P−1)/P·N·βd`,
 /// bandwidth-optimal for large dense vectors (§5.3.2).
 pub fn dense_rabenseifner<T: Transport, V: Scalar>(
@@ -82,7 +93,8 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
         return Ok(dense_input);
     }
     let op_id = ep.next_op_id();
-    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy)?;
+    let mut pool = BufferPool::new();
+    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy, &mut pool)?;
     let result = match role {
         FoldRole::Active(acc) => {
             let p2 = pow2_below(p);
@@ -106,10 +118,11 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
                 } else {
                     ((mid, hi), (lo, mid))
                 };
-                let payload = encode_block(&vals[send.0..send.1]);
+                let payload = encode_block(&vals[send.0..send.1], &mut pool);
                 ep.send(peer, tag(op_id, subtag::ROUND + t as u64), payload)?;
                 let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + t as u64))?;
                 let theirs: Vec<V> = decode_block(&incoming, keep.1 - keep.0)?;
+                pool.recycle(incoming);
                 for (slot, v) in vals[keep.0..keep.1].iter_mut().zip(theirs) {
                     *slot = slot.add(v);
                 }
@@ -124,7 +137,7 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
                 let dist = p2 >> (t + 1);
                 let peer = rank ^ dist;
                 let (combined_lo, combined_hi) = range_stack.pop().expect("one range per round");
-                let payload = encode_block(&vals[lo..hi]);
+                let payload = encode_block(&vals[lo..hi], &mut pool);
                 ep.send(peer, tag(op_id, subtag::ROUND + 32 + t as u64), payload)?;
                 let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + 32 + t as u64))?;
                 let (their_lo, their_hi) = if lo == combined_lo {
@@ -133,14 +146,15 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
                     (combined_lo, lo)
                 };
                 let theirs: Vec<V> = decode_block(&incoming, their_hi - their_lo)?;
+                pool.recycle(incoming);
                 vals[their_lo..their_hi].copy_from_slice(&theirs);
                 lo = combined_lo;
                 hi = combined_hi;
             }
             debug_assert_eq!((lo, hi), (0, dim));
-            unfold_result(ep, op_id, Some(SparseStream::from_dense(vals)))?
+            unfold_result(ep, op_id, Some(SparseStream::from_dense(vals)), &mut pool)?
         }
-        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, &mut pool)?,
     };
     Ok(result)
 }
@@ -148,7 +162,7 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
 /// Ring allreduce: `P−1` reduce-scatter steps plus `P−1` allgather steps on
 /// `N/P`-sized partitions. `T = 2·(P−1)·(α + (N/P)·βd)`. Bandwidth-optimal,
 /// latency-heavy at scale — "on a fast network and relatively small number
-/// of nodes, the ring-based algorithm is faster th[a]n all other
+/// of nodes, the ring-based algorithm is faster th\[a\]n all other
 /// algorithms, but does not give any speedup at high number of nodes" (§8.1).
 pub fn dense_ring<T: Transport, V: Scalar>(
     ep: &mut T,
@@ -167,6 +181,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         return Ok(dense_input);
     }
     let op_id = ep.next_op_id();
+    let mut pool = BufferPool::new();
     let rank = ep.rank();
     let next = (rank + 1) % p;
     let prev = (rank + p - 1) % p;
@@ -178,7 +193,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + p - step) % p;
         let recv_idx = (rank + p - step - 1) % p;
         let sr = range(send_idx);
-        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize]);
+        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize], &mut pool);
         ep.send(
             next,
             tag(op_id, subtag::RING + ((step as u64) << 8)),
@@ -187,6 +202,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         let incoming = ep.recv(prev, tag(op_id, subtag::RING + ((step as u64) << 8)))?;
         let rr = range(recv_idx);
         let theirs: Vec<V> = decode_block(&incoming, rr.len())?;
+        pool.recycle(incoming);
         for (slot, v) in vals[rr.lo as usize..rr.hi as usize].iter_mut().zip(theirs) {
             *slot = slot.add(v);
         }
@@ -197,7 +213,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + 1 + p - step) % p;
         let recv_idx = (rank + p - step) % p;
         let sr = range(send_idx);
-        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize]);
+        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize], &mut pool);
         ep.send(
             next,
             tag(op_id, subtag::RING + 1 + ((step as u64) << 8)),
@@ -206,6 +222,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         let incoming = ep.recv(prev, tag(op_id, subtag::RING + 1 + ((step as u64) << 8)))?;
         let rr = range(recv_idx);
         let theirs: Vec<V> = decode_block(&incoming, rr.len())?;
+        pool.recycle(incoming);
         vals[rr.lo as usize..rr.hi as usize].copy_from_slice(&theirs);
     }
     Ok(SparseStream::from_dense(vals))

@@ -19,7 +19,7 @@ use sparcml_stream::{partition_range, Scalar, SparseStream, XorShift64};
 
 use crate::allreduce::AllreduceConfig;
 use crate::error::CollError;
-use crate::op::{allgather_bytes, recv_stream, send_stream, subtag, tag};
+use crate::op::{allgather_bytes, recv_stream, send_stream_range, subtag, tag, BufferPool};
 
 /// Sparse split + dense (optionally quantized) allgather allreduce.
 /// Always returns a dense stream. Works for any `P ≥ 1`.
@@ -37,18 +37,20 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
     }
     let op_id = ep.next_op_id();
     let rank = ep.rank();
+    let mut pool = BufferPool::new();
 
     // --- Split phase: scatter sub-ranges, reduce own partition densely. ---
     for step in 1..p {
         let dst = (rank + step) % p;
         let range = partition_range(dim, p, dst);
-        let part = input.restrict(range.lo, range.hi);
-        send_stream(
+        send_stream_range(
             ep,
             dst,
             tag(op_id, subtag::SPLIT),
-            &part,
+            input,
+            range,
             cfg.blocking_split_sends,
+            &mut pool,
         )?;
     }
     let my_range = partition_range(dim, p, rank);
@@ -69,25 +71,28 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
         if src == rank {
             continue;
         }
-        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT))?;
+        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT), &mut pool)?;
         scatter(ep, &part, &mut block);
     }
 
     // --- Dense allgather phase, optionally quantized. ---
+    let mut buf = pool.acquire();
     let payload: Bytes = match &cfg.quant {
         None => {
-            // Raw partition block: a dense stream container of the block.
-            SparseStream::from_dense(block).encode()
+            // Raw partition block, encoded straight from the slab.
+            SparseStream::encode_dense_slice_into(&block, &mut buf);
+            Bytes::from(buf)
         }
         Some(qcfg) => {
             let values: Vec<f32> = block.iter().map(|v| v.to_f64() as f32).collect();
             let mut rng = XorShift64::new(cfg.quant_seed.wrapping_add(rank as u64));
             let q = quantize(&values, qcfg, &mut rng);
             ep.compute(block_len); // quantization pass
-            q.encode()
+            q.encode_into(&mut buf);
+            Bytes::from(buf)
         }
     };
-    let blocks = allgather_bytes(ep, op_id, payload)?;
+    let blocks = allgather_bytes(ep, op_id, payload, &mut pool)?;
 
     // --- Assemble the full dense result. ---
     let mut out = vec![V::zero(); dim];

@@ -136,7 +136,8 @@ fn resolve_auto<T: Transport, V: Scalar>(
     let mut k = input.stored_len().max(1) as u64;
     if p > 1 {
         let op_id = ep.next_op_id();
-        let blocks = allgather_bytes(ep, op_id, Bytes::from(k.to_le_bytes().to_vec()))?;
+        let mut pool = crate::op::BufferPool::new();
+        let blocks = allgather_bytes(ep, op_id, Bytes::from(k.to_le_bytes().to_vec()), &mut pool)?;
         for block in blocks {
             let bytes: [u8; 8] = block
                 .as_ref()
@@ -153,8 +154,7 @@ fn resolve_auto<T: Transport, V: Scalar>(
     ))
 }
 
-/// Internal dispatcher shared by the [`crate::Communicator`] builders and
-/// the deprecated free-function shims.
+/// Internal dispatcher behind the [`crate::Communicator`] builders.
 pub(crate) fn dispatch<T: Transport, V: Scalar>(
     ep: &mut T,
     input: &SparseStream<V>,
@@ -176,19 +176,4 @@ pub(crate) fn dispatch<T: Transport, V: Scalar>(
         Algorithm::DenseRing => dense_ring(ep, input, cfg),
         Algorithm::SparseRing => sparse_ring(ep, input, cfg),
     }
-}
-
-/// Runs the selected allreduce `algo` over `input`, returning the global
-/// element-wise sum (present at every rank on return).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the Communicator session API: `comm.allreduce(&input).algorithm(algo).launch()?.wait()`"
-)]
-pub fn allreduce<T: Transport, V: Scalar>(
-    ep: &mut T,
-    input: &SparseStream<V>,
-    algo: Algorithm,
-    cfg: &AllreduceConfig,
-) -> Result<SparseStream<V>, CollError> {
-    dispatch(ep, input, algo, cfg)
 }

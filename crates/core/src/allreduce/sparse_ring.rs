@@ -11,7 +11,7 @@ use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
 use crate::error::CollError;
-use crate::op::{add_charged, recv_stream, send_stream, subtag, tag};
+use crate::op::{add_charged, recv_stream, send_stream, subtag, tag, BufferPool};
 
 /// Sparse ring allreduce. Works for any `P ≥ 1`.
 pub fn sparse_ring<T: Transport, V: Scalar>(
@@ -24,6 +24,7 @@ pub fn sparse_ring<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
+    let mut pool = BufferPool::new();
     let rank = ep.rank();
     let dim = input.dim();
     let next = (rank + 1) % p;
@@ -43,8 +44,8 @@ pub fn sparse_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + p - step) % p;
         let recv_idx = (rank + p - step - 1) % p;
         let t = tag(op_id, subtag::RING + ((step as u64) << 8));
-        send_stream(ep, next, t, &parts[send_idx], true)?;
-        let incoming = recv_stream::<_, V>(ep, prev, t)?;
+        send_stream(ep, next, t, &parts[send_idx], true, &mut pool)?;
+        let incoming = recv_stream::<_, V>(ep, prev, t, &mut pool)?;
         let acc = &mut parts[recv_idx];
         add_charged(ep, acc, &incoming, &cfg.policy)?;
     }
@@ -59,8 +60,8 @@ pub fn sparse_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + 1 + p - step) % p;
         let recv_idx = (rank + p - step) % p;
         let t = tag(op_id, subtag::RING + 1 + ((step as u64) << 8));
-        send_stream(ep, next, t, &parts[send_idx], true)?;
-        parts[recv_idx] = recv_stream::<_, V>(ep, prev, t)?;
+        send_stream(ep, next, t, &parts[send_idx], true, &mut pool)?;
+        parts[recv_idx] = recv_stream::<_, V>(ep, prev, t, &mut pool)?;
     }
     let result = SparseStream::concat_disjoint(&parts)?;
     ep.compute(result.stored_len());

@@ -16,7 +16,8 @@ use sparcml_stream::{Scalar, SparseStream};
 use crate::allreduce::AllreduceConfig;
 use crate::error::CollError;
 use crate::op::{
-    add_charged, exchange_stream, fold_to_pow2, pow2_below, subtag, tag, unfold_result, FoldRole,
+    add_charged, exchange_stream, fold_to_pow2, pow2_below, subtag, tag, unfold_result, BufferPool,
+    FoldRole,
 };
 
 /// Sparse recursive-doubling allreduce. Handles any `P ≥ 1` via the §A
@@ -31,7 +32,8 @@ pub fn ssar_recursive_double<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let role = fold_to_pow2(ep, op_id, input, &cfg.policy)?;
+    let mut pool = BufferPool::new();
+    let role = fold_to_pow2(ep, op_id, input, &cfg.policy, &mut pool)?;
     let result = match role {
         FoldRole::Active(mut acc) => {
             let p2 = pow2_below(p);
@@ -39,12 +41,18 @@ pub fn ssar_recursive_double<T: Transport, V: Scalar>(
             let rank = ep.rank();
             for t in 0..rounds {
                 let peer = rank ^ (1 << t);
-                let theirs = exchange_stream(ep, peer, tag(op_id, subtag::ROUND + t as u64), &acc)?;
+                let theirs = exchange_stream(
+                    ep,
+                    peer,
+                    tag(op_id, subtag::ROUND + t as u64),
+                    &acc,
+                    &mut pool,
+                )?;
                 add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
             }
-            unfold_result(ep, op_id, Some(acc))?
+            unfold_result(ep, op_id, Some(acc), &mut pool)?
         }
-        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, &mut pool)?,
     };
     Ok(result)
 }

@@ -17,16 +17,21 @@ use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
 use crate::error::CollError;
-use crate::op::{add_charged, allgather_bytes, recv_stream, send_stream, subtag, tag};
+use crate::op::{
+    add_charged, allgather_bytes, recv_stream, send_stream_range, subtag, tag, BufferPool,
+};
 
 /// Runs the split phase: scatter sub-ranges to their owners and reduce the
 /// local partition. Returns this rank's fully reduced partition (support
-/// restricted to its range, logical dimension preserved).
+/// restricted to its range, logical dimension preserved). Each sub-range
+/// frame is encoded straight from a borrowed slab view into a pooled
+/// buffer — no intermediate stream, no per-message allocation.
 pub(crate) fn split_reduce_partition<T: Transport, V: Scalar>(
     ep: &mut T,
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
     op_id: u64,
+    pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     let rank = ep.rank();
@@ -36,13 +41,14 @@ pub(crate) fn split_reduce_partition<T: Transport, V: Scalar>(
     for step in 1..p {
         let dst = (rank + step) % p;
         let range = partition_range(dim, p, dst);
-        let part = input.restrict(range.lo, range.hi);
-        send_stream(
+        send_stream_range(
             ep,
             dst,
             tag(op_id, subtag::SPLIT),
-            &part,
+            input,
+            range,
             cfg.blocking_split_sends,
+            pool,
         )?;
     }
     let my_range = partition_range(dim, p, rank);
@@ -53,7 +59,7 @@ pub(crate) fn split_reduce_partition<T: Transport, V: Scalar>(
         if src == rank {
             continue;
         }
-        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT))?;
+        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT), pool)?;
         add_charged(ep, &mut acc, &part, &cfg.policy)?;
     }
     Ok(acc)
@@ -70,7 +76,8 @@ pub fn ssar_split_allgather<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut mine = split_reduce_partition(ep, input, cfg, op_id)?;
+    let mut pool = BufferPool::new();
+    let mut mine = split_reduce_partition(ep, input, cfg, op_id, &mut pool)?;
     // The partition result must be sparse for the concatenating allgather;
     // if fill-in forced it dense (the caller should have chosen DSAR), we
     // convert back, paying the scan.
@@ -78,7 +85,9 @@ pub fn ssar_split_allgather<T: Transport, V: Scalar>(
         ep.compute(mine.dim());
         mine.sparsify();
     }
-    let blocks = allgather_bytes(ep, op_id, mine.encode())?;
+    let mut buf = pool.acquire();
+    mine.encode_into(&mut buf);
+    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), &mut pool)?;
     let parts: Vec<SparseStream<V>> = blocks
         .iter()
         .map(|b| SparseStream::decode(b))

@@ -46,8 +46,12 @@
 //! assert_eq!(results[0].get(999_999), 2.0);
 //! ```
 //!
-//! The seed's free functions ([`allreduce`], [`iallreduce`]) remain as
-//! thin deprecated shims for one release.
+//! Internally every collective routes its O(P) message frames through a
+//! per-call [`BufferPool`], so encode and receive buffers are reused
+//! across the rounds of one collective instead of allocated per message.
+//!
+//! The 0.1 free-function shims (`allreduce`, `iallreduce`) were removed
+//! in 0.3 after one deprecation release; use the [`Communicator`] builders.
 
 #![warn(missing_docs)]
 
@@ -64,8 +68,6 @@ mod selector;
 pub mod theory;
 
 pub use allgather::{dense_allgather, sparse_allgather, sparse_allgather_sum};
-#[allow(deprecated)]
-pub use allreduce::allreduce;
 pub use allreduce::{
     dense_rabenseifner, dense_recursive_double, dense_ring, dsar_split_allgather, sparse_ring,
     ssar_recursive_double, ssar_split_allgather, Algorithm, AllreduceConfig,
@@ -75,9 +77,8 @@ pub use communicator::{
     Allreduce, Broadcast, CollectiveHandle, Communicator, DenseAllgather, Reduce, ReduceScatter,
 };
 pub use error::CollError;
-#[allow(deprecated)]
-pub use nonblocking::iallreduce;
 pub use nonblocking::Request;
+pub use op::BufferPool;
 pub use rooted::{
     allreduce_via_reduce_bcast, my_partition, sparse_broadcast, sparse_reduce,
     sparse_reduce_scatter,

@@ -16,9 +16,7 @@
 use std::thread::JoinHandle;
 
 use sparcml_net::Transport;
-use sparcml_stream::{Scalar, SparseStream};
 
-use crate::allreduce::{dispatch, Algorithm, AllreduceConfig};
 use crate::error::CollError;
 
 /// Handle to an in-flight non-blocking collective on transport `T`
@@ -83,32 +81,14 @@ impl<T: Transport + Send + 'static, R: Send + 'static> Request<T, R> {
     }
 }
 
-/// Non-blocking allreduce: takes the transport by value, returns a
-/// [`Request`] resolving to the reduced stream.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the Communicator session API: `comm.allreduce(&input).nonblocking().launch()`"
-)]
-pub fn iallreduce<T, V>(
-    transport: T,
-    input: SparseStream<V>,
-    algo: Algorithm,
-    cfg: AllreduceConfig,
-) -> Request<T, SparseStream<V>>
-where
-    T: Transport + Send + 'static,
-    V: Scalar,
-{
-    Request::spawn(transport, move |ep| dispatch(ep, &input, algo, &cfg))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allreduce::{dispatch, Algorithm, AllreduceConfig};
     use crate::communicator::{run_communicators, Communicator};
     use crate::reference::reference_sum;
     use sparcml_net::{run_cluster, CostModel, Endpoint};
-    use sparcml_stream::random_sparse;
+    use sparcml_stream::{random_sparse, SparseStream};
 
     #[test]
     fn nonblocking_matches_blocking_result() {
@@ -182,7 +162,8 @@ mod tests {
 
     #[test]
     fn raw_request_hand_off_still_works() {
-        // The deprecated detach/Request path kept for one release.
+        // Direct transport hand-off via Request::spawn, for callers that
+        // manage transports themselves instead of using a Communicator.
         let p = 4;
         let ins: Vec<SparseStream<f32>> = (0..p)
             .map(|r| random_sparse(1024, 32, 900 + r as u64))
@@ -190,13 +171,14 @@ mod tests {
         let expect = reference_sum(&ins);
         let outs = run_cluster(p, CostModel::zero(), |ep| {
             let input = ins[Endpoint::rank(ep)].clone();
-            #[allow(deprecated)]
-            let req = iallreduce(
-                Transport::detach(ep),
-                input,
-                Algorithm::SsarRecDbl,
-                AllreduceConfig::default(),
-            );
+            let req = Request::spawn(Transport::detach(ep), move |t| {
+                dispatch(
+                    t,
+                    &input,
+                    Algorithm::SsarRecDbl,
+                    &AllreduceConfig::default(),
+                )
+            });
             let (ep_back, result) = req.wait().unwrap();
             *ep = ep_back;
             result

@@ -1,5 +1,6 @@
-//! Shared plumbing for collective implementations: stream transfer over
-//! endpoints, tag derivation, and the power-of-two fold of §A.
+//! Shared plumbing for collective implementations: reusable buffer pools,
+//! stream transfer over endpoints, tag derivation, and the power-of-two
+//! fold of §A.
 
 use bytes::Bytes;
 use sparcml_net::Transport;
@@ -23,15 +24,89 @@ pub(crate) fn tag(op_id: u64, sub: u64) -> u64 {
     (op_id << 16) | sub
 }
 
-/// Sends a stream, blocking (full α charge) or non-blocking.
+/// Upper bound on buffers a pool retains; beyond this, released buffers
+/// are simply dropped. One collective round holds at most a handful of
+/// frames in flight, so a small cap bounds memory without hurting reuse.
+const MAX_POOLED: usize = 16;
+
+/// A pool of reusable encode/receive byte buffers.
+///
+/// Every collective allocates one pool per call and routes the O(P)
+/// message frames of its schedule through it, so the steady state of a
+/// collective allocates nothing per message:
+///
+/// 1. [`BufferPool::acquire`] hands out a cleared `Vec<u8>` (retaining the
+///    capacity of whatever frame previously used it);
+/// 2. the frame is encoded into it and converted to [`Bytes`] for the
+///    transport **without copying** (`Bytes::from(Vec<u8>)`);
+/// 3. received frames are decoded and their allocation reclaimed via
+///    [`BufferPool::recycle`] — `Vec::<u8>::from(Bytes)` hands the
+///    allocation back when the receiver is the sole owner (the common
+///    case for point-to-point frames) and copies otherwise.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    acquires: u64,
+    reuses: u64,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Hands out a cleared buffer, reusing a pooled allocation when one is
+    /// available.
+    pub fn acquire(&mut self) -> Vec<u8> {
+        self.acquires += 1;
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reuses += 1;
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer's allocation to the pool.
+    pub fn release(&mut self, buf: Vec<u8>) {
+        if self.free.len() < MAX_POOLED && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Reclaims a received frame's allocation for reuse. Zero-copy when
+    /// this handle is the frame's sole owner, a copy otherwise (either
+    /// way, subsequent [`BufferPool::acquire`] calls stop allocating).
+    pub fn recycle(&mut self, payload: Bytes) {
+        self.release(Vec::from(payload));
+    }
+
+    /// Fraction of acquires served from the pool (observability/tests).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.acquires as f64
+        }
+    }
+}
+
+/// Encodes `stream` into a pooled buffer and sends it, blocking (full α
+/// charge) or non-blocking.
 pub(crate) fn send_stream<T: Transport, V: Scalar>(
     ep: &mut T,
     dst: usize,
     t: u64,
     stream: &SparseStream<V>,
     blocking: bool,
+    pool: &mut BufferPool,
 ) -> Result<(), CollError> {
-    let payload = stream.encode();
+    let mut buf = pool.acquire();
+    stream.encode_into(&mut buf);
+    let payload = Bytes::from(buf);
     if blocking {
         ep.send(dst, t, payload)?;
     } else {
@@ -40,14 +115,49 @@ pub(crate) fn send_stream<T: Transport, V: Scalar>(
     Ok(())
 }
 
-/// Receives and decodes a stream from `src`.
+/// Encodes the index range of `stream` straight onto the wire — for
+/// sparse streams this borrows the slab sub-range with no intermediate
+/// stream — and sends it. The workhorse of the split phases.
+pub(crate) fn send_stream_range<T: Transport, V: Scalar>(
+    ep: &mut T,
+    dst: usize,
+    t: u64,
+    stream: &SparseStream<V>,
+    range: sparcml_stream::PartRange,
+    blocking: bool,
+    pool: &mut BufferPool,
+) -> Result<(), CollError> {
+    let mut buf = pool.acquire();
+    match stream.sparse_view() {
+        Some(view) => {
+            SparseStream::encode_sparse_slice_into(
+                stream.dim(),
+                view.range(range.lo, range.hi),
+                &mut buf,
+            );
+        }
+        None => stream.restrict(range.lo, range.hi).encode_into(&mut buf),
+    }
+    let payload = Bytes::from(buf);
+    if blocking {
+        ep.send(dst, t, payload)?;
+    } else {
+        ep.isend(dst, t, payload)?;
+    }
+    Ok(())
+}
+
+/// Receives and decodes a stream from `src`, recycling the frame buffer.
 pub(crate) fn recv_stream<T: Transport, V: Scalar>(
     ep: &mut T,
     src: usize,
     t: u64,
+    pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
     let payload = ep.recv(src, t)?;
-    Ok(SparseStream::decode(&payload)?)
+    let stream = SparseStream::decode(&payload)?;
+    pool.recycle(payload);
+    Ok(stream)
 }
 
 /// Simultaneous stream exchange with `peer` (send, then receive).
@@ -56,9 +166,10 @@ pub(crate) fn exchange_stream<T: Transport, V: Scalar>(
     peer: usize,
     t: u64,
     stream: &SparseStream<V>,
+    pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
-    send_stream(ep, peer, t, stream, true)?;
-    recv_stream(ep, peer, t)
+    send_stream(ep, peer, t, stream, true, pool)?;
+    recv_stream(ep, peer, t, pool)
 }
 
 /// Adds `other` into `acc`, charging the endpoint for the reduction work.
@@ -97,18 +208,19 @@ pub(crate) fn fold_to_pow2<T: Transport, V: Scalar>(
     op_id: u64,
     input: &SparseStream<V>,
     policy: &DensityPolicy,
+    pool: &mut BufferPool,
 ) -> Result<FoldRole<V>, CollError> {
     let p = ep.size();
     let p2 = pow2_below(p);
     let rank = ep.rank();
     if rank >= p2 {
         let partner = rank - p2;
-        send_stream(ep, partner, tag(op_id, subtag::FOLD), input, true)?;
+        send_stream(ep, partner, tag(op_id, subtag::FOLD), input, true, pool)?;
         return Ok(FoldRole::Parked);
     }
     let mut acc = input.clone();
     if rank + p2 < p {
-        let extra = recv_stream::<_, V>(ep, rank + p2, tag(op_id, subtag::FOLD))?;
+        let extra = recv_stream::<_, V>(ep, rank + p2, tag(op_id, subtag::FOLD), pool)?;
         add_charged(ep, &mut acc, &extra, policy)?;
     }
     Ok(FoldRole::Active(acc))
@@ -120,6 +232,7 @@ pub(crate) fn unfold_result<T: Transport, V: Scalar>(
     ep: &mut T,
     op_id: u64,
     role_result: Option<SparseStream<V>>,
+    pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     let p2 = pow2_below(p);
@@ -127,21 +240,31 @@ pub(crate) fn unfold_result<T: Transport, V: Scalar>(
     match role_result {
         Some(result) => {
             if rank + p2 < p {
-                send_stream(ep, rank + p2, tag(op_id, subtag::UNFOLD), &result, true)?;
+                send_stream(
+                    ep,
+                    rank + p2,
+                    tag(op_id, subtag::UNFOLD),
+                    &result,
+                    true,
+                    pool,
+                )?;
             }
             Ok(result)
         }
-        None => recv_stream(ep, rank - p2, tag(op_id, subtag::UNFOLD)),
+        None => recv_stream(ep, rank - p2, tag(op_id, subtag::UNFOLD), pool),
     }
 }
 
 /// Generic recursive-doubling / ring byte-block allgather. Returns all `P`
 /// blocks indexed by rank. Uses recursive doubling when `P` is a power of
-/// two (latency `log2(P)·α`), a ring otherwise (`(P−1)` rounds).
+/// two (latency `log2(P)·α`), a ring otherwise (`(P−1)` rounds). Group
+/// frames are staged in pooled buffers; incoming blocks are zero-copy
+/// slices of the received frame.
 pub(crate) fn allgather_bytes<T: Transport>(
     ep: &mut T,
     op_id: u64,
     mine: Bytes,
+    pool: &mut BufferPool,
 ) -> Result<Vec<Bytes>, CollError> {
     let p = ep.size();
     let rank = ep.rank();
@@ -158,7 +281,7 @@ pub(crate) fn allgather_bytes<T: Transport>(
             let peer = rank ^ (1 << t);
             let group = 1usize << t;
             let base = (rank >> t) << t; // start of my current group
-            let payload = encode_block_group(&blocks, base, group);
+            let payload = encode_block_group(&blocks, base, group, pool);
             ep.send(peer, tag(op_id, subtag::ROUND + t as u64), payload)?;
             let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + t as u64))?;
             decode_block_group(&incoming, &mut blocks)?;
@@ -169,7 +292,7 @@ pub(crate) fn allgather_bytes<T: Transport>(
         let prev = (rank + p - 1) % p;
         let mut carry_rank = rank;
         for t in 0..p - 1 {
-            let payload = encode_block_group(&blocks, carry_rank, 1);
+            let payload = encode_block_group(&blocks, carry_rank, 1, pool);
             ep.send(next, tag(op_id, subtag::ROUND + t as u64), payload)?;
             let incoming = ep.recv(prev, tag(op_id, subtag::ROUND + t as u64))?;
             decode_block_group(&incoming, &mut blocks)?;
@@ -184,29 +307,35 @@ pub(crate) fn allgather_bytes<T: Transport>(
 }
 
 /// Encodes `count` consecutive blocks starting at `base` as
-/// `[u32 base][u32 count]([u64 len][bytes])*`.
-fn encode_block_group(blocks: &[Option<Bytes>], base: usize, count: usize) -> Bytes {
-    use bytes::BufMut;
+/// `[u32 base][u32 count]([u64 len][bytes])*` into a pooled buffer.
+fn encode_block_group(
+    blocks: &[Option<Bytes>],
+    base: usize,
+    count: usize,
+    pool: &mut BufferPool,
+) -> Bytes {
     let group = &blocks[base..base + count];
     let mut size = 8;
     for b in group {
         size += 8 + b.as_ref().map_or(0, |b| b.len());
     }
-    let mut buf = bytes::BytesMut::with_capacity(size);
-    buf.put_u32_le(base as u32);
-    buf.put_u32_le(count as u32);
+    let mut buf = pool.acquire();
+    buf.reserve(size);
+    buf.extend_from_slice(&(base as u32).to_le_bytes());
+    buf.extend_from_slice(&(count as u32).to_le_bytes());
     for b in group {
         let b = b.as_ref().expect("group block present");
-        buf.put_u64_le(b.len() as u64);
-        buf.put_slice(b);
+        buf.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        buf.extend_from_slice(b);
     }
-    buf.freeze()
+    Bytes::from(buf)
 }
 
-/// Inverse of [`encode_block_group`], installing blocks into `blocks`.
-fn decode_block_group(payload: &[u8], blocks: &mut [Option<Bytes>]) -> Result<(), CollError> {
+/// Inverse of [`encode_block_group`], installing blocks into `blocks` as
+/// zero-copy slices of the received frame.
+fn decode_block_group(payload: &Bytes, blocks: &mut [Option<Bytes>]) -> Result<(), CollError> {
     use bytes::Buf;
-    let mut buf = payload;
+    let mut buf: &[u8] = payload;
     if buf.remaining() < 8 {
         return Err(CollError::Invalid("block group header truncated".into()));
     }
@@ -223,7 +352,9 @@ fn decode_block_group(payload: &[u8], blocks: &mut [Option<Bytes>]) -> Result<()
         if r >= blocks.len() {
             return Err(CollError::Invalid("block rank out of range".into()));
         }
-        blocks[r] = Some(Bytes::copy_from_slice(&buf[..len]));
+        // Current position within the frame, derived from the one cursor.
+        let offset = payload.len() - buf.remaining();
+        blocks[r] = Some(payload.slice(offset..offset + len));
         buf.advance(len);
     }
     Ok(())
@@ -244,11 +375,47 @@ mod tests {
     }
 
     #[test]
+    fn buffer_pool_reuses_capacity() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.acquire();
+        buf.extend_from_slice(&[0u8; 4096]);
+        let ptr = buf.as_ptr();
+        pool.release(buf);
+        let buf = pool.acquire();
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_ptr(), ptr, "same allocation handed back");
+        assert!(pool.reuse_rate() > 0.0);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_unique_bytes_without_copy() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.acquire();
+        buf.extend_from_slice(&[7u8; 1024]);
+        let ptr = buf.as_ptr();
+        let payload = Bytes::from(buf);
+        // Receiver-side: sole owner of the frame.
+        pool.recycle(payload);
+        let back = pool.acquire();
+        assert_eq!(back.as_ptr(), ptr, "frame allocation reclaimed");
+    }
+
+    #[test]
+    fn buffer_pool_bounds_retained_buffers() {
+        let mut pool = BufferPool::new();
+        for _ in 0..100 {
+            pool.release(vec![0u8; 16]);
+        }
+        assert!(pool.free.len() <= MAX_POOLED);
+    }
+
+    #[test]
     fn allgather_bytes_power_of_two() {
         let out = run_cluster(8, CostModel::zero(), |ep| {
             let op = ep.next_op_id();
+            let mut pool = BufferPool::new();
             let mine = Bytes::from(vec![ep.rank() as u8; ep.rank() + 1]);
-            allgather_bytes(ep, op, mine).unwrap()
+            allgather_bytes(ep, op, mine, &mut pool).unwrap()
         });
         for blocks in &out {
             for (r, b) in blocks.iter().enumerate() {
@@ -262,8 +429,9 @@ mod tests {
     fn allgather_bytes_ring_fallback() {
         let out = run_cluster(6, CostModel::zero(), |ep| {
             let op = ep.next_op_id();
+            let mut pool = BufferPool::new();
             let mine = Bytes::from(vec![ep.rank() as u8; 3]);
-            allgather_bytes(ep, op, mine).unwrap()
+            allgather_bytes(ep, op, mine, &mut pool).unwrap()
         });
         for blocks in &out {
             for (r, b) in blocks.iter().enumerate() {
@@ -279,11 +447,12 @@ mod tests {
             let op = ep.next_op_id();
             let input = SparseStream::from_pairs(64, &[(ep.rank() as u32, 1.0f32)]).unwrap();
             let policy = DensityPolicy::default();
-            let role = fold_to_pow2(ep, op, &input, &policy).unwrap();
+            let mut pool = BufferPool::new();
+            let role = fold_to_pow2(ep, op, &input, &policy, &mut pool).unwrap();
 
             match role {
-                FoldRole::Active(acc) => unfold_result(ep, op, Some(acc)).unwrap(),
-                FoldRole::Parked => unfold_result::<_, f32>(ep, op, None).unwrap(),
+                FoldRole::Active(acc) => unfold_result(ep, op, Some(acc), &mut pool).unwrap(),
+                FoldRole::Parked => unfold_result::<_, f32>(ep, op, None, &mut pool).unwrap(),
             }
         });
         // Rank 0 folded rank 4's entry, rank 1 folded rank 5's.
@@ -293,5 +462,30 @@ mod tests {
         // Parked ranks receive their partner's fold result.
         assert_eq!(out[4], out[0]);
         assert_eq!(out[5], out[1]);
+    }
+
+    #[test]
+    fn send_range_matches_restrict_for_both_reprs() {
+        let out = run_cluster(2, CostModel::zero(), |ep| {
+            let mut pool = BufferPool::new();
+            let sparse =
+                SparseStream::from_pairs(64, &[(2, 1.0f32), (10, 2.0), (40, 3.0)]).unwrap();
+            let mut dense = sparse.clone();
+            dense.densify();
+            let window = sparcml_stream::PartRange { lo: 5, hi: 41 };
+            if ep.rank() == 0 {
+                send_stream_range(ep, 1, 1, &sparse, window, true, &mut pool).unwrap();
+                send_stream_range(ep, 1, 2, &dense, window, true, &mut pool).unwrap();
+                None
+            } else {
+                let a = recv_stream::<_, f32>(ep, 0, 1, &mut pool).unwrap();
+                let b = recv_stream::<_, f32>(ep, 0, 2, &mut pool).unwrap();
+                Some((a, b))
+            }
+        });
+        let (a, b) = out[1].clone().unwrap();
+        let expect = SparseStream::from_pairs(64, &[(10, 2.0f32), (40, 3.0)]).unwrap();
+        assert_eq!(a, expect);
+        assert_eq!(b, expect);
     }
 }

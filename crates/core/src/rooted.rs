@@ -12,7 +12,7 @@ use sparcml_stream::{partition_range, Scalar, SparseStream};
 
 use crate::allreduce::AllreduceConfig;
 use crate::error::CollError;
-use crate::op::{add_charged, pow2_below, recv_stream, send_stream, subtag, tag};
+use crate::op::{add_charged, pow2_below, recv_stream, send_stream, subtag, tag, BufferPool};
 
 /// Binomial-tree sparse reduce: the element-wise sum of all inputs lands
 /// at `root`; other ranks receive an empty stream of the same dimension.
@@ -32,6 +32,7 @@ pub fn sparse_reduce<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
+    let mut pool = BufferPool::new();
     // Rotate ranks so the root sits at virtual rank 0, then run a binomial
     // tree over virtual ranks (correct for any P).
     let vrank = (ep.rank() + p - root) % p;
@@ -41,12 +42,20 @@ pub fn sparse_reduce<T: Transport, V: Scalar>(
         if vrank & step != 0 {
             // Send to the partner below and leave the tree.
             let dst = ((vrank - step) + root) % p;
-            send_stream(ep, dst, tag(op_id, subtag::ROUND + step as u64), &acc, true)?;
+            send_stream(
+                ep,
+                dst,
+                tag(op_id, subtag::ROUND + step as u64),
+                &acc,
+                true,
+                &mut pool,
+            )?;
             break;
         }
         if vrank + step < p {
             let src = ((vrank + step) + root) % p;
-            let theirs = recv_stream::<_, V>(ep, src, tag(op_id, subtag::ROUND + step as u64))?;
+            let theirs =
+                recv_stream::<_, V>(ep, src, tag(op_id, subtag::ROUND + step as u64), &mut pool)?;
             add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
         }
         step <<= 1;
@@ -75,6 +84,7 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
+    let mut pool = BufferPool::new();
     let vrank = (ep.rank() + p - root) % p;
     // Receive from the parent (highest set bit), then forward downwards.
     let value = if vrank == 0 {
@@ -83,7 +93,12 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
         let parent_v = vrank & (vrank - 1); // clear lowest set bit
         let parent = (parent_v + root) % p;
         let sub = vrank & vrank.wrapping_neg(); // lowest set bit = my level
-        recv_stream::<_, V>(ep, parent, tag(op_id, subtag::ROUND + sub as u64))?
+        recv_stream::<_, V>(
+            ep,
+            parent,
+            tag(op_id, subtag::ROUND + sub as u64),
+            &mut pool,
+        )?
     };
     // Forward to children (farthest first, so distant subtrees start
     // while we serialize the remaining sends — this keeps the total depth
@@ -105,6 +120,7 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
                     tag(op_id, subtag::ROUND + step as u64),
                     &value,
                     true,
+                    &mut pool,
                 )?;
             }
         }
@@ -132,7 +148,8 @@ pub fn sparse_reduce_scatter<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    crate::allreduce::split_reduce_partition(ep, input, cfg, op_id)
+    let mut pool = BufferPool::new();
+    crate::allreduce::split_reduce_partition(ep, input, cfg, op_id, &mut pool)
 }
 
 /// Allreduce composed as reduce + broadcast, for comparison with the

@@ -1,6 +1,6 @@
-//! Block-Momentum SGD (BMUF) — Chen & Huo [11], the full-precision
+//! Block-Momentum SGD (BMUF) — Chen & Huo \[11\], the full-precision
 //! baseline of the ASR experiment (Fig. 6): "a carefully-tuned instance of
-//! block-momentum SGD (BMUF) [which] communicates updates less frequently
+//! block-momentum SGD (BMUF) \[which\] communicates updates less frequently
 //! between nodes with respect to standard minibatch SGD".
 //!
 //! Each worker runs `block_steps` of local SGD; the block's aggregate

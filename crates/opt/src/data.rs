@@ -1,7 +1,7 @@
 //! Datasets for MPI-OPT: sparse high-dimensional classification data and
 //! dense vision-like data.
 //!
-//! The paper evaluates on URL [40], Webspam [53], CIFAR-10, ImageNet-1K,
+//! The paper evaluates on URL \[40\], Webspam \[53\], CIFAR-10, ImageNet-1K,
 //! ATIS and Hansards (Table 1). Those corpora are not redistributable
 //! here, so this module provides *synthetic generators with matched
 //! statistics*: trigram-like power-law sparse features with linearly

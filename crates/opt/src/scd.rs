@@ -4,7 +4,7 @@
 //! slices of the entire model vector, we compare the runtime of a sparse
 //! allgather from SparCML to its dense counterpart."
 //!
-//! Follows the distributed random block coordinate descent of Wright [55]:
+//! Follows the distributed random block coordinate descent of Wright \[55\]:
 //! each rank owns the coordinate block `partition_range(dim, P, rank)`,
 //! selects `coords_per_iter` coordinates in its block per iteration,
 //! takes coordinate gradient steps on its local shard, and the per-block

@@ -5,9 +5,9 @@
 //! largest ones, which we transmit from each group, saving the rest
 //! locally" (§8.4). The residual ε accumulates everything not sent and is
 //! added to the next gradient ("accumulate error into a locally generated
-//! gradient"), which is what preserves convergence [5].
+//! gradient"), which is what preserves convergence \[5\].
 
-use sparcml_stream::{Entry, SparseStream};
+use sparcml_stream::{SparseStream, SparseVec};
 
 /// Configuration of bucket-wise Top-k selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,31 +51,35 @@ impl TopKConfig {
 
 /// Selects the top-`k` entries by magnitude in every bucket of `values`,
 /// returning them as a sparse stream (sorted by index).
+///
+/// Selection works on per-bucket *offsets* and writes straight into the
+/// stream's index/value slabs; buckets arrive in increasing base order, so
+/// the output is sorted by construction.
 pub fn topk_bucketwise(values: &[f32], cfg: &TopKConfig) -> SparseStream<f32> {
     assert!(cfg.bucket_size > 0 && cfg.k_per_bucket > 0);
-    let mut entries: Vec<Entry<f32>> = Vec::with_capacity(
+    let mut out: SparseVec<f32> = SparseVec::with_capacity(
         values.len().div_ceil(cfg.bucket_size) * cfg.k_per_bucket.min(cfg.bucket_size),
     );
-    let mut scratch: Vec<(u32, f32)> = Vec::with_capacity(cfg.bucket_size);
+    let mut offsets: Vec<u32> = Vec::with_capacity(cfg.bucket_size);
     for (b, bucket) in values.chunks(cfg.bucket_size).enumerate() {
         let base = (b * cfg.bucket_size) as u32;
-        scratch.clear();
-        scratch.extend(
-            bucket
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (base + i as u32, v)),
-        );
-        let k = cfg.k_per_bucket.min(scratch.len());
-        // Partial selection by |value| descending.
-        scratch.select_nth_unstable_by(k - 1, |a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).expect("no NaN gradients")
+        offsets.clear();
+        offsets.extend(0..bucket.len() as u32);
+        let k = cfg.k_per_bucket.min(bucket.len());
+        // Partial selection of offsets by |value| descending.
+        offsets.select_nth_unstable_by(k - 1, |&a, &b| {
+            bucket[b as usize]
+                .abs()
+                .partial_cmp(&bucket[a as usize].abs())
+                .expect("no NaN gradients")
         });
-        let mut picked: Vec<(u32, f32)> = scratch[..k].to_vec();
-        picked.sort_unstable_by_key(|&(i, _)| i);
-        entries.extend(picked.into_iter().map(|(i, v)| Entry::new(i, v)));
+        let picked = &mut offsets[..k];
+        picked.sort_unstable();
+        for &off in picked.iter() {
+            out.push(base + off, bucket[off as usize]);
+        }
     }
-    SparseStream::from_sorted(values.len(), entries).expect("bucket order is sorted")
+    SparseStream::from_sorted(values.len(), out).expect("bucket order is sorted")
 }
 
 /// Error-feedback compressor state (the ε of Algorithm 1/2).
@@ -109,15 +113,14 @@ impl ErrorFeedback {
             *r += *g;
         }
         let selected = topk_bucketwise(&self.residual, &self.cfg);
-        for (idx, _) in selected.iter_nonzero() {
+        // Clear every *stored* coordinate (including explicit zeros: the
+        // sent value was 0, so ε stays consistent).
+        for &idx in selected
+            .sparse_view()
+            .expect("topk output is sparse")
+            .indices()
+        {
             self.residual[idx as usize] = 0.0;
-        }
-        // Entries with explicit zero value stay in the residual as zero —
-        // clearing them too keeps ε consistent (sent value was 0).
-        if let sparcml_stream::Repr::Sparse(entries) = selected.repr() {
-            for e in entries {
-                self.residual[e.idx as usize] = 0.0;
-            }
         }
         selected
     }

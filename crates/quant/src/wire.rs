@@ -12,34 +12,51 @@
 //! packed   ceil(dim·bits/8) bytes
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sparcml_stream::StreamError;
+use bytes::{Buf, Bytes};
+use sparcml_stream::{Scalar, StreamError};
 
 use crate::pack::packed_len;
 use crate::qsgd::QuantizedVec;
 
 const MAGIC: u8 = 0xA5;
+const HEADER_LEN: usize = 14;
 
 impl QuantizedVec {
-    /// Serializes into a contiguous buffer.
+    /// Serializes into a fresh contiguous buffer. Allocation-conscious
+    /// callers use [`QuantizedVec::encode_into`] to reuse a buffer.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(14 + self.scales.len() * 4 + self.packed.len());
-        buf.put_u8(MAGIC);
-        buf.put_u8(self.bits);
-        buf.put_u32_le(self.bucket_size as u32);
-        buf.put_u64_le(self.dim as u64);
-        for s in &self.scales {
-            buf.put_f32_le(*s);
-        }
-        buf.put_slice(&self.packed);
-        buf.freeze()
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Bytes::from(out)
     }
 
-    /// Decodes a buffer produced by [`QuantizedVec::encode`].
+    /// Serializes into `out` (cleared first, capacity reused). The scale
+    /// table and the packed codes are each written as one contiguous slab.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(HEADER_LEN + self.scales.len() * 4 + self.packed.len());
+        out.push(MAGIC);
+        out.push(self.bits);
+        out.extend_from_slice(&(self.bucket_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        f32::write_slab_le(&self.scales, out);
+        out.extend_from_slice(&self.packed);
+    }
+
+    /// Exact byte length [`QuantizedVec::encode`] will produce.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.scales.len() * 4 + self.packed.len()
+    }
+
+    /// Decodes a buffer produced by [`QuantizedVec::encode`], validating
+    /// the payload length against the header before any allocation.
     pub fn decode(bytes: &[u8]) -> Result<Self, StreamError> {
         let mut buf = bytes;
-        if buf.remaining() < 14 {
-            return Err(StreamError::Corrupt("quantized header truncated"));
+        if buf.remaining() < HEADER_LEN {
+            return Err(StreamError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.remaining(),
+            });
         }
         if buf.get_u8() != MAGIC {
             return Err(StreamError::Corrupt("bad quantized magic"));
@@ -52,23 +69,32 @@ impl QuantizedVec {
         if bucket_size == 0 {
             return Err(StreamError::Corrupt("zero bucket size"));
         }
-        let dim = buf.get_u64_le() as usize;
+        let dim = buf.get_u64_le();
+        let dim = usize::try_from(dim).map_err(|_| StreamError::Corrupt("dimension overflow"))?;
         let nbuckets = dim.div_ceil(bucket_size);
         let body = packed_len(dim, bits);
-        if buf.remaining() != nbuckets * 4 + body {
-            return Err(StreamError::Corrupt("quantized payload length mismatch"));
+        let expect = nbuckets
+            .checked_mul(4)
+            .and_then(|s| s.checked_add(body))
+            .ok_or(StreamError::Corrupt("payload length overflow"))?;
+        if buf.remaining() < expect {
+            return Err(StreamError::Truncated {
+                needed: HEADER_LEN + expect,
+                got: bytes.len(),
+            });
         }
-        let mut scales = Vec::with_capacity(nbuckets);
-        for _ in 0..nbuckets {
-            scales.push(buf.get_f32_le());
+        if buf.remaining() > expect {
+            return Err(StreamError::Corrupt(
+                "trailing bytes after quantized payload",
+            ));
         }
-        let packed = buf[..body].to_vec();
+        let (scale_slab, packed_slab) = buf.split_at(nbuckets * 4);
         Ok(QuantizedVec {
             dim,
             bits,
             bucket_size,
-            scales,
-            packed,
+            scales: f32::read_slab_le(scale_slab),
+            packed: packed_slab.to_vec(),
         })
     }
 }
@@ -101,6 +127,28 @@ mod tests {
         for cut in [0usize, 5, 13, bytes.len() - 1] {
             assert!(QuantizedVec::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let cfg = QsgdConfig::paper_default();
+        let q = quantize(&vec![0.5f32; 100], &cfg, &mut XorShift64::new(9));
+        let mut buf = Vec::new();
+        q.encode_into(&mut buf);
+        assert_eq!(buf.as_slice(), q.encode().as_ref());
+        assert_eq!(buf.len(), q.encoded_len());
+        // Reuse keeps the contents identical.
+        q.encode_into(&mut buf);
+        assert_eq!(buf.len(), q.encoded_len());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let cfg = QsgdConfig::paper_default();
+        let q = quantize(&[1.0f32; 16], &cfg, &mut XorShift64::new(5));
+        let mut bytes = q.encode().to_vec();
+        bytes.push(0);
+        assert!(QuantizedVec::decode(&bytes).is_err());
     }
 
     #[test]

@@ -31,8 +31,29 @@ pub enum StreamError {
         /// Payload length found.
         actual: usize,
     },
-    /// The wire encoding is truncated or self-inconsistent.
+    /// Parallel index/value slabs differ in length.
+    SlabLengthMismatch {
+        /// Index slab length.
+        indices: usize,
+        /// Value slab length.
+        values: usize,
+    },
+    /// A wire frame ended before its declared payload.
+    Truncated {
+        /// Bytes the frame declared.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The wire encoding is self-inconsistent.
     Corrupt(&'static str),
+    /// The wire frame uses an unsupported format version.
+    VersionMismatch {
+        /// Version this decoder speaks.
+        expected: u8,
+        /// Version found in the header.
+        actual: u8,
+    },
     /// The wire encoding was produced for a different value width.
     ValueWidthMismatch {
         /// Width this decoder expects (bytes).
@@ -63,7 +84,22 @@ impl fmt::Display for StreamError {
                     "dense payload length {actual} does not match dimension {expected}"
                 )
             }
+            StreamError::SlabLengthMismatch { indices, values } => {
+                write!(
+                    f,
+                    "slab length mismatch: {indices} indices vs {values} values"
+                )
+            }
+            StreamError::Truncated { needed, got } => {
+                write!(f, "truncated wire frame: needed {needed} bytes, got {got}")
+            }
             StreamError::Corrupt(what) => write!(f, "corrupt stream encoding: {what}"),
+            StreamError::VersionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "wire format version mismatch: decoder speaks v{expected}, frame is v{actual}"
+                )
+            }
             StreamError::ValueWidthMismatch { expected, actual } => {
                 write!(
                     f,

@@ -8,7 +8,8 @@
 //! xorshift generator to avoid a dependency on `rand` in this base crate.
 
 use crate::scalar::Scalar;
-use crate::stream::{Entry, SparseStream};
+use crate::soa::SparseVec;
+use crate::stream::SparseStream;
 
 /// Minimal xorshift64* PRNG; statistically adequate for workload synthesis
 /// and dependency-free.
@@ -93,19 +94,20 @@ pub fn uniform_indices(dim: usize, nnz: usize, rng: &mut XorShift64) -> Vec<u32>
 /// values — the synthetic workload of the paper's micro-benchmarks (§8.1).
 pub fn random_sparse<V: Scalar>(dim: usize, nnz: usize, seed: u64) -> SparseStream<V> {
     let mut rng = XorShift64::new(seed);
-    let idx = uniform_indices(dim, nnz, &mut rng);
-    let entries: Vec<Entry<V>> = idx
-        .into_iter()
-        .map(|i| {
+    let indices = uniform_indices(dim, nnz, &mut rng);
+    let values: Vec<V> = indices
+        .iter()
+        .map(|_| {
             // Avoid exact zeros so nnz is exact.
             let mut v = rng.next_gaussian();
             if v == 0.0 {
                 v = 1.0;
             }
-            Entry::new(i, V::from_f64(v))
+            V::from_f64(v)
         })
         .collect();
-    SparseStream::from_sorted(dim, entries).expect("generated indices are sorted and in range")
+    SparseStream::from_sorted(dim, SparseVec::from_slabs(indices, values))
+        .expect("generated indices are sorted and in range")
 }
 
 /// A sparse stream whose support is clustered: `clusters` runs of
@@ -140,11 +142,12 @@ pub fn clustered_sparse<V: Scalar>(
             idx.insert(pos, cand);
         }
     }
-    let entries: Vec<Entry<V>> = idx
-        .into_iter()
-        .map(|i| Entry::new(i, V::from_f64(rng.next_gaussian() + 0.1)))
+    let values: Vec<V> = idx
+        .iter()
+        .map(|_| V::from_f64(rng.next_gaussian() + 0.1))
         .collect();
-    SparseStream::from_sorted(dim, entries).expect("sorted by construction")
+    SparseStream::from_sorted(dim, SparseVec::from_slabs(idx, values))
+        .expect("sorted by construction")
 }
 
 #[cfg(test)]

@@ -1,13 +1,31 @@
 //! # sparcml-stream
 //!
-//! Sparse stream data representation from the SparCML paper (§5.1).
+//! Sparse stream data representation from the SparCML paper (§5.1), in a
+//! structure-of-arrays layout.
 //!
-//! A [`SparseStream`] stores a logical vector in `R^N` either as sorted
-//! index–value pairs or as a dense array, and switches automatically during
-//! summation once fill-in crosses the sparsity-efficiency threshold δ.
-//! This crate also provides the wire encoding used by the collectives, the
-//! dimension partitioning of the split algorithms, and deterministic
-//! synthetic workload generators.
+//! A [`SparseStream`] stores a logical vector in `R^N` either sparsely —
+//! as a sorted `u32` index slab next to a parallel value slab
+//! ([`SparseVec`]) — or as a dense array, and switches automatically
+//! during summation once fill-in crosses the sparsity-efficiency
+//! threshold δ. The SoA split is deliberate: it is what lets summation,
+//! splitting and serialization operate on contiguous slices.
+//!
+//! * **Summation** ([`SparseStream::add_assign_with`]) merges two sorted
+//!   slab pairs linearly, bulk-copying tails, and scatters sparse slabs
+//!   into dense accumulators — slice loops the compiler can vectorize.
+//! * **Splitting** ([`SparseView::range`]) is two binary searches plus
+//!   two slice borrows; the split collectives encode a partition straight
+//!   from a borrowed view ([`SparseStream::encode_sparse_slice_into`])
+//!   without materializing an intermediate stream.
+//! * **The wire codec** (frame layout v2, see [`SparseStream::encode`])
+//!   writes one contiguous little-endian index block followed by one
+//!   contiguous value block — two `memcpy`s on little-endian targets —
+//!   and `decode` validates every frame (lengths before allocation,
+//!   strictly increasing in-bounds indices) instead of trusting the peer,
+//!   reporting malformed frames as typed [`StreamError`]s.
+//!
+//! This crate also provides the dimension partitioning of the split
+//! algorithms and deterministic synthetic workload generators.
 //!
 //! ```
 //! use sparcml_stream::{SparseStream, DensityPolicy};
@@ -17,6 +35,11 @@
 //! a.add_assign_with(&b, &DensityPolicy::default()).unwrap();
 //! assert_eq!(a.get(3), 2.0);
 //! assert_eq!(a.nnz(), 3);
+//!
+//! // The sparse payload is two parallel slabs, viewable without copying:
+//! let view = a.sparse_view().unwrap();
+//! assert_eq!(view.indices(), &[3, 500, 900]);
+//! assert_eq!(view.values(), &[2.0, 2.0, -1.0]);
 //! ```
 
 #![warn(missing_docs)]
@@ -25,6 +48,7 @@ mod error;
 mod gen;
 mod partition;
 mod scalar;
+mod soa;
 mod stream;
 mod sum;
 mod threshold;
@@ -34,6 +58,8 @@ pub use error::StreamError;
 pub use gen::{clustered_sparse, random_sparse, uniform_indices, XorShift64};
 pub use partition::{owner_of, partition_range, PartRange};
 pub use scalar::Scalar;
-pub use stream::{Entry, Repr, SparseStream};
+pub use soa::{SparseVec, SparseView};
+pub use stream::{Repr, SparseStream};
 pub use sum::{reduce_streams, SumStats};
 pub use threshold::{delta_raw, DensityPolicy, INDEX_BYTES};
+pub use wire::WIRE_VERSION;

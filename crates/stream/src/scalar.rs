@@ -31,6 +31,24 @@ pub trait Scalar:
     /// Decodes a value from exactly [`Scalar::BYTES`] little-endian bytes.
     fn read_le(bytes: &[u8]) -> Self;
 
+    /// Appends the little-endian encoding of a whole value slab to `out`
+    /// in one pass — the bulk primitive of the wire codec. On
+    /// little-endian targets the f32/f64 implementations reduce to a
+    /// single `memcpy`.
+    fn write_slab_le(values: &[Self], out: &mut Vec<u8>) {
+        out.reserve(values.len() * Self::BYTES);
+        for v in values {
+            v.write_le(out);
+        }
+    }
+
+    /// Decodes a contiguous little-endian value slab. Any trailing bytes
+    /// that do not form a whole value are ignored (wire framing checks
+    /// payload lengths before calling this).
+    fn read_slab_le(bytes: &[u8]) -> Vec<Self> {
+        bytes.chunks_exact(Self::BYTES).map(Self::read_le).collect()
+    }
+
     /// Lossless (f32) or identity (f64) widening, for analysis code.
     fn to_f64(self) -> f64;
 
@@ -42,6 +60,40 @@ pub trait Scalar:
     fn is_zero(self) -> bool {
         self.to_f64() == 0.0
     }
+}
+
+/// Views a slab of fixed-width numeric values as its raw bytes — on a
+/// little-endian target this *is* the wire encoding, so slab writes become
+/// one `memcpy`.
+///
+/// Only instantiated for `u32`/`f32`/`f64` (via the [`Scalar`] impls and
+/// the index-slab codec): types with no padding and no invalid byte
+/// patterns, for which the raw-byte view is sound.
+#[cfg(target_endian = "little")]
+pub(crate) fn slab_as_le_bytes<T: Copy>(values: &[T]) -> &[u8] {
+    // SAFETY: T is a plain fixed-width numeric type (see above), every
+    // byte of the slice is initialized, and u8 has alignment 1.
+    unsafe {
+        std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), std::mem::size_of_val(values))
+    }
+}
+
+/// Inverse of [`slab_as_le_bytes`]: bulk-decodes a little-endian byte slab
+/// into values of a plain fixed-width numeric type (`u32`/`f32`/`f64`).
+/// Any trailing bytes that do not form a whole value are ignored. The one
+/// audited unsafe decode block shared by every slab reader.
+#[cfg(target_endian = "little")]
+pub(crate) fn slab_from_le_bytes<T: Copy + Default>(bytes: &[u8]) -> Vec<T> {
+    let width = std::mem::size_of::<T>();
+    let n = bytes.len() / width;
+    let mut out = vec![T::default(); n];
+    // SAFETY: `out` provides exactly `n * width` bytes of plain numeric
+    // storage and exactly that many bytes are copied; on little-endian
+    // targets the wire bytes are the in-memory representation.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * width)
+    };
+    out
 }
 
 impl Scalar for f32 {
@@ -70,6 +122,16 @@ impl Scalar for f32 {
     #[inline]
     fn read_le(bytes: &[u8]) -> Self {
         f32::from_le_bytes(bytes[..4].try_into().expect("need 4 bytes for f32"))
+    }
+
+    #[cfg(target_endian = "little")]
+    fn write_slab_le(values: &[Self], out: &mut Vec<u8>) {
+        out.extend_from_slice(slab_as_le_bytes(values));
+    }
+
+    #[cfg(target_endian = "little")]
+    fn read_slab_le(bytes: &[u8]) -> Vec<Self> {
+        slab_from_le_bytes(bytes)
     }
 
     #[inline]
@@ -109,6 +171,16 @@ impl Scalar for f64 {
     #[inline]
     fn read_le(bytes: &[u8]) -> Self {
         f64::from_le_bytes(bytes[..8].try_into().expect("need 8 bytes for f64"))
+    }
+
+    #[cfg(target_endian = "little")]
+    fn write_slab_le(values: &[Self], out: &mut Vec<u8>) {
+        out.extend_from_slice(slab_as_le_bytes(values));
+    }
+
+    #[cfg(target_endian = "little")]
+    fn read_slab_le(bytes: &[u8]) -> Vec<Self> {
+        slab_from_le_bytes(bytes)
     }
 
     #[inline]
@@ -153,5 +225,43 @@ mod tests {
     fn abs_magnitude() {
         assert_eq!((-3.0f32).abs(), 3.0);
         assert_eq!(4.0f64.abs(), 4.0);
+    }
+
+    #[test]
+    fn slab_round_trip_matches_scalar_path() {
+        let values: Vec<f32> = (0..37).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut slab = Vec::new();
+        f32::write_slab_le(&values, &mut slab);
+        let mut scalar = Vec::new();
+        for v in &values {
+            v.write_le(&mut scalar);
+        }
+        assert_eq!(slab, scalar);
+        assert_eq!(f32::read_slab_le(&slab), values);
+
+        let values: Vec<f64> = (0..19).map(|i| (i as f64) * -1.25).collect();
+        let mut slab = Vec::new();
+        f64::write_slab_le(&values, &mut slab);
+        assert_eq!(slab.len(), values.len() * 8);
+        assert_eq!(f64::read_slab_le(&slab), values);
+    }
+
+    #[test]
+    fn read_slab_ignores_trailing_partial_value() {
+        // Non-multiple lengths must not over-read: the trailing partial
+        // value is dropped, matching the chunks_exact default path.
+        let mut slab = Vec::new();
+        f32::write_slab_le(&[1.0, 2.0], &mut slab);
+        slab.push(0xFF); // 9 bytes: 2 full values + 1 stray byte
+        assert_eq!(f32::read_slab_le(&slab), vec![1.0, 2.0]);
+        assert!(f64::read_slab_le(&slab[..7]).is_empty());
+    }
+
+    #[test]
+    fn empty_slab() {
+        let mut out = Vec::new();
+        f32::write_slab_le(&[], &mut out);
+        assert!(out.is_empty());
+        assert!(f32::read_slab_le(&[]).is_empty());
     }
 }

@@ -1,49 +1,77 @@
 //! The sparse stream: SparCML's adaptive sparse/dense vector representation.
 //!
-//! A stream logically represents a vector in `R^N`. It is stored either as a
-//! sorted sequence of `(index, value)` pairs (sparse) or as a contiguous
-//! array of `N` values (dense). The representation switches automatically
-//! during summation once the fill-in crosses the threshold δ (§5.1 of the
-//! paper, "Switching to a Dense Format").
+//! A stream logically represents a vector in `R^N`. It is stored either as
+//! a structure-of-arrays sparse payload — a sorted `u32` index slab plus a
+//! parallel value slab ([`SparseVec`]) — or as a contiguous array of `N`
+//! values (dense). The representation switches automatically during
+//! summation once the fill-in crosses the threshold δ (§5.1 of the paper,
+//! "Switching to a Dense Format").
+//!
+//! Indices are `u32` because the paper fixes the index datatype to an
+//! unsigned int ("Since our problems usually have dimension N > 65K, we fix
+//! the datatype for storing an index to an unsigned int", §8).
 
 use crate::error::StreamError;
 use crate::scalar::Scalar;
+use crate::soa::{SparseVec, SparseView};
 use crate::threshold::DensityPolicy;
-
-/// A single non-zero entry of a sparse stream.
-///
-/// Indices are `u32` because the paper fixes the index datatype to an
-/// unsigned int ("Since our problems usually have dimension N > 65K, we fix
-/// the datatype for storing an index to an unsigned int", §8).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Entry<V> {
-    /// Coordinate in `[0, dim)`.
-    pub idx: u32,
-    /// Value at that coordinate.
-    pub val: V,
-}
-
-impl<V> Entry<V> {
-    /// Creates an entry.
-    #[inline]
-    pub fn new(idx: u32, val: V) -> Self {
-        Entry { idx, val }
-    }
-}
 
 /// Physical representation of a stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Repr<V> {
-    /// Sorted (strictly increasing index) list of non-zero entries.
-    Sparse(Vec<Entry<V>>),
+    /// Structure-of-arrays payload with strictly increasing indices.
+    Sparse(SparseVec<V>),
     /// Contiguous array of `dim` values.
     Dense(Vec<V>),
+}
+
+/// Collects the non-zero entries of `values` with coordinates in
+/// `[lo, hi)` into a sorted structure-of-arrays payload (indices are
+/// absolute coordinates).
+fn nonzeros_in_range<V: Scalar>(values: &[V], lo: u32, hi: u32) -> SparseVec<V> {
+    debug_assert!((hi as usize) <= values.len());
+    let mut sparse = SparseVec::new();
+    for i in lo..hi {
+        let v = values[i as usize];
+        if !v.is_zero() {
+            sparse.push(i, v);
+        }
+    }
+    sparse
+}
+
+/// Checks that `indices` is strictly increasing and within `[0, dim)`.
+pub(crate) fn validate_sorted_in_bounds(indices: &[u32], dim: usize) -> Result<(), StreamError> {
+    let Some(&last) = indices.last() else {
+        return Ok(());
+    };
+    // Fast path: one vectorizable monotonicity sweep; strictly increasing
+    // means only the last index can be the bounds violator.
+    if indices.windows(2).all(|w| w[0] < w[1]) {
+        if (last as usize) < dim {
+            return Ok(());
+        }
+        return Err(StreamError::IndexOutOfBounds { idx: last, dim });
+    }
+    // Slow path (frame is bad anyway): locate the first violation so the
+    // error pinpoints it.
+    for (position, w) in indices.windows(2).enumerate() {
+        if (w[0] as usize) >= dim {
+            return Err(StreamError::IndexOutOfBounds { idx: w[0], dim });
+        }
+        if w[1] <= w[0] {
+            return Err(StreamError::UnsortedIndices {
+                position: position + 1,
+            });
+        }
+    }
+    unreachable!("slow path only entered when a violation exists")
 }
 
 /// An adaptive sparse/dense vector of logical dimension `dim`.
 ///
 /// Invariants:
-/// * sparse entries are sorted strictly increasing by index;
+/// * sparse indices are strictly increasing;
 /// * every index is `< dim`;
 /// * a dense payload has exactly `dim` values.
 ///
@@ -62,31 +90,32 @@ impl<V: Scalar> SparseStream<V> {
     pub fn zeros(dim: usize) -> Self {
         SparseStream {
             dim,
-            repr: Repr::Sparse(Vec::new()),
+            repr: Repr::Sparse(SparseVec::new()),
         }
     }
 
-    /// Creates a sparse stream from already-sorted entries.
+    /// Creates a sparse stream from an already-sorted payload.
     ///
     /// Returns an error if indices are not strictly increasing or out of
     /// bounds.
-    pub fn from_sorted(dim: usize, entries: Vec<Entry<V>>) -> Result<Self, StreamError> {
-        let mut prev: Option<u32> = None;
-        for (position, e) in entries.iter().enumerate() {
-            if e.idx as usize >= dim {
-                return Err(StreamError::IndexOutOfBounds { idx: e.idx, dim });
-            }
-            if let Some(p) = prev {
-                if e.idx <= p {
-                    return Err(StreamError::UnsortedIndices { position });
-                }
-            }
-            prev = Some(e.idx);
-        }
+    pub fn from_sorted(dim: usize, sparse: SparseVec<V>) -> Result<Self, StreamError> {
+        validate_sorted_in_bounds(sparse.indices(), dim)?;
         Ok(SparseStream {
             dim,
-            repr: Repr::Sparse(entries),
+            repr: Repr::Sparse(sparse),
         })
+    }
+
+    /// Creates a sparse stream from separate index/value slabs, validating
+    /// slab lengths, sortedness and bounds.
+    pub fn from_slabs(dim: usize, indices: Vec<u32>, values: Vec<V>) -> Result<Self, StreamError> {
+        if indices.len() != values.len() {
+            return Err(StreamError::SlabLengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        Self::from_sorted(dim, SparseVec::from_slabs(indices, values))
     }
 
     /// Creates a sparse stream from arbitrary `(index, value)` pairs,
@@ -99,16 +128,20 @@ impl<V: Scalar> SparseStream<V> {
         }
         let mut sorted: Vec<(u32, V)> = pairs.to_vec();
         sorted.sort_unstable_by_key(|&(i, _)| i);
-        let mut entries: Vec<Entry<V>> = Vec::with_capacity(sorted.len());
+        let mut sparse: SparseVec<V> = SparseVec::with_capacity(sorted.len());
         for (idx, val) in sorted {
-            match entries.last_mut() {
-                Some(last) if last.idx == idx => last.val = last.val.add(val),
-                _ => entries.push(Entry::new(idx, val)),
+            match sparse.indices().last() {
+                Some(&last) if last == idx => {
+                    let pos = sparse.len() - 1;
+                    let v = sparse.values()[pos];
+                    sparse.values_mut()[pos] = v.add(val);
+                }
+                _ => sparse.push(idx, val),
             }
         }
         Ok(SparseStream {
             dim,
-            repr: Repr::Sparse(entries),
+            repr: Repr::Sparse(sparse),
         })
     }
 
@@ -122,15 +155,9 @@ impl<V: Scalar> SparseStream<V> {
 
     /// Builds the sparse form of a dense slice, keeping only non-zeros.
     pub fn sparse_from_slice(values: &[V]) -> Self {
-        let entries: Vec<Entry<V>> = values
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !v.is_zero())
-            .map(|(i, &v)| Entry::new(i as u32, v))
-            .collect();
         SparseStream {
             dim: values.len(),
-            repr: Repr::Sparse(entries),
+            repr: Repr::Sparse(nonzeros_in_range(values, 0, values.len() as u32)),
         }
     }
 
@@ -165,11 +192,26 @@ impl<V: Scalar> SparseStream<V> {
         &mut self.repr
     }
 
+    /// Replaces the representation; callers must preserve the invariants.
+    #[inline]
+    pub(crate) fn set_repr(&mut self, repr: Repr<V>) {
+        self.repr = repr;
+    }
+
+    /// Borrowed view of the sparse payload (`None` when dense).
+    #[inline]
+    pub fn sparse_view(&self) -> Option<SparseView<'_, V>> {
+        match &self.repr {
+            Repr::Sparse(sv) => Some(sv.as_view()),
+            Repr::Dense(_) => None,
+        }
+    }
+
     /// Number of stored entries: pair count when sparse, the count of
     /// non-zero values when dense.
     pub fn nnz(&self) -> usize {
         match &self.repr {
-            Repr::Sparse(entries) => entries.len(),
+            Repr::Sparse(sv) => sv.len(),
             Repr::Dense(values) => values.iter().filter(|v| !v.is_zero()).count(),
         }
     }
@@ -179,7 +221,7 @@ impl<V: Scalar> SparseStream<V> {
     #[inline]
     pub fn stored_len(&self) -> usize {
         match &self.repr {
-            Repr::Sparse(entries) => entries.len(),
+            Repr::Sparse(sv) => sv.len(),
             Repr::Dense(_) => self.dim,
         }
     }
@@ -197,7 +239,7 @@ impl<V: Scalar> SparseStream<V> {
     /// `nnz * (c + isize)` when sparse, `N * isize` when dense (§5.1).
     pub fn wire_bytes(&self) -> usize {
         match &self.repr {
-            Repr::Sparse(entries) => entries.len() * (4 + V::BYTES),
+            Repr::Sparse(sv) => sv.len() * (4 + V::BYTES),
             Repr::Dense(_) => self.dim * V::BYTES,
         }
     }
@@ -206,25 +248,21 @@ impl<V: Scalar> SparseStream<V> {
     pub fn get(&self, idx: u32) -> V {
         debug_assert!((idx as usize) < self.dim);
         match &self.repr {
-            Repr::Sparse(entries) => entries
-                .binary_search_by_key(&idx, |e| e.idx)
-                .map(|pos| entries[pos].val)
-                .unwrap_or_else(|_| V::zero()),
+            Repr::Sparse(sv) => sv.as_view().get(idx).unwrap_or_else(V::zero),
             Repr::Dense(values) => values[idx as usize],
         }
     }
 
     /// Iterates over non-zero coordinates in increasing index order.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, V)> + '_ {
-        let (sparse, dense): (Option<&[Entry<V>]>, Option<&[V]>) = match &self.repr {
-            Repr::Sparse(entries) => (Some(entries.as_slice()), None),
+        let (sparse, dense): (Option<SparseView<'_, V>>, Option<&[V]>) = match &self.repr {
+            Repr::Sparse(sv) => (Some(sv.as_view()), None),
             Repr::Dense(values) => (None, Some(values.as_slice())),
         };
         sparse
             .into_iter()
-            .flatten()
-            .filter(|e| !e.val.is_zero())
-            .map(|e| (e.idx, e.val))
+            .flat_map(|v| v.iter())
+            .filter(|(_, v)| !v.is_zero())
             .chain(
                 dense
                     .into_iter()
@@ -239,10 +277,10 @@ impl<V: Scalar> SparseStream<V> {
     /// unchanged).
     pub fn to_dense_vec(&self) -> Vec<V> {
         match &self.repr {
-            Repr::Sparse(entries) => {
+            Repr::Sparse(sv) => {
                 let mut out = vec![V::zero(); self.dim];
-                for e in entries {
-                    out[e.idx as usize] = e.val;
+                for (idx, val) in sv.iter() {
+                    out[idx as usize] = val;
                 }
                 out
             }
@@ -268,13 +306,7 @@ impl<V: Scalar> SparseStream<V> {
         let Repr::Dense(values) = &self.repr else {
             unreachable!()
         };
-        let entries: Vec<Entry<V>> = values
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !v.is_zero())
-            .map(|(i, &v)| Entry::new(i as u32, v))
-            .collect();
-        self.repr = Repr::Sparse(entries);
+        self.repr = Repr::Sparse(nonzeros_in_range(values, 0, values.len() as u32));
     }
 
     /// Converts to whichever representation the policy prefers for the
@@ -282,8 +314,8 @@ impl<V: Scalar> SparseStream<V> {
     pub fn normalize(&mut self, policy: &DensityPolicy) {
         let delta = policy.delta::<V>(self.dim);
         match &self.repr {
-            Repr::Sparse(entries) => {
-                if entries.len() > delta {
+            Repr::Sparse(sv) => {
+                if sv.len() > delta {
                     self.densify();
                 }
             }
@@ -298,74 +330,67 @@ impl<V: Scalar> SparseStream<V> {
     /// Removes explicit zeros from the sparse representation (no-op when
     /// dense).
     pub fn prune_zeros(&mut self) {
-        if let Repr::Sparse(entries) = &mut self.repr {
-            entries.retain(|e| !e.val.is_zero());
+        if let Repr::Sparse(sv) = &mut self.repr {
+            sv.retain(|_, v| !v.is_zero());
         }
     }
 
     /// Multiplies every value by `factor`.
     pub fn scale(&mut self, factor: V) {
-        match &mut self.repr {
-            Repr::Sparse(entries) => {
-                for e in entries {
-                    e.val = V::from_f64(e.val.to_f64() * factor.to_f64());
-                }
-            }
-            Repr::Dense(values) => {
-                for v in values {
-                    *v = V::from_f64(v.to_f64() * factor.to_f64());
-                }
-            }
+        let values: &mut [V] = match &mut self.repr {
+            Repr::Sparse(sv) => sv.values_mut(),
+            Repr::Dense(values) => values,
+        };
+        for v in values {
+            *v = V::from_f64(v.to_f64() * factor.to_f64());
         }
     }
 
     /// Euclidean norm of the logical vector.
     pub fn l2_norm(&self) -> f64 {
-        let sq: f64 = match &self.repr {
-            Repr::Sparse(entries) => entries.iter().map(|e| e.val.to_f64().powi(2)).sum(),
-            Repr::Dense(values) => values.iter().map(|v| v.to_f64().powi(2)).sum(),
+        let values: &[V] = match &self.repr {
+            Repr::Sparse(sv) => sv.values(),
+            Repr::Dense(values) => values,
         };
-        sq.sqrt()
+        values
+            .iter()
+            .map(|v| v.to_f64().powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Restricts the stream to coordinates in `[lo, hi)` producing a stream
     /// of the *same* logical dimension but supported only inside the range.
     /// This is the split operation of `SSAR_Split_allgather` (§5.3.2).
+    ///
+    /// For a borrowed, allocation-free version of the sparse case use
+    /// [`SparseStream::sparse_view`] + [`SparseView::range`].
     pub fn restrict(&self, lo: u32, hi: u32) -> SparseStream<V> {
         debug_assert!(lo <= hi && (hi as usize) <= self.dim);
         match &self.repr {
-            Repr::Sparse(entries) => {
-                let start = entries.partition_point(|e| e.idx < lo);
-                let end = entries.partition_point(|e| e.idx < hi);
-                SparseStream {
-                    dim: self.dim,
-                    repr: Repr::Sparse(entries[start..end].to_vec()),
-                }
-            }
-            Repr::Dense(values) => {
-                let entries: Vec<Entry<V>> = (lo..hi)
-                    .filter(|&i| !values[i as usize].is_zero())
-                    .map(|i| Entry::new(i, values[i as usize]))
-                    .collect();
-                SparseStream {
-                    dim: self.dim,
-                    repr: Repr::Sparse(entries),
-                }
-            }
+            Repr::Sparse(sv) => SparseStream {
+                dim: self.dim,
+                repr: Repr::Sparse(sv.as_view().range(lo, hi).to_owned()),
+            },
+            Repr::Dense(values) => SparseStream {
+                dim: self.dim,
+                repr: Repr::Sparse(nonzeros_in_range(values, lo, hi)),
+            },
         }
     }
 
     /// Concatenates streams whose supports live in disjoint, increasing
     /// index ranges — "we can implement the sum as simple concatenation"
     /// (§5.1, disjoint case). All inputs must share the same dimension and
-    /// be sparse; supports must be ordered (checked).
+    /// be sparse; supports must be ordered (checked). The slab layout makes
+    /// this two bulk `extend_from_slice` calls per part.
     pub fn concat_disjoint(parts: &[SparseStream<V>]) -> Result<SparseStream<V>, StreamError> {
         let Some(first) = parts.first() else {
             return Ok(SparseStream::zeros(0));
         };
         let dim = first.dim;
         let total: usize = parts.iter().map(|p| p.stored_len()).sum();
-        let mut entries: Vec<Entry<V>> = Vec::with_capacity(total);
+        let mut out: SparseVec<V> = SparseVec::with_capacity(total);
         for (pos, part) in parts.iter().enumerate() {
             if part.dim != dim {
                 return Err(StreamError::DimMismatch {
@@ -373,28 +398,29 @@ impl<V: Scalar> SparseStream<V> {
                     right: part.dim,
                 });
             }
-            let Repr::Sparse(part_entries) = &part.repr else {
+            let Some(view) = part.sparse_view() else {
                 return Err(StreamError::Corrupt(
                     "concat_disjoint requires sparse parts",
                 ));
             };
-            if let (Some(last), Some(first_new)) = (entries.last(), part_entries.first()) {
-                if first_new.idx <= last.idx {
+            if let (Some(&last), Some(&first_new)) = (out.indices().last(), view.indices().first())
+            {
+                if first_new <= last {
                     return Err(StreamError::UnsortedIndices { position: pos });
                 }
             }
-            entries.extend_from_slice(part_entries);
+            out.extend_from_view(view);
         }
         Ok(SparseStream {
             dim,
-            repr: Repr::Sparse(entries),
+            repr: Repr::Sparse(out),
         })
     }
 
-    /// Consumes the stream returning its entries when sparse.
-    pub fn into_entries(self) -> Option<Vec<Entry<V>>> {
+    /// Consumes the stream returning its sparse payload when sparse.
+    pub fn into_sparse(self) -> Option<SparseVec<V>> {
         match self.repr {
-            Repr::Sparse(entries) => Some(entries),
+            Repr::Sparse(sv) => Some(sv),
             Repr::Dense(_) => None,
         }
     }
@@ -412,24 +438,7 @@ impl<V: Scalar> SparseStream<V> {
     /// assertions throughout the workspace.
     pub fn check_invariants(&self) -> Result<(), StreamError> {
         match &self.repr {
-            Repr::Sparse(entries) => {
-                let mut prev: Option<u32> = None;
-                for (position, e) in entries.iter().enumerate() {
-                    if e.idx as usize >= self.dim {
-                        return Err(StreamError::IndexOutOfBounds {
-                            idx: e.idx,
-                            dim: self.dim,
-                        });
-                    }
-                    if let Some(p) = prev {
-                        if e.idx <= p {
-                            return Err(StreamError::UnsortedIndices { position });
-                        }
-                    }
-                    prev = Some(e.idx);
-                }
-                Ok(())
-            }
+            Repr::Sparse(sv) => validate_sorted_in_bounds(sv.indices(), self.dim),
             Repr::Dense(values) => {
                 if values.len() != self.dim {
                     Err(StreamError::LengthMismatch {
@@ -463,15 +472,19 @@ mod tests {
 
     #[test]
     fn from_sorted_validates() {
-        let ok = SparseStream::from_sorted(5, vec![Entry::new(1, 1.0f32), Entry::new(3, 2.0)]);
+        let ok = SparseStream::from_slabs(5, vec![1, 3], vec![1.0f32, 2.0]);
         assert!(ok.is_ok());
-        let unsorted =
-            SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(1, 2.0)]);
+        let unsorted = SparseStream::from_slabs(5, vec![3, 1], vec![1.0f32, 2.0]);
         assert!(matches!(unsorted, Err(StreamError::UnsortedIndices { .. })));
-        let dup = SparseStream::from_sorted(5, vec![Entry::new(3, 1.0f32), Entry::new(3, 2.0)]);
+        let dup = SparseStream::from_slabs(5, vec![3, 3], vec![1.0f32, 2.0]);
         assert!(matches!(dup, Err(StreamError::UnsortedIndices { .. })));
-        let oob = SparseStream::from_sorted(5, vec![Entry::new(5, 1.0f32)]);
+        let oob = SparseStream::from_slabs(5, vec![5], vec![1.0f32]);
         assert!(matches!(oob, Err(StreamError::IndexOutOfBounds { .. })));
+        let mismatched = SparseStream::from_slabs(5, vec![1, 2], vec![1.0f32]);
+        assert!(matches!(
+            mismatched,
+            Err(StreamError::SlabLengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -528,6 +541,16 @@ mod tests {
     }
 
     #[test]
+    fn sparse_view_matches_restrict() {
+        let v = s(100, &[(5, 1.0), (20, 2.0), (21, 3.0), (90, 4.0)]);
+        let view = v.sparse_view().unwrap().range(20, 90);
+        let restricted = v.restrict(20, 90);
+        let expect = restricted.sparse_view().unwrap();
+        assert_eq!(view.indices(), expect.indices());
+        assert_eq!(view.values(), expect.values());
+    }
+
+    #[test]
     fn concat_disjoint_joins_partitions() {
         let a = s(100, &[(1, 1.0), (5, 2.0)]);
         let b = s(100, &[(50, 3.0)]);
@@ -556,8 +579,7 @@ mod tests {
 
     #[test]
     fn prune_zeros_drops_cancellations() {
-        let mut v =
-            SparseStream::from_sorted(5, vec![Entry::new(0, 0.0f32), Entry::new(2, 1.0)]).unwrap();
+        let mut v = SparseStream::from_slabs(5, vec![0, 2], vec![0.0f32, 1.0]).unwrap();
         assert_eq!(v.stored_len(), 2);
         v.prune_zeros();
         assert_eq!(v.stored_len(), 1);
@@ -566,13 +588,23 @@ mod tests {
 
     #[test]
     fn iter_nonzero_skips_zeros_in_both_reprs() {
-        let mut v =
-            SparseStream::from_sorted(5, vec![Entry::new(0, 0.0f32), Entry::new(2, 1.0)]).unwrap();
+        let mut v = SparseStream::from_slabs(5, vec![0, 2], vec![0.0f32, 1.0]).unwrap();
         let got: Vec<_> = v.iter_nonzero().collect();
         assert_eq!(got, vec![(2, 1.0)]);
         v.densify();
         let got: Vec<_> = v.iter_nonzero().collect();
         assert_eq!(got, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn into_sparse_returns_slabs() {
+        let v = s(10, &[(2, 1.0), (7, 2.0)]);
+        let sv = v.into_sparse().unwrap();
+        assert_eq!(sv.indices(), &[2, 7]);
+        assert_eq!(sv.values(), &[1.0, 2.0]);
+        let mut d = s(4, &[(0, 1.0)]);
+        d.densify();
+        assert!(d.into_sparse().is_none());
     }
 
     #[test]

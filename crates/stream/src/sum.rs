@@ -6,14 +6,18 @@
 //! * **sparse + sparse** — if the fill-in upper bound `|H1| + |H2|` exceeds
 //!   δ the result is produced dense (the paper deliberately uses this cheap
 //!   upper bound instead of computing `|H1 ∪ H2|`); otherwise a linear
-//!   merge of the two sorted entry lists;
-//! * **sparse + dense** — scatter the sparse entries into the dense buffer;
+//!   merge of the two sorted index/value slab pairs;
+//! * **sparse + dense** — scatter the sparse slabs into the dense buffer;
 //! * **dense + dense** — element-wise (auto-vectorized) addition in place,
 //!   allocating no new stream.
+//!
+//! All kernels walk the structure-of-arrays slabs directly (`&[u32]` next
+//! to `&[V]`), so the inner loops are branch-light slice traversals.
 
 use crate::error::StreamError;
 use crate::scalar::Scalar;
-use crate::stream::{Entry, Repr, SparseStream};
+use crate::soa::{SparseVec, SparseView};
+use crate::stream::{Repr, SparseStream};
 use crate::threshold::DensityPolicy;
 
 /// Outcome statistics of a summation, used by the collectives to charge
@@ -50,8 +54,6 @@ impl<V: Scalar> SparseStream<V> {
         let dim = self.dim();
         let delta = policy.delta::<V>(dim);
 
-        // Work on the representations directly; `self.repr` is replaced at
-        // the end of each branch.
         match (self.is_dense(), other.is_dense()) {
             (false, false) => {
                 let (a_len, b_len) = (self.stored_len(), other.stored_len());
@@ -65,17 +67,15 @@ impl<V: Scalar> SparseStream<V> {
                     })
                 } else {
                     let merged = {
-                        let Repr::Sparse(a) = self.repr() else {
-                            unreachable!()
-                        };
-                        let Repr::Sparse(b) = other.repr() else {
-                            unreachable!()
-                        };
+                        let a = self.sparse_view().expect("sparse operand");
+                        let b = other.sparse_view().expect("sparse operand");
                         merge_sorted(a, b)
                     };
                     let processed = merged.len();
-                    *self = SparseStream::from_sorted(dim, merged)
-                        .expect("merge of sorted inputs is sorted");
+                    // Merging two sorted slabs yields a sorted slab; skip
+                    // the O(n) revalidation scan.
+                    self.set_repr(Repr::Sparse(merged));
+                    debug_assert!(self.check_invariants().is_ok());
                     Ok(SumStats {
                         elements_processed: processed,
                         result_dense: false,
@@ -96,7 +96,6 @@ impl<V: Scalar> SparseStream<V> {
                 let Repr::Dense(b) = other.repr() else {
                     unreachable!()
                 };
-                let b = b.clone();
                 let Repr::Dense(a) = self.repr_mut() else {
                     unreachable!()
                 };
@@ -119,50 +118,52 @@ fn scatter_into_dense<V: Scalar>(
     sparse: &SparseStream<V>,
 ) -> Result<SumStats, StreamError> {
     debug_assert!(dense.is_dense());
-    let Repr::Sparse(entries) = sparse.repr() else {
+    let Some(view) = sparse.sparse_view() else {
         return Err(StreamError::Corrupt(
             "scatter_into_dense expects a sparse addend",
         ));
     };
-    let entries = entries.clone();
     let Repr::Dense(values) = dense.repr_mut() else {
         unreachable!()
     };
-    for e in &entries {
-        let slot = &mut values[e.idx as usize];
-        *slot = slot.add(e.val);
+    let (indices, addends) = (view.indices(), view.values());
+    for (i, v) in indices.iter().zip(addends) {
+        let slot = &mut values[*i as usize];
+        *slot = slot.add(*v);
     }
     Ok(SumStats {
-        elements_processed: entries.len(),
+        elements_processed: view.len(),
         result_dense: true,
         switched_to_dense: false,
     })
 }
 
-/// Linear merge of two sorted entry lists, summing values on equal indices.
-fn merge_sorted<V: Scalar>(a: &[Entry<V>], b: &[Entry<V>]) -> Vec<Entry<V>> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// Linear merge of two sorted slab pairs, summing values on equal indices.
+fn merge_sorted<V: Scalar>(a: SparseView<'_, V>, b: SparseView<'_, V>) -> SparseVec<V> {
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let mut out = SparseVec::with_capacity(ai.len() + bi.len());
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        let (ea, eb) = (a[i], b[j]);
-        match ea.idx.cmp(&eb.idx) {
+    while i < ai.len() && j < bi.len() {
+        match ai[i].cmp(&bi[j]) {
             std::cmp::Ordering::Less => {
-                out.push(ea);
+                out.push(ai[i], av[i]);
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                out.push(eb);
+                out.push(bi[j], bv[j]);
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                out.push(Entry::new(ea.idx, ea.val.add(eb.val)));
+                out.push(ai[i], av[i].add(bv[j]));
                 i += 1;
                 j += 1;
             }
         }
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+    // Bulk-copy whichever tail remains (one memcpy per slab).
+    out.extend_from_slabs(&ai[i..], &av[i..]);
+    out.extend_from_slabs(&bi[j..], &bv[j..]);
     out
 }
 
@@ -270,6 +271,18 @@ mod tests {
             a.add_assign(&b),
             Err(StreamError::DimMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn merge_handles_disjoint_tails() {
+        // One input entirely precedes the other: the merge body never
+        // runs and both tails are bulk-copied.
+        let mut a = s(100, &[(1, 1.0), (2, 2.0)]);
+        let b = s(100, &[(50, 3.0), (60, 4.0)]);
+        a.add_assign(&b).unwrap();
+        let view = a.sparse_view().unwrap();
+        assert_eq!(view.indices(), &[1, 2, 50, 60]);
+        assert_eq!(view.values(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

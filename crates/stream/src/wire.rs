@@ -1,78 +1,163 @@
-//! Wire encoding of sparse streams.
+//! Wire encoding of sparse streams — frame layout **v2** (slab codec).
 //!
 //! Layout (all little-endian):
 //!
 //! ```text
 //! [0]        magic 0xSC (0xC5)
-//! [1]        value width in bytes (4 = f32, 8 = f64)
-//! [2]        representation tag: 0 = sparse, 1 = dense
-//! [3..11]    dim  (u64)
-//! [11..19]   nnz  (u64, sparse only; dense payload length is dim)
-//! payload    sparse: nnz × (u32 idx, value)   dense: dim × value
+//! [1]        format version (2)
+//! [2]        value width in bytes (4 = f32, 8 = f64)
+//! [3]        representation tag: 0 = sparse, 1 = dense
+//! [4..12]    dim  (u64)
+//! [12..20]   nnz  (u64, sparse only; dense payload length is dim)
+//! payload    sparse: nnz × u32 index slab, then nnz × value slab
+//!            dense:  dim × value slab
 //! ```
 //!
-//! The representation tag is the paper's "extra value at the beginning of
-//! each vector that indicates whether the vector is dense or sparse" (§5.1).
+//! Version 1 interleaved `(index, value)` pairs and wrote each value
+//! through a per-entry scratch buffer. Version 2 writes the index slab and
+//! the value slab as two contiguous little-endian blocks, so encoding a
+//! structure-of-arrays stream is two bulk copies (a `memcpy` each on
+//! little-endian targets) and decoding is two bulk reads plus one
+//! validation scan. The representation tag is the paper's "extra value at
+//! the beginning of each vector that indicates whether the vector is dense
+//! or sparse" (§5.1).
+//!
+//! Decoding never trusts the peer: slab lengths are checked against the
+//! frame before allocation, indices are verified strictly increasing and
+//! in-bounds, and every failure is a typed [`StreamError`].
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 
 use crate::error::StreamError;
 use crate::scalar::Scalar;
-use crate::stream::{Entry, Repr, SparseStream};
+use crate::soa::{SparseVec, SparseView};
+use crate::stream::{Repr, SparseStream};
 
 const MAGIC: u8 = 0xC5;
+/// Current wire format version (slab layout).
+pub const WIRE_VERSION: u8 = 2;
 const TAG_SPARSE: u8 = 0;
 const TAG_DENSE: u8 = 1;
 
+const HEADER_LEN: usize = 12;
+const SPARSE_HEADER_LEN: usize = 20;
+
+/// Appends a `u32` index slab as one contiguous little-endian block.
+fn write_u32_slab_le(indices: &[u32], out: &mut Vec<u8>) {
+    #[cfg(target_endian = "little")]
+    out.extend_from_slice(crate::scalar::slab_as_le_bytes(indices));
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.reserve(indices.len() * 4);
+        for i in indices {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes a contiguous little-endian `u32` slab (one `memcpy` on
+/// little-endian targets, mirroring `Scalar::read_slab_le`).
+fn read_u32_slab_le(bytes: &[u8]) -> Vec<u32> {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    #[cfg(target_endian = "little")]
+    {
+        crate::scalar::slab_from_le_bytes(bytes)
+    }
+    #[cfg(not(target_endian = "little"))]
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+fn put_header(out: &mut Vec<u8>, width: u8, tag: u8, dim: usize) {
+    out.push(MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(width);
+    out.push(tag);
+    out.extend_from_slice(&(dim as u64).to_le_bytes());
+}
+
 impl<V: Scalar> SparseStream<V> {
-    /// Serializes the stream into a contiguous byte buffer.
+    /// Serializes the stream into a fresh contiguous byte buffer.
+    ///
+    /// Allocation-conscious callers (the collectives' buffer pools) use
+    /// [`SparseStream::encode_into`] to reuse a buffer instead.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
-        buf.put_u8(MAGIC);
-        buf.put_u8(V::BYTES as u8);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Bytes::from(out)
+    }
+
+    /// Serializes the stream into `out` (cleared first, capacity reused).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self.repr() {
-            Repr::Sparse(entries) => {
-                buf.put_u8(TAG_SPARSE);
-                buf.put_u64_le(self.dim() as u64);
-                buf.put_u64_le(entries.len() as u64);
-                let mut scratch = Vec::with_capacity(V::BYTES);
-                for e in entries {
-                    buf.put_u32_le(e.idx);
-                    scratch.clear();
-                    e.val.write_le(&mut scratch);
-                    buf.put_slice(&scratch);
-                }
+            Repr::Sparse(sv) => {
+                Self::encode_sparse_slice_into(self.dim(), sv.as_view(), out);
             }
             Repr::Dense(values) => {
-                buf.put_u8(TAG_DENSE);
-                buf.put_u64_le(self.dim() as u64);
-                let mut scratch = Vec::with_capacity(V::BYTES);
-                for v in values {
-                    scratch.clear();
-                    v.write_le(&mut scratch);
-                    buf.put_slice(&scratch);
-                }
+                Self::encode_dense_slice_into(values, out);
             }
         }
-        buf.freeze()
+    }
+
+    /// Encodes a borrowed sparse slice as a full wire frame of logical
+    /// dimension `dim` into `out` (cleared first, capacity reused) — the
+    /// allocation-free path the split algorithms use to put one partition
+    /// of a stream on the wire without materializing an intermediate
+    /// stream.
+    pub fn encode_sparse_slice_into(dim: usize, view: SparseView<'_, V>, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(SPARSE_HEADER_LEN + view.len() * (4 + V::BYTES));
+        put_header(out, V::BYTES as u8, TAG_SPARSE, dim);
+        out.extend_from_slice(&(view.len() as u64).to_le_bytes());
+        write_u32_slab_le(view.indices(), out);
+        V::write_slab_le(view.values(), out);
+    }
+
+    /// Encodes a dense value block as a full wire frame with
+    /// `dim == values.len()` into `out` (cleared first, capacity reused) —
+    /// used for partition blocks in the dense collectives.
+    pub fn encode_dense_slice_into(values: &[V], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(HEADER_LEN + values.len() * V::BYTES);
+        put_header(out, V::BYTES as u8, TAG_DENSE, values.len());
+        V::write_slab_le(values, out);
     }
 
     /// Exact byte length [`SparseStream::encode`] will produce.
     pub fn encoded_len(&self) -> usize {
         match self.repr() {
-            Repr::Sparse(entries) => 3 + 8 + 8 + entries.len() * (4 + V::BYTES),
-            Repr::Dense(_) => 3 + 8 + self.dim() * V::BYTES,
+            Repr::Sparse(sv) => SPARSE_HEADER_LEN + sv.len() * (4 + V::BYTES),
+            Repr::Dense(_) => HEADER_LEN + self.dim() * V::BYTES,
         }
     }
 
     /// Decodes a stream previously produced by [`SparseStream::encode`].
+    ///
+    /// The frame is fully validated before a stream is built: header
+    /// magic/version/width, payload length against the declared counts
+    /// (before any allocation), and — for sparse frames — strictly
+    /// increasing, in-bounds indices. Malformed frames yield typed
+    /// [`StreamError`]s; a peer can never hand us a stream that violates
+    /// the invariants.
     pub fn decode(bytes: &[u8]) -> Result<Self, StreamError> {
         let mut buf = bytes;
-        if buf.remaining() < 3 {
-            return Err(StreamError::Corrupt("header truncated"));
+        if buf.remaining() < HEADER_LEN {
+            return Err(StreamError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.remaining(),
+            });
         }
         if buf.get_u8() != MAGIC {
             return Err(StreamError::Corrupt("bad magic"));
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(StreamError::VersionMismatch {
+                expected: WIRE_VERSION,
+                actual: version,
+            });
         }
         let width = buf.get_u8() as usize;
         if width != V::BYTES {
@@ -82,38 +167,53 @@ impl<V: Scalar> SparseStream<V> {
             });
         }
         let tag = buf.get_u8();
-        if buf.remaining() < 8 {
-            return Err(StreamError::Corrupt("dim truncated"));
-        }
-        let dim = buf.get_u64_le() as usize;
+        let dim = buf.get_u64_le();
+        let dim = usize::try_from(dim).map_err(|_| StreamError::Corrupt("dimension overflow"))?;
         match tag {
             TAG_SPARSE => {
                 if buf.remaining() < 8 {
-                    return Err(StreamError::Corrupt("nnz truncated"));
+                    return Err(StreamError::Truncated {
+                        needed: SPARSE_HEADER_LEN,
+                        got: bytes.len(),
+                    });
                 }
-                let nnz = buf.get_u64_le() as usize;
-                if buf.remaining() != nnz * (4 + V::BYTES) {
-                    return Err(StreamError::Corrupt("sparse payload length mismatch"));
+                let nnz = buf.get_u64_le();
+                let nnz = usize::try_from(nnz)
+                    .map_err(|_| StreamError::Corrupt("entry count overflow"))?;
+                if nnz > dim {
+                    return Err(StreamError::Corrupt("entry count exceeds dimension"));
                 }
-                let mut entries = Vec::with_capacity(nnz);
-                for _ in 0..nnz {
-                    let idx = buf.get_u32_le();
-                    let val = V::read_le(&buf[..V::BYTES]);
-                    buf.advance(V::BYTES);
-                    entries.push(Entry::new(idx, val));
+                let payload = nnz
+                    .checked_mul(4 + V::BYTES)
+                    .ok_or(StreamError::Corrupt("payload length overflow"))?;
+                if buf.remaining() < payload {
+                    return Err(StreamError::Truncated {
+                        needed: SPARSE_HEADER_LEN + payload,
+                        got: bytes.len(),
+                    });
                 }
-                SparseStream::from_sorted(dim, entries)
+                if buf.remaining() > payload {
+                    return Err(StreamError::Corrupt("trailing bytes after sparse payload"));
+                }
+                let (idx_slab, val_slab) = buf.split_at(nnz * 4);
+                let indices = read_u32_slab_le(idx_slab);
+                let values = V::read_slab_le(val_slab);
+                SparseStream::from_sorted(dim, SparseVec::from_slabs(indices, values))
             }
             TAG_DENSE => {
-                if buf.remaining() != dim * V::BYTES {
-                    return Err(StreamError::Corrupt("dense payload length mismatch"));
+                let payload = dim
+                    .checked_mul(V::BYTES)
+                    .ok_or(StreamError::Corrupt("payload length overflow"))?;
+                if buf.remaining() < payload {
+                    return Err(StreamError::Truncated {
+                        needed: HEADER_LEN + payload,
+                        got: bytes.len(),
+                    });
                 }
-                let mut values = Vec::with_capacity(dim);
-                for _ in 0..dim {
-                    values.push(V::read_le(&buf[..V::BYTES]));
-                    buf.advance(V::BYTES);
+                if buf.remaining() > payload {
+                    return Err(StreamError::Corrupt("trailing bytes after dense payload"));
                 }
-                Ok(SparseStream::from_dense(values))
+                Ok(SparseStream::from_dense(V::read_slab_le(buf)))
             }
             _ => Err(StreamError::Corrupt("unknown representation tag")),
         }
@@ -143,6 +243,54 @@ mod tests {
     }
 
     #[test]
+    fn frame_layout_is_slab_ordered() {
+        // Indices must form one contiguous block before the value block.
+        let v = SparseStream::from_pairs(100, &[(1, 1.0f32), (2, 2.0), (7, 3.0)]).unwrap();
+        let bytes = v.encode();
+        assert_eq!(bytes[1], WIRE_VERSION);
+        let idx_slab = &bytes[SPARSE_HEADER_LEN..SPARSE_HEADER_LEN + 12];
+        assert_eq!(read_u32_slab_le(idx_slab), vec![1, 2, 7]);
+        let val_slab = &bytes[SPARSE_HEADER_LEN + 12..];
+        assert_eq!(f32::read_slab_le(val_slab), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let v = SparseStream::from_pairs(64, &[(5, 1.0f32)]).unwrap();
+        let mut buf = Vec::with_capacity(256);
+        v.encode_into(&mut buf);
+        let cap = buf.capacity();
+        let first = buf.clone();
+        v.encode_into(&mut buf);
+        assert_eq!(buf, first);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn sparse_slice_frame_equals_restrict_encode() {
+        let v =
+            SparseStream::from_pairs(100, &[(3, 1.0f32), (20, 2.0), (55, 3.0), (90, 4.0)]).unwrap();
+        let mut direct = Vec::new();
+        SparseStream::encode_sparse_slice_into(
+            v.dim(),
+            v.sparse_view().unwrap().range(10, 60),
+            &mut direct,
+        );
+        let via_restrict = v.restrict(10, 60).encode();
+        assert_eq!(direct, via_restrict.as_ref());
+    }
+
+    #[test]
+    fn dense_slice_frame_round_trips() {
+        let block = vec![1.0f32, -2.5, 0.0];
+        let mut out = Vec::new();
+        SparseStream::encode_dense_slice_into(&block, &mut out);
+        let back = SparseStream::<f32>::decode(&out).unwrap();
+        assert!(back.is_dense());
+        assert_eq!(back.into_dense_vec(), block);
+    }
+
+    #[test]
     fn decode_rejects_wrong_width() {
         let v = SparseStream::from_pairs(10, &[(1, 1.0f32)]).unwrap();
         let bytes = v.encode();
@@ -154,15 +302,108 @@ mod tests {
     fn decode_rejects_truncation_and_garbage() {
         let v = SparseStream::from_pairs(10, &[(1, 1.0f32), (5, 2.0)]).unwrap();
         let bytes = v.encode();
-        for cut in [0usize, 1, 2, 5, bytes.len() - 1] {
+        for cut in [0usize, 1, 2, 5, 12, 19, bytes.len() - 1] {
+            let err = SparseStream::<f32>::decode(&bytes[..cut]).unwrap_err();
             assert!(
-                SparseStream::<f32>::decode(&bytes[..cut]).is_err(),
-                "cut at {cut}"
+                matches!(err, StreamError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
             );
         }
         let mut garbage = bytes.to_vec();
         garbage[0] = 0x00;
         assert!(SparseStream::<f32>::decode(&garbage).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_old_version() {
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        bytes[1] = 1;
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::VersionMismatch {
+                expected: WIRE_VERSION,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_indices() {
+        // A hostile peer flips the index slab order; the values are valid.
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32), (5, 2.0)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        // Swap the two u32 indices in the slab.
+        bytes.copy_within(
+            SPARSE_HEADER_LEN + 4..SPARSE_HEADER_LEN + 8,
+            SPARSE_HEADER_LEN,
+        );
+        bytes[SPARSE_HEADER_LEN + 4..SPARSE_HEADER_LEN + 8].copy_from_slice(&1u32.to_le_bytes());
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, StreamError::UnsortedIndices { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_indices() {
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32), (5, 2.0)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        bytes[SPARSE_HEADER_LEN + 4..SPARSE_HEADER_LEN + 8].copy_from_slice(&1u32.to_le_bytes());
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StreamError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_bounds_index() {
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32), (5, 2.0)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        bytes[SPARSE_HEADER_LEN + 4..SPARSE_HEADER_LEN + 8].copy_from_slice(&10u32.to_le_bytes());
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::IndexOutOfBounds { idx: 10, dim: 10 }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_nnz_exceeding_dim() {
+        let v = SparseStream::from_pairs(4, &[(1, 1.0f32)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        bytes[12..20].copy_from_slice(&1000u64.to_le_bytes());
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StreamError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn decode_rejects_huge_declared_counts_without_allocating() {
+        // A frame declaring u64::MAX entries must fail cleanly on length
+        // math, not attempt a giant allocation.
+        let v = SparseStream::from_pairs(8, &[(1, 1.0f32)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        bytes[4..12].copy_from_slice(&u64::MAX.to_le_bytes()); // dim
+        bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes()); // nnz
+        assert!(SparseStream::<f32>::decode(&bytes).is_err());
+        // Dense frame with an absurd dimension and no payload.
+        let d = SparseStream::from_dense(vec![0.0f32; 2]);
+        let mut bytes = d.encode().to_vec();
+        bytes[4..12].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, StreamError::Truncated { .. } | StreamError::Corrupt(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let v = SparseStream::from_pairs(10, &[(1, 1.0f32)]).unwrap();
+        let mut bytes = v.encode().to_vec();
+        bytes.push(0xFF);
+        let err = SparseStream::<f32>::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StreamError::Corrupt(_)));
     }
 
     #[test]

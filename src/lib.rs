@@ -4,8 +4,10 @@
 //! per rank whose collectives are fluent builders, running over any
 //! [`Transport`] backend ([`Endpoint`] virtual-time, [`ThreadTransport`]
 //! real threads), with `Algorithm::Auto` — the paper's §5.3 adaptive
-//! selector — as the default schedule. See the README for a quickstart
-//! and the migration table from the 0.1 free-function API.
+//! selector — as the default schedule. Sparse payloads use a
+//! structure-of-arrays layout (index slab + value slab) with a bulk slab
+//! wire codec and pooled message buffers; see the README's architecture
+//! section for the layout and the buffer-pool lifecycle.
 
 pub use sparcml_core as core;
 pub use sparcml_net as net;

@@ -202,9 +202,9 @@ fn mixed_blocking_and_nonblocking_collectives() {
 }
 
 #[test]
-fn deprecated_free_function_shims_still_work() {
-    // The 0.1 surface is kept for one release; it must agree with the
-    // builder path bit-for-bit.
+fn per_algorithm_entry_points_match_builder() {
+    // The generic per-algorithm functions stay public; they must agree
+    // with the builder path bit-for-bit.
     let p = 4;
     let ins: Vec<SparseStream<f32>> = (0..p)
         .map(|r| random_sparse(1024, 32, 31 + r as u64))
@@ -216,17 +216,15 @@ fn deprecated_free_function_shims_still_work() {
             .and_then(|handle| handle.wait())
             .unwrap()
     });
-    let via_shim = sparcml::net::run_cluster(p, CostModel::zero(), |ep| {
-        #[allow(deprecated)]
-        sparcml::core::allreduce(
+    let direct = sparcml::net::run_cluster(p, CostModel::zero(), |ep| {
+        sparcml::core::ssar_recursive_double(
             ep,
             &ins[Transport::rank(ep)],
-            Algorithm::SsarRecDbl,
             &AllreduceConfig::default(),
         )
         .unwrap()
     });
-    assert_eq!(via_builder, via_shim);
+    assert_eq!(via_builder, direct);
 }
 
 #[test]

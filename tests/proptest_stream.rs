@@ -105,6 +105,160 @@ fn encode_decode_round_trip() {
 }
 
 #[test]
+fn slab_codec_round_trip_all_shapes() {
+    // Sparse/dense × f32/f64, sweeping density from empty to full.
+    let mut rng = XorShift64::new(40);
+    for case in 0..CASES {
+        let dim = 8 + rng.next_below(504) as usize;
+        // Hit the edges explicitly: empty, a single entry, full density.
+        let nnz = match case % 4 {
+            0 => 0,
+            1 => 1,
+            2 => dim,
+            _ => rng.next_below(dim as u64) as usize,
+        };
+        let mut idx: Vec<u32> = (0..dim as u32).collect();
+        // Deterministic shuffle-truncate-sort to pick nnz distinct indices.
+        for i in (1..idx.len()).rev() {
+            let j = rng.next_below((i + 1) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(nnz);
+        idx.sort_unstable();
+
+        let vals32: Vec<f32> = idx.iter().map(|_| rng.next_gaussian() as f32).collect();
+        let s32 = SparseStream::from_slabs(dim, idx.clone(), vals32).unwrap();
+        let back = SparseStream::<f32>::decode(&s32.encode()).unwrap();
+        assert_eq!(back, s32, "sparse f32 dim={dim} nnz={nnz}");
+
+        let vals64: Vec<f64> = idx.iter().map(|_| rng.next_gaussian()).collect();
+        let s64 = SparseStream::from_slabs(dim, idx.clone(), vals64).unwrap();
+        let back = SparseStream::<f64>::decode(&s64.encode()).unwrap();
+        assert_eq!(back, s64, "sparse f64 dim={dim} nnz={nnz}");
+
+        let mut d32 = s32.clone();
+        d32.densify();
+        let back = SparseStream::<f32>::decode(&d32.encode()).unwrap();
+        assert_eq!(back, d32, "dense f32 dim={dim}");
+
+        let mut d64 = s64.clone();
+        d64.densify();
+        let back = SparseStream::<f64>::decode(&d64.encode()).unwrap();
+        assert_eq!(back, d64, "dense f64 dim={dim}");
+    }
+}
+
+#[test]
+fn slab_codec_encode_into_is_stable_under_reuse() {
+    // One reused buffer across frames of very different sizes must always
+    // produce exactly the frame a fresh encode would.
+    let mut rng = XorShift64::new(41);
+    let mut buf = Vec::new();
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
+        let mut s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        if rng.next_below(2) == 0 {
+            s.densify();
+        }
+        s.encode_into(&mut buf);
+        assert_eq!(buf.as_slice(), s.encode().as_ref());
+        assert_eq!(buf.len(), s.encoded_len());
+    }
+}
+
+/// Reference array-of-structs summation: a sorted `Vec<(u32, V)>` merged
+/// entry by entry, the way the pre-SoA stream computed sums.
+fn aos_reference_sum(dim: usize, a: &SparseStream<f32>, b: &SparseStream<f32>) -> Vec<f32> {
+    let mut pairs: Vec<(u32, f32)> = Vec::new();
+    for s in [a, b] {
+        for (i, v) in s.iter_nonzero() {
+            pairs.push((i, v));
+        }
+    }
+    pairs.sort_by_key(|&(i, _)| i);
+    let mut out = vec![0.0f32; dim];
+    for (i, v) in pairs {
+        out[i as usize] += v;
+    }
+    out
+}
+
+#[test]
+fn soa_sum_equals_aos_reference_across_repr_switches() {
+    // The SoA merge/scatter kernels must agree with the entry-by-entry
+    // AoS reference for every repr combination, including the summations
+    // that cross the δ threshold and switch representation mid-call.
+    let mut rng = XorShift64::new(42);
+    for case in 0..CASES {
+        let (dim, a_pairs) = stream_inputs(&mut rng);
+        // Push some cases past δ so the sparse+sparse path densifies.
+        let b_nnz = if case % 3 == 0 {
+            (dim * 2 / 3).max(1)
+        } else {
+            (dim / 6).max(1)
+        };
+        let mut sa = SparseStream::from_pairs(dim, &a_pairs).unwrap();
+        let mut sb = sparcml::stream::random_sparse::<f32>(dim, b_nnz, rng.next_below(1 << 20));
+        if case % 4 == 1 {
+            sa.densify();
+        }
+        if case % 4 == 2 {
+            sb.densify();
+        }
+        let expect = aos_reference_sum(dim, &sa, &sb);
+        let stats = sa.add_assign(&sb).unwrap();
+        sa.check_invariants().unwrap();
+        assert_eq!(stats.result_dense, sa.is_dense());
+        let got = sa.to_dense_vec();
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - e).abs() <= 1e-3 * (1.0 + e.abs()),
+                "case {case} coord {i}: {g} vs {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decoded_frames_always_satisfy_invariants() {
+    // Whatever bytes decode accepts must already satisfy the stream
+    // invariants — the collectives rely on never re-validating.
+    let mut rng = XorShift64::new(43);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
+        let s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        let decoded = SparseStream::<f32>::decode(&s.encode()).unwrap();
+        decoded.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn malformed_frames_never_decode() {
+    // Random single-byte corruptions either still decode to an
+    // invariant-satisfying stream (value bytes) or fail with a typed
+    // error — never an invalid stream, never a panic.
+    let mut rng = XorShift64::new(44);
+    for _ in 0..CASES {
+        let (dim, pairs) = stream_inputs(&mut rng);
+        let s = SparseStream::from_pairs(dim, &pairs).unwrap();
+        let bytes = s.encode().to_vec();
+        for _ in 0..8 {
+            let mut corrupted = bytes.clone();
+            let pos = rng.next_below(corrupted.len() as u64) as usize;
+            corrupted[pos] ^= 1 << rng.next_below(8);
+            if let Ok(decoded) = SparseStream::<f32>::decode(&corrupted) {
+                decoded.check_invariants().unwrap();
+            }
+            // Truncations of the corrupted frame must also fail cleanly.
+            let cut = rng.next_below(corrupted.len() as u64) as usize;
+            if let Ok(decoded) = SparseStream::<f32>::decode(&corrupted[..cut]) {
+                decoded.check_invariants().unwrap();
+            }
+        }
+    }
+}
+
+#[test]
 fn restrict_partition_concat_is_identity() {
     let mut rng = XorShift64::new(5);
     for _ in 0..CASES {
