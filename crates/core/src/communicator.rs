@@ -31,7 +31,8 @@
 //! merge, §7).
 
 use sparcml_net::{
-    run_cluster, run_thread_cluster, CommStats, CostModel, Endpoint, ThreadTransport, Transport,
+    run_cluster, run_tcp_loopback_cluster, run_thread_cluster, CommStats, CostModel, Endpoint,
+    TcpTransport, ThreadTransport, Transport, TransportConfig,
 };
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
@@ -711,6 +712,46 @@ where
     F: Fn(&mut Communicator<ThreadTransport>) -> R + Sync,
 {
     run_thread_cluster(size, |tp| {
+        let mut comm = Communicator::new(tp.detach());
+        let out = f(&mut comm);
+        *tp = comm.into_transport();
+        out
+    })
+}
+
+/// Runs `f` once per rank over a `size`-rank loopback **TCP** cluster —
+/// real sockets, one OS thread per rank in this process — each rank
+/// wrapped in a `Communicator<TcpTransport>`. The in-process sibling of
+/// the multi-process path (`sparcml_net::launcher::run_tcp_cluster` +
+/// `Communicator::new(TcpTransport::from_env()?)`), with the
+/// [`CostModel::loopback_tcp`] planning hint so [`Algorithm::Auto`]'s
+/// k-agreement and selection run over the real wire.
+pub fn run_tcp_communicators<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator<TcpTransport>) -> R + Sync,
+{
+    run_tcp_communicators_with(
+        size,
+        CostModel::loopback_tcp(),
+        TransportConfig::default(),
+        f,
+    )
+}
+
+/// [`run_tcp_communicators`] with an explicit planning hint and transport
+/// configuration (watchdog/connect deadlines, frame limit).
+pub fn run_tcp_communicators_with<R, F>(
+    size: usize,
+    cost_hint: CostModel,
+    config: TransportConfig,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator<TcpTransport>) -> R + Sync,
+{
+    run_tcp_loopback_cluster(size, cost_hint, config, |tp| {
         let mut comm = Communicator::new(tp.detach());
         let out = f(&mut comm);
         *tp = comm.into_transport();

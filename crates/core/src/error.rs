@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: CollError = CommError::Disconnected { peer: 2 }.into();
+        let e: CollError = CommError::PeerDisconnected { peer: 2 }.into();
         assert!(e.to_string().contains("communication"));
         let e: CollError = StreamError::Corrupt("x").into();
         assert!(e.to_string().contains("stream"));

@@ -73,8 +73,9 @@ pub use allreduce::{
     ssar_recursive_double, ssar_split_allgather, Algorithm, AllreduceConfig,
 };
 pub use communicator::{
-    max_communicator_time, run_communicators, run_thread_communicators, Allgather, AllgatherSum,
-    Allreduce, Broadcast, CollectiveHandle, Communicator, DenseAllgather, Reduce, ReduceScatter,
+    max_communicator_time, run_communicators, run_tcp_communicators, run_tcp_communicators_with,
+    run_thread_communicators, Allgather, AllgatherSum, Allreduce, Broadcast, CollectiveHandle,
+    Communicator, DenseAllgather, Reduce, ReduceScatter,
 };
 pub use error::CollError;
 pub use nonblocking::Request;
@@ -86,4 +87,4 @@ pub use rooted::{
 pub use selector::{estimate_time, estimate_time_with_union, select_algorithm};
 // Re-exported so downstream code can name transports without depending on
 // sparcml-net directly.
-pub use sparcml_net::{Endpoint, ThreadTransport, Transport};
+pub use sparcml_net::{Endpoint, TcpTransport, ThreadTransport, Transport, TransportConfig};

@@ -1,0 +1,98 @@
+//! Timeout and resource limits shared by the real transports.
+//!
+//! The virtual-time [`crate::Endpoint`] never waits on a wall clock, but
+//! both real backends ([`crate::ThreadTransport`], [`crate::TcpTransport`])
+//! must decide how long to wait for a peer before concluding it is lost.
+//! [`TransportConfig`] centralizes those knobs so every real transport
+//! fails loudly on the same schedule — a dead peer turns into a typed
+//! error instead of hanging a collective (and any CI run) forever.
+
+use std::time::Duration;
+
+/// Tunable limits for real (wall-clock) transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Receive watchdog: how long a `recv` waits for a matching message
+    /// before concluding the peer is lost. Default 30 s.
+    pub recv_timeout: Duration,
+    /// How long bootstrap steps (rendezvous dial, mesh accept/dial,
+    /// handshake frames) may take before the whole connection attempt is
+    /// abandoned. Default 10 s.
+    pub connect_timeout: Duration,
+    /// Upper bound on a single data frame's declared payload length;
+    /// larger declarations are treated as protocol corruption rather than
+    /// honored with a giant allocation. Default 1 GiB.
+    pub max_frame_len: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            recv_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(10),
+            max_frame_len: 1 << 30,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Builder-style override of the receive watchdog.
+    pub fn with_recv_timeout(mut self, recv_timeout: Duration) -> Self {
+        self.recv_timeout = recv_timeout;
+        self
+    }
+
+    /// Builder-style override of the bootstrap/connect deadline.
+    pub fn with_connect_timeout(mut self, connect_timeout: Duration) -> Self {
+        self.connect_timeout = connect_timeout;
+        self
+    }
+
+    /// Default config with environment overrides applied — the knobs a
+    /// manually launched multi-machine run can set next to the
+    /// `SPARCML_RANK`/`SPARCML_WORLD`/`SPARCML_ROOT_ADDR` bootstrap:
+    ///
+    /// * `SPARCML_RECV_TIMEOUT_MS` — receive watchdog in milliseconds;
+    /// * `SPARCML_CONNECT_TIMEOUT_MS` — bootstrap deadline in milliseconds.
+    ///
+    /// Unset or unparsable variables keep their defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = TransportConfig::default();
+        if let Some(ms) = env_millis("SPARCML_RECV_TIMEOUT_MS") {
+            cfg.recv_timeout = ms;
+        }
+        if let Some(ms) = env_millis("SPARCML_CONNECT_TIMEOUT_MS") {
+            cfg.connect_timeout = ms;
+        }
+        cfg
+    }
+}
+
+fn env_millis(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = TransportConfig::default();
+        assert_eq!(cfg.recv_timeout, Duration::from_secs(30));
+        assert!(cfg.connect_timeout < cfg.recv_timeout);
+        assert_eq!(cfg.max_frame_len, 1 << 30);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = TransportConfig::default()
+            .with_recv_timeout(Duration::from_millis(50))
+            .with_connect_timeout(Duration::from_millis(75));
+        assert_eq!(cfg.recv_timeout, Duration::from_millis(50));
+        assert_eq!(cfg.connect_timeout, Duration::from_millis(75));
+    }
+}

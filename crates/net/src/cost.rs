@@ -57,6 +57,20 @@ impl CostModel {
         }
     }
 
+    /// Kernel loopback TCP (the `TcpTransport` test/bench deployment):
+    /// ~15 µs per message through the full socket stack, ~5 GB/s
+    /// effective single-stream bandwidth. This is the default *planning
+    /// hint* the adaptive selector uses for loopback TCP clusters — the
+    /// clock on a real transport is wall time, not this model.
+    pub fn loopback_tcp() -> Self {
+        CostModel {
+            alpha: 1.5e-5,
+            beta: 2.0e-10,
+            gamma: 1.0e-9,
+            isend_alpha_fraction: 0.1,
+        }
+    }
+
     /// Free network: correctness tests that should not depend on timing.
     pub fn zero() -> Self {
         CostModel {

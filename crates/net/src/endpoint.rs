@@ -176,7 +176,7 @@ impl Endpoint {
         };
         self.senders[dst]
             .send(msg)
-            .map_err(|_| CommError::Disconnected { peer: dst })
+            .map_err(|_| CommError::PeerDisconnected { peer: dst })
     }
 
     /// Blocking send: charges the full injection latency α to the sender.
@@ -211,7 +211,7 @@ impl Endpoint {
             let msg = self
                 .inbox
                 .recv()
-                .map_err(|_| CommError::Disconnected { peer: src })?;
+                .map_err(|_| CommError::PeerDisconnected { peer: src })?;
             if msg.src == src && msg.tag == tag {
                 return Ok(self.accept(msg));
             }
@@ -247,7 +247,7 @@ impl Endpoint {
             let msg = self
                 .inbox
                 .recv()
-                .map_err(|_| CommError::Disconnected { peer: self.rank })?;
+                .map_err(|_| CommError::PeerDisconnected { peer: self.rank })?;
             if msg.tag == tag {
                 let src = msg.src;
                 return Ok((src, self.accept(msg)));

@@ -1,6 +1,7 @@
 //! Transport error types.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors surfaced by the message-passing layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,11 +13,30 @@ pub enum CommError {
         /// Communicator size.
         size: usize,
     },
-    /// The peer's endpoint was dropped (rank thread exited or panicked).
-    Disconnected {
+    /// The peer's session ended (rank thread exited or panicked, process
+    /// died, or its socket closed — possibly mid-frame).
+    PeerDisconnected {
         /// Rank of the lost peer.
         peer: usize,
     },
+    /// A bootstrap handshake failed validation: wrong protocol magic or
+    /// version, inconsistent cluster size, or a duplicate/out-of-range
+    /// rank announced itself.
+    HandshakeMismatch {
+        /// What the handshake expected vs. what arrived.
+        detail: String,
+    },
+    /// Nothing arrived from the peer within the configured watchdog
+    /// deadline (see `TransportConfig::recv_timeout`).
+    Timeout {
+        /// Rank being waited on.
+        peer: usize,
+        /// How long the wait lasted before giving up.
+        waited: Duration,
+    },
+    /// An operating-system I/O failure on the wire (message preserves the
+    /// underlying `std::io::Error` text).
+    Io(String),
     /// A payload failed validation at a higher layer.
     Protocol(String),
 }
@@ -30,13 +50,26 @@ impl fmt::Display for CommError {
                     "rank {rank} out of range for communicator of size {size}"
                 )
             }
-            CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            CommError::PeerDisconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            CommError::HandshakeMismatch { detail } => {
+                write!(f, "handshake mismatch: {detail}")
+            }
+            CommError::Timeout { peer, waited } => {
+                write!(f, "timed out after {waited:?} waiting on rank {peer}")
+            }
+            CommError::Io(msg) => write!(f, "transport I/O error: {msg}"),
             CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for CommError {}
+
+impl From<std::io::Error> for CommError {
+    fn from(e: std::io::Error) -> Self {
+        CommError::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -46,7 +79,23 @@ mod tests {
     fn display_mentions_ranks() {
         let e = CommError::InvalidRank { rank: 9, size: 4 };
         assert!(e.to_string().contains('9'));
-        let e = CommError::Disconnected { peer: 3 };
+        let e = CommError::PeerDisconnected { peer: 3 };
         assert!(e.to_string().contains('3'));
+        let e = CommError::Timeout {
+            peer: 5,
+            waited: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains('5'));
+        let e = CommError::HandshakeMismatch {
+            detail: "version 1 vs 2".into(),
+        };
+        assert!(e.to_string().contains("version"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe burst");
+        let e: CommError = io.into();
+        assert!(e.to_string().contains("pipe burst"));
     }
 }

@@ -1,0 +1,402 @@
+//! Multi-process cluster launcher: the stand-in for `mpirun`.
+//!
+//! [`run_tcp_cluster`] turns one test (or example `main`) into a real
+//! multi-process job: the parent re-executes the current binary once per
+//! rank with the `SPARCML_RANK` / `SPARCML_WORLD` / `SPARCML_ROOT_ADDR`
+//! bootstrap variables set, each child rendezvouses into a
+//! [`TcpTransport`] over loopback ([`TcpTransport::from_env`]), runs the
+//! caller's rank program, and reports its result back over stdout. The
+//! parent enforces a hard wall-clock deadline — a deadlocked cluster
+//! fails the build instead of stalling it.
+//!
+//! The same function is both the orchestrator and the worker: it checks
+//! the environment to see which role this process plays, so the call
+//! site is a single block (the `let Some(..) = .. else { return }`
+//! pattern):
+//!
+//! ```no_run
+//! use sparcml_net::launcher::{run_tcp_cluster, LaunchOptions};
+//! use sparcml_net::Transport;
+//!
+//! // Inside a test named `my_tcp_test` in an integration-test binary:
+//! let opts = LaunchOptions::for_test();
+//! let Some(results) = run_tcp_cluster("my_tcp_test", 4, &opts, |tp| {
+//!     format!("rank {} of {}", tp.rank(), tp.size())
+//! }) else {
+//!     return; // this process was a worker rank; the parent asserts
+//! };
+//! assert_eq!(results.len(), 4);
+//! ```
+//!
+//! For manual multi-machine runs skip the launcher entirely: export the
+//! three `SPARCML_*` variables on each machine by hand and call
+//! [`TcpTransport::from_env`] directly.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::tcp::{TcpTransport, ENV_RANK, ENV_ROOT_ADDR, ENV_WORLD};
+
+/// Job-name guard: a worker only runs the closure of the job it was
+/// spawned for (defense in depth next to the `--exact` test filter).
+const ENV_JOB: &str = "SPARCML_JOB";
+
+/// Marker prefixing a worker's result line on stdout.
+const RESULT_MARKER: &str = "SPARCML_RESULT:";
+
+/// How the parent launches and supervises rank subprocesses.
+#[derive(Debug, Clone)]
+pub struct LaunchOptions {
+    /// Hard wall-clock deadline for the whole job; stragglers are killed
+    /// and reported once it passes. Default 120 s.
+    pub timeout: Duration,
+    /// Forwarded to every rank as `SPARCML_RECV_TIMEOUT_MS` (the receive
+    /// watchdog [`crate::TransportConfig::recv_timeout`]).
+    pub recv_timeout: Option<Duration>,
+    /// Forwarded to every rank as `SPARCML_CONNECT_TIMEOUT_MS`.
+    pub connect_timeout: Option<Duration>,
+    /// When launching from inside a `#[test]`, pass the libtest filter
+    /// flags (`<job> --exact --nocapture`) so each child process runs
+    /// exactly the calling test and nothing else. Leave `false` when the
+    /// caller is a plain binary/example whose `main` re-enters the
+    /// launcher on its own.
+    pub test_harness: bool,
+    /// Extra environment variables for every rank.
+    pub env: Vec<(String, String)>,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> Self {
+        LaunchOptions {
+            timeout: Duration::from_secs(120),
+            recv_timeout: None,
+            connect_timeout: None,
+            test_harness: false,
+            env: Vec::new(),
+        }
+    }
+}
+
+impl LaunchOptions {
+    /// Defaults for launching from inside a `#[test]` function: the job
+    /// name must be the test's full path so the `--exact` filter
+    /// re-enters exactly that test in each rank process.
+    pub fn for_test() -> Self {
+        LaunchOptions {
+            test_harness: true,
+            ..LaunchOptions::default()
+        }
+    }
+
+    /// Builder-style override of the job deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the ranks' receive watchdog.
+    pub fn with_recv_timeout(mut self, recv_timeout: Duration) -> Self {
+        self.recv_timeout = Some(recv_timeout);
+        self
+    }
+}
+
+/// What became of one rank subprocess.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// The rank this child ran as.
+    pub rank: usize,
+    /// Process exit code (`None` when killed by a signal — including the
+    /// parent's deadline kill).
+    pub exit_code: Option<i32>,
+    /// The rank program's return value, if the worker got far enough to
+    /// report one.
+    pub result: Option<String>,
+    /// Everything the child wrote to stdout (harness chatter plus the
+    /// result marker line).
+    pub stdout: String,
+    /// Everything the child wrote to stderr (panic messages live here).
+    pub stderr: String,
+    /// Whether the parent killed this child at the deadline.
+    pub timed_out: bool,
+}
+
+impl RankOutcome {
+    /// A rank succeeded iff it exited 0 in time and reported a result.
+    pub fn ok(&self) -> bool {
+        self.exit_code == Some(0) && self.result.is_some() && !self.timed_out
+    }
+}
+
+/// Runs `f` once per rank across `world` real OS processes over loopback
+/// TCP and returns the per-rank results, indexed by rank.
+///
+/// Returns `None` in worker processes (the parent does the asserting) and
+/// panics in the parent if any rank failed, timed out, or reported no
+/// result — with the failing ranks' stderr in the message.
+pub fn run_tcp_cluster<F>(
+    job: &str,
+    world: usize,
+    opts: &LaunchOptions,
+    f: F,
+) -> Option<Vec<String>>
+where
+    F: FnOnce(&mut TcpTransport) -> String,
+{
+    let outcomes = run_tcp_cluster_outcomes(job, world, opts, f)?;
+    let mut results = Vec::with_capacity(world);
+    let mut failures = String::new();
+    for o in &outcomes {
+        if o.ok() {
+            results.push(o.result.clone().expect("ok implies result"));
+        } else {
+            failures.push_str(&format!(
+                "\n--- rank {} (exit {:?}{}) ---\nstdout:\n{}\nstderr:\n{}",
+                o.rank,
+                o.exit_code,
+                if o.timed_out {
+                    ", killed at deadline"
+                } else {
+                    ""
+                },
+                o.stdout.trim_end(),
+                o.stderr.trim_end()
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        panic!("tcp cluster job '{job}' failed:{failures}");
+    }
+    Some(results)
+}
+
+/// [`run_tcp_cluster`] without the success policy: returns every rank's
+/// [`RankOutcome`] so callers can assert on deliberate failures (e.g. a
+/// killed peer making the survivors error out).
+pub fn run_tcp_cluster_outcomes<F>(
+    job: &str,
+    world: usize,
+    opts: &LaunchOptions,
+    f: F,
+) -> Option<Vec<RankOutcome>>
+where
+    F: FnOnce(&mut TcpTransport) -> String,
+{
+    assert!(world > 0, "cluster needs at least one rank");
+    if let Ok(rank) = std::env::var(ENV_RANK) {
+        // Worker role: run the rank program and report over stdout.
+        match std::env::var(ENV_JOB) {
+            Ok(j) if j == job => {}
+            // Spawned for a different job — not ours to run.
+            _ => return None,
+        }
+        let mut tp = TcpTransport::from_env()
+            .unwrap_or_else(|e| panic!("rank {rank} failed to join the cluster: {e}"));
+        let out = f(&mut tp);
+        drop(tp); // orderly teardown: drain writers, FIN, join readers
+        println!("{RESULT_MARKER}{rank}:{}", to_hex(&out));
+        return None;
+    }
+    Some(orchestrate(job, world, opts))
+}
+
+/// Parent role: spawn one subprocess per rank, supervise with a hard
+/// deadline, and collect outcomes.
+fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome> {
+    let root_addr = reserve_loopback_addr();
+    let exe = std::env::current_exe().expect("current executable path");
+    let deadline = Instant::now() + opts.timeout;
+
+    struct Running {
+        child: Child,
+        stdout: std::thread::JoinHandle<String>,
+        stderr: std::thread::JoinHandle<String>,
+        timed_out: bool,
+    }
+
+    let mut running: Vec<Running> = (0..world)
+        .map(|rank| {
+            let mut cmd = Command::new(&exe);
+            if opts.test_harness {
+                cmd.arg(job).arg("--exact").arg("--nocapture");
+            }
+            cmd.env(ENV_JOB, job)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_WORLD, world.to_string())
+                .env(ENV_ROOT_ADDR, &root_addr)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            if let Some(t) = opts.recv_timeout {
+                cmd.env("SPARCML_RECV_TIMEOUT_MS", t.as_millis().to_string());
+            }
+            if let Some(t) = opts.connect_timeout {
+                cmd.env("SPARCML_CONNECT_TIMEOUT_MS", t.as_millis().to_string());
+            }
+            for (k, v) in &opts.env {
+                cmd.env(k, v);
+            }
+            let mut child = cmd
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawning rank {rank}: {e}"));
+            // Drain both pipes concurrently so a chatty child can never
+            // block on a full pipe while the parent is polling.
+            let stdout = drain(child.stdout.take().expect("piped stdout"));
+            let stderr = drain(child.stderr.take().expect("piped stderr"));
+            Running {
+                child,
+                stdout,
+                stderr,
+                timed_out: false,
+            }
+        })
+        .collect();
+
+    // Supervise: poll until every child exited or the deadline passed.
+    loop {
+        let mut alive = 0;
+        for r in running.iter_mut() {
+            if r.child.try_wait().expect("try_wait").is_none() {
+                alive += 1;
+            }
+        }
+        if alive == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            for r in running.iter_mut() {
+                if r.child.try_wait().expect("try_wait").is_none() {
+                    r.timed_out = true;
+                    let _ = r.child.kill();
+                }
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    running
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut r)| {
+            let status = r.child.wait().expect("wait after exit/kill");
+            let stdout = r.stdout.join().unwrap_or_default();
+            let stderr = r.stderr.join().unwrap_or_default();
+            RankOutcome {
+                rank,
+                exit_code: status.code(),
+                result: parse_result(&stdout, rank),
+                stdout,
+                stderr,
+                timed_out: r.timed_out,
+            }
+        })
+        .collect()
+}
+
+fn drain<R: Read + Send + 'static>(mut pipe: R) -> std::thread::JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut out = String::new();
+        let _ = pipe.read_to_string(&mut out);
+        out
+    })
+}
+
+/// Picks a free loopback port by binding and immediately releasing it.
+/// (Rank 0 re-binds it moments later; the window is tiny and the launcher
+/// is a test/dev harness, not a production scheduler.)
+fn reserve_loopback_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve loopback port");
+    listener
+        .local_addr()
+        .expect("reserved local addr")
+        .to_string()
+}
+
+fn parse_result(stdout: &str, rank: usize) -> Option<String> {
+    // The marker may share its line with libtest chatter (`test foo ...`
+    // is printed without a newline before the test body runs), so look
+    // for it anywhere in a line and take the hex run that follows.
+    let prefix = format!("{RESULT_MARKER}{rank}:");
+    stdout
+        .lines()
+        .find_map(|line| {
+            let idx = line.find(&prefix)?;
+            let rest = &line[idx + prefix.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_hexdigit())
+                .unwrap_or(rest.len());
+            Some(&rest[..end])
+        })
+        .and_then(from_hex)
+}
+
+fn to_hex(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for b in s.as_bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn from_hex(h: &str) -> Option<String> {
+    let h = h.trim();
+    if !h.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(h.len() / 2);
+    for i in (0..h.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(h.get(i..i + 2)?, 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    #[test]
+    fn hex_round_trips() {
+        for s in ["", "ok", "rank 3: sum=1.25e-3\nsecond line", "πδ"] {
+            assert_eq!(from_hex(&to_hex(s)).as_deref(), Some(s));
+        }
+        assert_eq!(from_hex("zz"), None);
+        assert_eq!(from_hex("abc"), None);
+    }
+
+    #[test]
+    fn result_marker_parses_among_harness_chatter() {
+        let stdout = format!(
+            "running 1 test\n{RESULT_MARKER}2:{}\ntest foo ... ok\n",
+            to_hex("payload")
+        );
+        assert_eq!(parse_result(&stdout, 2).as_deref(), Some("payload"));
+        assert_eq!(parse_result(&stdout, 1), None);
+    }
+
+    #[test]
+    fn launcher_round_trip_across_processes() {
+        // This test re-executes the sparcml-net test binary once per rank
+        // (filtered to exactly this test), so it exercises the real
+        // subprocess bootstrap path.
+        let opts = LaunchOptions::for_test().with_timeout(Duration::from_secs(60));
+        let Some(results) = run_tcp_cluster(
+            "launcher::tests::launcher_round_trip_across_processes",
+            3,
+            &opts,
+            |tp| {
+                let next = (tp.rank() + 1) % tp.size();
+                let prev = (tp.rank() + tp.size() - 1) % tp.size();
+                tp.send(next, 5, bytes::Bytes::from(vec![tp.rank() as u8]))
+                    .unwrap();
+                let got = tp.recv(prev, 5).unwrap();
+                format!("rank{}got{}", tp.rank(), got[0])
+            },
+        ) else {
+            return;
+        };
+        assert_eq!(results, vec!["rank0got2", "rank1got0", "rank2got1"]);
+    }
+}

@@ -15,6 +15,13 @@
 //! * [`ThreadTransport`]: the same wire protocol on real concurrent OS
 //!   threads with wall-clock time — proving the transport seam for future
 //!   multi-backend scale-out.
+//! * [`TcpTransport`]: real sockets — a rendezvous bootstrap, a full mesh
+//!   of persistent connections, length-prefixed frames carrying the
+//!   wire-v2 slabs, and typed failures (timeouts, disconnects, handshake
+//!   mismatches). Runs collectives across OS *processes*, launched either
+//!   by [`launcher::run_tcp_cluster`] or manually via the
+//!   `SPARCML_RANK`/`SPARCML_WORLD`/`SPARCML_ROOT_ADDR` environment
+//!   bootstrap.
 //!
 //! ```
 //! use sparcml_net::{run_cluster, CostModel, Transport};
@@ -31,17 +38,25 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod config;
 mod cost;
 mod endpoint;
 mod error;
+pub mod launcher;
 mod stats;
+mod tcp;
 mod thread_transport;
 mod transport;
 
 pub use cluster::{max_virtual_time, run_cluster};
+pub use config::TransportConfig;
 pub use cost::CostModel;
 pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
 pub use error::CommError;
+pub use launcher::{run_tcp_cluster, run_tcp_cluster_outcomes, LaunchOptions, RankOutcome};
 pub use stats::CommStats;
+pub use tcp::{
+    run_tcp_loopback_cluster, standalone_tcp_transport, TcpTransport, TCP_PROTOCOL_VERSION,
+};
 pub use thread_transport::{run_thread_cluster, standalone_thread_transport, ThreadTransport};
 pub use transport::Transport;

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use crate::config::TransportConfig;
 use crate::cost::CostModel;
 use crate::error::CommError;
 use crate::stats::CommStats;
@@ -68,13 +69,25 @@ impl std::fmt::Debug for ThreadTransport {
 impl ThreadTransport {
     /// Wires a fully connected `size`-rank communicator and returns one
     /// transport per rank (move each onto its own thread). Planning hint
-    /// defaults to the Aries-class cost model.
+    /// defaults to the Aries-class cost model, limits to
+    /// [`TransportConfig::default`].
     pub fn connect(size: usize) -> Vec<ThreadTransport> {
         ThreadTransport::connect_with_hint(size, CostModel::aries())
     }
 
     /// [`ThreadTransport::connect`] with an explicit selector planning hint.
     pub fn connect_with_hint(size: usize, cost_hint: CostModel) -> Vec<ThreadTransport> {
+        ThreadTransport::connect_with_config(size, cost_hint, TransportConfig::default())
+    }
+
+    /// [`ThreadTransport::connect`] with an explicit planning hint and
+    /// watchdog configuration (the same [`TransportConfig`] the TCP
+    /// backend takes, so both real transports time out on one schedule).
+    pub fn connect_with_config(
+        size: usize,
+        cost_hint: CostModel,
+        config: TransportConfig,
+    ) -> Vec<ThreadTransport> {
         assert!(size > 0, "communicator needs at least one rank");
         let mut txs = Vec::with_capacity(size);
         let mut rxs = Vec::with_capacity(size);
@@ -93,7 +106,7 @@ impl ThreadTransport {
                 pending: HashMap::new(),
                 epoch: Instant::now(),
                 clock_offset: 0.0,
-                recv_deadline: Duration::from_secs(30),
+                recv_deadline: config.recv_timeout,
                 cost_hint,
                 op_counter: 0,
                 stats: CommStats::default(),
@@ -114,12 +127,12 @@ impl ThreadTransport {
     fn next_inbox_msg(&self, waiting_on: usize) -> Result<ThreadMsg, CommError> {
         match self.inbox.recv_timeout(self.recv_deadline) {
             Ok(msg) => Ok(msg),
-            Err(RecvTimeoutError::Timeout) => Err(CommError::Protocol(format!(
-                "rank {} waited {:?} on rank {} with no message — peer lost?",
-                self.rank, self.recv_deadline, waiting_on
-            ))),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
+                peer: waiting_on,
+                waited: self.recv_deadline,
+            }),
             Err(RecvTimeoutError::Disconnected) => {
-                Err(CommError::Disconnected { peer: waiting_on })
+                Err(CommError::PeerDisconnected { peer: waiting_on })
             }
         }
     }
@@ -140,7 +153,7 @@ impl ThreadTransport {
         };
         self.senders[dst]
             .send(msg)
-            .map_err(|_| CommError::Disconnected { peer: dst })
+            .map_err(|_| CommError::PeerDisconnected { peer: dst })
     }
 
     fn accept(&mut self, msg: ThreadMsg) -> Bytes {
@@ -386,7 +399,24 @@ mod tests {
         let mut t0 = tps.remove(0);
         t0.set_recv_deadline(Duration::from_millis(50));
         let err = t0.recv(1, 7).unwrap_err();
-        assert!(matches!(err, CommError::Protocol(_)), "got {err:?}");
+        assert!(
+            matches!(err, CommError::Timeout { peer: 1, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn connect_with_config_sets_watchdog() {
+        let config = TransportConfig::default().with_recv_timeout(Duration::from_millis(20));
+        let mut tps = ThreadTransport::connect_with_config(2, CostModel::zero(), config);
+        let mut t0 = tps.remove(0);
+        let start = Instant::now();
+        let err = t0.recv(1, 0).unwrap_err();
+        assert!(
+            matches!(err, CommError::Timeout { peer: 1, .. }),
+            "got {err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

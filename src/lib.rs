@@ -3,7 +3,9 @@
 //! The documented entry point is the [`Communicator`] session: one object
 //! per rank whose collectives are fluent builders, running over any
 //! [`Transport`] backend ([`Endpoint`] virtual-time, [`ThreadTransport`]
-//! real threads), with `Algorithm::Auto` — the paper's §5.3 adaptive
+//! real threads, [`TcpTransport`] real sockets across OS processes via
+//! the `sparcml_net::launcher` or the `SPARCML_*` env bootstrap), with
+//! `Algorithm::Auto` — the paper's §5.3 adaptive
 //! selector — as the default schedule. Sparse payloads use a
 //! structure-of-arrays layout (index slab + value slab) with a bulk slab
 //! wire codec and pooled message buffers; see the README's architecture
@@ -17,6 +19,7 @@ pub use sparcml_stream as stream;
 pub use sparcml_trainsim as trainsim;
 
 pub use sparcml_core::{
-    max_communicator_time, run_communicators, run_thread_communicators, Algorithm,
-    CollectiveHandle, Communicator, Endpoint, ThreadTransport, Transport,
+    max_communicator_time, run_communicators, run_tcp_communicators, run_thread_communicators,
+    Algorithm, CollectiveHandle, Communicator, Endpoint, TcpTransport, ThreadTransport, Transport,
+    TransportConfig,
 };

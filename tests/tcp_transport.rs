@@ -1,0 +1,433 @@
+//! TcpTransport integration suite, part 1: in-process loopback clusters.
+//!
+//! Every rank is an OS thread, but the messages cross the real TCP stack
+//! (rendezvous, full mesh, framed slabs). Two halves:
+//!
+//! * the **transport-parity matrix** — the same collective programs the
+//!   `Endpoint`/`ThreadTransport` suite runs, over TCP, for pow2 and
+//!   non-pow2 rank counts;
+//! * **socket edge cases** — short reads reassembled into whole frames,
+//!   peers closing mid-frame, oversized frame declarations, and malformed
+//!   wire-v2 payloads arriving over a real socket.
+//!
+//! (Part 2, `tcp_multiprocess.rs`, runs ranks as separate OS processes.)
+
+use std::time::Duration;
+
+use sparcml::core::reference::reference_sum;
+use sparcml::core::{run_communicators, run_tcp_communicators, Algorithm, Communicator};
+use sparcml::net::{
+    run_tcp_loopback_cluster, CommError, CostModel, TcpTransport, Transport, TransportConfig,
+};
+use sparcml::quant::QsgdConfig;
+use sparcml::stream::{random_sparse, Scalar, SparseStream, StreamError};
+
+use bytes::Bytes;
+
+fn quick_config() -> TransportConfig {
+    TransportConfig::default()
+        .with_recv_timeout(Duration::from_secs(20))
+        .with_connect_timeout(Duration::from_secs(20))
+}
+
+/// Runs one allreduce program over loopback TCP and checks every rank
+/// against the sequential reference.
+fn check_algo_over_tcp<V: Scalar>(algo: Algorithm, p: usize, dim: usize, nnz: usize, tol: f64) {
+    let ins: Vec<SparseStream<V>> = (0..p)
+        .map(|r| random_sparse(dim, nnz, 7100 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    let outs = run_tcp_communicators(p, |comm| {
+        comm.allreduce(&ins[comm.rank()])
+            .algorithm(algo)
+            .launch()
+            .and_then(|handle| handle.wait())
+            .unwrap()
+    });
+    for (rank, out) in outs.iter().enumerate() {
+        assert_eq!(out.dim(), dim);
+        let got = out.to_dense_vec();
+        for (i, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+            assert!(
+                (g.to_f64() - e.to_f64()).abs() < tol,
+                "{algo:?} on TcpTransport P={p} rank {rank} coord {i}: {g:?} vs {e:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_match_reference_over_tcp() {
+    // The parity matrix of the Endpoint/ThreadTransport suite, extended
+    // to TCP: pow2 and non-pow2 rank counts.
+    for &p in &[3usize, 4, 5, 8] {
+        for algo in Algorithm::ALL {
+            check_algo_over_tcp::<f32>(algo, p, 2048, 64, 1e-3);
+        }
+    }
+}
+
+#[test]
+fn auto_and_f64_match_reference_over_tcp() {
+    for &p in &[3usize, 4, 5, 8] {
+        check_algo_over_tcp::<f32>(Algorithm::Auto, p, 2048, 96, 1e-3);
+    }
+    check_algo_over_tcp::<f64>(Algorithm::SsarRecDbl, 5, 1024, 48, 1e-9);
+    check_algo_over_tcp::<f64>(Algorithm::Auto, 4, 1024, 48, 1e-9);
+}
+
+#[test]
+fn auto_k_agreement_with_skewed_nnz_over_tcp() {
+    // Ranks contribute *different* nonzero counts: the Auto path must
+    // agree on one k over the real wire (a per-rank choice could pick
+    // different schedules and deadlock).
+    let p = 4;
+    let dim = 4096;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 16 + 40 * r, 9900 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    let outs = run_tcp_communicators(p, |comm| {
+        comm.allreduce(&ins[comm.rank()])
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap()
+    });
+    for out in outs {
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn allgather_variants_over_tcp() {
+    let p = 5;
+    let dim = 1024;
+    let outs = run_tcp_communicators(p, |comm| {
+        let mine = random_sparse::<f32>(dim, 24, 501 + comm.rank() as u64);
+        let gathered = comm
+            .allgather(&mine)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let summed = comm
+            .allgather_sum(&mine)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let block = vec![comm.rank() as f32; 8];
+        let dense = comm
+            .allgather_dense(&block)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        (gathered, summed, dense)
+    });
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 24, 501 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    for (gathered, summed, dense) in outs {
+        assert_eq!(gathered.len(), p);
+        for (r, s) in gathered.iter().enumerate() {
+            assert_eq!(s, &ins[r]);
+        }
+        for (g, e) in summed.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+        assert_eq!(dense.len(), p);
+        for (r, b) in dense.iter().enumerate() {
+            assert!(b.iter().all(|&v| v == r as f32));
+        }
+    }
+}
+
+#[test]
+fn rooted_collectives_over_tcp() {
+    let p = 5;
+    let dim = 2048;
+    let root = 2;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 48, 61 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    let outs = run_tcp_communicators(p, |comm| {
+        let reduced = comm
+            .reduce(&ins[comm.rank()], root)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let bcast = comm
+            .broadcast(&reduced, root)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let scattered = comm
+            .reduce_scatter(&ins[comm.rank()])
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        (bcast, scattered)
+    });
+    for (rank, (bcast, scattered)) in outs.iter().enumerate() {
+        for (g, e) in bcast.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "broadcast rank {rank}");
+        }
+        // The scattered partition must agree with the reference on its
+        // support (each rank owns one dimension slice).
+        for (i, v) in scattered.to_dense_vec().iter().enumerate() {
+            if *v != 0.0 {
+                assert!((v - expect[i]).abs() < 1e-4, "reduce_scatter rank {rank}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_and_nonblocking_over_tcp() {
+    // DSAR + QSGD rides the same TCP frames, and a non-blocking launch
+    // moves the whole TcpTransport (sockets, I/O threads) onto a helper
+    // thread and back.
+    let p = 4;
+    let dim = 4096;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 256, 881 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    let quant = QsgdConfig {
+        bits: 8,
+        bucket_size: 512,
+        ..QsgdConfig::paper_default()
+    };
+    let outs = run_tcp_communicators(p, |comm| {
+        let mut handle = comm
+            .allreduce(&ins[comm.rank()])
+            .algorithm(Algorithm::DsarSplitAllgather)
+            .quantized(quant)
+            .nonblocking()
+            .launch()
+            .unwrap();
+        handle.compute(1_000);
+        handle.wait().unwrap()
+    });
+    let max_abs = expect.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    for out in outs {
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() <= max_abs / 127.0 + 1e-3, "{g} vs {e}");
+        }
+    }
+}
+
+#[test]
+fn tcp_matches_virtual_time_transport_bitwise_for_integer_values() {
+    // Integer-valued inputs make every summation order exact, so the TCP
+    // run must agree with the virtual-time Endpoint run bit for bit.
+    let p = 4;
+    let dim = 1024;
+    let mk = |rank: usize| {
+        let pairs: Vec<(u32, f32)> = (0..48)
+            .map(|i| (((rank * 37 + i * 11) % dim) as u32, 1.0f32))
+            .collect();
+        SparseStream::from_pairs(dim, &pairs).unwrap()
+    };
+    for algo in [
+        Algorithm::SsarRecDbl,
+        Algorithm::SsarSplitAllgather,
+        Algorithm::SparseRing,
+    ] {
+        let virtual_outs = run_communicators(p, CostModel::zero(), |comm| {
+            comm.allreduce(&mk(comm.rank()))
+                .algorithm(algo)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        let tcp_outs = run_tcp_communicators(p, |comm| {
+            comm.allreduce(&mk(comm.rank()))
+                .algorithm(algo)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        });
+        assert_eq!(virtual_outs, tcp_outs, "{algo:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket edge cases
+// ---------------------------------------------------------------------------
+
+/// Data-frame header as the wire defines it: `[len: u32 LE][tag: u64 LE]`.
+fn frame_header(len: usize, tag: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(12);
+    h.extend_from_slice(&(len as u32).to_le_bytes());
+    h.extend_from_slice(&tag.to_le_bytes());
+    h
+}
+
+#[test]
+fn short_reads_reassemble_into_whole_frames() {
+    // The payload dribbles in over many small raw writes with pauses; the
+    // receiver must reassemble exactly one frame from them.
+    let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+    let expected = payload.clone();
+    let results = run_tcp_loopback_cluster(2, CostModel::zero(), quick_config(), move |tp| {
+        if tp.rank() == 1 {
+            let mut wire = frame_header(payload.len(), 9);
+            wire.extend_from_slice(&payload);
+            for chunk in wire.chunks(7) {
+                tp.send_raw(0, chunk).unwrap();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            // Hold the socket open until rank 0 confirms receipt, so the
+            // frame cannot be confused with a close-race.
+            let _ = tp.recv(0, 10).unwrap();
+            Vec::new()
+        } else {
+            let got = tp.recv(1, 9).unwrap();
+            tp.send(1, 10, Bytes::new()).unwrap();
+            got.to_vec()
+        }
+    });
+    assert_eq!(results[0], expected);
+}
+
+#[test]
+fn peer_closing_mid_frame_is_a_typed_disconnect() {
+    let results = run_tcp_loopback_cluster(2, CostModel::zero(), quick_config(), |tp| {
+        if tp.rank() == 1 {
+            // Declare 100 payload bytes, deliver only 10, then vanish.
+            let mut wire = frame_header(100, 3);
+            wire.extend_from_slice(&[0xAB; 10]);
+            tp.send_raw(0, &wire).unwrap();
+            (true, String::new())
+        } else {
+            let err = tp.recv(1, 3).unwrap_err();
+            let reason = tp.close_reason(1).unwrap_or("").to_string();
+            (
+                matches!(err, CommError::PeerDisconnected { peer: 1 }),
+                reason,
+            )
+        }
+    });
+    let (is_disconnect, reason) = &results[0];
+    assert!(is_disconnect, "mid-frame close must be PeerDisconnected");
+    assert!(
+        reason.contains("mid-frame"),
+        "close reason should say mid-frame, got: {reason}"
+    );
+}
+
+#[test]
+fn oversized_frame_declaration_is_rejected() {
+    // A corrupt (or hostile) length prefix must not be honored with a
+    // giant allocation: the connection is dropped with a typed error.
+    let config = quick_config();
+    let small = TransportConfig {
+        max_frame_len: 1 << 10,
+        ..config
+    };
+    let results = run_tcp_loopback_cluster(2, CostModel::zero(), small, |tp| {
+        if tp.rank() == 1 {
+            tp.send_raw(0, &frame_header(1 << 20, 4)).unwrap();
+            // Our peer will cut the connection; just report success.
+            (true, String::new())
+        } else {
+            let err = tp.recv(1, 4).unwrap_err();
+            let reason = tp.close_reason(1).unwrap_or("").to_string();
+            (
+                matches!(err, CommError::PeerDisconnected { peer: 1 }),
+                reason,
+            )
+        }
+    });
+    let (is_disconnect, reason) = &results[0];
+    assert!(is_disconnect);
+    assert!(
+        reason.contains("exceeds"),
+        "close reason should flag the limit, got: {reason}"
+    );
+}
+
+#[test]
+fn malformed_wire_v2_frames_surface_typed_stream_errors() {
+    // Frames arrive intact over TCP but their wire-v2 payload is bad: the
+    // existing typed StreamErrors must surface, exactly as in-process.
+    let results = run_tcp_loopback_cluster(2, CostModel::zero(), quick_config(), |tp| {
+        if tp.rank() == 1 {
+            let good = random_sparse::<f32>(256, 16, 42).encode();
+            // (a) truncated: drop the tail of a valid frame.
+            tp.send(0, 1, good.slice(0..good.len() - 5)).unwrap();
+            // (b) unsorted indices: swap the first two u32 entries of the
+            // index slab (the sparse header is 20 bytes: magic, version,
+            // width, repr tag, dim u64, nnz u64).
+            let mut bad = good.to_vec();
+            for i in 0..4 {
+                bad.swap(20 + i, 24 + i);
+            }
+            tp.send(0, 2, Bytes::from(bad)).unwrap();
+            let _ = tp.recv(0, 3).unwrap();
+            (None, None)
+        } else {
+            let truncated = tp.recv(1, 1).unwrap();
+            let e1 = SparseStream::<f32>::decode(&truncated).unwrap_err();
+            let unsorted = tp.recv(1, 2).unwrap();
+            let e2 = SparseStream::<f32>::decode(&unsorted).unwrap_err();
+            tp.send(1, 3, Bytes::new()).unwrap();
+            (Some(e1), Some(e2))
+        }
+    });
+    let (e1, e2) = &results[0];
+    assert!(
+        matches!(e1, Some(StreamError::Truncated { .. })),
+        "got {e1:?}"
+    );
+    assert!(
+        matches!(e2, Some(StreamError::UnsortedIndices { .. })),
+        "got {e2:?}"
+    );
+}
+
+#[test]
+fn communicator_survives_collective_error_and_reports_it() {
+    // A collective over a vanished peer must error (not hang), and the
+    // error must be a communication error.
+    let config = quick_config().with_recv_timeout(Duration::from_secs(2));
+    let results = run_tcp_loopback_cluster(2, CostModel::zero(), config, |tp| {
+        if tp.rank() == 1 {
+            // Vanish before participating.
+            String::new()
+        } else {
+            let mut comm = Communicator::new(tp.detach());
+            let input = random_sparse::<f32>(512, 16, 3);
+            let err = comm
+                .allreduce(&input)
+                .algorithm(Algorithm::SsarRecDbl)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap_err();
+            *tp = comm.into_transport();
+            err.to_string()
+        }
+    });
+    assert!(
+        results[0].contains("disconnected") || results[0].contains("timed out"),
+        "got: {}",
+        results[0]
+    );
+}
+
+#[test]
+fn wrong_rank_and_world_fail_rendezvous_from_env_shape() {
+    // Sanity on the typed bootstrap errors without any env mutation.
+    let err = TcpTransport::rendezvous(
+        3,
+        2,
+        "127.0.0.1:1",
+        CostModel::zero(),
+        TransportConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CommError::InvalidRank { rank: 3, size: 2 }));
+}
