@@ -12,8 +12,33 @@ pub enum CollError {
     Comm(CommError),
     /// Stream validation / decoding failure.
     Stream(StreamError),
+    /// A helper thread (a non-blocking collective worker or a progress
+    /// engine) panicked and took its transport with it.
+    WorkerPanicked {
+        /// Name of the dead thread (e.g. `sparcml-nb-3`).
+        thread: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// The operation was invoked with inconsistent arguments.
     Invalid(String),
+}
+
+impl CollError {
+    /// Builds a [`CollError::WorkerPanicked`] from a thread name and the
+    /// payload a panicking thread left behind (`std::thread::JoinHandle`'s
+    /// `Err` value), extracting the message when it is a string.
+    pub fn worker_panicked(thread: &str, payload: &(dyn std::any::Any + Send)) -> CollError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        CollError::WorkerPanicked {
+            thread: thread.to_string(),
+            message,
+        }
+    }
 }
 
 impl fmt::Display for CollError {
@@ -21,6 +46,9 @@ impl fmt::Display for CollError {
         match self {
             CollError::Comm(e) => write!(f, "communication error: {e}"),
             CollError::Stream(e) => write!(f, "stream error: {e}"),
+            CollError::WorkerPanicked { thread, message } => {
+                write!(f, "worker thread '{thread}' panicked: {message}")
+            }
             CollError::Invalid(msg) => write!(f, "invalid collective call: {msg}"),
         }
     }
@@ -31,6 +59,7 @@ impl std::error::Error for CollError {
         match self {
             CollError::Comm(e) => Some(e),
             CollError::Stream(e) => Some(e),
+            CollError::WorkerPanicked { .. } => None,
             CollError::Invalid(_) => None,
         }
     }
@@ -60,5 +89,23 @@ mod tests {
         assert!(e.to_string().contains("stream"));
         let e = CollError::Invalid("bad".into());
         assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn worker_panicked_extracts_string_payloads() {
+        let e = CollError::worker_panicked("sparcml-nb-2", &"boom");
+        assert_eq!(
+            e,
+            CollError::WorkerPanicked {
+                thread: "sparcml-nb-2".into(),
+                message: "boom".into(),
+            }
+        );
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("sparcml-nb-2"));
+        let e = CollError::worker_panicked("t", &String::from("owned"));
+        assert!(e.to_string().contains("owned"));
+        let e = CollError::worker_panicked("t", &42usize);
+        assert!(e.to_string().contains("non-string"));
     }
 }

@@ -23,26 +23,35 @@ use crate::error::CollError;
 /// resolving to a value of type `R`.
 pub struct Request<T, R> {
     handle: JoinHandle<(T, Result<R, CollError>)>,
+    /// Helper-thread name (`sparcml-nb-{rank}`), reported by
+    /// [`CollError::WorkerPanicked`] if the thread dies.
+    thread_name: String,
     fork_clock: f64,
     gamma: f64,
     overlapped_seconds: f64,
 }
 
 impl<T: Transport + Send + 'static, R: Send + 'static> Request<T, R> {
-    /// Launches `op` on a helper thread owning the transport.
+    /// Launches `op` on a named helper thread (`sparcml-nb-{rank}`)
+    /// owning the transport.
     pub fn spawn<F>(transport: T, op: F) -> Self
     where
         F: FnOnce(&mut T) -> Result<R, CollError> + Send + 'static,
     {
+        let thread_name = format!("sparcml-nb-{}", transport.rank());
         let fork_clock = transport.clock();
         let gamma = transport.cost().gamma;
-        let handle = std::thread::spawn(move || {
-            let mut transport = transport;
-            let out = op(&mut transport);
-            (transport, out)
-        });
+        let handle = std::thread::Builder::new()
+            .name(thread_name.clone())
+            .spawn(move || {
+                let mut transport = transport;
+                let out = op(&mut transport);
+                (transport, out)
+            })
+            .expect("spawn non-blocking collective helper thread");
         Request {
             handle,
+            thread_name,
             fork_clock,
             gamma,
             overlapped_seconds: 0.0,
@@ -63,12 +72,14 @@ impl<T: Transport + Send + 'static, R: Send + 'static> Request<T, R> {
     /// Blocks until the collective finishes and returns the transport
     /// (with its clock advanced to `max(comm_done, fork +
     /// overlapped_compute)`) together with the collective's outcome — the
-    /// transport survives even when the collective itself failed.
+    /// transport survives even when the collective itself failed. A
+    /// panicked helper thread surfaces as the typed
+    /// [`CollError::WorkerPanicked`] (the transport is lost with it).
     pub fn finish(self) -> Result<(T, Result<R, CollError>), CollError> {
         let (mut transport, result) = self
             .handle
             .join()
-            .map_err(|_| CollError::Invalid("non-blocking collective panicked".into()))?;
+            .map_err(|payload| CollError::worker_panicked(&self.thread_name, payload.as_ref()))?;
         transport.advance_clock_to(self.fork_clock + self.overlapped_seconds);
         Ok((transport, result))
     }
@@ -209,6 +220,33 @@ mod tests {
             result.nnz()
         });
         assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn helper_threads_are_named_and_panics_are_typed() {
+        use sparcml_net::standalone_thread_transport;
+        let tp = standalone_thread_transport();
+        let req = Request::spawn(
+            tp,
+            |t: &mut sparcml_net::ThreadTransport| -> Result<(), _> {
+                // Both checks fold into the panic payload: a wrong thread name
+                // changes the message and fails the equality below.
+                assert_eq!(
+                    std::thread::current().name(),
+                    Some(format!("sparcml-nb-{}", t.rank()).as_str()),
+                    "helper thread must be named after its rank"
+                );
+                panic!("worker dies on purpose");
+            },
+        );
+        let err = req.finish().unwrap_err();
+        assert_eq!(
+            err,
+            CollError::WorkerPanicked {
+                thread: "sparcml-nb-0".into(),
+                message: "worker dies on purpose".into(),
+            }
+        );
     }
 
     #[test]

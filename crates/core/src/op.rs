@@ -18,10 +18,13 @@ pub(crate) mod subtag {
     pub const ROUND: u64 = 16;
 }
 
-/// Composes a unique message tag from a collective op id and a sub-op.
+/// Composes a unique message tag from a collective op id and a sub-op:
+/// sub-tag `sub` of the op's [`sparcml_net::TagBlock`]. Each collective
+/// owns the 2^16-tag block of its op id, so concurrent collectives (e.g.
+/// jobs kept in flight by a progress engine) can never mis-match frames.
 #[inline]
 pub(crate) fn tag(op_id: u64, sub: u64) -> u64 {
-    (op_id << 16) | sub
+    sparcml_net::TagBlock::for_op(op_id).tag(sub)
 }
 
 /// Upper bound on buffers a pool retains; beyond this, released buffers

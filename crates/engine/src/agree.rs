@@ -1,0 +1,100 @@
+//! The engine's control plane: an 8-byte batch-boundary agreement.
+//!
+//! Before executing anything, every rank's engine must agree on *which*
+//! jobs form the next batch — queues drain at different speeds, and a
+//! rank scheduling a job its peers have not submitted yet would deadlock
+//! the collective. The agreement is a min-reduction of each rank's
+//! submitted-job count: since submissions happen in program order, the
+//! set of jobs a rank holds is always a prefix, and the common prefix
+//! (the minimum count) is exactly the set every rank can execute.
+//!
+//! The round runs on a reserved *control* [`TagBlock`]
+//! (`TagBlock::control`), so its frames can never be confused with any
+//! collective's data traffic — this is the engine-side consumer of the
+//! tag-block allocator. A fresh block per round (drawn from a
+//! deterministic [`sparcml_net::TagBlockAllocator`]) keeps successive
+//! agreements disjoint too.
+
+use bytes::Bytes;
+use sparcml_net::{CommError, TagBlock, Transport};
+
+/// Sub-tag for rank→root count frames.
+const SUB_GATHER: u64 = 0;
+/// Sub-tag for the root→rank minimum broadcast.
+const SUB_RESULT: u64 = 1;
+
+fn decode_u64(payload: &[u8]) -> Result<u64, CommError> {
+    payload
+        .try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| CommError::Protocol("malformed engine agreement frame".into()))
+}
+
+/// Agrees on `min(local)` across all ranks via a star over rank 0 (two
+/// 8-byte frames per non-root rank). Every rank must call this with the
+/// same `block`.
+pub(crate) fn agree_min_u64<T: Transport>(
+    tp: &mut T,
+    block: TagBlock,
+    local: u64,
+) -> Result<u64, CommError> {
+    let p = tp.size();
+    if p == 1 {
+        return Ok(local);
+    }
+    let rank = tp.rank();
+    if rank == 0 {
+        let mut min = local;
+        for src in 1..p {
+            let payload = tp.recv(src, block.tag(SUB_GATHER))?;
+            min = min.min(decode_u64(&payload)?);
+        }
+        let frame = Bytes::from(min.to_le_bytes().to_vec());
+        for dst in 1..p {
+            tp.send(dst, block.tag(SUB_RESULT), frame.clone())?;
+        }
+        Ok(min)
+    } else {
+        tp.send(
+            0,
+            block.tag(SUB_GATHER),
+            Bytes::from(local.to_le_bytes().to_vec()),
+        )?;
+        let payload = tp.recv(0, block.tag(SUB_RESULT))?;
+        decode_u64(&payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcml_net::{run_cluster, run_thread_cluster, CostModel, TagBlockAllocator};
+
+    #[test]
+    fn agreement_finds_the_minimum() {
+        let mins = run_cluster(5, CostModel::zero(), |ep| {
+            let block = TagBlockAllocator::new().next_block();
+            agree_min_u64(ep, block, 10 + ep.rank() as u64).unwrap()
+        });
+        assert_eq!(mins, vec![10; 5]);
+    }
+
+    #[test]
+    fn successive_rounds_use_disjoint_blocks() {
+        let outs = run_thread_cluster(3, |tp| {
+            let mut alloc = TagBlockAllocator::new();
+            let a = agree_min_u64(tp, alloc.next_block(), tp.rank() as u64 + 1).unwrap();
+            let b = agree_min_u64(tp, alloc.next_block(), 100 - tp.rank() as u64).unwrap();
+            (a, b)
+        });
+        assert!(outs.iter().all(|&o| o == (1, 98)));
+    }
+
+    #[test]
+    fn single_rank_is_trivial() {
+        let outs = run_cluster(1, CostModel::zero(), |ep| {
+            agree_min_u64(ep, TagBlock::control(0), 7).unwrap()
+        });
+        assert_eq!(outs, vec![7]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Bucket planning: which jobs of a batch fuse into one collective, and
+//! in what order buckets execute.
+//!
+//! Planning must be *rank-invariant*: every rank runs it over the same
+//! agreed batch and must produce the identical schedule, so decisions may
+//! only depend on quantities all ranks share. That is why the fusion
+//! thresholds act on each job's **logical dimension** (layer sizes are
+//! replicated across data-parallel ranks) and never on its non-zero
+//! count, which error-feedback Top-k lets drift between ranks.
+
+/// Knobs controlling how the engine buckets and splits collective jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPolicy {
+    /// Whether consecutive fusable allreduce jobs may share a bucket.
+    pub enabled: bool,
+    /// Cap on a bucket's cumulative logical dimension (the fused index
+    /// space). Also implicitly capped at `u32::MAX`, the index width.
+    pub max_fused_elements: usize,
+    /// Cap on the number of jobs per bucket.
+    pub max_fused_jobs: usize,
+    /// Fused buckets whose index space exceeds this are reduced in even
+    /// chunks of at most this many indices (bounds peak frame size).
+    pub max_chunk_elements: usize,
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy {
+            enabled: true,
+            max_fused_elements: 1 << 26,
+            max_fused_jobs: 1024,
+            max_chunk_elements: 1 << 22,
+        }
+    }
+}
+
+impl FusionPolicy {
+    /// A policy that never fuses (every job is its own bucket).
+    pub fn disabled() -> Self {
+        FusionPolicy {
+            enabled: false,
+            ..FusionPolicy::default()
+        }
+    }
+}
+
+/// The rank-invariant facts the planner sees about one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JobMeta {
+    /// Logical dimension of the job's stream.
+    pub dim: usize,
+    /// Whether this job may share a bucket (allreduce jobs submitted
+    /// without an unfused override).
+    pub fusable: bool,
+}
+
+/// Groups the batch (given in submission order) into buckets of job
+/// positions, in submission order. Consecutive fusable jobs share a
+/// bucket up to the policy's element/job caps; everything else is a
+/// singleton. Identical on every rank for an identical batch.
+pub(crate) fn plan_buckets(batch: &[JobMeta], policy: &FusionPolicy) -> Vec<Vec<usize>> {
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    let mut open: Vec<usize> = Vec::new();
+    let mut open_dim: usize = 0;
+    let fused_cap = policy.max_fused_elements.min(u32::MAX as usize);
+    for (pos, meta) in batch.iter().enumerate() {
+        if !policy.enabled || !meta.fusable {
+            if !open.is_empty() {
+                buckets.push(std::mem::take(&mut open));
+                open_dim = 0;
+            }
+            buckets.push(vec![pos]);
+            continue;
+        }
+        let fits = open.len() < policy.max_fused_jobs
+            && (open.is_empty() || open_dim.saturating_add(meta.dim) <= fused_cap);
+        if !fits {
+            buckets.push(std::mem::take(&mut open));
+            open_dim = 0;
+        }
+        open.push(pos);
+        open_dim += meta.dim;
+    }
+    if !open.is_empty() {
+        buckets.push(open);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar(dim: usize) -> JobMeta {
+        JobMeta { dim, fusable: true }
+    }
+
+    fn solo(dim: usize) -> JobMeta {
+        JobMeta {
+            dim,
+            fusable: false,
+        }
+    }
+
+    #[test]
+    fn consecutive_fusable_jobs_share_a_bucket() {
+        let batch = vec![ar(10), ar(20), ar(30)];
+        let buckets = plan_buckets(&batch, &FusionPolicy::default());
+        assert_eq!(buckets, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn unfusable_jobs_split_the_run() {
+        let batch = vec![ar(10), solo(5), ar(20), ar(30)];
+        let buckets = plan_buckets(&batch, &FusionPolicy::default());
+        assert_eq!(buckets, vec![vec![0], vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn element_cap_closes_buckets() {
+        let policy = FusionPolicy {
+            max_fused_elements: 25,
+            ..FusionPolicy::default()
+        };
+        let batch = vec![ar(10), ar(10), ar(10), ar(10)];
+        let buckets = plan_buckets(&batch, &policy);
+        assert_eq!(buckets, vec![vec![0, 1], vec![2, 3]]);
+        // An oversized single job still gets its own bucket (chunking
+        // handles it downstream).
+        let big = plan_buckets(&[ar(100)], &policy);
+        assert_eq!(big, vec![vec![0]]);
+    }
+
+    #[test]
+    fn job_cap_closes_buckets() {
+        let policy = FusionPolicy {
+            max_fused_jobs: 2,
+            ..FusionPolicy::default()
+        };
+        let batch = vec![ar(1), ar(1), ar(1), ar(1), ar(1)];
+        let buckets = plan_buckets(&batch, &policy);
+        assert_eq!(buckets, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn disabled_policy_yields_singletons() {
+        let batch = vec![ar(10), ar(20)];
+        let buckets = plan_buckets(&batch, &FusionPolicy::disabled());
+        assert_eq!(buckets, vec![vec![0], vec![1]]);
+    }
+}

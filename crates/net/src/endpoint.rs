@@ -147,6 +147,7 @@ impl Endpoint {
     /// in the same order, so ids agree across the communicator.
     pub fn next_op_id(&mut self) -> u64 {
         self.op_counter += 1;
+        self.stats.collectives += 1;
         self.op_counter
     }
 

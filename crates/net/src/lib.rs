@@ -44,6 +44,7 @@ mod endpoint;
 mod error;
 pub mod launcher;
 mod stats;
+mod tags;
 mod tcp;
 mod thread_transport;
 mod transport;
@@ -55,6 +56,7 @@ pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
 pub use error::CommError;
 pub use launcher::{run_tcp_cluster, run_tcp_cluster_outcomes, LaunchOptions, RankOutcome};
 pub use stats::CommStats;
+pub use tags::{TagBlock, TagBlockAllocator, TAG_BLOCK_BITS};
 pub use tcp::{
     run_tcp_loopback_cluster, standalone_tcp_transport, TcpTransport, TCP_PROTOCOL_VERSION,
 };

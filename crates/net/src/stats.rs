@@ -13,6 +13,10 @@ pub struct CommStats {
     pub bytes_recv: u64,
     /// Element operations charged via `compute`.
     pub compute_elements: u64,
+    /// Collective sub-operations started on this session — one per tag
+    /// block drawn from the op-id counter (`Transport::next_op_id`).
+    /// Adaptive collectives count their agreement round separately.
+    pub collectives: u64,
 }
 
 impl CommStats {
@@ -23,6 +27,35 @@ impl CommStats {
         self.msgs_recv += other.msgs_recv;
         self.bytes_recv += other.bytes_recv;
         self.compute_elements += other.compute_elements;
+        self.collectives += other.collectives;
+    }
+
+    /// A point-in-time copy of the counters, for before/after traffic
+    /// accounting (e.g. a progress engine reporting fused-vs-unfused
+    /// message counts).
+    pub fn snapshot(&self) -> CommStats {
+        self.clone()
+    }
+
+    /// Counter deltas accumulated since `baseline` was snapshotted.
+    /// Saturates at zero, so a clock/stats reset between the snapshots
+    /// yields the post-reset counts instead of wrapping.
+    pub fn since(&self, baseline: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent.saturating_sub(baseline.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(baseline.bytes_sent),
+            msgs_recv: self.msgs_recv.saturating_sub(baseline.msgs_recv),
+            bytes_recv: self.bytes_recv.saturating_sub(baseline.bytes_recv),
+            compute_elements: self
+                .compute_elements
+                .saturating_sub(baseline.compute_elements),
+            collectives: self.collectives.saturating_sub(baseline.collectives),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = CommStats::default();
     }
 }
 
@@ -30,15 +63,20 @@ impl CommStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn merge_adds_fields() {
-        let mut a = CommStats {
+    fn sample() -> CommStats {
+        CommStats {
             msgs_sent: 1,
             bytes_sent: 10,
             msgs_recv: 2,
             bytes_recv: 20,
             compute_elements: 5,
-        };
+            collectives: 3,
+        }
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = sample();
         let b = a.clone();
         a.merge(&b);
         assert_eq!(a.msgs_sent, 2);
@@ -46,5 +84,27 @@ mod tests {
         assert_eq!(a.msgs_recv, 4);
         assert_eq!(a.bytes_recv, 40);
         assert_eq!(a.compute_elements, 10);
+        assert_eq!(a.collectives, 6);
+    }
+
+    #[test]
+    fn snapshot_since_round_trips() {
+        let baseline = sample();
+        let mut later = baseline.snapshot();
+        assert_eq!(later, baseline);
+        later.merge(&sample());
+        assert_eq!(later.since(&baseline), sample());
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        let baseline = sample();
+        let mut s = sample();
+        s.reset();
+        assert_eq!(s, CommStats::default());
+        s.msgs_sent = 1;
+        let delta = s.since(&baseline);
+        assert_eq!(delta.msgs_sent, 0); // 1 < baseline's 1? saturated to 0
+        assert_eq!(delta.bytes_sent, 0);
     }
 }

@@ -1,0 +1,196 @@
+//! Tag-block allocation: disjoint message-tag spaces for concurrent
+//! collectives.
+//!
+//! Every collective schedule derives its message tags from one *tag
+//! block*: a contiguous range of `2^16` tags identified by the block id in
+//! the tag's upper bits. Two operations holding distinct blocks can have
+//! messages in flight simultaneously — even interleaved arbitrarily on
+//! the wire — and the `(source, tag)` matching of every [`crate::Transport`]
+//! keeps them perfectly separated. This is what lets a progress engine
+//! keep many collectives in flight at once over one transport session.
+//!
+//! The `u64` tag space is carved into two regions:
+//!
+//! | bits | meaning |
+//! |---|---|
+//! | bit 63 | `0` = collective block (allocated via [`Transport::next_op_id`]), `1` = control block |
+//! | bits 16–62 | block id |
+//! | bits 0–15 | sub-tag within the block (rounds, fold/unfold, …) |
+//!
+//! Collective blocks come from the transport's op-id counter (the same
+//! sequence on every rank, per the [`crate::Transport`] contract), so two
+//! ranks invoking the same collective agree on its block without
+//! communication. *Control* blocks live in a reserved region that the
+//! op-id stream can never reach; background subsystems (e.g. a progress
+//! engine's batch-agreement round) allocate them from their own
+//! deterministic counters via [`TagBlockAllocator`] and are guaranteed
+//! never to collide with any collective's data traffic.
+//!
+//! [`Transport::next_op_id`]: crate::Transport::next_op_id
+
+/// Width of the sub-tag field: each block spans `2^16` tags.
+pub const TAG_BLOCK_BITS: u32 = 16;
+
+/// Bit distinguishing the reserved control region from collective blocks.
+const CONTROL_BIT: u64 = 1 << 63;
+
+/// Largest block id representable in bits 16–62.
+const MAX_BLOCK_ID: u64 = (1 << (63 - TAG_BLOCK_BITS)) - 1;
+
+/// A contiguous range of `2^16` message tags owned by one operation.
+///
+/// All tags produced by [`TagBlock::tag`] share the block's upper bits, so
+/// blocks with distinct ids (or distinct regions) can never produce the
+/// same tag — the isolation invariant concurrent collectives rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagBlock {
+    base: u64,
+}
+
+impl TagBlock {
+    /// The block a collective with operation id `op_id` owns — the block
+    /// form of the long-standing `op_id << 16 | sub` tag derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_id` overflows the block-id field (after `2^47`
+    /// collectives on one session; unreachable in practice).
+    pub fn for_op(op_id: u64) -> TagBlock {
+        assert!(op_id <= MAX_BLOCK_ID, "collective op id overflow");
+        TagBlock {
+            base: op_id << TAG_BLOCK_BITS,
+        }
+    }
+
+    /// The `seq`-th block of the reserved control region, disjoint from
+    /// every collective block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` overflows the block-id field.
+    pub fn control(seq: u64) -> TagBlock {
+        assert!(seq <= MAX_BLOCK_ID, "control block sequence overflow");
+        TagBlock {
+            base: CONTROL_BIT | (seq << TAG_BLOCK_BITS),
+        }
+    }
+
+    /// A concrete message tag inside this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `sub` does not fit the sub-tag field.
+    #[inline]
+    pub fn tag(&self, sub: u64) -> u64 {
+        debug_assert!(sub < (1 << TAG_BLOCK_BITS), "sub-tag overflow");
+        self.base | sub
+    }
+
+    /// Whether `tag` belongs to this block.
+    #[inline]
+    pub fn contains(&self, tag: u64) -> bool {
+        (tag >> TAG_BLOCK_BITS) == (self.base >> TAG_BLOCK_BITS)
+    }
+
+    /// The block id (without the region bit).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        (self.base >> TAG_BLOCK_BITS) & MAX_BLOCK_ID
+    }
+
+    /// Whether this block lives in the reserved control region.
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        self.base & CONTROL_BIT != 0
+    }
+}
+
+/// Deterministic sequential allocator of control-region tag blocks.
+///
+/// Subsystems that need tags outside the collective op-id stream (e.g. a
+/// progress engine's agreement rounds) hold one allocator per logical
+/// channel and draw blocks in lockstep across ranks: as long as every
+/// rank performs the same sequence of allocations — the same contract the
+/// op-id counter already imposes — the `n`-th block is identical
+/// everywhere and disjoint from all data traffic.
+#[derive(Debug, Clone, Default)]
+pub struct TagBlockAllocator {
+    next: u64,
+}
+
+impl TagBlockAllocator {
+    /// An allocator starting at control block 0.
+    pub fn new() -> TagBlockAllocator {
+        TagBlockAllocator::default()
+    }
+
+    /// An allocator starting at control block `start` (partitions the
+    /// control region between independent subsystems).
+    pub fn starting_at(start: u64) -> TagBlockAllocator {
+        TagBlockAllocator { next: start }
+    }
+
+    /// Hands out the next control block.
+    pub fn next_block(&mut self) -> TagBlock {
+        let block = TagBlock::control(self.next);
+        self.next += 1;
+        block
+    }
+
+    /// How many blocks have been allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_blocks_are_backwards_compatible() {
+        // The block API must reproduce the historical `op_id << 16 | sub`
+        // derivation bit for bit.
+        let block = TagBlock::for_op(7);
+        assert_eq!(block.tag(3), (7 << 16) | 3);
+        assert!(block.contains((7 << 16) | 99));
+        assert!(!block.contains(8 << 16));
+        assert_eq!(block.id(), 7);
+        assert!(!block.is_control());
+    }
+
+    #[test]
+    fn control_blocks_never_collide_with_collective_blocks() {
+        for op in [0u64, 1, 7, MAX_BLOCK_ID] {
+            for seq in [0u64, 1, 7, MAX_BLOCK_ID] {
+                let c = TagBlock::control(seq);
+                let d = TagBlock::for_op(op);
+                assert!(c.is_control());
+                assert!(!c.contains(d.tag(0)), "op {op} seq {seq}");
+                assert!(!d.contains(c.tag(0)), "op {op} seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_is_sequential_and_deterministic() {
+        let mut a = TagBlockAllocator::new();
+        let mut b = TagBlockAllocator::new();
+        for _ in 0..5 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+        assert_eq!(a.allocated(), 5);
+        let mut offset = TagBlockAllocator::starting_at(100);
+        assert_eq!(offset.next_block(), TagBlock::control(100));
+    }
+
+    #[test]
+    fn distinct_blocks_produce_disjoint_tags() {
+        let a = TagBlock::control(1);
+        let b = TagBlock::control(2);
+        for sub in 0..64 {
+            assert_ne!(a.tag(sub), b.tag(sub));
+            assert!(!b.contains(a.tag(sub)));
+        }
+    }
+}

@@ -908,6 +908,7 @@ impl Transport for TcpTransport {
 
     fn next_op_id(&mut self) -> u64 {
         self.op_counter += 1;
+        self.stats.collectives += 1;
         self.op_counter
     }
 

@@ -36,5 +36,6 @@ pub use bmuf::{BmufConfig, BmufState};
 pub use schedule::LrSchedule;
 pub use topk::{topk_bucketwise, ErrorFeedback, TopKConfig};
 pub use trainer::{
-    train_lstm_distributed, train_mlp_distributed, Compression, NnEpochStats, NnTrainConfig,
+    train_lstm_distributed, train_mlp_distributed, CommMode, Compression, NnEpochStats,
+    NnTrainConfig,
 };

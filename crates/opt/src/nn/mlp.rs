@@ -50,7 +50,7 @@ impl DenseLayer {
         }
     }
 
-    fn param_count(&self) -> usize {
+    pub(crate) fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
     }
 }

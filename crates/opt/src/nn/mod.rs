@@ -21,6 +21,25 @@ pub trait FlatModel: Clone + Send {
     fn set_params(&mut self, flat: &[f32]);
     /// Applies `params += scale · delta` for the non-zeros of `delta`.
     fn apply_sparse_update(&mut self, delta: &SparseStream<f32>, scale: f32);
+    /// Consecutive per-layer ranges of the flat parameter vector, in
+    /// order, covering `[0, param_count)` exactly. This is what lets a
+    /// trainer exchange gradients layer by layer (e.g. submitting each
+    /// layer to a progress engine) instead of as one flattened vector.
+    /// Defaults to a single range (whole model = one "layer").
+    fn layer_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        std::iter::once(0..self.param_count()).collect()
+    }
+}
+
+/// Turns a list of segment lengths into cumulative flat-vector ranges.
+fn ranges_from_lens(lens: impl IntoIterator<Item = usize>) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut acc = 0usize;
+    for len in lens {
+        out.push(acc..acc + len);
+        acc += len;
+    }
+    out
 }
 
 impl FlatModel for Mlp {
@@ -36,6 +55,9 @@ impl FlatModel for Mlp {
     fn apply_sparse_update(&mut self, delta: &SparseStream<f32>, scale: f32) {
         Mlp::apply_sparse_update(self, delta, scale)
     }
+    fn layer_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        ranges_from_lens(self.layers.iter().map(|l| l.param_count()))
+    }
 }
 
 impl FlatModel for LstmClassifier {
@@ -50,6 +72,15 @@ impl FlatModel for LstmClassifier {
     }
     fn apply_sparse_update(&mut self, delta: &SparseStream<f32>, scale: f32) {
         LstmClassifier::apply_sparse_update(self, delta, scale)
+    }
+    fn layer_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        // Flat layout `[e, w, b, v, vb]`: embedding, recurrent cell
+        // (weights + bias), classifier head (weights + bias).
+        ranges_from_lens([
+            self.e.len(),
+            self.w.len() + self.b.len(),
+            self.v.len() + self.vb.len(),
+        ])
     }
 }
 

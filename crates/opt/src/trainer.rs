@@ -9,9 +9,10 @@
 //! replicas stay bit-identical across ranks.
 
 use sparcml_core::{run_communicators, Algorithm, AllreduceConfig, Communicator, Transport};
+use sparcml_engine::{CommunicatorEngineExt, EngineConfig};
 use sparcml_net::CostModel;
 use sparcml_quant::QsgdConfig;
-use sparcml_stream::{SparseStream, XorShift64};
+use sparcml_stream::{fuse_streams, split_fused, FusedLayout, SparseStream, XorShift64};
 
 use crate::data::{DenseDataset, SequenceDataset};
 use crate::nn::{FlatModel, LstmClassifier, Mlp};
@@ -42,6 +43,19 @@ impl Compression {
     }
 }
 
+/// How each step's gradient reaches the collective layer.
+#[derive(Debug, Clone, Default)]
+pub enum CommMode {
+    /// One flattened allreduce over the whole model per step.
+    #[default]
+    Flat,
+    /// Per-layer submission through a background progress engine
+    /// ([`sparcml_engine::Engine`]): the compressed gradient is split at
+    /// the model's [`crate::nn::FlatModel::layer_ranges`] boundaries and
+    /// the layers go out as one fused, priority-scheduled group.
+    Engine(EngineConfig),
+}
+
 /// Distributed NN training configuration.
 #[derive(Debug, Clone)]
 pub struct NnTrainConfig {
@@ -55,6 +69,8 @@ pub struct NnTrainConfig {
     pub compression: Compression,
     /// Collective override (`None` = mode default).
     pub algorithm: Option<Algorithm>,
+    /// Gradient transport path (flattened allreduce vs progress engine).
+    pub comm: CommMode,
     /// Initialization / shuffling seed (same on all ranks for replicas).
     pub seed: u64,
     /// Approximate flops per parameter per sample charged as virtual
@@ -70,6 +86,7 @@ impl Default for NnTrainConfig {
             batch_per_node: 16,
             compression: Compression::Dense,
             algorithm: None,
+            comm: CommMode::default(),
             seed: 42,
             flops_per_param_per_sample: 6.0,
         }
@@ -124,6 +141,10 @@ where
 {
     let p = comm.size();
     let dim = model.param_count();
+    // Per-layer dimensions for the engine path; ranges are consecutive
+    // and cover the flat vector, so the dims double as a fusion layout.
+    let layer_dims: Vec<usize> = model.layer_ranges().iter().map(|r| r.len()).collect();
+    debug_assert_eq!(layer_dims.iter().sum::<usize>(), dim);
     let algo = cfg
         .algorithm
         .unwrap_or_else(|| cfg.compression.default_algorithm());
@@ -182,13 +203,18 @@ where
 
             // Reduce.
             let t0 = comm.clock();
-            let total = comm
-                .allreduce(&to_send)
-                .algorithm(algo)
-                .config(ar_cfg.clone())
-                .launch()
-                .and_then(|handle| handle.wait())
-                .expect("allreduce failed");
+            let total = match &cfg.comm {
+                CommMode::Flat => comm
+                    .allreduce(&to_send)
+                    .algorithm(algo)
+                    .config(ar_cfg.clone())
+                    .launch()
+                    .and_then(|handle| handle.wait())
+                    .expect("allreduce failed"),
+                CommMode::Engine(engine_cfg) => {
+                    engine_step(comm, &to_send, &layer_dims, engine_cfg, algo, &ar_cfg)
+                }
+            };
             comm_time += comm.clock() - t0;
 
             // Apply the identical global update on every replica.
@@ -208,6 +234,48 @@ where
         });
     }
     stats
+}
+
+/// One engine-backed gradient exchange: the step's compressed gradient is
+/// split at the layer boundaries, the layers are submitted as one fused
+/// group to a progress engine owning the transport, and the reduced
+/// layers are fused back into the flat space for the update.
+///
+/// The engine is deliberately started and joined *per step* (not per
+/// training run): the transport — with its advanced clock and traffic
+/// counters — returns to the communicator before the epoch stats are
+/// read, so `comm.clock()`/`comm.stats()` stay exact on every backend,
+/// including the virtual-time one. The cost is one thread spawn and one
+/// extra agreement round per step, which is noise next to the batch
+/// gradient computation; a long-lived engine (amortizing both) is the
+/// right shape once stats are read from `Engine::stats` instead.
+fn engine_step<T: Transport + Send + 'static>(
+    comm: &mut Communicator<T>,
+    to_send: &SparseStream<f32>,
+    layer_dims: &[usize],
+    engine_cfg: &EngineConfig,
+    algo: Algorithm,
+    ar_cfg: &AllreduceConfig,
+) -> SparseStream<f32> {
+    let layout = FusedLayout::from_dims(layer_dims).expect("layer dims fit the index space");
+    let parts = split_fused(to_send, &layout).expect("gradient splits at layer boundaries");
+    let mut engine_cfg = engine_cfg.clone();
+    engine_cfg.algorithm = algo;
+    engine_cfg.allreduce = ar_cfg.clone();
+    let mut engine = comm.engine::<f32>(engine_cfg);
+    let refs: Vec<&SparseStream<f32>> = parts.iter().collect();
+    let tickets = engine.submit_allreduce_group(&refs);
+    let reduced: Vec<SparseStream<f32>> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("engine allreduce failed"))
+        .collect();
+    engine
+        .finish_into(comm)
+        .expect("engine returns the transport");
+    let refs: Vec<&SparseStream<f32>> = reduced.iter().collect();
+    fuse_streams(&refs)
+        .expect("reduced layers refuse into the flat space")
+        .0
 }
 
 fn merge_epoch_stats(per_rank: Vec<Vec<NnEpochStats>>) -> Vec<NnEpochStats> {
@@ -425,6 +493,70 @@ mod tests {
             "acc {}",
             stats.last().unwrap().accuracy
         );
+    }
+
+    #[test]
+    fn engine_mode_matches_flat_mode_weights() {
+        // The engine path fuses the per-layer gradients back into the
+        // identical flat index space, so with a fixed schedule the final
+        // replicas must match the flat path bit for bit.
+        let ds = image_data();
+        let mk = |comm| NnTrainConfig {
+            epochs: 2,
+            compression: Compression::TopK(TopKConfig {
+                k_per_bucket: 16,
+                bucket_size: 512,
+            }),
+            algorithm: Some(Algorithm::SsarRecDbl),
+            comm,
+            ..Default::default()
+        };
+        let (flat, _) =
+            train_mlp_distributed(&ds, &[32, 16, 5], 2, CostModel::zero(), &mk(CommMode::Flat));
+        let (engine, _) = train_mlp_distributed(
+            &ds,
+            &[32, 16, 5],
+            2,
+            CostModel::zero(),
+            &mk(CommMode::Engine(EngineConfig::default())),
+        );
+        assert_eq!(flat.params(), engine.params());
+    }
+
+    #[test]
+    fn engine_mode_replicas_stay_identical() {
+        let ds = image_data();
+        let cfg = NnTrainConfig {
+            epochs: 1,
+            compression: Compression::TopK(TopKConfig {
+                k_per_bucket: 8,
+                bucket_size: 64,
+            }),
+            comm: CommMode::Engine(EngineConfig::default()),
+            ..Default::default()
+        };
+        let results = run_communicators(4, CostModel::zero(), |comm| {
+            let mut model = Mlp::new(&[32, 16, 5], cfg.seed);
+            let (lo, hi) = ds.shard_range(4, comm.rank());
+            train_rank(comm, &mut model, hi - lo, &cfg, |m, batch| {
+                let xs: Vec<&[f32]> = batch
+                    .iter()
+                    .map(|&i| ds.samples[lo + i].as_slice())
+                    .collect();
+                let ys: Vec<u32> = batch.iter().map(|&i| ds.labels[lo + i]).collect();
+                let bg = m.batch_gradient(&xs, &ys);
+                EvalOut {
+                    loss: bg.loss,
+                    correct: bg.correct,
+                    correct_top5: bg.correct_top5,
+                    grad: bg.grad,
+                }
+            });
+            model.params()
+        });
+        for r in 1..4 {
+            assert_eq!(results[r], results[0], "replica divergence at rank {r}");
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fuse;
 mod gen;
 mod partition;
 mod scalar;
@@ -55,6 +56,7 @@ mod threshold;
 mod wire;
 
 pub use error::StreamError;
+pub use fuse::{fuse_streams, split_fused, FusedLayout};
 pub use gen::{clustered_sparse, random_sparse, uniform_indices, XorShift64};
 pub use partition::{owner_of, partition_range, PartRange};
 pub use scalar::Scalar;

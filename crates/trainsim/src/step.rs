@@ -46,6 +46,18 @@ impl GpuSpec {
 pub enum SyncStrategy {
     /// Per-layer allreduce, overlapped with backward compute.
     PerLayer(Exchange),
+    /// The progress-engine execution model (`sparcml-engine`): per-layer
+    /// gradients are bucketed in backward (readiness) order and each
+    /// bucket goes out as *one* fused collective, so many small layers
+    /// share a single per-collective latency. Buckets flush when their
+    /// cumulative parameter count would exceed `max_fused_params`.
+    EngineFused {
+        /// How each fused bucket is exchanged.
+        exchange: Exchange,
+        /// Fusion threshold: cap on a bucket's summed parameter count
+        /// (the `FusionPolicy::max_fused_elements` analogue).
+        max_fused_params: usize,
+    },
     /// BMUF: a full-model dense allreduce every `block_steps` steps
     /// (no overlap; the paper's ASR baseline).
     Bmuf {
@@ -97,6 +109,48 @@ pub fn step_time(
                 nic_free = start + dur;
                 last_comm_end = nic_free;
             }
+            let total = compute.max(last_comm_end);
+            StepTime {
+                compute,
+                exposed_comm: total - compute,
+                total,
+            }
+        }
+        SyncStrategy::EngineFused {
+            exchange,
+            max_fused_params,
+        } => {
+            // Backward visits layers in reverse; gradients accumulate
+            // into the open bucket, which flushes once full (or at the
+            // end of backward). A bucket is ready when its *last* layer's
+            // backward slice completes; the NIC serializes bucket
+            // exchanges, each costing one collective over the summed
+            // parameter count.
+            let cap = (*max_fused_params).max(1);
+            let mut t = fwd;
+            let mut nic_free = fwd;
+            let mut last_comm_end = fwd;
+            let mut bucket_params = 0usize;
+            let flush = |ready: f64, params: usize, nic_free: &mut f64, end: &mut f64| {
+                if params == 0 {
+                    return;
+                }
+                let start = ready.max(*nic_free);
+                *nic_free = start + est.layer_time(params, p, exchange);
+                *end = *nic_free;
+            };
+            for l in model.layers.iter().rev() {
+                t += l.flops_bwd * batch as f64 / gpu.flops_per_sec;
+                if bucket_params > 0 && bucket_params + l.params > cap {
+                    // The open bucket became ready when the previous
+                    // layer's backward finished; `t` already includes the
+                    // current layer, so the flush point is conservative.
+                    flush(t, bucket_params, &mut nic_free, &mut last_comm_end);
+                    bucket_params = 0;
+                }
+                bucket_params += l.params;
+            }
+            flush(t, bucket_params, &mut nic_free, &mut last_comm_end);
             let total = compute.max(last_comm_end);
             StepTime {
                 compute,
@@ -215,6 +269,79 @@ mod tests {
         // "head" is last → its gradient is ready first (backward reverse
         // order) and overlaps the long "tail" backward.
         assert!(st.exposed_comm < st.compute * 0.1, "{st:?}");
+    }
+
+    #[test]
+    fn engine_fusion_beats_per_layer_on_many_small_layers() {
+        // 64 tiny layers in a latency-dominated network: per-layer sync
+        // pays 64 per-collective latencies, the engine pays ~1.
+        let m = ModelSpec {
+            name: "many-small".into(),
+            layers: (0..64)
+                .map(|i| crate::model::LayerSpec::new(&format!("l{i}"), 2_000, 1e6))
+                .collect(),
+        };
+        let ex = Exchange::topk(4);
+        let per_layer = step_time(
+            &m,
+            8,
+            4,
+            &GpuSpec::p100(),
+            &SyncStrategy::PerLayer(ex.clone()),
+            &est(),
+        );
+        let fused = step_time(
+            &m,
+            8,
+            4,
+            &GpuSpec::p100(),
+            &SyncStrategy::EngineFused {
+                exchange: ex,
+                max_fused_params: usize::MAX,
+            },
+            &est(),
+        );
+        assert!(
+            fused.total < per_layer.total,
+            "fused {} vs per-layer {}",
+            fused.total,
+            per_layer.total
+        );
+    }
+
+    #[test]
+    fn engine_fusion_respects_the_bucket_cap() {
+        // A tight cap (one layer per bucket) forfeits the fusion win: it
+        // pays per-layer latencies again, so an uncapped engine must be
+        // at least as fast.
+        let m = ModelSpec {
+            name: "capped".into(),
+            layers: (0..32)
+                .map(|i| crate::model::LayerSpec::new(&format!("l{i}"), 1_000, 1e6))
+                .collect(),
+        };
+        let ex = Exchange::topk(4);
+        let run = |max_fused_params| {
+            step_time(
+                &m,
+                8,
+                4,
+                &GpuSpec::p100(),
+                &SyncStrategy::EngineFused {
+                    exchange: ex.clone(),
+                    max_fused_params,
+                },
+                &est(),
+            )
+        };
+        let capped = run(1_000);
+        let uncapped = run(usize::MAX);
+        assert!(
+            uncapped.total < capped.total,
+            "uncapped {} vs capped {}",
+            uncapped.total,
+            capped.total
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! section for the layout and the buffer-pool lifecycle.
 
 pub use sparcml_core as core;
+pub use sparcml_engine as engine;
 pub use sparcml_net as net;
 pub use sparcml_opt as opt;
 pub use sparcml_quant as quant;
@@ -23,3 +24,4 @@ pub use sparcml_core::{
     Algorithm, CollectiveHandle, Communicator, Endpoint, TcpTransport, ThreadTransport, Transport,
     TransportConfig,
 };
+pub use sparcml_engine::{CommunicatorEngineExt, Engine, EngineConfig, FusionPolicy, Ticket};
