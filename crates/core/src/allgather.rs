@@ -19,11 +19,20 @@ pub fn sparse_allgather<T: Transport, V: Scalar>(
     ep: &mut T,
     input: &SparseStream<V>,
 ) -> Result<Vec<SparseStream<V>>, CollError> {
+    sparse_allgather_pooled(ep, input, &mut BufferPool::new())
+}
+
+/// [`sparse_allgather`] routing its frames through a caller-owned pool
+/// (the communicator's persistent session pool).
+pub(crate) fn sparse_allgather_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    pool: &mut BufferPool,
+) -> Result<Vec<SparseStream<V>>, CollError> {
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
     let mut buf = pool.acquire();
     input.encode_into(&mut buf);
-    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), &mut pool)?;
+    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), pool)?;
     blocks
         .iter()
         .map(|b| SparseStream::decode(b).map_err(CollError::from))
@@ -37,7 +46,17 @@ pub fn sparse_allgather_sum<T: Transport, V: Scalar>(
     ep: &mut T,
     input: &SparseStream<V>,
 ) -> Result<SparseStream<V>, CollError> {
-    let parts = sparse_allgather(ep, input)?;
+    sparse_allgather_sum_pooled(ep, input, &mut BufferPool::new())
+}
+
+/// [`sparse_allgather_sum`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn sparse_allgather_sum_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
+    let parts = sparse_allgather_pooled(ep, input, pool)?;
     // Try the cheap disjoint concatenation first; fall back to merge.
     match SparseStream::concat_disjoint(&parts) {
         Ok(out) => {
@@ -60,11 +79,20 @@ pub fn dense_allgather<T: Transport, V: Scalar>(
     ep: &mut T,
     block: &[V],
 ) -> Result<Vec<Vec<V>>, CollError> {
+    dense_allgather_pooled(ep, block, &mut BufferPool::new())
+}
+
+/// [`dense_allgather`] routing its frames through a caller-owned pool
+/// (the communicator's persistent session pool).
+pub(crate) fn dense_allgather_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    block: &[V],
+    pool: &mut BufferPool,
+) -> Result<Vec<Vec<V>>, CollError> {
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
     let mut buf = pool.acquire();
     SparseStream::encode_dense_slice_into(block, &mut buf);
-    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), &mut pool)?;
+    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), pool)?;
     blocks
         .iter()
         .map(|b| {

@@ -40,6 +40,17 @@ pub fn dense_recursive_double<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    dense_recursive_double_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`dense_recursive_double`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn dense_recursive_double_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     let mut dense_input = input.clone();
     if dense_input.is_sparse() {
@@ -50,26 +61,20 @@ pub fn dense_recursive_double<T: Transport, V: Scalar>(
         return Ok(dense_input);
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
-    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy, &mut pool)?;
+    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy, pool)?;
     let result = match role {
         FoldRole::Active(mut acc) => {
             let p2 = pow2_below(p);
             let rank = ep.rank();
             for t in 0..p2.trailing_zeros() as usize {
                 let peer = rank ^ (1 << t);
-                let theirs = exchange_stream(
-                    ep,
-                    peer,
-                    tag(op_id, subtag::ROUND + t as u64),
-                    &acc,
-                    &mut pool,
-                )?;
+                let theirs =
+                    exchange_stream(ep, peer, tag(op_id, subtag::ROUND + t as u64), &acc, pool)?;
                 add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
             }
-            unfold_result(ep, op_id, Some(acc), &mut pool)?
+            unfold_result(ep, op_id, Some(acc), pool)?
         }
-        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, &mut pool)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, pool)?,
     };
     Ok(result)
 }
@@ -82,6 +87,17 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    dense_rabenseifner_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`dense_rabenseifner`] routing its frames through a caller-owned pool
+/// (the communicator's persistent session pool).
+pub(crate) fn dense_rabenseifner_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     let dim = input.dim();
     let mut dense_input = input.clone();
@@ -93,8 +109,7 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
         return Ok(dense_input);
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
-    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy, &mut pool)?;
+    let role = fold_to_pow2(ep, op_id, &dense_input, &cfg.policy, pool)?;
     let result = match role {
         FoldRole::Active(acc) => {
             let p2 = pow2_below(p);
@@ -118,7 +133,7 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
                 } else {
                     ((mid, hi), (lo, mid))
                 };
-                let payload = encode_block(&vals[send.0..send.1], &mut pool);
+                let payload = encode_block(&vals[send.0..send.1], pool);
                 ep.send(peer, tag(op_id, subtag::ROUND + t as u64), payload)?;
                 let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + t as u64))?;
                 let theirs: Vec<V> = decode_block(&incoming, keep.1 - keep.0)?;
@@ -137,7 +152,7 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
                 let dist = p2 >> (t + 1);
                 let peer = rank ^ dist;
                 let (combined_lo, combined_hi) = range_stack.pop().expect("one range per round");
-                let payload = encode_block(&vals[lo..hi], &mut pool);
+                let payload = encode_block(&vals[lo..hi], pool);
                 ep.send(peer, tag(op_id, subtag::ROUND + 32 + t as u64), payload)?;
                 let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + 32 + t as u64))?;
                 let (their_lo, their_hi) = if lo == combined_lo {
@@ -152,9 +167,9 @@ pub fn dense_rabenseifner<T: Transport, V: Scalar>(
                 hi = combined_hi;
             }
             debug_assert_eq!((lo, hi), (0, dim));
-            unfold_result(ep, op_id, Some(SparseStream::from_dense(vals)), &mut pool)?
+            unfold_result(ep, op_id, Some(SparseStream::from_dense(vals)), pool)?
         }
-        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, &mut pool)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, pool)?,
     };
     Ok(result)
 }
@@ -169,6 +184,17 @@ pub fn dense_ring<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    dense_ring_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`dense_ring`] routing its frames through a caller-owned pool (the
+/// communicator's persistent session pool).
+pub(crate) fn dense_ring_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let _ = cfg;
     let p = ep.size();
     let dim = input.dim();
@@ -181,7 +207,6 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         return Ok(dense_input);
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
     let rank = ep.rank();
     let next = (rank + 1) % p;
     let prev = (rank + p - 1) % p;
@@ -193,7 +218,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + p - step) % p;
         let recv_idx = (rank + p - step - 1) % p;
         let sr = range(send_idx);
-        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize], &mut pool);
+        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize], pool);
         ep.send(
             next,
             tag(op_id, subtag::RING + ((step as u64) << 8)),
@@ -213,7 +238,7 @@ pub fn dense_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + 1 + p - step) % p;
         let recv_idx = (rank + p - step) % p;
         let sr = range(send_idx);
-        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize], &mut pool);
+        let payload = encode_block(&vals[sr.lo as usize..sr.hi as usize], pool);
         ep.send(
             next,
             tag(op_id, subtag::RING + 1 + ((step as u64) << 8)),

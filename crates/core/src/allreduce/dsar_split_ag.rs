@@ -28,6 +28,17 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    dsar_split_allgather_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`dsar_split_allgather`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn dsar_split_allgather_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     let dim = input.dim();
     if p == 1 {
@@ -37,7 +48,6 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
     }
     let op_id = ep.next_op_id();
     let rank = ep.rank();
-    let mut pool = BufferPool::new();
 
     // --- Split phase: scatter sub-ranges, reduce own partition densely. ---
     for step in 1..p {
@@ -50,7 +60,7 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
             input,
             range,
             cfg.blocking_split_sends,
-            &mut pool,
+            pool,
         )?;
     }
     let my_range = partition_range(dim, p, rank);
@@ -71,7 +81,7 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
         if src == rank {
             continue;
         }
-        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT), &mut pool)?;
+        let part = recv_stream::<_, V>(ep, src, tag(op_id, subtag::SPLIT), pool)?;
         scatter(ep, &part, &mut block);
     }
 
@@ -92,7 +102,7 @@ pub fn dsar_split_allgather<T: Transport, V: Scalar>(
             Bytes::from(buf)
         }
     };
-    let blocks = allgather_bytes(ep, op_id, payload, &mut pool)?;
+    let blocks = allgather_bytes(ep, op_id, payload, pool)?;
 
     // --- Assemble the full dense result. ---
     let mut out = vec![V::zero(); dim];

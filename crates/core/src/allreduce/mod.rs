@@ -14,6 +14,7 @@
 //! | [`Algorithm::DenseRabenseifner`] | recursive halving + doubling | large dense data baseline [44] |
 //! | [`Algorithm::DenseRing`] | ring reduce-scatter + allgather | bandwidth-bound dense baseline |
 //! | [`Algorithm::SparseRing`] | ring schedule on sparse partitions | the "sparse counterpart" of Fig. 3 |
+//! | [`Algorithm::Hierarchical`] | intra-node reduce → leader-level flat allreduce → intra-node broadcast | multi-node clusters with fast intra-node links (needs a [`AllreduceConfig::topology`]) |
 
 mod dense;
 mod dsar_split_ag;
@@ -22,21 +23,28 @@ mod ssar_rec_dbl;
 mod ssar_split_ag;
 
 pub use dense::{dense_rabenseifner, dense_recursive_double, dense_ring};
+pub(crate) use dense::{
+    dense_rabenseifner_pooled, dense_recursive_double_pooled, dense_ring_pooled,
+};
 pub use dsar_split_ag::dsar_split_allgather;
+pub(crate) use dsar_split_ag::dsar_split_allgather_pooled;
 pub use sparse_ring::sparse_ring;
+pub(crate) use sparse_ring::sparse_ring_pooled;
 pub use ssar_rec_dbl::ssar_recursive_double;
+pub(crate) use ssar_rec_dbl::ssar_recursive_double_pooled;
 // The split phase of SSAR_Split_allgather doubles as the crate's
 // reduce-scatter building block (see `rooted::sparse_reduce_scatter`).
 pub(crate) use ssar_split_ag::split_reduce_partition;
 pub use ssar_split_ag::ssar_split_allgather;
+pub(crate) use ssar_split_ag::ssar_split_allgather_pooled;
 
 use bytes::Bytes;
-use sparcml_net::Transport;
+use sparcml_net::{Topology, TopologyCostModel, Transport};
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
 
 use crate::error::CollError;
-use crate::op::allgather_bytes;
+use crate::op::{allgather_bytes, BufferPool};
 
 /// Which allreduce schedule to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,11 +68,21 @@ pub enum Algorithm {
     DenseRing,
     /// Sparse ring (ring schedule on sparse partitions).
     SparseRing,
+    /// Two-level topology-aware schedule: intra-node sparse reduce to each
+    /// node's leader, a flat sparse allreduce among the leaders (chosen
+    /// recursively — [`AllreduceConfig::hier_leader_algorithm`]), then an
+    /// intra-node broadcast. Needs a non-trivial
+    /// [`AllreduceConfig::topology`] (falls back to a flat schedule
+    /// otherwise); composes the existing building blocks over
+    /// [`sparcml_net::GroupTransport`] subgroup views.
+    Hierarchical,
 }
 
 impl Algorithm {
-    /// All concrete algorithms, for sweeps ([`Algorithm::Auto`] resolves
-    /// to one of these).
+    /// All concrete *flat* algorithms, for sweeps ([`Algorithm::Auto`]
+    /// resolves to one of these, or to [`Algorithm::Hierarchical`] when a
+    /// non-trivial topology is configured; `Hierarchical` is excluded here
+    /// because it needs a topology to mean anything).
     pub const ALL: [Algorithm; 7] = [
         Algorithm::SsarRecDbl,
         Algorithm::SsarSplitAllgather,
@@ -86,6 +104,7 @@ impl Algorithm {
             Algorithm::DenseRabenseifner => "Dense_Rabenseifner",
             Algorithm::DenseRing => "Dense_Ring",
             Algorithm::SparseRing => "Sparse_Ring",
+            Algorithm::Hierarchical => "Hierarchical",
         }
     }
 
@@ -109,6 +128,23 @@ pub struct AllreduceConfig {
     /// Whether the split phase uses blocking sends (charging the paper's
     /// full `(P−1)α` to the sender) or non-blocking isends.
     pub blocking_split_sends: bool,
+    /// Node placement for [`Algorithm::Hierarchical`] and the
+    /// topology-aware [`Algorithm::Auto`] path. `None` means flat: `Auto`
+    /// never picks `Hierarchical`, and an explicit `Hierarchical` request
+    /// consults the `SPARCML_TOPOLOGY`/`SPARCML_NODES` environment before
+    /// degrading to a flat schedule.
+    pub topology: Option<Topology>,
+    /// Link parameters per class (intra-node vs inter-node) for pricing
+    /// flat-vs-hierarchical. `None` derives them from the environment
+    /// (`SPARCML_COST_MODEL`/`SPARCML_COST_MODEL_INTRA`) or, failing
+    /// that, from the transport's flat hint via
+    /// [`TopologyCostModel::from_flat`].
+    pub topology_cost: Option<TopologyCostModel>,
+    /// The flat algorithm the node leaders run in the middle stage of
+    /// [`Algorithm::Hierarchical`]. [`Algorithm::Auto`] (the default)
+    /// re-enters the §5.3 selector recursively at the leader level —
+    /// with the leaders' own `P`, `k`, and the inter-node cost model.
+    pub hier_leader_algorithm: Algorithm,
 }
 
 impl Default for AllreduceConfig {
@@ -118,6 +154,9 @@ impl Default for AllreduceConfig {
             quant: None,
             quant_seed: 0x005b_ac31,
             blocking_split_sends: true,
+            topology: None,
+            topology_cost: None,
+            hier_leader_algorithm: Algorithm::Auto,
         }
     }
 }
@@ -126,24 +165,47 @@ impl Default for AllreduceConfig {
 /// per-rank non-zero count with one tiny (8-byte) allgather — local Top-k
 /// streams can have slightly different sizes under error feedback, and a
 /// per-rank choice could diverge and deadlock the schedule — then run the
-/// workload through the §5.3 selector.
+/// workload through the §5.3 selector. With a non-trivial
+/// [`AllreduceConfig::topology`], the topology-aware selector also prices
+/// the two-level hierarchical schedule and may pick it.
 fn resolve_auto<T: Transport, V: Scalar>(
     ep: &mut T,
     input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+    allow_hierarchical: bool,
 ) -> Result<Algorithm, CollError> {
     let p = ep.size();
     let n = input.dim();
     let mut k = input.stored_len().max(1) as u64;
     if p > 1 {
         let op_id = ep.next_op_id();
-        let mut pool = crate::op::BufferPool::new();
-        let blocks = allgather_bytes(ep, op_id, Bytes::from(k.to_le_bytes().to_vec()), &mut pool)?;
+        let blocks = allgather_bytes(ep, op_id, Bytes::from(k.to_le_bytes().to_vec()), pool)?;
         for block in blocks {
             let bytes: [u8; 8] = block
                 .as_ref()
                 .try_into()
                 .map_err(|_| CollError::Invalid("malformed k-agreement block".into()))?;
             k = k.max(u64::from_le_bytes(bytes));
+        }
+    }
+    if allow_hierarchical {
+        if let Some(topo) = cfg.topology.as_ref() {
+            // A mismatched topology is a configuration error, not a hint
+            // to drop: silently running flat would defeat the knob (the
+            // same mismatch errors on an explicit Hierarchical request).
+            if topo.size() != p {
+                return Err(CollError::Invalid(format!(
+                    "topology covers {} ranks but the communicator has {p}",
+                    topo.size()
+                )));
+            }
+            if !topo.is_trivial() {
+                let tcm = crate::hierarchical::effective_topology_cost(ep, cfg)?;
+                return Ok(crate::selector::select_algorithm_with_topology::<V>(
+                    topo, n, k as usize, &tcm,
+                ));
+            }
         }
     }
     Ok(crate::selector::select_algorithm::<V>(
@@ -160,20 +222,48 @@ pub(crate) fn dispatch<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     algo: Algorithm,
     cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
     let algo = if algo.is_auto() {
-        resolve_auto::<T, V>(ep, input)?
+        resolve_auto::<T, V>(ep, input, cfg, pool, true)?
     } else {
         algo
     };
+    if algo == Algorithm::Hierarchical {
+        return crate::hierarchical::hierarchical_allreduce_pooled(ep, input, cfg, pool);
+    }
+    dispatch_flat(ep, input, algo, cfg, pool)
+}
+
+/// Flat-only dispatcher: like [`dispatch`] but never enters the
+/// hierarchical schedule — `Auto` (and a stray `Hierarchical`) resolve
+/// among the flat candidates only. The hierarchical collective routes its
+/// leader stage through this, which also bounds the compiler's
+/// `GroupTransport` nesting at one level per hierarchical call instead of
+/// recursing forever at monomorphization time.
+pub(crate) fn dispatch_flat<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    algo: Algorithm,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
+    let algo = match algo {
+        Algorithm::Auto | Algorithm::Hierarchical => {
+            resolve_auto::<T, V>(ep, input, cfg, pool, false)?
+        }
+        concrete => concrete,
+    };
     match algo {
-        Algorithm::Auto => unreachable!("Auto resolves to a concrete algorithm"),
-        Algorithm::SsarRecDbl => ssar_recursive_double(ep, input, cfg),
-        Algorithm::SsarSplitAllgather => ssar_split_allgather(ep, input, cfg),
-        Algorithm::DsarSplitAllgather => dsar_split_allgather(ep, input, cfg),
-        Algorithm::DenseRecDbl => dense_recursive_double(ep, input, cfg),
-        Algorithm::DenseRabenseifner => dense_rabenseifner(ep, input, cfg),
-        Algorithm::DenseRing => dense_ring(ep, input, cfg),
-        Algorithm::SparseRing => sparse_ring(ep, input, cfg),
+        Algorithm::Auto | Algorithm::Hierarchical => {
+            unreachable!("flat resolution yields a concrete flat algorithm")
+        }
+        Algorithm::SsarRecDbl => ssar_recursive_double_pooled(ep, input, cfg, pool),
+        Algorithm::SsarSplitAllgather => ssar_split_allgather_pooled(ep, input, cfg, pool),
+        Algorithm::DsarSplitAllgather => dsar_split_allgather_pooled(ep, input, cfg, pool),
+        Algorithm::DenseRecDbl => dense_recursive_double_pooled(ep, input, cfg, pool),
+        Algorithm::DenseRabenseifner => dense_rabenseifner_pooled(ep, input, cfg, pool),
+        Algorithm::DenseRing => dense_ring_pooled(ep, input, cfg, pool),
+        Algorithm::SparseRing => sparse_ring_pooled(ep, input, cfg, pool),
     }
 }

@@ -19,12 +19,22 @@ pub fn sparse_ring<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    sparse_ring_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`sparse_ring`] routing its frames through a caller-owned pool (the
+/// communicator's persistent session pool).
+pub(crate) fn sparse_ring_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if p == 1 {
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
     let rank = ep.rank();
     let dim = input.dim();
     let next = (rank + 1) % p;
@@ -44,8 +54,8 @@ pub fn sparse_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + p - step) % p;
         let recv_idx = (rank + p - step - 1) % p;
         let t = tag(op_id, subtag::RING + ((step as u64) << 8));
-        send_stream(ep, next, t, &parts[send_idx], true, &mut pool)?;
-        let incoming = recv_stream::<_, V>(ep, prev, t, &mut pool)?;
+        send_stream(ep, next, t, &parts[send_idx], true, pool)?;
+        let incoming = recv_stream::<_, V>(ep, prev, t, pool)?;
         let acc = &mut parts[recv_idx];
         add_charged(ep, acc, &incoming, &cfg.policy)?;
     }
@@ -60,8 +70,8 @@ pub fn sparse_ring<T: Transport, V: Scalar>(
         let send_idx = (rank + 1 + p - step) % p;
         let recv_idx = (rank + p - step) % p;
         let t = tag(op_id, subtag::RING + 1 + ((step as u64) << 8));
-        send_stream(ep, next, t, &parts[send_idx], true, &mut pool)?;
-        parts[recv_idx] = recv_stream::<_, V>(ep, prev, t, &mut pool)?;
+        send_stream(ep, next, t, &parts[send_idx], true, pool)?;
+        parts[recv_idx] = recv_stream::<_, V>(ep, prev, t, pool)?;
     }
     let result = SparseStream::concat_disjoint(&parts)?;
     ep.compute(result.stored_len());

@@ -27,13 +27,23 @@ pub fn ssar_recursive_double<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    ssar_recursive_double_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`ssar_recursive_double`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn ssar_recursive_double_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if p == 1 {
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
-    let role = fold_to_pow2(ep, op_id, input, &cfg.policy, &mut pool)?;
+    let role = fold_to_pow2(ep, op_id, input, &cfg.policy, pool)?;
     let result = match role {
         FoldRole::Active(mut acc) => {
             let p2 = pow2_below(p);
@@ -41,18 +51,13 @@ pub fn ssar_recursive_double<T: Transport, V: Scalar>(
             let rank = ep.rank();
             for t in 0..rounds {
                 let peer = rank ^ (1 << t);
-                let theirs = exchange_stream(
-                    ep,
-                    peer,
-                    tag(op_id, subtag::ROUND + t as u64),
-                    &acc,
-                    &mut pool,
-                )?;
+                let theirs =
+                    exchange_stream(ep, peer, tag(op_id, subtag::ROUND + t as u64), &acc, pool)?;
                 add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
             }
-            unfold_result(ep, op_id, Some(acc), &mut pool)?
+            unfold_result(ep, op_id, Some(acc), pool)?
         }
-        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, &mut pool)?,
+        FoldRole::Parked => unfold_result::<_, V>(ep, op_id, None, pool)?,
     };
     Ok(result)
 }

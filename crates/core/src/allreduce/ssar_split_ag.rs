@@ -71,13 +71,23 @@ pub fn ssar_split_allgather<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    ssar_split_allgather_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`ssar_split_allgather`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn ssar_split_allgather_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if p == 1 {
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
-    let mut mine = split_reduce_partition(ep, input, cfg, op_id, &mut pool)?;
+    let mut mine = split_reduce_partition(ep, input, cfg, op_id, pool)?;
     // The partition result must be sparse for the concatenating allgather;
     // if fill-in forced it dense (the caller should have chosen DSAR), we
     // convert back, paying the scan.
@@ -87,7 +97,7 @@ pub fn ssar_split_allgather<T: Transport, V: Scalar>(
     }
     let mut buf = pool.acquire();
     mine.encode_into(&mut buf);
-    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), &mut pool)?;
+    let blocks = allgather_bytes(ep, op_id, bytes::Bytes::from(buf), pool)?;
     let parts: Vec<SparseStream<V>> = blocks
         .iter()
         .map(|b| SparseStream::decode(b))

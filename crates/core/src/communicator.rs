@@ -32,17 +32,22 @@
 
 use sparcml_net::{
     run_cluster, run_tcp_loopback_cluster, run_thread_cluster, CommStats, CostModel, Endpoint,
-    TcpTransport, ThreadTransport, Transport, TransportConfig,
+    GroupTransport, TcpTransport, ThreadTransport, Topology, TopologyCostModel, Transport,
+    TransportConfig,
 };
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
 
-use crate::allgather::{dense_allgather, sparse_allgather, sparse_allgather_sum};
+use crate::allgather::{
+    dense_allgather_pooled, sparse_allgather_pooled, sparse_allgather_sum_pooled,
+};
 use crate::allreduce::{dispatch, Algorithm, AllreduceConfig};
 use crate::error::CollError;
 use crate::nonblocking::Request;
+use crate::op::BufferPool;
 use crate::rooted::{
-    allreduce_via_reduce_bcast, sparse_broadcast, sparse_reduce, sparse_reduce_scatter,
+    allreduce_via_reduce_bcast_pooled, sparse_broadcast_pooled, sparse_reduce_pooled,
+    sparse_reduce_scatter_pooled,
 };
 
 /// A collective-communication session over one pluggable transport.
@@ -59,6 +64,14 @@ pub struct Communicator<T: Transport = Endpoint> {
     /// it would return local-only results. Every later `launch()` fails
     /// loudly instead.
     transport_lost: bool,
+    /// Persistent message-buffer pool shared by every *blocking*
+    /// collective this session launches, so encode/receive buffers
+    /// survive from one call to the next instead of being re-allocated
+    /// per collective (non-blocking launches use a private per-call pool:
+    /// the session pool cannot follow the transport onto the helper
+    /// thread and stay here at once). Reuse is observable via
+    /// [`Communicator::stats_snapshot`].
+    pool: BufferPool,
 }
 
 impl<T: Transport + Send + 'static> Communicator<T> {
@@ -67,6 +80,7 @@ impl<T: Transport + Send + 'static> Communicator<T> {
         Communicator {
             transport,
             transport_lost: false,
+            pool: BufferPool::new(),
         }
     }
 
@@ -81,14 +95,15 @@ impl<T: Transport + Send + 'static> Communicator<T> {
     }
 
     /// Shared blocking-launch path: runs `op` on the owned transport and
-    /// wraps the result in an already-resolved handle.
+    /// the session's persistent buffer pool, wrapping the result in an
+    /// already-resolved handle.
     fn launch_blocking<R, F>(&mut self, op: F) -> Result<CollectiveHandle<'_, T, R>, CollError>
     where
         R: Send + 'static,
-        F: FnOnce(&mut T) -> Result<R, CollError>,
+        F: FnOnce(&mut T, &mut BufferPool) -> Result<R, CollError>,
     {
         self.ensure_attached()?;
-        let out = op(&mut self.transport)?;
+        let out = op(&mut self.transport, &mut self.pool)?;
         Ok(CollectiveHandle::ready(self, out))
     }
 
@@ -128,6 +143,62 @@ impl<T: Transport + Send + 'static> Communicator<T> {
     /// Communication statistics accumulated so far.
     pub fn stats(&self) -> &CommStats {
         self.transport.stats()
+    }
+
+    /// A point-in-time copy of the statistics with the session pool's
+    /// counters filled in: `CommStats::reuse_rate` reports the fraction
+    /// of message buffers served from the persistent pool (approaching 1
+    /// in a steady-state training loop).
+    pub fn stats_snapshot(&self) -> CommStats {
+        let mut s = self.transport.stats().snapshot();
+        s.pool_acquires = self.pool.acquires();
+        s.pool_reuses = self.pool.reuses();
+        s
+    }
+
+    /// Splits the communicator MPI-style: every rank of this session
+    /// calls `split` with a `color`; ranks sharing a color form one
+    /// subgroup and each caller's session becomes a communicator over its
+    /// subgroup (ranks renumbered `0..group_size` by ascending parent
+    /// rank, message tags scoped so concurrent collectives on sibling
+    /// groups never collide). All collectives — including non-blocking
+    /// launches and engine submission — work unchanged on the subgroup;
+    /// [`Communicator::into_parent`] dissolves the view and returns the
+    /// original session.
+    ///
+    /// Errors consume the session. `split` is a collective call, so a
+    /// failure (bad configuration, lost peer) is cluster-symmetric: every
+    /// rank fails the same way and the job should rebuild its sessions
+    /// rather than limp on with a half-split cluster.
+    pub fn split(self, color: u64) -> Result<Communicator<GroupTransport<T>>, CollError> {
+        self.ensure_attached()?;
+        let Communicator {
+            transport, pool, ..
+        } = self;
+        let group = GroupTransport::split(transport, color)?;
+        Ok(Communicator {
+            transport: group,
+            transport_lost: false,
+            pool,
+        })
+    }
+
+    /// [`Communicator::split`] along a [`Topology`]'s node groups: each
+    /// rank lands in the subgroup of its node. Errors consume the session
+    /// (see [`Communicator::split`]).
+    pub fn split_by_topology(
+        self,
+        topo: &Topology,
+    ) -> Result<Communicator<GroupTransport<T>>, CollError> {
+        if topo.size() != self.size() {
+            return Err(CollError::Invalid(format!(
+                "topology covers {} ranks but the communicator has {}",
+                topo.size(),
+                self.size()
+            )));
+        }
+        let color = topo.node_of(self.rank()) as u64;
+        self.split(color)
     }
 
     /// Charges local reduction work of `elements` element operations.
@@ -259,6 +330,24 @@ impl<T: Transport + Send + 'static> Communicator<T> {
             comm: self,
             block,
             nonblocking: false,
+        }
+    }
+}
+
+impl<T: Transport + Send + 'static> Communicator<GroupTransport<T>> {
+    /// Dissolves a subgroup session created by [`Communicator::split`],
+    /// returning the parent communicator (its persistent buffer pool —
+    /// and any lost-transport poisoning — carry over).
+    pub fn into_parent(self) -> Communicator<T> {
+        let Communicator {
+            transport,
+            transport_lost,
+            pool,
+        } = self;
+        Communicator {
+            transport: transport.into_parent(),
+            transport_lost,
+            pool,
         }
     }
 }
@@ -417,6 +506,28 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> Allreduce<'a, T, V> {
         self
     }
 
+    /// Node placement for [`Algorithm::Hierarchical`] and the
+    /// topology-aware `Auto` path (which then prices flat vs two-level
+    /// per call and may pick either).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = Some(topology);
+        self
+    }
+
+    /// Per-link-class cost model (intra vs inter node) for the
+    /// topology-aware selection.
+    pub fn topology_cost(mut self, cost: TopologyCostModel) -> Self {
+        self.cfg.topology_cost = Some(cost);
+        self
+    }
+
+    /// Pins the flat algorithm the node leaders run inside
+    /// [`Algorithm::Hierarchical`] (default: recursive `Auto`).
+    pub fn leader_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.cfg.hier_leader_algorithm = algorithm;
+        self
+    }
+
     /// Whether the split phase uses blocking sends (full `(P−1)α`) or
     /// non-blocking isends (§5.3.2 latency mitigation).
     pub fn blocking_split_sends(mut self, blocking: bool) -> Self {
@@ -449,18 +560,18 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> Allreduce<'a, T, V> {
             via_reduce_broadcast,
             nonblocking,
         } = self;
-        let run = move |tp: &mut T, input: &SparseStream<V>| {
+        let run = move |tp: &mut T, input: &SparseStream<V>, pool: &mut BufferPool| {
             if via_reduce_broadcast {
-                allreduce_via_reduce_bcast(tp, input, &cfg)
+                allreduce_via_reduce_bcast_pooled(tp, input, &cfg, pool)
             } else {
-                dispatch(tp, input, algorithm, &cfg)
+                dispatch(tp, input, algorithm, &cfg, pool)
             }
         };
         if nonblocking {
             let input = input.clone();
-            comm.launch_spawned(move |tp| run(tp, &input))
+            comm.launch_spawned(move |tp| run(tp, &input, &mut BufferPool::new()))
         } else {
-            comm.launch_blocking(|tp| run(tp, input))
+            comm.launch_blocking(|tp, pool| run(tp, input, pool))
         }
     }
 }
@@ -501,9 +612,11 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> Reduce<'a, T, V> {
         } = self;
         if nonblocking {
             let input = input.clone();
-            comm.launch_spawned(move |tp| sparse_reduce(tp, &input, root, &cfg))
+            comm.launch_spawned(move |tp| {
+                sparse_reduce_pooled(tp, &input, root, &cfg, &mut BufferPool::new())
+            })
         } else {
-            comm.launch_blocking(|tp| sparse_reduce(tp, input, root, &cfg))
+            comm.launch_blocking(|tp, pool| sparse_reduce_pooled(tp, input, root, &cfg, pool))
         }
     }
 }
@@ -535,9 +648,11 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> Broadcast<'a, T, V> {
         } = self;
         if nonblocking {
             let input = input.clone();
-            comm.launch_spawned(move |tp| sparse_broadcast(tp, &input, root))
+            comm.launch_spawned(move |tp| {
+                sparse_broadcast_pooled(tp, &input, root, &mut BufferPool::new())
+            })
         } else {
-            comm.launch_blocking(|tp| sparse_broadcast(tp, input, root))
+            comm.launch_blocking(|tp, pool| sparse_broadcast_pooled(tp, input, root, pool))
         }
     }
 }
@@ -576,9 +691,11 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> ReduceScatter<'a, T, V> {
         } = self;
         if nonblocking {
             let input = input.clone();
-            comm.launch_spawned(move |tp| sparse_reduce_scatter(tp, &input, &cfg))
+            comm.launch_spawned(move |tp| {
+                sparse_reduce_scatter_pooled(tp, &input, &cfg, &mut BufferPool::new())
+            })
         } else {
-            comm.launch_blocking(|tp| sparse_reduce_scatter(tp, input, &cfg))
+            comm.launch_blocking(|tp, pool| sparse_reduce_scatter_pooled(tp, input, &cfg, pool))
         }
     }
 }
@@ -609,9 +726,11 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> Allgather<'a, T, V> {
         } = self;
         if nonblocking {
             let input = input.clone();
-            comm.launch_spawned(move |tp| sparse_allgather(tp, &input))
+            comm.launch_spawned(move |tp| {
+                sparse_allgather_pooled(tp, &input, &mut BufferPool::new())
+            })
         } else {
-            comm.launch_blocking(|tp| sparse_allgather(tp, input))
+            comm.launch_blocking(|tp, pool| sparse_allgather_pooled(tp, input, pool))
         }
     }
 }
@@ -642,9 +761,11 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> AllgatherSum<'a, T, V> {
         } = self;
         if nonblocking {
             let input = input.clone();
-            comm.launch_spawned(move |tp| sparse_allgather_sum(tp, &input))
+            comm.launch_spawned(move |tp| {
+                sparse_allgather_sum_pooled(tp, &input, &mut BufferPool::new())
+            })
         } else {
-            comm.launch_blocking(|tp| sparse_allgather_sum(tp, input))
+            comm.launch_blocking(|tp, pool| sparse_allgather_sum_pooled(tp, input, pool))
         }
     }
 }
@@ -676,11 +797,11 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> DenseAllgather<'a, T, V> {
         if nonblocking {
             let block = block.to_vec();
             let req = Request::spawn(comm.transport.detach(), move |tp| {
-                dense_allgather(tp, &block)
+                dense_allgather_pooled(tp, &block, &mut BufferPool::new())
             });
             Ok(CollectiveHandle::in_flight(comm, req))
         } else {
-            let out = dense_allgather(&mut comm.transport, block)?;
+            let out = dense_allgather_pooled(&mut comm.transport, block, &mut comm.pool)?;
             Ok(CollectiveHandle::ready(comm, out))
         }
     }

@@ -1,0 +1,329 @@
+//! The two-level topology-aware allreduce ([`Algorithm::Hierarchical`]).
+//!
+//! On a multi-node cluster the intra-node links are far faster than the
+//! inter-node links (§5.2 takes different α–β parameters per class), so a
+//! flat schedule wastes the cheap links: every round crosses the slow
+//! ones. The hierarchical schedule keeps inter-node traffic to the
+//! minimum — one flat allreduce among *node leaders* — and handles
+//! everything else on-node:
+//!
+//! ```text
+//!   node 0: r0 r1 r2 r3          node 1: r4 r5 r6 r7
+//!            \ | | /                      \ | | /
+//!   (1) intra-node sparse reduce → leader (binomial tree, intra links)
+//!             r0  ◄────────────────────►  r4
+//!   (2) leader-level flat sparse allreduce (any §5.3 schedule, inter links)
+//!            / | | \                      / | | \
+//!   (3) intra-node broadcast of the global sum (binomial tree)
+//! ```
+//!
+//! Each phase runs an *existing* collective unchanged over a
+//! [`GroupTransport`] subgroup view — the node group for (1) and (3), the
+//! leader group for (2) — so correctness is inherited from the flat
+//! implementations, and the leader-stage algorithm is chosen recursively
+//! by the §5.3 selector with the leaders' own `P`, `k` and the inter-node
+//! cost model (or pinned via
+//! [`AllreduceConfig::hier_leader_algorithm`]).
+
+use sparcml_net::{GroupTransport, Topology, TopologyCostModel, Transport};
+use sparcml_stream::{Scalar, SparseStream};
+
+use crate::allreduce::{dispatch, dispatch_flat, Algorithm, AllreduceConfig};
+use crate::error::CollError;
+use crate::op::BufferPool;
+use crate::rooted::{sparse_broadcast_pooled, sparse_reduce_pooled};
+
+/// Two-level hierarchical allreduce. Resolves the node placement from
+/// [`AllreduceConfig::topology`], falling back to the
+/// `SPARCML_TOPOLOGY`/`SPARCML_NODES` environment and finally to a single
+/// loopback node (under which the schedule degenerates to the flat
+/// adaptive path).
+pub fn hierarchical_allreduce<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+) -> Result<SparseStream<V>, CollError> {
+    hierarchical_allreduce_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`hierarchical_allreduce`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn hierarchical_allreduce_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
+    let p = ep.size();
+    if p == 1 {
+        return Ok(input.clone());
+    }
+    // Borrow the configured topology; only the env-detect fallback
+    // allocates (this runs once per collective call on the hot path).
+    let detected;
+    let topo: &Topology = match &cfg.topology {
+        Some(t) => t,
+        None => {
+            detected = Topology::detect(p)?;
+            &detected
+        }
+    };
+    if topo.size() != p {
+        return Err(CollError::Invalid(format!(
+            "topology covers {} ranks but the communicator has {p}",
+            topo.size()
+        )));
+    }
+    if topo.is_trivial() {
+        // One node (or one rank per node): there is no hierarchy to
+        // exploit — run the flat adaptive path. `resolve_auto` cannot
+        // bounce back here: a trivial topology never selects Hierarchical.
+        return dispatch(ep, input, Algorithm::Auto, cfg, pool);
+    }
+
+    let rank = ep.rank();
+    // Draw both tag scopes on *every* rank before any membership diverges,
+    // keeping the base op-id counter rank-invariant (non-leaders never
+    // construct the leader group, but must still account for its scope).
+    let node_seq = ep.next_op_id();
+    let lead_seq = ep.next_op_id();
+    let group = topo.group_of(rank).to_vec();
+    let leaders = topo.leaders();
+    let is_leader = topo.is_leader(rank);
+    let tcm = effective_topology_cost(ep, cfg)?;
+    // Inner stages must not see the topology again (a leader-level Auto
+    // re-selecting Hierarchical would recurse forever). Built field by
+    // field so the topology itself is never cloned per call.
+    let flat_cfg = AllreduceConfig {
+        policy: cfg.policy,
+        quant: cfg.quant,
+        quant_seed: cfg.quant_seed,
+        blocking_split_sends: cfg.blocking_split_sends,
+        topology: None,
+        topology_cost: None,
+        hier_leader_algorithm: cfg.hier_leader_algorithm,
+    };
+
+    // The topology validated the groups, so the subgroup constructors
+    // cannot fail; `expect` keeps the no-transport-loss invariant simple.
+    let mut node = GroupTransport::with_scope(ep.detach(), group, node_seq)
+        .expect("topology-derived node group is valid")
+        .with_cost(tcm.intra);
+
+    // Every fallible step reinstalls the base transport before returning,
+    // so a failed phase leaves the communicator usable (and poisonable by
+    // its own machinery) instead of silently holding a placeholder.
+    macro_rules! bail_on_err {
+        ($node:ident, $ep:ident, $result:expr) => {
+            match $result {
+                Ok(v) => v,
+                Err(e) => {
+                    *$ep = $node.into_parent();
+                    return Err(e);
+                }
+            }
+        };
+    }
+
+    // (1) Intra-node reduce: the node's sum lands at group rank 0 (the
+    // leader); everyone else holds an empty stream of the right dimension.
+    let reduced = bail_on_err!(
+        node,
+        ep,
+        sparse_reduce_pooled(&mut node, input, 0, &flat_cfg, pool)
+    );
+
+    // (2) Leader-level flat allreduce across nodes. The node view is
+    // quiescent while its base is temporarily re-wrapped as the leader
+    // group; non-leaders skip straight to the broadcast receive.
+    let at_leader = if is_leader {
+        let mut lead = GroupTransport::with_scope(node.parent_mut().detach(), leaders, lead_seq)
+            .expect("topology-derived leader group is valid")
+            .with_cost(tcm.inter);
+        let summed = dispatch_flat(
+            &mut lead,
+            &reduced,
+            cfg.hier_leader_algorithm,
+            &flat_cfg,
+            pool,
+        );
+        *node.parent_mut() = lead.into_parent();
+        bail_on_err!(node, ep, summed)
+    } else {
+        reduced
+    };
+
+    // (3) Intra-node broadcast of the global sum from the leader.
+    let out = bail_on_err!(
+        node,
+        ep,
+        sparse_broadcast_pooled(&mut node, &at_leader, 0, pool)
+    );
+    *ep = node.into_parent();
+    Ok(out)
+}
+
+/// The link-class cost model in force for a call: the explicit
+/// [`AllreduceConfig::topology_cost`], else the
+/// `SPARCML_COST_MODEL`/`SPARCML_COST_MODEL_INTRA` environment overrides
+/// layered over the transport's flat planning hint (an unset inter model
+/// keeps the hint; an unset intra model takes the shared-memory default).
+pub(crate) fn effective_topology_cost<T: Transport>(
+    ep: &T,
+    cfg: &AllreduceConfig,
+) -> Result<TopologyCostModel, CollError> {
+    if let Some(tcm) = cfg.topology_cost {
+        return Ok(tcm);
+    }
+    Ok(TopologyCostModel::from_env_or_flat(*ep.cost())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_sum;
+    use sparcml_net::{run_cluster, CostModel};
+    use sparcml_stream::random_sparse;
+
+    fn cfg_with(topo: Topology) -> AllreduceConfig {
+        AllreduceConfig {
+            topology: Some(topo),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_by_four_matches_reference() {
+        let p = 8;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(4096, 64, 7000 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let cfg = cfg_with(Topology::uniform(2, 4).unwrap());
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            hierarchical_allreduce(ep, &ins[ep.rank()], &cfg).unwrap()
+        });
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn unequal_and_interleaved_nodes_work() {
+        // Nodes {0,3,5}, {1,4}, {2}: non-uniform sizes, non-consecutive
+        // ranks, one singleton node.
+        let topo = Topology::from_groups(vec![vec![0, 3, 5], vec![1, 4], vec![2]]).unwrap();
+        let p = 6;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(2000, 40, 7100 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let cfg = cfg_with(topo);
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            hierarchical_allreduce(ep, &ins[ep.rank()], &cfg).unwrap()
+        });
+        for out in outs {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_topology_falls_back_to_flat() {
+        let p = 4;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(1024, 16, 7200 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        for topo in [Topology::single_node(p), Topology::uniform(p, 1).unwrap()] {
+            let cfg = cfg_with(topo);
+            let outs = run_cluster(p, CostModel::zero(), |ep| {
+                hierarchical_allreduce(ep, &ins[ep.rank()], &cfg).unwrap()
+            });
+            for out in outs {
+                for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                    assert!((g - e).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_leader_algorithm_is_honored_and_exact_on_integers() {
+        // Integer-valued inputs: every schedule sums them exactly, so the
+        // hierarchical result must be bitwise-identical to the reference.
+        let p = 8;
+        let dim = 512;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| {
+                let pairs: Vec<(u32, f32)> = (0..24)
+                    .map(|i| (((r * 37 + i * 11) % dim) as u32, (1 + r + i) as f32))
+                    .collect();
+                SparseStream::from_pairs(dim, &pairs).unwrap()
+            })
+            .collect();
+        let expect = reference_sum(&ins);
+        for leader_algo in [Algorithm::SsarRecDbl, Algorithm::DenseRing] {
+            let cfg = AllreduceConfig {
+                topology: Some(Topology::uniform(4, 2).unwrap()),
+                hier_leader_algorithm: leader_algo,
+                ..Default::default()
+            };
+            let outs = run_cluster(p, CostModel::zero(), |ep| {
+                hierarchical_allreduce(ep, &ins[ep.rank()], &cfg).unwrap()
+            });
+            for out in outs {
+                let got = out.to_dense_vec();
+                for (g, e) in got.iter().zip(expect.iter()) {
+                    assert_eq!(g.to_bits(), e.to_bits(), "{leader_algo:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let cfg = cfg_with(Topology::uniform(2, 4).unwrap());
+        let outs = run_cluster(2, CostModel::zero(), |ep| {
+            let input = SparseStream::<f32>::zeros(64);
+            hierarchical_allreduce(ep, &input, &cfg).is_err()
+        });
+        assert!(outs.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn world_collective_still_works_after_hierarchical() {
+        // The base op-id counter must stay rank-invariant through the
+        // group phases: a flat collective issued right after must match.
+        let p = 8;
+        let ins: Vec<SparseStream<f32>> = (0..p)
+            .map(|r| random_sparse(1024, 32, 7300 + r as u64))
+            .collect();
+        let expect = reference_sum(&ins);
+        let cfg = cfg_with(Topology::uniform(2, 4).unwrap());
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            let h = hierarchical_allreduce(ep, &ins[ep.rank()], &cfg).unwrap();
+            let f = crate::allreduce::ssar_recursive_double(
+                ep,
+                &ins[ep.rank()],
+                &AllreduceConfig::default(),
+            )
+            .unwrap();
+            (h, f)
+        });
+        for (h, f) in outs {
+            for ((hg, fg), e) in h
+                .to_dense_vec()
+                .iter()
+                .zip(f.to_dense_vec().iter())
+                .zip(expect.iter())
+            {
+                assert!((hg - e).abs() < 1e-4);
+                assert!((fg - e).abs() < 1e-4);
+            }
+        }
+    }
+}

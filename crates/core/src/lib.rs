@@ -60,6 +60,7 @@ mod allreduce;
 pub mod bounds;
 mod communicator;
 mod error;
+mod hierarchical;
 mod nonblocking;
 mod op;
 pub mod reference;
@@ -78,13 +79,20 @@ pub use communicator::{
     Communicator, DenseAllgather, Reduce, ReduceScatter,
 };
 pub use error::CollError;
+pub use hierarchical::hierarchical_allreduce;
 pub use nonblocking::Request;
 pub use op::BufferPool;
 pub use rooted::{
     allreduce_via_reduce_bcast, my_partition, sparse_broadcast, sparse_reduce,
     sparse_reduce_scatter,
 };
-pub use selector::{estimate_time, estimate_time_with_union, select_algorithm};
-// Re-exported so downstream code can name transports without depending on
-// sparcml-net directly.
-pub use sparcml_net::{Endpoint, TcpTransport, ThreadTransport, Transport, TransportConfig};
+pub use selector::{
+    estimate_hierarchical_time, estimate_time, estimate_time_with_union, select_algorithm,
+    select_algorithm_with_topology,
+};
+// Re-exported so downstream code can name transports and topology types
+// without depending on sparcml-net directly.
+pub use sparcml_net::{
+    Endpoint, GroupTransport, TcpTransport, ThreadTransport, Topology, TopologyCostModel,
+    Transport, TransportConfig,
+};

@@ -188,6 +188,7 @@ mod tests {
                     &input,
                     Algorithm::SsarRecDbl,
                     &AllreduceConfig::default(),
+                    &mut crate::op::BufferPool::new(),
                 )
             });
             let (ep_back, result) = req.wait().unwrap();
@@ -213,6 +214,7 @@ mod tests {
                     &input,
                     Algorithm::SsarRecDbl,
                     &AllreduceConfig::default(),
+                    &mut crate::op::BufferPool::new(),
                 )
             });
             let (tp_back, result) = req.wait().unwrap();

@@ -34,9 +34,12 @@ const MAX_POOLED: usize = 16;
 
 /// A pool of reusable encode/receive byte buffers.
 ///
-/// Every collective allocates one pool per call and routes the O(P)
-/// message frames of its schedule through it, so the steady state of a
-/// collective allocates nothing per message:
+/// Every collective routes the O(P) message frames of its schedule
+/// through a caller-provided pool. The [`crate::Communicator`] passes its
+/// *persistent session pool*, so the steady state of a training loop
+/// allocates nothing per message — buffers survive from one collective
+/// call to the next (`CommStats::reuse_rate` approaches 1). The free
+/// functions fall back to a fresh per-call pool. Either way:
 ///
 /// 1. [`BufferPool::acquire`] hands out a cleared `Vec<u8>` (retaining the
 ///    capacity of whatever frame previously used it);
@@ -94,6 +97,16 @@ impl BufferPool {
         } else {
             self.reuses as f64 / self.acquires as f64
         }
+    }
+
+    /// Total buffer acquisitions so far.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Acquisitions that reused a pooled allocation.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
     }
 }
 

@@ -22,6 +22,18 @@ pub fn sparse_reduce<T: Transport, V: Scalar>(
     root: usize,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    sparse_reduce_pooled(ep, input, root, cfg, &mut BufferPool::new())
+}
+
+/// [`sparse_reduce`] routing its frames through a caller-owned pool (the
+/// communicator's persistent session pool).
+pub(crate) fn sparse_reduce_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    root: usize,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if root >= p {
         return Err(CollError::Invalid(format!(
@@ -32,7 +44,6 @@ pub fn sparse_reduce<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
     // Rotate ranks so the root sits at virtual rank 0, then run a binomial
     // tree over virtual ranks (correct for any P).
     let vrank = (ep.rank() + p - root) % p;
@@ -48,14 +59,14 @@ pub fn sparse_reduce<T: Transport, V: Scalar>(
                 tag(op_id, subtag::ROUND + step as u64),
                 &acc,
                 true,
-                &mut pool,
+                pool,
             )?;
             break;
         }
         if vrank + step < p {
             let src = ((vrank + step) + root) % p;
             let theirs =
-                recv_stream::<_, V>(ep, src, tag(op_id, subtag::ROUND + step as u64), &mut pool)?;
+                recv_stream::<_, V>(ep, src, tag(op_id, subtag::ROUND + step as u64), pool)?;
             add_charged(ep, &mut acc, &theirs, &cfg.policy)?;
         }
         step <<= 1;
@@ -74,6 +85,17 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     root: usize,
 ) -> Result<SparseStream<V>, CollError> {
+    sparse_broadcast_pooled(ep, input, root, &mut BufferPool::new())
+}
+
+/// [`sparse_broadcast`] routing its frames through a caller-owned pool
+/// (the communicator's persistent session pool).
+pub(crate) fn sparse_broadcast_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    root: usize,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if root >= p {
         return Err(CollError::Invalid(format!(
@@ -84,7 +106,6 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
     let vrank = (ep.rank() + p - root) % p;
     // Receive from the parent (highest set bit), then forward downwards.
     let value = if vrank == 0 {
@@ -93,12 +114,7 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
         let parent_v = vrank & (vrank - 1); // clear lowest set bit
         let parent = (parent_v + root) % p;
         let sub = vrank & vrank.wrapping_neg(); // lowest set bit = my level
-        recv_stream::<_, V>(
-            ep,
-            parent,
-            tag(op_id, subtag::ROUND + sub as u64),
-            &mut pool,
-        )?
+        recv_stream::<_, V>(ep, parent, tag(op_id, subtag::ROUND + sub as u64), pool)?
     };
     // Forward to children (farthest first, so distant subtrees start
     // while we serialize the remaining sends — this keeps the total depth
@@ -120,7 +136,7 @@ pub fn sparse_broadcast<T: Transport, V: Scalar>(
                     tag(op_id, subtag::ROUND + step as u64),
                     &value,
                     true,
-                    &mut pool,
+                    pool,
                 )?;
             }
         }
@@ -143,13 +159,23 @@ pub fn sparse_reduce_scatter<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
+    sparse_reduce_scatter_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`sparse_reduce_scatter`] routing its frames through a caller-owned
+/// pool (the communicator's persistent session pool).
+pub(crate) fn sparse_reduce_scatter_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     let p = ep.size();
     if p == 1 {
         return Ok(input.clone());
     }
     let op_id = ep.next_op_id();
-    let mut pool = BufferPool::new();
-    crate::allreduce::split_reduce_partition(ep, input, cfg, op_id, &mut pool)
+    crate::allreduce::split_reduce_partition(ep, input, cfg, op_id, pool)
 }
 
 /// Allreduce composed as reduce + broadcast, for comparison with the
@@ -159,8 +185,19 @@ pub fn allreduce_via_reduce_bcast<T: Transport, V: Scalar>(
     input: &SparseStream<V>,
     cfg: &AllreduceConfig,
 ) -> Result<SparseStream<V>, CollError> {
-    let reduced = sparse_reduce(ep, input, 0, cfg)?;
-    sparse_broadcast(ep, &reduced, 0)
+    allreduce_via_reduce_bcast_pooled(ep, input, cfg, &mut BufferPool::new())
+}
+
+/// [`allreduce_via_reduce_bcast`] routing its frames through a
+/// caller-owned pool (the communicator's persistent session pool).
+pub(crate) fn allreduce_via_reduce_bcast_pooled<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
+    let reduced = sparse_reduce_pooled(ep, input, 0, cfg, pool)?;
+    sparse_broadcast_pooled(ep, &reduced, 0, pool)
 }
 
 /// Convenience: the partition owned by this rank for a given dimension.

@@ -9,7 +9,7 @@
 //! regimes against the δ threshold, and then picks the cheapest schedule
 //! by its analytic expected cost.
 
-use sparcml_net::CostModel;
+use sparcml_net::{CostModel, Topology, TopologyCostModel};
 use sparcml_stream::{delta_raw, Scalar};
 
 use crate::allreduce::Algorithm;
@@ -39,7 +39,9 @@ fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
     match algo {
         // Auto is a placeholder resolved before costing; pricing it at
         // infinity keeps it out of any candidate sweep by construction.
-        Algorithm::Auto => f64::INFINITY,
+        // Hierarchical needs a topology to mean anything — it is priced by
+        // `estimate_hierarchical_time` against the flat best instead.
+        Algorithm::Auto | Algorithm::Hierarchical => f64::INFINITY,
         Algorithm::SsarRecDbl => {
             // Merge work per node: log2(P) merges whose total size grows
             // from log2(P)·k (full overlap) to ≈ 2·(P−1)·k (disjoint).
@@ -172,6 +174,76 @@ pub fn estimate_time<V: Scalar>(
     agreement + expected_cost(algo, &w, cost, ek)
 }
 
+/// Expected completion time of the two-level hierarchical schedule on a
+/// `topo`-shaped cluster with `k` non-zeros per rank, under the
+/// link-class models of `tcm`:
+///
+/// 1. *intra reduce* — binomial tree over the largest node (`⌈log2 g⌉`
+///    rounds on intra links; payloads grow toward the node's expected
+///    union `E[K_g]`, merge work `≈ g·k` at the leader's critical path);
+/// 2. *leader allreduce* — the cheapest flat schedule for `nodes` ranks
+///    with `E[K_g]`-sized streams on inter links (the same §5.3 sweep,
+///    applied recursively);
+/// 3. *intra broadcast* — `⌈log2 g⌉` rounds carrying the global result of
+///    expected size `E[K]`.
+pub fn estimate_hierarchical_time<V: Scalar>(
+    topo: &Topology,
+    n: usize,
+    k: usize,
+    tcm: &TopologyCostModel,
+) -> f64 {
+    let p = topo.size();
+    let g = topo.max_node_size();
+    let nodes = topo.num_nodes();
+    let k = k.min(n).max(1);
+    let pair = V::BYTES as f64 + 4.0;
+    let ek_group = expected_union_size(n, g, k);
+    let ek_all = expected_union_size(n, p, k);
+    let rounds_intra = (g as f64).log2().ceil().max(0.0);
+
+    // (1) Intra reduce: each tree level moves at most the accumulated
+    // union; bound payloads by E[K_g] and charge the leader's merge work.
+    let t_reduce = rounds_intra * (tcm.intra.alpha + tcm.intra.beta * ek_group * pair)
+        + tcm.intra.gamma * (g as f64) * k as f64;
+
+    // (2) Leader-level flat allreduce, selected recursively.
+    let kg = ek_group.round() as usize;
+    let t_leaders = if nodes > 1 {
+        let best = select_algorithm::<V>(nodes, n, kg.max(1), &tcm.inter);
+        estimate_time::<V>(best, nodes, n, kg.max(1), &tcm.inter)
+    } else {
+        0.0
+    };
+
+    // (3) Intra broadcast of the global result.
+    let t_bcast = rounds_intra * (tcm.intra.alpha + tcm.intra.beta * ek_all * pair);
+
+    t_reduce + t_leaders + t_bcast
+}
+
+/// Topology-aware §5.3 selection: the flat sweep priced on the inter-node
+/// link model, compared against [`estimate_hierarchical_time`]. Returns
+/// [`Algorithm::Hierarchical`] when the two-level schedule wins and the
+/// topology is non-trivial; the flat best otherwise.
+pub fn select_algorithm_with_topology<V: Scalar>(
+    topo: &Topology,
+    n: usize,
+    k: usize,
+    tcm: &TopologyCostModel,
+) -> Algorithm {
+    let flat = select_algorithm::<V>(topo.size(), n, k, &tcm.inter);
+    if topo.is_trivial() {
+        return flat;
+    }
+    let t_flat = estimate_time::<V>(flat, topo.size(), n, k, &tcm.inter);
+    let t_hier = estimate_hierarchical_time::<V>(topo, n, k, tcm);
+    if t_hier < t_flat {
+        Algorithm::Hierarchical
+    } else {
+        flat
+    }
+}
+
 /// [`estimate_time`] with an explicit expected union size `ek` (callers
 /// that know their supports are correlated — real Top-k gradients overlap
 /// far more than the uniform model, cf. Fig. 1 — can pass a smaller `ek`).
@@ -248,6 +320,44 @@ mod tests {
         for algo in Algorithm::ALL {
             let t = estimate_time::<f32>(algo, 16, 1 << 20, 1 << 10, &CostModel::gige());
             assert!(t.is_finite() && t > 0.0, "{algo:?}: {t}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_wins_on_slow_inter_links_with_small_k() {
+        // 4 nodes × 8 ranks on Ethernet with shared-memory nodes,
+        // latency-bound workload: flat SSAR pays log2(32) inter-αs, the
+        // two-level schedule only log2(4) of them.
+        let topo = Topology::uniform(4, 8).unwrap();
+        let tcm = TopologyCostModel::gige_cluster();
+        let (n, k) = (1 << 24, 1 << 6);
+        let t_hier = estimate_hierarchical_time::<f32>(&topo, n, k, &tcm);
+        let flat = select_algorithm::<f32>(32, n, k, &tcm.inter);
+        let t_flat = estimate_time::<f32>(flat, 32, n, k, &tcm.inter);
+        assert!(t_hier < t_flat, "hier {t_hier} vs flat {t_flat}");
+        assert_eq!(
+            select_algorithm_with_topology::<f32>(&topo, n, k, &tcm),
+            Algorithm::Hierarchical
+        );
+    }
+
+    #[test]
+    fn uniform_links_keep_flat_schedules() {
+        // When intra == inter, hierarchy only adds serialization: the
+        // topology-aware selector must fall back to the flat choice.
+        let topo = Topology::uniform(4, 8).unwrap();
+        let tcm = TopologyCostModel::uniform(CostModel::aries());
+        let (n, k) = (1 << 24, 1 << 6);
+        let algo = select_algorithm_with_topology::<f32>(&topo, n, k, &tcm);
+        assert_ne!(algo, Algorithm::Hierarchical, "got {algo:?}");
+    }
+
+    #[test]
+    fn trivial_topologies_never_pick_hierarchical() {
+        let tcm = TopologyCostModel::gige_cluster();
+        for topo in [Topology::single_node(8), Topology::uniform(8, 1).unwrap()] {
+            let algo = select_algorithm_with_topology::<f32>(&topo, 1 << 20, 64, &tcm);
+            assert_ne!(algo, Algorithm::Hierarchical);
         }
     }
 }

@@ -71,6 +71,18 @@ impl CostModel {
         }
     }
 
+    /// Intra-node link (shared memory / kernel loopback between ranks on
+    /// one host): ~0.4 µs per message, ~25 GB/s effective bandwidth. The
+    /// default *intra* parameters of a [`TopologyCostModel`].
+    pub fn intra_node() -> Self {
+        CostModel {
+            alpha: 4.0e-7,
+            beta: 4.0e-11,
+            gamma: 1.0e-9,
+            isend_alpha_fraction: 0.1,
+        }
+    }
+
     /// Free network: correctness tests that should not depend on timing.
     pub fn zero() -> Self {
         CostModel {
@@ -79,6 +91,72 @@ impl CostModel {
             gamma: 0.0,
             isend_alpha_fraction: 0.0,
         }
+    }
+
+    /// Resolves a preset by name (`"aries"`, `"infiniband"`, `"gige"`,
+    /// `"loopback_tcp"`/`"loopback"`, `"intra_node"`/`"intra"`, `"zero"`).
+    pub fn named(name: &str) -> Option<CostModel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "aries" => Some(CostModel::aries()),
+            "infiniband" | "ib" => Some(CostModel::infiniband()),
+            "gige" | "ethernet" => Some(CostModel::gige()),
+            "loopback_tcp" | "loopback" => Some(CostModel::loopback_tcp()),
+            "intra_node" | "intra" => Some(CostModel::intra_node()),
+            "zero" => Some(CostModel::zero()),
+            _ => None,
+        }
+    }
+
+    /// Parses a model spec: a preset name ([`CostModel::named`]) or the
+    /// explicit form `"alpha,beta,gamma[,isend_alpha_fraction]"` in
+    /// seconds (per message / per byte / per element), e.g.
+    /// `"2.3e-6,1.4e-10,1e-9"` measured off a real link.
+    pub fn parse(spec: &str) -> Result<CostModel, String> {
+        if let Some(preset) = CostModel::named(spec) {
+            return Ok(preset);
+        }
+        let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+        if parts.len() != 3 && parts.len() != 4 {
+            return Err(format!(
+                "cost model {spec:?}: expected a preset name or \"alpha,beta,gamma[,isend_fraction]\""
+            ));
+        }
+        let num = |s: &str| -> Result<f64, String> {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| format!("cost model {spec:?}: {s:?} is not a number"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "cost model {spec:?}: {s:?} must be finite and non-negative"
+                ));
+            }
+            Ok(v)
+        };
+        Ok(CostModel {
+            alpha: num(parts[0])?,
+            beta: num(parts[1])?,
+            gamma: num(parts[2])?,
+            isend_alpha_fraction: if parts.len() == 4 {
+                num(parts[3])?
+            } else {
+                0.1
+            },
+        })
+    }
+
+    /// Reads the `SPARCML_COST_MODEL` override (a [`CostModel::parse`]
+    /// spec) — how a multi-machine run feeds real link parameters to the
+    /// adaptive selector without recompiling. `Ok(None)` when unset;
+    /// errors loudly on a malformed value instead of silently mis-pricing
+    /// every schedule.
+    pub fn from_env() -> Result<Option<CostModel>, crate::error::CommError> {
+        env_model(ENV_COST_MODEL)
+    }
+
+    /// [`CostModel::from_env`] falling back to `default` when the variable
+    /// is unset. Malformed values still error.
+    pub fn from_env_or(default: CostModel) -> Result<CostModel, crate::error::CommError> {
+        Ok(CostModel::from_env()?.unwrap_or(default))
     }
 
     /// Time to move one message of `bytes` bytes: `α + β·bytes`.
@@ -97,6 +175,117 @@ impl CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel::aries()
+    }
+}
+
+/// Environment variable overriding the (inter-node) cost model; a
+/// [`CostModel::parse`] spec.
+pub const ENV_COST_MODEL: &str = "SPARCML_COST_MODEL";
+
+/// Environment variable overriding the intra-node cost model of a
+/// [`TopologyCostModel`]; a [`CostModel::parse`] spec.
+pub const ENV_COST_MODEL_INTRA: &str = "SPARCML_COST_MODEL_INTRA";
+
+fn env_model(var: &str) -> Result<Option<CostModel>, crate::error::CommError> {
+    match std::env::var(var) {
+        Ok(spec) => CostModel::parse(&spec)
+            .map(Some)
+            .map_err(|e| crate::error::CommError::Protocol(format!("{var}: {e}"))),
+        Err(_) => Ok(None),
+    }
+}
+
+/// The α–β(–γ) model split by link class: ranks on one node talk over
+/// `intra`, node leaders talk across nodes over `inter` (§5.2 takes very
+/// different parameters for the two). This is what the topology-aware
+/// selector prices flat-vs-hierarchical schedules against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyCostModel {
+    /// Link parameters between ranks sharing a node.
+    pub intra: CostModel,
+    /// Link parameters between nodes (also the flat-schedule model: flat
+    /// collectives bottleneck on their slowest links).
+    pub inter: CostModel,
+}
+
+impl TopologyCostModel {
+    /// Explicit intra + inter parameters.
+    pub fn new(intra: CostModel, inter: CostModel) -> Self {
+        TopologyCostModel { intra, inter }
+    }
+
+    /// Both link classes priced identically — the degenerate model under
+    /// which hierarchy can only add latency.
+    pub fn uniform(model: CostModel) -> Self {
+        TopologyCostModel {
+            intra: model,
+            inter: model,
+        }
+    }
+
+    /// Shared-memory intra links under an Aries-class inter network (the
+    /// Piz Daint shape of the paper's large runs).
+    pub fn aries_cluster() -> Self {
+        TopologyCostModel {
+            intra: CostModel::intra_node(),
+            inter: CostModel::aries(),
+        }
+    }
+
+    /// Shared-memory intra links under commodity Ethernet — the regime
+    /// where hierarchy pays off soonest (inter-α is ~100× intra-α).
+    pub fn gige_cluster() -> Self {
+        TopologyCostModel {
+            intra: CostModel::intra_node(),
+            inter: CostModel::gige(),
+        }
+    }
+
+    /// Derives the split model from a flat planning hint: the hint prices
+    /// the inter links, [`CostModel::intra_node`] the intra links.
+    pub fn from_flat(inter: CostModel) -> Self {
+        TopologyCostModel {
+            intra: CostModel::intra_node(),
+            inter,
+        }
+    }
+
+    /// Environment override: `SPARCML_COST_MODEL` sets the inter model,
+    /// `SPARCML_COST_MODEL_INTRA` the intra model (defaulting to
+    /// [`CostModel::intra_node`] when only the former is set, and to
+    /// [`CostModel::aries`] for a missing inter model). `Ok(None)` when
+    /// neither is set. Callers that hold a flat planning hint should
+    /// prefer [`TopologyCostModel::from_env_or_flat`], which keeps that
+    /// hint for whichever link class the environment leaves unset.
+    pub fn from_env() -> Result<Option<TopologyCostModel>, crate::error::CommError> {
+        let inter = env_model(ENV_COST_MODEL)?;
+        let intra = env_model(ENV_COST_MODEL_INTRA)?;
+        Ok(match (intra, inter) {
+            (None, None) => None,
+            (intra, inter) => Some(TopologyCostModel {
+                intra: intra.unwrap_or_else(CostModel::intra_node),
+                inter: inter.unwrap_or_else(CostModel::aries),
+            }),
+        })
+    }
+
+    /// The model a transport session should plan with: environment
+    /// overrides where set, the transport's flat planning hint for a
+    /// missing *inter* model (setting only `SPARCML_COST_MODEL_INTRA`
+    /// must not silently replace the known inter parameters with a
+    /// preset), and [`CostModel::intra_node`] for a missing intra model.
+    pub fn from_env_or_flat(
+        flat_hint: CostModel,
+    ) -> Result<TopologyCostModel, crate::error::CommError> {
+        let inter = env_model(ENV_COST_MODEL)?;
+        let intra = env_model(ENV_COST_MODEL_INTRA)?;
+        Ok(match (intra, inter) {
+            (None, None) => TopologyCostModel::from_flat(flat_hint),
+            (intra, inter) => TopologyCostModel {
+                intra: intra.unwrap_or_else(CostModel::intra_node),
+                inter: inter.unwrap_or(flat_hint),
+            },
+        })
     }
 }
 
@@ -131,5 +320,38 @@ mod tests {
         let z = CostModel::zero();
         assert_eq!(z.transfer_time(1 << 30), 0.0);
         assert_eq!(z.compute_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn parse_accepts_presets_and_explicit_specs() {
+        assert_eq!(CostModel::parse("aries").unwrap(), CostModel::aries());
+        assert_eq!(CostModel::parse(" GigE ").unwrap(), CostModel::gige());
+        let m = CostModel::parse("1e-6, 2e-10, 3e-9").unwrap();
+        assert_eq!(m.alpha, 1e-6);
+        assert_eq!(m.beta, 2e-10);
+        assert_eq!(m.gamma, 3e-9);
+        assert_eq!(m.isend_alpha_fraction, 0.1);
+        let m = CostModel::parse("1,2,3,0.5").unwrap();
+        assert_eq!(m.isend_alpha_fraction, 0.5);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CostModel::parse("fast").is_err());
+        assert!(CostModel::parse("1,2").is_err());
+        assert!(CostModel::parse("1,x,3").is_err());
+        assert!(CostModel::parse("1,-2,3").is_err());
+        assert!(CostModel::parse("inf,0,0").is_err());
+    }
+
+    #[test]
+    fn topology_model_presets_split_link_classes() {
+        let t = TopologyCostModel::aries_cluster();
+        assert!(t.intra.alpha < t.inter.alpha);
+        let u = TopologyCostModel::uniform(CostModel::gige());
+        assert_eq!(u.intra, u.inter);
+        let f = TopologyCostModel::from_flat(CostModel::gige());
+        assert_eq!(f.inter, CostModel::gige());
+        assert_eq!(f.intra, CostModel::intra_node());
     }
 }

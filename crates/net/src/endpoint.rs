@@ -116,6 +116,12 @@ impl Endpoint {
         &self.stats
     }
 
+    /// Mutable statistics access (see [`Transport::stats_mut`]).
+    #[inline]
+    pub fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
+    }
+
     /// Resets the virtual clock and statistics (between experiment trials).
     pub fn reset_clock(&mut self) {
         self.clock = 0.0;
@@ -323,6 +329,10 @@ impl Transport for Endpoint {
 
     fn stats(&self) -> &CommStats {
         Endpoint::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut CommStats {
+        Endpoint::stats_mut(self)
     }
 
     fn reset_clock(&mut self) {

@@ -38,6 +38,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use crate::tcp::{TcpTransport, ENV_RANK, ENV_ROOT_ADDR, ENV_WORLD};
+use crate::topology::{Topology, ENV_NODE, ENV_NODES};
 
 /// Job-name guard: a worker only runs the closure of the job it was
 /// spawned for (defense in depth next to the `--exact` test filter).
@@ -63,6 +64,12 @@ pub struct LaunchOptions {
     /// caller is a plain binary/example whose `main` re-enters the
     /// launcher on its own.
     pub test_harness: bool,
+    /// Node placement to pin on the cluster: every rank gets
+    /// `SPARCML_NODES` (the full per-rank node map) and `SPARCML_NODE`
+    /// (its own node id) in its environment, so rank programs can rebuild
+    /// the [`Topology`] via [`Topology::from_env`]. `None` exports
+    /// nothing (the ranks then infer a single loopback node).
+    pub topology: Option<Topology>,
     /// Extra environment variables for every rank.
     pub env: Vec<(String, String)>,
 }
@@ -74,6 +81,7 @@ impl Default for LaunchOptions {
             recv_timeout: None,
             connect_timeout: None,
             test_harness: false,
+            topology: None,
             env: Vec::new(),
         }
     }
@@ -99,6 +107,12 @@ impl LaunchOptions {
     /// Builder-style override of the ranks' receive watchdog.
     pub fn with_recv_timeout(mut self, recv_timeout: Duration) -> Self {
         self.recv_timeout = Some(recv_timeout);
+        self
+    }
+
+    /// Builder-style node placement (see [`LaunchOptions::topology`]).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
         self
     }
 }
@@ -233,6 +247,16 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
             }
             if let Some(t) = opts.connect_timeout {
                 cmd.env("SPARCML_CONNECT_TIMEOUT_MS", t.as_millis().to_string());
+            }
+            if let Some(topo) = &opts.topology {
+                assert_eq!(
+                    topo.size(),
+                    world,
+                    "launch topology must cover exactly the cluster's ranks"
+                );
+                let nodes: Vec<String> = (0..world).map(|r| topo.node_of(r).to_string()).collect();
+                cmd.env(ENV_NODES, nodes.join(","));
+                cmd.env(ENV_NODE, topo.node_of(rank).to_string());
             }
             for (k, v) in &opts.env {
                 cmd.env(k, v);

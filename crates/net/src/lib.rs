@@ -42,23 +42,30 @@ mod config;
 mod cost;
 mod endpoint;
 mod error;
+mod group;
 pub mod launcher;
 mod stats;
 mod tags;
 mod tcp;
 mod thread_transport;
+mod topology;
 mod transport;
 
 pub use cluster::{max_virtual_time, run_cluster};
 pub use config::TransportConfig;
-pub use cost::CostModel;
+pub use cost::{CostModel, TopologyCostModel, ENV_COST_MODEL, ENV_COST_MODEL_INTRA};
 pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
 pub use error::CommError;
+pub use group::GroupTransport;
 pub use launcher::{run_tcp_cluster, run_tcp_cluster_outcomes, LaunchOptions, RankOutcome};
 pub use stats::CommStats;
-pub use tags::{TagBlock, TagBlockAllocator, TAG_BLOCK_BITS};
+pub use tags::{
+    is_group_op, GroupTagSpace, TagBlock, TagBlockAllocator, GROUP_REGION_BIT, MAX_GROUP_DEPTH,
+    TAG_BLOCK_BITS,
+};
 pub use tcp::{
     run_tcp_loopback_cluster, standalone_tcp_transport, TcpTransport, TCP_PROTOCOL_VERSION,
 };
 pub use thread_transport::{run_thread_cluster, standalone_thread_transport, ThreadTransport};
+pub use topology::{Topology, ENV_NODE, ENV_NODES, ENV_TOPOLOGY};
 pub use transport::Transport;

@@ -17,6 +17,13 @@ pub struct CommStats {
     /// block drawn from the op-id counter (`Transport::next_op_id`).
     /// Adaptive collectives count their agreement round separately.
     pub collectives: u64,
+    /// Message-buffer acquisitions from the session's persistent
+    /// `BufferPool` (filled in by `Communicator::stats_snapshot`; raw
+    /// transports report zero).
+    pub pool_acquires: u64,
+    /// How many of those acquisitions reused a pooled allocation instead
+    /// of allocating fresh.
+    pub pool_reuses: u64,
 }
 
 impl CommStats {
@@ -28,6 +35,20 @@ impl CommStats {
         self.bytes_recv += other.bytes_recv;
         self.compute_elements += other.compute_elements;
         self.collectives += other.collectives;
+        self.pool_acquires += other.pool_acquires;
+        self.pool_reuses += other.pool_reuses;
+    }
+
+    /// Fraction of buffer acquisitions served from the pool (`0.0` when
+    /// nothing was acquired). The steady state of a long-lived session
+    /// approaches `1.0`: every collective after the first reuses the
+    /// session pool's allocations.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.pool_acquires == 0 {
+            0.0
+        } else {
+            self.pool_reuses as f64 / self.pool_acquires as f64
+        }
     }
 
     /// A point-in-time copy of the counters, for before/after traffic
@@ -50,6 +71,8 @@ impl CommStats {
                 .compute_elements
                 .saturating_sub(baseline.compute_elements),
             collectives: self.collectives.saturating_sub(baseline.collectives),
+            pool_acquires: self.pool_acquires.saturating_sub(baseline.pool_acquires),
+            pool_reuses: self.pool_reuses.saturating_sub(baseline.pool_reuses),
         }
     }
 
@@ -71,7 +94,15 @@ mod tests {
             bytes_recv: 20,
             compute_elements: 5,
             collectives: 3,
+            pool_acquires: 8,
+            pool_reuses: 6,
         }
+    }
+
+    #[test]
+    fn reuse_rate_is_reuses_over_acquires() {
+        assert_eq!(sample().reuse_rate(), 0.75);
+        assert_eq!(CommStats::default().reuse_rate(), 0.0);
     }
 
     #[test]

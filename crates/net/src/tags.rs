@@ -9,22 +9,33 @@
 //! keeps them perfectly separated. This is what lets a progress engine
 //! keep many collectives in flight at once over one transport session.
 //!
-//! The `u64` tag space is carved into two regions:
+//! The `u64` tag space is carved into three regions:
 //!
 //! | bits | meaning |
 //! |---|---|
 //! | bit 63 | `0` = collective block (allocated via [`Transport::next_op_id`]), `1` = control block |
+//! | bit 62 | within the collective region: `0` = flat (whole-communicator) op, `1` = group-scoped op |
 //! | bits 16–62 | block id |
 //! | bits 0–15 | sub-tag within the block (rounds, fold/unfold, …) |
 //!
-//! Collective blocks come from the transport's op-id counter (the same
-//! sequence on every rank, per the [`crate::Transport`] contract), so two
-//! ranks invoking the same collective agree on its block without
+//! Flat collective blocks come from the transport's op-id counter (the
+//! same sequence on every rank, per the [`crate::Transport`] contract), so
+//! two ranks invoking the same collective agree on its block without
 //! communication. *Control* blocks live in a reserved region that the
 //! op-id stream can never reach; background subsystems (e.g. a progress
 //! engine's batch-agreement round) allocate them from their own
 //! deterministic counters via [`TagBlockAllocator`] and are guaranteed
 //! never to collide with any collective's data traffic.
+//!
+//! The **group** region (bit 62 of the tag, [`GROUP_REGION_BIT`] of the
+//! op id) carries subgroup collectives: a
+//! [`crate::GroupTransport`] hands out op ids from a [`GroupTagSpace`]
+//! whose scope field — `(depth, salt)` drawn from the *parent's* op-id
+//! stream at split time — is baked into the upper bits, so every tag a
+//! subgroup collective derives lands in a block disjoint from all flat
+//! traffic and from every other concurrently-live group sharing the wire
+//! (disjoint sibling groups additionally never share a `(source, tag)`
+//! pair, the unit of transport matching).
 //!
 //! [`Transport::next_op_id`]: crate::Transport::next_op_id
 
@@ -36,6 +47,84 @@ const CONTROL_BIT: u64 = 1 << 63;
 
 /// Largest block id representable in bits 16–62.
 const MAX_BLOCK_ID: u64 = (1 << (63 - TAG_BLOCK_BITS)) - 1;
+
+/// Bit (in *op-id* units — bit 62 of the derived tag) marking an op id as
+/// group-scoped. Flat op-id counters start at 1 and count up, so they can
+/// never reach this region; group op ids are minted by [`GroupTagSpace`].
+pub const GROUP_REGION_BIT: u64 = 1 << 46;
+
+/// Width of the per-group op sequence field inside a group op id.
+const GROUP_SEQ_BITS: u32 = 24;
+
+/// Width of the scope-salt field inside a group scope.
+const GROUP_SALT_BITS: u32 = 17;
+
+/// Width of the nesting-depth field inside a group scope.
+const GROUP_DEPTH_BITS: u32 = 5;
+
+/// Deepest representable group nesting (splits of splits of splits …).
+pub const MAX_GROUP_DEPTH: u32 = (1 << GROUP_DEPTH_BITS) - 1;
+
+/// A group-scoped op-id space: mints op ids in the group region of the
+/// tag space ([`GROUP_REGION_BIT`] set, scope in the upper bits, per-group
+/// sequence in the lower bits), ready for the standard
+/// `TagBlock::for_op(op_id)` tag derivation every collective uses.
+///
+/// The scope combines the group's nesting *depth* with a *salt* drawn
+/// from the parent transport's op-id stream when the group is created —
+/// the same value on every member rank (splits are collective), distinct
+/// across successive splits of the same parent (the op-id counter is
+/// monotonic). Two groups can thus only mint identical op ids if they are
+/// disjoint siblings of one split — and disjoint groups never share a
+/// `(source, tag)` matching pair, so their traffic cannot mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupTagSpace {
+    /// `depth << GROUP_SALT_BITS | salt`, pre-shifted into op-id position.
+    scope_bits: u64,
+}
+
+impl GroupTagSpace {
+    /// A space for a group at nesting `depth` whose creation drew `salt`
+    /// from its parent's op-id stream (the salt is reduced modulo the
+    /// salt-field width; the op-id counter takes ~2^17 splits per parent
+    /// to cycle it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds [`MAX_GROUP_DEPTH`].
+    pub fn new(depth: u32, salt: u64) -> GroupTagSpace {
+        assert!(depth <= MAX_GROUP_DEPTH, "group nesting too deep");
+        let scope = ((depth as u64) << GROUP_SALT_BITS) | (salt & ((1 << GROUP_SALT_BITS) - 1));
+        GroupTagSpace {
+            scope_bits: scope << GROUP_SEQ_BITS,
+        }
+    }
+
+    /// The `seq`-th op id of this space. Accepted unchanged by
+    /// [`TagBlock::for_op`]; the derived tags carry bit 62.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` overflows the sequence field (2^24 collectives on
+    /// one group).
+    #[inline]
+    pub fn op_id(&self, seq: u64) -> u64 {
+        assert!(seq < (1 << GROUP_SEQ_BITS), "group op sequence overflow");
+        GROUP_REGION_BIT | self.scope_bits | seq
+    }
+
+    /// Whether `op_id` was minted by this space.
+    #[inline]
+    pub fn contains_op(&self, op_id: u64) -> bool {
+        op_id & !((1 << GROUP_SEQ_BITS) - 1) == GROUP_REGION_BIT | self.scope_bits
+    }
+}
+
+/// Whether an op id lives in the group-scoped region.
+#[inline]
+pub fn is_group_op(op_id: u64) -> bool {
+    op_id & GROUP_REGION_BIT != 0
+}
 
 /// A contiguous range of `2^16` message tags owned by one operation.
 ///
@@ -102,6 +191,13 @@ impl TagBlock {
     #[inline]
     pub fn is_control(&self) -> bool {
         self.base & CONTROL_BIT != 0
+    }
+
+    /// Whether this block carries a group-scoped collective (its op id was
+    /// minted by a [`GroupTagSpace`]).
+    #[inline]
+    pub fn is_group(&self) -> bool {
+        !self.is_control() && self.base & (GROUP_REGION_BIT << TAG_BLOCK_BITS) != 0
     }
 }
 
@@ -182,6 +278,53 @@ mod tests {
         assert_eq!(a.allocated(), 5);
         let mut offset = TagBlockAllocator::starting_at(100);
         assert_eq!(offset.next_block(), TagBlock::control(100));
+    }
+
+    #[test]
+    fn group_ops_are_disjoint_from_flat_and_control() {
+        let space = GroupTagSpace::new(1, 42);
+        let g = TagBlock::for_op(space.op_id(3));
+        assert!(g.is_group());
+        assert!(!g.is_control());
+        assert!(is_group_op(space.op_id(0)));
+        assert!(!is_group_op(7));
+        // Same numeric sequence in flat vs group space: different blocks.
+        let flat = TagBlock::for_op(3);
+        assert!(!flat.is_group());
+        assert_ne!(g.tag(0), flat.tag(0));
+        assert!(!g.contains(flat.tag(0)));
+        // Control region stays disjoint too.
+        let c = TagBlock::control(space.op_id(3) & MAX_BLOCK_ID);
+        assert!(!g.contains(c.tag(0)));
+        assert!(!c.contains(g.tag(0)));
+    }
+
+    #[test]
+    fn group_scopes_separate_depth_and_salt() {
+        let a = GroupTagSpace::new(1, 5);
+        let b = GroupTagSpace::new(2, 5);
+        let c = GroupTagSpace::new(1, 6);
+        for (x, y) in [(a, b), (a, c), (b, c)] {
+            for seq in [0u64, 1, 100] {
+                assert_ne!(x.op_id(seq), y.op_id(seq));
+                let bx = TagBlock::for_op(x.op_id(seq));
+                assert!(!bx.contains(TagBlock::for_op(y.op_id(seq)).tag(0)));
+            }
+        }
+        assert!(a.contains_op(a.op_id(9)));
+        assert!(!a.contains_op(b.op_id(9)));
+        // The salt wraps at its field width without leaking into depth.
+        let wrapped = GroupTagSpace::new(1, 5 + (1 << 17));
+        assert_eq!(wrapped, a);
+    }
+
+    #[test]
+    fn group_op_ids_fit_the_block_field() {
+        // The deepest, saltiest, longest-lived group must still produce op
+        // ids TagBlock::for_op accepts.
+        let space = GroupTagSpace::new(MAX_GROUP_DEPTH, u64::MAX);
+        let block = TagBlock::for_op(space.op_id((1 << 24) - 1));
+        assert!(block.is_group());
     }
 
     #[test]

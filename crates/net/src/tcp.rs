@@ -561,9 +561,13 @@ impl TcpTransport {
     /// * `SPARCML_WORLD` — the cluster size;
     /// * `SPARCML_ROOT_ADDR` — rank 0's `host:port` rendezvous address;
     /// * plus the optional timeout overrides of
-    ///   [`TransportConfig::from_env`].
+    ///   [`TransportConfig::from_env`] and the `SPARCML_COST_MODEL`
+    ///   planning-hint override ([`CostModel::from_env`], defaulting to
+    ///   [`CostModel::loopback_tcp`]) so multi-machine runs can feed the
+    ///   selector real link parameters without recompiling.
     pub fn from_env() -> Result<TcpTransport, CommError> {
-        TcpTransport::from_env_with(CostModel::loopback_tcp(), TransportConfig::from_env())
+        let cost_hint = CostModel::from_env_or(CostModel::loopback_tcp())?;
+        TcpTransport::from_env_with(cost_hint, TransportConfig::from_env())
     }
 
     /// [`TcpTransport::from_env`] with an explicit planning hint and
@@ -914,6 +918,10 @@ impl Transport for TcpTransport {
 
     fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
     }
 
     fn reset_clock(&mut self) {

@@ -206,6 +206,10 @@ impl Transport for ThreadTransport {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
+    }
+
     fn reset_clock(&mut self) {
         self.epoch = Instant::now();
         self.clock_offset = 0.0;

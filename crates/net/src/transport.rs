@@ -61,8 +61,21 @@ pub trait Transport {
     /// every rank).
     fn next_op_id(&mut self) -> u64;
 
+    /// Group-nesting depth of this view: `0` for a root transport, `d+1`
+    /// for a [`crate::GroupTransport`] over a depth-`d` base. Feeds the
+    /// depth field of group tag scopes (see [`crate::GroupTagSpace`]) so
+    /// nested subgroups derive tags disjoint from their ancestors'.
+    fn tag_depth(&self) -> u32 {
+        0
+    }
+
     /// Communication statistics accumulated so far.
     fn stats(&self) -> &CommStats;
+
+    /// Mutable access to the statistics — for transport implementations
+    /// and wrappers (e.g. a subgroup view counting its collectives on the
+    /// shared session counters), not for application code.
+    fn stats_mut(&mut self) -> &mut CommStats;
 
     /// Resets the clock and statistics (between experiment trials).
     fn reset_clock(&mut self);

@@ -8,7 +8,9 @@
 //! SparCML collective, and applies the identical global update — so
 //! replicas stay bit-identical across ranks.
 
-use sparcml_core::{run_communicators, Algorithm, AllreduceConfig, Communicator, Transport};
+use sparcml_core::{
+    run_communicators, Algorithm, AllreduceConfig, Communicator, Topology, Transport,
+};
 use sparcml_engine::{CommunicatorEngineExt, EngineConfig};
 use sparcml_net::CostModel;
 use sparcml_quant::QsgdConfig;
@@ -69,6 +71,10 @@ pub struct NnTrainConfig {
     pub compression: Compression,
     /// Collective override (`None` = mode default).
     pub algorithm: Option<Algorithm>,
+    /// Node placement: with a non-trivial topology the allreduce path can
+    /// run (or auto-select) the two-level hierarchical schedule —
+    /// intra-node reduce, leader-level exchange, intra-node broadcast.
+    pub topology: Option<Topology>,
     /// Gradient transport path (flattened allreduce vs progress engine).
     pub comm: CommMode,
     /// Initialization / shuffling seed (same on all ranks for replicas).
@@ -86,6 +92,7 @@ impl Default for NnTrainConfig {
             batch_per_node: 16,
             compression: Compression::Dense,
             algorithm: None,
+            topology: None,
             comm: CommMode::default(),
             seed: 42,
             flops_per_param_per_sample: 6.0,
@@ -148,13 +155,14 @@ where
     let algo = cfg
         .algorithm
         .unwrap_or_else(|| cfg.compression.default_algorithm());
-    let ar_cfg = match &cfg.compression {
+    let mut ar_cfg = match &cfg.compression {
         Compression::TopKQuant(_, q) => AllreduceConfig {
             quant: Some(*q),
             ..Default::default()
         },
         _ => AllreduceConfig::default(),
     };
+    ar_cfg.topology = cfg.topology.clone();
     let mut ef = match &cfg.compression {
         Compression::TopK(t) | Compression::TopKQuant(t, _) => Some(ErrorFeedback::new(dim, *t)),
         Compression::Dense => None,

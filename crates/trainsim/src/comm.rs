@@ -10,8 +10,10 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use sparcml_core::{estimate_time, max_communicator_time, Algorithm, AllreduceConfig};
-use sparcml_net::CostModel;
+use sparcml_core::{
+    estimate_hierarchical_time, estimate_time, max_communicator_time, Algorithm, AllreduceConfig,
+};
+use sparcml_net::{CostModel, Topology, TopologyCostModel};
 use sparcml_quant::{quantized_wire_bytes, QsgdConfig};
 use sparcml_stream::random_sparse;
 
@@ -66,6 +68,11 @@ pub struct AnalyticEstimator {
     /// Fig. 1 measures far less fill-in on real models than the uniform
     /// bound). The effective union is `k + f·(E_uniform[K] − k)`.
     pub support_overlap: f64,
+    /// Node placement + per-link-class parameters: when set, exchanges
+    /// pinned to [`Algorithm::Hierarchical`] are priced with the
+    /// two-level estimate (intra reduce → leader allreduce → intra
+    /// broadcast) instead of the flat bounds.
+    pub topology: Option<(Topology, TopologyCostModel)>,
 }
 
 impl AnalyticEstimator {
@@ -74,6 +81,7 @@ impl AnalyticEstimator {
         AnalyticEstimator {
             cost,
             support_overlap: 1.0,
+            topology: None,
         }
     }
 
@@ -83,14 +91,35 @@ impl AnalyticEstimator {
         AnalyticEstimator {
             cost,
             support_overlap: factor.clamp(0.0, 1.0),
+            topology: None,
         }
+    }
+
+    /// Builder-style node placement for hierarchical exchanges.
+    pub fn with_topology(mut self, topology: Topology, tcm: TopologyCostModel) -> Self {
+        self.topology = Some((topology, tcm));
+        self
+    }
+
+    /// Flat estimate, or the two-level one for a hierarchical exchange
+    /// with a matching configured topology (a hierarchical exchange
+    /// without one degrades to the flat adaptive estimate, mirroring the
+    /// collective's own fallback).
+    fn algo_time(&self, algo: Algorithm, p: usize, n: usize, k: usize) -> f64 {
+        if algo == Algorithm::Hierarchical {
+            if let Some((topo, tcm)) = self.topology.as_ref().filter(|(t, _)| t.size() == p) {
+                return estimate_hierarchical_time::<f32>(topo, n, k, tcm);
+            }
+            return estimate_time::<f32>(Algorithm::Auto, p, n, k, &self.cost);
+        }
+        estimate_time::<f32>(algo, p, n, k, &self.cost)
     }
 }
 
 impl CommEstimator for AnalyticEstimator {
     fn layer_time(&self, params: usize, p: usize, exchange: &Exchange) -> f64 {
         match exchange {
-            Exchange::Dense(algo) => estimate_time::<f32>(*algo, p, params, params, &self.cost),
+            Exchange::Dense(algo) => self.algo_time(*algo, p, params, params),
             Exchange::TopK {
                 k_per_bucket,
                 algorithm,
@@ -101,9 +130,13 @@ impl CommEstimator for AnalyticEstimator {
                 // overlap (K = k) and the uniform-independent E[K].
                 let ek_uniform = sparcml_core::theory::expected_union_size(params, p, k);
                 let ek = k as f64 + self.support_overlap * (ek_uniform - k as f64);
-                let mut t = sparcml_core::estimate_time_with_union::<f32>(
-                    *algorithm, p, params, k, ek, &self.cost,
-                );
+                let mut t = if *algorithm == Algorithm::Hierarchical {
+                    self.algo_time(*algorithm, p, params, k)
+                } else {
+                    sparcml_core::estimate_time_with_union::<f32>(
+                        *algorithm, p, params, k, ek, &self.cost,
+                    )
+                };
                 if let Some(q) = quant {
                     // Quantization shrinks the dense allgather stage of
                     // DSAR by (dense bytes) / (quantized bytes).

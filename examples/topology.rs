@@ -1,0 +1,74 @@
+//! Topology & groups quickstart: `Communicator::split`, subgroup
+//! collectives, and the two-level hierarchical allreduce.
+//!
+//! ```console
+//! cargo run --example topology
+//! ```
+//!
+//! Eight ranks on real threads, pinned to a 2×4 topology (two "nodes" of
+//! four ranks). Each rank:
+//!   1. splits the world communicator into its node group and allreduces
+//!      within the group only,
+//!   2. dissolves back to the world and runs the hierarchical allreduce
+//!      (intra-node reduce → leader exchange → intra-node broadcast),
+//!   3. prints what the topology-aware §5.3 selector would pick on a
+//!      GigE-class cluster with shared-memory nodes.
+
+use sparcml::net::run_thread_cluster;
+use sparcml::{Algorithm, Communicator, Topology, TopologyCostModel, Transport};
+use sparcml_core::select_algorithm_with_topology;
+use sparcml_stream::SparseStream;
+
+fn main() {
+    let topo = Topology::uniform(2, 4).expect("2 nodes x 4 ranks");
+    let topo_for_ranks = topo.clone();
+    let results = run_thread_cluster(8, move |tp| {
+        let comm = Communicator::new(tp.detach());
+        let world_rank = comm.rank();
+        let grad = SparseStream::from_pairs(
+            1_000_000,
+            &[(world_rank as u32 * 10, 1.0f32), (999_999, 0.5)],
+        )
+        .unwrap();
+
+        // (1) Node-group collective: only the 4 ranks sharing this node
+        // contribute. Tags are group-scoped, so both node groups run
+        // their collectives concurrently without interfering.
+        let mut node = comm.split_by_topology(&topo_for_ranks).unwrap();
+        let node_sum = node
+            .allreduce(&grad)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+
+        // (2) Back to the world: the hierarchical schedule composes the
+        // same building blocks over the whole cluster.
+        let mut comm = node.into_parent();
+        let world_sum = comm
+            .allreduce(&grad)
+            .algorithm(Algorithm::Hierarchical)
+            .topology(topo_for_ranks.clone())
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        *tp = comm.into_transport();
+        (node_sum.get(999_999), world_sum.get(999_999))
+    });
+
+    for (rank, (node_sum, world_sum)) in results.iter().enumerate() {
+        println!(
+            "rank {rank} (node {}): node-group sum = {node_sum}, world hierarchical sum = {world_sum}",
+            topo.node_of(rank)
+        );
+        assert_eq!(*node_sum, 2.0); // 4 ranks x 0.5
+        assert_eq!(*world_sum, 4.0); // 8 ranks x 0.5
+    }
+
+    // (3) What would the selector do on a real cluster shape?
+    let tcm = TopologyCostModel::gige_cluster();
+    let pick = select_algorithm_with_topology::<f32>(&topo, 1 << 20, 100, &tcm);
+    println!(
+        "selector on a GigE cluster (N=2^20, k=100): {}",
+        pick.name()
+    );
+}

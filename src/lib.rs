@@ -21,7 +21,7 @@ pub use sparcml_trainsim as trainsim;
 
 pub use sparcml_core::{
     max_communicator_time, run_communicators, run_tcp_communicators, run_thread_communicators,
-    Algorithm, CollectiveHandle, Communicator, Endpoint, TcpTransport, ThreadTransport, Transport,
-    TransportConfig,
+    Algorithm, CollectiveHandle, Communicator, Endpoint, GroupTransport, TcpTransport,
+    ThreadTransport, Topology, TopologyCostModel, Transport, TransportConfig,
 };
 pub use sparcml_engine::{CommunicatorEngineExt, Engine, EngineConfig, FusionPolicy, Ticket};

@@ -1,0 +1,664 @@
+//! Group semantics: `Communicator::split`, subgroup collectives on every
+//! transport, nested splits, concurrent sibling groups, hierarchical
+//! allreduce exactness, and the inter-node message-count win.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sparcml::core::reference::reference_sum;
+use sparcml::core::{hierarchical_allreduce, ssar_recursive_double, Algorithm, Communicator};
+use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
+use sparcml::net::{
+    run_cluster, run_tcp_loopback_cluster, run_thread_cluster, CommError, CommStats, CostModel,
+    Topology, Transport, TransportConfig,
+};
+use sparcml::stream::{random_sparse, SparseStream, XorShift64};
+use sparcml_core::AllreduceConfig;
+
+/// Reference sum over a subset of the cluster's inputs.
+fn group_reference(ins: &[SparseStream<f32>], members: &[usize]) -> Vec<f32> {
+    let subset: Vec<SparseStream<f32>> = members.iter().map(|&r| ins[r].clone()).collect();
+    reference_sum(&subset)
+}
+
+/// Integer-valued sparse stream: sums are exact in any association order,
+/// so cross-schedule comparisons can assert bitwise equality.
+fn integer_stream(rng: &mut XorShift64, dim: usize) -> SparseStream<f32> {
+    let nnz = 1 + rng.next_below((dim / 4).max(2) as u64) as usize;
+    let pairs: Vec<(u32, f32)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.next_below(dim as u64) as u32,
+                (1 + rng.next_below(100)) as f32,
+            )
+        })
+        .collect();
+    SparseStream::from_pairs(dim, &pairs).unwrap()
+}
+
+// --- split semantics -----------------------------------------------------
+
+#[test]
+fn split_runs_full_parity_matrix_inside_subgroups() {
+    // P = 7 split by parity: groups {0,2,4,6} (size 4) and {1,3,5}
+    // (size 3, non-pow2). Every flat algorithm must reproduce the
+    // subgroup reference inside its group.
+    let p = 7;
+    let dim = 1024;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 48, 9000 + r as u64))
+        .collect();
+    for algo in Algorithm::ALL {
+        let outs = run_cluster(p, CostModel::zero(), |ep| {
+            let comm = Communicator::new(ep.detach());
+            let world_rank = comm.rank();
+            let mut sub = comm.split((world_rank % 2) as u64).unwrap();
+            let out = sub
+                .allreduce(&ins[world_rank])
+                .algorithm(algo)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            let members = sub.transport().members().to_vec();
+            *ep = sub.into_parent().into_transport();
+            (members, out)
+        });
+        for (rank, (members, out)) in outs.iter().enumerate() {
+            let expect = group_reference(&ins, members);
+            assert!(members.contains(&rank));
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4, "{algo:?} rank {rank}");
+            }
+        }
+    }
+}
+
+#[test]
+fn split_works_on_thread_transport() {
+    let p = 6;
+    let dim = 2048;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 64, 9100 + r as u64))
+        .collect();
+    let outs = run_thread_cluster(p, |tp| {
+        let comm = Communicator::new(tp.detach());
+        let world_rank = comm.rank();
+        let mut sub = comm.split((world_rank % 2) as u64).unwrap();
+        let out = sub
+            .allreduce(&ins[world_rank])
+            .algorithm(Algorithm::SsarSplitAllgather)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let members = sub.transport().members().to_vec();
+        *tp = sub.into_parent().into_transport();
+        (members, out)
+    });
+    for (rank, (members, out)) in outs.iter().enumerate() {
+        let expect = group_reference(&ins, members);
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn split_works_on_tcp_transport() {
+    let p = 6;
+    let dim = 2048;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 64, 9200 + r as u64))
+        .collect();
+    let outs = run_tcp_loopback_cluster(
+        p,
+        CostModel::loopback_tcp(),
+        TransportConfig::default(),
+        |tp| {
+            let comm = Communicator::new(tp.detach());
+            let world_rank = comm.rank();
+            let mut sub = comm.split((world_rank % 2) as u64).unwrap();
+            // Auto on a subgroup: the k-agreement and selection run over
+            // the group view.
+            let out = sub
+                .allreduce(&ins[world_rank])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            let members = sub.transport().members().to_vec();
+            *tp = sub.into_parent().into_transport();
+            (members, out)
+        },
+    );
+    for (rank, (members, out)) in outs.iter().enumerate() {
+        let expect = group_reference(&ins, members);
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn singleton_groups_collectives_are_local() {
+    let p = 4;
+    let outs = run_cluster(p, CostModel::zero(), |ep| {
+        let comm = Communicator::new(ep.detach());
+        let world_rank = comm.rank();
+        let input = random_sparse::<f32>(256, 16, 9300 + world_rank as u64);
+        let mut sub = comm.split(world_rank as u64).unwrap();
+        let out = sub
+            .allreduce(&input)
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let size = sub.size();
+        *ep = sub.into_parent().into_transport();
+        (size, out == input)
+    });
+    for (size, same) in outs {
+        assert_eq!(size, 1);
+        assert!(same, "a singleton group's allreduce is the identity");
+    }
+}
+
+#[test]
+fn nested_splits_then_world_collective() {
+    // 8 ranks → halves {0..3}, {4..7} → quarters {0,1}, {2,3}, …; run a
+    // collective at every level, then dissolve back and verify a flat
+    // world collective still matches (op-id counters stayed aligned).
+    let p = 8;
+    let dim = 512;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 32, 9400 + r as u64))
+        .collect();
+    let world_expect = reference_sum(&ins);
+    let outs = run_cluster(p, CostModel::zero(), |ep| {
+        let comm = Communicator::new(ep.detach());
+        let world_rank = comm.rank();
+        let mut half = comm.split((world_rank / 4) as u64).unwrap();
+        let half_out = half
+            .allreduce(&ins[world_rank])
+            .algorithm(Algorithm::SparseRing)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let half_members: Vec<usize> = half.transport().members().to_vec();
+        let mut quarter = half.split((world_rank % 4 / 2) as u64).unwrap();
+        let quarter_out = quarter
+            .allreduce(&ins[world_rank])
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        // Quarter members are half-group ranks; translate to world ranks.
+        let quarter_members: Vec<usize> = quarter
+            .transport()
+            .members()
+            .iter()
+            .map(|&g| half_members[g])
+            .collect();
+        let mut comm = quarter.into_parent().into_parent();
+        let world_out = comm
+            .allreduce(&ins[world_rank])
+            .algorithm(Algorithm::SsarSplitAllgather)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        *ep = comm.into_transport();
+        (
+            half_members,
+            half_out,
+            quarter_members,
+            quarter_out,
+            world_out,
+        )
+    });
+    for (rank, (hm, ho, qm, qo, wo)) in outs.iter().enumerate() {
+        for (g, e) in ho.to_dense_vec().iter().zip(group_reference(&ins, hm)) {
+            assert!((g - e).abs() < 1e-4, "half group, rank {rank}");
+        }
+        for (g, e) in qo.to_dense_vec().iter().zip(group_reference(&ins, qm)) {
+            assert!((g - e).abs() < 1e-4, "quarter group, rank {rank}");
+        }
+        for (g, e) in wo.to_dense_vec().iter().zip(world_expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "world after nesting, rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_sibling_groups_do_not_cross_talk() {
+    // Real threads: the two sibling groups genuinely run concurrently and
+    // issue *different* collective sequences (different counts and kinds),
+    // so any tag leakage across groups would mis-match frames or deadlock.
+    let p = 8;
+    let dim = 1024;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 40, 9500 + r as u64))
+        .collect();
+    let world_expect = reference_sum(&ins);
+    let outs = run_thread_cluster(p, |tp| {
+        let comm = Communicator::new(tp.detach());
+        let world_rank = comm.rank();
+        let color = (world_rank % 2) as u64;
+        let mut sub = comm.split(color).unwrap();
+        let members = sub.transport().members().to_vec();
+        let out = if color == 0 {
+            // Group A: three chained allreduces.
+            let mut acc = ins[world_rank].clone();
+            for algo in [
+                Algorithm::SsarRecDbl,
+                Algorithm::SparseRing,
+                Algorithm::SsarSplitAllgather,
+            ] {
+                acc = sub
+                    .allreduce(&ins[world_rank])
+                    .algorithm(algo)
+                    .launch()
+                    .and_then(|h| h.wait())
+                    .unwrap();
+            }
+            acc
+        } else {
+            // Group B: reduce → broadcast → one allreduce.
+            let reduced = sub
+                .reduce(&ins[world_rank], 0)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            let bcast = sub
+                .broadcast(&reduced, 0)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            drop(bcast);
+            sub.allreduce(&ins[world_rank])
+                .algorithm(Algorithm::DenseRecDbl)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap()
+        };
+        // Back to the world: a flat collective must still line up.
+        let mut comm = sub.into_parent();
+        let world_out = comm
+            .allreduce(&ins[world_rank])
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        *tp = comm.into_transport();
+        (members, out, world_out)
+    });
+    for (rank, (members, out, world_out)) in outs.iter().enumerate() {
+        let expect = group_reference(&ins, members);
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "group result, rank {rank}");
+        }
+        for (g, e) in world_out.to_dense_vec().iter().zip(world_expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "world result, rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn split_by_topology_groups_by_node() {
+    let topo = Topology::from_node_ids(&[1, 0, 1, 0, 1, 1]).unwrap();
+    let outs = run_cluster(6, CostModel::zero(), |ep| {
+        let comm = Communicator::new(ep.detach());
+        let sub = comm.split_by_topology(&topo).unwrap();
+        let members = sub.transport().members().to_vec();
+        *ep = sub.into_parent().into_transport();
+        members
+    });
+    assert_eq!(outs[1], vec![1, 3]);
+    assert_eq!(outs[0], vec![0, 2, 4, 5]);
+    assert_eq!(outs[5], vec![0, 2, 4, 5]);
+}
+
+// --- hierarchical == flat, randomized ------------------------------------
+
+#[test]
+fn hierarchical_is_bitwise_flat_on_integers_across_random_topologies() {
+    // Deterministic in-repo proptest (no registry access): random rank
+    // counts, node partitions, and integer-valued supports; the two-level
+    // schedule must equal the flat reference bit for bit — including
+    // trivial topologies, where it degenerates to a flat schedule.
+    let mut rng = XorShift64::new(0x70_D0_10);
+    for case in 0..20 {
+        let p = 2 + rng.next_below(7) as usize;
+        let nodes = 1 + rng.next_below(p as u64) as usize;
+        let node_of: Vec<usize> = (0..p)
+            .map(|r| {
+                // Cover every node at least once, then place freely.
+                if r < nodes {
+                    r
+                } else {
+                    rng.next_below(nodes as u64) as usize
+                }
+            })
+            .collect();
+        let topo = Topology::from_node_ids(&node_of).unwrap();
+        let dim = 64 + rng.next_below(448) as usize;
+        let ins: Vec<SparseStream<f32>> = (0..p).map(|_| integer_stream(&mut rng, dim)).collect();
+        let cfg = AllreduceConfig {
+            topology: Some(topo.clone()),
+            ..Default::default()
+        };
+        let hier = run_cluster(p, CostModel::zero(), |ep| {
+            hierarchical_allreduce(ep, &ins[ep.rank()], &cfg).unwrap()
+        });
+        let flat = run_cluster(p, CostModel::zero(), |ep| {
+            ssar_recursive_double(ep, &ins[ep.rank()], &AllreduceConfig::default()).unwrap()
+        });
+        for (rank, (h, f)) in hier.iter().zip(flat.iter()).enumerate() {
+            let hd = h.to_dense_vec();
+            let fd = f.to_dense_vec();
+            for (i, (a, b)) in hd.iter().zip(fd.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "case {case} ({p} ranks, {nodes} nodes, topo {node_of:?}) rank {rank} coord {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_through_builder_with_auto_leader() {
+    let p = 8;
+    let dim = 4096;
+    let topo = Topology::uniform(2, 4).unwrap();
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 96, 9600 + r as u64))
+        .collect();
+    let expect = reference_sum(&ins);
+    let outs = run_thread_cluster(p, |tp| {
+        let mut comm = Communicator::new(tp.detach());
+        let out = comm
+            .allreduce(&ins[comm.rank()])
+            .algorithm(Algorithm::Hierarchical)
+            .topology(topo.clone())
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        *tp = comm.into_transport();
+        out
+    });
+    for out in outs {
+        for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+}
+
+// --- inter-node message counting (the acceptance criterion) ---------------
+
+/// Transport wrapper counting messages that cross node-group boundaries.
+/// The counter is shared across `detach()` hand-offs so the hierarchical
+/// schedule's internal re-wrapping keeps accumulating into it.
+struct InterCounting<T: Transport> {
+    inner: T,
+    node_of: Vec<usize>,
+    inter: Arc<AtomicU64>,
+}
+
+impl<T: Transport> InterCounting<T> {
+    fn new(inner: T, topo: &Topology) -> Self {
+        InterCounting {
+            node_of: (0..topo.size()).map(|r| topo.node_of(r)).collect(),
+            inner,
+            inter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn count(&self, dst: usize) {
+        let src = self.inner.rank();
+        if src < self.node_of.len()
+            && dst < self.node_of.len()
+            && self.node_of[src] != self.node_of[dst]
+        {
+            self.inter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T: Transport> Transport for InterCounting<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+    fn cost(&self) -> &CostModel {
+        self.inner.cost()
+    }
+    fn clock(&self) -> f64 {
+        self.inner.clock()
+    }
+    fn advance_clock_to(&mut self, t: f64) {
+        self.inner.advance_clock_to(t)
+    }
+    fn charge_seconds(&mut self, seconds: f64) {
+        self.inner.charge_seconds(seconds)
+    }
+    fn compute(&mut self, elements: usize) {
+        self.inner.compute(elements)
+    }
+    fn next_op_id(&mut self) -> u64 {
+        self.inner.next_op_id()
+    }
+    fn stats(&self) -> &CommStats {
+        self.inner.stats()
+    }
+    fn stats_mut(&mut self) -> &mut CommStats {
+        self.inner.stats_mut()
+    }
+    fn reset_clock(&mut self) {
+        self.inner.reset_clock()
+    }
+    fn send(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        self.count(dst);
+        self.inner.send(dst, tag, payload)
+    }
+    fn isend(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        self.count(dst);
+        self.inner.isend(dst, tag, payload)
+    }
+    fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
+        self.inner.recv(src, tag)
+    }
+    fn recv_any(&mut self, tag: u64) -> Result<(usize, Bytes), CommError> {
+        self.inner.recv_any(tag)
+    }
+    fn detach(&mut self) -> Self {
+        InterCounting {
+            inner: self.inner.detach(),
+            node_of: self.node_of.clone(),
+            inter: Arc::clone(&self.inter),
+        }
+    }
+}
+
+#[test]
+fn hierarchical_sends_fewer_inter_node_messages_than_flat_ssar() {
+    // P = 8 on a 2×4 topology. Flat SSAR_Recursive_double crosses the
+    // node boundary in its distance-4 round: 1 inter message per rank.
+    // The hierarchical schedule's only inter traffic is the two leaders'
+    // exchange: ≤ 1 per leader, 0 for everyone else.
+    let p = 8;
+    let dim = 4096;
+    let topo = Topology::uniform(2, 4).unwrap();
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 64, 9700 + r as u64))
+        .collect();
+
+    let count_with = |hierarchical: bool| -> Vec<u64> {
+        let topo = topo.clone();
+        let ins = ins.clone();
+        run_cluster(p, CostModel::zero(), move |ep| {
+            let mut tp = InterCounting::new(ep.detach(), &topo);
+            let counter = Arc::clone(&tp.inter);
+            let input = &ins[tp.rank()];
+            if hierarchical {
+                let cfg = AllreduceConfig {
+                    topology: Some(topo.clone()),
+                    hier_leader_algorithm: Algorithm::SsarRecDbl,
+                    ..Default::default()
+                };
+                hierarchical_allreduce(&mut tp, input, &cfg).unwrap();
+            } else {
+                ssar_recursive_double(&mut tp, input, &AllreduceConfig::default()).unwrap();
+            }
+            *ep = tp.into_parent_endpoint();
+            counter.load(Ordering::Relaxed)
+        })
+    };
+
+    let flat = count_with(false);
+    let hier = count_with(true);
+    // Flat: every rank crosses the boundary exactly once.
+    assert!(flat.iter().all(|&c| c == 1), "flat inter counts: {flat:?}");
+    // Hierarchical: leaders (ranks 0 and 4) at most once, others never —
+    // strictly fewer inter messages per rank in aggregate and no rank
+    // worse than flat.
+    for (rank, (&h, &f)) in hier.iter().zip(flat.iter()).enumerate() {
+        assert!(h <= f, "rank {rank}: hier {h} > flat {f}");
+    }
+    assert!(
+        hier.iter().sum::<u64>() < flat.iter().sum::<u64>(),
+        "hier {hier:?} vs flat {flat:?}"
+    );
+    assert_eq!(hier.iter().sum::<u64>(), 2, "only the leader exchange");
+}
+
+impl InterCounting<sparcml::net::Endpoint> {
+    fn into_parent_endpoint(self) -> sparcml::net::Endpoint {
+        self.inner
+    }
+}
+
+// --- engine on a subgroup -------------------------------------------------
+
+#[test]
+fn engine_submits_onto_split_communicators() {
+    // Each sibling group runs its own progress engine concurrently (real
+    // threads); fused group submissions must reduce within the subgroup
+    // only, and the world session must still work afterwards.
+    let p = 6;
+    let dim = 1500;
+    let ins: Vec<SparseStream<f32>> = (0..p)
+        .map(|r| random_sparse(dim, 50, 9800 + r as u64))
+        .collect();
+    let world_expect = reference_sum(&ins);
+    let outs = run_thread_cluster(p, |tp| {
+        let comm = Communicator::new(tp.detach());
+        let world_rank = comm.rank();
+        let mut sub = comm.split((world_rank % 2) as u64).unwrap();
+        let members = sub.transport().members().to_vec();
+        let mut engine = sub.engine(EngineConfig::default());
+        let t0 = engine.submit_allreduce(&ins[world_rank]);
+        let t1 = engine.submit_allreduce(&ins[world_rank]);
+        let first = t0.wait().unwrap();
+        let second = t1.wait().unwrap();
+        engine.finish_into(&mut sub).unwrap();
+        let mut comm = sub.into_parent();
+        let world_out = comm
+            .allreduce(&ins[world_rank])
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        *tp = comm.into_transport();
+        (members, first, second, world_out)
+    });
+    for (rank, (members, first, second, world_out)) in outs.iter().enumerate() {
+        let expect = group_reference(&ins, members);
+        for out in [first, second] {
+            for (g, e) in out.to_dense_vec().iter().zip(expect.iter()) {
+                assert!((g - e).abs() < 1e-4, "engine result, rank {rank}");
+            }
+        }
+        for (g, e) in world_out.to_dense_vec().iter().zip(world_expect.iter()) {
+            assert!((g - e).abs() < 1e-4, "world after engine, rank {rank}");
+        }
+    }
+}
+
+// --- session pool reuse ----------------------------------------------------
+
+#[test]
+fn subgroup_collectives_count_in_session_stats() {
+    let outs = run_cluster(4, CostModel::zero(), |ep| {
+        let comm = Communicator::new(ep.detach());
+        let world_rank = comm.rank();
+        let input = random_sparse::<f32>(512, 16, 9950 + world_rank as u64);
+        let before = comm.stats().collectives;
+        let mut sub = comm.split((world_rank % 2) as u64).unwrap();
+        sub.allreduce(&input)
+            .algorithm(Algorithm::SsarRecDbl)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+        let comm = sub.into_parent();
+        let after = comm.stats().collectives;
+        *ep = comm.into_transport();
+        (before, after)
+    });
+    for (before, after) in outs {
+        // The split's color ring draws one flat op id; the subgroup
+        // allreduce must also count, on the shared session counters.
+        assert!(
+            after >= before + 2,
+            "subgroup collective not counted: {before} -> {after}"
+        );
+    }
+}
+
+#[test]
+fn auto_rejects_size_mismatched_topology() {
+    let topo = Topology::uniform(2, 4).unwrap(); // 8 ranks, cluster has 4
+    let outs = run_cluster(4, CostModel::zero(), |ep| {
+        let mut comm = Communicator::new(ep.detach());
+        let input = random_sparse::<f32>(256, 8, comm.rank() as u64);
+        let err = comm
+            .allreduce(&input)
+            .topology(topo.clone())
+            .launch()
+            .map(|h| h.wait().map(|_| ()))
+            .is_err();
+        *ep = comm.into_transport();
+        err
+    });
+    assert!(
+        outs.iter().all(|&e| e),
+        "Auto must error, not silently run flat"
+    );
+}
+
+#[test]
+fn session_pool_reuse_shows_in_stats_snapshot() {
+    let outs = run_cluster(4, CostModel::zero(), |ep| {
+        let mut comm = Communicator::new(ep.detach());
+        let input = random_sparse::<f32>(2048, 64, 9900 + comm.rank() as u64);
+        for _ in 0..6 {
+            comm.allreduce(&input)
+                .algorithm(Algorithm::SsarRecDbl)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+        }
+        let stats = comm.stats_snapshot();
+        *ep = comm.into_transport();
+        stats
+    });
+    for stats in outs {
+        assert!(stats.pool_acquires > 0);
+        assert!(
+            stats.reuse_rate() > 0.5,
+            "persistent pool should serve most acquisitions after warmup: {:?}",
+            stats
+        );
+    }
+}

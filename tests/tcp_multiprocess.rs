@@ -335,3 +335,89 @@ fn tcp_multiple_collectives_one_session_across_processes() {
         assert!(line.starts_with(&expect), "rank {rank}: {line}");
     }
 }
+
+#[test]
+fn tcp_hierarchical_2x4_with_engine_on_subgroup_across_processes() {
+    // 8 real OS processes pinned to a 2×4 topology (the launcher exports
+    // SPARCML_NODES/SPARCML_NODE to every rank). Exercises, across real
+    // sockets and processes:
+    //   1. hierarchical allreduce resolving its topology *from the
+    //      environment* (no explicit `.topology(..)` — the env bootstrap
+    //      is the point), bitwise-equal to the flat reference;
+    //   2. `Communicator::split` into node groups with a progress engine
+    //      submitted onto each subgroup concurrently;
+    //   3. a flat world collective afterwards (counters realigned).
+    use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
+    use sparcml::net::Topology;
+
+    let world = 8;
+    let dim = 4096;
+    let nnz = 128;
+    let topo = Topology::uniform(2, 4).unwrap();
+    let opts = LaunchOptions::for_test()
+        .with_timeout(Duration::from_secs(120))
+        .with_topology(topo.clone());
+    let Some(results) = run_tcp_cluster(
+        "tcp_hierarchical_2x4_with_engine_on_subgroup_across_processes",
+        world,
+        &opts,
+        |tp| {
+            let mut comm = Communicator::new(tp.detach());
+            let rank = comm.rank();
+            let input = integer_stream(rank, dim, nnz);
+
+            // (1) Hierarchical with env-derived topology.
+            let hier = comm
+                .allreduce(&input)
+                .algorithm(Algorithm::Hierarchical)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+
+            // (2) Engine on the node subgroup.
+            let env_topo = Topology::from_env(world)
+                .expect("launcher exports a valid topology")
+                .expect("SPARCML_NODES must be set for this job");
+            let mut sub = comm.split_by_topology(&env_topo).unwrap();
+            let members = sub.transport().members().to_vec();
+            let mut engine = sub.engine(EngineConfig::default());
+            let t0 = engine.submit_allreduce(&input);
+            let t1 = engine.submit_allreduce(&input);
+            let sub_first = t0.wait().unwrap();
+            let sub_second = t1.wait().unwrap();
+            engine.finish_into(&mut sub).unwrap();
+            let mut comm = sub.into_parent();
+
+            // (3) Flat world collective after dissolving the group.
+            let flat = comm
+                .allreduce(&input)
+                .algorithm(Algorithm::SsarRecDbl)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            *tp = comm.into_transport();
+            format!(
+                "node{:?}|hier={}|sub={}:{}|flat={}",
+                members,
+                fingerprint(&hier.to_dense_vec()),
+                fingerprint(&sub_first.to_dense_vec()),
+                fingerprint(&sub_second.to_dense_vec()),
+                fingerprint(&flat.to_dense_vec()),
+            )
+        },
+    ) else {
+        return;
+    };
+    let ins: Vec<SparseStream<f32>> = (0..world).map(|r| integer_stream(r, dim, nnz)).collect();
+    let world_fp = fingerprint(&reference_sum(&ins));
+    for (rank, line) in results.iter().enumerate() {
+        let members = topo.group_of(rank);
+        let sub_ins: Vec<SparseStream<f32>> = members.iter().map(|&r| ins[r].clone()).collect();
+        let sub_fp = fingerprint(&reference_sum(&sub_ins));
+        let expect = format!(
+            "node{:?}|hier={world_fp}|sub={sub_fp}:{sub_fp}|flat={world_fp}",
+            members
+        );
+        assert_eq!(line, &expect, "rank {rank}");
+    }
+}
