@@ -1,0 +1,113 @@
+//! Aggregation-service throughput/latency benchmark.
+//!
+//! Spins up a serve daemon (1 shard) or shard group (2 shards) on
+//! loopback and drives it with concurrent client threads, each running
+//! the full `contribute → ACK` round trip over real sockets. Reports
+//! sustained contributions/sec and the pooled p50/p99 ACK latency at the
+//! BENCH_serve.json grid — clients ∈ {1, 4, 16}, k ∈ {1e2, 1e4}
+//! nonzeros of an N = 2^20 f32 model, 1 vs 2 shards.
+//!
+//! ```console
+//! cargo run --release -p sparcml-bench --bin serve_throughput
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sparcml_serve::{AggregationMode, ServeClient, ServeConfig, ShardGroup};
+use sparcml_stream::random_sparse;
+
+const DIM: usize = 1 << 20;
+const ROUNDS: usize = 40;
+const CLIENTS: [usize; 3] = [1, 4, 16];
+const KS: [usize; 2] = [100, 10_000];
+const SHARDS: [u16; 2] = [1, 2];
+
+struct Measured {
+    contribs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn bench_config(clients: usize, k: usize, shards: u16) -> Measured {
+    let cfg = ServeConfig::default().with_model("grad", DIM, AggregationMode::Sum);
+    let group = ShardGroup::start(cfg, shards).expect("start shard group");
+    let addrs = group.addrs();
+
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addrs = &addrs;
+                scope.spawn(move || {
+                    let name = format!("bench-client-{c}");
+                    let mut session = ServeClient::connect(&name, addrs).expect("connect");
+                    let grad = random_sparse::<f32>(DIM, k, 9000 + c as u64);
+                    let mut lat = Vec::with_capacity(ROUNDS);
+                    for round in 0..=ROUNDS {
+                        let t0 = Instant::now();
+                        session
+                            .contribute(0, &grad, Duration::from_secs(60))
+                            .expect("contribute");
+                        if round > 0 {
+                            // Round 0 is warmup (sockets + allocator ramp).
+                            lat.push(t0.elapsed().as_secs_f64());
+                        }
+                    }
+                    session.close();
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    group.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Measured {
+        contribs_per_sec: latencies.len() as f64 / wall,
+        p50_us: percentile(&latencies, 0.50) * 1e6,
+        p99_us: percentile(&latencies, 0.99) * 1e6,
+    }
+}
+
+fn main() {
+    println!("{{");
+    println!(
+        "  \"description\": \"Aggregation-service throughput: concurrent loopback clients running the full contribute->ACK round trip against a serve daemon ({ROUNDS} timed rounds per client after warmup). Latencies pooled across clients; throughput is total ACKed contributions over wall time. N = {DIM} f32.\","
+    );
+    println!("  \"harness\": \"cargo run --release -p sparcml-bench --bin serve_throughput\",");
+    println!("  \"contribute\": {{");
+    for (si, &shards) in SHARDS.iter().enumerate() {
+        println!("    \"shards={shards}\": {{");
+        for (ki, &k) in KS.iter().enumerate() {
+            println!("      \"k={k}\": {{");
+            for (ci, &clients) in CLIENTS.iter().enumerate() {
+                let m = bench_config(clients, k, shards);
+                let comma = if ci + 1 < CLIENTS.len() { "," } else { "" };
+                println!(
+                    "        \"clients={clients}\": {{ \"contribs_per_sec\": {:.0}, \"p50_us\": {:.0}, \"p99_us\": {:.0} }}{comma}",
+                    m.contribs_per_sec, m.p50_us, m.p99_us
+                );
+                eprintln!(
+                    "shards={shards} k={k} clients={clients}: {:.0}/s p50={:.0}us p99={:.0}us",
+                    m.contribs_per_sec, m.p50_us, m.p99_us
+                );
+            }
+            let comma = if ki + 1 < KS.len() { "," } else { "" };
+            println!("      }}{comma}");
+        }
+        let comma = if si + 1 < SHARDS.len() { "," } else { "" };
+        println!("    }}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}

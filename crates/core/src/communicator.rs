@@ -156,6 +156,14 @@ impl<T: Transport + Send + 'static> Communicator<T> {
         s
     }
 
+    /// The session's counters (pool included, as in
+    /// [`Communicator::stats_snapshot`]) in the stable plaintext layout of
+    /// [`CommStats::render_text`] — what a health endpoint or bench bin
+    /// prints instead of hand-formatting fields.
+    pub fn stats_report(&self) -> String {
+        self.stats_snapshot().render_text()
+    }
+
     /// Splits the communicator MPI-style: every rank of this session
     /// calls `split` with a `color`; ranks sharing a color form one
     /// subgroup and each caller's session becomes a communicator over its

@@ -59,8 +59,10 @@
 mod agree;
 mod engine;
 mod fusion;
+pub mod queue;
 mod ticket;
 
 pub use engine::{CommunicatorEngineExt, Engine, EngineConfig, EngineStats};
 pub use fusion::FusionPolicy;
+pub use queue::{QueueFull, SubmissionQueue};
 pub use ticket::Ticket;

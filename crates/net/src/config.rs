@@ -9,6 +9,16 @@
 
 use std::time::Duration;
 
+/// Default `max_frame_len` for peer-to-peer collectives (1 GiB): ranks in
+/// a launch-together job trust each other, so the limit only guards
+/// against frame corruption.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Default `max_frame_len` when accepting traffic from *untrusted*
+/// clients (64 MiB): a service must not let one session's declared length
+/// drive a giant allocation. See [`TransportConfig::for_server`].
+pub const SERVER_MAX_FRAME_LEN: usize = 1 << 26;
+
 /// Tunable limits for real (wall-clock) transports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransportConfig {
@@ -30,7 +40,7 @@ impl Default for TransportConfig {
         TransportConfig {
             recv_timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(10),
-            max_frame_len: 1 << 30,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
         }
     }
 }
@@ -48,12 +58,37 @@ impl TransportConfig {
         self
     }
 
+    /// Builder-style override of the per-frame payload cap.
+    pub fn with_max_frame_len(mut self, max_frame_len: usize) -> Self {
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// Config for a daemon accepting sessions from untrusted clients.
+    ///
+    /// Identical to [`TransportConfig::default`] except `max_frame_len`
+    /// drops from 1 GiB to [`SERVER_MAX_FRAME_LEN`] (64 MiB): a client
+    /// declaring a larger frame gets a typed
+    /// [`crate::CommError::FrameTooLarge`] rejection and its connection
+    /// closed, instead of the server attempting the allocation. The
+    /// `SPARCML_SERVER_MAX_FRAME_LEN` environment variable (bytes)
+    /// overrides the cap for deployments that really do ship bigger
+    /// models.
+    pub fn for_server() -> Self {
+        let mut cfg = TransportConfig::default().with_max_frame_len(SERVER_MAX_FRAME_LEN);
+        if let Some(bytes) = env_usize("SPARCML_SERVER_MAX_FRAME_LEN") {
+            cfg.max_frame_len = bytes;
+        }
+        cfg
+    }
+
     /// Default config with environment overrides applied — the knobs a
     /// manually launched multi-machine run can set next to the
     /// `SPARCML_RANK`/`SPARCML_WORLD`/`SPARCML_ROOT_ADDR` bootstrap:
     ///
     /// * `SPARCML_RECV_TIMEOUT_MS` — receive watchdog in milliseconds;
-    /// * `SPARCML_CONNECT_TIMEOUT_MS` — bootstrap deadline in milliseconds.
+    /// * `SPARCML_CONNECT_TIMEOUT_MS` — bootstrap deadline in milliseconds;
+    /// * `SPARCML_MAX_FRAME_LEN` — per-frame payload cap in bytes.
     ///
     /// Unset or unparsable variables keep their defaults.
     pub fn from_env() -> Self {
@@ -64,6 +99,9 @@ impl TransportConfig {
         if let Some(ms) = env_millis("SPARCML_CONNECT_TIMEOUT_MS") {
             cfg.connect_timeout = ms;
         }
+        if let Some(bytes) = env_usize("SPARCML_MAX_FRAME_LEN") {
+            cfg.max_frame_len = bytes;
+        }
         cfg
     }
 }
@@ -73,6 +111,12 @@ fn env_millis(var: &str) -> Option<Duration> {
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
         .map(Duration::from_millis)
+}
+
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
 }
 
 #[cfg(test)]
@@ -91,8 +135,19 @@ mod tests {
     fn builders_override_fields() {
         let cfg = TransportConfig::default()
             .with_recv_timeout(Duration::from_millis(50))
-            .with_connect_timeout(Duration::from_millis(75));
+            .with_connect_timeout(Duration::from_millis(75))
+            .with_max_frame_len(4096);
         assert_eq!(cfg.recv_timeout, Duration::from_millis(50));
         assert_eq!(cfg.connect_timeout, Duration::from_millis(75));
+        assert_eq!(cfg.max_frame_len, 4096);
+    }
+
+    #[test]
+    fn server_config_shrinks_frame_cap() {
+        let cfg = TransportConfig::for_server();
+        assert_eq!(cfg.max_frame_len, SERVER_MAX_FRAME_LEN);
+        assert!(cfg.max_frame_len < DEFAULT_MAX_FRAME_LEN);
+        // Timeouts are unchanged: only the trust boundary moved.
+        assert_eq!(cfg.recv_timeout, TransportConfig::default().recv_timeout);
     }
 }

@@ -34,6 +34,18 @@ pub enum CommError {
         /// How long the wait lasted before giving up.
         waited: Duration,
     },
+    /// A peer declared a frame larger than this side is willing to
+    /// receive (see `TransportConfig::max_frame_len`). Honoring the
+    /// declaration would mean a giant allocation driven by untrusted
+    /// input, so the connection is closed instead. Servers should run
+    /// with the deliberately small [`crate::TransportConfig::for_server`]
+    /// limit.
+    FrameTooLarge {
+        /// Payload length the peer declared.
+        declared: usize,
+        /// This side's configured limit.
+        limit: usize,
+    },
     /// An operating-system I/O failure on the wire (message preserves the
     /// underlying `std::io::Error` text).
     Io(String),
@@ -56,6 +68,12 @@ impl fmt::Display for CommError {
             }
             CommError::Timeout { peer, waited } => {
                 write!(f, "timed out after {waited:?} waiting on rank {peer}")
+            }
+            CommError::FrameTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared frame of {declared} bytes exceeds the {limit}-byte limit"
+                )
             }
             CommError::Io(msg) => write!(f, "transport I/O error: {msg}"),
             CommError::Protocol(msg) => write!(f, "protocol error: {msg}"),
@@ -90,6 +108,18 @@ mod tests {
             detail: "version 1 vs 2".into(),
         };
         assert!(e.to_string().contains("version"));
+    }
+
+    #[test]
+    fn frame_too_large_is_loud() {
+        let e = CommError::FrameTooLarge {
+            declared: 1 << 30,
+            limit: 1 << 26,
+        };
+        let text = e.to_string();
+        assert!(text.contains("exceeds"), "must name the violation: {text}");
+        assert!(text.contains(&(1usize << 30).to_string()));
+        assert!(text.contains(&(1usize << 26).to_string()));
     }
 
     #[test]

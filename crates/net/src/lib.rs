@@ -52,7 +52,7 @@ mod topology;
 mod transport;
 
 pub use cluster::{max_virtual_time, run_cluster};
-pub use config::TransportConfig;
+pub use config::{TransportConfig, DEFAULT_MAX_FRAME_LEN, SERVER_MAX_FRAME_LEN};
 pub use cost::{CostModel, TopologyCostModel, ENV_COST_MODEL, ENV_COST_MODEL_INTRA};
 pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
 pub use error::CommError;

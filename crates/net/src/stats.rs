@@ -80,6 +80,49 @@ impl CommStats {
     pub fn reset(&mut self) {
         *self = CommStats::default();
     }
+
+    /// Counter names and values in a fixed order — the single source of
+    /// truth behind [`CommStats::render_text`] and
+    /// [`CommStats::render_json`], so the two renderings can never drift.
+    fn fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("msgs_sent", self.msgs_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("msgs_recv", self.msgs_recv),
+            ("bytes_recv", self.bytes_recv),
+            ("compute_elements", self.compute_elements),
+            ("collectives", self.collectives),
+            ("pool_acquires", self.pool_acquires),
+            ("pool_reuses", self.pool_reuses),
+        ]
+    }
+
+    /// Stable plaintext rendering: one `name value` line per counter plus
+    /// a derived `pool_reuse_rate`, in a fixed order. Health endpoints and
+    /// bench bins print this instead of hand-formatting counters.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.fields() {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!("pool_reuse_rate {:.4}\n", self.reuse_rate()));
+        out
+    }
+
+    /// Stable JSON rendering (hand-written — no serialization deps): a
+    /// flat object with the same keys and order as
+    /// [`CommStats::render_text`].
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (name, value) in self.fields() {
+            out.push_str(&format!("\"{name}\":{value},"));
+        }
+        out.push_str(&format!("\"pool_reuse_rate\":{:.4}}}", self.reuse_rate()));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +168,25 @@ mod tests {
         assert_eq!(later, baseline);
         later.merge(&sample());
         assert_eq!(later.since(&baseline), sample());
+    }
+
+    #[test]
+    fn render_text_is_line_per_counter() {
+        let text = sample().render_text();
+        assert!(text.contains("msgs_sent 1\n"));
+        assert!(text.contains("bytes_recv 20\n"));
+        assert!(text.contains("pool_reuse_rate 0.7500\n"));
+        assert_eq!(text.lines().count(), 9);
+    }
+
+    #[test]
+    fn render_json_is_flat_and_parsable_by_eye() {
+        let json = sample().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"msgs_sent\":1"));
+        assert!(json.contains("\"pool_acquires\":8"));
+        assert!(json.contains("\"pool_reuse_rate\":0.7500"));
+        assert!(!json.contains(",}"), "no trailing comma: {json}");
     }
 
     #[test]

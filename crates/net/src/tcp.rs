@@ -262,9 +262,13 @@ fn reader_loop(
         let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
         let tag = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
         if len > max_frame {
-            close(format!(
-                "declared frame of {len} bytes exceeds the {max_frame}-byte limit"
-            ));
+            close(
+                CommError::FrameTooLarge {
+                    declared: len,
+                    limit: max_frame,
+                }
+                .to_string(),
+            );
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }

@@ -1,0 +1,124 @@
+//! The `serve` daemon binary.
+//!
+//! ```text
+//! serve --model grad:1000000:sum [--model emb:50000:avg] \
+//!       [--shards 2] [--bind 127.0.0.1:7070] [--health 127.0.0.1:7071]
+//! ```
+//!
+//! Starts an aggregation server (or shard group), prints the bound
+//! session and health addresses, and runs until killed. With
+//! `--shards N > 1` the explicit `--bind`/`--health` addresses are
+//! ignored (each shard takes an OS-assigned loopback port, printed on
+//! stdout).
+
+use std::time::Duration;
+
+use sparcml_serve::{AggregationMode, ServeConfig, Server, ShardGroup};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve --model NAME:DIM:(sum|avg) [--model ...] \
+         [--shards N] [--bind ADDR] [--health ADDR] [--sync-interval-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut shards: u16 = 1;
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut health = "127.0.0.1:0".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--model" => {
+                let spec = value("--model");
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [name, dim, mode] = parts.as_slice() else {
+                    eprintln!("--model wants NAME:DIM:(sum|avg), got '{spec}'");
+                    usage()
+                };
+                let dim: usize = dim.parse().unwrap_or_else(|_| {
+                    eprintln!("bad model dim in '{spec}'");
+                    usage()
+                });
+                let mode = match *mode {
+                    "sum" => AggregationMode::Sum,
+                    "avg" | "average" => AggregationMode::Average,
+                    other => {
+                        eprintln!("unknown aggregation mode '{other}'");
+                        usage()
+                    }
+                };
+                cfg = cfg.with_model(name, dim, mode);
+            }
+            "--shards" => {
+                shards = value("--shards").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value");
+                    usage()
+                });
+            }
+            "--bind" => bind = value("--bind"),
+            "--health" => health = value("--health"),
+            "--sync-interval-ms" => {
+                let ms: u64 = value("--sync-interval-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --sync-interval-ms value");
+                    usage()
+                });
+                cfg = cfg.with_shard_sync_interval(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if cfg.models.is_empty() {
+        eprintln!("declare at least one --model");
+        usage()
+    }
+
+    if shards > 1 {
+        let group = match ShardGroup::start(cfg, shards) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("failed to start shard group: {e}");
+                std::process::exit(1);
+            }
+        };
+        for (shard, handle) in group.handles().iter().enumerate() {
+            println!(
+                "shard {shard} listening on {} (health {})",
+                handle.addr(),
+                handle.health_addr()
+            );
+        }
+        loop {
+            std::thread::park();
+        }
+    } else {
+        let handle = match Server::start_on(cfg, &bind, &health) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("failed to start server: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "listening on {} (health {})",
+            handle.addr(),
+            handle.health_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+}

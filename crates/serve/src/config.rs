@@ -1,0 +1,181 @@
+//! Server configuration: the model table and admission/backpressure knobs.
+
+use std::time::Duration;
+
+use sparcml_net::TransportConfig;
+
+/// How a model folds contributions into served state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationMode {
+    /// Serve the running sum of every accepted contribution.
+    Sum,
+    /// Serve the running sum scaled by `1 / contributions` — the
+    /// parameter-server average.
+    Average,
+}
+
+impl AggregationMode {
+    /// Wire tag for WELCOME frames.
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            AggregationMode::Sum => 0,
+            AggregationMode::Average => 1,
+        }
+    }
+
+    pub(crate) fn from_u8(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(AggregationMode::Sum),
+            1 => Some(AggregationMode::Average),
+            _ => None,
+        }
+    }
+}
+
+/// One named aggregation target, declared up front so every shard and
+/// every client agrees on the id ↔ name ↔ dimension mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Model name (unique within a server).
+    pub name: String,
+    /// Logical vector dimension contributions must declare.
+    pub dim: usize,
+    /// Sum vs. average serving.
+    pub mode: AggregationMode,
+}
+
+/// Tunables for a serve daemon (or one shard of a group).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The model table. Model ids are indices into this vec, identical
+    /// across shards.
+    pub models: Vec<ModelSpec>,
+    /// Admission control: sessions accepted concurrently. A connection
+    /// beyond this gets a typed `SessionLimit` rejection. Default 1024.
+    pub max_sessions: usize,
+    /// Per-session quota of contributions in flight inside the server;
+    /// beyond it the session gets BUSY answers. Default 64.
+    pub session_queue: usize,
+    /// Capacity of the shared submission queue feeding the aggregator;
+    /// overflow is a BUSY answer. Default 4096.
+    pub global_queue: usize,
+    /// Most contributions the aggregator applies per state-lock
+    /// acquisition. Default 32.
+    pub batch_max_jobs: usize,
+    /// How long the aggregator waits for work before re-checking for
+    /// shutdown. Default 2 ms.
+    pub batch_linger: Duration,
+    /// Watchdog for idle/half-open sessions: a session that sends nothing
+    /// for this long is reaped (connection closed, slot freed, name
+    /// resumable). `None` reuses `transport.recv_timeout` — the same
+    /// watchdog the collectives run under. Default `None`.
+    pub idle_timeout: Option<Duration>,
+    /// Socket limits. Defaults to [`TransportConfig::for_server`], i.e.
+    /// the small untrusted-client frame cap with its env override.
+    pub transport: TransportConfig,
+    /// When this server runs as a shard group, exchange generation
+    /// tables across shards every interval. `None` syncs only on
+    /// explicit request. Default `None`.
+    pub shard_sync_interval: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            models: Vec::new(),
+            max_sessions: 1024,
+            session_queue: 64,
+            global_queue: 4096,
+            batch_max_jobs: 32,
+            batch_linger: Duration::from_millis(2),
+            idle_timeout: None,
+            transport: TransportConfig::for_server(),
+            shard_sync_interval: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder-style model declaration.
+    pub fn with_model(mut self, name: &str, dim: usize, mode: AggregationMode) -> Self {
+        self.models.push(ModelSpec {
+            name: name.to_string(),
+            dim,
+            mode,
+        });
+        self
+    }
+
+    /// Builder-style override of the session admission cap.
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Builder-style override of the per-session in-flight quota.
+    pub fn with_session_queue(mut self, session_queue: usize) -> Self {
+        self.session_queue = session_queue;
+        self
+    }
+
+    /// Builder-style override of the shared submission-queue capacity.
+    pub fn with_global_queue(mut self, global_queue: usize) -> Self {
+        self.global_queue = global_queue;
+        self
+    }
+
+    /// Builder-style override of the idle-session watchdog.
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = Some(idle_timeout);
+        self
+    }
+
+    /// Builder-style override of the socket limits.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Builder-style periodic inter-shard generation sync.
+    pub fn with_shard_sync_interval(mut self, interval: Duration) -> Self {
+        self.shard_sync_interval = Some(interval);
+        self
+    }
+
+    /// The effective idle watchdog (explicit override or the transport's
+    /// receive watchdog).
+    pub fn effective_idle_timeout(&self) -> Duration {
+        self.idle_timeout.unwrap_or(self.transport.recv_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcml_net::SERVER_MAX_FRAME_LEN;
+
+    #[test]
+    fn default_uses_server_frame_cap() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.transport.max_frame_len, SERVER_MAX_FRAME_LEN);
+        assert!(cfg.models.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_falls_back_to_recv_watchdog() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.effective_idle_timeout(), cfg.transport.recv_timeout);
+        let cfg = cfg.with_idle_timeout(Duration::from_millis(100));
+        assert_eq!(cfg.effective_idle_timeout(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn builder_declares_models_in_order() {
+        let cfg = ServeConfig::default()
+            .with_model("grad", 1000, AggregationMode::Sum)
+            .with_model("emb", 50, AggregationMode::Average);
+        assert_eq!(cfg.models[0].name, "grad");
+        assert_eq!(cfg.models[1].dim, 50);
+        assert_eq!(cfg.models[1].mode, AggregationMode::Average);
+    }
+}

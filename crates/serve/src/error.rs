@@ -1,0 +1,125 @@
+//! Typed errors for the aggregation service.
+
+use std::fmt;
+
+use sparcml_stream::StreamError;
+
+use crate::protocol::ErrorCode;
+
+/// Errors surfaced by the serve client and server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// An operating-system I/O failure on a session socket.
+    Io(String),
+    /// A frame violated the serve-v1 wire protocol.
+    Protocol(String),
+    /// The HELLO/WELCOME exchange failed validation (wrong magic or
+    /// version, duplicate session name, admission refused).
+    Handshake(String),
+    /// A peer declared a frame larger than the configured cap
+    /// (`TransportConfig::max_frame_len`; servers default to the small
+    /// [`sparcml_net::SERVER_MAX_FRAME_LEN`]).
+    FrameTooLarge {
+        /// Payload length the peer declared.
+        declared: usize,
+        /// This side's configured limit.
+        limit: usize,
+    },
+    /// A frame referenced a model id outside the server's table.
+    UnknownModel {
+        /// The out-of-table id.
+        model: u16,
+    },
+    /// The server's submission queue (global or per-session quota) was
+    /// full — typed backpressure, retryable by design.
+    ServerBusy {
+        /// Model the rejected contribution targeted.
+        model: u16,
+        /// Jobs queued at the moment of rejection.
+        queued: u32,
+        /// The queue's capacity.
+        capacity: u32,
+    },
+    /// The server answered with an ERROR frame.
+    Rejected {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The session's connection closed (EOF or reset).
+    Disconnected {
+        /// What the socket reported.
+        detail: String,
+    },
+    /// Nothing arrived within the caller's deadline.
+    Timeout,
+    /// A sparse payload failed stream-layer validation.
+    Stream(StreamError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "serve I/O error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "serve protocol error: {msg}"),
+            ServeError::Handshake(msg) => write!(f, "serve handshake failed: {msg}"),
+            ServeError::FrameTooLarge { declared, limit } => write!(
+                f,
+                "declared frame of {declared} bytes exceeds the {limit}-byte limit"
+            ),
+            ServeError::UnknownModel { model } => {
+                write!(f, "model id {model} is not in the server's table")
+            }
+            ServeError::ServerBusy {
+                model,
+                queued,
+                capacity,
+            } => write!(
+                f,
+                "server busy: model {model} submission queue at {queued}/{capacity}"
+            ),
+            ServeError::Rejected { code, detail } => {
+                write!(f, "server rejected request ({code:?}): {detail}")
+            }
+            ServeError::Disconnected { detail } => write!(f, "session disconnected: {detail}"),
+            ServeError::Timeout => write!(f, "timed out waiting on the server"),
+            ServeError::Stream(e) => write!(f, "stream payload invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::ServerBusy {
+            model: 2,
+            queued: 64,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("busy"));
+        assert!(e.to_string().contains("64"));
+        let e = ServeError::FrameTooLarge {
+            declared: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("exceeds"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Multi-process client launcher.
+//!
+//! [`run_serve_clients`] turns one test (or example `main`) into a real
+//! many-client job against an aggregation server: the *parent* keeps the
+//! server (usually an in-process [`crate::ShardGroup`], so the test can
+//! inspect its health endpoint afterwards) and re-executes the current
+//! binary once per client with the shard addresses in the environment.
+//! Each child runs the caller's client program and reports its result
+//! over stdout; the parent enforces a hard wall-clock deadline.
+//!
+//! Like the net-layer cluster launcher, the same function is both
+//! orchestrator and worker — the call site is a single block:
+//!
+//! ```no_run
+//! use sparcml_serve::launcher::{run_serve_clients, ClientLaunchOptions};
+//!
+//! // addrs: the running server's shard addresses, parent-side only.
+//! # let addrs: Vec<std::net::SocketAddr> = Vec::new();
+//! let opts = ClientLaunchOptions::for_test();
+//! let Some(outcomes) = run_serve_clients("my_serve_test", 4, &addrs, &opts, |client, addrs| {
+//!     format!("client {client} sees {} shards", addrs.len())
+//! }) else {
+//!     return; // this process was a client; the parent asserts
+//! };
+//! ```
+
+use std::io::Read;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Job-name guard so a child only runs the closure it was spawned for.
+const ENV_JOB: &str = "SPARCML_SERVE_JOB";
+/// The child's client index (presence selects the worker role).
+const ENV_CLIENT: &str = "SPARCML_SERVE_CLIENT";
+/// Comma-separated shard addresses.
+const ENV_ADDRS: &str = "SPARCML_SERVE_ADDRS";
+/// Marker prefixing a client's result line on stdout.
+const RESULT_MARKER: &str = "SPARCML_SERVE_RESULT:";
+
+/// How the parent launches and supervises client subprocesses.
+#[derive(Debug, Clone)]
+pub struct ClientLaunchOptions {
+    /// Hard wall-clock deadline for the whole job. Default 120 s.
+    pub timeout: Duration,
+    /// Pass libtest filter flags (`<job> --exact --nocapture`) so each
+    /// child runs exactly the calling test. Leave `false` for plain
+    /// binaries/examples.
+    pub test_harness: bool,
+    /// Extra environment variables for every client.
+    pub env: Vec<(String, String)>,
+}
+
+impl Default for ClientLaunchOptions {
+    fn default() -> Self {
+        ClientLaunchOptions {
+            timeout: Duration::from_secs(120),
+            test_harness: false,
+            env: Vec::new(),
+        }
+    }
+}
+
+impl ClientLaunchOptions {
+    /// Defaults for launching from inside a `#[test]` (the job name must
+    /// be the test's full path for the `--exact` filter).
+    pub fn for_test() -> Self {
+        ClientLaunchOptions {
+            test_harness: true,
+            ..ClientLaunchOptions::default()
+        }
+    }
+
+    /// Builder-style override of the job deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// What became of one client subprocess.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// The client index this child ran as.
+    pub client: usize,
+    /// Process exit code (`None` when killed by a signal — including the
+    /// parent's deadline kill).
+    pub exit_code: Option<i32>,
+    /// The client program's return value, if it got far enough to report.
+    pub result: Option<String>,
+    /// Everything the child wrote to stdout.
+    pub stdout: String,
+    /// Everything the child wrote to stderr (panics live here).
+    pub stderr: String,
+    /// Whether the parent killed this child at the deadline.
+    pub timed_out: bool,
+}
+
+impl ClientOutcome {
+    /// A client succeeded iff it exited 0 in time and reported a result.
+    pub fn ok(&self) -> bool {
+        self.exit_code == Some(0) && self.result.is_some() && !self.timed_out
+    }
+}
+
+/// True when this process is a client child of [`run_serve_clients`].
+/// Parent-side setup (starting the server, reserving ports) should be
+/// skipped in that case — the child re-enters the calling test and must
+/// not start a server of its own.
+pub fn in_client_role() -> bool {
+    std::env::var(ENV_CLIENT).is_ok()
+}
+
+/// Runs `f` once per client across `clients` real OS processes against
+/// the server at `addrs` (which stays in the parent) and returns the
+/// per-client outcomes, indexed by client.
+///
+/// Returns `None` in child processes; the parent gets every outcome —
+/// including deliberate failures, so kill/churn tests can assert on
+/// them. `f` receives the client index and the shard address list.
+pub fn run_serve_clients<F>(
+    job: &str,
+    clients: usize,
+    addrs: &[SocketAddr],
+    opts: &ClientLaunchOptions,
+    f: F,
+) -> Option<Vec<ClientOutcome>>
+where
+    F: FnOnce(usize, &[SocketAddr]) -> String,
+{
+    assert!(clients > 0, "a client job needs at least one client");
+    if let Ok(client) = std::env::var(ENV_CLIENT) {
+        // Worker role: run the client program and report over stdout.
+        match std::env::var(ENV_JOB) {
+            Ok(j) if j == job => {}
+            // Spawned for a different job — not ours to run.
+            _ => return None,
+        }
+        let client: usize = client.parse().expect("client index");
+        let addrs: Vec<SocketAddr> = std::env::var(ENV_ADDRS)
+            .expect("shard address list")
+            .split(',')
+            .map(|a| a.parse().expect("shard address"))
+            .collect();
+        let out = f(client, &addrs);
+        println!("{RESULT_MARKER}{client}:{}", to_hex(&out));
+        return None;
+    }
+    Some(orchestrate(job, clients, addrs, opts))
+}
+
+fn orchestrate(
+    job: &str,
+    clients: usize,
+    addrs: &[SocketAddr],
+    opts: &ClientLaunchOptions,
+) -> Vec<ClientOutcome> {
+    assert!(!addrs.is_empty(), "parent must pass the server's addresses");
+    let addr_list = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let exe = std::env::current_exe().expect("current executable path");
+    let deadline = Instant::now() + opts.timeout;
+
+    struct Running {
+        child: Child,
+        stdout: std::thread::JoinHandle<String>,
+        stderr: std::thread::JoinHandle<String>,
+        timed_out: bool,
+    }
+
+    let mut running: Vec<Running> = (0..clients)
+        .map(|client| {
+            let mut cmd = Command::new(&exe);
+            if opts.test_harness {
+                cmd.arg(job).arg("--exact").arg("--nocapture");
+            }
+            cmd.env(ENV_JOB, job)
+                .env(ENV_CLIENT, client.to_string())
+                .env(ENV_ADDRS, &addr_list)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            for (k, v) in &opts.env {
+                cmd.env(k, v);
+            }
+            let mut child = cmd
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawning client {client}: {e}"));
+            // Drain both pipes concurrently so a chatty child can never
+            // block on a full pipe while the parent is polling.
+            let stdout = drain(child.stdout.take().expect("piped stdout"));
+            let stderr = drain(child.stderr.take().expect("piped stderr"));
+            Running {
+                child,
+                stdout,
+                stderr,
+                timed_out: false,
+            }
+        })
+        .collect();
+
+    loop {
+        let mut alive = 0;
+        for r in running.iter_mut() {
+            if r.child.try_wait().expect("try_wait").is_none() {
+                alive += 1;
+            }
+        }
+        if alive == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            for r in running.iter_mut() {
+                if r.child.try_wait().expect("try_wait").is_none() {
+                    r.timed_out = true;
+                    let _ = r.child.kill();
+                }
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    running
+        .into_iter()
+        .enumerate()
+        .map(|(client, mut r)| {
+            let status = r.child.wait().expect("wait after exit/kill");
+            let stdout = r.stdout.join().unwrap_or_default();
+            let stderr = r.stderr.join().unwrap_or_default();
+            ClientOutcome {
+                client,
+                exit_code: status.code(),
+                result: parse_result(&stdout, client),
+                stdout,
+                stderr,
+                timed_out: r.timed_out,
+            }
+        })
+        .collect()
+}
+
+fn drain<R: Read + Send + 'static>(mut pipe: R) -> std::thread::JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut out = String::new();
+        let _ = pipe.read_to_string(&mut out);
+        out
+    })
+}
+
+fn parse_result(stdout: &str, client: usize) -> Option<String> {
+    // The marker may share its line with libtest chatter, so look for it
+    // anywhere in a line and take the hex run that follows.
+    let prefix = format!("{RESULT_MARKER}{client}:");
+    stdout
+        .lines()
+        .find_map(|line| {
+            let idx = line.find(&prefix)?;
+            let rest = &line[idx + prefix.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_hexdigit())
+                .unwrap_or(rest.len());
+            Some(&rest[..end])
+        })
+        .and_then(from_hex)
+}
+
+fn to_hex(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for b in s.as_bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn from_hex(h: &str) -> Option<String> {
+    let h = h.trim();
+    if !h.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(h.len() / 2);
+    for i in (0..h.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(h.get(i..i + 2)?, 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        for s in ["", "gen=42", "client 3: ok\nsecond line", "πδ"] {
+            assert_eq!(from_hex(&to_hex(s)).as_deref(), Some(s));
+        }
+        assert_eq!(from_hex("zz"), None);
+        assert_eq!(from_hex("abc"), None);
+    }
+
+    #[test]
+    fn result_marker_parses_among_harness_chatter() {
+        let stdout = format!(
+            "running 1 test\n{RESULT_MARKER}2:{}\ntest foo ... ok\n",
+            to_hex("gen=7")
+        );
+        assert_eq!(parse_result(&stdout, 2).as_deref(), Some("gen=7"));
+        assert_eq!(parse_result(&stdout, 1), None);
+    }
+}

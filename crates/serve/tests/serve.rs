@@ -1,0 +1,388 @@
+//! In-process integration suite for the aggregation service: one OS
+//! process, real loopback sockets. Covers the contribute/fetch/subscribe
+//! round trip, shard splitting and merging, typed backpressure, the
+//! idle-watchdog reap (including the half-open mid-frame case),
+//! reconnect-by-name, duplicate-session rejection, and the small-frame
+//! cap. (Multi-process churn lives in the workspace-level
+//! `tests/serve_integration.rs`.)
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sparcml_net::TransportConfig;
+use sparcml_serve::protocol::{read_frame, Frame};
+use sparcml_serve::{
+    AggregationMode, ErrorCode, ServeClient, ServeConfig, ServeError, Server, ShardGroup,
+    ShardOutcome,
+};
+use sparcml_stream::SparseStream;
+
+fn grad_config() -> ServeConfig {
+    ServeConfig::default().with_model("grad", 1000, AggregationMode::Sum)
+}
+
+fn pairs(pairs: &[(u32, f32)]) -> SparseStream<f32> {
+    SparseStream::from_pairs(1000, pairs).unwrap()
+}
+
+#[test]
+fn contribute_fetch_roundtrip_single_shard() {
+    let server = Server::start(grad_config()).unwrap();
+    let addrs = [server.addr()];
+    let mut client = ServeClient::connect("worker-0", &addrs).unwrap();
+    assert!(!client.resumed());
+    assert_eq!(client.shards(), 1);
+    assert_eq!(client.model_id("grad"), Some(0));
+
+    let generation = client
+        .contribute(0, &pairs(&[(3, 1.0), (700, 2.5)]), Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(generation, 1);
+    let generation = client
+        .contribute(0, &pairs(&[(3, 0.5)]), Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(generation, 2);
+
+    let fetched = client.fetch(0).unwrap();
+    assert_eq!(fetched.generations, vec![2]);
+    assert_eq!(fetched.contributions, 2);
+    assert_eq!(fetched.state.get(3), 1.5);
+    assert_eq!(fetched.state.get(700), 2.5);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn average_mode_serves_the_mean() {
+    let cfg = ServeConfig::default().with_model("avg", 1000, AggregationMode::Average);
+    let server = Server::start(cfg).unwrap();
+    let mut client = ServeClient::connect("averager", &[server.addr()]).unwrap();
+    client
+        .contribute(0, &pairs(&[(10, 2.0)]), Duration::from_secs(5))
+        .unwrap();
+    client
+        .contribute(0, &pairs(&[(10, 6.0)]), Duration::from_secs(5))
+        .unwrap();
+    let fetched = client.fetch(0).unwrap();
+    assert_eq!(fetched.state.get(10), 4.0); // (2 + 6) / 2
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn sharded_contributions_split_and_merge() {
+    let group = ShardGroup::start(grad_config(), 2).unwrap();
+    let addrs = group.addrs();
+    let mut client = ServeClient::connect("sharded", &addrs).unwrap();
+    assert_eq!(client.shards(), 2);
+
+    // Support spans both halves of the 1000-wide index space.
+    let generation = client
+        .contribute(
+            0,
+            &pairs(&[(1, 1.0), (499, 2.0), (500, 3.0), (999, 4.0)]),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    assert_eq!(generation, 1);
+    // Both shards advanced, even though each saw only its slice.
+    for handle in group.handles() {
+        assert_eq!(handle.model_generation(0), Some(1));
+    }
+
+    let fetched = client.fetch(0).unwrap();
+    assert_eq!(fetched.generations, vec![1, 1]);
+    for (idx, want) in [(1u32, 1.0f32), (499, 2.0), (500, 3.0), (999, 4.0)] {
+        assert_eq!(fetched.state.get(idx), want, "index {idx}");
+    }
+
+    // Generation sync: every shard learns the cluster-wide table and the
+    // health report shows it.
+    group.sync_now().unwrap();
+    let report = group.handles()[0].health_report();
+    assert!(
+        report.contains("cluster_generations shard=1 [1]"),
+        "report should carry shard 1's generations:\n{report}"
+    );
+    client.close();
+    group.shutdown();
+}
+
+#[test]
+fn busy_backpressure_is_typed_and_retryable() {
+    // A zero per-session quota turns every contribution into BUSY —
+    // deterministic backpressure without timing games.
+    let cfg = grad_config().with_session_queue(0);
+    let server = Server::start(cfg).unwrap();
+    let mut client = ServeClient::connect("throttled", &[server.addr()]).unwrap();
+
+    let outcomes = client.try_contribute(0, &pairs(&[(1, 1.0)])).unwrap();
+    assert_eq!(
+        outcomes,
+        vec![ShardOutcome::Busy {
+            queued: 0,
+            capacity: 0
+        }]
+    );
+    let err = client
+        .contribute(0, &pairs(&[(1, 1.0)]), Duration::from_millis(50))
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::ServerBusy { model: 0, .. }),
+        "{err}"
+    );
+
+    // The rejections are visible on the health endpoint.
+    let report = server.health_report();
+    assert!(
+        !report.contains("busy_rejections 0\n"),
+        "busy rejections should be counted:\n{report}"
+    );
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn silent_session_is_reaped_and_resumable() {
+    let cfg = grad_config().with_idle_timeout(Duration::from_millis(150));
+    let server = Server::start(cfg).unwrap();
+
+    let client = ServeClient::connect("sleeper", &[server.addr()]).unwrap();
+    // Go silent without closing: the watchdog must reap, not hang.
+    std::mem::forget(client);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_phase("sleeper") != Some("reaped") {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watchdog never reaped the silent session; phase = {:?}",
+            server.session_phase("sleeper")
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = server.health_report();
+    assert!(
+        report.contains("reaped_sessions sleeper"),
+        "health report should name the reaped session:\n{report}"
+    );
+
+    // Reconnecting under the same name resumes the session.
+    let mut revived = ServeClient::connect("sleeper", &[server.addr()]).unwrap();
+    assert!(revived.resumed());
+    let generation = revived
+        .contribute(0, &pairs(&[(5, 1.0)]), Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(generation, 1);
+    assert_eq!(server.session_phase("sleeper"), Some("active"));
+    revived.close();
+    server.shutdown();
+}
+
+#[test]
+fn half_open_mid_frame_session_is_reaped() {
+    let cfg = grad_config().with_idle_timeout(Duration::from_millis(150));
+    let server = Server::start(cfg).unwrap();
+
+    // Raw socket: handshake, then a *partial* CONTRIBUTE frame — header
+    // promising more bytes than ever arrive — then silence.
+    let mut socket = TcpStream::connect(server.addr()).unwrap();
+    let mut buf = Vec::new();
+    Frame::Hello {
+        session: "half-open".into(),
+    }
+    .encode_into(&mut buf);
+    socket.write_all(&buf).unwrap();
+    let welcome = read_frame(&mut socket, usize::MAX).unwrap();
+    assert!(matches!(welcome, Frame::Welcome { .. }));
+    socket.write_all(&[100, 0, 0, 0, 0x02, 1, 2, 3]).unwrap(); // 8 of 105 bytes
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_phase("half-open") != Some("reaped") {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mid-frame silence must be reaped, not waited out; phase = {:?}",
+            server.session_phase("half-open")
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn clean_disconnect_is_not_a_reap() {
+    let cfg = grad_config().with_idle_timeout(Duration::from_millis(200));
+    let server = Server::start(cfg).unwrap();
+    {
+        // Connect and drop without BYE: EOF, i.e. a disconnect.
+        let client = ServeClient::connect("dropper", &[server.addr()]).unwrap();
+        drop(client);
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_phase("dropper") != Some("disconnected") {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "EOF should record a disconnect; phase = {:?}",
+            server.session_phase("dropper")
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // And BYE records a departure.
+    let client = ServeClient::connect("leaver", &[server.addr()]).unwrap();
+    client.close();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_phase("leaver") != Some("departed") {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_active_session_is_rejected() {
+    let server = Server::start(grad_config()).unwrap();
+    let client = ServeClient::connect("only-one", &[server.addr()]).unwrap();
+    let err = ServeClient::connect("only-one", &[server.addr()]).unwrap_err();
+    assert!(err.is_duplicate_session(), "{err}");
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn session_cap_refuses_admission() {
+    let cfg = grad_config().with_max_sessions(1);
+    let server = Server::start(cfg).unwrap();
+    let client = ServeClient::connect("first", &[server.addr()]).unwrap();
+    let err = ServeClient::connect("second", &[server.addr()]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServeError::Rejected {
+                code: ErrorCode::SessionLimit,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_with_typed_error() {
+    // Shrink the server's cap below one full contribution.
+    let cfg = grad_config().with_transport(TransportConfig::for_server().with_max_frame_len(64));
+    let server = Server::start(cfg).unwrap();
+
+    let mut socket = TcpStream::connect(server.addr()).unwrap();
+    let mut buf = Vec::new();
+    Frame::Hello {
+        session: "giant".into(),
+    }
+    .encode_into(&mut buf);
+    socket.write_all(&buf).unwrap();
+    let welcome = read_frame(&mut socket, usize::MAX).unwrap();
+    assert!(matches!(welcome, Frame::Welcome { .. }));
+
+    // Declare a frame over the cap; the payload never needs to arrive —
+    // the length check fires before any allocation.
+    socket.write_all(&[0, 0, 1, 0, 0x02]).unwrap(); // declares 65536 bytes
+    let answer = read_frame(&mut socket, usize::MAX).unwrap();
+    let Frame::Error { code, detail } = answer else {
+        panic!(
+            "expected a typed ERROR frame, got kind {:#04x}",
+            answer.kind()
+        );
+    };
+    assert_eq!(code, ErrorCode::FrameTooLarge);
+    assert!(
+        detail.contains("exceeds") && detail.contains("65536") && detail.contains("64"),
+        "detail should carry both numbers: {detail}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_pushes_updates_to_other_sessions() {
+    let server = Server::start(grad_config()).unwrap();
+    let addrs = [server.addr()];
+    let mut watcher = ServeClient::connect("watcher", &addrs).unwrap();
+    watcher.subscribe(0).unwrap();
+
+    let mut producer = ServeClient::connect("producer", &addrs).unwrap();
+    producer
+        .contribute(0, &pairs(&[(42, 7.0)]), Duration::from_secs(5))
+        .unwrap();
+
+    let update = watcher.next_update(Duration::from_secs(5)).unwrap();
+    assert_eq!(update.model, 0);
+    assert_eq!(update.generation, 1);
+    assert_eq!(update.state.get(42), 7.0);
+
+    producer.close();
+    watcher.close();
+    server.shutdown();
+}
+
+#[test]
+fn out_of_table_and_malformed_contributions_only_hurt_their_sender() {
+    let server = Server::start(grad_config()).unwrap();
+    let addrs = [server.addr()];
+    let mut rogue = ServeClient::connect("rogue", &addrs).unwrap();
+    let mut honest = ServeClient::connect("honest", &addrs).unwrap();
+
+    // Unknown model id: typed rejection, session stays alive.
+    let err = rogue.try_contribute(7, &pairs(&[(1, 1.0)])).unwrap_err();
+    assert!(
+        matches!(err, ServeError::UnknownModel { model: 7 }),
+        "{err}"
+    );
+
+    // The honest session is untouched throughout.
+    honest
+        .contribute(0, &pairs(&[(9, 1.0)]), Duration::from_secs(5))
+        .unwrap();
+    // ... and the rogue can still contribute after its rejection.
+    rogue
+        .contribute(0, &pairs(&[(8, 1.0)]), Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(server.model_generation(0), Some(2));
+
+    rogue.close();
+    honest.close();
+    server.shutdown();
+}
+
+#[test]
+fn health_endpoint_serves_plaintext_and_json_over_http() {
+    use std::io::Read;
+    let server = Server::start(grad_config()).unwrap();
+    let mut client = ServeClient::connect("prober", &[server.addr()]).unwrap();
+    client
+        .contribute(0, &pairs(&[(1, 1.0)]), Duration::from_secs(5))
+        .unwrap();
+
+    let scrape = |path: &str| {
+        let mut s = TcpStream::connect(server.health_addr()).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    let text = scrape("/stats");
+    assert!(text.starts_with("HTTP/1.0 200 OK"), "{text}");
+    assert!(text.contains("sessions_active 1"), "{text}");
+    assert!(text.contains("model 0 name=grad"), "{text}");
+    assert!(text.contains("msgs_recv"), "{text}"); // CommStats block
+
+    let json = scrape("/stats.json");
+    assert!(json.contains("\"sessions_active\":1"), "{json}");
+    assert!(
+        json.contains("\"models\":[{\"id\":0,\"name\":\"grad\""),
+        "{json}"
+    );
+
+    client.close();
+    server.shutdown();
+}

@@ -110,6 +110,79 @@ impl<V: Scalar> SparseStream<V> {
             }
         }
     }
+
+    /// Adds a borrowed sparse slab pair into `self` without materializing
+    /// an intermediate stream — the merge-into-state path a long-lived
+    /// accumulator (e.g. an aggregation server's per-model state) uses to
+    /// fold in a decoded contribution or a `SparseView::range` split.
+    ///
+    /// The view's indices must all lie below `self.dim()`; an
+    /// out-of-bounds index is rejected with
+    /// [`StreamError::IndexOutOfBounds`] before anything is mutated. The
+    /// density policy applies exactly as in
+    /// [`SparseStream::add_assign_with`]: a sparse accumulator switches to
+    /// dense when the fill-in upper bound crosses δ.
+    pub fn add_assign_view(
+        &mut self,
+        view: SparseView<'_, V>,
+        policy: &DensityPolicy,
+    ) -> Result<SumStats, StreamError> {
+        let dim = self.dim();
+        if let Some(&last) = view.indices().last() {
+            if last as usize >= dim {
+                return Err(StreamError::IndexOutOfBounds { idx: last, dim });
+            }
+        } else {
+            // Empty contribution: nothing to fold in.
+            return Ok(SumStats {
+                elements_processed: 0,
+                result_dense: self.is_dense(),
+                switched_to_dense: false,
+            });
+        }
+        if self.is_dense() {
+            return Ok(scatter_view_into_dense(self, view));
+        }
+        let delta = policy.delta::<V>(dim);
+        if self.stored_len() + view.len() > delta {
+            self.densify();
+            let stats = scatter_view_into_dense(self, view);
+            return Ok(SumStats {
+                switched_to_dense: true,
+                ..stats
+            });
+        }
+        let merged = merge_sorted(self.sparse_view().expect("sparse accumulator"), view);
+        let processed = merged.len();
+        self.set_repr(Repr::Sparse(merged));
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(SumStats {
+            elements_processed: processed,
+            result_dense: false,
+            switched_to_dense: false,
+        })
+    }
+}
+
+/// Adds the entries of a borrowed view into the dense accumulator
+/// `dense`. Indices must already be validated against `dense.dim()`.
+fn scatter_view_into_dense<V: Scalar>(
+    dense: &mut SparseStream<V>,
+    view: SparseView<'_, V>,
+) -> SumStats {
+    debug_assert!(dense.is_dense());
+    let Repr::Dense(values) = dense.repr_mut() else {
+        unreachable!()
+    };
+    for (i, v) in view.indices().iter().zip(view.values()) {
+        let slot = &mut values[*i as usize];
+        *slot = slot.add(*v);
+    }
+    SumStats {
+        elements_processed: view.len(),
+        result_dense: true,
+        switched_to_dense: false,
+    }
 }
 
 /// Adds the sparse entries of `sparse` into the dense accumulator `dense`.
@@ -283,6 +356,68 @@ mod tests {
         let view = a.sparse_view().unwrap();
         assert_eq!(view.indices(), &[1, 2, 50, 60]);
         assert_eq!(view.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_assign_view_merges_without_materializing() {
+        let mut acc = s(100, &[(1, 1.0), (5, 2.0)]);
+        let contrib = s(100, &[(5, 3.0), (9, 4.0)]);
+        let stats = acc
+            .add_assign_view(contrib.sparse_view().unwrap(), &DensityPolicy::default())
+            .unwrap();
+        assert!(!stats.result_dense);
+        assert_eq!(acc.nnz(), 3);
+        assert_eq!(acc.get(5), 5.0);
+        assert_eq!(acc.get(9), 4.0);
+        acc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_assign_view_switches_to_dense_past_delta() {
+        let mut acc = s(8, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let contrib = s(8, &[(5, 1.0), (6, 1.0), (7, 1.0)]);
+        let stats = acc
+            .add_assign_view(contrib.sparse_view().unwrap(), &DensityPolicy::default())
+            .unwrap();
+        assert!(stats.switched_to_dense);
+        assert!(acc.is_dense());
+        assert_eq!(acc.get(7), 1.0);
+    }
+
+    #[test]
+    fn add_assign_view_into_dense_scatters() {
+        let mut acc = SparseStream::from_dense(vec![1.0f32; 4]);
+        let contrib = s(4, &[(2, 5.0)]);
+        let stats = acc
+            .add_assign_view(contrib.sparse_view().unwrap(), &DensityPolicy::default())
+            .unwrap();
+        assert!(stats.result_dense);
+        assert!(!stats.switched_to_dense);
+        assert_eq!(acc.get(2), 6.0);
+    }
+
+    #[test]
+    fn add_assign_view_rejects_out_of_bounds_before_mutating() {
+        let mut acc = s(4, &[(0, 1.0)]);
+        let contrib = s(100, &[(0, 1.0), (50, 2.0)]);
+        let err = acc
+            .add_assign_view(contrib.sparse_view().unwrap(), &DensityPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, StreamError::IndexOutOfBounds { idx: 50, .. }));
+        // The accumulator is untouched by the rejected contribution.
+        assert_eq!(acc.nnz(), 1);
+        assert_eq!(acc.get(0), 1.0);
+    }
+
+    #[test]
+    fn add_assign_view_empty_is_noop() {
+        let mut acc = s(4, &[(0, 1.0)]);
+        let contrib = SparseStream::<f32>::zeros(9999);
+        let stats = acc
+            .add_assign_view(contrib.sparse_view().unwrap(), &DensityPolicy::default())
+            .unwrap();
+        assert_eq!(stats.elements_processed, 0);
+        assert_eq!(acc.nnz(), 1);
     }
 
     #[test]

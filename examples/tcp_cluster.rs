@@ -34,14 +34,21 @@ fn rank_program(tp: &mut TcpTransport) -> String {
         .launch()
         .and_then(|h| h.wait())
         .expect("allreduce over TCP");
-    let stats = comm.stats().clone();
-    let line = format!(
-        "rank {rank}/{size}: |union| = {} nnz, {} msgs / {} bytes sent, {:.1} ms wall",
+    let mut line = format!(
+        "rank {rank}/{size}: |union| = {} nnz, {:.1} ms wall",
         sum.nnz(),
-        stats.msgs_sent,
-        stats.bytes_sent,
         comm.clock() * 1e3,
     );
+    if rank == 0 {
+        // One rank prints the full counter block in the stable
+        // `CommStats::render_text` format (same shape the serve health
+        // endpoint and bench bins emit).
+        line.push_str("\n  rank 0 transport counters:");
+        for counter in comm.stats_report().lines() {
+            line.push_str("\n    ");
+            line.push_str(counter);
+        }
+    }
     *tp = comm.into_transport();
     line
 }

@@ -10,12 +10,18 @@
 //! structure-of-arrays layout (index slab + value slab) with a bulk slab
 //! wire codec and pooled message buffers; see the README's architecture
 //! section for the layout and the buffer-pool lifecycle.
+//!
+//! The [`serve`] module is the other deployment shape: a long-running
+//! sharded aggregation daemon ([`Server`] / [`ShardGroup`]) that many
+//! transient [`ServeClient`] sessions push sparse contributions into,
+//! with typed backpressure and watchdog-reaped membership churn.
 
 pub use sparcml_core as core;
 pub use sparcml_engine as engine;
 pub use sparcml_net as net;
 pub use sparcml_opt as opt;
 pub use sparcml_quant as quant;
+pub use sparcml_serve as serve;
 pub use sparcml_stream as stream;
 pub use sparcml_trainsim as trainsim;
 
@@ -25,3 +31,6 @@ pub use sparcml_core::{
     ThreadTransport, Topology, TopologyCostModel, Transport, TransportConfig,
 };
 pub use sparcml_engine::{CommunicatorEngineExt, Engine, EngineConfig, FusionPolicy, Ticket};
+pub use sparcml_serve::{
+    AggregationMode, ServeClient, ServeConfig, ServeError, Server, ServerHandle, ShardGroup,
+};
