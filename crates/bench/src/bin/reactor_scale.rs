@@ -1,0 +1,179 @@
+//! Transport-scale benchmark: thread-per-peer TCP vs the reactor.
+//!
+//! The thread-per-peer `TcpTransport` spends `2·(P−1)` I/O threads per
+//! rank — at P = 64 a loopback mesh in one process sits on ~8000 OS
+//! threads. The `ReactorTransport` replaces that with one epoll event
+//! loop per rank. This harness quantifies the trade at the
+//! BENCH_reactor.json grid — P ∈ {8, 16, 64}, k ∈ {1e3, 1e5},
+//! N = 2^20 f32 — reporting, per backend and P:
+//!
+//! * the live process thread count and its per-rank transport share,
+//! * the resident set (VmRSS),
+//! * the median SSAR allreduce wall time at each k.
+//!
+//! ```console
+//! cargo run --release -p sparcml-bench --bin reactor_scale
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sparcml_core::{Algorithm, Communicator, Transport};
+use sparcml_net::{
+    run_reactor_loopback_cluster, run_tcp_loopback_cluster, CostModel, TransportConfig,
+};
+use sparcml_stream::random_sparse;
+
+const DIM: usize = 1 << 20;
+const TRIALS: usize = 3;
+const ALGO: Algorithm = Algorithm::SsarRecDbl;
+
+#[derive(Clone, Copy)]
+enum Backend {
+    Tcp,
+    Reactor,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Tcp => "tcp",
+            Backend::Reactor => "reactor",
+        }
+    }
+}
+
+/// A field of `/proc/self/status`, parsed as an integer (Linux only;
+/// `None` elsewhere — the JSON then reports nulls but the timings stand).
+fn proc_status(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|v| {
+            v.trim_start_matches(':')
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .ok()
+        })
+}
+
+/// Per-rank trial loop, written once against the `Transport` trait and
+/// monomorphized per backend. Returns (wall times, threads, VmRSS kB)
+/// with the process-wide samples taken while the full mesh is live.
+fn trial_loop<T: Transport + Send + 'static>(
+    tp: &mut T,
+    k: usize,
+) -> (Vec<f64>, Option<u64>, Option<u64>) {
+    let mut comm = Communicator::new(tp.detach());
+    let input = random_sparse::<f32>(DIM, k, 4200 + comm.rank() as u64);
+    let mut times = Vec::with_capacity(TRIALS);
+    let mut threads = None;
+    let mut rss = None;
+    for trial in 0..=TRIALS {
+        let start = Instant::now();
+        let out = comm
+            .allreduce(&input)
+            .algorithm(ALGO)
+            .launch()
+            .and_then(|h| h.wait())
+            .expect("allreduce over loopback sockets");
+        assert_eq!(out.dim(), DIM);
+        if trial == 0 {
+            // Warmup trial (connection + allocator ramp); sample the
+            // steady-state process shape while every rank's mesh is up.
+            threads = proc_status("Threads");
+            rss = proc_status("VmRSS");
+        } else {
+            times.push(start.elapsed().as_secs_f64());
+        }
+    }
+    *tp = comm.into_transport();
+    (times, threads, rss)
+}
+
+struct Sample {
+    median_wall_us: f64,
+    threads: Option<u64>,
+    rss_kb: Option<u64>,
+}
+
+fn bench_config(backend: Backend, p: usize, k: usize) -> Sample {
+    let config = TransportConfig::default()
+        .with_recv_timeout(Duration::from_secs(300))
+        .with_connect_timeout(Duration::from_secs(300));
+    let cost = CostModel::loopback_tcp();
+    let per_rank = match backend {
+        Backend::Tcp => run_tcp_loopback_cluster(p, cost, config, |tp| trial_loop(tp, k)),
+        Backend::Reactor => run_reactor_loopback_cluster(p, cost, config, |tp| trial_loop(tp, k)),
+    };
+    let mut slowest: Vec<f64> = (0..TRIALS)
+        .map(|t| per_rank.iter().map(|r| r.0[t]).fold(0.0, f64::max))
+        .collect();
+    slowest.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    Sample {
+        median_wall_us: slowest[TRIALS / 2] * 1e6,
+        threads: per_rank.iter().filter_map(|r| r.1).max(),
+        rss_kb: per_rank.iter().filter_map(|r| r.2).max(),
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |v| v.to_string())
+}
+
+fn main() {
+    let ps = [8usize, 16, 64];
+    let ks = [1_000usize, 100_000];
+    println!("{{");
+    println!(
+        "  \"description\": \"Thread-per-peer TCP vs reactor transport at scale (median of {TRIALS} trials, max across ranks per trial): {} allreduce wall time, live process threads, and VmRSS with the full loopback mesh up. Ranks are threads in one process; every message crosses the kernel TCP stack. N = {DIM} f32.\",",
+        ALGO.name()
+    );
+    println!("  \"harness\": \"cargo run --release -p sparcml-bench --bin reactor_scale\",");
+    println!("  \"backends\": {{");
+    for (bi, backend) in [Backend::Tcp, Backend::Reactor].iter().enumerate() {
+        println!("    \"{}\": {{", backend.name());
+        for (pi, &p) in ps.iter().enumerate() {
+            let mut line = String::new();
+            let mut shape: (Option<u64>, Option<u64>) = (None, None);
+            for (ki, &k) in ks.iter().enumerate() {
+                let s = bench_config(*backend, p, k);
+                eprintln!(
+                    "{} P={p} k={k}: {:.0} us, threads={:?}, rss={:?} kB",
+                    backend.name(),
+                    s.median_wall_us,
+                    s.threads,
+                    s.rss_kb
+                );
+                line.push_str(&format!(
+                    "        \"k={k}_wall_us\": {:.0},\n",
+                    s.median_wall_us
+                ));
+                if ki == 0 {
+                    shape = (s.threads, s.rss_kb);
+                }
+            }
+            // Transport share of the thread count: subtract the main
+            // thread and the P rank-closure threads.
+            let per_rank = shape
+                .0
+                .map(|t| (t.saturating_sub(1 + p as u64)) as f64 / p as f64);
+            println!("      \"P={p}\": {{");
+            print!("{line}");
+            println!("        \"threads\": {},", json_opt(shape.0));
+            println!(
+                "        \"transport_threads_per_rank\": {},",
+                per_rank.map_or("null".to_string(), |v| format!("{v:.1}"))
+            );
+            println!("        \"rss_kb\": {}", json_opt(shape.1));
+            let comma = if pi + 1 < ps.len() { "," } else { "" };
+            println!("      }}{comma}");
+        }
+        let comma = if bi == 0 { "," } else { "" };
+        println!("    }}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}

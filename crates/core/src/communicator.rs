@@ -31,9 +31,9 @@
 //! merge, §7).
 
 use sparcml_net::{
-    run_cluster, run_tcp_loopback_cluster, run_thread_cluster, CommStats, CostModel, Endpoint,
-    GroupTransport, TcpTransport, ThreadTransport, Topology, TopologyCostModel, Transport,
-    TransportConfig,
+    run_cluster, run_reactor_loopback_cluster, run_tcp_loopback_cluster, run_thread_cluster,
+    CommStats, CostModel, Endpoint, GroupTransport, ReactorTransport, TcpTransport,
+    ThreadTransport, Topology, TopologyCostModel, Transport, TransportConfig,
 };
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
@@ -881,6 +881,46 @@ where
     F: Fn(&mut Communicator<TcpTransport>) -> R + Sync,
 {
     run_tcp_loopback_cluster(size, cost_hint, config, |tp| {
+        let mut comm = Communicator::new(tp.detach());
+        let out = f(&mut comm);
+        *tp = comm.into_transport();
+        out
+    })
+}
+
+/// Runs `f` once per rank over a `size`-rank loopback cluster on the
+/// **reactor** transport — same real sockets and wire protocol as
+/// [`run_tcp_communicators`], but each rank is served by a single
+/// readiness-driven event loop instead of per-peer I/O threads. Rank
+/// programs are interchangeable between the two: this is what the
+/// transport parity suites rely on.
+pub fn run_reactor_communicators<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator<ReactorTransport>) -> R + Sync,
+{
+    run_reactor_communicators_with(
+        size,
+        CostModel::loopback_tcp(),
+        TransportConfig::default(),
+        f,
+    )
+}
+
+/// [`run_reactor_communicators`] with an explicit planning hint and
+/// transport configuration (watchdog/connect deadlines, frame limit,
+/// event-loop batching).
+pub fn run_reactor_communicators_with<R, F>(
+    size: usize,
+    cost_hint: CostModel,
+    config: TransportConfig,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Communicator<ReactorTransport>) -> R + Sync,
+{
+    run_reactor_loopback_cluster(size, cost_hint, config, |tp| {
         let mut comm = Communicator::new(tp.detach());
         let out = f(&mut comm);
         *tp = comm.into_transport();

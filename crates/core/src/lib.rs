@@ -74,7 +74,8 @@ pub use allreduce::{
     ssar_recursive_double, ssar_split_allgather, Algorithm, AllreduceConfig,
 };
 pub use communicator::{
-    max_communicator_time, run_communicators, run_tcp_communicators, run_tcp_communicators_with,
+    max_communicator_time, run_communicators, run_reactor_communicators,
+    run_reactor_communicators_with, run_tcp_communicators, run_tcp_communicators_with,
     run_thread_communicators, Allgather, AllgatherSum, Allreduce, Broadcast, CollectiveHandle,
     Communicator, DenseAllgather, Reduce, ReduceScatter,
 };
@@ -93,6 +94,6 @@ pub use selector::{
 // Re-exported so downstream code can name transports and topology types
 // without depending on sparcml-net directly.
 pub use sparcml_net::{
-    Endpoint, GroupTransport, TcpTransport, ThreadTransport, Topology, TopologyCostModel,
-    Transport, TransportConfig,
+    Endpoint, GroupTransport, ReactorTransport, SocketTransport, TcpTransport, ThreadTransport,
+    Topology, TopologyCostModel, Transport, TransportBackend, TransportConfig,
 };

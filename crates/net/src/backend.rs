@@ -1,0 +1,324 @@
+//! Runtime selection between the two real-socket transports.
+//!
+//! [`crate::TcpTransport`] (thread-per-peer) and
+//! [`crate::ReactorTransport`] (one event loop per rank) speak the same
+//! wire protocol and expose the same API; which one a run uses is a
+//! deployment decision, not a code change. [`TransportBackend`] names the
+//! choice, the `SPARCML_TRANSPORT` environment variable carries it to
+//! spawned rank processes, and [`SocketTransport`] is the enum-dispatched
+//! [`Transport`] the launcher hands to rank code so a single worker
+//! binary serves both backends.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::config::TransportConfig;
+use crate::cost::CostModel;
+use crate::error::CommError;
+use crate::reactor::ReactorTransport;
+use crate::stats::CommStats;
+use crate::tcp::TcpTransport;
+use crate::transport::Transport;
+
+/// Environment variable selecting the socket backend (`tcp` or
+/// `reactor`); unset means [`TransportBackend::Tcp`].
+pub const ENV_TRANSPORT: &str = "SPARCML_TRANSPORT";
+
+/// Which real-socket transport a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportBackend {
+    /// Thread-per-peer [`crate::TcpTransport`] (the default).
+    #[default]
+    Tcp,
+    /// Readiness-driven [`crate::ReactorTransport`].
+    Reactor,
+}
+
+impl TransportBackend {
+    /// Reads the backend from `SPARCML_TRANSPORT`: unset defaults to
+    /// [`TransportBackend::Tcp`]; a set-but-unknown value is a **loud**
+    /// typed error so a typo'd selection fails the launch instead of
+    /// silently running the wrong transport.
+    pub fn from_env() -> Result<TransportBackend, CommError> {
+        match std::env::var(ENV_TRANSPORT) {
+            Err(_) => Ok(TransportBackend::Tcp),
+            Ok(raw) => raw.parse(),
+        }
+    }
+
+    /// The value `SPARCML_TRANSPORT` carries for this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportBackend::Tcp => "tcp",
+            TransportBackend::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::str::FromStr for TransportBackend {
+    type Err = CommError;
+
+    fn from_str(s: &str) -> Result<TransportBackend, CommError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tcp" => Ok(TransportBackend::Tcp),
+            "reactor" => Ok(TransportBackend::Reactor),
+            other => Err(CommError::Protocol(format!(
+                "{ENV_TRANSPORT}={other:?} is not a known backend (expected \"tcp\" or \"reactor\")"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A real-socket transport of either backend, dispatched at runtime.
+///
+/// Rank code written against [`Transport`] (or against this enum's
+/// inherent helpers) runs unchanged whichever backend the launcher — or
+/// `SPARCML_TRANSPORT` — picked.
+#[derive(Debug)]
+pub enum SocketTransport {
+    /// Thread-per-peer backend.
+    Tcp(TcpTransport),
+    /// Event-loop backend.
+    Reactor(ReactorTransport),
+}
+
+impl SocketTransport {
+    /// Rendezvous via the `SPARCML_RANK` / `SPARCML_WORLD` /
+    /// `SPARCML_ROOT_ADDR` environment contract on the backend selected
+    /// by `SPARCML_TRANSPORT`.
+    pub fn from_env() -> Result<SocketTransport, CommError> {
+        match TransportBackend::from_env()? {
+            TransportBackend::Tcp => TcpTransport::from_env().map(SocketTransport::Tcp),
+            TransportBackend::Reactor => ReactorTransport::from_env().map(SocketTransport::Reactor),
+        }
+    }
+
+    /// Joins a `world`-rank cluster rendezvoused at `root_addr` on the
+    /// given backend (the programmatic counterpart of
+    /// [`SocketTransport::from_env`]).
+    pub fn rendezvous(
+        backend: TransportBackend,
+        rank: usize,
+        world: usize,
+        root_addr: &str,
+        cost_hint: CostModel,
+        config: TransportConfig,
+    ) -> Result<SocketTransport, CommError> {
+        match backend {
+            TransportBackend::Tcp => {
+                TcpTransport::rendezvous(rank, world, root_addr, cost_hint, config)
+                    .map(SocketTransport::Tcp)
+            }
+            TransportBackend::Reactor => {
+                ReactorTransport::rendezvous(rank, world, root_addr, cost_hint, config)
+                    .map(SocketTransport::Reactor)
+            }
+        }
+    }
+
+    /// Which backend this transport runs on.
+    pub fn backend(&self) -> TransportBackend {
+        match self {
+            SocketTransport::Tcp(_) => TransportBackend::Tcp,
+            SocketTransport::Reactor(_) => TransportBackend::Reactor,
+        }
+    }
+
+    /// Why the connection to `peer` ended, once it has.
+    pub fn close_reason(&self, peer: usize) -> Option<&str> {
+        match self {
+            SocketTransport::Tcp(t) => t.close_reason(peer),
+            SocketTransport::Reactor(t) => t.close_reason(peer),
+        }
+    }
+
+    /// Overrides the receive watchdog after construction.
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        match self {
+            SocketTransport::Tcp(t) => t.set_recv_deadline(deadline),
+            SocketTransport::Reactor(t) => t.set_recv_deadline(deadline),
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        match self {
+            SocketTransport::Tcp(t) => t.rank(),
+            SocketTransport::Reactor(t) => t.rank(),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            SocketTransport::Tcp(t) => t.size(),
+            SocketTransport::Reactor(t) => t.size(),
+        }
+    }
+
+    fn cost(&self) -> &CostModel {
+        match self {
+            SocketTransport::Tcp(t) => t.cost(),
+            SocketTransport::Reactor(t) => t.cost(),
+        }
+    }
+
+    fn clock(&self) -> f64 {
+        match self {
+            SocketTransport::Tcp(t) => t.clock(),
+            SocketTransport::Reactor(t) => t.clock(),
+        }
+    }
+
+    fn advance_clock_to(&mut self, t: f64) {
+        match self {
+            SocketTransport::Tcp(tp) => tp.advance_clock_to(t),
+            SocketTransport::Reactor(tp) => tp.advance_clock_to(t),
+        }
+    }
+
+    fn charge_seconds(&mut self, seconds: f64) {
+        match self {
+            SocketTransport::Tcp(t) => t.charge_seconds(seconds),
+            SocketTransport::Reactor(t) => t.charge_seconds(seconds),
+        }
+    }
+
+    fn compute(&mut self, elements: usize) {
+        match self {
+            SocketTransport::Tcp(t) => t.compute(elements),
+            SocketTransport::Reactor(t) => t.compute(elements),
+        }
+    }
+
+    fn next_op_id(&mut self) -> u64 {
+        match self {
+            SocketTransport::Tcp(t) => t.next_op_id(),
+            SocketTransport::Reactor(t) => t.next_op_id(),
+        }
+    }
+
+    fn stats(&self) -> &CommStats {
+        match self {
+            SocketTransport::Tcp(t) => t.stats(),
+            SocketTransport::Reactor(t) => t.stats(),
+        }
+    }
+
+    fn stats_mut(&mut self) -> &mut CommStats {
+        match self {
+            SocketTransport::Tcp(t) => t.stats_mut(),
+            SocketTransport::Reactor(t) => t.stats_mut(),
+        }
+    }
+
+    fn reset_clock(&mut self) {
+        match self {
+            SocketTransport::Tcp(t) => t.reset_clock(),
+            SocketTransport::Reactor(t) => t.reset_clock(),
+        }
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        match self {
+            SocketTransport::Tcp(t) => t.send(dst, tag, payload),
+            SocketTransport::Reactor(t) => t.send(dst, tag, payload),
+        }
+    }
+
+    fn isend(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        match self {
+            SocketTransport::Tcp(t) => t.isend(dst, tag, payload),
+            SocketTransport::Reactor(t) => t.isend(dst, tag, payload),
+        }
+    }
+
+    fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
+        match self {
+            SocketTransport::Tcp(t) => t.recv(src, tag),
+            SocketTransport::Reactor(t) => t.recv(src, tag),
+        }
+    }
+
+    fn recv_any(&mut self, tag: u64) -> Result<(usize, Bytes), CommError> {
+        match self {
+            SocketTransport::Tcp(t) => t.recv_any(tag),
+            SocketTransport::Reactor(t) => t.recv_any(tag),
+        }
+    }
+
+    fn detach(&mut self) -> SocketTransport {
+        match self {
+            SocketTransport::Tcp(t) => SocketTransport::Tcp(t.detach()),
+            SocketTransport::Reactor(t) => SocketTransport::Reactor(t.detach()),
+        }
+    }
+}
+
+impl From<TcpTransport> for SocketTransport {
+    fn from(t: TcpTransport) -> SocketTransport {
+        SocketTransport::Tcp(t)
+    }
+}
+
+impl From<ReactorTransport> for SocketTransport {
+    fn from(t: ReactorTransport) -> SocketTransport {
+        SocketTransport::Reactor(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reactor::standalone_reactor_transport;
+
+    #[test]
+    fn backend_round_trips_through_strings() {
+        for backend in [TransportBackend::Tcp, TransportBackend::Reactor] {
+            assert_eq!(
+                backend.as_str().parse::<TransportBackend>().unwrap(),
+                backend
+            );
+        }
+        assert_eq!(
+            " Reactor \n".parse::<TransportBackend>().unwrap(),
+            TransportBackend::Reactor
+        );
+    }
+
+    #[test]
+    fn unknown_backend_is_loud() {
+        let err = "quic".parse::<TransportBackend>().unwrap_err();
+        assert!(
+            matches!(err, CommError::Protocol(ref d) if d.contains("quic")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn default_backend_is_tcp() {
+        // Only checks the *unset* case: env vars are process-global.
+        if std::env::var(ENV_TRANSPORT).is_ok() {
+            return;
+        }
+        assert_eq!(TransportBackend::from_env().unwrap(), TransportBackend::Tcp);
+    }
+
+    #[test]
+    fn socket_transport_dispatches_to_placeholder() {
+        let mut tp: SocketTransport = standalone_reactor_transport().into();
+        assert_eq!(tp.backend(), TransportBackend::Reactor);
+        assert_eq!((tp.rank(), tp.size()), (0, 1));
+        tp.send(0, 1, Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(tp.recv(0, 1).unwrap().as_ref(), b"hi");
+        let detached = tp.detach();
+        assert_eq!(detached.backend(), TransportBackend::Reactor);
+    }
+}

@@ -1,0 +1,88 @@
+//! Length-prefixed frame-header helpers shared by every socket codec.
+//!
+//! Both wire formats in this workspace open every frame with a `u32 LE`
+//! payload length — the transports' data frames (`[len][tag: u64]`,
+//! [`DATA_HEADER_LEN`] bytes) and the serve protocol's session frames
+//! (`[len][kind: u8]`). The one rule they share lives here: **the
+//! declared length is validated against the receiver's cap before any
+//! allocation happens**, so a corrupt or hostile length prefix surfaces
+//! as a typed [`CommError::FrameTooLarge`] instead of a giant `Vec`.
+
+use crate::error::CommError;
+
+/// Transport data-frame header: `[len: u32 LE][tag: u64 LE]`.
+pub const DATA_HEADER_LEN: usize = 12;
+
+/// Validates a frame's declared payload length against `limit` *before*
+/// the caller allocates a receive buffer for it.
+///
+/// The single length gate for every length-prefixed reader in the
+/// workspace (transport data frames, serve session frames): larger
+/// declarations are protocol corruption — or an attack — and are refused
+/// with a typed [`CommError::FrameTooLarge`], never honored.
+pub fn check_frame_len(declared: usize, limit: usize) -> Result<usize, CommError> {
+    if declared > limit {
+        return Err(CommError::FrameTooLarge { declared, limit });
+    }
+    Ok(declared)
+}
+
+/// Parses a frame's `u32 LE` length prefix and applies
+/// [`check_frame_len`] in one step.
+pub fn parse_frame_len(prefix: [u8; 4], limit: usize) -> Result<usize, CommError> {
+    check_frame_len(u32::from_le_bytes(prefix) as usize, limit)
+}
+
+/// Encodes a transport data-frame header for a `payload_len`-byte frame
+/// under `tag`.
+pub fn data_header(payload_len: usize, tag: u64) -> [u8; DATA_HEADER_LEN] {
+    let mut header = [0u8; DATA_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    header[4..].copy_from_slice(&tag.to_le_bytes());
+    header
+}
+
+/// Parses and validates a transport data-frame header: the `(payload
+/// length, tag)` pair, with the length checked against `limit` before the
+/// caller allocates.
+pub fn parse_data_header(
+    header: &[u8; DATA_HEADER_LEN],
+    limit: usize,
+) -> Result<(usize, u64), CommError> {
+    let len = parse_frame_len(header[..4].try_into().expect("4 bytes"), limit)?;
+    let tag = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+    Ok((len, tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_header_round_trips() {
+        let header = data_header(4096, 0x0123_4567_89ab_cdef);
+        let (len, tag) = parse_data_header(&header, 1 << 20).unwrap();
+        assert_eq!(len, 4096);
+        assert_eq!(tag, 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn oversized_declaration_is_typed_before_allocation() {
+        let header = data_header(1 << 20, 7);
+        let err = parse_data_header(&header, 1 << 10).unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::FrameTooLarge {
+                declared,
+                limit: 1024,
+            } if declared == 1 << 20
+        ));
+    }
+
+    #[test]
+    fn limit_is_inclusive() {
+        assert_eq!(check_frame_len(1024, 1024).unwrap(), 1024);
+        assert!(check_frame_len(1025, 1024).is_err());
+        assert_eq!(parse_frame_len(100u32.to_le_bytes(), 1024).unwrap(), 100);
+    }
+}

@@ -37,6 +37,8 @@ use std::net::TcpListener;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
+use crate::backend::{SocketTransport, TransportBackend, ENV_TRANSPORT};
+use crate::error::CommError;
 use crate::tcp::{TcpTransport, ENV_RANK, ENV_ROOT_ADDR, ENV_WORLD};
 use crate::topology::{Topology, ENV_NODE, ENV_NODES};
 
@@ -64,6 +66,12 @@ pub struct LaunchOptions {
     /// caller is a plain binary/example whose `main` re-enters the
     /// launcher on its own.
     pub test_harness: bool,
+    /// Socket backend for the ranks, exported as `SPARCML_TRANSPORT` so
+    /// [`run_socket_cluster`] workers (which bootstrap via
+    /// [`SocketTransport::from_env`]) pick it up. `None` exports nothing:
+    /// the ranks then follow whatever `SPARCML_TRANSPORT` is already set
+    /// in the environment, defaulting to TCP.
+    pub transport: Option<TransportBackend>,
     /// Node placement to pin on the cluster: every rank gets
     /// `SPARCML_NODES` (the full per-rank node map) and `SPARCML_NODE`
     /// (its own node id) in its environment, so rank programs can rebuild
@@ -81,6 +89,7 @@ impl Default for LaunchOptions {
             recv_timeout: None,
             connect_timeout: None,
             test_harness: false,
+            transport: None,
             topology: None,
             env: Vec::new(),
         }
@@ -113,6 +122,13 @@ impl LaunchOptions {
     /// Builder-style node placement (see [`LaunchOptions::topology`]).
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = Some(topology);
+        self
+    }
+
+    /// Builder-style socket-backend selection (see
+    /// [`LaunchOptions::transport`]).
+    pub fn with_transport(mut self, transport: TransportBackend) -> Self {
+        self.transport = Some(transport);
         self
     }
 }
@@ -160,9 +176,92 @@ where
     F: FnOnce(&mut TcpTransport) -> String,
 {
     let outcomes = run_tcp_cluster_outcomes(job, world, opts, f)?;
-    let mut results = Vec::with_capacity(world);
+    Some(require_success("tcp", job, &outcomes))
+}
+
+/// [`run_tcp_cluster`] without the success policy: returns every rank's
+/// [`RankOutcome`] so callers can assert on deliberate failures (e.g. a
+/// killed peer making the survivors error out).
+pub fn run_tcp_cluster_outcomes<F>(
+    job: &str,
+    world: usize,
+    opts: &LaunchOptions,
+    f: F,
+) -> Option<Vec<RankOutcome>>
+where
+    F: FnOnce(&mut TcpTransport) -> String,
+{
+    run_cluster_outcomes_with(job, world, opts, TcpTransport::from_env, f)
+}
+
+/// [`run_tcp_cluster`] on the backend-dispatched [`SocketTransport`]: the
+/// worker bootstraps via [`SocketTransport::from_env`], so which socket
+/// transport it runs on follows [`LaunchOptions::transport`] (or the
+/// `SPARCML_TRANSPORT` already in the environment). The rank program is
+/// written once and serves both backends.
+pub fn run_socket_cluster<F>(
+    job: &str,
+    world: usize,
+    opts: &LaunchOptions,
+    f: F,
+) -> Option<Vec<String>>
+where
+    F: FnOnce(&mut SocketTransport) -> String,
+{
+    let outcomes = run_socket_cluster_outcomes(job, world, opts, f)?;
+    Some(require_success("socket", job, &outcomes))
+}
+
+/// [`run_socket_cluster`] without the success policy.
+pub fn run_socket_cluster_outcomes<F>(
+    job: &str,
+    world: usize,
+    opts: &LaunchOptions,
+    f: F,
+) -> Option<Vec<RankOutcome>>
+where
+    F: FnOnce(&mut SocketTransport) -> String,
+{
+    run_cluster_outcomes_with(job, world, opts, SocketTransport::from_env, f)
+}
+
+/// Shared worker/orchestrator skeleton: `connect` is how a worker process
+/// joins the cluster from its environment.
+fn run_cluster_outcomes_with<T, C, F>(
+    job: &str,
+    world: usize,
+    opts: &LaunchOptions,
+    connect: C,
+    f: F,
+) -> Option<Vec<RankOutcome>>
+where
+    C: FnOnce() -> Result<T, CommError>,
+    F: FnOnce(&mut T) -> String,
+{
+    assert!(world > 0, "cluster needs at least one rank");
+    if let Ok(rank) = std::env::var(ENV_RANK) {
+        // Worker role: run the rank program and report over stdout.
+        match std::env::var(ENV_JOB) {
+            Ok(j) if j == job => {}
+            // Spawned for a different job — not ours to run.
+            _ => return None,
+        }
+        let mut tp =
+            connect().unwrap_or_else(|e| panic!("rank {rank} failed to join the cluster: {e}"));
+        let out = f(&mut tp);
+        drop(tp); // orderly teardown: drain queued frames, FIN, join I/O
+        println!("{RESULT_MARKER}{rank}:{}", to_hex(&out));
+        return None;
+    }
+    Some(orchestrate(job, world, opts))
+}
+
+/// Parent-side success policy: unwraps every rank's result or panics
+/// with the failing ranks' output.
+fn require_success(kind: &str, job: &str, outcomes: &[RankOutcome]) -> Vec<String> {
+    let mut results = Vec::with_capacity(outcomes.len());
     let mut failures = String::new();
-    for o in &outcomes {
+    for o in outcomes {
         if o.ok() {
             results.push(o.result.clone().expect("ok implies result"));
         } else {
@@ -181,39 +280,9 @@ where
         }
     }
     if !failures.is_empty() {
-        panic!("tcp cluster job '{job}' failed:{failures}");
+        panic!("{kind} cluster job '{job}' failed:{failures}");
     }
-    Some(results)
-}
-
-/// [`run_tcp_cluster`] without the success policy: returns every rank's
-/// [`RankOutcome`] so callers can assert on deliberate failures (e.g. a
-/// killed peer making the survivors error out).
-pub fn run_tcp_cluster_outcomes<F>(
-    job: &str,
-    world: usize,
-    opts: &LaunchOptions,
-    f: F,
-) -> Option<Vec<RankOutcome>>
-where
-    F: FnOnce(&mut TcpTransport) -> String,
-{
-    assert!(world > 0, "cluster needs at least one rank");
-    if let Ok(rank) = std::env::var(ENV_RANK) {
-        // Worker role: run the rank program and report over stdout.
-        match std::env::var(ENV_JOB) {
-            Ok(j) if j == job => {}
-            // Spawned for a different job — not ours to run.
-            _ => return None,
-        }
-        let mut tp = TcpTransport::from_env()
-            .unwrap_or_else(|e| panic!("rank {rank} failed to join the cluster: {e}"));
-        let out = f(&mut tp);
-        drop(tp); // orderly teardown: drain writers, FIN, join readers
-        println!("{RESULT_MARKER}{rank}:{}", to_hex(&out));
-        return None;
-    }
-    Some(orchestrate(job, world, opts))
+    results
 }
 
 /// Parent role: spawn one subprocess per rank, supervise with a hard
@@ -247,6 +316,9 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
             }
             if let Some(t) = opts.connect_timeout {
                 cmd.env("SPARCML_CONNECT_TIMEOUT_MS", t.as_millis().to_string());
+            }
+            if let Some(backend) = opts.transport {
+                cmd.env(ENV_TRANSPORT, backend.as_str());
             }
             if let Some(topo) = &opts.topology {
                 assert_eq!(

@@ -37,13 +37,19 @@
 
 #![warn(missing_docs)]
 
+mod backend;
+mod bootstrap;
 mod cluster;
 mod config;
 mod cost;
 mod endpoint;
 mod error;
+pub mod framing;
 mod group;
 pub mod launcher;
+mod mailbox;
+mod pool;
+mod reactor;
 mod stats;
 mod tags;
 mod tcp;
@@ -51,13 +57,21 @@ mod thread_transport;
 mod topology;
 mod transport;
 
+pub use backend::{SocketTransport, TransportBackend, ENV_TRANSPORT};
 pub use cluster::{max_virtual_time, run_cluster};
-pub use config::{TransportConfig, DEFAULT_MAX_FRAME_LEN, SERVER_MAX_FRAME_LEN};
+pub use config::{
+    TransportConfig, DEFAULT_MAX_EVENTS, DEFAULT_MAX_FRAME_LEN, DEFAULT_WRITE_BATCH_FRAMES,
+    SERVER_MAX_FRAME_LEN,
+};
 pub use cost::{CostModel, TopologyCostModel, ENV_COST_MODEL, ENV_COST_MODEL_INTRA};
 pub use endpoint::{standalone_endpoint, Endpoint, WireMsg};
 pub use error::CommError;
 pub use group::GroupTransport;
-pub use launcher::{run_tcp_cluster, run_tcp_cluster_outcomes, LaunchOptions, RankOutcome};
+pub use launcher::{
+    run_socket_cluster, run_socket_cluster_outcomes, run_tcp_cluster, run_tcp_cluster_outcomes,
+    LaunchOptions, RankOutcome,
+};
+pub use reactor::{run_reactor_loopback_cluster, standalone_reactor_transport, ReactorTransport};
 pub use stats::CommStats;
 pub use tags::{
     is_group_op, GroupTagSpace, TagBlock, TagBlockAllocator, GROUP_REGION_BIT, MAX_GROUP_DEPTH,

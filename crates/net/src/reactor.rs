@@ -1,0 +1,1018 @@
+//! Readiness-driven socket transport: one event loop per rank instead of
+//! a thread pair per peer.
+//!
+//! [`ReactorTransport`] speaks the exact same protocol as
+//! [`crate::TcpTransport`] — same rendezvous bootstrap, same full mesh,
+//! same `[len][tag][payload]` frames, same tag-matched [`Mailbox`]
+//! delivery, same typed failures — but replaces the `2·(P−1)` per-peer
+//! writer/reader threads with a **single** epoll-driven loop thread:
+//!
+//! * Every peer socket is nonblocking and registered level-triggered for
+//!   readability. A readable event drains the socket in a batch:
+//!   incremental header/payload reassembly carries partial frames across
+//!   wakeups, and each completed frame lands in the shared mailbox.
+//! * Sends enqueue onto a per-peer outbox guarded by a mutex; an eventfd
+//!   waker (with a dirty-flag so back-to-back sends coalesce into one
+//!   wakeup) nudges the loop, which drains outboxes with vectored writes
+//!   straight from the pooled payload buffers. `WouldBlock` parks the
+//!   frame at its partial-write offset and arms `EPOLLOUT` interest;
+//!   write interest is dropped again the moment the outbox runs dry, so
+//!   an idle mesh never spins.
+//! * Because the loop never blocks on any single socket, simultaneous
+//!   multi-megabyte exchanges interleave instead of deadlocking — the
+//!   same guarantee the per-peer writer threads provided, now from
+//!   readiness multiplexing.
+//! * Failure semantics match the threaded transport bit for bit: clean
+//!   close, mid-frame close, oversized declarations and I/O errors all
+//!   surface as the same [`CommError`] variants with the same
+//!   `close_reason` strings; a peer that stops reading trips a write
+//!   stall watchdog on the `recv_timeout` schedule.
+//!
+//! The payoff is thread scale: a P-rank single-host run needs ~2 threads
+//! per rank (main + reactor) instead of ~2·(P−1), which is what makes
+//! the P=64 loopback smoke test feasible at all. The loop also exports
+//! reactor-specific counters (`wakeups`, `partial_writes`,
+//! `read_batch_frames`) into [`CommStats`] for observability.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use epoll::{Events, Interest, Poller, Waker};
+
+use crate::bootstrap::{self, RootRendezvous};
+use crate::config::TransportConfig;
+use crate::cost::CostModel;
+use crate::error::CommError;
+use crate::framing::{self, DATA_HEADER_LEN};
+use crate::mailbox::{Event, Mailbox};
+use crate::pool::FramePool;
+use crate::stats::CommStats;
+use crate::transport::Transport;
+
+use crate::tcp::{ENV_RANK, ENV_ROOT_ADDR, ENV_WORLD};
+
+/// Poller token reserved for the eventfd waker (peer tokens are ranks,
+/// which never reach `u64::MAX`).
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Upper bound on one `epoll_wait` while writes are pending, so the
+/// write-stall watchdog gets a chance to run even if no event ever fires
+/// (a peer that stopped reading generates no readiness).
+const STALL_POLL: Duration = Duration::from_millis(100);
+
+/// Per-peer state shared between sender threads and the loop.
+struct PeerShared {
+    /// Frames queued for this peer, drained by the loop.
+    outbox: Mutex<VecDeque<(u64, Bytes)>>,
+    /// Set by the loop on failure so later sends fail fast.
+    dead: AtomicBool,
+}
+
+impl Default for PeerShared {
+    fn default() -> Self {
+        PeerShared {
+            outbox: Mutex::new(VecDeque::new()),
+            dead: AtomicBool::new(false),
+        }
+    }
+}
+
+/// State shared between the owning transport and the loop thread.
+struct Shared {
+    waker: Waker,
+    /// Per-peer outboxes; `None` at our own index.
+    peers: Vec<Option<PeerShared>>,
+    /// Orderly-teardown request: flush outboxes, FIN, exit.
+    shutdown: AtomicBool,
+    /// Send-side wakeup coalescing: set (with a wake) by the first sender
+    /// after the loop last drained, left alone by the rest.
+    dirty: AtomicBool,
+    /// Times the loop returned from `epoll_wait`.
+    wakeups: AtomicU64,
+    /// Write syscalls that moved fewer bytes than requested.
+    partial_writes: AtomicU64,
+    /// Complete frames delivered by readable-batch drains.
+    read_batch_frames: AtomicU64,
+}
+
+/// The owning side's handle to the loop thread.
+struct ReactorHandle {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = self.shared.waker.wake();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A frame currently being written to a peer, parked at `done` bytes
+/// whenever the socket pushes back.
+struct OutFrame {
+    header: [u8; DATA_HEADER_LEN],
+    payload: Bytes,
+    done: usize,
+}
+
+/// Loop-private per-peer I/O state: the socket plus incremental read
+/// (header/payload reassembly) and write (partial frame) cursors.
+struct PeerIo {
+    stream: TcpStream,
+    open: bool,
+    header: [u8; DATA_HEADER_LEN],
+    header_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    tag: u64,
+    in_payload: bool,
+    out_frame: Option<OutFrame>,
+    /// Whether `EPOLLOUT` interest is currently registered.
+    want_write: bool,
+    /// Set while writes are pending with zero progress; feeds the
+    /// write-stall watchdog.
+    stalled_since: Option<Instant>,
+}
+
+impl PeerIo {
+    fn new(stream: TcpStream) -> PeerIo {
+        PeerIo {
+            stream,
+            open: true,
+            header: [0u8; DATA_HEADER_LEN],
+            header_filled: 0,
+            payload: Vec::new(),
+            payload_filled: 0,
+            tag: 0,
+            in_payload: false,
+            out_frame: None,
+            want_write: false,
+            stalled_since: None,
+        }
+    }
+}
+
+fn raw_fd(stream: &TcpStream) -> epoll::RawFd {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        stream.as_raw_fd()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
+    }
+}
+
+/// Everything the loop thread owns.
+struct LoopCtx {
+    poller: Poller,
+    ios: Vec<Option<PeerIo>>,
+    shared: Arc<Shared>,
+    inbox: Sender<Event>,
+    pool: FramePool,
+    config: TransportConfig,
+}
+
+impl LoopCtx {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(self.config.max_events);
+        loop {
+            // Bound the wait only while writes are pending: that's the
+            // one state where progress can silently stop (a peer that
+            // quits reading produces no readiness event) and the stall
+            // watchdog below is the only way out.
+            let timeout = self.any_write_pending().then_some(STALL_POLL);
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                self.fail_all(format!("event loop poll failed: {e}"));
+                return;
+            }
+            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+            for ev in events.iter() {
+                if ev.token == WAKER_TOKEN {
+                    self.shared.waker.drain();
+                    continue;
+                }
+                let peer = ev.token as usize;
+                if ev.readable || ev.closed {
+                    self.handle_readable(peer);
+                }
+                if ev.writable {
+                    self.drain_writes(peer);
+                }
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                self.flush_and_fin();
+                return;
+            }
+            if self.shared.dirty.swap(false, Ordering::AcqRel) {
+                // Senders queued new frames since the last drain; try
+                // every peer with work (the common case is an empty
+                // kernel buffer accepting the whole frame right here,
+                // without ever arming EPOLLOUT).
+                for peer in 0..self.ios.len() {
+                    if self.peer_has_pending(peer) {
+                        self.drain_writes(peer);
+                    }
+                }
+            }
+            self.check_stalls();
+        }
+    }
+
+    fn any_write_pending(&self) -> bool {
+        self.ios
+            .iter()
+            .flatten()
+            .any(|io| io.open && (io.want_write || io.out_frame.is_some()))
+    }
+
+    fn peer_has_pending(&self, peer: usize) -> bool {
+        let Some(io) = self.ios[peer].as_ref() else {
+            return false;
+        };
+        if !io.open {
+            return false;
+        }
+        io.out_frame.is_some()
+            || self.shared.peers[peer]
+                .as_ref()
+                .is_some_and(|ps| !ps.outbox.lock().expect("outbox lock").is_empty())
+    }
+
+    /// Drains the readable socket: resumes any partial frame, then keeps
+    /// assembling complete frames into the mailbox until `WouldBlock`.
+    fn handle_readable(&mut self, peer: usize) {
+        let mut failure: Option<String> = None;
+        let mut frames = 0u64;
+        {
+            let io = match self.ios[peer].as_mut() {
+                Some(io) if io.open => io,
+                _ => return,
+            };
+            'drain: loop {
+                if !io.in_payload {
+                    while io.header_filled < DATA_HEADER_LEN {
+                        match io.stream.read(&mut io.header[io.header_filled..]) {
+                            Ok(0) => {
+                                failure = Some("peer closed the connection".into());
+                                break 'drain;
+                            }
+                            Ok(n) => io.header_filled += n,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'drain,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => {
+                                failure = Some(format!("read failed: {e}"));
+                                break 'drain;
+                            }
+                        }
+                    }
+                    match framing::parse_data_header(&io.header, self.config.max_frame_len) {
+                        Ok((len, tag)) => {
+                            io.tag = tag;
+                            io.payload = self.pool.acquire(len);
+                            io.payload_filled = 0;
+                            io.in_payload = true;
+                        }
+                        Err(e) => {
+                            failure = Some(e.to_string());
+                            break 'drain;
+                        }
+                    }
+                }
+                while io.payload_filled < io.payload.len() {
+                    match io.stream.read(&mut io.payload[io.payload_filled..]) {
+                        Ok(0) => {
+                            failure = Some(format!(
+                                "peer closed mid-frame (expected {} payload bytes)",
+                                io.payload.len()
+                            ));
+                            break 'drain;
+                        }
+                        Ok(n) => io.payload_filled += n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'drain,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            failure = Some(format!("read failed mid-frame: {e}"));
+                            break 'drain;
+                        }
+                    }
+                }
+                let payload = std::mem::take(&mut io.payload);
+                io.in_payload = false;
+                io.header_filled = 0;
+                io.payload_filled = 0;
+                frames += 1;
+                if self
+                    .inbox
+                    .send(Event::Msg {
+                        src: peer,
+                        tag: io.tag,
+                        payload: Bytes::from(payload),
+                    })
+                    .is_err()
+                {
+                    // Transport gone; nothing left to deliver to.
+                    break 'drain;
+                }
+            }
+        }
+        if frames > 0 {
+            self.shared
+                .read_batch_frames
+                .fetch_add(frames, Ordering::Relaxed);
+        }
+        if let Some(detail) = failure {
+            self.fail_peer(peer, detail);
+        }
+    }
+
+    /// Writes as much queued traffic to `peer` as the socket accepts:
+    /// finishes any parked partial frame, then pulls up to
+    /// `write_batch_frames` fresh frames from the outbox. Arms or disarms
+    /// `EPOLLOUT` interest to match whether anything remains.
+    fn drain_writes(&mut self, peer: usize) {
+        let mut failure: Option<String> = None;
+        {
+            let Some(ps) = self.shared.peers[peer].as_ref() else {
+                return;
+            };
+            let io = match self.ios[peer].as_mut() {
+                Some(io) if io.open => io,
+                _ => return,
+            };
+            let mut budget = self.config.write_batch_frames;
+            let mut progressed = false;
+            let mut blocked = false;
+            'frames: loop {
+                if io.out_frame.is_none() {
+                    if budget == 0 {
+                        break;
+                    }
+                    match ps.outbox.lock().expect("outbox lock").pop_front() {
+                        Some((tag, payload)) => {
+                            io.out_frame = Some(OutFrame {
+                                header: framing::data_header(payload.len(), tag),
+                                payload,
+                                done: 0,
+                            });
+                            budget -= 1;
+                        }
+                        None => break,
+                    }
+                }
+                let frame = io.out_frame.as_mut().expect("frame present");
+                let total = DATA_HEADER_LEN + frame.payload.len();
+                while frame.done < total {
+                    let result = if frame.done < DATA_HEADER_LEN {
+                        let bufs = [
+                            IoSlice::new(&frame.header[frame.done..]),
+                            IoSlice::new(&frame.payload),
+                        ];
+                        io.stream.write_vectored(&bufs)
+                    } else {
+                        io.stream
+                            .write(&frame.payload[frame.done - DATA_HEADER_LEN..])
+                    };
+                    match result {
+                        Ok(0) => {
+                            failure = Some("send failed: socket accepted zero bytes".into());
+                            break 'frames;
+                        }
+                        Ok(n) => {
+                            frame.done += n;
+                            progressed = true;
+                            if frame.done < total {
+                                self.shared.partial_writes.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            blocked = true;
+                            break 'frames;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            failure = Some(format!("send failed: {e}"));
+                            break 'frames;
+                        }
+                    }
+                }
+                let frame = io.out_frame.take().expect("frame present");
+                self.pool.reclaim(frame.payload);
+            }
+            if failure.is_none() {
+                let pending =
+                    io.out_frame.is_some() || !ps.outbox.lock().expect("outbox lock").is_empty();
+                if progressed || !pending {
+                    io.stalled_since = None;
+                } else if blocked && io.stalled_since.is_none() {
+                    io.stalled_since = Some(Instant::now());
+                }
+                if pending != io.want_write {
+                    let interest = if pending {
+                        Interest::BOTH
+                    } else {
+                        Interest::READABLE
+                    };
+                    match self
+                        .poller
+                        .modify(raw_fd(&io.stream), peer as u64, interest)
+                    {
+                        Ok(()) => io.want_write = pending,
+                        Err(e) => failure = Some(format!("event loop registration failed: {e}")),
+                    }
+                }
+            }
+        }
+        if let Some(detail) = failure {
+            self.fail_peer(peer, detail);
+        }
+    }
+
+    /// Marks `peer` unusable: future sends fail fast, its socket leaves
+    /// the poller, and the mailbox learns the close reason.
+    fn fail_peer(&mut self, peer: usize, detail: String) {
+        if let Some(ps) = self.shared.peers[peer].as_ref() {
+            ps.dead.store(true, Ordering::Release);
+            ps.outbox.lock().expect("outbox lock").clear();
+        }
+        if let Some(io) = self.ios[peer].as_mut() {
+            if io.open {
+                io.open = false;
+                let _ = self.poller.remove(raw_fd(&io.stream));
+                let _ = io.stream.shutdown(Shutdown::Both);
+            }
+            io.out_frame = None;
+            io.want_write = false;
+            io.stalled_since = None;
+        }
+        let _ = self.inbox.send(Event::Closed { src: peer, detail });
+    }
+
+    fn fail_all(&mut self, detail: String) {
+        for peer in 0..self.ios.len() {
+            if self.ios[peer].as_ref().is_some_and(|io| io.open) {
+                self.fail_peer(peer, detail.clone());
+            }
+        }
+    }
+
+    /// Fails peers whose pending writes made no progress for a full
+    /// `recv_timeout` — the write-side analogue of the receive watchdog,
+    /// matching the threaded transport's bounded `set_write_timeout`.
+    fn check_stalls(&mut self) {
+        let timeout = self.config.recv_timeout;
+        let stalled: Vec<usize> = self
+            .ios
+            .iter()
+            .enumerate()
+            .filter(|(_, io)| {
+                io.as_ref().is_some_and(|io| {
+                    io.open && io.stalled_since.is_some_and(|t| t.elapsed() > timeout)
+                })
+            })
+            .map(|(peer, _)| peer)
+            .collect();
+        for peer in stalled {
+            self.fail_peer(
+                peer,
+                format!("send failed: no write progress for {timeout:?} (peer wedged)"),
+            );
+        }
+    }
+
+    /// Orderly teardown (drop parity with the threaded transport): put
+    /// each socket back in blocking mode, flush the parked frame and the
+    /// whole outbox under a bounded write timeout, then send FIN so the
+    /// peer's read side observes a definite end-of-stream.
+    fn flush_and_fin(&mut self) {
+        for peer in 0..self.ios.len() {
+            let Some(ps) = self.shared.peers[peer].as_ref() else {
+                continue;
+            };
+            let Some(io) = self.ios[peer].as_mut() else {
+                continue;
+            };
+            if !io.open {
+                continue;
+            }
+            let _ = io.stream.set_nonblocking(false);
+            let _ = io.stream.set_write_timeout(Some(self.config.recv_timeout));
+            let mut ok = true;
+            if let Some(frame) = io.out_frame.take() {
+                ok = if frame.done < DATA_HEADER_LEN {
+                    io.stream.write_all(&frame.header[frame.done..]).is_ok()
+                        && io.stream.write_all(&frame.payload).is_ok()
+                } else {
+                    io.stream
+                        .write_all(&frame.payload[frame.done - DATA_HEADER_LEN..])
+                        .is_ok()
+                };
+            }
+            while ok {
+                let next = ps.outbox.lock().expect("outbox lock").pop_front();
+                let Some((tag, payload)) = next else { break };
+                let header = framing::data_header(payload.len(), tag);
+                ok = io.stream.write_all(&header).is_ok() && io.stream.write_all(&payload).is_ok();
+            }
+            let _ = io.stream.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// One rank's session in a real TCP communicator, served by a single
+/// readiness-driven event loop instead of per-peer I/O threads. Protocol,
+/// bootstrap, delivery semantics and failure model are identical to
+/// [`crate::TcpTransport`] (see the module docs for what differs under
+/// the hood).
+pub struct ReactorTransport {
+    rank: usize,
+    size: usize,
+    mailbox: Mailbox,
+    /// Cloned stream handles for fault injection (`send_raw`); `None` at
+    /// our own index.
+    raw_streams: Vec<Option<TcpStream>>,
+    /// Loop-thread handle; `None` for single-rank/standalone transports.
+    reactor: Option<ReactorHandle>,
+    epoch: Instant,
+    clock_offset: f64,
+    config: TransportConfig,
+    cost_hint: CostModel,
+    op_counter: u64,
+    stats: CommStats,
+    /// Loop counter values at the last `reset_clock`, so stats report
+    /// deltas per measurement window like every other counter.
+    counters_base: [u64; 3],
+}
+
+impl std::fmt::Debug for ReactorTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorTransport")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl ReactorTransport {
+    /// Joins (or, on rank 0, hosts) a `world`-rank cluster rendezvoused
+    /// at `root_addr` — same contract as [`crate::TcpTransport::rendezvous`];
+    /// the two transports are wire-compatible at bootstrap but a cluster
+    /// must run one kind end to end (frame flow control differs).
+    pub fn rendezvous(
+        rank: usize,
+        world: usize,
+        root_addr: &str,
+        cost_hint: CostModel,
+        config: TransportConfig,
+    ) -> Result<ReactorTransport, CommError> {
+        let root = RootRendezvous::for_rank(rank, root_addr);
+        ReactorTransport::rendezvous_inner(rank, world, root, cost_hint, config)
+    }
+
+    /// [`ReactorTransport::rendezvous`] bootstrapped from the same
+    /// `SPARCML_RANK` / `SPARCML_WORLD` / `SPARCML_ROOT_ADDR` environment
+    /// contract as [`crate::TcpTransport::from_env`], including the
+    /// [`TransportConfig::from_env`] and `SPARCML_COST_MODEL` overrides.
+    pub fn from_env() -> Result<ReactorTransport, CommError> {
+        let cost_hint = CostModel::from_env_or(CostModel::loopback_tcp())?;
+        ReactorTransport::from_env_with(cost_hint, TransportConfig::from_env()?)
+    }
+
+    /// [`ReactorTransport::from_env`] with an explicit planning hint and
+    /// config (the env-var overrides are *not* re-applied).
+    pub fn from_env_with(
+        cost_hint: CostModel,
+        config: TransportConfig,
+    ) -> Result<ReactorTransport, CommError> {
+        let rank = bootstrap::env_usize(ENV_RANK)?;
+        let world = bootstrap::env_usize(ENV_WORLD)?;
+        let root_addr = std::env::var(ENV_ROOT_ADDR).map_err(|_| {
+            CommError::Protocol(format!("{ENV_ROOT_ADDR} is not set — no rendezvous point"))
+        })?;
+        ReactorTransport::rendezvous(rank, world, &root_addr, cost_hint, config)
+    }
+
+    pub(crate) fn rendezvous_inner(
+        rank: usize,
+        world: usize,
+        root: RootRendezvous,
+        cost_hint: CostModel,
+        config: TransportConfig,
+    ) -> Result<ReactorTransport, CommError> {
+        if world == 0 || rank >= world {
+            return Err(CommError::InvalidRank { rank, size: world });
+        }
+        let mailbox = Mailbox::new(rank, world);
+        let mut transport = ReactorTransport {
+            rank,
+            size: world,
+            mailbox,
+            raw_streams: (0..world).map(|_| None).collect(),
+            reactor: None,
+            epoch: Instant::now(),
+            clock_offset: 0.0,
+            config,
+            cost_hint,
+            op_counter: 0,
+            stats: CommStats::default(),
+            counters_base: [0; 3],
+        };
+        if world == 1 {
+            return Ok(transport);
+        }
+        let streams = bootstrap::establish_mesh(rank, world, root, &transport.config)?;
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.add(waker.fd(), WAKER_TOKEN, Interest::READABLE)?;
+        let mut ios: Vec<Option<PeerIo>> = (0..world).map(|_| None).collect();
+        let mut peers: Vec<Option<PeerShared>> = (0..world).map(|_| None).collect();
+        for (peer, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            stream.set_nonblocking(true)?;
+            transport.raw_streams[peer] = Some(stream.try_clone()?);
+            poller.add(raw_fd(&stream), peer as u64, Interest::READABLE)?;
+            ios[peer] = Some(PeerIo::new(stream));
+            peers[peer] = Some(PeerShared::default());
+        }
+        let shared = Arc::new(Shared {
+            waker,
+            peers,
+            shutdown: AtomicBool::new(false),
+            dirty: AtomicBool::new(false),
+            wakeups: AtomicU64::new(0),
+            partial_writes: AtomicU64::new(0),
+            read_batch_frames: AtomicU64::new(0),
+        });
+        let ctx = LoopCtx {
+            poller,
+            ios,
+            shared: shared.clone(),
+            inbox: transport.mailbox.sender(),
+            pool: FramePool::default(),
+            config: transport.config.clone(),
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("sparcml-reactor-{rank}"))
+            .spawn(move || ctx.run())
+            .map_err(|e| CommError::Io(format!("failed to spawn reactor thread: {e}")))?;
+        transport.reactor = Some(ReactorHandle {
+            shared,
+            thread: Some(thread),
+        });
+        Ok(transport)
+    }
+
+    /// The watchdog/limit configuration this transport runs with.
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// Why the connection to `peer` ended, once it has — same reasons and
+    /// strings as [`crate::TcpTransport::close_reason`].
+    pub fn close_reason(&self, peer: usize) -> Option<&str> {
+        self.mailbox.close_reason(peer)
+    }
+
+    /// Overrides the receive watchdog after construction (mirrors
+    /// [`crate::TcpTransport::set_recv_deadline`]). The reactor loop keeps
+    /// its construction-time write-stall deadline.
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.config.recv_timeout = deadline;
+    }
+
+    /// Fault-injection hook for protocol tests: writes `bytes` to the
+    /// peer verbatim, bypassing framing and the event loop.
+    ///
+    /// Only meaningful while no regular `send` to the same peer is in
+    /// flight (writes would interleave). Not part of the stable API.
+    #[doc(hidden)]
+    pub fn send_raw(&mut self, dst: usize, bytes: &[u8]) -> Result<(), CommError> {
+        let stream =
+            self.raw_streams
+                .get(dst)
+                .and_then(|s| s.as_ref())
+                .ok_or(CommError::InvalidRank {
+                    rank: dst,
+                    size: self.size,
+                })?;
+        // The clone shares the loop's O_NONBLOCK flag, so a full socket
+        // buffer surfaces as WouldBlock here instead of blocking.
+        let mut stream: &TcpStream = stream;
+        let mut done = 0usize;
+        while done < bytes.len() {
+            match stream.write(&bytes[done..]) {
+                Ok(0) => {
+                    return Err(CommError::Io("socket accepted zero bytes".into()));
+                }
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Copies the loop's atomic counters into this window's stats.
+    fn sync_counters(&mut self) {
+        if let Some(handle) = &self.reactor {
+            let s = &handle.shared;
+            self.stats.wakeups = s
+                .wakeups
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.counters_base[0]);
+            self.stats.partial_writes = s
+                .partial_writes
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.counters_base[1]);
+            self.stats.read_batch_frames = s
+                .read_batch_frames
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.counters_base[2]);
+        }
+    }
+
+    fn push_msg(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        if dst >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: dst,
+                size: self.size,
+            });
+        }
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        if dst == self.rank {
+            return self.mailbox.push_self(tag, payload);
+        }
+        let handle = self.reactor.as_ref().expect("reactor running for size > 1");
+        let ps = handle.shared.peers[dst].as_ref().expect("non-self peer");
+        if ps.dead.load(Ordering::Acquire) {
+            return Err(CommError::PeerDisconnected { peer: dst });
+        }
+        ps.outbox
+            .lock()
+            .expect("outbox lock")
+            .push_back((tag, payload));
+        // First sender since the last drain wakes the loop; everyone else
+        // rides the same wakeup.
+        if !handle.shared.dirty.swap(true, Ordering::AcqRel) {
+            handle
+                .shared
+                .waker
+                .wake()
+                .map_err(|e| CommError::Io(format!("reactor wake failed: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost_hint
+    }
+
+    fn clock(&self) -> f64 {
+        self.elapsed() + self.clock_offset
+    }
+
+    fn advance_clock_to(&mut self, t: f64) {
+        let now = self.clock();
+        if t > now {
+            self.clock_offset += t - now;
+        }
+    }
+
+    fn charge_seconds(&mut self, seconds: f64) {
+        self.clock_offset += seconds;
+    }
+
+    fn compute(&mut self, elements: usize) {
+        // Work happens for real on this transport; only count it.
+        self.stats.compute_elements += elements as u64;
+    }
+
+    fn next_op_id(&mut self) -> u64 {
+        self.op_counter += 1;
+        self.stats.collectives += 1;
+        self.op_counter
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut CommStats {
+        self.sync_counters();
+        &mut self.stats
+    }
+
+    fn reset_clock(&mut self) {
+        self.epoch = Instant::now();
+        self.clock_offset = 0.0;
+        self.stats = CommStats::default();
+        if let Some(handle) = &self.reactor {
+            let s = &handle.shared;
+            self.counters_base = [
+                s.wakeups.load(Ordering::Relaxed),
+                s.partial_writes.load(Ordering::Relaxed),
+                s.read_batch_frames.load(Ordering::Relaxed),
+            ];
+        }
+    }
+
+    fn send(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        self.push_msg(dst, tag, payload)
+    }
+
+    fn isend(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        // Injection is enqueueing onto the loop's outbox; it never blocks
+        // on the socket, so send and isend coincide (as on TCP).
+        self.push_msg(dst, tag, payload)
+    }
+
+    fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
+        let out = self
+            .mailbox
+            .recv(src, tag, self.config.recv_timeout, &mut self.stats);
+        self.sync_counters();
+        out
+    }
+
+    fn recv_any(&mut self, tag: u64) -> Result<(usize, Bytes), CommError> {
+        let out = self
+            .mailbox
+            .recv_any(tag, self.config.recv_timeout, &mut self.stats);
+        self.sync_counters();
+        out
+    }
+
+    fn detach(&mut self) -> ReactorTransport {
+        std::mem::replace(self, standalone_reactor_transport())
+    }
+}
+
+/// Creates a disconnected single-rank reactor transport — the placeholder
+/// counterpart of [`crate::standalone_tcp_transport`]. No loop thread is
+/// spawned.
+pub fn standalone_reactor_transport() -> ReactorTransport {
+    ReactorTransport {
+        rank: 0,
+        size: 1,
+        mailbox: Mailbox::new(0, 1),
+        raw_streams: vec![None],
+        reactor: None,
+        epoch: Instant::now(),
+        clock_offset: 0.0,
+        config: TransportConfig::default(),
+        cost_hint: CostModel::zero(),
+        op_counter: 0,
+        stats: CommStats::default(),
+        counters_base: [0; 3],
+    }
+}
+
+/// Runs `f` once per rank of a real-socket loopback cluster on the
+/// reactor transport: `size` OS threads in this process, each with its
+/// own event loop, rendezvousing over `127.0.0.1`. The reactor
+/// counterpart of [`crate::run_tcp_loopback_cluster`].
+pub fn run_reactor_loopback_cluster<R, F>(
+    size: usize,
+    cost_hint: CostModel,
+    config: TransportConfig,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ReactorTransport) -> R + Sync,
+{
+    bootstrap::run_loopback_cluster_with(
+        size,
+        |rank, root| {
+            ReactorTransport::rendezvous_inner(rank, size, root, cost_hint, config.clone())
+        },
+        f,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> TransportConfig {
+        TransportConfig::default()
+            .with_recv_timeout(Duration::from_secs(10))
+            .with_connect_timeout(Duration::from_secs(10))
+    }
+
+    #[test]
+    fn exchange_between_reactor_sockets() {
+        let results = run_reactor_loopback_cluster(4, CostModel::zero(), quick_config(), |tp| {
+            let peer = tp.rank() ^ 1;
+            let got = tp
+                .exchange(peer, 7, Bytes::from(vec![tp.rank() as u8]))
+                .unwrap();
+            got[0] as usize
+        });
+        assert_eq!(results, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn large_simultaneous_exchange_does_not_deadlock() {
+        // Both sides enqueue multi-megabyte frames before either reads:
+        // the loop must interleave partial writes with reads (a blocking
+        // write here would deadlock once the kernel buffers fill).
+        let payload_len = 8 << 20;
+        let results =
+            run_reactor_loopback_cluster(2, CostModel::zero(), quick_config(), move |tp| {
+                let peer = 1 - tp.rank();
+                let payload = Bytes::from(vec![tp.rank() as u8; payload_len]);
+                let got = tp.exchange(peer, 77, payload).unwrap();
+                got.len() == payload_len && got.as_ref().iter().all(|&b| b as usize == peer)
+            });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn reactor_counters_reach_stats() {
+        let stats = run_reactor_loopback_cluster(2, CostModel::zero(), quick_config(), |tp| {
+            let peer = 1 - tp.rank();
+            let _ = tp.exchange(peer, 1, Bytes::from(vec![0u8; 64])).unwrap();
+            // The loop bumps its frame counter just after delivery, so
+            // the recv can beat the fetch_add; wait the race out.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while tp.stats_mut().read_batch_frames < 1 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            tp.stats_mut().clone()
+        });
+        for s in stats {
+            assert_eq!(s.msgs_sent, 1);
+            assert_eq!(s.msgs_recv, 1);
+            assert!(s.wakeups > 0, "loop must have woken at least once");
+            assert!(
+                s.read_batch_frames >= 1,
+                "the received frame must be counted"
+            );
+        }
+    }
+
+    #[test]
+    fn finished_peer_surfaces_as_disconnect() {
+        let results = run_reactor_loopback_cluster(2, CostModel::zero(), quick_config(), |tp| {
+            if tp.rank() == 0 {
+                // Exit immediately: the reactor teardown sends FIN.
+                String::new()
+            } else {
+                let err = tp.recv(0, 5).unwrap_err();
+                err.to_string()
+            }
+        });
+        assert!(results[1].contains("disconnected"), "got: {}", results[1]);
+    }
+
+    #[test]
+    fn detach_leaves_placeholder() {
+        let results = run_reactor_loopback_cluster(2, CostModel::zero(), quick_config(), |tp| {
+            let real = tp.detach();
+            let placeholder = (tp.rank(), tp.size());
+            *tp = real;
+            (placeholder, tp.rank())
+        });
+        assert_eq!(results[1], ((0, 1), 1));
+    }
+
+    #[test]
+    fn single_rank_world_needs_no_loop() {
+        let mut tp = standalone_reactor_transport();
+        tp.send(0, 1, Bytes::from_static(b"self")).unwrap();
+        assert_eq!(tp.recv(0, 1).unwrap().as_ref(), b"self");
+        assert!(tp.reactor.is_none());
+    }
+}

@@ -24,6 +24,16 @@ pub struct CommStats {
     /// How many of those acquisitions reused a pooled allocation instead
     /// of allocating fresh.
     pub pool_reuses: u64,
+    /// Event-loop wakeups (`epoll_wait` returns) on the reactor
+    /// transport; thread-per-peer transports report zero.
+    pub wakeups: u64,
+    /// Write syscalls that moved fewer bytes than requested (socket
+    /// backpressure observed by the reactor's nonblocking writes).
+    pub partial_writes: u64,
+    /// Complete frames delivered by the reactor's readable-batch drains —
+    /// `read_batch_frames / wakeups` approximates frames amortized per
+    /// wakeup.
+    pub read_batch_frames: u64,
 }
 
 impl CommStats {
@@ -37,6 +47,9 @@ impl CommStats {
         self.collectives += other.collectives;
         self.pool_acquires += other.pool_acquires;
         self.pool_reuses += other.pool_reuses;
+        self.wakeups += other.wakeups;
+        self.partial_writes += other.partial_writes;
+        self.read_batch_frames += other.read_batch_frames;
     }
 
     /// Fraction of buffer acquisitions served from the pool (`0.0` when
@@ -73,6 +86,11 @@ impl CommStats {
             collectives: self.collectives.saturating_sub(baseline.collectives),
             pool_acquires: self.pool_acquires.saturating_sub(baseline.pool_acquires),
             pool_reuses: self.pool_reuses.saturating_sub(baseline.pool_reuses),
+            wakeups: self.wakeups.saturating_sub(baseline.wakeups),
+            partial_writes: self.partial_writes.saturating_sub(baseline.partial_writes),
+            read_batch_frames: self
+                .read_batch_frames
+                .saturating_sub(baseline.read_batch_frames),
         }
     }
 
@@ -84,7 +102,7 @@ impl CommStats {
     /// Counter names and values in a fixed order — the single source of
     /// truth behind [`CommStats::render_text`] and
     /// [`CommStats::render_json`], so the two renderings can never drift.
-    fn fields(&self) -> [(&'static str, u64); 8] {
+    fn fields(&self) -> [(&'static str, u64); 11] {
         [
             ("msgs_sent", self.msgs_sent),
             ("bytes_sent", self.bytes_sent),
@@ -94,6 +112,9 @@ impl CommStats {
             ("collectives", self.collectives),
             ("pool_acquires", self.pool_acquires),
             ("pool_reuses", self.pool_reuses),
+            ("wakeups", self.wakeups),
+            ("partial_writes", self.partial_writes),
+            ("read_batch_frames", self.read_batch_frames),
         ]
     }
 
@@ -139,6 +160,9 @@ mod tests {
             collectives: 3,
             pool_acquires: 8,
             pool_reuses: 6,
+            wakeups: 12,
+            partial_writes: 4,
+            read_batch_frames: 7,
         }
     }
 
@@ -159,6 +183,9 @@ mod tests {
         assert_eq!(a.bytes_recv, 40);
         assert_eq!(a.compute_elements, 10);
         assert_eq!(a.collectives, 6);
+        assert_eq!(a.wakeups, 24);
+        assert_eq!(a.partial_writes, 8);
+        assert_eq!(a.read_batch_frames, 14);
     }
 
     #[test]
@@ -175,8 +202,11 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("msgs_sent 1\n"));
         assert!(text.contains("bytes_recv 20\n"));
+        assert!(text.contains("wakeups 12\n"));
+        assert!(text.contains("partial_writes 4\n"));
+        assert!(text.contains("read_batch_frames 7\n"));
         assert!(text.contains("pool_reuse_rate 0.7500\n"));
-        assert_eq!(text.lines().count(), 9);
+        assert_eq!(text.lines().count(), 12);
     }
 
     #[test]
@@ -185,6 +215,9 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"msgs_sent\":1"));
         assert!(json.contains("\"pool_acquires\":8"));
+        assert!(json.contains("\"wakeups\":12"));
+        assert!(json.contains("\"partial_writes\":4"));
+        assert!(json.contains("\"read_batch_frames\":7"));
         assert!(json.contains("\"pool_reuse_rate\":0.7500"));
         assert!(!json.contains(",}"), "no trailing comma: {json}");
     }

@@ -12,16 +12,20 @@
 //!   full `(rank → addr)` table back. The mesh is then built
 //!   *deterministically*: each rank dials every lower rank and accepts
 //!   one connection from every higher rank, with an ID frame resolving
-//!   accept-order races.
+//!   accept-order races. (Shared with [`crate::ReactorTransport`] — see
+//!   `bootstrap.rs`.)
 //! * **Framing** — data messages are length-prefixed
-//!   (`[len: u32][tag: u64][payload]`). Sends are vectored writes of the
-//!   12-byte header next to the pooled payload buffer (no staging copy);
-//!   receives are exact-size reads into `Vec<u8>`s recycled through a
-//!   shared [`FramePool`] that is refilled by completed sends.
+//!   (`[len: u32][tag: u64][payload]`, see [`crate::framing`]). Sends are
+//!   vectored writes of the 12-byte header next to the pooled payload
+//!   buffer (no staging copy); receives are exact-size reads into
+//!   `Vec<u8>`s recycled through a shared frame pool that is refilled by
+//!   completed sends.
 //! * **Per-peer I/O threads** — each connection gets a writer thread (so
 //!   `send`/`isend` never block the schedule, matching the channel
 //!   transports and keeping simultaneous large exchanges deadlock-free)
-//!   and a reader thread feeding one tag-matched inbox.
+//!   and a reader thread feeding one tag-matched inbox. This is the
+//!   thread-per-peer design point; [`crate::ReactorTransport`] carries
+//!   the same protocol on a single event loop.
 //! * **Failure model** — a peer closing its socket (cleanly or mid-frame)
 //!   surfaces as [`CommError::PeerDisconnected`]; silence beyond the
 //!   configured watchdog surfaces as [`CommError::Timeout`]; handshake
@@ -35,110 +39,27 @@
 //! the [`crate::launcher`] sets for spawned rank subprocesses and what a
 //! manual multi-machine run exports by hand.
 
-use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::bootstrap::{self, RootRendezvous};
 use crate::config::TransportConfig;
 use crate::cost::CostModel;
 use crate::error::CommError;
+use crate::framing::{self, DATA_HEADER_LEN};
+use crate::mailbox::{Event, Mailbox};
+use crate::pool::FramePool;
 use crate::stats::CommStats;
 use crate::transport::Transport;
 
-/// Version of the TCP bootstrap + framing protocol. Bumped together with
-/// the wire codec so mismatched builds refuse to form a cluster instead
-/// of mis-decoding each other's slabs.
-pub const TCP_PROTOCOL_VERSION: u16 = 2;
-
-/// `"SPCM"` — first bytes of every handshake frame.
-const MAGIC: u32 = 0x5350_434d;
-
-/// Data frame header: `[len: u32 LE][tag: u64 LE]`.
-const DATA_HEADER_LEN: usize = 12;
-
-/// Frame buffers retained for reuse; beyond this, returned buffers drop.
-const MAX_POOLED_FRAMES: usize = 32;
-
-/// Back-off between dial attempts while a listener is still coming up.
-const DIAL_RETRY: Duration = Duration::from_millis(10);
-
-/// Environment variable carrying this process's rank.
-pub const ENV_RANK: &str = "SPARCML_RANK";
-/// Environment variable carrying the cluster size.
-pub const ENV_WORLD: &str = "SPARCML_WORLD";
-/// Environment variable carrying rank 0's rendezvous address.
-pub const ENV_ROOT_ADDR: &str = "SPARCML_ROOT_ADDR";
-
-/// Shared pool of receive/send frame allocations.
-///
-/// Reader threads acquire exact-size buffers from it; writer threads
-/// reclaim each sent payload's allocation once the bytes are on the wire
-/// (the transport is the sole owner of a sent frame in the steady state),
-/// so one collective's send buffers become the next round's receive
-/// buffers without touching the allocator.
-#[derive(Clone, Debug, Default)]
-struct FramePool(Arc<Mutex<Vec<Vec<u8>>>>);
-
-impl FramePool {
-    /// Hands out an initialized buffer of exactly `len` bytes, reusing a
-    /// pooled allocation when one is available. Recycled buffers keep
-    /// their (stale but initialized) contents — callers fully overwrite
-    /// them with `read_exact` — so the hot receive path skips the
-    /// whole-buffer memset a `resize` from empty would pay.
-    fn acquire(&self, len: usize) -> Vec<u8> {
-        let mut buf = self
-            .0
-            .lock()
-            .expect("frame pool lock")
-            .pop()
-            .unwrap_or_default();
-        if buf.len() >= len {
-            buf.truncate(len);
-        } else {
-            buf.resize(len, 0);
-        }
-        buf
-    }
-
-    /// Returns an allocation to the pool (dropped beyond the cap).
-    fn reclaim_vec(&self, buf: Vec<u8>) {
-        if buf.capacity() == 0 {
-            return;
-        }
-        let mut free = self.0.lock().expect("frame pool lock");
-        if free.len() < MAX_POOLED_FRAMES {
-            free.push(buf);
-        }
-    }
-
-    /// Reclaims a sent frame: zero-copy when the writer is the sole owner
-    /// of the `Bytes` (the common case — the collective moved its pooled
-    /// encode buffer onto the wire), a copy otherwise.
-    fn reclaim(&self, payload: Bytes) {
-        self.reclaim_vec(Vec::from(payload));
-    }
-}
-
-/// What reader threads feed into the transport's single inbox.
-#[derive(Debug)]
-enum Event {
-    /// A complete data frame arrived from `src`.
-    Msg {
-        src: usize,
-        tag: u64,
-        payload: Bytes,
-    },
-    /// The connection to `src` is unusable (clean close, mid-frame close,
-    /// oversized declaration, or an I/O error on either direction).
-    Closed { src: usize, detail: String },
-}
+pub use crate::bootstrap::{ENV_RANK, ENV_ROOT_ADDR, ENV_WORLD, TCP_PROTOCOL_VERSION};
 
 /// One live peer connection: its writer-thread outbox, failure flag, and
 /// the handles needed for an orderly teardown.
@@ -219,9 +140,7 @@ fn writer_loop(
     pool: FramePool,
 ) {
     while let Ok((tag, payload)) = rx.recv() {
-        let mut header = [0u8; DATA_HEADER_LEN];
-        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        header[4..].copy_from_slice(&tag.to_le_bytes());
+        let header = framing::data_header(payload.len(), tag);
         if let Err(e) = write_frame(&mut stream, &header, &payload) {
             dead.store(true, Ordering::Release);
             let _ = inbox.send(Event::Closed {
@@ -259,19 +178,14 @@ fn reader_loop(
             });
             return;
         }
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let tag = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
-        if len > max_frame {
-            close(
-                CommError::FrameTooLarge {
-                    declared: len,
-                    limit: max_frame,
-                }
-                .to_string(),
-            );
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
-        }
+        let (len, tag) = match framing::parse_data_header(&header, max_frame) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                close(e.to_string());
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
         // Exact-size read into a pool-recycled buffer; `read_exact` keeps
         // going across short reads until the whole frame is assembled.
         let mut buf = pool.acquire(len);
@@ -321,182 +235,6 @@ fn write_frame(
     Ok(())
 }
 
-// ---------------------------------------------------------------------------
-// Handshake frames
-// ---------------------------------------------------------------------------
-
-fn check_magic_version(magic: u32, version: u16) -> Result<(), CommError> {
-    if magic != MAGIC {
-        return Err(CommError::HandshakeMismatch {
-            detail: format!("bad protocol magic {magic:#010x} (expected {MAGIC:#010x})"),
-        });
-    }
-    if version != TCP_PROTOCOL_VERSION {
-        return Err(CommError::HandshakeMismatch {
-            detail: format!(
-                "protocol version {version} (this build speaks {TCP_PROTOCOL_VERSION})"
-            ),
-        });
-    }
-    Ok(())
-}
-
-fn read_exact_vec(stream: &mut TcpStream, n: usize) -> io::Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    stream.read_exact(&mut buf)?;
-    Ok(buf)
-}
-
-/// Peer → root: `[magic][version][world: u32][rank: u32][addr_len: u16][addr]`.
-fn write_hello(stream: &mut TcpStream, rank: usize, world: usize, addr: &str) -> io::Result<()> {
-    let addr = addr.as_bytes();
-    let mut buf = Vec::with_capacity(16 + addr.len());
-    buf.extend_from_slice(&MAGIC.to_le_bytes());
-    buf.extend_from_slice(&TCP_PROTOCOL_VERSION.to_le_bytes());
-    buf.extend_from_slice(&(world as u32).to_le_bytes());
-    buf.extend_from_slice(&(rank as u32).to_le_bytes());
-    buf.extend_from_slice(&(addr.len() as u16).to_le_bytes());
-    buf.extend_from_slice(addr);
-    stream.write_all(&buf)
-}
-
-fn read_hello(stream: &mut TcpStream, world: usize) -> Result<(usize, String), CommError> {
-    let head = read_exact_vec(stream, 16)?;
-    let magic = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
-    let version = u16::from_le_bytes(head[4..6].try_into().expect("2 bytes"));
-    check_magic_version(magic, version)?;
-    let peer_world = u32::from_le_bytes(head[6..10].try_into().expect("4 bytes")) as usize;
-    if peer_world != world {
-        return Err(CommError::HandshakeMismatch {
-            detail: format!("cluster size {peer_world} (this cluster has {world} ranks)"),
-        });
-    }
-    let rank = u32::from_le_bytes(head[10..14].try_into().expect("4 bytes")) as usize;
-    let addr_len = u16::from_le_bytes(head[14..16].try_into().expect("2 bytes")) as usize;
-    let addr = String::from_utf8(read_exact_vec(stream, addr_len)?).map_err(|_| {
-        CommError::HandshakeMismatch {
-            detail: "peer address is not valid UTF-8".into(),
-        }
-    })?;
-    Ok((rank, addr))
-}
-
-/// Root → peers: `[magic][version][world: u32]([addr_len: u16][addr])*world`.
-fn encode_table(addrs: &[String]) -> Vec<u8> {
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&MAGIC.to_le_bytes());
-    buf.extend_from_slice(&TCP_PROTOCOL_VERSION.to_le_bytes());
-    buf.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
-    for addr in addrs {
-        buf.extend_from_slice(&(addr.len() as u16).to_le_bytes());
-        buf.extend_from_slice(addr.as_bytes());
-    }
-    buf
-}
-
-fn read_table(stream: &mut TcpStream, world: usize) -> Result<Vec<String>, CommError> {
-    let head = read_exact_vec(stream, 10)?;
-    let magic = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
-    let version = u16::from_le_bytes(head[4..6].try_into().expect("2 bytes"));
-    check_magic_version(magic, version)?;
-    let table_world = u32::from_le_bytes(head[6..10].try_into().expect("4 bytes")) as usize;
-    if table_world != world {
-        return Err(CommError::HandshakeMismatch {
-            detail: format!("address table for {table_world} ranks (expected {world})"),
-        });
-    }
-    let mut addrs = Vec::with_capacity(world);
-    for _ in 0..world {
-        let len_bytes = read_exact_vec(stream, 2)?;
-        let len = u16::from_le_bytes(len_bytes[..].try_into().expect("2 bytes")) as usize;
-        let addr = String::from_utf8(read_exact_vec(stream, len)?).map_err(|_| {
-            CommError::HandshakeMismatch {
-                detail: "table address is not valid UTF-8".into(),
-            }
-        })?;
-        addrs.push(addr);
-    }
-    Ok(addrs)
-}
-
-/// Mesh dialer → listener: `[magic][version][rank: u32]`.
-fn write_id_frame(stream: &mut TcpStream, rank: usize) -> io::Result<()> {
-    let mut buf = [0u8; 10];
-    buf[..4].copy_from_slice(&MAGIC.to_le_bytes());
-    buf[4..6].copy_from_slice(&TCP_PROTOCOL_VERSION.to_le_bytes());
-    buf[6..].copy_from_slice(&(rank as u32).to_le_bytes());
-    stream.write_all(&buf)
-}
-
-fn read_id_frame(stream: &mut TcpStream) -> Result<usize, CommError> {
-    let buf = read_exact_vec(stream, 10)?;
-    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-    let version = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
-    check_magic_version(magic, version)?;
-    Ok(u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes")) as usize)
-}
-
-// ---------------------------------------------------------------------------
-// Bootstrap plumbing
-// ---------------------------------------------------------------------------
-
-/// How this rank reaches the rendezvous point.
-enum RootRendezvous {
-    /// Rank 0 with an address to bind.
-    Bind(String),
-    /// Rank 0 with a pre-bound listener (in-process loopback clusters —
-    /// avoids the bind/re-bind race on ephemeral ports).
-    Listener(TcpListener),
-    /// Every other rank: the address to dial.
-    Dial(String),
-}
-
-fn dial_with_retry(addr: &str, deadline: Instant) -> Result<TcpStream, CommError> {
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => {
-                if Instant::now() >= deadline {
-                    return Err(CommError::Io(format!(
-                        "connecting to {addr} until deadline: {e}"
-                    )));
-                }
-                std::thread::sleep(DIAL_RETRY);
-            }
-        }
-    }
-}
-
-fn accept_with_deadline(
-    listener: &TcpListener,
-    deadline: Instant,
-    waiting_for: &str,
-) -> Result<TcpStream, CommError> {
-    listener.set_nonblocking(true)?;
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                listener.set_nonblocking(false)?;
-                stream.set_nonblocking(false)?;
-                return Ok(stream);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(CommError::Io(format!(
-                        "timed out accepting {waiting_for} connection(s)"
-                    )));
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The transport
-// ---------------------------------------------------------------------------
-
 /// One rank's session in a real TCP communicator: a full mesh of
 /// persistent connections carrying tagged, length-prefixed frames, with
 /// per-peer writer/reader threads and wall-clock time (see the module
@@ -506,15 +244,7 @@ pub struct TcpTransport {
     size: usize,
     /// Per-peer connections; `None` at our own index.
     links: Vec<Option<PeerLink>>,
-    inbox: Receiver<Event>,
-    /// Loopback sender: self-sends, and it keeps the inbox connected.
-    loopback: Sender<Event>,
-    /// Out-of-order buffer for messages received before they were asked
-    /// for, keyed `(src, tag)` — identical matching semantics to
-    /// [`crate::ThreadTransport`].
-    pending: HashMap<(usize, u64), VecDeque<Bytes>>,
-    /// Close reason per peer, once its connection ended.
-    closed: Vec<Option<String>>,
+    mailbox: Mailbox,
     epoch: Instant,
     clock_offset: f64,
     config: TransportConfig,
@@ -549,11 +279,7 @@ impl TcpTransport {
         cost_hint: CostModel,
         config: TransportConfig,
     ) -> Result<TcpTransport, CommError> {
-        let root = if rank == 0 {
-            RootRendezvous::Bind(root_addr.to_string())
-        } else {
-            RootRendezvous::Dial(root_addr.to_string())
-        };
+        let root = RootRendezvous::for_rank(rank, root_addr);
         TcpTransport::rendezvous_inner(rank, world, root, cost_hint, config)
     }
 
@@ -571,7 +297,7 @@ impl TcpTransport {
     ///   selector real link parameters without recompiling.
     pub fn from_env() -> Result<TcpTransport, CommError> {
         let cost_hint = CostModel::from_env_or(CostModel::loopback_tcp())?;
-        TcpTransport::from_env_with(cost_hint, TransportConfig::from_env())
+        TcpTransport::from_env_with(cost_hint, TransportConfig::from_env()?)
     }
 
     /// [`TcpTransport::from_env`] with an explicit planning hint and
@@ -580,15 +306,15 @@ impl TcpTransport {
         cost_hint: CostModel,
         config: TransportConfig,
     ) -> Result<TcpTransport, CommError> {
-        let rank = env_usize(ENV_RANK)?;
-        let world = env_usize(ENV_WORLD)?;
+        let rank = bootstrap::env_usize(ENV_RANK)?;
+        let world = bootstrap::env_usize(ENV_WORLD)?;
         let root_addr = std::env::var(ENV_ROOT_ADDR).map_err(|_| {
             CommError::Protocol(format!("{ENV_ROOT_ADDR} is not set — no rendezvous point"))
         })?;
         TcpTransport::rendezvous(rank, world, &root_addr, cost_hint, config)
     }
 
-    fn rendezvous_inner(
+    pub(crate) fn rendezvous_inner(
         rank: usize,
         world: usize,
         root: RootRendezvous,
@@ -598,81 +324,30 @@ impl TcpTransport {
         if world == 0 || rank >= world {
             return Err(CommError::InvalidRank { rank, size: world });
         }
-        let (loopback, inbox) = unbounded::<Event>();
         let mut transport = TcpTransport {
             rank,
             size: world,
             links: (0..world).map(|_| None).collect(),
-            inbox,
-            loopback,
-            pending: HashMap::new(),
-            closed: vec![None; world],
+            mailbox: Mailbox::new(rank, world),
             epoch: Instant::now(),
             clock_offset: 0.0,
             config,
             cost_hint,
             op_counter: 0,
             stats: CommStats::default(),
-
             pool: FramePool::default(),
         };
         if world == 1 {
             return Ok(transport);
         }
-        let deadline = Instant::now() + transport.config.connect_timeout;
-
-        // Phase 1: rendezvous — learn every rank's mesh address.
-        let (mesh_listener, addrs) = match root {
-            RootRendezvous::Bind(addr) => {
-                let listener = TcpListener::bind(&addr)
-                    .map_err(|e| CommError::Io(format!("binding rendezvous {addr}: {e}")))?;
-                root_collect_addrs(&listener, world, deadline, &transport.config)?
-            }
-            RootRendezvous::Listener(listener) => {
-                root_collect_addrs(&listener, world, deadline, &transport.config)?
-            }
-            RootRendezvous::Dial(root_addr) => {
-                peer_fetch_addrs(rank, world, &root_addr, deadline, &transport.config)?
-            }
-        };
-
-        // Phase 2: deterministic mesh — dial lower ranks, accept higher
-        // ones, each connection labelled by an ID frame.
-        let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
-        for (peer, addr) in addrs.iter().enumerate().take(rank) {
-            let mut stream = dial_with_retry(addr, deadline)?;
-            stream.set_nodelay(true)?;
-            write_id_frame(&mut stream, rank)?;
-            streams[peer] = Some(stream);
-        }
-        for _ in rank + 1..world {
-            let mut stream = accept_with_deadline(&mesh_listener, deadline, "mesh")?;
-            stream.set_read_timeout(Some(transport.config.connect_timeout))?;
-            let peer = read_id_frame(&mut stream)?;
-            if peer <= rank || peer >= world {
-                return Err(CommError::HandshakeMismatch {
-                    detail: format!(
-                        "mesh connection claims rank {peer}, expected ({rank}, {world})"
-                    ),
-                });
-            }
-            if streams[peer].is_some() {
-                return Err(CommError::HandshakeMismatch {
-                    detail: format!("rank {peer} connected twice"),
-                });
-            }
-            stream.set_read_timeout(None)?;
-            streams[peer] = Some(stream);
-        }
-        drop(mesh_listener);
-
-        // Phase 3: hand each connection to its I/O threads.
+        let streams = bootstrap::establish_mesh(rank, world, root, &transport.config)?;
+        // Hand each connection to its I/O threads.
         for (peer, stream) in streams.into_iter().enumerate() {
             if let Some(stream) = stream {
                 transport.links[peer] = Some(PeerLink::spawn(
                     peer,
                     stream,
-                    transport.loopback.clone(),
+                    transport.mailbox.sender(),
                     transport.pool.clone(),
                     &transport.config,
                 )?);
@@ -690,7 +365,7 @@ impl TcpTransport {
     /// error handling and tests): clean close, mid-frame close, oversized
     /// frame declaration, or an I/O error.
     pub fn close_reason(&self, peer: usize) -> Option<&str> {
-        self.closed.get(peer).and_then(|c| c.as_deref())
+        self.mailbox.close_reason(peer)
     }
 
     /// Overrides the receive watchdog after construction (mirrors
@@ -722,58 +397,6 @@ impl TcpTransport {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    fn accept(&mut self, payload: Bytes) -> Bytes {
-        self.stats.msgs_recv += 1;
-        self.stats.bytes_recv += payload.len() as u64;
-        payload
-    }
-
-    /// Blocks for the next inbox event, bounded by the remaining watchdog
-    /// budget (measured from `started`, when the receive began).
-    fn next_event(
-        &self,
-        started: Instant,
-        deadline: Instant,
-        waiting_on: usize,
-    ) -> Result<Event, CommError> {
-        let budget = deadline.saturating_duration_since(Instant::now());
-        match self.inbox.recv_timeout(budget) {
-            Ok(event) => Ok(event),
-            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
-                peer: waiting_on,
-                waited: started.elapsed(),
-            }),
-            // Unreachable in practice: we hold a loopback sender.
-            Err(RecvTimeoutError::Disconnected) => {
-                Err(CommError::PeerDisconnected { peer: waiting_on })
-            }
-        }
-    }
-
-    /// Records one inbox event: close notices update `closed`, messages
-    /// carrying `tag` are returned, everything else is buffered into
-    /// `pending` for later matching.
-    fn note_event(&mut self, event: Event, tag: u64) -> Option<(usize, Bytes)> {
-        match event {
-            Event::Msg {
-                src,
-                tag: t,
-                payload,
-            } => {
-                if t == tag {
-                    return Some((src, self.accept(payload)));
-                }
-                self.pending.entry((src, t)).or_default().push_back(payload);
-            }
-            Event::Closed { src, detail } => {
-                if self.closed[src].is_none() {
-                    self.closed[src] = Some(detail);
-                }
-            }
-        }
-        None
-    }
-
     fn push_msg(&mut self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
         if dst >= self.size {
             return Err(CommError::InvalidRank {
@@ -784,14 +407,7 @@ impl TcpTransport {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
         if dst == self.rank {
-            return self
-                .loopback
-                .send(Event::Msg {
-                    src: dst,
-                    tag,
-                    payload,
-                })
-                .map_err(|_| CommError::PeerDisconnected { peer: dst });
+            return self.mailbox.push_self(tag, payload);
         }
         let link = self.links[dst].as_ref().expect("non-self link present");
         if link.dead.load(Ordering::Acquire) {
@@ -804,81 +420,6 @@ impl TcpTransport {
             None => Err(CommError::PeerDisconnected { peer: dst }),
         }
     }
-}
-
-fn env_usize(var: &str) -> Result<usize, CommError> {
-    std::env::var(var)
-        .map_err(|_| CommError::Protocol(format!("{var} is not set")))?
-        .trim()
-        .parse::<usize>()
-        .map_err(|_| CommError::Protocol(format!("{var} is not a non-negative integer")))
-}
-
-/// Rank 0's rendezvous: collect one hello per peer, then broadcast the
-/// address table. Returns this rank's mesh listener and the table.
-fn root_collect_addrs(
-    root_listener: &TcpListener,
-    world: usize,
-    deadline: Instant,
-    config: &TransportConfig,
-) -> Result<(TcpListener, Vec<String>), CommError> {
-    let root_ip = root_listener.local_addr()?.ip();
-    let mesh_listener = TcpListener::bind((root_ip, 0))?;
-    let mut addrs = vec![String::new(); world];
-    addrs[0] = mesh_listener.local_addr()?.to_string();
-    let mut peer_streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
-    for _ in 1..world {
-        let mut stream = accept_with_deadline(root_listener, deadline, "rendezvous")?;
-        stream.set_read_timeout(Some(config.connect_timeout))?;
-        let (peer, addr) = read_hello(&mut stream, world)?;
-        if peer == 0 || peer >= world {
-            return Err(CommError::HandshakeMismatch {
-                detail: format!("hello claims rank {peer}, expected (0, {world})"),
-            });
-        }
-        if peer_streams[peer].is_some() {
-            return Err(CommError::HandshakeMismatch {
-                detail: format!("rank {peer} rendezvoused twice"),
-            });
-        }
-        addrs[peer] = addr;
-        peer_streams[peer] = Some(stream);
-    }
-    let table = encode_table(&addrs);
-    for stream in peer_streams.iter_mut().flatten() {
-        stream.write_all(&table)?;
-    }
-    Ok((mesh_listener, addrs))
-}
-
-/// A non-root rank's rendezvous: dial the root, announce our mesh
-/// address, and receive the full table back.
-fn peer_fetch_addrs(
-    rank: usize,
-    world: usize,
-    root_addr: &str,
-    deadline: Instant,
-    config: &TransportConfig,
-) -> Result<(TcpListener, Vec<String>), CommError> {
-    let mut root_stream = dial_with_retry(root_addr, deadline)?;
-    root_stream.set_nodelay(true)?;
-    root_stream.set_read_timeout(Some(config.connect_timeout))?;
-    // Bind the mesh listener on whatever local interface routes to the
-    // root — the address peers can reach us by.
-    let local_ip = root_stream.local_addr()?.ip();
-    let mesh_listener = TcpListener::bind((local_ip, 0))?;
-    let my_addr = mesh_listener.local_addr()?.to_string();
-    write_hello(&mut root_stream, rank, world, &my_addr)?;
-    let mut addrs = read_table(&mut root_stream, world)?;
-    // Rank 0 may have bound a wildcard or host-local IP; the one address
-    // we *know* reaches it is the root address we just dialed, so rewrite
-    // its table entry with that host and the announced mesh port.
-    if let (Some((root_host, _)), Some((_, mesh_port))) =
-        (root_addr.rsplit_once(':'), addrs[0].rsplit_once(':'))
-    {
-        addrs[0] = format!("{root_host}:{mesh_port}");
-    }
-    Ok((mesh_listener, addrs))
 }
 
 impl Transport for TcpTransport {
@@ -946,83 +487,13 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes, CommError> {
-        if src >= self.size {
-            return Err(CommError::InvalidRank {
-                rank: src,
-                size: self.size,
-            });
-        }
-        if let Some(queue) = self.pending.get_mut(&(src, tag)) {
-            if let Some(payload) = queue.pop_front() {
-                return Ok(self.accept(payload));
-            }
-        }
-        if self.closed[src].is_some() {
-            // Everything the peer ever sent was already drained into
-            // `pending`; nothing matched, and nothing more can arrive.
-            return Err(CommError::PeerDisconnected { peer: src });
-        }
-        let started = Instant::now();
-        let deadline = started + self.config.recv_timeout;
-        loop {
-            match self.next_event(started, deadline, src)? {
-                Event::Msg {
-                    src: s,
-                    tag: t,
-                    payload,
-                } => {
-                    if s == src && t == tag {
-                        return Ok(self.accept(payload));
-                    }
-                    self.pending.entry((s, t)).or_default().push_back(payload);
-                }
-                Event::Closed { src: s, detail } => {
-                    if self.closed[s].is_none() {
-                        self.closed[s] = Some(detail);
-                    }
-                    if s == src {
-                        return Err(CommError::PeerDisconnected { peer: src });
-                    }
-                }
-            }
-        }
+        self.mailbox
+            .recv(src, tag, self.config.recv_timeout, &mut self.stats)
     }
 
     fn recv_any(&mut self, tag: u64) -> Result<(usize, Bytes), CommError> {
-        // Buffered messages first, in rank order for determinism.
-        let mut buffered: Option<usize> = None;
-        for (&(src, t), queue) in self.pending.iter() {
-            if t == tag && !queue.is_empty() && buffered.is_none_or(|best| src < best) {
-                buffered = Some(src);
-            }
-        }
-        if let Some(src) = buffered {
-            let payload = self
-                .pending
-                .get_mut(&(src, tag))
-                .and_then(|q| q.pop_front())
-                .expect("non-empty");
-            return Ok((src, self.accept(payload)));
-        }
-        let started = Instant::now();
-        let deadline = started + self.config.recv_timeout;
-        loop {
-            // Drain everything already queued (including self-sends)
-            // before concluding from `closed` that nothing can arrive.
-            while let Some(event) = self.inbox.try_recv() {
-                if let Some(found) = self.note_event(event, tag) {
-                    return Ok(found);
-                }
-            }
-            if self.size > 1 && (0..self.size).all(|r| r == self.rank || self.closed[r].is_some()) {
-                let peer = (0..self.size).find(|&r| r != self.rank).expect("size > 1");
-                return Err(CommError::PeerDisconnected { peer });
-            }
-            let event = self.next_event(started, deadline, self.rank)?;
-            if let Some(found) = self.note_event(event, tag) {
-                return Ok(found);
-            }
-        }
+        self.mailbox
+            .recv_any(tag, self.config.recv_timeout, &mut self.stats)
     }
 
     fn detach(&mut self) -> TcpTransport {
@@ -1033,15 +504,11 @@ impl Transport for TcpTransport {
 /// Creates a disconnected single-rank TCP transport — the placeholder
 /// counterpart of [`crate::standalone_thread_transport`].
 pub fn standalone_tcp_transport() -> TcpTransport {
-    let (loopback, inbox) = unbounded::<Event>();
     TcpTransport {
         rank: 0,
         size: 1,
         links: vec![None],
-        inbox,
-        loopback,
-        pending: HashMap::new(),
-        closed: vec![None],
+        mailbox: Mailbox::new(0, 1),
         epoch: Instant::now(),
         clock_offset: 0.0,
         config: TransportConfig::default(),
@@ -1067,51 +534,17 @@ where
     R: Send,
     F: Fn(&mut TcpTransport) -> R + Sync,
 {
-    assert!(size > 0, "cluster needs at least one rank");
-    let root_listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback rendezvous");
-    let root_addr = root_listener
-        .local_addr()
-        .expect("rendezvous local addr")
-        .to_string();
-    let mut root_listener = Some(root_listener);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let config = &config;
-        let handles: Vec<_> = (0..size)
-            .map(|rank| {
-                let root = match root_listener.take() {
-                    Some(listener) => RootRendezvous::Listener(listener),
-                    None => RootRendezvous::Dial(root_addr.clone()),
-                };
-                scope.spawn(move || {
-                    let mut tp =
-                        TcpTransport::rendezvous_inner(rank, size, root, cost_hint, config.clone())
-                            .unwrap_or_else(|e| panic!("rank {rank} rendezvous failed: {e}"));
-                    (rank, f(&mut tp))
-                })
-            })
-            .collect();
-        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
-        let mut panicked: Option<usize> = None;
-        for (i, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok((rank, out)) => results[rank] = Some(out),
-                Err(_) => panicked = panicked.or(Some(i)),
-            }
-        }
-        if let Some(rank) = panicked {
-            panic!("rank {rank} panicked inside run_tcp_loopback_cluster");
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("all ranks returned"))
-            .collect()
-    })
+    bootstrap::run_loopback_cluster_with(
+        size,
+        |rank, root| TcpTransport::rendezvous_inner(rank, size, root, cost_hint, config.clone()),
+        f,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bootstrap::{dial_with_retry, write_hello, MAGIC};
 
     fn quick_config() -> TransportConfig {
         TransportConfig::default()
@@ -1298,7 +731,7 @@ mod tests {
     fn rendezvous_rejects_wrong_version() {
         // A stray client speaking a different protocol version must fail
         // rank 0's rendezvous with a typed HandshakeMismatch.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let intruder = std::thread::spawn(move || {
             let mut s = dial_with_retry(&addr, Instant::now() + Duration::from_secs(5)).unwrap();
@@ -1329,7 +762,7 @@ mod tests {
 
     #[test]
     fn rendezvous_rejects_wrong_world_size() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let intruder = std::thread::spawn(move || {
             let deadline = Instant::now() + Duration::from_secs(5);
@@ -1363,16 +796,5 @@ mod tests {
         }
         let err = TcpTransport::from_env().unwrap_err();
         assert!(matches!(err, CommError::Protocol(_)), "got {err:?}");
-    }
-
-    #[test]
-    fn frame_pool_recycles_allocations() {
-        let pool = FramePool::default();
-        let buf = pool.acquire(1024);
-        let ptr = buf.as_ptr();
-        pool.reclaim(Bytes::from(buf));
-        let again = pool.acquire(512);
-        assert_eq!(again.as_ptr(), ptr, "allocation must be reused");
-        assert_eq!(again.len(), 512);
     }
 }

@@ -21,6 +21,9 @@
 
 use std::io::{self, Read, Write};
 
+use sparcml_net::framing;
+use sparcml_net::CommError;
+
 use crate::config::AggregationMode;
 use crate::error::ServeError;
 
@@ -515,14 +518,17 @@ pub fn read_frame_counted(
     }
     let mut rest = [0u8; FRAME_HEADER_LEN - 1];
     read_exact_frame(r, &mut rest)?;
-    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
     let kind = rest[3];
-    if len > max_frame {
-        return Err(FrameReadError::TooLarge {
-            declared: len,
-            limit: max_frame,
-        });
-    }
+    // The shared length gate (`sparcml_net::framing`) runs before the
+    // payload allocation, same as the transports' data-frame readers.
+    let len = framing::parse_frame_len([first[0], rest[0], rest[1], rest[2]], max_frame).map_err(
+        |e| match e {
+            CommError::FrameTooLarge { declared, limit } => {
+                FrameReadError::TooLarge { declared, limit }
+            }
+            other => FrameReadError::Malformed(other.to_string()),
+        },
+    )?;
     let mut payload = vec![0u8; len];
     read_exact_frame(r, &mut payload)?;
     let frame =

@@ -102,8 +102,7 @@ impl Shared {
             bytes_recv: Gauges::get(&self.gauges.bytes_recv),
             compute_elements: Gauges::get(&self.gauges.applied_elements),
             collectives: Gauges::get(&self.gauges.shard_syncs),
-            pool_acquires: 0,
-            pool_reuses: 0,
+            ..CommStats::default()
         };
         {
             let pool = self.pool.lock().expect("pool lock");

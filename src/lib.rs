@@ -26,9 +26,10 @@ pub use sparcml_stream as stream;
 pub use sparcml_trainsim as trainsim;
 
 pub use sparcml_core::{
-    max_communicator_time, run_communicators, run_tcp_communicators, run_thread_communicators,
-    Algorithm, CollectiveHandle, Communicator, Endpoint, GroupTransport, TcpTransport,
-    ThreadTransport, Topology, TopologyCostModel, Transport, TransportConfig,
+    max_communicator_time, run_communicators, run_reactor_communicators, run_tcp_communicators,
+    run_thread_communicators, Algorithm, CollectiveHandle, Communicator, Endpoint, GroupTransport,
+    ReactorTransport, SocketTransport, TcpTransport, ThreadTransport, Topology, TopologyCostModel,
+    Transport, TransportBackend, TransportConfig,
 };
 pub use sparcml_engine::{CommunicatorEngineExt, Engine, EngineConfig, FusionPolicy, Ticket};
 pub use sparcml_serve::{

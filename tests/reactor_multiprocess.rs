@@ -1,0 +1,302 @@
+//! ReactorTransport integration suite, part 2: real OS processes.
+//!
+//! The same launcher harness as `tcp_multiprocess.rs`, but each child
+//! bootstraps through [`sparcml::net::SocketTransport::from_env`] with
+//! `SPARCML_TRANSPORT=reactor` exported by
+//! `LaunchOptions::with_transport` — so this suite is also the
+//! end-to-end test of the env-driven backend selection: the parent picks
+//! the backend once, and every rank's mesh comes up on the single
+//! event-loop-per-rank transport.
+//!
+//! Pattern (same as the TCP suite): the `job` string must equal the test
+//! function's name, and worker processes bail out through the
+//! `else { return }` arm (the parent does the asserting).
+
+use std::time::Duration;
+
+use sparcml::core::reference::reference_sum;
+use sparcml::core::{Algorithm, Communicator};
+use sparcml::net::{
+    run_socket_cluster, run_socket_cluster_outcomes, LaunchOptions, Transport, TransportBackend,
+};
+use sparcml::stream::SparseStream;
+
+/// Deterministic integer-valued input for `rank`: every summation order
+/// produces identical bits, so ranks and the sequential reference can be
+/// compared exactly, even across processes.
+fn integer_stream(rank: usize, dim: usize, nnz: usize) -> SparseStream<f32> {
+    let pairs: Vec<(u32, f32)> = (0..nnz)
+        .map(|i| (((rank * 131 + i * 17) % dim) as u32, 1.0f32))
+        .collect();
+    SparseStream::from_pairs(dim, &pairs).unwrap()
+}
+
+/// FNV-1a over the dense f32 bit pattern — a compact result fingerprint
+/// that survives the stdout hop between processes.
+fn fingerprint(dense: &[f32]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in dense {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+fn opts() -> LaunchOptions {
+    LaunchOptions::for_test()
+        .with_timeout(Duration::from_secs(120))
+        .with_transport(TransportBackend::Reactor)
+}
+
+#[test]
+fn reactor_all_allreduce_algorithms_across_processes() {
+    let world = 4;
+    let dim = 2048;
+    let nnz = 96;
+    let Some(results) = run_socket_cluster(
+        "reactor_all_allreduce_algorithms_across_processes",
+        world,
+        &opts(),
+        |tp| {
+            // The env round-trip is part of the test: the child must have
+            // come up on the reactor, not the thread-per-peer default.
+            assert_eq!(tp.backend(), TransportBackend::Reactor);
+            let mut comm = Communicator::new(tp.detach());
+            let input = integer_stream(comm.rank(), dim, nnz);
+            let mut parts = Vec::new();
+            for algo in Algorithm::ALL {
+                let out = comm
+                    .allreduce(&input)
+                    .algorithm(algo)
+                    .launch()
+                    .and_then(|h| h.wait())
+                    .unwrap();
+                parts.push(format!(
+                    "{}={}",
+                    algo.name(),
+                    fingerprint(&out.to_dense_vec())
+                ));
+            }
+            *tp = comm.into_transport();
+            parts.join(";")
+        },
+    ) else {
+        return;
+    };
+    let ins: Vec<SparseStream<f32>> = (0..world).map(|r| integer_stream(r, dim, nnz)).collect();
+    let expect = fingerprint(&reference_sum(&ins));
+    let expected_line = Algorithm::ALL
+        .iter()
+        .map(|a| format!("{}={}", a.name(), expect))
+        .collect::<Vec<_>>()
+        .join(";");
+    for (rank, line) in results.iter().enumerate() {
+        assert_eq!(line, &expected_line, "rank {rank} disagrees");
+    }
+}
+
+#[test]
+fn reactor_allgather_rooted_and_nonblocking_across_processes() {
+    // Non-pow2 world exercises the fold/ring paths; the non-blocking
+    // launch moves the whole SocketTransport (loop thread included) onto
+    // a helper thread and back — across real processes.
+    let world = 5;
+    let dim = 1024;
+    let Some(results) = run_socket_cluster(
+        "reactor_allgather_rooted_and_nonblocking_across_processes",
+        world,
+        &opts(),
+        |tp| {
+            let mut comm = Communicator::new(tp.detach());
+            let rank = comm.rank();
+            let ins: Vec<SparseStream<f32>> =
+                (0..world).map(|r| integer_stream(r, dim, 40)).collect();
+            let expect = reference_sum(&ins);
+
+            let gathered = comm
+                .allgather(&ins[rank])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            assert_eq!(gathered.len(), world);
+            for (r, s) in gathered.iter().enumerate() {
+                assert_eq!(s, &ins[r], "allgather rank {rank} slot {r}");
+            }
+
+            let reduced = comm
+                .reduce(&ins[rank], 1)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            let bcast = comm
+                .broadcast(&reduced, 1)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            assert_eq!(bcast.to_dense_vec(), expect, "broadcast rank {rank}");
+
+            let mut handle = comm
+                .allreduce(&ins[rank])
+                .algorithm(Algorithm::SsarSplitAllgather)
+                .nonblocking()
+                .launch()
+                .unwrap();
+            handle.compute(10_000); // overlapped local work
+            let overlapped = handle.wait().unwrap();
+            assert_eq!(overlapped.to_dense_vec(), expect, "nonblocking rank {rank}");
+
+            *tp = comm.into_transport();
+            fingerprint(&bcast.to_dense_vec())
+        },
+    ) else {
+        return;
+    };
+    let ins: Vec<SparseStream<f32>> = (0..world).map(|r| integer_stream(r, dim, 40)).collect();
+    let expect = fingerprint(&reference_sum(&ins));
+    for (rank, got) in results.iter().enumerate() {
+        assert_eq!(got, &expect, "rank {rank}");
+    }
+}
+
+#[test]
+fn reactor_killed_peer_fails_survivors_within_timeout() {
+    // Rank 2 dies right after the mesh is up; the event loop must turn
+    // the dead socket into typed failures on every survivor — never hang.
+    let world = 4;
+    let opts = LaunchOptions::for_test()
+        .with_timeout(Duration::from_secs(60))
+        .with_recv_timeout(Duration::from_secs(3))
+        .with_transport(TransportBackend::Reactor);
+    let started = std::time::Instant::now();
+    let Some(outcomes) = run_socket_cluster_outcomes(
+        "reactor_killed_peer_fails_survivors_within_timeout",
+        world,
+        &opts,
+        |tp| {
+            if tp.rank() == 2 {
+                // Simulate a killed peer: vanish without any goodbye.
+                std::process::exit(7);
+            }
+            let mut comm = Communicator::new(tp.detach());
+            let input = integer_stream(comm.rank(), 1024, 32);
+            let res = comm
+                .allreduce(&input)
+                .algorithm(Algorithm::SsarRecDbl)
+                .launch()
+                .and_then(|h| h.wait());
+            *tp = comm.into_transport();
+            match res {
+                Ok(_) => "completed".to_string(),
+                Err(e) => format!("errored: {e}"),
+            }
+        },
+    ) else {
+        return;
+    };
+    assert!(
+        started.elapsed() < Duration::from_secs(45),
+        "survivors took too long: {:?}",
+        started.elapsed()
+    );
+    for o in &outcomes {
+        assert!(!o.timed_out, "rank {} hit the hard deadline", o.rank);
+        if o.rank == 2 {
+            assert_eq!(o.exit_code, Some(7), "the dead rank must exit with 7");
+        } else {
+            assert_eq!(
+                o.exit_code,
+                Some(0),
+                "rank {} stderr:\n{}",
+                o.rank,
+                o.stderr
+            );
+            let result = o.result.as_deref().unwrap_or("");
+            assert!(
+                result.starts_with("errored"),
+                "rank {} must observe the dead peer, got: {result}",
+                o.rank
+            );
+        }
+    }
+}
+
+#[test]
+fn reactor_hierarchical_2x4_with_engine_on_subgroup_across_processes() {
+    // The full composition on the event-loop backend: 8 processes, a 2×4
+    // env-derived topology, hierarchical allreduce, split subgroups with
+    // a progress engine each, then a flat collective — everything over
+    // one reactor thread per rank.
+    use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
+    use sparcml::net::Topology;
+
+    let world = 8;
+    let dim = 4096;
+    let nnz = 128;
+    let topo = Topology::uniform(2, 4).unwrap();
+    let opts = LaunchOptions::for_test()
+        .with_timeout(Duration::from_secs(120))
+        .with_topology(topo.clone())
+        .with_transport(TransportBackend::Reactor);
+    let Some(results) = run_socket_cluster(
+        "reactor_hierarchical_2x4_with_engine_on_subgroup_across_processes",
+        world,
+        &opts,
+        |tp| {
+            let mut comm = Communicator::new(tp.detach());
+            let rank = comm.rank();
+            let input = integer_stream(rank, dim, nnz);
+
+            let hier = comm
+                .allreduce(&input)
+                .algorithm(Algorithm::Hierarchical)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+
+            let env_topo = Topology::from_env(world)
+                .expect("launcher exports a valid topology")
+                .expect("SPARCML_NODES must be set for this job");
+            let mut sub = comm.split_by_topology(&env_topo).unwrap();
+            let members = sub.transport().members().to_vec();
+            let mut engine = sub.engine(EngineConfig::default());
+            let t0 = engine.submit_allreduce(&input);
+            let t1 = engine.submit_allreduce(&input);
+            let sub_first = t0.wait().unwrap();
+            let sub_second = t1.wait().unwrap();
+            engine.finish_into(&mut sub).unwrap();
+            let mut comm = sub.into_parent();
+
+            let flat = comm
+                .allreduce(&input)
+                .algorithm(Algorithm::SsarRecDbl)
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+            *tp = comm.into_transport();
+            format!(
+                "node{:?}|hier={}|sub={}:{}|flat={}",
+                members,
+                fingerprint(&hier.to_dense_vec()),
+                fingerprint(&sub_first.to_dense_vec()),
+                fingerprint(&sub_second.to_dense_vec()),
+                fingerprint(&flat.to_dense_vec()),
+            )
+        },
+    ) else {
+        return;
+    };
+    let ins: Vec<SparseStream<f32>> = (0..world).map(|r| integer_stream(r, dim, nnz)).collect();
+    let world_fp = fingerprint(&reference_sum(&ins));
+    for (rank, line) in results.iter().enumerate() {
+        let members = topo.group_of(rank);
+        let sub_ins: Vec<SparseStream<f32>> = members.iter().map(|&r| ins[r].clone()).collect();
+        let sub_fp = fingerprint(&reference_sum(&sub_ins));
+        let expect = format!(
+            "node{:?}|hier={world_fp}|sub={sub_fp}:{sub_fp}|flat={world_fp}",
+            members
+        );
+        assert_eq!(line, &expect, "rank {rank}");
+    }
+}
