@@ -38,12 +38,16 @@ pub(crate) use ssar_split_ag::split_reduce_partition;
 pub use ssar_split_ag::ssar_split_allgather;
 pub(crate) use ssar_split_ag::ssar_split_allgather_pooled;
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use sparcml_net::{Topology, TopologyCostModel, Transport};
+use sparcml_obs as obs;
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
 
 use crate::error::CollError;
+use crate::observed::ObservedCostModel;
 use crate::op::{allgather_bytes, BufferPool};
 
 /// Which allreduce schedule to run.
@@ -145,6 +149,14 @@ pub struct AllreduceConfig {
     /// re-enters the §5.3 selector recursively at the leader level —
     /// with the leaders' own `P`, `k`, and the inter-node cost model.
     pub hier_leader_algorithm: Algorithm,
+    /// Measurement-calibrated selection: when set, every collective this
+    /// config runs reports its measured duration here, and the flat
+    /// `Auto` path selects by measurement (with one extra 1-byte
+    /// agreement round so per-rank measurement noise can't split the
+    /// cluster's pick). `None` keeps the static preset selector.
+    /// Usually installed session-wide via
+    /// [`crate::Communicator::enable_calibration`] rather than per call.
+    pub calibration: Option<Arc<ObservedCostModel>>,
 }
 
 impl Default for AllreduceConfig {
@@ -157,6 +169,7 @@ impl Default for AllreduceConfig {
             topology: None,
             topology_cost: None,
             hier_leader_algorithm: Algorithm::Auto,
+            calibration: None,
         }
     }
 }
@@ -174,7 +187,8 @@ fn resolve_auto<T: Transport, V: Scalar>(
     cfg: &AllreduceConfig,
     pool: &mut BufferPool,
     allow_hierarchical: bool,
-) -> Result<Algorithm, CollError> {
+) -> Result<(Algorithm, usize), CollError> {
+    let _span = obs::span(obs::Category::Agreement, "auto-resolve");
     let p = ep.size();
     let n = input.dim();
     let mut k = input.stored_len().max(1) as u64;
@@ -189,6 +203,7 @@ fn resolve_auto<T: Transport, V: Scalar>(
             k = k.max(u64::from_le_bytes(bytes));
         }
     }
+    let k_agreed = k as usize;
     if allow_hierarchical {
         if let Some(topo) = cfg.topology.as_ref() {
             // A mismatched topology is a configuration error, not a hint
@@ -202,21 +217,68 @@ fn resolve_auto<T: Transport, V: Scalar>(
             }
             if !topo.is_trivial() {
                 let tcm = crate::hierarchical::effective_topology_cost(ep, cfg)?;
-                return Ok(crate::selector::select_algorithm_with_topology::<V>(
-                    topo, n, k as usize, &tcm,
-                ));
+                let algo =
+                    crate::selector::select_algorithm_with_topology::<V>(topo, n, k_agreed, &tcm);
+                return Ok((algo, k_agreed));
             }
         }
     }
-    Ok(crate::selector::select_algorithm::<V>(
-        p,
-        n,
-        k as usize,
-        ep.cost(),
+    // Calibrated path (flat regimes only): pick by measurement, then
+    // agree — per-rank measurement noise must not split the schedule.
+    if let Some(cal) = cfg.calibration.as_ref() {
+        let pick = cal.select::<V>(p, n, k_agreed);
+        return Ok((agree_algorithm(ep, pick, pool)?, k_agreed));
+    }
+    Ok((
+        crate::selector::select_algorithm::<V>(p, n, k_agreed, ep.cost()),
+        k_agreed,
     ))
 }
 
+/// Cluster-wide agreement on a calibrated pick: every rank proposes the
+/// candidate it measured fastest; the smallest index in
+/// [`Algorithm::ALL`] wins everywhere. One 1-byte allgather.
+fn agree_algorithm<T: Transport>(
+    ep: &mut T,
+    pick: Algorithm,
+    pool: &mut BufferPool,
+) -> Result<Algorithm, CollError> {
+    if ep.size() <= 1 {
+        return Ok(pick);
+    }
+    let mut idx = Algorithm::ALL
+        .iter()
+        .position(|a| *a == pick)
+        .expect("calibrated picks are concrete flat algorithms") as u8;
+    let op_id = ep.next_op_id();
+    let blocks = allgather_bytes(ep, op_id, Bytes::from(vec![idx]), pool)?;
+    for block in blocks {
+        let [b]: [u8; 1] = block
+            .as_ref()
+            .try_into()
+            .map_err(|_| CollError::Invalid("malformed algorithm-agreement block".into()))?;
+        if (b as usize) < Algorithm::ALL.len() {
+            idx = idx.min(b);
+        } else {
+            return Err(CollError::Invalid(format!(
+                "algorithm-agreement block carries unknown candidate index {b}"
+            )));
+        }
+    }
+    Ok(Algorithm::ALL[idx as usize])
+}
+
 /// Internal dispatcher behind the [`crate::Communicator`] builders.
+///
+/// Besides routing, this is the stack's measurement point: the concrete
+/// schedule's execution is wrapped in a `collective` span and timed via
+/// the transport clock (virtual seconds on [`sparcml_net::Endpoint`],
+/// wall seconds on the socket transports). Durations land in the global
+/// [`sparcml_obs::metrics::global`] registry keyed by
+/// `(algorithm, size-class)` — surfacing through
+/// [`crate::Communicator::stats_report`] and serve's `/metrics` — and,
+/// when [`AllreduceConfig::calibration`] is set, feed the
+/// [`ObservedCostModel`] that future `Auto` picks consult.
 pub(crate) fn dispatch<T: Transport, V: Scalar>(
     ep: &mut T,
     input: &SparseStream<V>,
@@ -224,15 +286,28 @@ pub(crate) fn dispatch<T: Transport, V: Scalar>(
     cfg: &AllreduceConfig,
     pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
-    let algo = if algo.is_auto() {
+    let (algo, k) = if algo.is_auto() {
         resolve_auto::<T, V>(ep, input, cfg, pool, true)?
     } else {
-        algo
+        (algo, input.stored_len().max(1))
     };
-    if algo == Algorithm::Hierarchical {
-        return crate::hierarchical::hierarchical_allreduce_pooled(ep, input, cfg, pool);
+    let mut span = obs::span_with(obs::Category::Collective, algo.name(), k as u64);
+    let start = ep.clock();
+    let result = if algo == Algorithm::Hierarchical {
+        crate::hierarchical::hierarchical_allreduce_pooled(ep, input, cfg, pool)
+    } else {
+        dispatch_flat_concrete(ep, input, algo, cfg, pool)
+    };
+    let elapsed = ep.clock() - start;
+    if result.is_ok() {
+        obs::metrics::global().record(algo.name(), k, elapsed);
+        if let Some(cal) = cfg.calibration.as_ref() {
+            cal.record::<V>(algo, ep.size(), input.dim(), k, elapsed);
+        }
+    } else {
+        span.cancel();
     }
-    dispatch_flat(ep, input, algo, cfg, pool)
+    result
 }
 
 /// Flat-only dispatcher: like [`dispatch`] but never enters the
@@ -250,10 +325,23 @@ pub(crate) fn dispatch_flat<T: Transport, V: Scalar>(
 ) -> Result<SparseStream<V>, CollError> {
     let algo = match algo {
         Algorithm::Auto | Algorithm::Hierarchical => {
-            resolve_auto::<T, V>(ep, input, cfg, pool, false)?
+            resolve_auto::<T, V>(ep, input, cfg, pool, false)?.0
         }
         concrete => concrete,
     };
+    dispatch_flat_concrete(ep, input, algo, cfg, pool)
+}
+
+/// The concrete-schedule jump table shared by [`dispatch`] (which times
+/// around it) and [`dispatch_flat`] (the hierarchical leader stage,
+/// deliberately untimed so a two-level call records exactly once).
+fn dispatch_flat_concrete<T: Transport, V: Scalar>(
+    ep: &mut T,
+    input: &SparseStream<V>,
+    algo: Algorithm,
+    cfg: &AllreduceConfig,
+    pool: &mut BufferPool,
+) -> Result<SparseStream<V>, CollError> {
     match algo {
         Algorithm::Auto | Algorithm::Hierarchical => {
             unreachable!("flat resolution yields a concrete flat algorithm")

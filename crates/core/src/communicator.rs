@@ -35,8 +35,10 @@ use sparcml_net::{
     CommStats, CostModel, Endpoint, GroupTransport, ReactorTransport, TcpTransport,
     ThreadTransport, Topology, TopologyCostModel, Transport, TransportConfig,
 };
+use sparcml_obs as obs;
 use sparcml_quant::QsgdConfig;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
+use std::sync::Arc;
 
 use crate::allgather::{
     dense_allgather_pooled, sparse_allgather_pooled, sparse_allgather_sum_pooled,
@@ -44,11 +46,17 @@ use crate::allgather::{
 use crate::allreduce::{dispatch, Algorithm, AllreduceConfig};
 use crate::error::CollError;
 use crate::nonblocking::Request;
+use crate::observed::ObservedCostModel;
 use crate::op::BufferPool;
 use crate::rooted::{
     allreduce_via_reduce_bcast_pooled, sparse_broadcast_pooled, sparse_reduce_pooled,
     sparse_reduce_scatter_pooled,
 };
+
+/// Environment variable that, when set to `1`/`true`, starts every
+/// [`Communicator`] with measurement calibration enabled (see
+/// [`Communicator::enable_calibration`]).
+pub const ENV_CALIBRATE: &str = "SPARCML_CALIBRATE";
 
 /// A collective-communication session over one pluggable transport.
 ///
@@ -72,16 +80,57 @@ pub struct Communicator<T: Transport = Endpoint> {
     /// thread and stay here at once). Reuse is observable via
     /// [`Communicator::stats_snapshot`].
     pool: BufferPool,
+    /// Session-wide measurement calibration: when set, every collective
+    /// launched here inherits it (unless its config carries its own) so
+    /// the `Auto` selector learns from measured durations. Installed via
+    /// [`Communicator::enable_calibration`] /
+    /// [`Communicator::set_calibration`], or the `SPARCML_CALIBRATE`
+    /// environment toggle at construction.
+    calibration: Option<Arc<ObservedCostModel>>,
 }
 
 impl<T: Transport + Send + 'static> Communicator<T> {
-    /// Wraps a transport session in a communicator.
+    /// Wraps a transport session in a communicator. When the
+    /// `SPARCML_CALIBRATE` environment variable is set to `1`/`true`,
+    /// the session starts with measurement calibration enabled (the
+    /// transport's cost model as the base preset) — equivalent to
+    /// calling [`Communicator::enable_calibration`].
     pub fn new(transport: T) -> Self {
+        let calibration = match std::env::var(ENV_CALIBRATE) {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => {
+                Some(Arc::new(ObservedCostModel::new(*transport.cost())))
+            }
+            _ => None,
+        };
         Communicator {
             transport,
             transport_lost: false,
             pool: BufferPool::new(),
+            calibration,
         }
+    }
+
+    /// Turns on measurement-calibrated `Auto` selection for this session
+    /// with the transport's cost model as the starting preset. Returns
+    /// the calibrator so callers can inspect convergence
+    /// ([`ObservedCostModel::report`]). Collective — every rank of the
+    /// communicator must enable it (the calibrated pick adds an
+    /// agreement round that all ranks must join).
+    pub fn enable_calibration(&mut self) -> Arc<ObservedCostModel> {
+        let cal = Arc::new(ObservedCostModel::new(*self.transport.cost()));
+        self.calibration = Some(cal.clone());
+        cal
+    }
+
+    /// Installs a specific calibrator (e.g. one shared with a training
+    /// loop, or built with custom [`crate::CalibrationConfig`] tunables).
+    pub fn set_calibration(&mut self, cal: Arc<ObservedCostModel>) {
+        self.calibration = Some(cal);
+    }
+
+    /// The session's calibrator, if calibration is enabled.
+    pub fn calibration(&self) -> Option<&Arc<ObservedCostModel>> {
+        self.calibration.as_ref()
     }
 
     fn ensure_attached(&self) -> Result<(), CollError> {
@@ -159,9 +208,23 @@ impl<T: Transport + Send + 'static> Communicator<T> {
     /// The session's counters (pool included, as in
     /// [`Communicator::stats_snapshot`]) in the stable plaintext layout of
     /// [`CommStats::render_text`] — what a health endpoint or bench bin
-    /// prints instead of hand-formatting fields.
+    /// prints instead of hand-formatting fields. Followed by the
+    /// process-wide per-algorithm latency histograms
+    /// ([`sparcml_obs::LatencyRegistry::render_text`]) when any
+    /// collective has run, and the calibration report when this session
+    /// calibrates.
     pub fn stats_report(&self) -> String {
-        self.stats_snapshot().render_text()
+        let mut out = self.stats_snapshot().render_text();
+        let latency = obs::metrics::global().render_text();
+        if !latency.is_empty() {
+            out.push('\n');
+            out.push_str(&latency);
+        }
+        if let Some(cal) = self.calibration.as_ref() {
+            out.push('\n');
+            out.push_str(&cal.report());
+        }
+        out
     }
 
     /// Splits the communicator MPI-style: every rank of this session
@@ -181,13 +244,17 @@ impl<T: Transport + Send + 'static> Communicator<T> {
     pub fn split(self, color: u64) -> Result<Communicator<GroupTransport<T>>, CollError> {
         self.ensure_attached()?;
         let Communicator {
-            transport, pool, ..
+            transport,
+            pool,
+            calibration,
+            ..
         } = self;
         let group = GroupTransport::split(transport, color)?;
         Ok(Communicator {
             transport: group,
             transport_lost: false,
             pool,
+            calibration,
         })
     }
 
@@ -351,11 +418,13 @@ impl<T: Transport + Send + 'static> Communicator<GroupTransport<T>> {
             transport,
             transport_lost,
             pool,
+            calibration,
         } = self;
         Communicator {
             transport: transport.into_parent(),
             transport_lost,
             pool,
+            calibration,
         }
     }
 }
@@ -564,10 +633,13 @@ impl<'a, T: Transport + Send + 'static, V: Scalar> Allreduce<'a, T, V> {
             comm,
             input,
             algorithm,
-            cfg,
+            mut cfg,
             via_reduce_broadcast,
             nonblocking,
         } = self;
+        if cfg.calibration.is_none() {
+            cfg.calibration = comm.calibration.clone();
+        }
         let run = move |tp: &mut T, input: &SparseStream<V>, pool: &mut BufferPool| {
             if via_reduce_broadcast {
                 allreduce_via_reduce_bcast_pooled(tp, input, &cfg, pool)

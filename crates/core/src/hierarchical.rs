@@ -26,6 +26,7 @@
 //! [`AllreduceConfig::hier_leader_algorithm`]).
 
 use sparcml_net::{GroupTransport, Topology, TopologyCostModel, Transport};
+use sparcml_obs as obs;
 use sparcml_stream::{Scalar, SparseStream};
 
 use crate::allreduce::{dispatch, dispatch_flat, Algorithm, AllreduceConfig};
@@ -102,6 +103,10 @@ pub(crate) fn hierarchical_allreduce_pooled<T: Transport, V: Scalar>(
         topology: None,
         topology_cost: None,
         hier_leader_algorithm: cfg.hier_leader_algorithm,
+        // Inner stages run on subgroup transports whose sizes/costs differ
+        // from the session's; calibrating on them would pollute the
+        // whole-cluster fit. The outer dispatch still times the composite.
+        calibration: None,
     };
 
     // The topology validated the groups, so the subgroup constructors
@@ -127,16 +132,20 @@ pub(crate) fn hierarchical_allreduce_pooled<T: Transport, V: Scalar>(
 
     // (1) Intra-node reduce: the node's sum lands at group rank 0 (the
     // leader); everyone else holds an empty stream of the right dimension.
-    let reduced = bail_on_err!(
-        node,
-        ep,
-        sparse_reduce_pooled(&mut node, input, 0, &flat_cfg, pool)
-    );
+    let reduced = {
+        let _leg = obs::span(obs::Category::Phase, "hier-intra-reduce");
+        bail_on_err!(
+            node,
+            ep,
+            sparse_reduce_pooled(&mut node, input, 0, &flat_cfg, pool)
+        )
+    };
 
     // (2) Leader-level flat allreduce across nodes. The node view is
     // quiescent while its base is temporarily re-wrapped as the leader
     // group; non-leaders skip straight to the broadcast receive.
     let at_leader = if is_leader {
+        let _leg = obs::span(obs::Category::Phase, "hier-leader-allreduce");
         let mut lead = GroupTransport::with_scope(node.parent_mut().detach(), leaders, lead_seq)
             .expect("topology-derived leader group is valid")
             .with_cost(tcm.inter);
@@ -154,11 +163,14 @@ pub(crate) fn hierarchical_allreduce_pooled<T: Transport, V: Scalar>(
     };
 
     // (3) Intra-node broadcast of the global sum from the leader.
-    let out = bail_on_err!(
-        node,
-        ep,
-        sparse_broadcast_pooled(&mut node, &at_leader, 0, pool)
-    );
+    let out = {
+        let _leg = obs::span(obs::Category::Phase, "hier-broadcast");
+        bail_on_err!(
+            node,
+            ep,
+            sparse_broadcast_pooled(&mut node, &at_leader, 0, pool)
+        )
+    };
     *ep = node.into_parent();
     Ok(out)
 }

@@ -62,6 +62,7 @@ mod communicator;
 mod error;
 mod hierarchical;
 mod nonblocking;
+mod observed;
 mod op;
 pub mod reference;
 mod rooted;
@@ -77,11 +78,12 @@ pub use communicator::{
     max_communicator_time, run_communicators, run_reactor_communicators,
     run_reactor_communicators_with, run_tcp_communicators, run_tcp_communicators_with,
     run_thread_communicators, Allgather, AllgatherSum, Allreduce, Broadcast, CollectiveHandle,
-    Communicator, DenseAllgather, Reduce, ReduceScatter,
+    Communicator, DenseAllgather, Reduce, ReduceScatter, ENV_CALIBRATE,
 };
 pub use error::CollError;
 pub use hierarchical::hierarchical_allreduce;
 pub use nonblocking::Request;
+pub use observed::{CalibrationConfig, ObservedCostModel};
 pub use op::BufferPool;
 pub use rooted::{
     allreduce_via_reduce_bcast, my_partition, sparse_broadcast, sparse_reduce,

@@ -4,6 +4,7 @@
 
 use bytes::Bytes;
 use sparcml_net::Transport;
+use sparcml_obs as obs;
 use sparcml_stream::{DensityPolicy, Scalar, SparseStream};
 
 use crate::error::CollError;
@@ -120,9 +121,11 @@ pub(crate) fn send_stream<T: Transport, V: Scalar>(
     blocking: bool,
     pool: &mut BufferPool,
 ) -> Result<(), CollError> {
+    let mut span = obs::span(obs::Category::Phase, "encode-send");
     let mut buf = pool.acquire();
     stream.encode_into(&mut buf);
     let payload = Bytes::from(buf);
+    span.set_arg(payload.len() as u64);
     if blocking {
         ep.send(dst, t, payload)?;
     } else {
@@ -143,6 +146,7 @@ pub(crate) fn send_stream_range<T: Transport, V: Scalar>(
     blocking: bool,
     pool: &mut BufferPool,
 ) -> Result<(), CollError> {
+    let mut span = obs::span(obs::Category::Phase, "encode-send");
     let mut buf = pool.acquire();
     match stream.sparse_view() {
         Some(view) => {
@@ -155,6 +159,7 @@ pub(crate) fn send_stream_range<T: Transport, V: Scalar>(
         None => stream.restrict(range.lo, range.hi).encode_into(&mut buf),
     }
     let payload = Bytes::from(buf);
+    span.set_arg(payload.len() as u64);
     if blocking {
         ep.send(dst, t, payload)?;
     } else {
@@ -170,7 +175,9 @@ pub(crate) fn recv_stream<T: Transport, V: Scalar>(
     t: u64,
     pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
+    let mut span = obs::span(obs::Category::Phase, "recv-decode");
     let payload = ep.recv(src, t)?;
+    span.set_arg(payload.len() as u64);
     let stream = SparseStream::decode(&payload)?;
     pool.recycle(payload);
     Ok(stream)
@@ -195,7 +202,9 @@ pub(crate) fn add_charged<T: Transport, V: Scalar>(
     other: &SparseStream<V>,
     policy: &DensityPolicy,
 ) -> Result<(), CollError> {
+    let mut span = obs::span(obs::Category::Phase, "merge");
     let stats = acc.add_assign_with(other, policy)?;
+    span.set_arg(stats.elements_processed as u64);
     ep.compute(stats.elements_processed);
     Ok(())
 }

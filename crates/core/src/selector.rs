@@ -22,7 +22,7 @@ use crate::theory::expected_union_size;
 /// doubling (serialized merges of growing streams) from the split family
 /// (reduction work distributed across ranks); the paper folds this
 /// trade-off into its practical δ discussion (§5.1).
-fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
+pub(crate) fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
     // Interpolation weight: how far E[K] sits between full overlap (K = k)
     // and no overlap (K = P·k).
     let k = w.k as f64;
@@ -69,6 +69,31 @@ fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f64) -> f64 {
     }
 }
 
+/// The candidate set the §5.3 sweep chooses among for this workload's
+/// regime: the *dynamic* instances (`E[K] ≥ δ`) compare DSAR against the
+/// dense baselines, the *static* ones compare the sparse schedules. The
+/// measurement-calibrated selector ([`crate::ObservedCostModel`]) explores
+/// exactly this set, so preset-based and calibrated Auto always pick from
+/// the same candidates.
+pub(crate) fn flat_candidates<V: Scalar>(p: usize, n: usize, k: usize) -> &'static [Algorithm] {
+    let ek = expected_union_size(n, p, k.min(n));
+    let delta = delta_raw::<V>(n) as f64;
+    if ek >= delta {
+        &[
+            Algorithm::DsarSplitAllgather,
+            Algorithm::DenseRabenseifner,
+            Algorithm::DenseRing,
+            Algorithm::DenseRecDbl,
+        ]
+    } else {
+        &[
+            Algorithm::SsarRecDbl,
+            Algorithm::SsarSplitAllgather,
+            Algorithm::SparseRing,
+        ]
+    }
+}
+
 /// Picks an allreduce algorithm for a `P`-rank reduction of `N`-dim
 /// vectors with `k` non-zeros per rank.
 ///
@@ -85,21 +110,7 @@ pub fn select_algorithm<V: Scalar>(p: usize, n: usize, k: usize, cost: &CostMode
         value_bytes: V::BYTES,
     };
     let ek = expected_union_size(n, p, k.min(n));
-    let delta = delta_raw::<V>(n) as f64;
-    let candidates: &[Algorithm] = if ek >= delta {
-        &[
-            Algorithm::DsarSplitAllgather,
-            Algorithm::DenseRabenseifner,
-            Algorithm::DenseRing,
-            Algorithm::DenseRecDbl,
-        ]
-    } else {
-        &[
-            Algorithm::SsarRecDbl,
-            Algorithm::SsarSplitAllgather,
-            Algorithm::SparseRing,
-        ]
-    };
+    let candidates = flat_candidates::<V>(p, n, k);
     *candidates
         .iter()
         .min_by(|a, b| {

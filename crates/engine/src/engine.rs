@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use sparcml_core::{Algorithm, AllreduceConfig, CollError, Communicator};
 use sparcml_net::{CommStats, TagBlockAllocator, Transport};
+use sparcml_obs as obs;
 use sparcml_stream::{fuse_streams, split_fused, FusedLayout, Scalar, SparseStream};
 
 use crate::agree::agree_min_u64;
@@ -229,6 +230,7 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
             // a spurious agreement round its peers are not entering.
             return tickets;
         }
+        let _span = obs::span_with(obs::Category::Engine, "submit", jobs.len() as u64);
         self.note_submissions(jobs.len() as u64);
         if self.tx.send(Msg::Jobs(jobs)).is_err() {
             // The progress thread is gone; resolve every ticket with the
@@ -441,6 +443,7 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
         // engine enters only while holding ≥ 1 pending job, so the agreed
         // prefix always extends past `executed`.
         let n_local = executed + pending.len() as u64;
+        let agree_span = obs::span_with(obs::Category::Engine, "agree-batch", n_local);
         let n_common = match agree_min_u64(comm.transport_mut(), control.next_block(), n_local) {
             Ok(n) => n,
             Err(e) => {
@@ -454,9 +457,11 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
             n_common > executed && n_common <= n_local,
             "agreement out of range"
         );
+        drop(agree_span);
         let batch: Vec<Job<V>> = pending.drain(..(n_common - executed) as usize).collect();
         executed = n_common;
         sink.stats.lock().expect("engine stats lock").batches += 1;
+        let _batch_span = obs::span_with(obs::Category::Engine, "batch", batch.len() as u64);
         run_batch(&mut comm, &cfg, batch, &sink, &mut poison);
     }
     comm.into_transport()
@@ -507,7 +512,9 @@ fn run_batch<T: Transport + Send + 'static, V: Scalar>(
     poison: &mut Option<CollError>,
 ) {
     let metas: Vec<JobMeta> = batch.iter().map(Job::meta).collect();
+    let plan_span = obs::span_with(obs::Category::Engine, "bucket-plan", metas.len() as u64);
     let mut buckets = plan_buckets(&metas, &cfg.fusion);
+    drop(plan_span);
     if cfg.priority_lifo {
         buckets.reverse();
     }
@@ -580,12 +587,19 @@ fn run_allreduce_bucket<T: Transport + Send + 'static, V: Scalar>(
     }
     let outcome = (|| -> Result<Vec<SparseStream<V>>, CollError> {
         if inputs.len() == 1 {
+            let _exec = obs::span_with(obs::Category::Engine, "execute", inputs[0].dim() as u64);
             let result = run_chunked_allreduce(comm, cfg, &inputs[0], sink)?;
             return Ok(vec![result]);
         }
+        let fuse_span = obs::span_with(obs::Category::Engine, "fuse", inputs.len() as u64);
         let refs: Vec<&SparseStream<V>> = inputs.iter().collect();
         let (fused, layout) = fuse_streams(&refs)?;
-        let fused_result = run_chunked_allreduce(comm, cfg, &fused, sink)?;
+        drop(fuse_span);
+        let fused_result = {
+            let _exec = obs::span_with(obs::Category::Engine, "execute", fused.dim() as u64);
+            run_chunked_allreduce(comm, cfg, &fused, sink)?
+        };
+        let _split_span = obs::span_with(obs::Category::Engine, "split", layout.parts() as u64);
         Ok(split_fused(&fused_result, &layout)?)
     })();
     // Counters first: a caller observing its ticket resolve must already

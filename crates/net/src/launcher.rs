@@ -34,8 +34,11 @@
 
 use std::io::Read;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
+
+use sparcml_obs as obs;
 
 use crate::backend::{SocketTransport, TransportBackend, ENV_TRANSPORT};
 use crate::error::CommError;
@@ -80,6 +83,14 @@ pub struct LaunchOptions {
     pub topology: Option<Topology>,
     /// Extra environment variables for every rank.
     pub env: Vec<(String, String)>,
+    /// Span-trace output directory, exported to every rank as
+    /// `SPARCML_TRACE`: each rank installs a recorder at startup, writes
+    /// `trace-rank{r}.json` on orderly shutdown, and the parent merges
+    /// the per-rank files into a single Chrome trace
+    /// (`trace-merged.json`, one `pid` per rank) once the job finishes.
+    /// `None` still honors a `SPARCML_TRACE` inherited from the parent's
+    /// own environment.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for LaunchOptions {
@@ -92,6 +103,7 @@ impl Default for LaunchOptions {
             transport: None,
             topology: None,
             env: Vec::new(),
+            trace_dir: None,
         }
     }
 }
@@ -129,6 +141,13 @@ impl LaunchOptions {
     /// [`LaunchOptions::transport`]).
     pub fn with_transport(mut self, transport: TransportBackend) -> Self {
         self.transport = Some(transport);
+        self
+    }
+
+    /// Builder-style span-trace directory (see
+    /// [`LaunchOptions::trace_dir`]).
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 }
@@ -246,10 +265,19 @@ where
             // Spawned for a different job — not ours to run.
             _ => return None,
         }
+        // Tracing: if the parent exported SPARCML_TRACE (or it was
+        // already in the environment), record spans for this rank's
+        // whole lifetime and flush them after orderly teardown.
+        obs::install_from_env();
         let mut tp =
             connect().unwrap_or_else(|e| panic!("rank {rank} failed to join the cluster: {e}"));
         let out = f(&mut tp);
         drop(tp); // orderly teardown: drain queued frames, FIN, join I/O
+        if let Ok(r) = rank.parse::<usize>() {
+            if let Err(e) = obs::flush_trace_for_rank(r) {
+                eprintln!("rank {r}: failed to write span trace: {e}");
+            }
+        }
         println!("{RESULT_MARKER}{rank}:{}", to_hex(&out));
         return None;
     }
@@ -291,6 +319,9 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
     let root_addr = reserve_loopback_addr();
     let exe = std::env::current_exe().expect("current executable path");
     let deadline = Instant::now() + opts.timeout;
+    // An explicit trace_dir wins; otherwise honor a SPARCML_TRACE the
+    // children will inherit from this process's environment anyway.
+    let trace_dir = opts.trace_dir.clone().or_else(obs::trace_env_dir);
 
     struct Running {
         child: Child,
@@ -329,6 +360,9 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
                 let nodes: Vec<String> = (0..world).map(|r| topo.node_of(r).to_string()).collect();
                 cmd.env(ENV_NODES, nodes.join(","));
                 cmd.env(ENV_NODE, topo.node_of(rank).to_string());
+            }
+            if let Some(dir) = &opts.trace_dir {
+                cmd.env(obs::ENV_TRACE, dir);
             }
             for (k, v) in &opts.env {
                 cmd.env(k, v);
@@ -372,7 +406,7 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
         std::thread::sleep(Duration::from_millis(10));
     }
 
-    running
+    let outcomes: Vec<RankOutcome> = running
         .into_iter()
         .enumerate()
         .map(|(rank, mut r)| {
@@ -388,7 +422,21 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
                 timed_out: r.timed_out,
             }
         })
-        .collect()
+        .collect();
+    if let Some(dir) = trace_dir {
+        // Best-effort: merge whatever per-rank traces the children wrote
+        // (crashed ranks simply have no file). Never fails the job.
+        match obs::merge_traces(&dir, world) {
+            Ok((path, included)) => {
+                eprintln!(
+                    "merged span trace for ranks {included:?} -> {}",
+                    path.display()
+                );
+            }
+            Err(e) => eprintln!("failed to merge span traces in {}: {e}", dir.display()),
+        }
+    }
+    outcomes
 }
 
 fn drain<R: Read + Send + 'static>(mut pipe: R) -> std::thread::JoinHandle<String> {

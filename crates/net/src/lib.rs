@@ -58,7 +58,7 @@ mod topology;
 mod transport;
 
 pub use backend::{SocketTransport, TransportBackend, ENV_TRANSPORT};
-pub use cluster::{max_virtual_time, run_cluster};
+pub use cluster::{max_virtual_time, run_cluster, run_cluster_with_hint};
 pub use config::{
     TransportConfig, DEFAULT_MAX_EVENTS, DEFAULT_MAX_FRAME_LEN, DEFAULT_WRITE_BATCH_FRAMES,
     SERVER_MAX_FRAME_LEN,

@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use epoll::{Events, Interest, Poller, Waker};
+use sparcml_obs as obs;
 
 use crate::bootstrap::{self, RootRendezvous};
 use crate::config::TransportConfig;
@@ -199,7 +200,11 @@ impl LoopCtx {
                 self.fail_all(format!("event loop poll failed: {e}"));
                 return;
             }
-            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+            let wakeups = self.shared.wakeups.fetch_add(1, Ordering::Relaxed) + 1;
+            // Phase span per loop iteration, annotated with the running
+            // wakeup count; compiles down to one flag check when no
+            // recorder is installed.
+            let _loop_span = obs::span_with(obs::Category::Reactor, "wakeup", wakeups);
             for ev in events.iter() {
                 if ev.token == WAKER_TOKEN {
                     self.shared.waker.drain();
@@ -255,6 +260,7 @@ impl LoopCtx {
     /// Drains the readable socket: resumes any partial frame, then keeps
     /// assembling complete frames into the mailbox until `WouldBlock`.
     fn handle_readable(&mut self, peer: usize) {
+        let mut read_span = obs::span(obs::Category::Reactor, "drain-reads");
         let mut failure: Option<String> = None;
         let mut frames = 0u64;
         {
@@ -329,6 +335,7 @@ impl LoopCtx {
                 }
             }
         }
+        read_span.set_arg(frames);
         if frames > 0 {
             self.shared
                 .read_batch_frames
@@ -344,6 +351,7 @@ impl LoopCtx {
     /// `write_batch_frames` fresh frames from the outbox. Arms or disarms
     /// `EPOLLOUT` interest to match whether anything remains.
     fn drain_writes(&mut self, peer: usize) {
+        let mut write_span = obs::span(obs::Category::Reactor, "drain-writes");
         let mut failure: Option<String> = None;
         {
             let Some(ps) = self.shared.peers[peer].as_ref() else {
@@ -436,6 +444,7 @@ impl LoopCtx {
                 }
             }
         }
+        write_span.set_arg(self.shared.partial_writes.load(Ordering::Relaxed));
         if let Some(detail) = failure {
             self.fail_peer(peer, detail);
         }

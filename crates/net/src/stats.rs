@@ -1,57 +1,82 @@
 //! Per-endpoint communication statistics.
 
-/// Traffic and work counters accumulated by an endpoint.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct CommStats {
+/// Declares [`CommStats`] from one authoritative field list: the struct
+/// itself, [`CommStats::merge`], [`CommStats::since`], and
+/// [`CommStats::fields`] are all generated from the same invocation, so
+/// adding a counter is a one-line change that cannot drift between the
+/// accessors (they used to be three hand-maintained lists).
+macro_rules! comm_stats_fields {
+    ($( $(#[$doc:meta])* $field:ident, )+) => {
+        /// Traffic and work counters accumulated by an endpoint.
+        #[derive(Debug, Clone, Default, PartialEq, Eq)]
+        pub struct CommStats {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        impl CommStats {
+            /// Number of raw counters (excluding derived rates).
+            pub const FIELD_COUNT: usize = 0 $( + { let _ = stringify!($field); 1 } )+;
+
+            /// Merges another counter set into this one.
+            pub fn merge(&mut self, other: &CommStats) {
+                $( self.$field += other.$field; )+
+            }
+
+            /// Counter deltas accumulated since `baseline` was snapshotted.
+            /// Saturates at zero, so a clock/stats reset between the snapshots
+            /// yields the post-reset counts instead of wrapping.
+            pub fn since(&self, baseline: &CommStats) -> CommStats {
+                CommStats {
+                    $( $field: self.$field.saturating_sub(baseline.$field), )+
+                }
+            }
+
+            /// Counter names and values in declaration order — the single
+            /// source of truth behind [`CommStats::render_text`],
+            /// [`CommStats::render_json`], and the serve `/metrics`
+            /// Prometheus exposition, so the renderings can never drift.
+            pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+                [ $( (stringify!($field), self.$field), )+ ]
+            }
+        }
+    };
+}
+
+comm_stats_fields! {
     /// Messages injected (send + isend).
-    pub msgs_sent: u64,
+    msgs_sent,
     /// Payload bytes injected.
-    pub bytes_sent: u64,
+    bytes_sent,
     /// Messages received.
-    pub msgs_recv: u64,
+    msgs_recv,
     /// Payload bytes received.
-    pub bytes_recv: u64,
+    bytes_recv,
     /// Element operations charged via `compute`.
-    pub compute_elements: u64,
+    compute_elements,
     /// Collective sub-operations started on this session — one per tag
     /// block drawn from the op-id counter (`Transport::next_op_id`).
     /// Adaptive collectives count their agreement round separately.
-    pub collectives: u64,
+    collectives,
     /// Message-buffer acquisitions from the session's persistent
     /// `BufferPool` (filled in by `Communicator::stats_snapshot`; raw
     /// transports report zero).
-    pub pool_acquires: u64,
+    pool_acquires,
     /// How many of those acquisitions reused a pooled allocation instead
     /// of allocating fresh.
-    pub pool_reuses: u64,
+    pool_reuses,
     /// Event-loop wakeups (`epoll_wait` returns) on the reactor
     /// transport; thread-per-peer transports report zero.
-    pub wakeups: u64,
+    wakeups,
     /// Write syscalls that moved fewer bytes than requested (socket
     /// backpressure observed by the reactor's nonblocking writes).
-    pub partial_writes: u64,
+    partial_writes,
     /// Complete frames delivered by the reactor's readable-batch drains —
     /// `read_batch_frames / wakeups` approximates frames amortized per
     /// wakeup.
-    pub read_batch_frames: u64,
+    read_batch_frames,
 }
 
 impl CommStats {
-    /// Merges another counter set into this one.
-    pub fn merge(&mut self, other: &CommStats) {
-        self.msgs_sent += other.msgs_sent;
-        self.bytes_sent += other.bytes_sent;
-        self.msgs_recv += other.msgs_recv;
-        self.bytes_recv += other.bytes_recv;
-        self.compute_elements += other.compute_elements;
-        self.collectives += other.collectives;
-        self.pool_acquires += other.pool_acquires;
-        self.pool_reuses += other.pool_reuses;
-        self.wakeups += other.wakeups;
-        self.partial_writes += other.partial_writes;
-        self.read_batch_frames += other.read_batch_frames;
-    }
-
     /// Fraction of buffer acquisitions served from the pool (`0.0` when
     /// nothing was acquired). The steady state of a long-lived session
     /// approaches `1.0`: every collective after the first reuses the
@@ -71,51 +96,9 @@ impl CommStats {
         self.clone()
     }
 
-    /// Counter deltas accumulated since `baseline` was snapshotted.
-    /// Saturates at zero, so a clock/stats reset between the snapshots
-    /// yields the post-reset counts instead of wrapping.
-    pub fn since(&self, baseline: &CommStats) -> CommStats {
-        CommStats {
-            msgs_sent: self.msgs_sent.saturating_sub(baseline.msgs_sent),
-            bytes_sent: self.bytes_sent.saturating_sub(baseline.bytes_sent),
-            msgs_recv: self.msgs_recv.saturating_sub(baseline.msgs_recv),
-            bytes_recv: self.bytes_recv.saturating_sub(baseline.bytes_recv),
-            compute_elements: self
-                .compute_elements
-                .saturating_sub(baseline.compute_elements),
-            collectives: self.collectives.saturating_sub(baseline.collectives),
-            pool_acquires: self.pool_acquires.saturating_sub(baseline.pool_acquires),
-            pool_reuses: self.pool_reuses.saturating_sub(baseline.pool_reuses),
-            wakeups: self.wakeups.saturating_sub(baseline.wakeups),
-            partial_writes: self.partial_writes.saturating_sub(baseline.partial_writes),
-            read_batch_frames: self
-                .read_batch_frames
-                .saturating_sub(baseline.read_batch_frames),
-        }
-    }
-
     /// Zeroes every counter.
     pub fn reset(&mut self) {
         *self = CommStats::default();
-    }
-
-    /// Counter names and values in a fixed order — the single source of
-    /// truth behind [`CommStats::render_text`] and
-    /// [`CommStats::render_json`], so the two renderings can never drift.
-    fn fields(&self) -> [(&'static str, u64); 11] {
-        [
-            ("msgs_sent", self.msgs_sent),
-            ("bytes_sent", self.bytes_sent),
-            ("msgs_recv", self.msgs_recv),
-            ("bytes_recv", self.bytes_recv),
-            ("compute_elements", self.compute_elements),
-            ("collectives", self.collectives),
-            ("pool_acquires", self.pool_acquires),
-            ("pool_reuses", self.pool_reuses),
-            ("wakeups", self.wakeups),
-            ("partial_writes", self.partial_writes),
-            ("read_batch_frames", self.read_batch_frames),
-        ]
     }
 
     /// Stable plaintext rendering: one `name value` line per counter plus
@@ -186,6 +169,23 @@ mod tests {
         assert_eq!(a.wakeups, 24);
         assert_eq!(a.partial_writes, 8);
         assert_eq!(a.read_batch_frames, 14);
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // The macro derives merge from the field list; double the sample
+        // and check *every* published field doubled, via fields() itself.
+        let mut doubled = sample();
+        doubled.merge(&sample());
+        for ((name, one), (_, two)) in sample().fields().iter().zip(doubled.fields().iter()) {
+            assert_eq!(one * 2, *two, "field {name} not merged");
+        }
+    }
+
+    #[test]
+    fn field_count_matches_fields_len() {
+        assert_eq!(CommStats::FIELD_COUNT, sample().fields().len());
+        assert_eq!(CommStats::FIELD_COUNT, 11);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! # sparcml-obs
+//!
+//! Observability primitives for the SparCML reproduction:
+//!
+//! * [`span`] / [`span_with`]: a lock-light phase-level span recorder.
+//!   Each thread writes finished spans into its own bounded ring buffer
+//!   of atomic slots — no allocation and no locking on the hot path
+//!   beyond an atomic index, and a single `static` flag check when no
+//!   recorder is installed.
+//! * [`LatencyHisto`]: a dependency-free log-bucketed latency histogram
+//!   with `record`/`merge`/`quantile`, keyed in the global
+//!   [`metrics::global`] registry by `(algorithm, size-class)`.
+//! * [`TraceSink`]: a hand-written Chrome trace-event JSON exporter so
+//!   any run can be opened in Perfetto, with per-rank process ids and
+//!   per-thread tracks. Driven by the `SPARCML_TRACE=<dir>` environment
+//!   variable (see [`install_from_env`] and [`flush_trace_for_rank`]).
+//! * [`json`]: a minimal JSON parser/printer used to validate and merge
+//!   the emitted traces without external dependencies.
+//!
+//! The crate is a leaf: it depends on nothing but `std`, so every other
+//! SparCML crate (net, core, engine, serve, bench) can instrument itself
+//! without dependency cycles.
+//!
+//! ```
+//! use sparcml_obs::{Category, Recorder, RecorderConfig};
+//!
+//! let _ = Recorder::install(RecorderConfig::default());
+//! {
+//!     let mut s = sparcml_obs::span(Category::Engine, "demo-batch");
+//!     s.set_arg(3);
+//! } // span recorded on drop
+//! let threads = Recorder::uninstall();
+//! assert!(threads.iter().any(|t| t.spans.iter().any(|s| s.name == "demo-batch")));
+//! ```
+
+#![warn(missing_docs)]
+
+mod histo;
+pub mod json;
+mod span;
+mod trace;
+
+pub use histo::{LatencyHisto, LatencyRegistry, HISTO_BUCKETS};
+pub use span::{
+    enabled, span, span_with, Category, OwnedSpan, Recorder, RecorderConfig, SpanGuard, ThreadSpans,
+};
+pub use trace::{
+    flush_trace_for_rank, install_from_env, merge_traces, trace_env_dir, TraceSink, ENV_TRACE,
+    MERGED_TRACE_FILE,
+};
+
+/// Global metric registries that outlive any single recorder install.
+pub mod metrics {
+    use super::histo::LatencyRegistry;
+    use std::sync::OnceLock;
+
+    static GLOBAL: OnceLock<LatencyRegistry> = OnceLock::new();
+
+    /// The process-wide latency registry, keyed by `(label, size-class)`.
+    ///
+    /// Collectives record per-algorithm wall/virtual durations here; the
+    /// serve `/metrics` endpoint and `Communicator::stats_report` render
+    /// it. Created lazily on first use.
+    pub fn global() -> &'static LatencyRegistry {
+        GLOBAL.get_or_init(LatencyRegistry::new)
+    }
+}

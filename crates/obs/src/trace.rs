@@ -1,0 +1,280 @@
+//! Chrome trace-event JSON export and `SPARCML_TRACE` plumbing.
+//!
+//! The emitted files follow the Chrome trace-event "JSON object format"
+//! (`{"traceEvents": [...]}`) with complete (`ph:"X"`) events and
+//! process/thread name metadata, so they open directly in Perfetto or
+//! `chrome://tracing`. One file per rank; [`merge_traces`] concatenates
+//! the per-rank event arrays into a single trace where each rank is a
+//! distinct process (`pid` = rank).
+
+use crate::json::{self, escape_into, Value};
+use crate::span::{anchor_unix_us, Recorder, ThreadSpans};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming a directory to write per-rank Chrome
+/// traces into. When set, transports/launchers install a recorder at
+/// startup and write `trace-rank{r}.json` on orderly shutdown.
+pub const ENV_TRACE: &str = "SPARCML_TRACE";
+
+/// File name of the merged all-ranks trace written by the launcher.
+pub const MERGED_TRACE_FILE: &str = "trace-merged.json";
+
+/// The trace directory requested via [`ENV_TRACE`], if any.
+pub fn trace_env_dir() -> Option<PathBuf> {
+    std::env::var(ENV_TRACE)
+        .ok()
+        .filter(|d| !d.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Install a default recorder if [`ENV_TRACE`] is set and none is
+/// installed yet. Returns true if tracing is active after the call.
+pub fn install_from_env() -> bool {
+    if trace_env_dir().is_none() {
+        return false;
+    }
+    Recorder::install(crate::RecorderConfig::default());
+    true
+}
+
+/// Serializer for Chrome trace-event JSON.
+pub struct TraceSink;
+
+impl TraceSink {
+    /// Write one process's spans as a complete Chrome trace document.
+    ///
+    /// `pid` should be the rank so merged traces keep ranks apart;
+    /// `process_name` labels the process track (e.g. `"rank 3"`).
+    /// Timestamps are wall-clock-anchored microseconds so independently
+    /// written ranks line up on a shared axis after merging.
+    pub fn write_chrome_trace<W: io::Write>(
+        w: &mut W,
+        pid: u64,
+        process_name: &str,
+        threads: &[ThreadSpans],
+    ) -> io::Result<()> {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        let push = |line: String, out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(&line);
+        };
+        let mut name_buf = String::new();
+        name_buf.clear();
+        escape_into(process_name, &mut name_buf);
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{name_buf}}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+        let anchor_us = anchor_unix_us();
+        for t in threads {
+            name_buf.clear();
+            escape_into(&t.thread_name, &mut name_buf);
+            push(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+                     \"args\":{{\"name\":{name_buf}}}}}",
+                    t.tid
+                ),
+                &mut out,
+                &mut first,
+            );
+            for s in &t.spans {
+                name_buf.clear();
+                escape_into(s.name, &mut name_buf);
+                let ts = anchor_us as f64 + s.start_ns as f64 / 1e3;
+                let dur = s.dur_ns as f64 / 1e3;
+                let mut line = String::new();
+                let _ = write!(
+                    line,
+                    "{{\"name\":{name_buf},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\
+                     \"dur\":{dur:.3},\"pid\":{pid},\"tid\":{}",
+                    s.cat.as_str(),
+                    t.tid
+                );
+                if s.arg != 0 {
+                    let _ = write!(line, ",\"args\":{{\"v\":{}}}", s.arg);
+                }
+                line.push('}');
+                push(line, &mut out, &mut first);
+            }
+        }
+        out.push_str("\n]}\n");
+        w.write_all(out.as_bytes())
+    }
+}
+
+/// Name of the per-rank trace file inside the trace directory.
+pub fn rank_trace_file(rank: usize) -> String {
+    format!("trace-rank{rank}.json")
+}
+
+/// Drain the installed recorder and write this process's trace as
+/// `trace-rank{rank}.json` inside the [`ENV_TRACE`] directory.
+///
+/// Returns `Ok(None)` when tracing is not configured or no recorder is
+/// installed — callers sprinkle this on every orderly shutdown path and
+/// it stays silent unless the user asked for a trace. The directory is
+/// created if missing.
+pub fn flush_trace_for_rank(rank: usize) -> io::Result<Option<PathBuf>> {
+    let Some(dir) = trace_env_dir() else {
+        return Ok(None);
+    };
+    if !Recorder::is_installed() {
+        return Ok(None);
+    }
+    let threads = Recorder::drain();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(rank_trace_file(rank));
+    let mut file = std::fs::File::create(&path)?;
+    TraceSink::write_chrome_trace(&mut file, rank as u64, &format!("rank {rank}"), &threads)?;
+    Ok(Some(path))
+}
+
+/// Merge the per-rank traces `trace-rank{0..world}.json` found in `dir`
+/// into `trace-merged.json`, validating each input with the in-crate
+/// JSON parser. Ranks whose file is missing (e.g. a crashed child) are
+/// skipped; returns the merged path and the list of ranks included.
+pub fn merge_traces(dir: &Path, world: usize) -> io::Result<(PathBuf, Vec<usize>)> {
+    let mut events: Vec<Value> = Vec::new();
+    let mut included = Vec::new();
+    for rank in 0..world {
+        let path = dir.join(rank_trace_file(rank));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let parsed = json::parse(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: invalid trace JSON: {e}", path.display()),
+            )
+        })?;
+        let rank_events = parsed
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: missing traceEvents array", path.display()),
+                )
+            })?;
+        events.extend(rank_events.iter().cloned());
+        included.push(rank);
+    }
+    let merged = Value::Obj(vec![("traceEvents".into(), Value::Arr(events))]);
+    let out_path = dir.join(MERGED_TRACE_FILE);
+    std::fs::write(&out_path, merged.render())?;
+    Ok((out_path, included))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Category, OwnedSpan};
+
+    fn fake_threads() -> Vec<ThreadSpans> {
+        vec![ThreadSpans {
+            tid: 0,
+            thread_name: "main".into(),
+            spans: vec![
+                OwnedSpan {
+                    cat: Category::Engine,
+                    name: "batch",
+                    start_ns: 1_000,
+                    dur_ns: 9_000,
+                    arg: 4,
+                },
+                OwnedSpan {
+                    cat: Category::Phase,
+                    name: "exchange",
+                    start_ns: 2_000,
+                    dur_ns: 3_000,
+                    arg: 0,
+                },
+            ],
+            dropped: 0,
+        }]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_shape() {
+        let mut buf = Vec::new();
+        TraceSink::write_chrome_trace(&mut buf, 2, "rank 2", &fake_threads()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // metadata (process + thread) and two X events
+        assert_eq!(events.len(), 4);
+        let x: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 2);
+        for e in &x {
+            assert_eq!(e.get("pid").unwrap().as_f64().unwrap(), 2.0);
+            assert!(e.get("ts").unwrap().as_f64().unwrap() > 0.0);
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+        }
+        // spans nest: exchange inside batch on the same tid
+        let batch = x
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("batch"))
+            .unwrap();
+        let exch = x
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("exchange"))
+            .unwrap();
+        let (bts, bdur) = (
+            batch.get("ts").unwrap().as_f64().unwrap(),
+            batch.get("dur").unwrap().as_f64().unwrap(),
+        );
+        let (ets, edur) = (
+            exch.get("ts").unwrap().as_f64().unwrap(),
+            exch.get("dur").unwrap().as_f64().unwrap(),
+        );
+        assert!(ets >= bts && ets + edur <= bts + bdur);
+        assert_eq!(
+            batch.get("args").unwrap().get("v").unwrap().as_f64(),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn merge_combines_ranks_with_distinct_pids() {
+        let dir = std::env::temp_dir().join(format!("sparcml-obs-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for rank in 0..3usize {
+            let path = dir.join(rank_trace_file(rank));
+            let mut f = std::fs::File::create(&path).unwrap();
+            TraceSink::write_chrome_trace(
+                &mut f,
+                rank as u64,
+                &format!("rank {rank}"),
+                &fake_threads(),
+            )
+            .unwrap();
+        }
+        let (merged, included) = merge_traces(&dir, 3).unwrap();
+        assert_eq!(included, vec![0, 1, 2]);
+        let v = json::parse(&std::fs::read_to_string(&merged).unwrap()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut pids: Vec<i64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Value::as_f64))
+            .map(|p| p as i64)
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids, vec![0, 1, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -55,7 +55,8 @@ pub enum CommMode {
     /// ([`sparcml_engine::Engine`]): the compressed gradient is split at
     /// the model's [`crate::nn::FlatModel::layer_ranges`] boundaries and
     /// the layers go out as one fused, priority-scheduled group.
-    Engine(EngineConfig),
+    /// Boxed: the config dwarfs the data-less `Flat` variant.
+    Engine(Box<EngineConfig>),
 }
 
 /// Distributed NN training configuration.
@@ -526,7 +527,7 @@ mod tests {
             &[32, 16, 5],
             2,
             CostModel::zero(),
-            &mk(CommMode::Engine(EngineConfig::default())),
+            &mk(CommMode::Engine(Box::default())),
         );
         assert_eq!(flat.params(), engine.params());
     }
@@ -540,7 +541,7 @@ mod tests {
                 k_per_bucket: 8,
                 bucket_size: 64,
             }),
-            comm: CommMode::Engine(EngineConfig::default()),
+            comm: CommMode::Engine(Box::default()),
             ..Default::default()
         };
         let results = run_communicators(4, CostModel::zero(), |comm| {

@@ -1,7 +1,9 @@
 //! Plaintext health/stats endpoint.
 //!
 //! A second listener next to the session port answers `GET /stats`
-//! (plaintext) and `GET /stats.json` with a point-in-time report:
+//! (plaintext), `GET /stats.json`, and `GET /metrics` (Prometheus text
+//! format: session gauges, transport counters, and the per-algorithm
+//! collective-latency histograms) with a point-in-time report:
 //! session lifecycle counts (including which sessions the watchdog
 //! reaped), queue depth against capacity, per-model generations, and
 //! the transport counters via [`CommStats::render_text`] /
@@ -60,6 +62,11 @@ fn serve_one(mut stream: TcpStream, shared: &Arc<Shared>) {
         .to_string();
     let (content_type, body) = if path.ends_with(".json") {
         ("application/json", render_json(shared))
+    } else if path == "/metrics" {
+        (
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(shared),
+        )
     } else {
         ("text/plain; charset=utf-8", render_text(shared))
     };
@@ -181,6 +188,53 @@ pub(crate) fn render_text(shared: &Shared) -> String {
         }
     }
     out.push_str(&shared.stats_snapshot().render_text());
+    out
+}
+
+/// The Prometheus text-format report served at `GET /metrics`: session
+/// gauges, queue depth, the transport counters from
+/// [`CommStats::fields`] as monotonic counters, and the process-wide
+/// per-(algorithm, size-class) collective-latency histograms.
+pub(crate) fn render_prometheus(shared: &Shared) -> String {
+    let mut out = String::new();
+    let s = summarize_sessions(shared);
+    out.push_str("# TYPE sparcml_serve_sessions gauge\n");
+    for (phase, n) in [
+        ("active", s.active),
+        ("disconnected", s.disconnected),
+        ("reaped", s.reaped),
+        ("departed", s.departed),
+    ] {
+        out.push_str(&format!(
+            "sparcml_serve_sessions{{phase=\"{phase}\"}} {n}\n"
+        ));
+    }
+    out.push_str("# TYPE sparcml_serve_queue_depth gauge\n");
+    out.push_str(&format!(
+        "sparcml_serve_queue_depth {}\n",
+        shared.queue.len()
+    ));
+    out.push_str("# TYPE sparcml_serve_queue_capacity gauge\n");
+    out.push_str(&format!(
+        "sparcml_serve_queue_capacity {}\n",
+        shared.queue.capacity()
+    ));
+    out.push_str("# TYPE sparcml_serve_busy_rejections_total counter\n");
+    out.push_str(&format!(
+        "sparcml_serve_busy_rejections_total {}\n",
+        Gauges::get(&shared.gauges.busy_rejections)
+    ));
+    out.push_str("# TYPE sparcml_serve_applied_contributions_total counter\n");
+    out.push_str(&format!(
+        "sparcml_serve_applied_contributions_total {}\n",
+        Gauges::get(&shared.gauges.applied_contributions)
+    ));
+    for (name, value) in shared.stats_snapshot().fields() {
+        out.push_str(&format!(
+            "# TYPE sparcml_net_{name}_total counter\nsparcml_net_{name}_total {value}\n"
+        ));
+    }
+    sparcml_obs::metrics::global().render_prometheus(&mut out);
     out
 }
 

@@ -31,6 +31,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use sparcml_core::BufferPool;
 use sparcml_engine::SubmissionQueue;
 use sparcml_net::{CommError, CommStats};
+use sparcml_obs as obs;
 use sparcml_stream::{partition_range, DensityPolicy, PartRange, SparseStream};
 
 use crate::config::ServeConfig;
@@ -343,6 +344,7 @@ fn send_direct(shared: &Shared, stream: &mut TcpStream, frame: &Frame) {
 fn session_thread(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let max_frame = shared.cfg.transport.max_frame_len;
+    let handshake_span = obs::span(obs::Category::Serve, "handshake");
 
     // Handshake under the bootstrap deadline.
     let _ = stream.set_read_timeout(Some(shared.cfg.transport.connect_timeout));
@@ -470,6 +472,8 @@ fn session_thread(mut stream: TcpStream, shared: &Arc<Shared>) {
             models,
         }),
     );
+    drop(handshake_span);
+    let _session_span = obs::span(obs::Category::Serve, "session");
 
     // Main loop under the idle watchdog.
     let _ = stream.set_read_timeout(Some(shared.cfg.effective_idle_timeout()));
@@ -478,6 +482,8 @@ fn session_thread(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok((frame, bytes)) => {
                 Gauges::bump(&shared.gauges.frames_recv, 1);
                 Gauges::bump(&shared.gauges.bytes_recv, bytes as u64);
+                let _frame_span =
+                    obs::span_with(obs::Category::Serve, frame_span_name(&frame), bytes as u64);
                 match handle_frame(shared, &session, &outbox_tx, &queued_slot, frame) {
                     SessionFlow::Continue => {}
                     SessionFlow::End(phase) => break phase,
@@ -524,6 +530,19 @@ fn session_thread(mut stream: TcpStream, shared: &Arc<Shared>) {
 enum SessionFlow {
     Continue,
     End(SessionPhase),
+}
+
+/// Span name for one inbound frame on a session track — static strings
+/// because the span recorder stores `&'static str` names.
+fn frame_span_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "frame-hello",
+        Frame::Contribute { .. } => "frame-contribute",
+        Frame::Fetch { .. } => "frame-fetch",
+        Frame::Subscribe { .. } => "frame-subscribe",
+        Frame::Bye => "frame-bye",
+        _ => "frame-other",
+    }
 }
 
 fn handle_frame(

@@ -386,3 +386,90 @@ fn health_endpoint_serves_plaintext_and_json_over_http() {
     client.close();
     server.shutdown();
 }
+
+#[test]
+fn metrics_endpoint_serves_parseable_prometheus_text() {
+    use std::io::Read;
+    let server = Server::start(grad_config()).unwrap();
+    let mut client = ServeClient::connect("prom-prober", &[server.addr()]).unwrap();
+    client
+        .contribute(0, &pairs(&[(1, 1.0)]), Duration::from_secs(5))
+        .unwrap();
+    // Seed the process-wide latency registry so the scrape carries
+    // histogram series, not just counters/gauges.
+    sparcml_obs::metrics::global().record("test-algo", 1024, 0.0015);
+    sparcml_obs::metrics::global().record("test-algo", 1024, 0.0030);
+
+    let mut s = TcpStream::connect(server.health_addr()).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.0 200 OK"), "{raw}");
+    assert!(raw.contains("text/plain; version=0.0.4"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap();
+
+    // Every non-comment line must have the exposition shape:
+    // `name{labels} value` or `name value`, value a finite float.
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("metrics line without value: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+            "unparseable value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "malformed label set in {line:?}"
+                );
+            }
+        }
+    }
+
+    // Counters from the CommStats field list, with TYPE annotations.
+    assert!(
+        raw.contains("# TYPE sparcml_net_msgs_recv_total counter"),
+        "{raw}"
+    );
+    assert!(raw.contains("sparcml_net_bytes_recv_total "), "{raw}");
+    assert!(
+        raw.contains("sparcml_serve_sessions{phase=\"active\"} 1"),
+        "{raw}"
+    );
+
+    // Histogram triplet: cumulative buckets, +Inf terminal, sum, count.
+    assert!(
+        raw.contains("# TYPE sparcml_collective_seconds histogram"),
+        "{raw}"
+    );
+    let bucket_prefix =
+        "sparcml_collective_seconds_bucket{algorithm=\"test-algo\",size_class=\"10\"";
+    assert!(raw.contains(bucket_prefix), "{raw}");
+    assert!(raw.contains("le=\"+Inf\"} 2"), "{raw}");
+    assert!(
+        raw.contains(
+            "sparcml_collective_seconds_count{algorithm=\"test-algo\",size_class=\"10\"} 2"
+        ),
+        "{raw}"
+    );
+    // Buckets are cumulative: the +Inf count equals _count.
+    let inf_line = body
+        .lines()
+        .find(|l| l.starts_with(bucket_prefix) && l.contains("+Inf"))
+        .expect("+Inf bucket present");
+    assert!(inf_line.ends_with(" 2"), "{inf_line}");
+
+    client.close();
+    server.shutdown();
+}

@@ -1,0 +1,127 @@
+//! End-to-end span-tracing demo (and the CI acceptance check for it):
+//! a 4-process TCP cluster runs instrumented collectives and an engine
+//! batch under `SPARCML_TRACE`, each rank flushes `trace-rank{r}.json`
+//! on orderly shutdown, the launcher merges them into one Chrome trace —
+//! and this binary then re-opens the merged file and asserts it is valid
+//! JSON carrying spans from *every* rank, including engine batch and
+//! collective phase spans.
+//!
+//! Run it:
+//!
+//! ```text
+//! cargo run --release --example trace_observability
+//! ```
+//!
+//! then load `target/trace-demo/trace-merged.json` at <https://ui.perfetto.dev>
+//! (or `chrome://tracing`). One process track per rank; the engine's
+//! progress thread and the session thread appear as separate rows.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sparcml::core::Communicator;
+use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
+use sparcml::net::{run_tcp_cluster, LaunchOptions, Transport};
+use sparcml::obs;
+use sparcml::stream::random_sparse;
+
+const WORLD: usize = 4;
+const DIM: usize = 1 << 14;
+const NNZ: usize = 512;
+
+fn trace_dir() -> PathBuf {
+    // Honor an explicit SPARCML_TRACE (the workers see it either way);
+    // default somewhere disposable.
+    obs::trace_env_dir().unwrap_or_else(|| PathBuf::from("target/trace-demo"))
+}
+
+fn main() {
+    let dir = trace_dir();
+    let opts = LaunchOptions::default()
+        .with_timeout(Duration::from_secs(120))
+        .with_trace_dir(&dir);
+
+    let Some(results) = run_tcp_cluster("trace_observability", WORLD, &opts, |tp| {
+        let mut comm = Communicator::new(tp.detach());
+        let rank = comm.rank();
+
+        // Direct collectives: Auto + a pinned schedule, so the trace
+        // carries both agreement and per-round phase spans.
+        let input = random_sparse::<f32>(DIM, NNZ, 42 + rank as u64);
+        for _ in 0..3 {
+            comm.allreduce(&input)
+                .launch()
+                .and_then(|h| h.wait())
+                .expect("allreduce");
+        }
+
+        // One engine batch: submit → agreement → bucket-plan → fuse →
+        // execute → split, recorded on the progress thread's track.
+        let mut engine = comm.engine::<f32>(EngineConfig::default());
+        let tickets: Vec<_> = (0..4)
+            .map(|i| engine.submit_allreduce(&random_sparse::<f32>(DIM, NNZ, 7 * i + rank as u64)))
+            .collect();
+        for t in tickets {
+            t.wait().expect("engine allreduce");
+        }
+        engine.finish_into(&mut comm).expect("engine shutdown");
+
+        *tp = comm.into_transport();
+        "ok".to_string()
+    }) else {
+        return; // worker rank: the parent does the asserting
+    };
+    assert_eq!(results.len(), WORLD);
+
+    // --- Parent: validate the merged trace. ---
+    let merged = dir.join(obs::MERGED_TRACE_FILE);
+    let raw = std::fs::read_to_string(&merged)
+        .unwrap_or_else(|e| panic!("merged trace {} unreadable: {e}", merged.display()));
+    let doc = obs::json::parse(&raw).expect("merged trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+
+    let mut pids = BTreeSet::new();
+    let mut names = BTreeSet::new();
+    for e in events {
+        if e.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            continue;
+        }
+        let pid = e.get("pid").and_then(|v| v.as_f64()).expect("X event pid") as usize;
+        pids.insert(pid);
+        if let Some(name) = e.get("name").and_then(|v| v.as_str()) {
+            names.insert(name.to_string());
+        }
+    }
+    let expect_pids: BTreeSet<usize> = (0..WORLD).collect();
+    assert_eq!(pids, expect_pids, "spans from every rank");
+    for required in [
+        "auto-resolve", // Auto's agreement span
+        "encode-send",  // per-round collective phases
+        "recv-decode",
+        "merge",
+        "agree-batch", // engine lifecycle
+        "batch",
+        "bucket-plan",
+        "fuse",
+        "execute",
+        "split",
+        "submit",
+    ] {
+        assert!(
+            names.contains(required),
+            "merged trace is missing '{required}' spans; have {names:?}"
+        );
+    }
+
+    println!(
+        "trace OK: {} events from ranks {:?} -> {}",
+        events.len(),
+        pids,
+        merged.display()
+    );
+    println!("open it at https://ui.perfetto.dev");
+}

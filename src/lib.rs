@@ -19,6 +19,7 @@
 pub use sparcml_core as core;
 pub use sparcml_engine as engine;
 pub use sparcml_net as net;
+pub use sparcml_obs as obs;
 pub use sparcml_opt as opt;
 pub use sparcml_quant as quant;
 pub use sparcml_serve as serve;

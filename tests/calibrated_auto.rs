@@ -1,0 +1,152 @@
+//! Measurement-calibrated `Auto` selection (the `ObservedCostModel`).
+//!
+//! The scenario the calibrator exists for: the planning cost model the
+//! selector consults (the transport's "hint") disagrees with the network
+//! the job actually runs on, so the static §5.3 preset picks a schedule
+//! that is not the empirically fastest one. A calibrating session
+//! measures each candidate during warm-up and converges to the true
+//! argmin; a preset-backed session keeps running the mis-pick forever.
+//!
+//! The split is realized with [`Endpoint::set_cost_hint`]: planning sees
+//! the hint, the virtual clock keeps charging the endpoint's real cost
+//! model — a deterministic stand-in for "the datasheet says α-bound, the
+//! fabric is β-bound".
+
+use sparcml::core::{max_communicator_time, run_communicators, select_algorithm, Algorithm};
+use sparcml::net::CostModel;
+use sparcml::stream::{random_sparse, SparseStream};
+
+const P: usize = 8;
+const DIM: usize = 1 << 18;
+const K: usize = 100_000;
+
+/// What the selector believes: a latency-dominated fabric, where
+/// few-round schedules (recursive doubling) look cheapest.
+fn hinted_cost() -> CostModel {
+    CostModel {
+        alpha: 5e-3,
+        beta: 1e-12,
+        gamma: 0.0,
+        isend_alpha_fraction: 0.0,
+    }
+}
+
+/// What the wire actually charges: bandwidth-dominated, where the
+/// ring's `2(P−1)/P·n·β` transfer volume wins.
+fn actual_cost() -> CostModel {
+    CostModel {
+        alpha: 1e-7,
+        beta: 5e-8,
+        gamma: 0.0,
+        isend_alpha_fraction: 0.0,
+    }
+}
+
+fn inputs() -> Vec<SparseStream<f32>> {
+    (0..P)
+        .map(|r| random_sparse(DIM, K, 7 + r as u64))
+        .collect()
+}
+
+/// The dense-regime candidate set of the §5.3 selector at this
+/// workload (`E[K] ≥ δ`), in its exploration order.
+const CANDIDATES: [Algorithm; 4] = [
+    Algorithm::DsarSplitAllgather,
+    Algorithm::DenseRabenseifner,
+    Algorithm::DenseRing,
+    Algorithm::DenseRecDbl,
+];
+
+/// Virtual time of one collective with `algo` pinned, under the network
+/// model that actually drives the clock.
+fn pinned_time(algo: Algorithm) -> f64 {
+    let ins = inputs();
+    max_communicator_time(P, actual_cost(), |comm| {
+        comm.allreduce(&ins[comm.rank()])
+            .algorithm(algo)
+            .launch()
+            .and_then(|h| h.wait())
+            .unwrap();
+    })
+}
+
+fn empirical_best() -> (Algorithm, f64) {
+    CANDIDATES
+        .iter()
+        .map(|&a| (a, pinned_time(a)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+}
+
+#[test]
+fn preset_auto_mis_picks_under_a_wrong_planning_model() {
+    let (best, best_t) = empirical_best();
+    let preset = select_algorithm::<f32>(P, DIM, K, &hinted_cost());
+    assert_ne!(
+        preset, best,
+        "precondition: the hinted model must mis-pick (preset {preset:?} \
+         vs empirical best {best:?} at {best_t:.4}s) — otherwise this \
+         scenario tests nothing"
+    );
+    // And the mis-pick is materially slower, not a coin flip.
+    let preset_t = pinned_time(preset);
+    assert!(
+        preset_t > best_t * 1.05,
+        "mis-pick {preset:?} ({preset_t:.4}s) should be >5% slower than \
+         {best:?} ({best_t:.4}s)"
+    );
+}
+
+#[test]
+fn calibrated_auto_converges_to_the_empirically_fastest_algorithm() {
+    let (best, _) = empirical_best();
+    let preset = select_algorithm::<f32>(P, DIM, K, &hinted_cost());
+    assert_ne!(preset, best, "precondition: hinted model mis-picks");
+
+    let ins = inputs();
+    // Warm-up explores each of the 4 candidates `warmup_samples` (2)
+    // times; everything after iteration 8 should run the measured argmin.
+    const ITERS: usize = 14;
+    let picks = run_communicators(P, actual_cost(), |comm| {
+        comm.transport_mut().set_cost_hint(hinted_cost());
+        let cal = comm.enable_calibration();
+        for _ in 0..ITERS {
+            comm.allreduce(&ins[comm.rank()])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+        }
+        let converged = cal.select::<f32>(P, DIM, K);
+        let post_warmup = cal.samples(converged, K);
+        (converged, post_warmup)
+    });
+
+    for (rank, (converged, post_warmup)) in picks.into_iter().enumerate() {
+        assert_eq!(
+            converged, best,
+            "rank {rank}: calibrated Auto should converge to the \
+             empirically fastest algorithm"
+        );
+        // 2 warm-up samples plus every post-warm-up iteration.
+        assert!(
+            post_warmup >= 2 + (ITERS as u64 - 2 * CANDIDATES.len() as u64),
+            "rank {rank}: converged pick ran only {post_warmup} times"
+        );
+    }
+
+    // The preset-backed session, by contrast, never leaves the mis-pick:
+    // its selection is a pure function of the (wrong) hint.
+    let static_picks = run_communicators(P, actual_cost(), |comm| {
+        comm.transport_mut().set_cost_hint(hinted_cost());
+        for _ in 0..3 {
+            comm.allreduce(&ins[comm.rank()])
+                .launch()
+                .and_then(|h| h.wait())
+                .unwrap();
+        }
+        select_algorithm::<f32>(P, DIM, K, comm.cost())
+    });
+    for pick in static_picks {
+        assert_eq!(pick, preset, "preset-backed Auto stays on the mis-pick");
+    }
+}
