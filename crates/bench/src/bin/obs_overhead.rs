@@ -186,10 +186,11 @@ fn main() {
 
     eprintln!("span call: disabled {disabled_ns:.2} ns, enabled {enabled_ns:.2} ns");
 
-    // Interleave the two configurations across rounds so slow phases of
-    // a shared host hit both equally; keep the per-config minimum.
+    // Interleave the configurations across rounds so slow phases of a
+    // shared host hit all equally; keep the per-config minimum.
     let mut uninstalled_us = f64::INFINITY;
     let mut installed_us = f64::INFINITY;
+    let mut telemetry_us = f64::INFINITY;
     let mut spans_hit: u64 = 0;
     for round in 0..3 {
         let t = reactor_min_us();
@@ -204,8 +205,15 @@ fn main() {
                 .map(|t| t.spans.len() as u64 + t.dropped)
                 .sum(),
         );
+        // Telemetry collection (no recorder): peer-wait Instant pairs
+        // around every tracked recv, density samples per collective —
+        // the cluster-report acceptance bar is <5% over baseline.
+        obs::telemetry::enable();
+        let t = reactor_min_us();
+        telemetry_us = telemetry_us.min(t);
+        obs::telemetry::disable();
         eprintln!(
-            "round {round}: uninstalled {uninstalled_us:.0} us, installed {installed_us:.0} us"
+            "round {round}: uninstalled {uninstalled_us:.0} us, installed {installed_us:.0} us, telemetry {telemetry_us:.0} us"
         );
     }
     // The acceptance figure: with no recorder, each span site costs one
@@ -219,7 +227,7 @@ fn main() {
 
     println!("{{");
     println!(
-        "  \"description\": \"Observability cost and calibration convergence: (1) span-record cost per call with the recorder absent vs installed, and the end-to-end reactor-transport allreduce (P={P}, k={K}, N={DIM} f32, {ALGO:?}, fastest of {TRIALS} trials x 3 interleaved rounds, max across ranks within a trial) under both, plus the projected no-recorder overhead (span sites hit x measured disabled-call cost over the trial wall time); (2) the mis-pick scenario of tests/calibrated_auto.rs — a latency-bound planning hint over a bandwidth-bound virtual network — with the calibrating Auto session's per-iteration picks until convergence.\","
+        "  \"description\": \"Observability cost and calibration convergence: (1) span-record cost per call with the recorder absent vs installed, and the end-to-end reactor-transport allreduce (P={P}, k={K}, N={DIM} f32, {ALGO:?}, fastest of {TRIALS} trials x 3 interleaved rounds, max across ranks within a trial) under no instrumentation, the span recorder, and telemetry collection (peer-wait/density sampling for cluster_report; acceptance bar <5%), plus the projected no-recorder overhead (span sites hit x measured disabled-call cost over the trial wall time); (2) the mis-pick scenario of tests/calibrated_auto.rs — a latency-bound planning hint over a bandwidth-bound virtual network — with the calibrating Auto session's per-iteration picks until convergence.\","
     );
     println!("  \"harness\": \"cargo run --release -p sparcml-bench --bin obs_overhead\",");
     println!("  \"span_call_ns\": {{");
@@ -235,7 +243,12 @@ fn main() {
         (installed_us - uninstalled_us) / uninstalled_us * 100.0
     );
     println!("    \"span_sites_hit_per_cluster_trial\": {spans_per_trial:.0},");
-    println!("    \"projected_no_recorder_overhead_pct\": {projected_disabled_pct:.4}");
+    println!("    \"projected_no_recorder_overhead_pct\": {projected_disabled_pct:.4},");
+    println!("    \"telemetry_enabled_wall_us\": {telemetry_us:.0},");
+    println!(
+        "    \"telemetry_overhead_pct\": {:.2}",
+        (telemetry_us - uninstalled_us) / uninstalled_us * 100.0
+    );
     println!("  }},");
     println!("  \"calibration\": {{");
     println!(

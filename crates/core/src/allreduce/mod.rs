@@ -275,7 +275,7 @@ fn agree_algorithm<T: Transport>(
 /// the transport clock (virtual seconds on [`sparcml_net::Endpoint`],
 /// wall seconds on the socket transports). Durations land in the global
 /// [`sparcml_obs::metrics::global`] registry keyed by
-/// `(algorithm, size-class)` — surfacing through
+/// `(algorithm, backend, size-class)` — surfacing through
 /// [`crate::Communicator::stats_report`] and serve's `/metrics` — and,
 /// when [`AllreduceConfig::calibration`] is set, feed the
 /// [`ObservedCostModel`] that future `Auto` picks consult.
@@ -292,6 +292,9 @@ pub(crate) fn dispatch<T: Transport, V: Scalar>(
         (algo, input.stored_len().max(1))
     };
     let mut span = obs::span_with(obs::Category::Collective, algo.name(), k as u64);
+    // Per-collective wait marks: the per-peer deltas accumulated during
+    // this schedule decide which peer arrived last (straggler blame).
+    let marks = obs::telemetry::peer_wait_marks();
     let start = ep.clock();
     let result = if algo == Algorithm::Hierarchical {
         crate::hierarchical::hierarchical_allreduce_pooled(ep, input, cfg, pool)
@@ -299,10 +302,14 @@ pub(crate) fn dispatch<T: Transport, V: Scalar>(
         dispatch_flat_concrete(ep, input, algo, cfg, pool)
     };
     let elapsed = ep.clock() - start;
-    if result.is_ok() {
-        obs::metrics::global().record(algo.name(), k, elapsed);
+    if let Ok(out) = result.as_ref() {
+        obs::metrics::global().record(algo.name(), ep.backend_name(), k, elapsed);
         if let Some(cal) = cfg.calibration.as_ref() {
             cal.record::<V>(algo, ep.size(), input.dim(), k, elapsed);
+        }
+        if obs::telemetry::enabled() {
+            obs::telemetry::note_worst_peer(&marks);
+            obs::telemetry::record_density(input.dim(), input.nnz(), out.nnz(), out.is_dense());
         }
     } else {
         span.cancel();

@@ -52,6 +52,7 @@ use crate::rooted::{
     allreduce_via_reduce_bcast_pooled, sparse_broadcast_pooled, sparse_reduce_pooled,
     sparse_reduce_scatter_pooled,
 };
+use crate::telemetry::TelemetryExchange;
 
 /// Environment variable that, when set to `1`/`true`, starts every
 /// [`Communicator`] with measurement calibration enabled (see
@@ -87,6 +88,12 @@ pub struct Communicator<T: Transport = Endpoint> {
     /// [`Communicator::set_calibration`], or the `SPARCML_CALIBRATE`
     /// environment toggle at construction.
     calibration: Option<Arc<ObservedCostModel>>,
+    /// Control-tag allocator + sequence state for
+    /// [`Communicator::cluster_report`] telemetry exchanges. Fresh per
+    /// session (and per subgroup after [`Communicator::split`]) so the
+    /// lockstep block sequence is scoped to the ranks that actually
+    /// exchange.
+    telemetry: TelemetryExchange,
 }
 
 impl<T: Transport + Send + 'static> Communicator<T> {
@@ -107,6 +114,7 @@ impl<T: Transport + Send + 'static> Communicator<T> {
             transport_lost: false,
             pool: BufferPool::new(),
             calibration,
+            telemetry: TelemetryExchange::new(),
         }
     }
 
@@ -224,7 +232,43 @@ impl<T: Transport + Send + 'static> Communicator<T> {
             out.push('\n');
             out.push_str(&cal.report());
         }
+        if obs::Recorder::is_installed() {
+            out.push_str(&format!(
+                "\nspan_drops {}\n",
+                obs::Recorder::dropped_total()
+            ));
+        }
         out
+    }
+
+    /// Builds a cluster-consistent [`sparcml_obs::ClusterReport`]:
+    /// snapshots this rank's telemetry (transport counters, per-peer wait
+    /// attribution, density samples, latency digests, span drops) into a
+    /// [`sparcml_obs::TelemetryFrame`] and allgathers it with every peer
+    /// over the reserved control tag space, so all ranks return the same
+    /// straggler ranking and skew diagnostics.
+    ///
+    /// Collective — every rank of the session must call it in the same
+    /// order relative to other collectives. The first call turns
+    /// collection on process-wide (frames before that carry only
+    /// counters), so long-running jobs should call it once early and
+    /// then at every reporting interval. Peer frames are untrusted
+    /// input: a malformed or impossible frame fails with
+    /// [`CollError::Invalid`] rather than producing a wrong report.
+    pub fn cluster_report(&mut self) -> Result<obs::ClusterReport, CollError> {
+        self.ensure_attached()?;
+        obs::telemetry::enable();
+        obs::telemetry::set_counters(
+            self.stats_snapshot()
+                .fields()
+                .iter()
+                .map(|(name, value)| (name.to_string(), *value))
+                .collect(),
+        );
+        let frame =
+            obs::telemetry::local_frame(self.rank(), self.size(), self.telemetry.next_seq());
+        let frames = self.telemetry.allgather(&mut self.transport, &frame)?;
+        Ok(obs::ClusterReport::new(frames))
     }
 
     /// Splits the communicator MPI-style: every rank of this session
@@ -255,6 +299,7 @@ impl<T: Transport + Send + 'static> Communicator<T> {
             transport_lost: false,
             pool,
             calibration,
+            telemetry: TelemetryExchange::new(),
         })
     }
 
@@ -419,12 +464,14 @@ impl<T: Transport + Send + 'static> Communicator<GroupTransport<T>> {
             transport_lost,
             pool,
             calibration,
+            ..
         } = self;
         Communicator {
             transport: transport.into_parent(),
             transport_lost,
             pool,
             calibration,
+            telemetry: TelemetryExchange::new(),
         }
     }
 }

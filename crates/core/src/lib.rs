@@ -67,6 +67,7 @@ mod op;
 pub mod reference;
 mod rooted;
 mod selector;
+mod telemetry;
 pub mod theory;
 
 pub use allgather::{dense_allgather, sparse_allgather, sparse_allgather_sum};
@@ -93,6 +94,7 @@ pub use selector::{
     estimate_hierarchical_time, estimate_time, estimate_time_with_union, select_algorithm,
     select_algorithm_with_topology,
 };
+pub use telemetry::TELEMETRY_CONTROL_BASE;
 // Re-exported so downstream code can name transports and topology types
 // without depending on sparcml-net directly.
 pub use sparcml_net::{

@@ -16,13 +16,14 @@
 use std::thread::JoinHandle;
 
 use sparcml_net::Transport;
+use sparcml_obs as obs;
 
 use crate::error::CollError;
 
 /// Handle to an in-flight non-blocking collective on transport `T`
 /// resolving to a value of type `R`.
 pub struct Request<T, R> {
-    handle: JoinHandle<(T, Result<R, CollError>)>,
+    handle: JoinHandle<(T, Result<R, CollError>, obs::telemetry::LocalTelemetry)>,
     /// Helper-thread name (`sparcml-nb-{rank}`), reported by
     /// [`CollError::WorkerPanicked`] if the thread dies.
     thread_name: String,
@@ -44,9 +45,13 @@ impl<T: Transport + Send + 'static, R: Send + 'static> Request<T, R> {
         let handle = std::thread::Builder::new()
             .name(thread_name.clone())
             .spawn(move || {
+                obs::register_thread();
                 let mut transport = transport;
                 let out = op(&mut transport);
-                (transport, out)
+                // Telemetry collection is thread-local; hand this
+                // thread's samples back so the caller can adopt them
+                // into the launching rank's view.
+                (transport, out, obs::telemetry::snapshot_local())
             })
             .expect("spawn non-blocking collective helper thread");
         Request {
@@ -76,10 +81,11 @@ impl<T: Transport + Send + 'static, R: Send + 'static> Request<T, R> {
     /// panicked helper thread surfaces as the typed
     /// [`CollError::WorkerPanicked`] (the transport is lost with it).
     pub fn finish(self) -> Result<(T, Result<R, CollError>), CollError> {
-        let (mut transport, result) = self
+        let (mut transport, result, telemetry) = self
             .handle
             .join()
             .map_err(|payload| CollError::worker_panicked(&self.thread_name, payload.as_ref()))?;
+        obs::telemetry::adopt(&telemetry);
         transport.advance_clock_to(self.fork_clock + self.overlapped_seconds);
         Ok((transport, result))
     }

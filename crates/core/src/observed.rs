@@ -121,7 +121,7 @@ impl ObservedCostModel {
             return;
         }
         let k = k.max(1);
-        self.histos.record(algo.name(), k, seconds);
+        self.histos.record(algo.name(), "cal", k, seconds);
         let class = LatencyRegistry::size_class(k);
         let lam = self.cfg.ewma.clamp(1e-3, 1.0);
         let mut inner = self.inner.lock().unwrap();
@@ -216,7 +216,7 @@ impl ObservedCostModel {
     /// Measurements recorded for `algo` in `k`'s size class.
     pub fn samples(&self, algo: Algorithm, k: usize) -> u64 {
         self.histos
-            .count(algo.name(), LatencyRegistry::size_class(k.max(1)))
+            .count(algo.name(), "cal", LatencyRegistry::size_class(k.max(1)))
     }
 
     /// The EWMA mean measured duration of `algo` in `k`'s size class.
@@ -282,7 +282,7 @@ impl ObservedCostModel {
 
     /// Per-`(algorithm, size-class)` latency histograms (the measurement
     /// store behind selection), e.g. for a health endpoint.
-    pub fn histograms(&self) -> Vec<((&'static str, u8), LatencyHisto)> {
+    pub fn histograms(&self) -> Vec<((&'static str, &'static str, u8), LatencyHisto)> {
         self.histos.snapshot()
     }
 

@@ -122,6 +122,12 @@ pub(crate) fn send_stream<T: Transport, V: Scalar>(
     pool: &mut BufferPool,
 ) -> Result<(), CollError> {
     let mut span = obs::span(obs::Category::Phase, "encode-send");
+    if obs::enabled() {
+        span.set_flow(
+            obs::flow_id(t, ep.rank() as u64, dst as u64),
+            obs::FlowDir::Out,
+        );
+    }
     let mut buf = pool.acquire();
     stream.encode_into(&mut buf);
     let payload = Bytes::from(buf);
@@ -147,6 +153,12 @@ pub(crate) fn send_stream_range<T: Transport, V: Scalar>(
     pool: &mut BufferPool,
 ) -> Result<(), CollError> {
     let mut span = obs::span(obs::Category::Phase, "encode-send");
+    if obs::enabled() {
+        span.set_flow(
+            obs::flow_id(t, ep.rank() as u64, dst as u64),
+            obs::FlowDir::Out,
+        );
+    }
     let mut buf = pool.acquire();
     match stream.sparse_view() {
         Some(view) => {
@@ -176,11 +188,35 @@ pub(crate) fn recv_stream<T: Transport, V: Scalar>(
     pool: &mut BufferPool,
 ) -> Result<SparseStream<V>, CollError> {
     let mut span = obs::span(obs::Category::Phase, "recv-decode");
-    let payload = ep.recv(src, t)?;
+    if obs::enabled() {
+        span.set_flow(
+            obs::flow_id(t, src as u64, ep.rank() as u64),
+            obs::FlowDir::In,
+        );
+    }
+    let payload = recv_tracked(ep, src, t)?;
     span.set_arg(payload.len() as u64);
     let stream = SparseStream::decode(&payload)?;
     pool.recycle(payload);
     Ok(stream)
+}
+
+/// `ep.recv` with blocked-on-peer wait attribution: when telemetry is
+/// enabled, the wall time spent inside the receive is charged to `src`
+/// in this thread's collector (the raw signal behind straggler blame).
+pub(crate) fn recv_tracked<T: Transport>(
+    ep: &mut T,
+    src: usize,
+    t: u64,
+) -> Result<Bytes, CollError> {
+    if obs::telemetry::enabled() {
+        let t0 = std::time::Instant::now();
+        let payload = ep.recv(src, t)?;
+        obs::telemetry::record_peer_wait(src, t0.elapsed().as_nanos() as u64);
+        Ok(payload)
+    } else {
+        Ok(ep.recv(src, t)?)
+    }
 }
 
 /// Simultaneous stream exchange with `peer` (send, then receive).
@@ -203,7 +239,11 @@ pub(crate) fn add_charged<T: Transport, V: Scalar>(
     policy: &DensityPolicy,
 ) -> Result<(), CollError> {
     let mut span = obs::span(obs::Category::Phase, "merge");
+    let t0 = obs::telemetry::enabled().then(std::time::Instant::now);
     let stats = acc.add_assign_with(other, policy)?;
+    if let Some(t0) = t0 {
+        obs::telemetry::record_compute_ns(t0.elapsed().as_nanos() as u64);
+    }
     span.set_arg(stats.elements_processed as u64);
     ep.compute(stats.elements_processed);
     Ok(())
@@ -306,9 +346,29 @@ pub(crate) fn allgather_bytes<T: Transport>(
             let peer = rank ^ (1 << t);
             let group = 1usize << t;
             let base = (rank >> t) << t; // start of my current group
+            let round_tag = tag(op_id, subtag::ROUND + t as u64);
             let payload = encode_block_group(&blocks, base, group, pool);
-            ep.send(peer, tag(op_id, subtag::ROUND + t as u64), payload)?;
-            let incoming = ep.recv(peer, tag(op_id, subtag::ROUND + t as u64))?;
+            {
+                let mut span =
+                    obs::span_with(obs::Category::Agreement, "ag-send", payload.len() as u64);
+                if obs::enabled() {
+                    span.set_flow(
+                        obs::flow_id(round_tag, rank as u64, peer as u64),
+                        obs::FlowDir::Out,
+                    );
+                }
+                ep.send(peer, round_tag, payload)?;
+            }
+            let mut span = obs::span(obs::Category::Agreement, "ag-recv");
+            if obs::enabled() {
+                span.set_flow(
+                    obs::flow_id(round_tag, peer as u64, rank as u64),
+                    obs::FlowDir::In,
+                );
+            }
+            let incoming = recv_tracked(ep, peer, round_tag)?;
+            span.set_arg(incoming.len() as u64);
+            drop(span);
             decode_block_group(&incoming, &mut blocks)?;
         }
     } else {
@@ -317,9 +377,29 @@ pub(crate) fn allgather_bytes<T: Transport>(
         let prev = (rank + p - 1) % p;
         let mut carry_rank = rank;
         for t in 0..p - 1 {
+            let round_tag = tag(op_id, subtag::ROUND + t as u64);
             let payload = encode_block_group(&blocks, carry_rank, 1, pool);
-            ep.send(next, tag(op_id, subtag::ROUND + t as u64), payload)?;
-            let incoming = ep.recv(prev, tag(op_id, subtag::ROUND + t as u64))?;
+            {
+                let mut span =
+                    obs::span_with(obs::Category::Agreement, "ag-send", payload.len() as u64);
+                if obs::enabled() {
+                    span.set_flow(
+                        obs::flow_id(round_tag, rank as u64, next as u64),
+                        obs::FlowDir::Out,
+                    );
+                }
+                ep.send(next, round_tag, payload)?;
+            }
+            let mut span = obs::span(obs::Category::Agreement, "ag-recv");
+            if obs::enabled() {
+                span.set_flow(
+                    obs::flow_id(round_tag, prev as u64, rank as u64),
+                    obs::FlowDir::In,
+                );
+            }
+            let incoming = recv_tracked(ep, prev, round_tag)?;
+            span.set_arg(incoming.len() as u64);
+            drop(span);
             decode_block_group(&incoming, &mut blocks)?;
             carry_rank = (carry_rank + p - 1) % p;
         }

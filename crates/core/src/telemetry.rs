@@ -1,0 +1,199 @@
+//! Cluster-wide telemetry exchange: the allgather that turns each rank's
+//! local [`sparcml_obs::TelemetryFrame`] into a consistent
+//! [`sparcml_obs::ClusterReport`] on every rank.
+//!
+//! Frames travel over the reserved *control* tag region (bit 63), in a
+//! block range disjoint from the progress engine's agreement channel
+//! (which allocates control blocks from 0): telemetry draws blocks from
+//! [`TELEMETRY_CONTROL_BASE`] upward. As with every control-channel user,
+//! the contract is lockstep — all ranks of a session call the exchange
+//! the same number of times, so the `n`-th exchange uses the same block
+//! everywhere and never collides with data traffic or agreement rounds.
+//!
+//! The exchange itself is a plain ring allgather of encoded frames
+//! (`P-1` rounds, each rank forwarding the newest frame it holds). Peer
+//! bytes are *untrusted*: every received blob goes through the versioned
+//! [`TelemetryFrame::decode`] codec and a malformed, truncated, or
+//! impossible frame (rank out of range, duplicate origin) surfaces as
+//! [`CollError::Invalid`] instead of poisoning the report.
+
+use sparcml_net::{TagBlockAllocator, Transport};
+use sparcml_obs::TelemetryFrame;
+
+use crate::error::CollError;
+
+/// First control-region block id reserved for telemetry exchanges.
+///
+/// The progress engine's agreement channel allocates control blocks
+/// sequentially from 0; starting the telemetry allocator at `2^40`
+/// partitions the control region so the two subsystems can never race
+/// for a tag even after astronomically many agreement rounds.
+pub const TELEMETRY_CONTROL_BASE: u64 = 1 << 40;
+
+/// Per-session telemetry tag-block allocator (one per communicator).
+///
+/// Holds the deterministic sequence position so repeated
+/// [`TelemetryExchange::allgather`] calls use fresh, cluster-consistent
+/// blocks.
+#[derive(Debug)]
+pub(crate) struct TelemetryExchange {
+    alloc: TagBlockAllocator,
+    /// Monotonic exchange counter; doubles as the frame sequence number.
+    seq: u64,
+}
+
+impl TelemetryExchange {
+    pub(crate) fn new() -> TelemetryExchange {
+        TelemetryExchange {
+            alloc: TagBlockAllocator::starting_at(TELEMETRY_CONTROL_BASE),
+            seq: 0,
+        }
+    }
+
+    /// The sequence number the *next* exchange will stamp on its frame.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Ring-allgathers this rank's encoded `frame` and returns every
+    /// rank's decoded frame (self included), sorted by origin rank.
+    ///
+    /// Collective: every rank must call with its own frame. `P-1`
+    /// rounds; round `t` forwards the frame originated by rank
+    /// `(rank - t) mod P` to the right neighbour while receiving rank
+    /// `(rank - t - 1) mod P`'s frame from the left.
+    pub(crate) fn allgather<T: Transport>(
+        &mut self,
+        ep: &mut T,
+        frame: &TelemetryFrame,
+    ) -> Result<Vec<TelemetryFrame>, CollError> {
+        self.seq += 1;
+        let p = ep.size();
+        let rank = ep.rank();
+        let block = self.alloc.next_block();
+        let world = p as u32;
+
+        let mut frames: Vec<Option<TelemetryFrame>> = (0..p).map(|_| None).collect();
+        let mut blobs: Vec<Option<bytes::Bytes>> = (0..p).map(|_| None).collect();
+        blobs[rank] = Some(bytes::Bytes::from(frame.encode()));
+        frames[rank] = Some(frame.clone());
+        if p == 1 {
+            return Ok(frames.into_iter().flatten().collect());
+        }
+
+        let next = (rank + 1) % p;
+        let prev = (rank + p - 1) % p;
+        for t in 0..p - 1 {
+            let send_origin = (rank + p - t % p) % p;
+            let recv_origin = (rank + p - (t + 1) % p) % p;
+            let payload = blobs[send_origin]
+                .clone()
+                .expect("ring invariant: frame for this round already held");
+            ep.send(next, block.tag(t as u64), payload)
+                .map_err(CollError::Comm)?;
+            let raw = ep
+                .recv(prev, block.tag(t as u64))
+                .map_err(CollError::Comm)?;
+            let decoded = TelemetryFrame::decode(&raw).map_err(|e| {
+                CollError::Invalid(format!("telemetry frame from rank {recv_origin}: {e}"))
+            })?;
+            if decoded.rank as usize >= p || decoded.world != world {
+                return Err(CollError::Invalid(format!(
+                    "telemetry frame claims rank {}/{} in a {p}-rank cluster",
+                    decoded.rank, decoded.world
+                )));
+            }
+            if decoded.rank as usize != recv_origin {
+                return Err(CollError::Invalid(format!(
+                    "telemetry ring expected rank {recv_origin}'s frame, got rank {}",
+                    decoded.rank
+                )));
+            }
+            if frames[recv_origin].is_some() {
+                return Err(CollError::Invalid(format!(
+                    "duplicate telemetry frame for rank {recv_origin}"
+                )));
+            }
+            blobs[recv_origin] = Some(raw);
+            frames[recv_origin] = Some(decoded);
+        }
+
+        Ok(frames.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcml_net::{run_cluster, CostModel};
+
+    fn frame_for(rank: u32, world: u32, seq: u64) -> TelemetryFrame {
+        TelemetryFrame {
+            rank,
+            world,
+            seq,
+            compute_ns: 1_000 * (rank as u64 + 1),
+            counters: vec![("msgs_sent".into(), rank as u64 * 7)],
+            ..TelemetryFrame::default()
+        }
+    }
+
+    #[test]
+    fn ring_allgather_delivers_every_frame_in_rank_order() {
+        let reports = run_cluster(5, CostModel::gige(), |ep| {
+            let rank = ep.rank() as u32;
+            let mut ex = TelemetryExchange::new();
+            let frames = ex
+                .allgather(ep, &frame_for(rank, 5, ex.next_seq()))
+                .unwrap();
+            assert_eq!(ex.next_seq(), 1);
+            frames
+        });
+        for frames in reports {
+            assert_eq!(frames.len(), 5);
+            for (i, f) in frames.iter().enumerate() {
+                assert_eq!(f.rank as usize, i);
+                assert_eq!(f.world, 5);
+                assert_eq!(f.compute_ns, 1_000 * (i as u64 + 1));
+                assert_eq!(f.counters, vec![("msgs_sent".to_string(), i as u64 * 7)]);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_exchanges_use_fresh_blocks_and_single_rank_is_trivial() {
+        let frames = run_cluster(1, CostModel::gige(), |ep| {
+            let mut ex = TelemetryExchange::new();
+            let a = ex.allgather(ep, &frame_for(0, 1, 0)).unwrap();
+            let b = ex.allgather(ep, &frame_for(0, 1, 1)).unwrap();
+            (a.len(), b.len(), ex.next_seq())
+        });
+        assert_eq!(frames[0], (1, 1, 2));
+    }
+
+    #[test]
+    fn corrupt_peer_frame_is_a_typed_invalid_error() {
+        // Two ranks; rank 1 sends garbage bytes on the telemetry tag
+        // instead of a frame, rank 0 must fail with Invalid (not panic,
+        // not a bogus report).
+        let results = run_cluster(2, CostModel::gige(), |ep| {
+            let rank = ep.rank();
+            let mut ex = TelemetryExchange::new();
+            if rank == 1 {
+                let block = TagBlockAllocator::starting_at(TELEMETRY_CONTROL_BASE).next_block();
+                ep.send(0, block.tag(0), bytes::Bytes::from_static(b"not a frame"))
+                    .unwrap();
+                // Drain rank 0's send so the virtual cluster quiesces.
+                let _ = ep.recv(0, block.tag(0)).unwrap();
+                None
+            } else {
+                Some(ex.allgather(ep, &frame_for(0, 2, 0)))
+            }
+        });
+        let err = results[0].as_ref().unwrap().as_ref().unwrap_err();
+        assert!(
+            matches!(err, CollError::Invalid(msg) if msg.contains("telemetry frame")),
+            "unexpected error: {err:?}"
+        );
+    }
+}

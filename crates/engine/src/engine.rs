@@ -98,6 +98,13 @@ pub struct EngineStats {
     /// (messages, bytes, collective ops — the fused-vs-unfused traffic
     /// evidence).
     pub comm: CommStats,
+    /// Telemetry collected on the progress thread (peer waits, density
+    /// samples, compute time). Collection is thread-local, so the engine
+    /// publishes its snapshot here when it stops and
+    /// [`Engine::finish_into`] adopts it into the calling rank's view —
+    /// without this hand-off the engine's waits would vanish from
+    /// `cluster_report()`.
+    pub telemetry: sparcml_obs::telemetry::LocalTelemetry,
 }
 
 /// One queued collective job.
@@ -343,7 +350,11 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
     /// [`Engine::join`], reinstalling the transport into `comm` — the
     /// inverse of [`CommunicatorEngineExt::engine`].
     pub fn finish_into(self, comm: &mut Communicator<T>) -> Result<(), CollError> {
+        let stats = Arc::clone(&self.stats);
         *comm.transport_mut() = self.join()?;
+        // The progress thread published its thread-local telemetry on
+        // exit; fold it into this rank's collector.
+        obs::telemetry::adopt(&stats.lock().expect("engine stats lock").telemetry);
         Ok(())
     }
 }
@@ -393,6 +404,7 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
     rx: Receiver<Msg<V>>,
     stats: Arc<Mutex<EngineStats>>,
 ) -> T {
+    obs::register_thread();
     let baseline = transport.stats().snapshot();
     let mut comm = Communicator::new(transport);
     let mut control = TagBlockAllocator::new();
@@ -464,6 +476,7 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
         let _batch_span = obs::span_with(obs::Category::Engine, "batch", batch.len() as u64);
         run_batch(&mut comm, &cfg, batch, &sink, &mut poison);
     }
+    stats.lock().expect("engine stats lock").telemetry = obs::telemetry::snapshot_local();
     comm.into_transport()
 }
 

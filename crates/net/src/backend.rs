@@ -156,6 +156,13 @@ impl Transport for SocketTransport {
         }
     }
 
+    fn backend_name(&self) -> &'static str {
+        match self {
+            SocketTransport::Tcp(t) => t.backend_name(),
+            SocketTransport::Reactor(t) => t.backend_name(),
+        }
+    }
+
     fn size(&self) -> usize {
         match self {
             SocketTransport::Tcp(t) => t.size(),

@@ -317,6 +317,10 @@ impl Transport for Endpoint {
         Endpoint::rank(self)
     }
 
+    fn backend_name(&self) -> &'static str {
+        "endpoint"
+    }
+
     fn size(&self) -> usize {
         Endpoint::size(self)
     }

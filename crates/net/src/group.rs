@@ -199,6 +199,10 @@ impl<T: Transport> Transport for GroupTransport<T> {
         self.group_rank
     }
 
+    fn backend_name(&self) -> &'static str {
+        self.base.backend_name()
+    }
+
     fn size(&self) -> usize {
         self.members.len()
     }

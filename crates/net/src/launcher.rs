@@ -91,6 +91,15 @@ pub struct LaunchOptions {
     /// `None` still honors a `SPARCML_TRACE` inherited from the parent's
     /// own environment.
     pub trace_dir: Option<PathBuf>,
+    /// Cluster-telemetry output directory, exported to every rank as
+    /// `SPARCML_TELEMETRY`: each rank collects telemetry (per-peer wait
+    /// attribution, density samples, counter/histogram digests) and
+    /// writes `telemetry-rank{r}.json` on orderly shutdown; after the
+    /// job the parent loads the per-rank frames into a
+    /// [`sparcml_obs::ClusterReport`] — the launcher's consistent
+    /// cluster view — and prints its straggler summary. `None` still
+    /// honors a `SPARCML_TELEMETRY` inherited from the environment.
+    pub telemetry_dir: Option<PathBuf>,
 }
 
 impl Default for LaunchOptions {
@@ -104,6 +113,7 @@ impl Default for LaunchOptions {
             topology: None,
             env: Vec::new(),
             trace_dir: None,
+            telemetry_dir: None,
         }
     }
 }
@@ -148,6 +158,13 @@ impl LaunchOptions {
     /// [`LaunchOptions::trace_dir`]).
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style cluster-telemetry directory (see
+    /// [`LaunchOptions::telemetry_dir`]).
+    pub fn with_telemetry_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry_dir = Some(dir.into());
         self
     }
 }
@@ -277,6 +294,9 @@ where
             if let Err(e) = obs::flush_trace_for_rank(r) {
                 eprintln!("rank {r}: failed to write span trace: {e}");
             }
+            if let Err(e) = obs::flush_telemetry_for_rank(r, world) {
+                eprintln!("rank {r}: failed to write telemetry frame: {e}");
+            }
         }
         println!("{RESULT_MARKER}{rank}:{}", to_hex(&out));
         return None;
@@ -322,6 +342,7 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
     // An explicit trace_dir wins; otherwise honor a SPARCML_TRACE the
     // children will inherit from this process's environment anyway.
     let trace_dir = opts.trace_dir.clone().or_else(obs::trace_env_dir);
+    let telemetry_dir = opts.telemetry_dir.clone().or_else(obs::telemetry_env_dir);
 
     struct Running {
         child: Child,
@@ -363,6 +384,9 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
             }
             if let Some(dir) = &opts.trace_dir {
                 cmd.env(obs::ENV_TRACE, dir);
+            }
+            if let Some(dir) = &opts.telemetry_dir {
+                cmd.env(obs::ENV_TELEMETRY, dir);
             }
             for (k, v) in &opts.env {
                 cmd.env(k, v);
@@ -434,6 +458,22 @@ fn orchestrate(job: &str, world: usize, opts: &LaunchOptions) -> Vec<RankOutcome
                 );
             }
             Err(e) => eprintln!("failed to merge span traces in {}: {e}", dir.display()),
+        }
+    }
+    if let Some(dir) = telemetry_dir {
+        // Best-effort: assemble the launcher's cluster view from the
+        // per-rank telemetry frames. Never fails the job.
+        match obs::load_telemetry_dir(&dir, world) {
+            Ok(report) if !report.frames.is_empty() => {
+                eprintln!(
+                    "cluster telemetry ({} ranks in {}):\n{}",
+                    report.frames.len(),
+                    dir.display(),
+                    report.render_text().trim_end()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("failed to load cluster telemetry in {}: {e}", dir.display()),
         }
     }
     outcomes

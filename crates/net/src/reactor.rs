@@ -675,7 +675,10 @@ impl ReactorTransport {
         };
         let thread = std::thread::Builder::new()
             .name(format!("sparcml-reactor-{rank}"))
-            .spawn(move || ctx.run())
+            .spawn(move || {
+                obs::register_thread();
+                ctx.run()
+            })
             .map_err(|e| CommError::Io(format!("failed to spawn reactor thread: {e}")))?;
         transport.reactor = Some(ReactorHandle {
             shared,
@@ -797,6 +800,10 @@ impl ReactorTransport {
 impl Transport for ReactorTransport {
     fn rank(&self) -> usize {
         self.rank
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "reactor"
     }
 
     fn size(&self) -> usize {

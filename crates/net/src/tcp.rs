@@ -427,6 +427,10 @@ impl Transport for TcpTransport {
         self.rank
     }
 
+    fn backend_name(&self) -> &'static str {
+        "tcp"
+    }
+
     fn size(&self) -> usize {
         self.size
     }

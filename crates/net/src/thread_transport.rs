@@ -168,6 +168,10 @@ impl Transport for ThreadTransport {
         self.rank
     }
 
+    fn backend_name(&self) -> &'static str {
+        "thread"
+    }
+
     fn size(&self) -> usize {
         self.size
     }

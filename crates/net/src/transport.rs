@@ -69,6 +69,14 @@ pub trait Transport {
         0
     }
 
+    /// Short static name of the transport backend (`"tcp"`, `"reactor"`,
+    /// `"thread"`, `"endpoint"`), used to key latency histograms so
+    /// measurements over different backends never mix. Group views
+    /// report their base transport's backend.
+    fn backend_name(&self) -> &'static str {
+        "custom"
+    }
+
     /// Communication statistics accumulated so far.
     fn stats(&self) -> &CommStats;
 

@@ -87,6 +87,11 @@ impl LatencyHisto {
         self.count
     }
 
+    /// Sum of recorded durations in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
     /// Sum of recorded durations in seconds.
     pub fn sum_seconds(&self) -> f64 {
         self.sum_ns as f64 / 1e9
@@ -162,13 +167,17 @@ impl LatencyHisto {
 }
 
 /// Key of one histogram in a [`LatencyRegistry`]: a static label (the
-/// algorithm's paper-legend name) and a size class (`floor(log2 k)`).
-pub type HistoKey = (&'static str, u8);
+/// algorithm's paper-legend name), the transport backend the samples
+/// ran over (`"tcp"`, `"reactor"`, `"thread"`, ...), and a size class
+/// (`floor(log2 k)`).
+pub type HistoKey = (&'static str, &'static str, u8);
 
-/// A registry of [`LatencyHisto`]s keyed by `(label, size-class)`.
+/// A registry of [`LatencyHisto`]s keyed by `(label, backend, size-class)`.
 ///
 /// The size class is `floor(log2 k)` of the per-rank element count, so
-/// measurements only ever mix with calls of comparable volume.
+/// measurements only ever mix with calls of comparable volume; the
+/// backend dimension keeps tcp and reactor latencies in separate series
+/// so calibration comparisons never mix transports.
 #[derive(Debug, Default)]
 pub struct LatencyRegistry {
     inner: Mutex<BTreeMap<HistoKey, LatencyHisto>>,
@@ -185,9 +194,9 @@ impl LatencyRegistry {
         (usize::BITS - 1 - (k | 1).leading_zeros()) as u8
     }
 
-    /// Record one duration (seconds) under `(label, size_class(k))`.
-    pub fn record(&self, label: &'static str, k: usize, seconds: f64) {
-        let key = (label, Self::size_class(k));
+    /// Record one duration (seconds) under `(label, backend, size_class(k))`.
+    pub fn record(&self, label: &'static str, backend: &'static str, k: usize, seconds: f64) {
+        let key = (label, backend, Self::size_class(k));
         self.inner
             .lock()
             .unwrap()
@@ -206,12 +215,12 @@ impl LatencyRegistry {
             .collect()
     }
 
-    /// Number of samples recorded under `(label, size_class)`.
-    pub fn count(&self, label: &'static str, size_class: u8) -> u64 {
+    /// Number of samples recorded under `(label, backend, size_class)`.
+    pub fn count(&self, label: &'static str, backend: &'static str, size_class: u8) -> u64 {
         self.inner
             .lock()
             .unwrap()
-            .get(&(label, size_class))
+            .get(&(label, backend, size_class))
             .map(|h| h.count())
             .unwrap_or(0)
     }
@@ -221,10 +230,10 @@ impl LatencyRegistry {
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for ((label, class), h) in self.snapshot() {
+        for ((label, backend, class), h) in self.snapshot() {
             let _ = writeln!(
                 out,
-                "latency {label} 2^{class}: n={} mean={:.3}ms p50<={:.3}ms p90<={:.3}ms p99<={:.3}ms",
+                "latency {label} [{backend}] 2^{class}: n={} mean={:.3}ms p50<={:.3}ms p90<={:.3}ms p99<={:.3}ms",
                 h.count(),
                 h.mean_seconds() * 1e3,
                 h.quantile(0.5).unwrap_or(0.0) * 1e3,
@@ -243,8 +252,9 @@ impl LatencyRegistry {
             return;
         }
         out.push_str("# TYPE sparcml_collective_seconds histogram\n");
-        for ((label, class), h) in snap {
-            let labels = format!("algorithm=\"{label}\",size_class=\"{class}\"");
+        for ((label, backend, class), h) in snap {
+            let labels =
+                format!("algorithm=\"{label}\",transport=\"{backend}\",size_class=\"{class}\"");
             h.render_prometheus("sparcml_collective_seconds", &labels, out);
         }
     }
@@ -293,16 +303,28 @@ mod tests {
         assert_eq!(LatencyRegistry::size_class(1025), 10);
         assert_eq!(LatencyRegistry::size_class(100_000), 16);
         let reg = LatencyRegistry::new();
-        reg.record("ssar_split", 100_000, 0.002);
-        reg.record("ssar_split", 100_000, 0.004);
-        reg.record("dense_ring", 100_000, 0.008);
+        reg.record("ssar_split", "tcp", 100_000, 0.002);
+        reg.record("ssar_split", "tcp", 100_000, 0.004);
+        reg.record("dense_ring", "reactor", 100_000, 0.008);
         let text = reg.render_text();
-        assert!(text.contains("ssar_split 2^16: n=2"));
-        assert!(text.contains("dense_ring 2^16: n=1"));
+        assert!(text.contains("ssar_split [tcp] 2^16: n=2"));
+        assert!(text.contains("dense_ring [reactor] 2^16: n=1"));
         let mut prom = String::new();
         reg.render_prometheus(&mut prom);
-        assert!(prom.contains("sparcml_collective_seconds_bucket{algorithm=\"dense_ring\""));
+        assert!(prom.contains(
+            "sparcml_collective_seconds_bucket{algorithm=\"dense_ring\",transport=\"reactor\""
+        ));
         assert!(prom.contains("le=\"+Inf\""));
         assert!(prom.contains("sparcml_collective_seconds_count"));
+    }
+
+    #[test]
+    fn registry_keeps_backends_in_separate_series() {
+        let reg = LatencyRegistry::new();
+        reg.record("ssar_split", "tcp", 1024, 0.002);
+        reg.record("ssar_split", "reactor", 1024, 0.004);
+        assert_eq!(reg.count("ssar_split", "tcp", 10), 1);
+        assert_eq!(reg.count("ssar_split", "reactor", 10), 1);
+        assert_eq!(reg.count("ssar_split", "thread", 10), 0);
     }
 }

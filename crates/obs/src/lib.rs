@@ -16,6 +16,12 @@
 //!   variable (see [`install_from_env`] and [`flush_trace_for_rank`]).
 //! * [`json`]: a minimal JSON parser/printer used to validate and merge
 //!   the emitted traces without external dependencies.
+//! * [`telemetry`]: versioned cross-rank telemetry frames (counters,
+//!   histogram digests, per-peer wait attribution, density samples), a
+//!   thread-local collector, and the [`ClusterReport`] straggler/skew
+//!   diagnostics consumed by `Communicator::cluster_report()`, serve's
+//!   `/metrics`, and the `sparcml-doctor` bin. Driven by
+//!   `SPARCML_TELEMETRY`.
 //!
 //! The crate is a leaf: it depends on nothing but `std`, so every other
 //! SparCML crate (net, core, engine, serve, bench) can instrument itself
@@ -38,11 +44,17 @@
 mod histo;
 pub mod json;
 mod span;
+pub mod telemetry;
 mod trace;
 
-pub use histo::{LatencyHisto, LatencyRegistry, HISTO_BUCKETS};
+pub use histo::{HistoKey, LatencyHisto, LatencyRegistry, HISTO_BUCKETS};
 pub use span::{
-    enabled, span, span_with, Category, OwnedSpan, Recorder, RecorderConfig, SpanGuard, ThreadSpans,
+    enabled, flow_id, register_thread, span, span_with, Category, FlowDir, OwnedSpan, Recorder,
+    RecorderConfig, SpanGuard, ThreadSpans,
+};
+pub use telemetry::{
+    flush_telemetry_for_rank, load_telemetry_dir, telemetry_env_dir, ClusterReport, TelemetryError,
+    TelemetryFrame, ENV_TELEMETRY,
 };
 pub use trace::{
     flush_trace_for_rank, install_from_env, merge_traces, trace_env_dir, TraceSink, ENV_TRACE,

@@ -72,6 +72,36 @@ impl Category {
     }
 }
 
+/// Direction of a cross-rank flow stamped onto a span: the sender half
+/// opens the arrow (`Out`), the receiver half terminates it (`In`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowDir {
+    /// This span produced the message (Chrome flow `ph:"s"`).
+    Out = 1,
+    /// This span consumed the message (Chrome flow `ph:"f"`).
+    In = 2,
+}
+
+/// Derive the global flow id for a message: both endpoints of one
+/// send→recv pair call this with the *same* `(tag, src, dst)` triple
+/// (the tag already encodes op-id and round, making the id unique
+/// cluster-wide). SplitMix64-style finalizer; never returns 0.
+pub fn flow_id(tag: u64, src: u64, dst: u64) -> u64 {
+    let mut x = tag ^ src.rotate_left(24) ^ dst.rotate_left(48) ^ 0x9e37_79b9_7f4a_7c15u64;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x | 1
+}
+
+/// Pack a flow id and direction into the raw slot encoding: low 2 bits
+/// carry the direction, the rest the id. Always nonzero (0 = no flow).
+fn pack_flow(id: u64, dir: FlowDir) -> u64 {
+    (id & !0b11) | dir as u64
+}
+
 /// One drained span, safe to hold after the recorder is gone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OwnedSpan {
@@ -85,6 +115,20 @@ pub struct OwnedSpan {
     pub dur_ns: u64,
     /// Free-form numeric annotation (element count, frame count, ...).
     pub arg: u64,
+    /// Packed cross-rank flow stamp (0 = none); see [`OwnedSpan::flow_parts`].
+    pub flow: u64,
+}
+
+impl OwnedSpan {
+    /// The `(flow id, direction)` stamped via [`SpanGuard::set_flow`],
+    /// if any.
+    pub fn flow_parts(&self) -> Option<(u64, FlowDir)> {
+        match self.flow & 0b11 {
+            1 => Some((self.flow & !0b11, FlowDir::Out)),
+            2 => Some((self.flow & !0b11, FlowDir::In)),
+            _ => None,
+        }
+    }
 }
 
 /// All spans drained from one thread's ring, oldest first.
@@ -110,6 +154,8 @@ struct Slot {
     /// Low 32 bits: name length. Bits 32..40: category tag.
     len_cat: AtomicU64,
     arg: AtomicU64,
+    /// Packed cross-rank flow stamp (0 = none).
+    flow: AtomicU64,
 }
 
 impl Slot {
@@ -120,6 +166,7 @@ impl Slot {
             name_ptr: AtomicUsize::new(0),
             len_cat: AtomicU64::new(0),
             arg: AtomicU64::new(0),
+            flow: AtomicU64::new(0),
         }
     }
 }
@@ -148,7 +195,15 @@ impl ThreadRing {
     }
 
     /// Hot path: called only by the owning thread.
-    fn push(&self, cat: Category, name: &'static str, start_ns: u64, dur_ns: u64, arg: u64) {
+    fn push(
+        &self,
+        cat: Category,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        arg: u64,
+        flow: u64,
+    ) {
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h % self.slots.len() as u64) as usize];
         slot.start_ns.store(start_ns, Ordering::Relaxed);
@@ -160,6 +215,7 @@ impl ThreadRing {
             Ordering::Relaxed,
         );
         slot.arg.store(arg, Ordering::Relaxed);
+        slot.flow.store(flow, Ordering::Relaxed);
         // Publish: everything stored above happens-before a drainer that
         // observes this head value.
         self.head.store(h + 1, Ordering::Release);
@@ -177,11 +233,12 @@ impl ThreadRing {
             let name_ptr = slot.name_ptr.load(Ordering::Relaxed);
             let len_cat = slot.len_cat.load(Ordering::Relaxed);
             let arg = slot.arg.load(Ordering::Relaxed);
+            let flow = slot.flow.load(Ordering::Relaxed);
             // Re-check: the writer reuses slot `i % cap` when its head
             // reaches `i + cap`, and publishes that head only *after*
             // rewriting the fields. If the head is still `<= i + cap - 1`
             // the writer cannot have begun rewriting this slot, so the
-            // five loads above are a consistent snapshot. Otherwise the
+            // six loads above are a consistent snapshot. Otherwise the
             // slot may be torn: discard it.
             if self.head.load(Ordering::Acquire) >= i + cap {
                 continue;
@@ -207,6 +264,7 @@ impl ThreadRing {
                 start_ns,
                 dur_ns,
                 arg,
+                flow,
             });
         }
         ThreadSpans {
@@ -318,6 +376,24 @@ impl Recorder {
         }
     }
 
+    /// Total spans evicted by the bounded per-thread rings so far, a
+    /// lower bound summed across all registered threads. Reads only the
+    /// ring heads — nothing is drained or consumed.
+    pub fn dropped_total() -> u64 {
+        let inner = { RECORDER.lock().unwrap().clone() };
+        match inner {
+            Some(inner) => {
+                let cap = inner.capacity as u64;
+                let rings = inner.rings.lock().unwrap();
+                rings
+                    .iter()
+                    .map(|r| r.head.load(Ordering::Acquire).saturating_sub(cap))
+                    .sum()
+            }
+            None => 0,
+        }
+    }
+
     /// Uninstall the recorder and return everything still resident in
     /// the rings. A no-op returning an empty vec if none is installed.
     pub fn uninstall() -> Vec<ThreadSpans> {
@@ -359,7 +435,7 @@ fn register_ring(generation: u64) -> Option<Arc<ThreadRing>> {
     Some(ring)
 }
 
-fn record(cat: Category, name: &'static str, start_ns: u64, dur_ns: u64, arg: u64) {
+fn record(cat: Category, name: &'static str, start_ns: u64, dur_ns: u64, arg: u64, flow: u64) {
     let generation = GENERATION.load(Ordering::Relaxed);
     let cached = LOCAL_RING.with(|l| l.borrow().clone());
     let ring = match cached {
@@ -367,7 +443,27 @@ fn record(cat: Category, name: &'static str, start_ns: u64, dur_ns: u64, arg: u6
         _ => register_ring(generation),
     };
     if let Some(ring) = ring {
-        ring.push(cat, name, start_ns, dur_ns, arg);
+        ring.push(cat, name, start_ns, dur_ns, arg, flow);
+    }
+}
+
+/// Eagerly register the calling thread's span ring with the installed
+/// recorder, capturing the thread's name for the trace `thread_name`
+/// metadata even if the thread never records a span itself. Call this
+/// at the top of named worker threads (`sparcml-engine-{rank}`,
+/// `sparcml-reactor-{rank}`, `sparcml-nb-{rank}`) so Perfetto lanes are
+/// labeled. No-op when no recorder is installed.
+pub fn register_thread() {
+    if !enabled() {
+        return;
+    }
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let cached = LOCAL_RING.with(|l| l.borrow().clone());
+    match cached {
+        Some((g, _)) if g == generation => {}
+        _ => {
+            register_ring(generation);
+        }
     }
 }
 
@@ -379,6 +475,7 @@ pub struct SpanGuard {
     cat: Category,
     name: &'static str,
     arg: u64,
+    flow: u64,
     armed: bool,
 }
 
@@ -387,6 +484,15 @@ impl SpanGuard {
     #[inline]
     pub fn set_arg(&mut self, v: u64) {
         self.arg = v;
+    }
+
+    /// Stamp this span as one endpoint of a cross-rank message flow.
+    /// Both sides derive the same `id` via [`flow_id`]; the exporter
+    /// then emits Chrome flow events so Perfetto draws the send→recv
+    /// arrow.
+    #[inline]
+    pub fn set_flow(&mut self, id: u64, dir: FlowDir) {
+        self.flow = pack_flow(id, dir);
     }
 
     /// Disarm: drop without recording anything.
@@ -407,6 +513,7 @@ impl Drop for SpanGuard {
                 self.start_ns,
                 end.saturating_sub(self.start_ns),
                 self.arg,
+                self.flow,
             );
         }
     }
@@ -428,6 +535,7 @@ pub fn span_with(cat: Category, name: &'static str, arg: u64) -> SpanGuard {
             cat,
             name,
             arg,
+            flow: 0,
             armed: false,
         };
     }
@@ -436,6 +544,7 @@ pub fn span_with(cat: Category, name: &'static str, arg: u64) -> SpanGuard {
         cat,
         name,
         arg,
+        flow: 0,
         armed: true,
     }
 }
@@ -501,6 +610,68 @@ mod tests {
         for w in t.spans.windows(2) {
             assert!(w[0].start_ns <= w[1].start_ns);
         }
+    }
+
+    #[test]
+    fn flow_stamps_round_trip_and_ids_are_stable() {
+        let _g = lock();
+        let id = flow_id(42, 0, 3);
+        assert_eq!(id, flow_id(42, 0, 3), "both endpoints derive the same id");
+        assert_ne!(id, flow_id(42, 3, 0), "direction-reversed pair differs");
+        assert_ne!(id, 0);
+        assert!(Recorder::install(RecorderConfig::default()));
+        {
+            let mut s = span(Category::Phase, "send-half");
+            s.set_flow(id, FlowDir::Out);
+        }
+        {
+            let mut r = span(Category::Phase, "recv-half");
+            r.set_flow(id, FlowDir::In);
+        }
+        {
+            let _plain = span(Category::Phase, "no-flow");
+        }
+        let threads = Recorder::uninstall();
+        let all: Vec<&OwnedSpan> = threads.iter().flat_map(|t| t.spans.iter()).collect();
+        let send = all.iter().find(|s| s.name == "send-half").unwrap();
+        let recv = all.iter().find(|s| s.name == "recv-half").unwrap();
+        let plain = all.iter().find(|s| s.name == "no-flow").unwrap();
+        let (sid, sdir) = send.flow_parts().expect("send stamped");
+        let (rid, rdir) = recv.flow_parts().expect("recv stamped");
+        assert_eq!(sid, rid, "one arrow, one id");
+        assert_eq!(sdir, FlowDir::Out);
+        assert_eq!(rdir, FlowDir::In);
+        assert_eq!(plain.flow_parts(), None);
+    }
+
+    #[test]
+    fn register_thread_names_lane_without_spans() {
+        let _g = lock();
+        register_thread(); // no recorder installed: must be a no-op
+        assert!(Recorder::install(RecorderConfig::default()));
+        let h = std::thread::Builder::new()
+            .name("obs-idle-lane".into())
+            .spawn(register_thread)
+            .unwrap();
+        h.join().unwrap();
+        let threads = Recorder::uninstall();
+        let lane = threads
+            .iter()
+            .find(|t| t.thread_name == "obs-idle-lane")
+            .expect("idle thread registered a ring");
+        assert!(lane.spans.is_empty());
+    }
+
+    #[test]
+    fn dropped_total_matches_eviction_count() {
+        let _g = lock();
+        assert_eq!(Recorder::dropped_total(), 0, "no recorder: no drops");
+        assert!(Recorder::install(RecorderConfig { ring_capacity: 8 }));
+        for _ in 0..20 {
+            let _s = span(Category::Serve, "tick");
+        }
+        assert_eq!(Recorder::dropped_total(), 12);
+        Recorder::uninstall();
     }
 
     #[test]

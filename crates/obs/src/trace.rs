@@ -8,7 +8,7 @@
 //! distinct process (`pid` = rank).
 
 use crate::json::{self, escape_into, Value};
-use crate::span::{anchor_unix_us, Recorder, ThreadSpans};
+use crate::span::{anchor_unix_us, FlowDir, Recorder, ThreadSpans};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,8 +30,13 @@ pub fn trace_env_dir() -> Option<PathBuf> {
 }
 
 /// Install a default recorder if [`ENV_TRACE`] is set and none is
-/// installed yet. Returns true if tracing is active after the call.
+/// installed yet, and enable cluster telemetry collection if
+/// [`crate::telemetry::ENV_TELEMETRY`] is set. Returns true if tracing
+/// is active after the call.
 pub fn install_from_env() -> bool {
+    if crate::telemetry::telemetry_env_enabled() {
+        crate::telemetry::enable();
+    }
     if trace_env_dir().is_none() {
         return false;
     }
@@ -106,9 +111,32 @@ impl TraceSink {
                 }
                 line.push('}');
                 push(line, &mut out, &mut first);
+                // Flow half: an arrow endpoint anchored at the span's
+                // end (send completed / recv completed). Both halves of
+                // one message carry the same id, so Perfetto joins them
+                // into a send→recv arrow across rank tracks.
+                if let Some((id, dir)) = s.flow_parts() {
+                    let flow_ts = ts + dur;
+                    let ph = match dir {
+                        FlowDir::Out => "\"ph\":\"s\"",
+                        FlowDir::In => "\"ph\":\"f\",\"bp\":\"e\"",
+                    };
+                    push(
+                        format!(
+                            "{{\"name\":\"msg\",\"cat\":\"flow\",{ph},\"id\":\"{id:#x}\",\
+                             \"ts\":{flow_ts:.3},\"pid\":{pid},\"tid\":{}}}",
+                            t.tid
+                        ),
+                        &mut out,
+                        &mut first,
+                    );
+                }
             }
         }
-        out.push_str("\n]}\n");
+        let dropped: u64 = threads.iter().map(|t| t.dropped).sum();
+        out.push_str("\n],\"sparcml\":{\"droppedSpans\":");
+        let _ = write!(out, "{dropped}");
+        out.push_str("}}\n");
         w.write_all(out.as_bytes())
     }
 }
@@ -147,6 +175,7 @@ pub fn flush_trace_for_rank(rank: usize) -> io::Result<Option<PathBuf>> {
 pub fn merge_traces(dir: &Path, world: usize) -> io::Result<(PathBuf, Vec<usize>)> {
     let mut events: Vec<Value> = Vec::new();
     let mut included = Vec::new();
+    let mut dropped_total = 0u64;
     for rank in 0..world {
         let path = dir.join(rank_trace_file(rank));
         let Ok(text) = std::fs::read_to_string(&path) else {
@@ -168,9 +197,23 @@ pub fn merge_traces(dir: &Path, world: usize) -> io::Result<(PathBuf, Vec<usize>
                 )
             })?;
         events.extend(rank_events.iter().cloned());
+        dropped_total += parsed
+            .get("sparcml")
+            .and_then(|s| s.get("droppedSpans"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0) as u64;
         included.push(rank);
     }
-    let merged = Value::Obj(vec![("traceEvents".into(), Value::Arr(events))]);
+    let merged = Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(events)),
+        (
+            "sparcml".into(),
+            Value::Obj(vec![(
+                "droppedSpans".into(),
+                Value::Num(dropped_total as f64),
+            )]),
+        ),
+    ]);
     let out_path = dir.join(MERGED_TRACE_FILE);
     std::fs::write(&out_path, merged.render())?;
     Ok((out_path, included))
@@ -192,6 +235,7 @@ mod tests {
                     start_ns: 1_000,
                     dur_ns: 9_000,
                     arg: 4,
+                    flow: 0,
                 },
                 OwnedSpan {
                     cat: Category::Phase,
@@ -199,6 +243,7 @@ mod tests {
                     start_ns: 2_000,
                     dur_ns: 3_000,
                     arg: 0,
+                    flow: 0,
                 },
             ],
             dropped: 0,
@@ -245,6 +290,51 @@ mod tests {
         assert_eq!(
             batch.get("args").unwrap().get("v").unwrap().as_f64(),
             Some(4.0)
+        );
+        // drop-count footer present even when zero
+        assert_eq!(
+            v.get("sparcml")
+                .and_then(|s| s.get("droppedSpans"))
+                .and_then(Value::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn flow_stamped_spans_emit_arrow_endpoints_and_drop_footer() {
+        let id = crate::span::flow_id(99, 0, 1);
+        let mut threads = fake_threads();
+        threads[0].dropped = 5;
+        threads[0].spans[0].flow = (id & !0b11) | 1; // Out on "batch"
+        threads[0].spans[1].flow = (id & !0b11) | 2; // In on "exchange"
+        let mut buf = Vec::new();
+        TraceSink::write_chrome_trace(&mut buf, 0, "rank 0", &threads).unwrap();
+        let v = json::parse(&String::from_utf8(buf).unwrap()).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 2);
+        let start = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("s"))
+            .expect("flow start");
+        let finish = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("f"))
+            .expect("flow finish");
+        assert_eq!(finish.get("bp").and_then(Value::as_str), Some("e"));
+        assert_eq!(
+            start.get("id").and_then(Value::as_str),
+            finish.get("id").and_then(Value::as_str),
+            "both halves share one flow id"
+        );
+        assert_eq!(
+            v.get("sparcml")
+                .and_then(|s| s.get("droppedSpans"))
+                .and_then(Value::as_f64),
+            Some(5.0)
         );
     }
 

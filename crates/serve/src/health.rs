@@ -187,6 +187,14 @@ pub(crate) fn render_text(shared: &Shared) -> String {
             ));
         }
     }
+    if let Some(report) = shared
+        .cluster_telemetry
+        .lock()
+        .expect("cluster telemetry lock")
+        .as_ref()
+    {
+        out.push_str(&report.render_text());
+    }
     out.push_str(&shared.stats_snapshot().render_text());
     out
 }
@@ -235,6 +243,14 @@ pub(crate) fn render_prometheus(shared: &Shared) -> String {
         ));
     }
     sparcml_obs::metrics::global().render_prometheus(&mut out);
+    if let Some(report) = shared
+        .cluster_telemetry
+        .lock()
+        .expect("cluster telemetry lock")
+        .as_ref()
+    {
+        report.render_prometheus(&mut out);
+    }
     out
 }
 

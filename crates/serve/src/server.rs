@@ -71,6 +71,10 @@ pub(crate) struct Shared {
     /// Latest cluster generation view from a shard sync:
     /// `[shard][model] -> generation`.
     pub cluster_generations: Mutex<Option<Vec<Vec<u64>>>>,
+    /// Latest cross-shard telemetry report (straggler ranking, skew
+    /// stats) built by the shard sync loop, surfaced on `/metrics` and
+    /// the text health page.
+    pub cluster_telemetry: Mutex<Option<sparcml_obs::ClusterReport>>,
     pub started: Instant,
 }
 
@@ -181,6 +185,7 @@ impl Server {
             stop: AtomicBool::new(false),
             comm_stats: Mutex::new(CommStats::default()),
             cluster_generations: Mutex::new(None),
+            cluster_telemetry: Mutex::new(None),
             started: Instant::now(),
         });
 

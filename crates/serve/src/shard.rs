@@ -200,6 +200,15 @@ fn sync_thread(
                 .lock()
                 .expect("cluster generations lock") = Some(cluster);
             *shared.comm_stats.lock().expect("comm stats lock") = comm.stats_snapshot();
+            // Telemetry exchange rides the same collective cadence: every
+            // shard's sync thread reaches it after a successful gather, so
+            // the cluster_report collective stays in lockstep.
+            if let Ok(report) = comm.cluster_report() {
+                *shared
+                    .cluster_telemetry
+                    .lock()
+                    .expect("cluster telemetry lock") = Some(report);
+            }
             Gauges::bump(&shared.gauges.shard_syncs, 1);
         }
         let _ = ack.send(());

@@ -397,8 +397,8 @@ fn metrics_endpoint_serves_parseable_prometheus_text() {
         .unwrap();
     // Seed the process-wide latency registry so the scrape carries
     // histogram series, not just counters/gauges.
-    sparcml_obs::metrics::global().record("test-algo", 1024, 0.0015);
-    sparcml_obs::metrics::global().record("test-algo", 1024, 0.0030);
+    sparcml_obs::metrics::global().record("test-algo", "thread", 1024, 0.0015);
+    sparcml_obs::metrics::global().record("test-algo", "thread", 1024, 0.0030);
 
     let mut s = TcpStream::connect(server.health_addr()).unwrap();
     s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
@@ -454,12 +454,12 @@ fn metrics_endpoint_serves_parseable_prometheus_text() {
         "{raw}"
     );
     let bucket_prefix =
-        "sparcml_collective_seconds_bucket{algorithm=\"test-algo\",size_class=\"10\"";
+        "sparcml_collective_seconds_bucket{algorithm=\"test-algo\",transport=\"thread\",size_class=\"10\"";
     assert!(raw.contains(bucket_prefix), "{raw}");
     assert!(raw.contains("le=\"+Inf\"} 2"), "{raw}");
     assert!(
         raw.contains(
-            "sparcml_collective_seconds_count{algorithm=\"test-algo\",size_class=\"10\"} 2"
+            "sparcml_collective_seconds_count{algorithm=\"test-algo\",transport=\"thread\",size_class=\"10\"} 2"
         ),
         "{raw}"
     );
@@ -472,4 +472,96 @@ fn metrics_endpoint_serves_parseable_prometheus_text() {
 
     client.close();
     server.shutdown();
+}
+
+/// One-shot HTTP/1.0 GET against a health endpoint, returning the raw
+/// response (status line, headers, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    raw
+}
+
+#[test]
+fn concurrent_metrics_scrapes_all_succeed() {
+    // Prometheus-style scrapers poll /metrics on their own schedule; a
+    // burst of simultaneous scrapes (plus live contributions) must all
+    // get complete 200 responses — no torn bodies, no refused sockets.
+    let server = Server::start(grad_config()).unwrap();
+    let mut client = ServeClient::connect("scrape-burst", &[server.addr()]).unwrap();
+    client
+        .contribute(0, &pairs(&[(5, 1.0)]), Duration::from_secs(5))
+        .unwrap();
+
+    let health = server.health_addr();
+    let scrapers: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut bodies = Vec::new();
+                for _ in 0..5 {
+                    bodies.push(http_get(health, "/metrics"));
+                }
+                bodies
+            })
+        })
+        .collect();
+    for handle in scrapers {
+        for raw in handle.join().unwrap() {
+            assert!(raw.starts_with("HTTP/1.0 200 OK"), "{raw}");
+            let body = raw.split("\r\n\r\n").nth(1).unwrap();
+            // Content-Length promised must match what arrived: a torn
+            // concurrent write would break this.
+            let len: usize = raw
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert_eq!(body.len(), len, "torn body");
+            assert!(body.contains("sparcml_serve_sessions"), "{body}");
+        }
+    }
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn shard_sync_publishes_cluster_telemetry_on_metrics() {
+    let group = ShardGroup::start(grad_config(), 2).unwrap();
+    let mut client = ServeClient::connect("telemetry-probe", &group.addrs()).unwrap();
+    client
+        .contribute(0, &pairs(&[(1, 1.0), (999, 2.0)]), Duration::from_secs(5))
+        .unwrap();
+    group.sync_now().unwrap();
+
+    for handle in group.handles() {
+        // Text health page carries the cluster telemetry section...
+        let report = handle.health_report();
+        assert!(
+            report.contains("cluster telemetry"),
+            "missing telemetry section:\n{report}"
+        );
+        // ...and /metrics carries the per-rank blame series for both
+        // shard ranks.
+        let raw = http_get(handle.health_addr(), "/metrics");
+        assert!(raw.starts_with("HTTP/1.0 200 OK"), "{raw}");
+        for rank in 0..2 {
+            assert!(
+                raw.contains(&format!(
+                    "sparcml_cluster_blamed_seconds{{rank=\"{rank}\"}}"
+                )),
+                "missing rank {rank} blame series:\n{raw}"
+            );
+        }
+        assert!(raw.contains("sparcml_cluster_span_drops_total"), "{raw}");
+    }
+
+    client.close();
+    group.shutdown();
 }

@@ -1,10 +1,13 @@
-//! End-to-end span-tracing demo (and the CI acceptance check for it):
-//! a 4-process TCP cluster runs instrumented collectives and an engine
-//! batch under `SPARCML_TRACE`, each rank flushes `trace-rank{r}.json`
-//! on orderly shutdown, the launcher merges them into one Chrome trace —
-//! and this binary then re-opens the merged file and asserts it is valid
-//! JSON carrying spans from *every* rank, including engine batch and
-//! collective phase spans.
+//! End-to-end observability demo (and the CI acceptance check for it):
+//! a 4-process cluster on the reactor backend runs instrumented
+//! collectives — blocking, non-blocking, and an engine batch — under
+//! `SPARCML_TRACE` + `SPARCML_TELEMETRY`. Each rank flushes
+//! `trace-rank{r}.json` and `telemetry-rank{r}.json` on orderly
+//! shutdown, the launcher merges the traces into one Chrome trace — and
+//! this binary then re-opens the merged file and asserts it is valid
+//! JSON carrying spans from *every* rank, flow-event arrows between
+//! ranks, and named lanes for the engine / reactor / non-blocking
+//! worker threads.
 //!
 //! Run it:
 //!
@@ -13,16 +16,18 @@
 //! ```
 //!
 //! then load `target/trace-demo/trace-merged.json` at <https://ui.perfetto.dev>
-//! (or `chrome://tracing`). One process track per rank; the engine's
-//! progress thread and the session thread appear as separate rows.
+//! (or `chrome://tracing`). One process track per rank; engine,
+//! reactor, and non-blocking helper threads appear as labeled rows, and
+//! enabling "Flow events" draws the send→recv arrows. `sparcml-doctor
+//! target/trace-demo` turns the same directory into a cluster report.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use sparcml::core::Communicator;
+use sparcml::core::{Algorithm, Communicator};
 use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
-use sparcml::net::{run_tcp_cluster, LaunchOptions, Transport};
+use sparcml::net::{run_socket_cluster, LaunchOptions, Transport, TransportBackend};
 use sparcml::obs;
 use sparcml::stream::random_sparse;
 
@@ -40,9 +45,11 @@ fn main() {
     let dir = trace_dir();
     let opts = LaunchOptions::default()
         .with_timeout(Duration::from_secs(120))
-        .with_trace_dir(&dir);
+        .with_transport(TransportBackend::Reactor)
+        .with_trace_dir(&dir)
+        .with_telemetry_dir(&dir);
 
-    let Some(results) = run_tcp_cluster("trace_observability", WORLD, &opts, |tp| {
+    let Some(results) = run_socket_cluster("trace_observability", WORLD, &opts, |tp| {
         let mut comm = Communicator::new(tp.detach());
         let rank = comm.rank();
 
@@ -56,6 +63,16 @@ fn main() {
                 .expect("allreduce");
         }
 
+        // One non-blocking collective: the transport hops to a
+        // `sparcml-nb-{rank}` helper thread, which must appear as its
+        // own labeled lane in the trace.
+        comm.allreduce(&input)
+            .algorithm(Algorithm::SsarRecDbl)
+            .nonblocking()
+            .launch()
+            .and_then(|h| h.wait())
+            .expect("non-blocking allreduce");
+
         // One engine batch: submit → agreement → bucket-plan → fuse →
         // execute → split, recorded on the progress thread's track.
         let mut engine = comm.engine::<f32>(EngineConfig::default());
@@ -66,6 +83,11 @@ fn main() {
             t.wait().expect("engine allreduce");
         }
         engine.finish_into(&mut comm).expect("engine shutdown");
+
+        // Telemetry: collection is on (SPARCML_TELEMETRY), so the
+        // cluster report must agree on the membership.
+        let report = comm.cluster_report().expect("cluster report");
+        assert_eq!(report.ranks().len(), WORLD, "all ranks reporting");
 
         *tp = comm.into_transport();
         "ok".to_string()
@@ -86,14 +108,29 @@ fn main() {
 
     let mut pids = BTreeSet::new();
     let mut names = BTreeSet::new();
+    let mut threads = BTreeSet::new();
+    let (mut flow_starts, mut flow_finishes) = (0usize, 0usize);
     for e in events {
-        if e.get("ph").and_then(|v| v.as_str()) != Some("X") {
-            continue;
-        }
-        let pid = e.get("pid").and_then(|v| v.as_f64()).expect("X event pid") as usize;
-        pids.insert(pid);
-        if let Some(name) = e.get("name").and_then(|v| v.as_str()) {
-            names.insert(name.to_string());
+        match e.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => {
+                let pid = e.get("pid").and_then(|v| v.as_f64()).expect("X event pid") as usize;
+                pids.insert(pid);
+                if let Some(name) = e.get("name").and_then(|v| v.as_str()) {
+                    names.insert(name.to_string());
+                }
+            }
+            Some("M") if e.get("name").and_then(|v| v.as_str()) == Some("thread_name") => {
+                if let Some(n) = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                {
+                    threads.insert(n.to_string());
+                }
+            }
+            Some("s") => flow_starts += 1,
+            Some("f") => flow_finishes += 1,
+            _ => {}
         }
     }
     let expect_pids: BTreeSet<usize> = (0..WORLD).collect();
@@ -116,12 +153,50 @@ fn main() {
             "merged trace is missing '{required}' spans; have {names:?}"
         );
     }
+    // Worker-thread lanes are labeled: engine progress threads,
+    // reactor event loops, and non-blocking helpers registered their
+    // names even where they recorded few spans of their own.
+    for lane in ["sparcml-engine-0", "sparcml-reactor-0", "sparcml-nb-0"] {
+        assert!(
+            threads.contains(lane),
+            "merged trace is missing the '{lane}' thread lane; have {threads:?}"
+        );
+    }
+    // Cross-rank correlation: send spans opened flow arrows and recv
+    // spans terminated them.
+    assert!(flow_starts > 0, "no flow-start events in the merged trace");
+    assert!(
+        flow_finishes > 0,
+        "no flow-finish events in the merged trace"
+    );
+    // The span-drop footer survived the merge.
+    let dropped = doc
+        .get("sparcml")
+        .and_then(|s| s.get("droppedSpans"))
+        .and_then(|v| v.as_f64())
+        .expect("sparcml.droppedSpans footer");
+    assert!(dropped >= 0.0);
+
+    // --- Parent: the telemetry files reconstruct the cluster view. ---
+    let report = obs::load_telemetry_dir(&dir, WORLD).expect("load telemetry dir");
+    assert_eq!(
+        report.ranks(),
+        (0..WORLD as u32).collect::<Vec<_>>(),
+        "telemetry frame from every rank"
+    );
 
     println!(
-        "trace OK: {} events from ranks {:?} -> {}",
+        "trace OK: {} events from ranks {:?} ({} flow arrows, {} thread lanes) -> {}",
         events.len(),
         pids,
+        flow_starts,
+        threads.len(),
         merged.display()
     );
-    println!("open it at https://ui.perfetto.dev");
+    println!(
+        "telemetry OK: {} ranks reporting -> {}",
+        report.frames.len(),
+        dir.display()
+    );
+    println!("open the trace at https://ui.perfetto.dev");
 }

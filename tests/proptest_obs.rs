@@ -196,3 +196,109 @@ fn recorded_span_intervals_nest_and_export_structurally_valid_json() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Telemetry frame codec (cluster telemetry plane)
+// ---------------------------------------------------------------------
+
+use sparcml::obs::{TelemetryError, TelemetryFrame};
+
+/// A random but valid telemetry frame: every field exercised, all
+/// vector lengths inside the codec's caps.
+fn sample_frame(rng: &mut XorShift64) -> TelemetryFrame {
+    use sparcml::obs::telemetry::{DensityStats, HistoDigest, PeerWait};
+    const NAMES: [&str; 4] = ["msgs_sent", "bytes_sent", "collectives", "pool_reuses"];
+    const ALGOS: [&str; 3] = ["ssar_recdbl", "ring", "dsar"];
+    const BACKENDS: [&str; 3] = ["tcp", "reactor", "thread"];
+    TelemetryFrame {
+        rank: rng.next_below(64) as u32,
+        world: 64,
+        seq: rng.next_below(1 << 20),
+        wall_us: rng.next_below(1 << 50),
+        compute_ns: rng.next_below(1 << 40),
+        blocked_ns: rng.next_below(1 << 40),
+        span_drops: rng.next_below(1 << 16),
+        counters: (0..rng.next_below(4))
+            .map(|i| (NAMES[i as usize].to_string(), rng.next_below(1 << 30)))
+            .collect(),
+        peer_waits: (0..rng.next_below(6))
+            .map(|i| PeerWait {
+                peer: i as u32,
+                waits: rng.next_below(1 << 10),
+                wait_ns: rng.next_below(1 << 36),
+                max_wait_ns: rng.next_below(1 << 30),
+                last_arrivals: rng.next_below(1 << 8),
+            })
+            .collect(),
+        density: DensityStats {
+            collectives: rng.next_below(1 << 12),
+            dim_sum: rng.next_below(1 << 40),
+            input_nnz_sum: rng.next_below(1 << 30),
+            input_nnz_max: rng.next_below(1 << 20),
+            output_nnz_sum: rng.next_below(1 << 32),
+            output_nnz_max: rng.next_below(1 << 20),
+            dense_results: rng.next_below(1 << 8),
+        },
+        histos: (0..rng.next_below(3))
+            .map(|i| HistoDigest {
+                label: ALGOS[i as usize].to_string(),
+                backend: BACKENDS[i as usize].to_string(),
+                class: rng.next_below(40) as u8,
+                count: rng.next_below(1 << 20),
+                sum_ns: rng.next_below(1 << 40),
+                buckets: (0..rng.next_below(5))
+                    .map(|b| (b as u8, 1 + rng.next_below(1 << 16)))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn telemetry_frame_binary_codec_round_trips() {
+    let mut rng = XorShift64::new(0x7e1e);
+    for _ in 0..CASES {
+        let frame = sample_frame(&mut rng);
+        let wire = frame.encode();
+        let back = TelemetryFrame::decode(&wire).expect("round trip");
+        assert_eq!(back, frame);
+        // JSON path (launcher files) round-trips too.
+        let json = frame.to_json().render();
+        let parsed = sparcml::obs::json::parse(&json).expect("frame JSON parses");
+        assert_eq!(TelemetryFrame::from_json(&parsed), Some(frame));
+    }
+}
+
+#[test]
+fn truncated_frames_fail_typed_never_panic() {
+    let mut rng = XorShift64::new(0x74c0de);
+    let frame = sample_frame(&mut rng);
+    let wire = frame.encode();
+    for len in 0..wire.len() {
+        match TelemetryFrame::decode(&wire[..len]) {
+            Err(TelemetryError::Truncated { .. }) | Err(TelemetryError::BadMagic) => {}
+            other => panic!("prefix of {len} bytes: unexpected {other:?}"),
+        }
+    }
+    // Trailing garbage is rejected, not silently ignored.
+    let mut long = wire.clone();
+    long.extend_from_slice(b"junk");
+    assert!(matches!(
+        TelemetryFrame::decode(&long),
+        Err(TelemetryError::Trailing { .. })
+    ));
+}
+
+#[test]
+fn corrupt_frames_error_or_decode_but_never_panic() {
+    let mut rng = XorShift64::new(0xbadc0de);
+    for _ in 0..CASES {
+        let frame = sample_frame(&mut rng);
+        let mut wire = frame.encode();
+        // Flip a random byte (possibly in a length field: the caps and
+        // bounds checks must catch runaway allocations).
+        let at = rng.next_below(wire.len() as u64) as usize;
+        wire[at] ^= 1 << rng.next_below(8);
+        let _ = TelemetryFrame::decode(&wire); // must return, not panic
+    }
+}
