@@ -9,6 +9,12 @@
 //! * **engine-fused** — all layers submitted as one group to the
 //!   progress engine, which fuses them into a single collective.
 //!
+//! Per-step wall time is noisy at this scale (a loopback cluster is
+//! scheduler-bound), so each variant is measured over `REPS` independent
+//! cluster spins, alternating variants so machine-load drift hits both
+//! sides alike; the reported wall is the median across spins of the
+//! per-spin median (itself the max-across-ranks per trial).
+//!
 //! Prints a JSON document with median wall times per step, the speedup,
 //! and the transport message counts from the `CommStats` counters.
 //!
@@ -16,6 +22,7 @@
 //! cargo run --release -p sparcml-bench --bin engine_fusion
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sparcml_core::{Algorithm, Communicator, Transport};
@@ -25,7 +32,10 @@ use sparcml_stream::{random_sparse, SparseStream};
 
 const P: usize = 4;
 const LAYER_DIM: usize = 1 << 16;
-const TRIALS: usize = 7;
+const TRIALS: usize = 15;
+/// Independent cluster spins per variant; the reported wall is the
+/// median across spins.
+const REPS: usize = 3;
 
 struct Measured {
     wall_s: f64,
@@ -90,13 +100,15 @@ fn bench_engine(layers: usize, k: usize) -> Measured {
             algorithm: Algorithm::SsarRecDbl,
             ..EngineConfig::default()
         });
-        let inputs = grads(engine.rank(), layers, k);
-        let refs: Vec<&SparseStream<f32>> = inputs.iter().collect();
+        let inputs: Vec<Arc<SparseStream<f32>>> = grads(engine.rank(), layers, k)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let mut out = Vec::with_capacity(TRIALS);
         for trial in 0..=TRIALS {
             let comm_before = engine.stats().comm;
             let start = Instant::now();
-            let tickets = engine.submit_allreduce_group(&refs);
+            let tickets = engine.submit_allreduce_group_shared(&inputs);
             for t in tickets {
                 t.wait().expect("engine allreduce");
             }
@@ -114,10 +126,17 @@ fn bench_engine(layers: usize, k: usize) -> Measured {
     collect(per_rank)
 }
 
+/// The repetition with the median wall time (traffic counters are
+/// deterministic, so any repetition's counters are representative).
+fn median_rep(mut reps: Vec<Measured>) -> Measured {
+    reps.sort_by(|a, b| a.wall_s.partial_cmp(&b.wall_s).expect("finite times"));
+    reps.swap_remove(reps.len() / 2)
+}
+
 fn main() {
     println!("{{");
     println!(
-        "  \"description\": \"Fused (progress engine) vs per-layer allreduce of per-layer sparse gradients over loopback TCP at P={P}: median wall time per step (max across ranks per trial, {TRIALS} trials) and per-step transport counters of a non-root rank. Layers are {LAYER_DIM}-dim f32 with k non-zeros each.\","
+        "  \"description\": \"Fused (progress engine) vs per-layer allreduce of per-layer sparse gradients over loopback TCP at P={P}: median wall time per step (max across ranks per trial, {TRIALS} trials, median of {REPS} cluster spins) and per-step transport counters of a non-root rank. Layers are {LAYER_DIM}-dim f32 with k non-zeros each.\","
     );
     println!("  \"harness\": \"cargo run --release -p sparcml-bench --bin engine_fusion\",");
     println!("  \"configs\": {{");
@@ -126,8 +145,14 @@ fn main() {
     for (li, &layers) in layer_counts.iter().enumerate() {
         println!("    \"layers={layers}\": {{");
         for (ki, &k) in ks.iter().enumerate() {
-            let seq = bench_per_layer(layers, k);
-            let eng = bench_engine(layers, k);
+            let mut seq_reps = Vec::with_capacity(REPS);
+            let mut eng_reps = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                seq_reps.push(bench_per_layer(layers, k));
+                eng_reps.push(bench_engine(layers, k));
+            }
+            let seq = median_rep(seq_reps);
+            let eng = median_rep(eng_reps);
             let speedup = seq.wall_s / eng.wall_s;
             println!("      \"k={k}\": {{");
             println!("        \"per_layer_wall_us\": {:.0},", seq.wall_s * 1e6);

@@ -14,6 +14,7 @@
 //! | [`Algorithm::DenseRabenseifner`] | recursive halving + doubling | large dense data baseline [44] |
 //! | [`Algorithm::DenseRing`] | ring reduce-scatter + allgather | bandwidth-bound dense baseline |
 //! | [`Algorithm::SparseRing`] | ring schedule on sparse partitions | the "sparse counterpart" of Fig. 3 |
+//! | [`Algorithm::AdaptiveSwitch`] | recursive doubling with the in-collective δ-switch | mixed/unknown density: starts sparse, densifies the remaining rounds once the projected union crosses δ |
 //! | [`Algorithm::Hierarchical`] | intra-node reduce → leader-level flat allreduce → intra-node broadcast | multi-node clusters with fast intra-node links (needs a [`AllreduceConfig::topology`]) |
 
 mod dense;
@@ -30,13 +31,13 @@ pub use dsar_split_ag::dsar_split_allgather;
 pub(crate) use dsar_split_ag::dsar_split_allgather_pooled;
 pub use sparse_ring::sparse_ring;
 pub(crate) use sparse_ring::sparse_ring_pooled;
-pub use ssar_rec_dbl::ssar_recursive_double;
-pub(crate) use ssar_rec_dbl::ssar_recursive_double_pooled;
+pub use ssar_rec_dbl::{ssar_adaptive_switch, ssar_recursive_double};
+pub(crate) use ssar_rec_dbl::{ssar_adaptive_switch_pooled, ssar_recursive_double_pooled};
 // The split phase of SSAR_Split_allgather doubles as the crate's
 // reduce-scatter building block (see `rooted::sparse_reduce_scatter`).
 pub(crate) use ssar_split_ag::split_reduce_partition;
-pub use ssar_split_ag::ssar_split_allgather;
-pub(crate) use ssar_split_ag::ssar_split_allgather_pooled;
+pub use ssar_split_ag::{ssar_split_allgather, ssar_split_allgather_adaptive};
+pub(crate) use ssar_split_ag::{ssar_split_allgather_adaptive_pooled, ssar_split_allgather_pooled};
 
 use std::sync::Arc;
 
@@ -72,6 +73,14 @@ pub enum Algorithm {
     DenseRing,
     /// Sparse ring (ring schedule on sparse partitions).
     SparseRing,
+    /// Recursive doubling with the in-collective δ-switch: every merge
+    /// round tracks the running union size and, once the projected
+    /// end-of-collective union crosses the paper's raw δ, the remaining
+    /// rounds run on the dense representation
+    /// ([`crate::ssar_adaptive_switch`]). The repr decisions are
+    /// rank-agreed by construction — the union size and switch state are
+    /// piggybacked on every frame header.
+    AdaptiveSwitch,
     /// Two-level topology-aware schedule: intra-node sparse reduce to each
     /// node's leader, a flat sparse allreduce among the leaders (chosen
     /// recursively — [`AllreduceConfig::hier_leader_algorithm`]), then an
@@ -87,7 +96,7 @@ impl Algorithm {
     /// resolves to one of these, or to [`Algorithm::Hierarchical`] when a
     /// non-trivial topology is configured; `Hierarchical` is excluded here
     /// because it needs a topology to mean anything).
-    pub const ALL: [Algorithm; 7] = [
+    pub const ALL: [Algorithm; 8] = [
         Algorithm::SsarRecDbl,
         Algorithm::SsarSplitAllgather,
         Algorithm::DsarSplitAllgather,
@@ -95,6 +104,9 @@ impl Algorithm {
         Algorithm::DenseRabenseifner,
         Algorithm::DenseRing,
         Algorithm::SparseRing,
+        // Appended last so the 1-byte agreement indices of the original
+        // seven stay stable across mixed-version clusters.
+        Algorithm::AdaptiveSwitch,
     ];
 
     /// Short human-readable name matching the paper's figure legends.
@@ -108,6 +120,7 @@ impl Algorithm {
             Algorithm::DenseRabenseifner => "Dense_Rabenseifner",
             Algorithm::DenseRing => "Dense_Ring",
             Algorithm::SparseRing => "Sparse_Ring",
+            Algorithm::AdaptiveSwitch => "Adaptive_switch",
             Algorithm::Hierarchical => "Hierarchical",
         }
     }
@@ -157,6 +170,15 @@ pub struct AllreduceConfig {
     /// Usually installed session-wide via
     /// [`crate::Communicator::enable_calibration`] rather than per call.
     pub calibration: Option<Arc<ObservedCostModel>>,
+    /// Escape hatch routing the classic sparse schedules through their
+    /// δ-switching variants: with this set, an explicit
+    /// [`Algorithm::SsarRecDbl`] request runs
+    /// [`crate::ssar_adaptive_switch`] and
+    /// [`Algorithm::SsarSplitAllgather`] runs
+    /// [`crate::ssar_split_allgather_adaptive`] — same schedules, but the
+    /// representation may switch dense mid-collective once the projected
+    /// union crosses δ.
+    pub adaptive: bool,
 }
 
 impl Default for AllreduceConfig {
@@ -170,6 +192,7 @@ impl Default for AllreduceConfig {
             topology_cost: None,
             hier_leader_algorithm: Algorithm::Auto,
             calibration: None,
+            adaptive: false,
         }
     }
 }
@@ -353,8 +376,13 @@ fn dispatch_flat_concrete<T: Transport, V: Scalar>(
         Algorithm::Auto | Algorithm::Hierarchical => {
             unreachable!("flat resolution yields a concrete flat algorithm")
         }
+        Algorithm::SsarRecDbl if cfg.adaptive => ssar_adaptive_switch_pooled(ep, input, cfg, pool),
         Algorithm::SsarRecDbl => ssar_recursive_double_pooled(ep, input, cfg, pool),
+        Algorithm::SsarSplitAllgather if cfg.adaptive => {
+            ssar_split_allgather_adaptive_pooled(ep, input, cfg, pool)
+        }
         Algorithm::SsarSplitAllgather => ssar_split_allgather_pooled(ep, input, cfg, pool),
+        Algorithm::AdaptiveSwitch => ssar_adaptive_switch_pooled(ep, input, cfg, pool),
         Algorithm::DsarSplitAllgather => dsar_split_allgather_pooled(ep, input, cfg, pool),
         Algorithm::DenseRecDbl => dense_recursive_double_pooled(ep, input, cfg, pool),
         Algorithm::DenseRabenseifner => dense_rabenseifner_pooled(ep, input, cfg, pool),

@@ -231,6 +231,60 @@ pub(crate) fn exchange_stream<T: Transport, V: Scalar>(
     recv_stream(ep, peer, t, pool)
 }
 
+/// Simultaneous stream exchange with `peer` that piggybacks an 8-byte
+/// union-size bound ahead of the encoded frame — the carrier of the
+/// adaptive collectives' δ-switch state. Both sides combine the two
+/// bounds with the same symmetric rule, so exchange partners can never
+/// disagree on the projected union (and therefore on the switch), while
+/// the self-describing wire frame keeps mixed sparse/dense rounds
+/// decodable regardless of what the peer chose to send.
+pub(crate) fn exchange_stream_with_bound<T: Transport, V: Scalar>(
+    ep: &mut T,
+    peer: usize,
+    t: u64,
+    stream: &SparseStream<V>,
+    bound: u64,
+    pool: &mut BufferPool,
+) -> Result<(SparseStream<V>, u64), CollError> {
+    {
+        let mut span = obs::span(obs::Category::Phase, "encode-send");
+        if obs::enabled() {
+            span.set_flow(
+                obs::flow_id(t, ep.rank() as u64, peer as u64),
+                obs::FlowDir::Out,
+            );
+        }
+        let mut buf = pool.acquire();
+        // The word rides as an 8-byte trailer: `encode_into` clears the
+        // buffer, so a prefix would be wiped (and prepending after the
+        // encode would shift the whole frame).
+        stream.encode_into(&mut buf);
+        buf.extend_from_slice(&bound.to_le_bytes());
+        let payload = Bytes::from(buf);
+        span.set_arg(payload.len() as u64);
+        ep.send(peer, t, payload)?;
+    }
+    let mut span = obs::span(obs::Category::Phase, "recv-decode");
+    if obs::enabled() {
+        span.set_flow(
+            obs::flow_id(t, peer as u64, ep.rank() as u64),
+            obs::FlowDir::In,
+        );
+    }
+    let payload = recv_tracked(ep, peer, t)?;
+    span.set_arg(payload.len() as u64);
+    if payload.len() < 8 {
+        return Err(CollError::Invalid(
+            "adaptive frame missing its union bound".into(),
+        ));
+    }
+    let split = payload.len() - 8;
+    let their_bound = u64::from_le_bytes(payload[split..].try_into().expect("checked length"));
+    let theirs = SparseStream::decode(&payload[..split])?;
+    pool.recycle(payload);
+    Ok((theirs, their_bound))
+}
+
 /// Adds `other` into `acc`, charging the endpoint for the reduction work.
 pub(crate) fn add_charged<T: Transport, V: Scalar>(
     ep: &mut T,

@@ -66,6 +66,15 @@ pub(crate) fn expected_cost(algo: Algorithm, w: &Workload, c: &CostModel, ek: f6
             // Ring on sparse partitions: 2(P−1) messages of ≈ E[K]/P pairs.
             2.0 * (p - 1.0) * (c.alpha + ek / p * c.beta * w.pair_bytes()) + c.gamma * 2.0 * ek
         }
+        Algorithm::AdaptiveSwitch => {
+            // The δ-switch tracks whichever representation the observed
+            // fill-in favours, so its cost approaches the better of the
+            // two recursive-doubling commitments; the 8-byte union-bound
+            // header piggybacked per round is the only overhead.
+            let sparse = expected_cost(Algorithm::SsarRecDbl, w, c, ek);
+            let dense = expected_cost(Algorithm::DenseRecDbl, w, c, ek);
+            sparse.min(dense) + log2p * 8.0 * c.beta
+        }
     }
 }
 
@@ -90,6 +99,7 @@ pub(crate) fn flat_candidates<V: Scalar>(p: usize, n: usize, k: usize) -> &'stat
             Algorithm::SsarRecDbl,
             Algorithm::SsarSplitAllgather,
             Algorithm::SparseRing,
+            Algorithm::AdaptiveSwitch,
         ]
     }
 }

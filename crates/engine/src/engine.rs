@@ -8,16 +8,22 @@
 //! executes them in *batches*:
 //!
 //! 1. **Agree** — engines across ranks agree on the common prefix of
-//!    submitted jobs (one 8-byte control round per batch, on a reserved
+//!    submitted jobs (one control round per batch, on a reserved
 //!    [`sparcml_net::TagBlock`]). Submissions happen in program order on
 //!    every rank, so the common prefix is exactly the set of jobs every
-//!    rank can execute without deadlocking a peer.
+//!    rank can execute without deadlocking a peer. When fusion is on,
+//!    the same round (`agree_batch`) also carries the batch's *agreed*
+//!    non-zero counts and the telemetry-measured fill factor, so the
+//!    density-aware planner costs no extra control latency.
 //! 2. **Plan** — the batch is partitioned into fusion buckets
-//!    ([`FusionPolicy`]); planning uses only rank-invariant facts (job
-//!    kind and logical dimension), so every rank derives the identical
-//!    schedule.
-//! 3. **Execute** — buckets run last-submitted-first (when
-//!    [`EngineConfig::priority_lifo`] is set). A multi-job bucket fuses
+//!    ([`FusionPolicy`]); planning uses only rank-invariant facts: job
+//!    kind, logical dimension, and the agreed nnz/fill from step 1. The
+//!    density guard ([`FusionPolicy::max_density`]) stops fusing once a
+//!    bucket's projected union density turns bandwidth-bound, so every
+//!    rank still derives the identical schedule.
+//! 3. **Execute** — buckets run in submission order (or
+//!    last-submitted-first when [`EngineConfig::priority_lifo`] is
+//!    set). A multi-job bucket fuses
 //!    its streams into one concatenated index space, reduces them as a
 //!    single collective (chunked when oversized), splits the result, and
 //!    resolves each ticket.
@@ -40,7 +46,7 @@ use sparcml_net::{CommStats, TagBlockAllocator, Transport};
 use sparcml_obs as obs;
 use sparcml_stream::{fuse_streams, split_fused, FusedLayout, Scalar, SparseStream};
 
-use crate::agree::agree_min_u64;
+use crate::agree::{agree_batch, agree_min_u64};
 use crate::fusion::{plan_buckets, FusionPolicy, JobMeta};
 use crate::ticket::{Ticket, TicketState};
 
@@ -56,8 +62,16 @@ pub struct EngineConfig {
     /// engine allreduces.
     pub allreduce: AllreduceConfig,
     /// Execute buckets last-submitted-first (DDP-style priority: the
-    /// most recently produced gradients go out first). `false` = strict
-    /// submission order.
+    /// most recently produced gradients go out first). `false` (the
+    /// default) = strict submission order.
+    ///
+    /// LIFO only pays off when jobs are submitted incrementally (e.g.
+    /// during backprop) and a caller wants late tickets early. For
+    /// group submissions waited in submission order it *costs* wall
+    /// time: every result then sits unconsumed until the batch's last
+    /// bucket, and that accumulate-then-burst delivery keeps the
+    /// allocator from recycling result buffers between collectives
+    /// (measured ~25-40% per-step overhead on singleton-heavy batches).
     pub priority_lifo: bool,
 }
 
@@ -67,7 +81,7 @@ impl Default for EngineConfig {
             fusion: FusionPolicy::default(),
             algorithm: Algorithm::Auto,
             allreduce: AllreduceConfig::default(),
-            priority_lifo: true,
+            priority_lifo: false,
         }
     }
 }
@@ -107,19 +121,22 @@ pub struct EngineStats {
     pub telemetry: sparcml_obs::telemetry::LocalTelemetry,
 }
 
-/// One queued collective job.
+/// One queued collective job. Inputs are held behind an [`Arc`] so a
+/// group submission of shared gradients crosses to the progress thread
+/// without copying stream payloads (see
+/// [`Engine::submit_allreduce_group_shared`]).
 enum Job<V: Scalar> {
     /// Global sum, fusable with its neighbors.
     Allreduce {
         idx: u64,
-        input: SparseStream<V>,
+        input: Arc<SparseStream<V>>,
         fusable: bool,
         tx: Sender<Result<SparseStream<V>, CollError>>,
     },
     /// Gather of every rank's stream; never fused.
     Allgather {
         idx: u64,
-        input: SparseStream<V>,
+        input: Arc<SparseStream<V>>,
         tx: Sender<Result<Vec<SparseStream<V>>, CollError>>,
     },
 }
@@ -135,10 +152,12 @@ impl<V: Scalar> Job<V> {
         match self {
             Job::Allreduce { input, fusable, .. } => JobMeta {
                 dim: input.dim(),
+                nnz: input.stored_len(),
                 fusable: *fusable,
             },
             Job::Allgather { input, .. } => JobMeta {
                 dim: input.dim(),
+                nnz: input.stored_len(),
                 fusable: false,
             },
         }
@@ -258,7 +277,7 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
 
     fn allreduce_job(
         &mut self,
-        input: &SparseStream<V>,
+        input: Arc<SparseStream<V>>,
         fusable: bool,
     ) -> (Job<V>, Ticket<SparseStream<V>>) {
         let idx = self.next_idx;
@@ -266,7 +285,7 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
         let (tx, rx) = unbounded();
         let job = Job::Allreduce {
             idx,
-            input: input.clone(),
+            input,
             fusable,
             tx,
         };
@@ -281,7 +300,7 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
     /// Submits a fusable allreduce of `input`; the ticket resolves to the
     /// global element-wise sum.
     pub fn submit_allreduce(&mut self, input: &SparseStream<V>) -> Ticket<SparseStream<V>> {
-        let (job, ticket) = self.allreduce_job(input, true);
+        let (job, ticket) = self.allreduce_job(Arc::new(input.clone()), true);
         self.enqueue(vec![job], vec![ticket])
             .pop()
             .expect("one ticket")
@@ -290,7 +309,7 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
     /// Submits an allreduce that must run as its own collective (never
     /// fused with neighbors).
     pub fn submit_allreduce_unfused(&mut self, input: &SparseStream<V>) -> Ticket<SparseStream<V>> {
-        let (job, ticket) = self.allreduce_job(input, false);
+        let (job, ticket) = self.allreduce_job(Arc::new(input.clone()), false);
         self.enqueue(vec![job], vec![ticket])
             .pop()
             .expect("one ticket")
@@ -308,7 +327,27 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
         let mut jobs = Vec::with_capacity(inputs.len());
         let mut tickets = Vec::with_capacity(inputs.len());
         for input in inputs {
-            let (job, ticket) = self.allreduce_job(input, true);
+            let (job, ticket) = self.allreduce_job(Arc::new((*input).clone()), true);
+            jobs.push(job);
+            tickets.push(ticket);
+        }
+        self.enqueue(jobs, tickets)
+    }
+
+    /// [`Engine::submit_allreduce_group`] without the payload copy:
+    /// callers that already hold their gradients behind [`Arc`]s hand
+    /// them to the progress thread by reference count alone. For large
+    /// per-layer batches the per-step clone is a measurable fraction of
+    /// the exchange itself, so this is the preferred hot-loop entry
+    /// point.
+    pub fn submit_allreduce_group_shared(
+        &mut self,
+        inputs: &[Arc<SparseStream<V>>],
+    ) -> Vec<Ticket<SparseStream<V>>> {
+        let mut jobs = Vec::with_capacity(inputs.len());
+        let mut tickets = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let (job, ticket) = self.allreduce_job(Arc::clone(input), true);
             jobs.push(job);
             tickets.push(ticket);
         }
@@ -323,7 +362,7 @@ impl<T: Transport + Send + 'static, V: Scalar> Engine<T, V> {
         let (tx, rx) = unbounded();
         let job = Job::Allgather {
             idx,
-            input: input.clone(),
+            input: Arc::new(input.clone()),
             tx,
         };
         let ticket = Ticket {
@@ -413,8 +452,12 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
     let mut stopping = false;
     // Set on the first collective failure: the transport may hold stale
     // in-flight frames, so every later job fails fast instead of risking
-    // a mis-matched schedule.
-    let mut poison: Option<CollError> = None;
+    // a mis-matched schedule. A malformed `SPARCML_FUSION_MAX_DENSITY`
+    // poisons the engine from the start — every ticket then reports the
+    // configuration error instead of the engine silently ignoring the
+    // override.
+    let mut cfg = cfg;
+    let mut poison: Option<CollError> = cfg.fusion.apply_env().err();
 
     let sink = StatsSink {
         stats: &stats,
@@ -453,10 +496,37 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
         }
         // Batch boundary: the common submitted prefix across ranks. Every
         // engine enters only while holding ≥ 1 pending job, so the agreed
-        // prefix always extends past `executed`.
+        // prefix always extends past `executed`. With fusion on, the same
+        // round carries the planner's density facts — per-rank stored
+        // lengths drift under error-feedback Top-k, so the density guard
+        // may only see *agreed* nnz and an agreed fill factor. The gate
+        // is rank-invariant (configuration only), so every rank picks the
+        // same frame format.
         let n_local = executed + pending.len() as u64;
         let agree_span = obs::span_with(obs::Category::Engine, "agree-batch", n_local);
-        let n_common = match agree_min_u64(comm.transport_mut(), control.next_block(), n_local) {
+        let mut fill = comm.size() as f64;
+        let mut agreed_nnz: Option<Vec<u64>> = None;
+        let agreement = if cfg.fusion.enabled {
+            let density = obs::telemetry::snapshot_local().density;
+            let nnz: Vec<u64> = pending.iter().map(|j| j.meta().nnz as u64).collect();
+            agree_batch(
+                comm.transport_mut(),
+                control.next_block(),
+                executed,
+                n_local,
+                density.output_nnz_sum,
+                density.input_nnz_sum,
+                &nnz,
+            )
+            .map(|(n, f, v)| {
+                fill = f;
+                agreed_nnz = Some(v);
+                n
+            })
+        } else {
+            agree_min_u64(comm.transport_mut(), control.next_block(), n_local)
+        };
+        let n_common = match agreement {
             Ok(n) => n,
             Err(e) => {
                 let e: CollError = e.into();
@@ -474,7 +544,7 @@ fn progress_loop<T: Transport + Send + 'static, V: Scalar>(
         executed = n_common;
         sink.stats.lock().expect("engine stats lock").batches += 1;
         let _batch_span = obs::span_with(obs::Category::Engine, "batch", batch.len() as u64);
-        run_batch(&mut comm, &cfg, batch, &sink, &mut poison);
+        run_batch(&mut comm, &cfg, batch, fill, agreed_nnz, &sink, &mut poison);
     }
     stats.lock().expect("engine stats lock").telemetry = obs::telemetry::snapshot_local();
     comm.into_transport()
@@ -516,17 +586,27 @@ fn fail_all<V: Scalar>(
     }
 }
 
-/// Plans and executes one agreed batch.
+/// Plans and executes one agreed batch. `fill` and `agreed_nnz` come
+/// from the batch-boundary [`agree_batch`] round (fill defaults to P —
+/// the conservative zero-overlap prior — and `agreed_nnz` is absent
+/// when fusion is off and planning never reads nnz).
 fn run_batch<T: Transport + Send + 'static, V: Scalar>(
     comm: &mut Communicator<T>,
     cfg: &EngineConfig,
     batch: Vec<Job<V>>,
+    fill: f64,
+    agreed_nnz: Option<Vec<u64>>,
     sink: &StatsSink<'_>,
     poison: &mut Option<CollError>,
 ) {
-    let metas: Vec<JobMeta> = batch.iter().map(Job::meta).collect();
+    let mut metas: Vec<JobMeta> = batch.iter().map(Job::meta).collect();
+    if let Some(agreed) = agreed_nnz {
+        for (meta, nnz) in metas.iter_mut().zip(agreed) {
+            meta.nnz = nnz as usize;
+        }
+    }
     let plan_span = obs::span_with(obs::Category::Engine, "bucket-plan", metas.len() as u64);
-    let mut buckets = plan_buckets(&metas, &cfg.fusion);
+    let mut buckets = plan_buckets(&metas, &cfg.fusion, fill);
     drop(plan_span);
     if cfg.priority_lifo {
         buckets.reverse();
@@ -570,7 +650,10 @@ fn run_bucket<T: Transport + Send + 'static, V: Scalar>(
         let Some(Job::Allgather { input, tx, .. }) = jobs.into_iter().next() else {
             unreachable!("checked above")
         };
-        let result = comm.allgather(&input).launch().and_then(|h| h.wait());
+        let result = comm
+            .allgather(input.as_ref())
+            .launch()
+            .and_then(|h| h.wait());
         let failure = result.as_ref().err().cloned();
         sink.note_resolving(comm.stats(), 1);
         let _ = tx.send(result);
@@ -587,7 +670,7 @@ fn run_allreduce_bucket<T: Transport + Send + 'static, V: Scalar>(
     jobs: Vec<Job<V>>,
     sink: &StatsSink<'_>,
 ) -> Result<(), CollError> {
-    let mut inputs: Vec<SparseStream<V>> = Vec::with_capacity(jobs.len());
+    let mut inputs: Vec<Arc<SparseStream<V>>> = Vec::with_capacity(jobs.len());
     let mut txs: Vec<Sender<Result<SparseStream<V>, CollError>>> = Vec::with_capacity(jobs.len());
     for job in jobs {
         match job {
@@ -601,11 +684,11 @@ fn run_allreduce_bucket<T: Transport + Send + 'static, V: Scalar>(
     let outcome = (|| -> Result<Vec<SparseStream<V>>, CollError> {
         if inputs.len() == 1 {
             let _exec = obs::span_with(obs::Category::Engine, "execute", inputs[0].dim() as u64);
-            let result = run_chunked_allreduce(comm, cfg, &inputs[0], sink)?;
+            let result = run_chunked_allreduce(comm, cfg, inputs[0].as_ref(), sink)?;
             return Ok(vec![result]);
         }
         let fuse_span = obs::span_with(obs::Category::Engine, "fuse", inputs.len() as u64);
-        let refs: Vec<&SparseStream<V>> = inputs.iter().collect();
+        let refs: Vec<&SparseStream<V>> = inputs.iter().map(|s| s.as_ref()).collect();
         let (fused, layout) = fuse_streams(&refs)?;
         drop(fuse_span);
         let fused_result = {

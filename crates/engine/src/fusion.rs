@@ -3,13 +3,23 @@
 //!
 //! Planning must be *rank-invariant*: every rank runs it over the same
 //! agreed batch and must produce the identical schedule, so decisions may
-//! only depend on quantities all ranks share. That is why the fusion
-//! thresholds act on each job's **logical dimension** (layer sizes are
-//! replicated across data-parallel ranks) and never on its non-zero
-//! count, which error-feedback Top-k lets drift between ranks.
+//! only depend on quantities all ranks share. The fusion thresholds act
+//! on each job's **logical dimension** (layer sizes are replicated across
+//! data-parallel ranks) and on its **agreed non-zero count** — the raw
+//! per-rank nnz drifts under error-feedback Top-k, so the engine's
+//! batch-boundary control round (`crate::agree::agree_batch`) takes the
+//! elementwise max over the batch's counts and feeds the planner only
+//! the agreed values.
+
+use sparcml_core::CollError;
+
+/// Environment variable overriding [`FusionPolicy::max_density`] at
+/// engine start (parsed loudly — a malformed value poisons the engine
+/// rather than being silently ignored).
+pub const ENV_FUSION_MAX_DENSITY: &str = "SPARCML_FUSION_MAX_DENSITY";
 
 /// Knobs controlling how the engine buckets and splits collective jobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FusionPolicy {
     /// Whether consecutive fusable allreduce jobs may share a bucket.
     pub enabled: bool,
@@ -21,6 +31,15 @@ pub struct FusionPolicy {
     /// Fused buckets whose index space exceeds this are reduced in even
     /// chunks of at most this many indices (bounds peak frame size).
     pub max_chunk_elements: usize,
+    /// Density bound on fused buckets: a job may only join a non-empty
+    /// bucket while the *projected fused union density* — the measured
+    /// fill factor times the bucket's summed agreed nnz over its summed
+    /// dimension, clamped to 1 — stays at or below this. Dense-ish jobs
+    /// are bandwidth-bound, and fusing them only serializes one huge
+    /// transfer where unfused jobs could pipeline; singleton buckets are
+    /// always allowed. Overridable at engine start via
+    /// [`ENV_FUSION_MAX_DENSITY`].
+    pub max_density: f64,
 }
 
 impl Default for FusionPolicy {
@@ -30,6 +49,7 @@ impl Default for FusionPolicy {
             max_fused_elements: 1 << 26,
             max_fused_jobs: 1024,
             max_chunk_elements: 1 << 22,
+            max_density: 0.5,
         }
     }
 }
@@ -42,6 +62,33 @@ impl FusionPolicy {
             ..FusionPolicy::default()
         }
     }
+
+    /// Applies the [`ENV_FUSION_MAX_DENSITY`] override, if present. A
+    /// value that does not parse as a float in `(0, 1]` is a loud
+    /// configuration error — the engine poisons itself on it instead of
+    /// running with a typo'd knob silently at the default.
+    pub fn apply_env(&mut self) -> Result<(), CollError> {
+        match std::env::var(ENV_FUSION_MAX_DENSITY) {
+            Ok(raw) => self.set_max_density_str(&raw),
+            Err(_) => Ok(()),
+        }
+    }
+
+    /// Parses a [`ENV_FUSION_MAX_DENSITY`] payload and installs it as
+    /// [`FusionPolicy::max_density`]. Split from [`FusionPolicy::apply_env`]
+    /// so the validation is testable without mutating process-global
+    /// environment state.
+    pub fn set_max_density_str(&mut self, raw: &str) -> Result<(), CollError> {
+        match raw.trim().parse::<f64>() {
+            Ok(v) if v > 0.0 && v <= 1.0 => {
+                self.max_density = v;
+                Ok(())
+            }
+            _ => Err(CollError::Invalid(format!(
+                "{ENV_FUSION_MAX_DENSITY}={raw:?} is not a float in (0, 1]"
+            ))),
+        }
+    }
 }
 
 /// The rank-invariant facts the planner sees about one job.
@@ -49,6 +96,9 @@ impl FusionPolicy {
 pub(crate) struct JobMeta {
     /// Logical dimension of the job's stream.
     pub dim: usize,
+    /// Agreed non-zero count (elementwise max across ranks; the local
+    /// stored length until the agreement round replaces it).
+    pub nnz: usize,
     /// Whether this job may share a bucket (allreduce jobs submitted
     /// without an unfused override).
     pub fusable: bool,
@@ -56,30 +106,46 @@ pub(crate) struct JobMeta {
 
 /// Groups the batch (given in submission order) into buckets of job
 /// positions, in submission order. Consecutive fusable jobs share a
-/// bucket up to the policy's element/job caps; everything else is a
-/// singleton. Identical on every rank for an identical batch.
-pub(crate) fn plan_buckets(batch: &[JobMeta], policy: &FusionPolicy) -> Vec<Vec<usize>> {
+/// bucket up to the policy's element/job/density caps; everything else
+/// is a singleton. `fill` is the measured fill factor (expected union
+/// nnz over a single rank's nnz, in `[1, P]`) scaling the density
+/// projection. Identical on every rank for an identical batch and fill.
+pub(crate) fn plan_buckets(batch: &[JobMeta], policy: &FusionPolicy, fill: f64) -> Vec<Vec<usize>> {
     let mut buckets: Vec<Vec<usize>> = Vec::new();
     let mut open: Vec<usize> = Vec::new();
     let mut open_dim: usize = 0;
+    let mut open_nnz: usize = 0;
     let fused_cap = policy.max_fused_elements.min(u32::MAX as usize);
     for (pos, meta) in batch.iter().enumerate() {
         if !policy.enabled || !meta.fusable {
             if !open.is_empty() {
                 buckets.push(std::mem::take(&mut open));
                 open_dim = 0;
+                open_nnz = 0;
             }
             buckets.push(vec![pos]);
             continue;
         }
+        // Projected density of the bucket if this job joins: the agreed
+        // union estimate `fill·Σnnz` over the fused index space, clamped
+        // to 1 (a union can never exceed its dimension).
+        let joined_dim = open_dim.saturating_add(meta.dim);
+        let joined_nnz = open_nnz.saturating_add(meta.nnz);
+        let density = if joined_dim == 0 {
+            0.0
+        } else {
+            (fill * joined_nnz as f64 / joined_dim as f64).min(1.0)
+        };
         let fits = open.len() < policy.max_fused_jobs
-            && (open.is_empty() || open_dim.saturating_add(meta.dim) <= fused_cap);
+            && (open.is_empty() || (joined_dim <= fused_cap && density <= policy.max_density));
         if !fits {
             buckets.push(std::mem::take(&mut open));
             open_dim = 0;
+            open_nnz = 0;
         }
         open.push(pos);
         open_dim += meta.dim;
+        open_nnz = open_nnz.saturating_add(meta.nnz);
     }
     if !open.is_empty() {
         buckets.push(open);
@@ -92,12 +158,25 @@ mod tests {
     use super::*;
 
     fn ar(dim: usize) -> JobMeta {
-        JobMeta { dim, fusable: true }
+        JobMeta {
+            dim,
+            nnz: 0,
+            fusable: true,
+        }
+    }
+
+    fn ar_nnz(dim: usize, nnz: usize) -> JobMeta {
+        JobMeta {
+            dim,
+            nnz,
+            fusable: true,
+        }
     }
 
     fn solo(dim: usize) -> JobMeta {
         JobMeta {
             dim,
+            nnz: 0,
             fusable: false,
         }
     }
@@ -105,14 +184,14 @@ mod tests {
     #[test]
     fn consecutive_fusable_jobs_share_a_bucket() {
         let batch = vec![ar(10), ar(20), ar(30)];
-        let buckets = plan_buckets(&batch, &FusionPolicy::default());
+        let buckets = plan_buckets(&batch, &FusionPolicy::default(), 1.0);
         assert_eq!(buckets, vec![vec![0, 1, 2]]);
     }
 
     #[test]
     fn unfusable_jobs_split_the_run() {
         let batch = vec![ar(10), solo(5), ar(20), ar(30)];
-        let buckets = plan_buckets(&batch, &FusionPolicy::default());
+        let buckets = plan_buckets(&batch, &FusionPolicy::default(), 1.0);
         assert_eq!(buckets, vec![vec![0], vec![1], vec![2, 3]]);
     }
 
@@ -123,11 +202,11 @@ mod tests {
             ..FusionPolicy::default()
         };
         let batch = vec![ar(10), ar(10), ar(10), ar(10)];
-        let buckets = plan_buckets(&batch, &policy);
+        let buckets = plan_buckets(&batch, &policy, 1.0);
         assert_eq!(buckets, vec![vec![0, 1], vec![2, 3]]);
         // An oversized single job still gets its own bucket (chunking
         // handles it downstream).
-        let big = plan_buckets(&[ar(100)], &policy);
+        let big = plan_buckets(&[ar(100)], &policy, 1.0);
         assert_eq!(big, vec![vec![0]]);
     }
 
@@ -138,14 +217,71 @@ mod tests {
             ..FusionPolicy::default()
         };
         let batch = vec![ar(1), ar(1), ar(1), ar(1), ar(1)];
-        let buckets = plan_buckets(&batch, &policy);
+        let buckets = plan_buckets(&batch, &policy, 1.0);
         assert_eq!(buckets, vec![vec![0, 1], vec![2, 3], vec![4]]);
     }
 
     #[test]
     fn disabled_policy_yields_singletons() {
         let batch = vec![ar(10), ar(20)];
-        let buckets = plan_buckets(&batch, &FusionPolicy::disabled());
+        let buckets = plan_buckets(&batch, &FusionPolicy::disabled(), 1.0);
         assert_eq!(buckets, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn density_guard_stops_fusing_dense_jobs() {
+        // At fill 4 (P = 4, disjoint-ish supports), two 10_000-nnz jobs
+        // of dim 65_536 project 4·20_000/131_072 ≈ 0.61 > 0.5: they must
+        // not share a bucket, while each alone stays a valid singleton.
+        let batch = vec![ar_nnz(1 << 16, 10_000), ar_nnz(1 << 16, 10_000)];
+        let buckets = plan_buckets(&batch, &FusionPolicy::default(), 4.0);
+        assert_eq!(buckets, vec![vec![0], vec![1]]);
+        // The same shapes with heavy measured overlap (fill ≈ 1) fuse.
+        let buckets = plan_buckets(&batch, &FusionPolicy::default(), 1.0);
+        assert_eq!(buckets, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn density_guard_splits_mixed_batches_not_sparse_runs() {
+        // Sparse layers keep fusing; the dense pair in the middle is cut
+        // out into singletons (4·30_100/196_608 ≈ 0.61 already blocks the
+        // first dense join).
+        let sparse = ar_nnz(1 << 16, 100);
+        let dense = ar_nnz(1 << 16, 30_000);
+        let batch = vec![sparse, sparse, dense, dense, sparse];
+        let buckets = plan_buckets(&batch, &FusionPolicy::default(), 4.0);
+        assert_eq!(buckets, vec![vec![0, 1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn density_guard_allows_oversized_singletons() {
+        // A single effectively-dense job still gets a bucket — the guard
+        // only blocks joins.
+        let batch = vec![ar_nnz(1 << 10, 1 << 10)];
+        let buckets = plan_buckets(&batch, &FusionPolicy::default(), 8.0);
+        assert_eq!(buckets, vec![vec![0]]);
+    }
+
+    #[test]
+    fn max_density_override_parses_loudly() {
+        // String-based so no process-global env is mutated (other tests
+        // spawn engines concurrently, which read the real variable).
+        let mut policy = FusionPolicy::default();
+        policy.set_max_density_str("0.25").unwrap();
+        assert_eq!(policy.max_density, 0.25);
+        policy.set_max_density_str(" 1.0\n").unwrap();
+        assert_eq!(policy.max_density, 1.0);
+        for bad in ["1.5", "0", "-0.3", "banana", ""] {
+            let err = policy.set_max_density_str(bad).unwrap_err();
+            assert!(
+                err.to_string().contains(ENV_FUSION_MAX_DENSITY),
+                "error must name the knob: {err}"
+            );
+        }
+        assert_eq!(policy.max_density, 1.0, "failed parses leave the knob");
+        // An absent variable is not an error and leaves the default.
+        let mut fresh = FusionPolicy::default();
+        fresh.apply_env().unwrap();
+        assert_eq!(fresh.max_density, FusionPolicy::default().max_density);
     }
 }

@@ -21,10 +21,12 @@
 //!   collective, then split back per ticket. `K` tiny layers pay one
 //!   per-collective latency instead of `K` (the δ of
 //!   [`FusionPolicy`]).
-//! * **Priority scheduling.** Buckets execute last-submitted-first
-//!   (DDP-style: the gradients that backprop produces first are the ones
-//!   the optimizer needs last, and vice versa), configurable via
-//!   [`EngineConfig::priority_lifo`].
+//! * **Priority scheduling.** Buckets execute in submission order by
+//!   default; [`EngineConfig::priority_lifo`] opts into
+//!   last-submitted-first (DDP-style: the gradients that backprop
+//!   produces first are the ones the optimizer needs last, and vice
+//!   versa) for callers that submit incrementally and want late
+//!   tickets early.
 //! * **Chunked pipelining.** A fused bucket larger than
 //!   [`FusionPolicy::max_chunk_elements`] is split into even index chunks
 //!   reduced back to back, bounding peak frame sizes.
@@ -63,6 +65,6 @@ pub mod queue;
 mod ticket;
 
 pub use engine::{CommunicatorEngineExt, Engine, EngineConfig, EngineStats};
-pub use fusion::FusionPolicy;
+pub use fusion::{FusionPolicy, ENV_FUSION_MAX_DENSITY};
 pub use queue::{QueueFull, SubmissionQueue};
 pub use ticket::Ticket;

@@ -74,6 +74,12 @@ comm_stats_fields! {
     /// `read_batch_frames / wakeups` approximates frames amortized per
     /// wakeup.
     read_batch_frames,
+    /// Merge rounds an adaptive collective executed in the dense
+    /// representation after its in-collective δ-switch fired.
+    switch_rounds,
+    /// Adaptive collectives whose δ-switch fired at least once (the
+    /// projected end-of-collective union crossed δ mid-schedule).
+    adaptive_densified,
 }
 
 impl CommStats {
@@ -146,6 +152,8 @@ mod tests {
             wakeups: 12,
             partial_writes: 4,
             read_batch_frames: 7,
+            switch_rounds: 9,
+            adaptive_densified: 5,
         }
     }
 
@@ -169,6 +177,8 @@ mod tests {
         assert_eq!(a.wakeups, 24);
         assert_eq!(a.partial_writes, 8);
         assert_eq!(a.read_batch_frames, 14);
+        assert_eq!(a.switch_rounds, 18);
+        assert_eq!(a.adaptive_densified, 10);
     }
 
     #[test]
@@ -185,7 +195,7 @@ mod tests {
     #[test]
     fn field_count_matches_fields_len() {
         assert_eq!(CommStats::FIELD_COUNT, sample().fields().len());
-        assert_eq!(CommStats::FIELD_COUNT, 11);
+        assert_eq!(CommStats::FIELD_COUNT, 13);
     }
 
     #[test]
@@ -205,8 +215,10 @@ mod tests {
         assert!(text.contains("wakeups 12\n"));
         assert!(text.contains("partial_writes 4\n"));
         assert!(text.contains("read_batch_frames 7\n"));
+        assert!(text.contains("switch_rounds 9\n"));
+        assert!(text.contains("adaptive_densified 5\n"));
         assert!(text.contains("pool_reuse_rate 0.7500\n"));
-        assert_eq!(text.lines().count(), 12);
+        assert_eq!(text.lines().count(), 14);
     }
 
     #[test]
@@ -218,6 +230,8 @@ mod tests {
         assert!(json.contains("\"wakeups\":12"));
         assert!(json.contains("\"partial_writes\":4"));
         assert!(json.contains("\"read_batch_frames\":7"));
+        assert!(json.contains("\"switch_rounds\":9"));
+        assert!(json.contains("\"adaptive_densified\":5"));
         assert!(json.contains("\"pool_reuse_rate\":0.7500"));
         assert!(!json.contains(",}"), "no trailing comma: {json}");
     }

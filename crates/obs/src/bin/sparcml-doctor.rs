@@ -260,7 +260,9 @@ fn render_report(report: &ClusterReport, trace: &TraceSummary, delta: f64) -> St
                     let _ = writeln!(
                         out,
                         "  WARNING rank {}: avg message {:.0} KiB — fused collectives look \
-                         bandwidth-bound; consider smaller fusion buckets or chunking",
+                         bandwidth-bound; lower FusionPolicy::max_density (env \
+                         SPARCML_FUSION_MAX_DENSITY) so the engine's density guard stops \
+                         fusing these buckets, or shrink max_chunk_elements",
                         f.rank,
                         avg / 1024.0
                     );
@@ -374,6 +376,24 @@ fn render_report_json(report: &ClusterReport, trace: &TraceSummary, delta: f64) 
     Value::Obj(fields).render()
 }
 
+/// Exit status for a rendered report. Warnings (bandwidth-bound fusion,
+/// span drops) never affect it: 0 unless there was nothing to report (1)
+/// or `--expect-ranks` found ranks missing (2).
+fn exit_code_for(report: &ClusterReport, trace: &TraceSummary, expect_ranks: Option<usize>) -> u8 {
+    if report.frames.is_empty() && !trace.present {
+        return 1;
+    }
+    if let Some(expect) = expect_ranks {
+        let telemetry_ok =
+            report.frames.is_empty() || report.ranks() == (0..expect as u32).collect::<Vec<_>>();
+        let trace_ok = !trace.present || trace.ranks.len() == expect;
+        if !telemetry_ok || !trace_ok {
+            return 2;
+        }
+    }
+    0
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -402,26 +422,78 @@ fn main() -> ExitCode {
     } else {
         print!("{}", render_report(&report, &trace, args.delta));
     }
-    if report.frames.is_empty() && !trace.present {
-        eprintln!(
-            "sparcml-doctor: no telemetry frames or merged trace under {}",
-            args.dir.display()
-        );
-        return ExitCode::from(1);
-    }
-    if let Some(expect) = args.expect_ranks {
-        let telemetry_ok =
-            report.frames.is_empty() || report.ranks() == (0..expect as u32).collect::<Vec<_>>();
-        let trace_ok = !trace.present || trace.ranks.len() == expect;
-        let have_any = !report.frames.is_empty() || trace.present;
-        if !have_any || !telemetry_ok || !trace_ok {
+    match exit_code_for(&report, &trace, args.expect_ranks) {
+        0 => ExitCode::SUCCESS,
+        1 => {
             eprintln!(
-                "sparcml-doctor: expected {expect} ranks, telemetry has {:?}, trace has {:?}",
+                "sparcml-doctor: no telemetry frames or merged trace under {}",
+                args.dir.display()
+            );
+            ExitCode::from(1)
+        }
+        code => {
+            eprintln!(
+                "sparcml-doctor: expected {:?} ranks, telemetry has {:?}, trace has {:?}",
+                args.expect_ranks,
                 report.ranks(),
                 trace.ranks
             );
-            return ExitCode::from(2);
+            ExitCode::from(code)
         }
     }
-    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcml_obs::telemetry::DensityStats;
+
+    /// A cluster report shaped like a fused k = 1e4 run at P = 4: huge
+    /// average messages (the bandwidth-bound symptom) but a result-union
+    /// density still below the default δ of 0.5.
+    fn fused_k1e4_report() -> ClusterReport {
+        let frames = (0..4u32)
+            .map(|rank| TelemetryFrame {
+                rank,
+                world: 4,
+                counters: vec![("bytes_sent".into(), 8 << 20), ("msgs_sent".into(), 4)],
+                density: DensityStats {
+                    collectives: 4,
+                    dim_sum: 4 << 16,
+                    input_nnz_sum: 40_000,
+                    input_nnz_max: 10_000,
+                    output_nnz_sum: 100_000,
+                    output_nnz_max: 25_000,
+                    dense_results: 0,
+                },
+                ..TelemetryFrame::default()
+            })
+            .collect();
+        ClusterReport { frames }
+    }
+
+    #[test]
+    fn bandwidth_warning_names_the_density_knob() {
+        let text = render_report(
+            &fused_k1e4_report(),
+            &TraceSummary::default(),
+            DEFAULT_DELTA_DENSITY,
+        );
+        assert!(text.contains("WARNING"), "{text}");
+        assert!(text.contains("FusionPolicy::max_density"), "{text}");
+        assert!(text.contains("SPARCML_FUSION_MAX_DENSITY"), "{text}");
+    }
+
+    #[test]
+    fn bandwidth_warning_does_not_affect_the_exit_code() {
+        // Density-aware fusion active, no bucket past δ: a clean run even
+        // with the warning printed — exit 0 with all ranks present.
+        let report = fused_k1e4_report();
+        let trace = TraceSummary::default();
+        assert_eq!(exit_code_for(&report, &trace, Some(4)), 0);
+        assert_eq!(exit_code_for(&report, &trace, None), 0);
+        // The structural failures still map to their codes.
+        assert_eq!(exit_code_for(&ClusterReport::default(), &trace, None), 1);
+        assert_eq!(exit_code_for(&report, &trace, Some(8)), 2);
+    }
 }

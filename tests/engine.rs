@@ -81,6 +81,37 @@ fn fused_bucket_equals_sequential_allreduces_exactly() {
 }
 
 #[test]
+fn shared_group_submission_matches_the_borrowed_api_exactly() {
+    // `submit_allreduce_group_shared` hands Arc'd gradients to the
+    // progress thread without the per-job payload clone; results must
+    // be bit-identical to the borrowing API.
+    let (p, layers, dim, nnz) = (4, 8, 1024, 48);
+    let expect = layer_references(p, layers, dim, nnz);
+    let outs = run_communicators(p, CostModel::zero(), |comm| {
+        let mut engine = comm.engine::<f32>(fused_engine_config());
+        let grads: Vec<std::sync::Arc<SparseStream<f32>>> =
+            per_layer_inputs(engine.rank(), layers, dim, nnz)
+                .into_iter()
+                .map(std::sync::Arc::new)
+                .collect();
+        let tickets = engine.submit_allreduce_group_shared(&grads);
+        let results: Vec<SparseStream<f32>> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        engine.finish_into(comm).unwrap();
+        results
+    });
+    for results in outs {
+        for (l, out) in results.iter().enumerate() {
+            assert_eq!(
+                out.to_dense_vec(),
+                expect[l],
+                "shared-submission layer {l} must match the sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
 fn fusion_reduces_messages_and_collectives_at_p4() {
     // The acceptance-shaped claim: 64 layers of k = 1e2 sparse gradients
     // at P = 4 — the engine's fused path completes in fewer transport
@@ -282,6 +313,7 @@ fn priority_order_is_lifo_and_identical_across_ranks() {
         let cfg = EngineConfig {
             algorithm: Algorithm::SsarRecDbl,
             fusion: FusionPolicy::disabled(),
+            priority_lifo: true,
             ..EngineConfig::default()
         };
         let mut engine = comm.engine::<f32>(cfg);
@@ -319,6 +351,76 @@ fn submission_order_mode_preserves_fifo() {
         order
     });
     assert_eq!(outs[0], vec![0, 1, 2]);
+}
+
+#[test]
+fn density_guard_splits_dense_batch_and_stays_exact() {
+    // The k = 1e4 regime from BENCH_engine.json: with the default
+    // `max_density = 0.5` and the conservative fill prior P, two of
+    // these jobs project 4·20_000/131_072 ≈ 0.61 fused — bandwidth-bound
+    // — so the density guard must keep every job a singleton bucket, and
+    // the results must stay element-exact.
+    let (p, layers, dim, nnz) = (4, 4, 1 << 16, 10_000);
+    let expect = layer_references(p, layers, dim, nnz);
+    let outs = run_communicators(p, CostModel::zero(), |comm| {
+        let mut engine = comm.engine::<f32>(fused_engine_config());
+        let grads = per_layer_inputs(engine.rank(), layers, dim, nnz);
+        let refs: Vec<&SparseStream<f32>> = grads.iter().collect();
+        let tickets = engine.submit_allreduce_group(&refs);
+        let results: Vec<SparseStream<f32>> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let stats = engine.stats();
+        engine.finish_into(comm).unwrap();
+        (results, stats)
+    });
+    for (results, stats) in outs {
+        assert_eq!(
+            stats.buckets, layers as u64,
+            "density guard must split the dense batch into singletons"
+        );
+        assert_eq!(stats.fused_jobs, 0);
+        for (l, out) in results.iter().enumerate() {
+            assert_eq!(out.to_dense_vec(), expect[l], "split layer {l}");
+        }
+    }
+}
+
+#[test]
+fn density_guard_preserves_sparse_runs_in_mixed_batches() {
+    // Mixed batch [s, s, d, d, s, s]: the sparse runs keep fusing, the
+    // dense middle is cut into singletons, and every layer stays
+    // element-exact across the split/fused boundary.
+    let (p, dim) = (4, 1 << 16);
+    let nnz_of = |l: usize| if (2..4).contains(&l) { 30_000 } else { 100 };
+    let layer_input = |rank: usize, l: usize| integer_stream(rank, l, dim, nnz_of(l));
+    let expect: Vec<Vec<f32>> = (0..6)
+        .map(|l| {
+            let ins: Vec<SparseStream<f32>> = (0..p).map(|r| layer_input(r, l)).collect();
+            reference_sum(&ins)
+        })
+        .collect();
+    let outs = run_communicators(p, CostModel::zero(), |comm| {
+        let mut engine = comm.engine::<f32>(fused_engine_config());
+        let grads: Vec<SparseStream<f32>> = (0..6).map(|l| layer_input(engine.rank(), l)).collect();
+        let refs: Vec<&SparseStream<f32>> = grads.iter().collect();
+        let tickets = engine.submit_allreduce_group(&refs);
+        let results: Vec<SparseStream<f32>> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let stats = engine.stats();
+        engine.finish_into(comm).unwrap();
+        (results, stats)
+    });
+    for (results, stats) in outs {
+        // [[0,1],[2],[3],[4,5]] — the tail sparse pair still fuses.
+        assert_eq!(
+            stats.buckets, 4,
+            "dense middle must split, sparse runs must fuse"
+        );
+        assert_eq!(stats.fused_jobs, 4);
+        for (l, out) in results.iter().enumerate() {
+            assert_eq!(out.to_dense_vec(), expect[l], "mixed layer {l}");
+        }
+    }
 }
 
 #[test]

@@ -128,6 +128,128 @@ fn ranks_agree_bitwise() {
 }
 
 #[test]
+fn adaptive_switch_is_bitwise_exact_on_integer_inputs() {
+    // Integer-valued f32 sums are exact under any association, so
+    // whatever merge order the δ-switch schedule ends up taking — and
+    // whichever round it densifies in — its result must equal the
+    // reference sum *bitwise* at every rank.
+    let mut rng = XorShift64::new(0xAD_A971);
+    for p in [3usize, 4, 5, 8] {
+        for case in 0..8 {
+            let dim = 64 + rng.next_below(448) as usize;
+            // Sweep density regimes: sparse inputs never switch, dense
+            // ones switch immediately, and the band in between exercises
+            // mid-collective switches.
+            let max_k = match case % 3 {
+                0 => dim / 16,
+                1 => dim / 2,
+                _ => dim,
+            }
+            .max(1);
+            let ins: Vec<SparseStream<f32>> = (0..p)
+                .map(|_| {
+                    let nnz = 1 + rng.next_below(max_k as u64) as usize;
+                    let pairs: Vec<(u32, f32)> = (0..nnz)
+                        .map(|_| {
+                            let idx = rng.next_below(dim as u64) as u32;
+                            let val = rng.next_below(16) as f32 - 8.0;
+                            (idx, val)
+                        })
+                        .collect();
+                    SparseStream::from_pairs(dim, &pairs).unwrap()
+                })
+                .collect();
+            let expect = reference_sum(&ins);
+            let outs = run_communicators(p, CostModel::zero(), |comm| {
+                comm.allreduce(&ins[comm.rank()])
+                    .algorithm(Algorithm::AdaptiveSwitch)
+                    .launch()
+                    .and_then(|handle| handle.wait())
+                    .unwrap()
+                    .to_dense_vec()
+            });
+            for (rank, out) in outs.iter().enumerate() {
+                for (i, (g, e)) in out.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        e.to_bits(),
+                        "p {p} case {case} rank {rank} coord {i}: {g} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_switch_engineered_rounds_are_bitwise_exact() {
+    // Three constructions pin *when* the δ-switch fires, checked via the
+    // `adaptive_densified` counter: never (tiny inputs), at round 0
+    // (inputs already past δ before any exchange), and mid-way (disjoint
+    // pair-blocks whose projected union only crosses δ after a round of
+    // zero growth followed by a doubling round).
+    let check = |p: usize, ins: Vec<SparseStream<f32>>, expect_switch: bool| {
+        let expect = reference_sum(&ins);
+        let outs = run_communicators(p, CostModel::zero(), |comm| {
+            let out = comm
+                .allreduce(&ins[comm.rank()])
+                .algorithm(Algorithm::AdaptiveSwitch)
+                .launch()
+                .and_then(|handle| handle.wait())
+                .unwrap()
+                .to_dense_vec();
+            (out, comm.stats_snapshot().adaptive_densified)
+        });
+        for (rank, (out, densified)) in outs.iter().enumerate() {
+            assert_eq!(
+                *densified > 0,
+                expect_switch,
+                "rank {rank}: switch fired = {densified}, expected {expect_switch}"
+            );
+            for (i, (g, e)) in out.iter().zip(&expect).enumerate() {
+                assert_eq!(g.to_bits(), e.to_bits(), "rank {rank} coord {i}");
+            }
+        }
+    };
+    // Never: 2 nnz against δ = 2048.
+    check(
+        8,
+        (0..8)
+            .map(|_| SparseStream::from_pairs(4096, &[(7, 1.0f32), (9, 2.0)]).unwrap())
+            .collect(),
+        false,
+    );
+    // Round 0: 150 nnz per rank against δ = 128 — past δ before any
+    // exchange, so the pre-round check densifies immediately.
+    check(
+        4,
+        (0..4)
+            .map(|r| {
+                let pairs: Vec<(u32, f32)> = (0..150).map(|i| (i, (r + 1) as f32)).collect();
+                SparseStream::from_pairs(256, &pairs).unwrap()
+            })
+            .collect(),
+        true,
+    );
+    // Mid-way: rank pairs (2b, 2b+1) share a disjoint 129-index block,
+    // so round 0 merges without union growth; round 1's doubling rate
+    // projects 516 > δ = 512 and flips the remaining rounds dense.
+    check(
+        8,
+        (0..8)
+            .map(|r| {
+                let block = r / 2;
+                let pairs: Vec<(u32, f32)> = (block * 129..(block + 1) * 129)
+                    .map(|i| (i as u32, 1.0))
+                    .collect();
+                SparseStream::from_pairs(1024, &pairs).unwrap()
+            })
+            .collect(),
+        true,
+    );
+}
+
+#[test]
 fn virtual_time_monotone_in_message_size() {
     // More data on the same network must not be faster (rec-dbl).
     let n = 1 << 14;

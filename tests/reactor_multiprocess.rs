@@ -223,6 +223,68 @@ fn reactor_killed_peer_fails_survivors_within_timeout() {
 }
 
 #[test]
+fn reactor_engine_density_guard_splits_buckets_across_processes() {
+    // Same k = 1e4 fusion-loss shape as the TCP suite, on the event-loop
+    // backend: the density guard must keep the four dense jobs singleton
+    // buckets (previously one bandwidth-bound fused bucket) with exact
+    // results.
+    use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
+
+    let world = 4;
+    let layers = 4;
+    let dim = 1 << 16;
+    let nnz = 10_000;
+    let Some(results) = run_socket_cluster(
+        "reactor_engine_density_guard_splits_buckets_across_processes",
+        world,
+        &opts(),
+        |tp| {
+            assert_eq!(tp.backend(), TransportBackend::Reactor);
+            let mut comm = Communicator::new(tp.detach());
+            let mut engine = comm.engine::<f32>(EngineConfig {
+                algorithm: Algorithm::SsarRecDbl,
+                ..EngineConfig::default()
+            });
+            let grads: Vec<SparseStream<f32>> = (0..layers)
+                .map(|l| integer_stream(engine.rank() * 7 + l, dim, nnz))
+                .collect();
+            let refs: Vec<&SparseStream<f32>> = grads.iter().collect();
+            let tickets = engine.submit_allreduce_group(&refs);
+            let fps: Vec<String> = tickets
+                .into_iter()
+                .map(|t| fingerprint(&t.wait().unwrap().to_dense_vec()))
+                .collect();
+            let stats = engine.stats();
+            engine.finish_into(&mut comm).unwrap();
+            *tp = comm.into_transport();
+            format!(
+                "{};buckets={};fused={}",
+                fps.join(":"),
+                stats.buckets,
+                stats.fused_jobs
+            )
+        },
+    ) else {
+        return;
+    };
+    let expect: Vec<String> = (0..layers)
+        .map(|l| {
+            let ins: Vec<SparseStream<f32>> = (0..world)
+                .map(|r| integer_stream(r * 7 + l, dim, nnz))
+                .collect();
+            fingerprint(&reference_sum(&ins))
+        })
+        .collect();
+    let expected_line = format!("{};buckets={layers};fused=0", expect.join(":"));
+    for (rank, line) in results.iter().enumerate() {
+        assert_eq!(
+            line, &expected_line,
+            "rank {rank}: the k=1e4 shape must not fuse into one bucket"
+        );
+    }
+}
+
+#[test]
 fn reactor_hierarchical_2x4_with_engine_on_subgroup_across_processes() {
     // The full composition on the event-loop backend: 8 processes, a 2×4
     // env-derived topology, hierarchical allreduce, split subgroups with

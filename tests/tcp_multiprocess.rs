@@ -337,6 +337,69 @@ fn tcp_multiple_collectives_one_session_across_processes() {
 }
 
 #[test]
+fn tcp_engine_density_guard_splits_buckets_across_processes() {
+    // The k = 1e4 fusion-loss shape from BENCH_engine.json: before the
+    // density-aware FusionPolicy these four 65_536-dim/10_000-nnz jobs
+    // fused into ONE bandwidth-bound bucket. The guard (projected fused
+    // union density 4·20_000/131_072 ≈ 0.61 > max_density = 0.5) must now
+    // keep them singletons — across real processes — with the results
+    // still exact.
+    use sparcml::engine::{CommunicatorEngineExt, EngineConfig};
+
+    let world = 4;
+    let layers = 4;
+    let dim = 1 << 16;
+    let nnz = 10_000;
+    let Some(results) = run_tcp_cluster(
+        "tcp_engine_density_guard_splits_buckets_across_processes",
+        world,
+        &opts(),
+        |tp| {
+            let mut comm = Communicator::new(tp.detach());
+            let mut engine = comm.engine::<f32>(EngineConfig {
+                algorithm: Algorithm::SsarRecDbl,
+                ..EngineConfig::default()
+            });
+            let grads: Vec<SparseStream<f32>> = (0..layers)
+                .map(|l| integer_stream(engine.rank() * 7 + l, dim, nnz))
+                .collect();
+            let refs: Vec<&SparseStream<f32>> = grads.iter().collect();
+            let tickets = engine.submit_allreduce_group(&refs);
+            let fps: Vec<String> = tickets
+                .into_iter()
+                .map(|t| fingerprint(&t.wait().unwrap().to_dense_vec()))
+                .collect();
+            let stats = engine.stats();
+            engine.finish_into(&mut comm).unwrap();
+            *tp = comm.into_transport();
+            format!(
+                "{};buckets={};fused={}",
+                fps.join(":"),
+                stats.buckets,
+                stats.fused_jobs
+            )
+        },
+    ) else {
+        return;
+    };
+    let expect: Vec<String> = (0..layers)
+        .map(|l| {
+            let ins: Vec<SparseStream<f32>> = (0..world)
+                .map(|r| integer_stream(r * 7 + l, dim, nnz))
+                .collect();
+            fingerprint(&reference_sum(&ins))
+        })
+        .collect();
+    let expected_line = format!("{};buckets={layers};fused=0", expect.join(":"));
+    for (rank, line) in results.iter().enumerate() {
+        assert_eq!(
+            line, &expected_line,
+            "rank {rank}: the k=1e4 shape must not fuse into one bucket"
+        );
+    }
+}
+
+#[test]
 fn tcp_hierarchical_2x4_with_engine_on_subgroup_across_processes() {
     // 8 real OS processes pinned to a 2×4 topology (the launcher exports
     // SPARCML_NODES/SPARCML_NODE to every rank). Exercises, across real
